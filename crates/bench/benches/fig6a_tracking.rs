@@ -1,0 +1,44 @@
+//! Criterion version of Fig 6(a): per-iteration cost of the §V-B
+//! micro-workloads under no FT, C³ stubs, and SuperGlue stubs. The
+//! difference between a variant and the bare baseline is the
+//! descriptor-tracking infrastructure overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_bench::{rig, SERVICES};
+use superglue::testbed::Variant;
+
+fn bench_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_tracking");
+    for iface in SERVICES {
+        for (name, variant) in
+            [("bare", Variant::Bare), ("c3", Variant::C3), ("superglue", Variant::SuperGlue)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(iface, name),
+                &variant,
+                |b, &variant| {
+                    let mut r = rig(variant);
+                    let mut seq = 0u64;
+                    b.iter(|| {
+                        seq += 1;
+                        r.run_iteration(iface, seq)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Compact sampling: the simulation is deterministic, so small sample
+    // counts already give tight intervals, and the full suite stays fast
+    // on one core.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_tracking
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion version of Fig 6(b): per-descriptor recovery cost — each
+//! iteration injects a fail-stop fault and performs the call that drives
+//! micro-reboot plus the on-demand recovery walk.
+
+use composite::InterfaceCall as _;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_bench::{rig, SERVICES};
+use superglue::testbed::Variant;
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6b_recovery");
+    for iface in SERVICES {
+        for (name, variant) in [("c3", Variant::C3), ("superglue", Variant::SuperGlue)] {
+            group.bench_with_input(BenchmarkId::new(iface, name), &variant, |b, &variant| {
+                let mut r = rig(variant);
+                let (client, thread, svc, fname, args) = r.setup_recovery_victim(iface);
+                b.iter(|| {
+                    r.tb.runtime.inject_fault(svc);
+                    r.tb.runtime
+                        .interface_call(client, thread, svc, fname, &args)
+                        .expect("recovery succeeds")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Compact sampling: the simulation is deterministic, so small sample
+    // counts already give tight intervals, and the full suite stays fast
+    // on one core.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_recovery
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Table II harness: the SWIFI fault-injection campaign over all six
+//! system services.
+//!
+//! Run with `cargo run -p sg-bench --release --bin table2`. Options:
+//!
+//! * `--injections N` — faults per service (default 500, the paper's
+//!   count);
+//! * `--seed S` — RNG seed (printed for reproducibility);
+//! * `--variant c3|superglue` — which protection runs (default
+//!   superglue);
+//! * `--json PATH` — additionally dump the rows as JSON.
+
+use sg_swifi::{run_campaign, CampaignConfig};
+use superglue::testbed::Variant;
+
+fn main() {
+    let mut cfg = CampaignConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--injections" => {
+                cfg.injections =
+                    args.next().and_then(|v| v.parse().ok()).expect("--injections N");
+            }
+            "--seed" => {
+                cfg.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed S");
+            }
+            "--variant" => match args.next().as_deref() {
+                Some("c3") => cfg.variant = Variant::C3,
+                Some("superglue") => cfg.variant = Variant::SuperGlue,
+                other => panic!("--variant c3|superglue, got {other:?}"),
+            },
+            "--mask" => {
+                let raw = args.next().expect("--mask HEX");
+                cfg.fault_mask = u32::from_str_radix(raw.trim_start_matches("0x"), 16)
+                    .expect("--mask takes a hex fault mask");
+            }
+            "--json" => json_path = Some(args.next().expect("--json PATH")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    println!(
+        "SWIFI fault-injection campaign: {} injections/component, seed 0x{:X}, mask 0x{:08X}, {}",
+        cfg.injections,
+        cfg.seed,
+        cfg.fault_mask,
+        match cfg.variant {
+            Variant::SuperGlue => "COMPOSITE+SuperGlue",
+            Variant::C3 => "COMPOSITE+C3",
+            Variant::Bare => "COMPOSITE (bare)",
+        }
+    );
+    println!("{}", sg_swifi::CampaignRow::table_header());
+
+    let mut rows = Vec::new();
+    for iface in ["sched", "mm", "fs", "lock", "evt", "tmr"] {
+        let row = run_campaign(iface, &cfg);
+        println!("{}", row.table_line());
+        rows.push(row);
+    }
+
+    println!();
+    println!("paper (Table II, 500 injections/component): activation 93.8-98.4%,");
+    println!("success 88.6-96.1%, Sched worst for segfaults (10.8% of injections),");
+    println!("propagation <=0.4%, hangs <=0.8%.");
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+        std::fs::write(&path, json).expect("write json");
+        println!("rows written to {path}");
+    }
+}

@@ -1,0 +1,264 @@
+//! The environment handed to interface stubs, and recovery statistics.
+
+use std::collections::BTreeMap;
+
+use composite::{CallError, ComponentId, Kernel, SimTime, ThreadId, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::stub::InterfaceStub;
+
+/// Counters describing recovery activity, consumed by tests and by the
+/// benchmark harnesses (Fig 6(b), Table II).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Faults handled (micro-reboot sequences initiated).
+    pub faults_handled: u64,
+    /// Descriptors individually recovered (R0 walks completed).
+    pub descriptors_recovered: u64,
+    /// Interface functions replayed during recovery walks.
+    pub walk_steps_replayed: u64,
+    /// Recoveries deferred because the descriptor's state was
+    /// thread-affine and another thread must complete it.
+    pub deferred_completions: u64,
+    /// Storage-component round trips (G0 lookups + G1 fetches).
+    pub storage_roundtrips: u64,
+    /// Upcalls into creator components (U0).
+    pub upcalls: u64,
+    /// Eagerly woken threads at fault time (T0).
+    pub eager_wakeups: u64,
+    /// Calls that exhausted their retry budget and surfaced a fault.
+    pub unrecovered: u64,
+    /// Invalid state-machine branches attempted (fault *detection*,
+    /// §III-B).
+    pub invalid_transitions: u64,
+    /// Total virtual time spent in recovery, per server component.
+    pub recovery_time: BTreeMap<u32, SimTime>,
+}
+
+impl RecoveryStats {
+    /// Fresh, all-zero statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total virtual time spent recovering `server`.
+    #[must_use]
+    pub fn recovery_time_of(&self, server: ComponentId) -> SimTime {
+        self.recovery_time.get(&server.0).copied().unwrap_or(SimTime::ZERO)
+    }
+
+    pub(crate) fn add_recovery_time(&mut self, server: ComponentId, t: SimTime) {
+        let e = self.recovery_time.entry(server.0).or_insert(SimTime::ZERO);
+        *e += t;
+    }
+}
+
+/// Everything a stub may touch while handling a call or recovering a
+/// descriptor: the kernel, the other edges' stubs (for **U0** upcalls),
+/// the storage component (for **G0**/**G1**), and the stats sink.
+///
+/// The currently executing stub is checked out of `stubs`, so the map
+/// only contains *other* edges.
+pub struct StubEnv<'a> {
+    /// The kernel.
+    pub kernel: &'a mut Kernel,
+    /// All other edges' stubs, keyed by (client, server).
+    pub stubs: &'a mut BTreeMap<(ComponentId, ComponentId), Box<dyn InterfaceStub>>,
+    /// Recovery counters.
+    pub stats: &'a mut RecoveryStats,
+    /// The client component of the executing edge.
+    pub client: ComponentId,
+    /// The thread driving the call.
+    pub thread: ThreadId,
+    /// The server component of the executing edge.
+    pub server: ComponentId,
+    /// The storage component, when configured.
+    pub storage: Option<ComponentId>,
+    /// Remaining fault-handling budget for this call (bounds reboot
+    /// loops when a component faults repeatedly mid-recovery).
+    pub retries_left: u32,
+}
+
+impl std::fmt::Debug for StubEnv<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StubEnv")
+            .field("client", &self.client)
+            .field("thread", &self.thread)
+            .field("server", &self.server)
+            .field("storage", &self.storage)
+            .field("retries_left", &self.retries_left)
+            .finish()
+    }
+}
+
+impl StubEnv<'_> {
+    /// Raw kernel invocation of the edge's server on behalf of the edge's
+    /// client (used for both normal calls and replayed walk steps).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Kernel::invoke`].
+    pub fn invoke(&mut self, fname: &str, args: &[Value]) -> Result<Value, CallError> {
+        self.kernel.invoke(self.client, self.thread, self.server, fname, args)
+    }
+
+    /// Replay one walk step: a raw invocation charged as recovery work.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Kernel::invoke`].
+    pub fn replay(&mut self, fname: &str, args: &[Value]) -> Result<Value, CallError> {
+        let cost = self.kernel.costs().recovery_step;
+        self.kernel.charge(cost);
+        self.stats.add_recovery_time(self.server, cost);
+        self.stats.walk_steps_replayed += 1;
+        self.invoke(fname, args)
+    }
+
+    /// If the server is (still) faulty, micro-reboot it and mark every
+    /// edge of that server faulty — steps (2)–(4) of §III-D. Returns
+    /// whether a reboot happened.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::Fault`] when the retry budget is exhausted.
+    pub fn ensure_rebooted(&mut self) -> Result<bool, CallError> {
+        if !self.kernel.is_faulty(self.server) {
+            return Ok(false);
+        }
+        if self.retries_left == 0 {
+            self.stats.unrecovered += 1;
+            return Err(CallError::Fault { component: self.server });
+        }
+        self.retries_left -= 1;
+
+        // T0: account for the eager wakeup of threads that were blocked
+        // inside the failed server (the kernel released them when the
+        // fault was raised; the recovering server re-learns about them
+        // through post_reboot reflection and their retried calls).
+        let blocked = self.kernel.threads_blocked_in(self.server).len() as u64;
+        self.stats.eager_wakeups += blocked;
+
+        let before = self.kernel.now();
+        self.kernel
+            .micro_reboot(self.server)
+            .map_err(|_| CallError::Fault { component: self.server })?;
+        self.stats.faults_handled += 1;
+        self.stats.add_recovery_time(self.server, self.kernel.now().saturating_sub(before));
+
+        // Propagate the inter-component exception to every client edge of
+        // this server (including edges currently checked out — the
+        // runtime marks the active one itself).
+        for ((_, srv), stub) in self.stubs.iter_mut() {
+            if *srv == self.server {
+                stub.mark_faulty();
+            }
+        }
+        Ok(true)
+    }
+
+    /// **G0** helper: look up the creator component of a global
+    /// descriptor in the storage component.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError`] when storage is unconfigured or has no record.
+    pub fn storage_lookup_creator(
+        &mut self,
+        iface: &str,
+        desc: i64,
+    ) -> Result<ComponentId, CallError> {
+        let storage = self.storage.ok_or(CallError::Service(composite::ServiceError::NotFound))?;
+        let cost = self.kernel.costs().storage_round_trip;
+        self.kernel.charge(cost);
+        self.stats.add_recovery_time(self.server, cost);
+        self.stats.storage_roundtrips += 1;
+        let v = self.kernel.invoke(
+            self.client,
+            self.thread,
+            storage,
+            "st_lookup_creator",
+            &[Value::from(iface), Value::Int(desc)],
+        )?;
+        Ok(ComponentId(v.int().unwrap_or(-1) as u32))
+    }
+
+    /// **G0** helper: record a freshly created global descriptor in the
+    /// storage component (performed by the server-side stub logic on
+    /// every create of a global interface).
+    ///
+    /// # Errors
+    ///
+    /// [`CallError`] when storage is unconfigured.
+    pub fn storage_record(
+        &mut self,
+        iface: &str,
+        desc: i64,
+        creator: ComponentId,
+        parent: i64,
+        aux: i64,
+    ) -> Result<(), CallError> {
+        let storage = self.storage.ok_or(CallError::Service(composite::ServiceError::NotFound))?;
+        let cost = self.kernel.costs().storage_round_trip;
+        self.kernel.charge(cost);
+        self.stats.storage_roundtrips += 1;
+        self.kernel.invoke(
+            self.client,
+            self.thread,
+            storage,
+            "st_record",
+            &[
+                Value::from(iface),
+                Value::Int(desc),
+                Value::from(creator.0),
+                Value::Int(parent),
+                Value::Int(aux),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// **U0** helper: upcall into the creator component's edge stub to
+    /// rebuild a global descriptor under its original id.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError`] when the creator has no stub for this server or its
+    /// recovery fails.
+    pub fn upcall_recover(&mut self, creator: ComponentId, desc: i64) -> Result<(), CallError> {
+        let key = (creator, self.server);
+        let Some(mut stub) = self.stubs.remove(&key) else {
+            return Err(CallError::Service(composite::ServiceError::NotFound));
+        };
+        self.kernel.count_upcall();
+        self.stats.upcalls += 1;
+        let mut inner = StubEnv {
+            kernel: self.kernel,
+            stubs: self.stubs,
+            stats: self.stats,
+            client: creator,
+            thread: self.thread,
+            server: self.server,
+            storage: self.storage,
+            retries_left: self.retries_left,
+        };
+        let r = stub.recover_descriptor(&mut inner, desc);
+        self.stubs.insert(key, stub);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate_recovery_time() {
+        let mut s = RecoveryStats::new();
+        s.add_recovery_time(ComponentId(3), SimTime(100));
+        s.add_recovery_time(ComponentId(3), SimTime(50));
+        assert_eq!(s.recovery_time_of(ComponentId(3)), SimTime(150));
+        assert_eq!(s.recovery_time_of(ComponentId(9)), SimTime::ZERO);
+    }
+}

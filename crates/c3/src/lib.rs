@@ -1,0 +1,31 @@
+//! C³ — interface-driven recovery for the simulated COMPOSITE OS.
+//!
+//! C³ (Song et al., RTSS 2013; §II-C of the SuperGlue paper) contributes
+//! the *mechanisms* of system-level fault recovery:
+//!
+//! 1. fail-stop fault detection at the invocation boundary;
+//! 2. booter-driven **micro-reboot** of the failed component;
+//! 3. client-side **interface stubs** that track descriptor state and
+//!    replay interface functions to rebuild the server (the `redo:` loop
+//!    of Fig 4);
+//! 4. **eager** (fault-time) versus **on-demand** (access-time,
+//!    priority-inheriting) recovery policies;
+//! 5. **reflection** on kernel state and **upcalls** into client
+//!    components;
+//! 6. the **storage component** round trips for global descriptors and
+//!    resource data.
+//!
+//! This crate implements all of those mechanisms in [`runtime::FtRuntime`]
+//! — shared by SuperGlue, which *generates* its stubs — plus the
+//! hand-written per-service stubs ([`stubs`]) that are the paper's C³
+//! baseline: verbose, service-specific recovery code whose line counts
+//! Fig 6(c) compares against the SuperGlue IDL.
+
+pub mod env;
+pub mod runtime;
+pub mod stub;
+pub mod stubs;
+
+pub use env::{RecoveryStats, StubEnv};
+pub use runtime::{FtRuntime, RecoveryPolicy, RuntimeConfig};
+pub use stub::{InterfaceStub, StubVerdict};

@@ -1,0 +1,91 @@
+//! The [`InterfaceStub`] trait: one object per (client component, server
+//! interface) edge, interposing on every invocation.
+//!
+//! A stub is the code of Fig 4: it looks up/translates descriptors on
+//! the way in, invokes the server, handles the inter-component fault
+//! exception (micro-reboot + `goto redo`), and tracks descriptor state on
+//! the way out. C³ stubs are hand-written ([`crate::stubs`]); SuperGlue
+//! stubs are compiler-generated interpretations of the same contract.
+
+use composite::{CallError, Value};
+
+use crate::env::StubEnv;
+
+/// What a stub decided about one call attempt (used internally by stub
+/// implementations; exposed for reuse by the SuperGlue runtime).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StubVerdict {
+    /// The call completed with this value.
+    Done(Value),
+    /// The server faulted; the caller should run fault handling and redo.
+    Redo,
+}
+
+/// A client-side interface stub for one (client, server) edge.
+pub trait InterfaceStub: std::fmt::Debug {
+    /// The interface this stub interposes on (e.g. `"lock"`).
+    fn interface(&self) -> &'static str;
+
+    /// Handle one invocation end-to-end: descriptor bookkeeping, the
+    /// server call, fault handling with recovery and redo.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::WouldBlock`] propagates (the thread retries after
+    /// wakeup); [`CallError::Fault`] surfaces only when recovery failed
+    /// (retry budget exhausted or unrecoverable state); service errors
+    /// pass through.
+    fn call(
+        &mut self,
+        env: &mut StubEnv<'_>,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError>;
+
+    /// Rebuild one descriptor in the (already rebooted) server — the R0
+    /// walk, honoring D1 parent ordering. Invoked on-demand (T1), from
+    /// eager recovery (T0 policy), or through an upcall (U0).
+    ///
+    /// # Errors
+    ///
+    /// [`CallError`] when replay fails.
+    fn recover_descriptor(&mut self, env: &mut StubEnv<'_>, desc: i64) -> Result<(), CallError>;
+
+    /// The server faulted: mark every tracked descriptor as needing
+    /// recovery (the implicit transition to `s_f`).
+    fn mark_faulty(&mut self);
+
+    /// Recover every faulty descriptor now (the eager policy).
+    ///
+    /// # Errors
+    ///
+    /// The first replay failure.
+    fn recover_all(&mut self, env: &mut StubEnv<'_>) -> Result<(), CallError>;
+
+    /// Number of descriptors currently tracked (tests/benches).
+    fn tracked_count(&self) -> usize;
+
+    /// Number of descriptors currently marked faulty (tests/benches).
+    fn faulty_count(&self) -> usize;
+}
+
+/// Decide whether a call error is the server-fault exception for this
+/// edge's server.
+#[must_use]
+pub fn is_server_fault(err: &CallError, server: composite::ComponentId) -> bool {
+    matches!(err, CallError::Fault { component } if *component == server)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use composite::ComponentId;
+
+    #[test]
+    fn fault_detection_matches_server_only() {
+        let e = CallError::Fault { component: ComponentId(3) };
+        assert!(is_server_fault(&e, ComponentId(3)));
+        assert!(!is_server_fault(&e, ComponentId(4)));
+        assert!(!is_server_fault(&CallError::WouldBlock, ComponentId(3)));
+    }
+}

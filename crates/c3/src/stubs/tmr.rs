@@ -1,0 +1,253 @@
+//! Hand-written C³ stub for the `tmr` interface.
+//!
+//! Timer descriptors carry one metadata value — the period — tracked from
+//! the `tmr_create`/`tmr_period` arguments. Recovery replays
+//! `tmr_create(period)`, re-arming the timer relative to the current
+//! virtual time; a period may stretch across the fault, and periodicity
+//! resumes, matching the paper's timer semantics. Server ids change
+//! across recoveries, so the stub translates them.
+
+use std::collections::BTreeMap;
+
+use composite::{CallError, Value};
+
+use crate::env::StubEnv;
+use crate::stub::{is_server_fault, InterfaceStub};
+
+/// Pass-through invocation that still honors the fault exception: the
+/// server is micro-rebooted (and this stub's descriptors marked faulty)
+/// before the call is redone, so untracked-descriptor calls observe
+/// post-reboot semantics (e.g. NotFound) rather than the raw fault.
+macro_rules! passthrough {
+    ($self:ident, $env:ident, $fname:ident, $args:ident) => {
+        loop {
+            match $env.invoke($fname, $args) {
+                Err(e) if is_server_fault(&e, $env.server) => {
+                    $env.ensure_rebooted()?;
+                    $self.mark_faulty();
+                }
+                other => return other,
+            }
+        }
+    };
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TmrDesc {
+    server_id: i64,
+    period_ns: i64,
+    faulty: bool,
+}
+
+/// Hand-written C³ client stub for the timer manager.
+#[derive(Debug, Default)]
+pub struct C3TmrStub {
+    descs: BTreeMap<i64, TmrDesc>,
+}
+
+impl C3TmrStub {
+    /// An empty stub.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn rewrite(&self, desc: i64, args: &[Value]) -> Vec<Value> {
+        let mut out = args.to_vec();
+        if let Some(d) = self.descs.get(&desc) {
+            out[1] = Value::Int(d.server_id);
+        }
+        out
+    }
+}
+
+impl InterfaceStub for C3TmrStub {
+    fn interface(&self) -> &'static str {
+        "tmr"
+    }
+
+    fn call(
+        &mut self,
+        env: &mut StubEnv<'_>,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        if fname == "tmr_create" {
+            let period = args.get(1).and_then(|v| v.int().ok()).unwrap_or(0);
+            loop {
+                match env.invoke(fname, args) {
+                    Ok(v) => {
+                        let id = v.int().map_err(|e| CallError::Service(e.into()))?;
+                        self.descs
+                            .insert(id, TmrDesc { server_id: id, period_ns: period, faulty: false });
+                        return Ok(v);
+                    }
+                    Err(e) if is_server_fault(&e, env.server) => {
+                        env.ensure_rebooted()?;
+                        self.mark_faulty();
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        let desc = args.get(1).and_then(|v| v.int().ok()).unwrap_or(-1);
+        if !self.descs.contains_key(&desc) {
+            passthrough!(self, env, fname, args);
+        }
+
+        loop {
+            if self.descs.get(&desc).is_some_and(|d| d.faulty) {
+                self.recover_descriptor(env, desc)?;
+            }
+            let real_args = self.rewrite(desc, args);
+            match env.invoke(fname, &real_args) {
+                Ok(v) => {
+                    let d = self.descs.get_mut(&desc).expect("tracked above");
+                    match fname {
+                        "tmr_period" => d.period_ns = args[2].int().unwrap_or(d.period_ns),
+                        "tmr_free" => {
+                            self.descs.remove(&desc);
+                        }
+                        _ => {}
+                    }
+                    return Ok(v);
+                }
+                Err(CallError::WouldBlock) => return Err(CallError::WouldBlock),
+                Err(e) if is_server_fault(&e, env.server) => {
+                    env.ensure_rebooted()?;
+                    self.mark_faulty();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn recover_descriptor(&mut self, env: &mut StubEnv<'_>, desc: i64) -> Result<(), CallError> {
+        let Some(d) = self.descs.get(&desc) else { return Ok(()) };
+        if !d.faulty {
+            return Ok(());
+        }
+        let period = d.period_ns;
+        let v = env.replay("tmr_create", &[Value::from(env.client.0), Value::Int(period)])?;
+        let new_id = v.int().map_err(|e| CallError::Service(e.into()))?;
+        let d = self.descs.get_mut(&desc).expect("still tracked");
+        d.server_id = new_id;
+        d.faulty = false;
+        env.stats.descriptors_recovered += 1;
+        Ok(())
+    }
+
+    fn mark_faulty(&mut self) {
+        for d in self.descs.values_mut() {
+            d.faulty = true;
+        }
+    }
+
+    fn recover_all(&mut self, env: &mut StubEnv<'_>) -> Result<(), CallError> {
+        let ids: Vec<i64> =
+            self.descs.iter().filter(|(_, d)| d.faulty).map(|(&id, _)| id).collect();
+        for id in ids {
+            match self.recover_descriptor(env, id) {
+                Ok(()) => {}
+                // Freed elsewhere before the fault: drop the stale record.
+                Err(CallError::Service(composite::ServiceError::NotFound)) => {
+                    self.descs.remove(&id);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn tracked_count(&self) -> usize {
+        self.descs.len()
+    }
+
+    fn faulty_count(&self) -> usize {
+        self.descs.values().filter(|d| d.faulty).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use composite::{ComponentId, CostModel, InterfaceCall as _, Kernel, KernelAccess as _, Priority, SimTime, ThreadId};
+    use sg_services::timer::TimerService;
+
+    use crate::runtime::{FtRuntime, RuntimeConfig};
+
+    fn rig() -> (FtRuntime, ComponentId, ComponentId, ThreadId) {
+        let mut k = Kernel::with_costs(CostModel::free());
+        let app = k.add_client_component("app");
+        let tmr = k.add_component("tmr", Box::new(TimerService::new()));
+        let t = k.create_thread(app, Priority(5));
+        let mut rt = FtRuntime::new(k, RuntimeConfig::default());
+        rt.install_stub(app, tmr, Box::new(C3TmrStub::new()));
+        (rt, app, tmr, t)
+    }
+
+    #[test]
+    fn create_and_wait_track_descriptor() {
+        let (mut rt, app, tmr, t) = rig();
+        let id = rt
+            .interface_call(app, t, tmr, "tmr_create", &[Value::Int(1), Value::Int(1_000)])
+            .unwrap()
+            .int()
+            .unwrap();
+        assert_eq!(rt.stub(app, tmr).unwrap().tracked_count(), 1);
+        let err =
+            rt.interface_call(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        assert_eq!(err, CallError::WouldBlock);
+    }
+
+    #[test]
+    fn timer_recovers_and_rearms_after_fault() {
+        let (mut rt, app, tmr, t) = rig();
+        let id = rt
+            .interface_call(app, t, tmr, "tmr_create", &[Value::Int(1), Value::Int(1_000)])
+            .unwrap()
+            .int()
+            .unwrap();
+        rt.inject_fault(tmr);
+        // The wait triggers recovery: replay create (new server id, armed
+        // at now + period) then redo wait → sleeps.
+        let err =
+            rt.interface_call(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        assert_eq!(err, CallError::WouldBlock);
+        assert_eq!(rt.stats().faults_handled, 1);
+        assert!(rt.kernel().earliest_wakeup().is_some());
+    }
+
+    #[test]
+    fn period_updates_are_tracked_for_recovery() {
+        let (mut rt, app, tmr, t) = rig();
+        let id = rt
+            .interface_call(app, t, tmr, "tmr_create", &[Value::Int(1), Value::Int(1_000)])
+            .unwrap()
+            .int()
+            .unwrap();
+        rt.interface_call(app, t, tmr, "tmr_period", &[Value::Int(1), Value::Int(id), Value::Int(9_000)])
+            .unwrap();
+        rt.inject_fault(tmr);
+        let _ = rt.interface_call(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]);
+        // Recovered timer was re-created with the *updated* period.
+        let deadline = rt.kernel().earliest_wakeup().unwrap();
+        assert_eq!(deadline, SimTime(9_000));
+    }
+
+    #[test]
+    fn periodic_workload_survives_fault() {
+        use composite::{Executor, RunExit};
+        use sg_services::api::ClientEnd;
+        use sg_services::workloads::TimerPeriodic;
+
+        let (mut rt, app, tmr, t) = rig();
+        let mut ex: Executor<FtRuntime> = Executor::new();
+        ex.attach(t, Box::new(TimerPeriodic::new(ClientEnd::new(app, t, tmr), 1_000_000, 10)));
+        ex.run(&mut rt, 6);
+        rt.inject_fault(tmr);
+        assert_eq!(ex.run(&mut rt, 100_000), RunExit::AllDone);
+        assert_eq!(rt.stats().unrecovered, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Capability-based invocation access control.
+//!
+//! COMPOSITE mediates component invocations through capabilities held in
+//! kernel tables (§II-B). The simulation keeps a per-client set of
+//! invocable targets; an invocation without a matching capability is
+//! rejected before reaching the server.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+use crate::ids::ComponentId;
+
+/// Kernel capability table: which client components may invoke which
+/// server components.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapTable {
+    grants: BTreeSet<(ComponentId, ComponentId)>,
+}
+
+impl CapTable {
+    /// Empty table (nothing may invoke anything).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grant `client` the right to invoke `server`.
+    pub fn grant(&mut self, client: ComponentId, server: ComponentId) {
+        self.grants.insert((client, server));
+    }
+
+    /// Revoke a previously granted capability. Returns whether a grant
+    /// was present.
+    pub fn revoke(&mut self, client: ComponentId, server: ComponentId) -> bool {
+        self.grants.remove(&(client, server))
+    }
+
+    /// Whether `client` may invoke `server`. A component may always
+    /// "invoke" itself (local calls need no capability).
+    #[must_use]
+    pub fn allows(&self, client: ComponentId, server: ComponentId) -> bool {
+        client == server || self.grants.contains(&(client, server))
+    }
+
+    /// All servers `client` can invoke, in id order.
+    pub fn servers_of(&self, client: ComponentId) -> impl Iterator<Item = ComponentId> + '_ {
+        self.grants
+            .iter()
+            .filter(move |(c, _)| *c == client)
+            .map(|&(_, s)| s)
+    }
+
+    /// All clients that can invoke `server`, in id order — the set the
+    /// recovery runtime must notify when `server` faults.
+    pub fn clients_of(&self, server: ComponentId) -> impl Iterator<Item = ComponentId> + '_ {
+        self.grants
+            .iter()
+            .filter(move |(_, s)| *s == server)
+            .map(|&(c, _)| c)
+    }
+
+    /// Number of grants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// True when no grants exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_allows_and_revoke_removes() {
+        let mut t = CapTable::new();
+        let (a, b) = (ComponentId(1), ComponentId(2));
+        assert!(!t.allows(a, b));
+        t.grant(a, b);
+        assert!(t.allows(a, b));
+        assert!(!t.allows(b, a));
+        assert!(t.revoke(a, b));
+        assert!(!t.allows(a, b));
+        assert!(!t.revoke(a, b));
+    }
+
+    #[test]
+    fn self_invocation_always_allowed() {
+        let t = CapTable::new();
+        assert!(t.allows(ComponentId(5), ComponentId(5)));
+    }
+
+    #[test]
+    fn client_and_server_queries() {
+        let mut t = CapTable::new();
+        let (a, b, c) = (ComponentId(1), ComponentId(2), ComponentId(3));
+        t.grant(a, c);
+        t.grant(b, c);
+        t.grant(a, b);
+        assert_eq!(t.servers_of(a).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(t.clients_of(c).collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_grants_are_idempotent() {
+        let mut t = CapTable::new();
+        t.grant(ComponentId(1), ComponentId(2));
+        t.grant(ComponentId(1), ComponentId(2));
+        assert_eq!(t.len(), 1);
+    }
+}

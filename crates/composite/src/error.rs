@@ -1,0 +1,190 @@
+//! Error types for the simulated kernel.
+
+use std::fmt;
+
+use crate::ids::{ComponentId, ThreadId};
+use crate::value::TypeMismatch;
+
+/// Errors a service implementation returns from
+/// [`Service::call`](crate::component::Service::call).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The invoking thread must block; the service has queued it and the
+    /// kernel will suspend it. The client retries the invocation when the
+    /// thread is woken (condition-variable semantics).
+    WouldBlock,
+    /// Invalid argument — including the post-reboot "descriptor id not
+    /// found" condition that the server-side stub turns into **G0**
+    /// storage-component recovery.
+    InvalidArg,
+    /// The descriptor/resource named by the call does not exist.
+    NotFound,
+    /// The operation is valid but cannot proceed (out of frames, quota…).
+    Unavailable,
+    /// An argument had the wrong dynamic type.
+    Type(TypeMismatch),
+    /// The function name is not part of this component's interface.
+    NoSuchFunction(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::WouldBlock => f.write_str("invoking thread must block"),
+            ServiceError::InvalidArg => f.write_str("invalid argument"),
+            ServiceError::NotFound => f.write_str("no such descriptor or resource"),
+            ServiceError::Unavailable => f.write_str("resource temporarily unavailable"),
+            ServiceError::Type(e) => write!(f, "type error: {e}"),
+            ServiceError::NoSuchFunction(name) => {
+                write!(f, "no function {name:?} in this interface")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<TypeMismatch> for ServiceError {
+    fn from(e: TypeMismatch) -> Self {
+        ServiceError::Type(e)
+    }
+}
+
+/// Errors surfaced to the *client side* of a component invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CallError {
+    /// The target component is in the faulty state (or faulted during the
+    /// call): the inter-component exception that activates stub recovery.
+    Fault {
+        /// The component that failed.
+        component: ComponentId,
+    },
+    /// The invoking thread was suspended; retry after wakeup.
+    WouldBlock,
+    /// The server rejected the call.
+    Service(ServiceError),
+    /// The client holds no capability to invoke the target.
+    NoCapability {
+        /// Who attempted the call.
+        client: ComponentId,
+        /// The target lacking a capability.
+        target: ComponentId,
+    },
+    /// The target component id does not exist.
+    NoSuchComponent(ComponentId),
+    /// The invocation re-entered a component already on this thread's
+    /// invocation stack (the simulation forbids recursive re-entry).
+    Reentrant(ComponentId),
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::Fault { component } => {
+                write!(f, "component {component} is faulty")
+            }
+            CallError::WouldBlock => f.write_str("invocation would block"),
+            CallError::Service(e) => write!(f, "server error: {e}"),
+            CallError::NoCapability { client, target } => {
+                write!(f, "{client} holds no invocation capability for {target}")
+            }
+            CallError::NoSuchComponent(c) => write!(f, "no such component {c}"),
+            CallError::Reentrant(c) => write!(f, "re-entrant invocation of {c}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CallError::Service(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServiceError> for CallError {
+    fn from(e: ServiceError) -> Self {
+        match e {
+            ServiceError::WouldBlock => CallError::WouldBlock,
+            other => CallError::Service(other),
+        }
+    }
+}
+
+/// Errors from kernel administration calls (component/thread management).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// Unknown component id.
+    NoSuchComponent(ComponentId),
+    /// Unknown thread id.
+    NoSuchThread(ThreadId),
+    /// The operation needs the thread to be in a different state.
+    BadThreadState(ThreadId),
+    /// Out of simulated physical frames.
+    OutOfFrames,
+    /// The virtual address is already mapped in that component.
+    AlreadyMapped,
+    /// The virtual address is not mapped in that component.
+    NotMapped,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchComponent(c) => write!(f, "no such component {c}"),
+            KernelError::NoSuchThread(t) => write!(f, "no such thread {t}"),
+            KernelError::BadThreadState(t) => write!(f, "thread {t} is in the wrong state"),
+            KernelError::OutOfFrames => f.write_str("out of physical frames"),
+            KernelError::AlreadyMapped => f.write_str("virtual address already mapped"),
+            KernelError::NotMapped => f.write_str("virtual address not mapped"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_error_displays() {
+        assert_eq!(ServiceError::WouldBlock.to_string(), "invoking thread must block");
+        assert!(ServiceError::NoSuchFunction("f".into()).to_string().contains("\"f\""));
+    }
+
+    #[test]
+    fn call_error_from_service_error() {
+        assert_eq!(CallError::from(ServiceError::WouldBlock), CallError::WouldBlock);
+        assert_eq!(
+            CallError::from(ServiceError::InvalidArg),
+            CallError::Service(ServiceError::InvalidArg)
+        );
+    }
+
+    #[test]
+    fn call_error_source_chain() {
+        use std::error::Error as _;
+        let e = CallError::Service(ServiceError::NotFound);
+        assert!(e.source().is_some());
+        assert!(CallError::WouldBlock.source().is_none());
+    }
+
+    #[test]
+    fn kernel_error_displays() {
+        assert_eq!(KernelError::OutOfFrames.to_string(), "out of physical frames");
+        assert!(KernelError::NoSuchThread(ThreadId(3)).to_string().contains("thd#3"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServiceError>();
+        assert_send_sync::<CallError>();
+        assert_send_sync::<KernelError>();
+    }
+}

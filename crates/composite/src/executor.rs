@@ -1,0 +1,339 @@
+//! Priority-driven workload executor.
+//!
+//! Application threads in the simulation are *workloads*: explicit state
+//! machines whose [`Workload::step`] performs (at most) one blocking
+//! interface call plus local bookkeeping. The executor repeatedly
+//! dispatches the highest-priority runnable thread, exactly like a
+//! fixed-priority scheduler, and advances virtual time across sleep gaps.
+//!
+//! The executor is generic over the context type `Ctx` handed to
+//! workloads, so the same machinery drives raw-kernel tests (with
+//! `Ctx = Kernel`) and the full fault-tolerant runtimes (with `Ctx` being
+//! the C³ or SuperGlue system, which embed a kernel plus stubs and
+//! recovery state).
+
+use std::collections::BTreeMap;
+
+use crate::ids::ThreadId;
+use crate::kernel::KernelAccess;
+use crate::thread::ThreadState;
+
+/// Outcome of one workload step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepResult {
+    /// Made progress; dispatch again when scheduled.
+    Yield,
+    /// The step's interface call blocked the thread; re-run the *same*
+    /// step when the thread is woken (condition-variable retry
+    /// semantics).
+    Blocked,
+    /// The workload finished.
+    Done,
+    /// The workload observed an unrecoverable error.
+    Crashed(String),
+}
+
+/// A client workload: the application logic of one thread.
+pub trait Workload<Ctx> {
+    /// Execute one step on the given thread. Implementations perform at
+    /// most one potentially blocking interface call per step and must be
+    /// safe to re-run when that call returns `WouldBlock`.
+    fn step(&mut self, ctx: &mut Ctx, thread: ThreadId) -> StepResult;
+}
+
+impl<Ctx, F> Workload<Ctx> for F
+where
+    F: FnMut(&mut Ctx, ThreadId) -> StepResult,
+{
+    fn step(&mut self, ctx: &mut Ctx, thread: ThreadId) -> StepResult {
+        self(ctx, thread)
+    }
+}
+
+/// Why [`Executor::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// Every registered workload completed (or crashed).
+    AllDone,
+    /// No thread is runnable or sleeping — the system would wait forever.
+    Deadlock,
+    /// The step budget was exhausted.
+    StepLimit,
+}
+
+/// The executor: owns workloads keyed by thread id and dispatches them
+/// against the kernel's thread table.
+pub struct Executor<Ctx> {
+    workloads: BTreeMap<ThreadId, Box<dyn Workload<Ctx>>>,
+    steps_executed: u64,
+}
+
+impl<Ctx> std::fmt::Debug for Executor<Ctx> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workloads", &self.workloads.keys().collect::<Vec<_>>())
+            .field("steps_executed", &self.steps_executed)
+            .finish()
+    }
+}
+
+impl<Ctx: KernelAccess> Executor<Ctx> {
+    /// An executor with no workloads.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { workloads: BTreeMap::new(), steps_executed: 0 }
+    }
+
+    /// Attach a workload to a thread. Replaces any previous workload for
+    /// that thread.
+    pub fn attach(&mut self, thread: ThreadId, workload: Box<dyn Workload<Ctx>>) {
+        self.workloads.insert(thread, workload);
+    }
+
+    /// Attach a closure workload.
+    pub fn attach_fn<F>(&mut self, thread: ThreadId, f: F)
+    where
+        F: FnMut(&mut Ctx, ThreadId) -> StepResult + 'static,
+    {
+        self.attach(thread, Box::new(f));
+    }
+
+    /// Number of steps dispatched so far.
+    #[must_use]
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
+    /// Whether every attached workload's thread reached a terminal state.
+    #[must_use]
+    pub fn all_done(&self, ctx: &Ctx) -> bool {
+        self.workloads.keys().all(|&t| {
+            ctx.kernel()
+                .thread(t)
+                .map(|th| th.state.is_terminal())
+                .unwrap_or(true)
+        })
+    }
+
+    /// Dispatch at most `max_steps` workload steps.
+    ///
+    /// Threads are picked by (priority, dispatch count, id). When no
+    /// thread is runnable but some sleep, virtual time advances to the
+    /// earliest deadline. Returns why the run stopped.
+    pub fn run(&mut self, ctx: &mut Ctx, max_steps: u64) -> RunExit {
+        for _ in 0..max_steps {
+            if self.all_done(ctx) {
+                return RunExit::AllDone;
+            }
+            let Some(tid) = self.pick(ctx) else {
+                // Nothing runnable: try advancing time to the next sleeper.
+                let Some(deadline) = ctx.kernel().earliest_wakeup() else {
+                    return RunExit::Deadlock;
+                };
+                ctx.kernel_mut().advance_to(deadline);
+                continue;
+            };
+            self.dispatch(ctx, tid);
+        }
+        if self.all_done(ctx) {
+            RunExit::AllDone
+        } else {
+            RunExit::StepLimit
+        }
+    }
+
+    /// Pick the next thread that is runnable *and* has a workload.
+    fn pick(&self, ctx: &Ctx) -> Option<ThreadId> {
+        let k = ctx.kernel();
+        self.workloads
+            .keys()
+            .filter_map(|&t| k.thread(t).ok())
+            .filter(|th| th.state.is_runnable())
+            .min_by_key(|th| (th.priority, th.dispatches, th.id))
+            .map(|th| th.id)
+    }
+
+    /// Run one step of a specific thread (used by tests and by the
+    /// recovery runtime when it must execute a thread eagerly).
+    pub fn dispatch(&mut self, ctx: &mut Ctx, tid: ThreadId) {
+        let Some(mut w) = self.workloads.remove(&tid) else { return };
+        if let Ok(th) = ctx.kernel_mut().thread_mut(tid) {
+            th.dispatches += 1;
+        }
+        let result = w.step(ctx, tid);
+        self.steps_executed += 1;
+        match result {
+            StepResult::Yield | StepResult::Blocked => {}
+            StepResult::Done => {
+                if let Ok(th) = ctx.kernel_mut().thread_mut(tid) {
+                    th.state = ThreadState::Completed;
+                }
+            }
+            StepResult::Crashed(_) => {
+                if let Ok(th) = ctx.kernel_mut().thread_mut(tid) {
+                    th.state = ThreadState::Crashed;
+                }
+            }
+        }
+        self.workloads.insert(tid, w);
+    }
+}
+
+impl<Ctx: KernelAccess> Default for Executor<Ctx> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ComponentId, Priority};
+    use crate::kernel::Kernel;
+    use crate::time::{CostModel, SimTime};
+
+    fn kernel_with_app() -> (Kernel, ComponentId) {
+        let mut k = Kernel::with_costs(CostModel::free());
+        let app = k.add_client_component("app");
+        (k, app)
+    }
+
+    #[test]
+    fn runs_workloads_to_completion() {
+        let (mut k, app) = kernel_with_app();
+        let t = k.create_thread(app, Priority(5));
+        let mut ex: Executor<Kernel> = Executor::new();
+        let mut remaining = 3;
+        ex.attach_fn(t, move |_, _| {
+            remaining -= 1;
+            if remaining == 0 {
+                StepResult::Done
+            } else {
+                StepResult::Yield
+            }
+        });
+        assert_eq!(ex.run(&mut k, 100), RunExit::AllDone);
+        assert_eq!(ex.steps_executed(), 3);
+        assert!(k.thread(t).unwrap().state.is_terminal());
+    }
+
+    #[test]
+    fn priority_order_is_respected() {
+        let (mut k, app) = kernel_with_app();
+        let hi = k.create_thread(app, Priority(1));
+        let lo = k.create_thread(app, Priority(9));
+        let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut ex: Executor<Kernel> = Executor::new();
+        for &t in &[hi, lo] {
+            let order = order.clone();
+            ex.attach_fn(t, move |_, tid| {
+                order.borrow_mut().push(tid);
+                StepResult::Done
+            });
+        }
+        ex.run(&mut k, 10);
+        assert_eq!(*order.borrow(), vec![hi, lo]);
+    }
+
+    #[test]
+    fn blocked_threads_are_skipped_until_woken() {
+        let (mut k, app) = kernel_with_app();
+        let t = k.create_thread(app, Priority(5));
+        let waker = k.create_thread(app, Priority(6));
+        let mut ex: Executor<Kernel> = Executor::new();
+        // t blocks itself on first dispatch, completes on second.
+        let mut first = true;
+        ex.attach_fn(t, move |k: &mut Kernel, tid| {
+            if first {
+                first = false;
+                k.block_thread(tid, ComponentId(1));
+                StepResult::Blocked
+            } else {
+                StepResult::Done
+            }
+        });
+        ex.attach_fn(waker, move |k: &mut Kernel, _| {
+            // Wake t (it blocked at higher priority, so we only run after
+            // it blocked).
+            let _ = k.wake_thread(ThreadId(1));
+            StepResult::Done
+        });
+        assert_eq!(ex.run(&mut k, 100), RunExit::AllDone);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let (mut k, app) = kernel_with_app();
+        let t = k.create_thread(app, Priority(5));
+        let mut ex: Executor<Kernel> = Executor::new();
+        ex.attach_fn(t, |k: &mut Kernel, tid| {
+            k.block_thread(tid, ComponentId(0));
+            StepResult::Blocked
+        });
+        assert_eq!(ex.run(&mut k, 100), RunExit::Deadlock);
+    }
+
+    #[test]
+    fn sleepers_advance_virtual_time() {
+        let (mut k, app) = kernel_with_app();
+        let t = k.create_thread(app, Priority(5));
+        let mut ex: Executor<Kernel> = Executor::new();
+        let mut slept = false;
+        ex.attach_fn(t, move |k: &mut Kernel, tid| {
+            if !slept {
+                slept = true;
+                let deadline = k.now() + SimTime(5_000);
+                k.sleep_thread(tid, deadline);
+                StepResult::Blocked
+            } else {
+                StepResult::Done
+            }
+        });
+        assert_eq!(ex.run(&mut k, 100), RunExit::AllDone);
+        assert_eq!(k.now(), SimTime(5_000));
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let (mut k, app) = kernel_with_app();
+        let t = k.create_thread(app, Priority(5));
+        let mut ex: Executor<Kernel> = Executor::new();
+        ex.attach_fn(t, |_, _| StepResult::Yield);
+        assert_eq!(ex.run(&mut k, 10), RunExit::StepLimit);
+        assert_eq!(ex.steps_executed(), 10);
+    }
+
+    #[test]
+    fn crashed_workload_marks_thread_crashed() {
+        let (mut k, app) = kernel_with_app();
+        let t = k.create_thread(app, Priority(5));
+        let mut ex: Executor<Kernel> = Executor::new();
+        ex.attach_fn(t, |_, _| StepResult::Crashed("boom".into()));
+        assert_eq!(ex.run(&mut k, 10), RunExit::AllDone);
+        assert_eq!(k.thread(t).unwrap().state, ThreadState::Crashed);
+    }
+
+    #[test]
+    fn round_robin_between_equal_priorities() {
+        let (mut k, app) = kernel_with_app();
+        let a = k.create_thread(app, Priority(5));
+        let b = k.create_thread(app, Priority(5));
+        let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut ex: Executor<Kernel> = Executor::new();
+        for &t in &[a, b] {
+            let order = order.clone();
+            let mut n = 0;
+            ex.attach_fn(t, move |_, tid| {
+                order.borrow_mut().push(tid);
+                n += 1;
+                if n == 2 {
+                    StepResult::Done
+                } else {
+                    StepResult::Yield
+                }
+            });
+        }
+        ex.run(&mut k, 100);
+        assert_eq!(*order.borrow(), vec![a, b, a, b]);
+    }
+}

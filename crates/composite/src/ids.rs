@@ -1,0 +1,104 @@
+//! Newtype identifiers used throughout the simulated kernel.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a component (protection domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ComponentId(pub u32);
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "comp#{}", self.0)
+    }
+}
+
+/// Identifier of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thd#{}", self.0)
+    }
+}
+
+/// Identifier of a physical frame in the simulated memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FrameId(pub u32);
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame#{}", self.0)
+    }
+}
+
+/// Component epoch: incremented on every micro-reboot so client stubs can
+/// detect that the server lost its state since their last invocation
+/// (the `CSTUB_FAULT_UPDATE` check of Fig 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Epoch(pub u32);
+
+impl Epoch {
+    /// The next epoch.
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch#{}", self.0)
+    }
+}
+
+/// Thread priority. **Lower numeric value = higher priority** (COMPOSITE
+/// and fixed-priority RT convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// The highest possible priority.
+    pub const HIGHEST: Priority = Priority(0);
+    /// The lowest possible priority.
+    pub const LOWEST: Priority = Priority(u8::MAX);
+
+    /// True when `self` is more urgent than `other`.
+    #[must_use]
+    pub fn is_higher_than(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(ComponentId(1).to_string(), "comp#1");
+        assert_eq!(ThreadId(2).to_string(), "thd#2");
+        assert_eq!(FrameId(3).to_string(), "frame#3");
+        assert_eq!(Epoch(4).to_string(), "epoch#4");
+        assert_eq!(Priority(5).to_string(), "prio5");
+    }
+
+    #[test]
+    fn epoch_next_increments() {
+        assert_eq!(Epoch::default().next(), Epoch(1));
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::HIGHEST.is_higher_than(Priority::LOWEST));
+        assert!(Priority(1).is_higher_than(Priority(2)));
+        assert!(!Priority(2).is_higher_than(Priority(2)));
+    }
+}

@@ -1,0 +1,833 @@
+//! The simulated COMPOSITE kernel: component table, thread table,
+//! capability-mediated synchronous invocations, simulated page tables,
+//! virtual time, faults and micro-reboots.
+
+use crate::capability::CapTable;
+use crate::component::{Service, ServiceCtx};
+use crate::error::{CallError, KernelError, ServiceError};
+use crate::ids::{ComponentId, Epoch, Priority, ThreadId};
+use crate::pages::PageTables;
+use crate::stats::KernelStats;
+use crate::thread::{Thread, ThreadState};
+use crate::time::{CostModel, SimTime};
+use crate::value::Value;
+
+/// Lifecycle state of a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentState {
+    /// Serving invocations normally.
+    Active,
+    /// Crashed by a (detected, fail-stop) fault; every invocation returns
+    /// [`CallError::Fault`] until micro-rebooted.
+    Faulty,
+}
+
+#[derive(Debug)]
+struct ComponentSlot {
+    name: String,
+    state: ComponentState,
+    epoch: Epoch,
+    /// `None` for pure client components (application protection domains
+    /// that export no interface), or while the service is checked out
+    /// during one of its own calls.
+    service: Option<Box<dyn Service>>,
+    /// Whether a service was ever installed (distinguishes "checked out"
+    /// from "client component").
+    has_service: bool,
+}
+
+/// The simulated kernel. See the [crate docs](crate) for the big picture.
+#[derive(Debug)]
+pub struct Kernel {
+    components: Vec<ComponentSlot>,
+    threads: Vec<Thread>,
+    caps: CapTable,
+    pages: PageTables,
+    time: SimTime,
+    costs: CostModel,
+    stats: KernelStats,
+}
+
+/// The booter component created by [`Kernel::new`]; it owns micro-reboot
+/// authority, mirroring the paper's step (2)-(3) where the hardware
+/// exception handler vectors to the booter.
+pub const BOOTER: ComponentId = ComponentId(0);
+
+/// The boot thread created by [`Kernel::new`], used for post-reboot
+/// initialization upcalls.
+pub const BOOT_THREAD: ThreadId = ThreadId(0);
+
+impl Kernel {
+    /// A fresh kernel with the paper-calibrated [`CostModel`], containing
+    /// only the booter component and the boot thread.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_costs(CostModel::paper_defaults())
+    }
+
+    /// A fresh kernel with an explicit cost model.
+    #[must_use]
+    pub fn with_costs(costs: CostModel) -> Self {
+        let mut k = Self {
+            components: Vec::new(),
+            threads: Vec::new(),
+            caps: CapTable::new(),
+            pages: PageTables::new(),
+            time: SimTime::ZERO,
+            costs,
+            stats: KernelStats::new(),
+        };
+        let booter = k.add_client_component("booter");
+        debug_assert_eq!(booter, BOOTER);
+        let boot_thread = k.create_thread(BOOTER, Priority::HIGHEST);
+        debug_assert_eq!(boot_thread, BOOT_THREAD);
+        k
+    }
+
+    // ------------------------------------------------------------------
+    // Component management
+    // ------------------------------------------------------------------
+
+    /// Register a service component. Returns its id.
+    pub fn add_component(&mut self, name: &str, service: Box<dyn Service>) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(ComponentSlot {
+            name: name.to_owned(),
+            state: ComponentState::Active,
+            epoch: Epoch::default(),
+            service: Some(service),
+            has_service: true,
+        });
+        id
+    }
+
+    /// Register a pure client component (an application protection domain
+    /// exporting no interface).
+    pub fn add_client_component(&mut self, name: &str) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(ComponentSlot {
+            name: name.to_owned(),
+            state: ComponentState::Active,
+            epoch: Epoch::default(),
+            service: None,
+            has_service: false,
+        });
+        id
+    }
+
+    /// Grant `client` the capability to invoke `server`.
+    pub fn grant(&mut self, client: ComponentId, server: ComponentId) {
+        self.caps.grant(client, server);
+    }
+
+    /// The capability table (read-only).
+    #[must_use]
+    pub fn caps(&self) -> &CapTable {
+        &self.caps
+    }
+
+    /// A component's name.
+    #[must_use]
+    pub fn component_name(&self, c: ComponentId) -> Option<&str> {
+        self.components.get(c.0 as usize).map(|s| s.name.as_str())
+    }
+
+    /// The interface exported by a component, if it is a service.
+    #[must_use]
+    pub fn interface_of(&self, c: ComponentId) -> Option<&'static str> {
+        self.components
+            .get(c.0 as usize)
+            .and_then(|s| s.service.as_deref())
+            .map(Service::interface)
+    }
+
+    /// Number of components (including the booter).
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// All component ids, in creation order.
+    pub fn component_ids(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        (0..self.components.len() as u32).map(ComponentId)
+    }
+
+    /// Whether a component is currently faulty.
+    #[must_use]
+    pub fn is_faulty(&self, c: ComponentId) -> bool {
+        self.components
+            .get(c.0 as usize)
+            .is_some_and(|s| s.state == ComponentState::Faulty)
+    }
+
+    /// The micro-reboot epoch of a component.
+    #[must_use]
+    pub fn epoch_of(&self, c: ComponentId) -> Option<Epoch> {
+        self.components.get(c.0 as usize).map(|s| s.epoch)
+    }
+
+    // ------------------------------------------------------------------
+    // Threads
+    // ------------------------------------------------------------------
+
+    /// Create a runnable thread homed in `home` with the given fixed
+    /// priority.
+    pub fn create_thread(&mut self, home: ComponentId, priority: Priority) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u32);
+        self.threads.push(Thread::new(id, home, priority));
+        id
+    }
+
+    /// Immutable thread access.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchThread`] for unknown ids.
+    pub fn thread(&self, t: ThreadId) -> Result<&Thread, KernelError> {
+        self.threads.get(t.0 as usize).ok_or(KernelError::NoSuchThread(t))
+    }
+
+    /// Mutable thread access.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchThread`] for unknown ids.
+    pub fn thread_mut(&mut self, t: ThreadId) -> Result<&mut Thread, KernelError> {
+        self.threads.get_mut(t.0 as usize).ok_or(KernelError::NoSuchThread(t))
+    }
+
+    /// Number of threads.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// All thread ids.
+    pub fn thread_ids(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        (0..self.threads.len() as u32).map(ThreadId)
+    }
+
+    /// Mark a thread blocked inside `component` (called via
+    /// [`ServiceCtx::block_current`]).
+    pub(crate) fn block_thread(&mut self, t: ThreadId, component: ComponentId) {
+        if let Some(th) = self.threads.get_mut(t.0 as usize) {
+            th.state = ThreadState::Blocked { in_component: component };
+            self.stats.blocks += 1;
+        }
+    }
+
+    /// Put a thread to sleep until `deadline`.
+    pub(crate) fn sleep_thread(&mut self, t: ThreadId, deadline: SimTime) {
+        if let Some(th) = self.threads.get_mut(t.0 as usize) {
+            th.state = ThreadState::SleepingUntil(deadline);
+            self.stats.blocks += 1;
+        }
+    }
+
+    /// Wake a blocked or sleeping thread. Waking a runnable thread is a
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchThread`] for unknown ids,
+    /// [`KernelError::BadThreadState`] for completed/crashed threads.
+    pub fn wake_thread(&mut self, t: ThreadId) -> Result<(), KernelError> {
+        let th = self.threads.get_mut(t.0 as usize).ok_or(KernelError::NoSuchThread(t))?;
+        match th.state {
+            ThreadState::Blocked { .. } | ThreadState::SleepingUntil(_) => {
+                th.state = ThreadState::Runnable;
+                self.stats.wakeups += 1;
+                Ok(())
+            }
+            ThreadState::Runnable => Ok(()),
+            ThreadState::Completed | ThreadState::Crashed => Err(KernelError::BadThreadState(t)),
+        }
+    }
+
+    /// Threads currently blocked inside `component` (kernel reflection
+    /// used by T0 eager wakeup and scheduler recovery).
+    #[must_use]
+    pub fn threads_blocked_in(&self, component: ComponentId) -> Vec<ThreadId> {
+        self.threads
+            .iter()
+            .filter(|t| t.state == ThreadState::Blocked { in_component: component })
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// The runnable thread to dispatch next: highest priority, ties
+    /// broken by fewest dispatches then lowest id (round-robin-ish and
+    /// fully deterministic).
+    #[must_use]
+    pub fn next_runnable(&self) -> Option<ThreadId> {
+        self.threads
+            .iter()
+            .filter(|t| t.state.is_runnable())
+            .min_by_key(|t| (t.priority, t.dispatches, t.id))
+            .map(|t| t.id)
+    }
+
+    /// The earliest pending sleep deadline, if any thread is sleeping.
+    #[must_use]
+    pub fn earliest_wakeup(&self) -> Option<SimTime> {
+        self.threads
+            .iter()
+            .filter_map(|t| match t.state {
+                ThreadState::SleepingUntil(d) => Some(d),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Advance virtual time to `t` (never backwards) and wake every
+    /// sleeper whose deadline has passed.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.time {
+            self.time = t;
+        }
+        let now = self.time;
+        for th in &mut self.threads {
+            if let ThreadState::SleepingUntil(d) = th.state {
+                if d <= now {
+                    th.state = ThreadState::Runnable;
+                    self.stats.wakeups += 1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Time, costs, stats, pages
+    // ------------------------------------------------------------------
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Charge an explicit virtual-time cost (used by the recovery
+    /// runtime for walks, storage round trips, upcalls).
+    pub fn charge(&mut self, cost: SimTime) {
+        self.time += cost;
+    }
+
+    /// The cost model.
+    #[must_use]
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Replace the cost model.
+    pub fn set_costs(&mut self, costs: CostModel) {
+        self.costs = costs;
+    }
+
+    /// Event counters.
+    #[must_use]
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Count an upcall dispatch (the recovery runtime calls this when it
+    /// performs **U0**).
+    pub fn count_upcall(&mut self) {
+        self.stats.upcalls += 1;
+        self.time += self.costs.upcall;
+    }
+
+    /// Simulated page tables (read-only reflection).
+    #[must_use]
+    pub fn pages(&self) -> &PageTables {
+        &self.pages
+    }
+
+    /// Simulated page tables (mutation — memory-manager privilege).
+    pub fn pages_mut(&mut self) -> &mut PageTables {
+        &mut self.pages
+    }
+
+    // ------------------------------------------------------------------
+    // Invocation path
+    // ------------------------------------------------------------------
+
+    /// Synchronous, thread-migrating component invocation.
+    ///
+    /// Checks the capability, rejects faulty targets, migrates the thread
+    /// into the server, runs [`Service::call`], and migrates back.
+    ///
+    /// # Errors
+    ///
+    /// * [`CallError::NoSuchComponent`] / [`CallError::NoCapability`] for
+    ///   bad targets;
+    /// * [`CallError::Fault`] when the target is faulty — the
+    ///   inter-component exception that triggers stub recovery;
+    /// * [`CallError::WouldBlock`] when the service blocked the thread;
+    /// * [`CallError::Reentrant`] when the thread already executes in the
+    ///   target;
+    /// * [`CallError::Service`] for server-level errors.
+    pub fn invoke(
+        &mut self,
+        client: ComponentId,
+        thread: ThreadId,
+        target: ComponentId,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        if target.0 as usize >= self.components.len() {
+            return Err(CallError::NoSuchComponent(target));
+        }
+        if !self.caps.allows(client, target) {
+            return Err(CallError::NoCapability { client, target });
+        }
+        if self.components[target.0 as usize].state == ComponentState::Faulty {
+            self.stats.count_faulted_invocation(target);
+            return Err(CallError::Fault { component: target });
+        }
+        // Thread migration: push the server onto the invocation stack.
+        {
+            let th = self
+                .threads
+                .get_mut(thread.0 as usize)
+                .ok_or(CallError::NoSuchComponent(target))?;
+            if th.invocation_stack.contains(&target) {
+                return Err(CallError::Reentrant(target));
+            }
+            th.invocation_stack.push(target);
+        }
+        self.time += self.costs.invocation;
+
+        // Check the service out so it can re-enter the kernel.
+        let mut service = match self.components[target.0 as usize].service.take() {
+            Some(s) => s,
+            None => {
+                self.pop_stack(thread, target);
+                return Err(CallError::NoSuchComponent(target));
+            }
+        };
+        let mut ctx = ServiceCtx { kernel: self, this: target, client, thread };
+        let result = service.call(&mut ctx, fname, args);
+        self.components[target.0 as usize].service = Some(service);
+        self.pop_stack(thread, target);
+
+        match result {
+            Ok(v) => {
+                self.stats.count_invocation(target);
+                // The server may itself have faulted mid-call (injected
+                // while executing): surface that instead of the value.
+                if self.components[target.0 as usize].state == ComponentState::Faulty {
+                    return Err(CallError::Fault { component: target });
+                }
+                Ok(v)
+            }
+            Err(ServiceError::WouldBlock) => Err(CallError::WouldBlock),
+            Err(e) => Err(CallError::Service(e)),
+        }
+    }
+
+    fn pop_stack(&mut self, thread: ThreadId, target: ComponentId) {
+        if let Some(th) = self.threads.get_mut(thread.0 as usize) {
+            if th.invocation_stack.last() == Some(&target) {
+                th.invocation_stack.pop();
+            }
+        }
+    }
+
+    /// Upcall into a component (bypasses the capability check — upcalls
+    /// are kernel/booter-initiated, step (4)/(8) of §III-D).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Kernel::invoke`], minus the capability check.
+    pub fn upcall(
+        &mut self,
+        target: ComponentId,
+        thread: ThreadId,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        self.caps.grant(BOOTER, target);
+        let r = self.invoke(BOOTER, thread, target, fname, args);
+        self.stats.upcalls += 1;
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Faults and micro-reboot
+    // ------------------------------------------------------------------
+
+    /// Crash a component (fail-stop). Every thread blocked inside it is
+    /// made runnable so its retried invocation observes the fault and
+    /// enters recovery.
+    pub fn fault(&mut self, c: ComponentId) {
+        let Some(slot) = self.components.get_mut(c.0 as usize) else { return };
+        slot.state = ComponentState::Faulty;
+        self.stats.count_fault(c);
+        for th in &mut self.threads {
+            if th.state == (ThreadState::Blocked { in_component: c }) {
+                th.state = ThreadState::Runnable;
+                self.stats.wakeups += 1;
+            }
+        }
+    }
+
+    /// Booter micro-reboot (steps (3)–(4) of §III-D): `memcpy` a pristine
+    /// image ([`Service::reset`]), bump the epoch, reactivate, and make
+    /// the post-reboot initialization upcall.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchComponent`] when `c` does not name a service
+    /// component.
+    pub fn micro_reboot(&mut self, c: ComponentId) -> Result<(), KernelError> {
+        let slot = self
+            .components
+            .get_mut(c.0 as usize)
+            .ok_or(KernelError::NoSuchComponent(c))?;
+        if !slot.has_service {
+            return Err(KernelError::NoSuchComponent(c));
+        }
+        let mut service = slot.service.take().ok_or(KernelError::NoSuchComponent(c))?;
+        service.reset();
+        slot.epoch = slot.epoch.next();
+        slot.state = ComponentState::Active;
+        self.time += self.costs.micro_reboot;
+        self.stats.count_reboot(c);
+        let mut ctx = ServiceCtx { kernel: self, this: c, client: BOOTER, thread: BOOT_THREAD };
+        service.post_reboot(&mut ctx);
+        self.components[c.0 as usize].service = Some(service);
+        Ok(())
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Access to the kernel embedded in a larger runtime context — what the
+/// [`Executor`](crate::executor::Executor) requires of its context type.
+pub trait KernelAccess {
+    /// Shared access.
+    fn kernel(&self) -> &Kernel;
+    /// Exclusive access.
+    fn kernel_mut(&mut self) -> &mut Kernel;
+}
+
+impl KernelAccess for Kernel {
+    fn kernel(&self) -> &Kernel {
+        self
+    }
+    fn kernel_mut(&mut self) -> &mut Kernel {
+        self
+    }
+}
+
+/// How client code reaches a server interface. Implemented by the bare
+/// [`Kernel`] (no fault tolerance: a fault surfaces as
+/// [`CallError::Fault`]) and by the C³/SuperGlue runtimes (which
+/// interpose stubs that track descriptors and drive recovery). Workloads
+/// written against this trait run unchanged under all three systems —
+/// exactly the comparison the paper's evaluation needs.
+pub trait InterfaceCall {
+    /// Perform one interface invocation on behalf of `client`/`thread`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Kernel::invoke`]; fault-tolerant implementations swallow
+    /// recoverable [`CallError::Fault`]s.
+    fn interface_call(
+        &mut self,
+        client: ComponentId,
+        thread: ThreadId,
+        server: ComponentId,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError>;
+}
+
+impl InterfaceCall for Kernel {
+    fn interface_call(
+        &mut self,
+        client: ComponentId,
+        thread: ThreadId,
+        server: ComponentId,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        self.invoke(client, thread, server, fname, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal service for kernel tests.
+    #[derive(Debug, Default)]
+    struct Counter {
+        count: i64,
+        post_reboots: u32,
+    }
+
+    impl Service for Counter {
+        fn interface(&self) -> &'static str {
+            "counter"
+        }
+        fn call(
+            &mut self,
+            ctx: &mut ServiceCtx<'_>,
+            fname: &str,
+            args: &[Value],
+        ) -> Result<Value, ServiceError> {
+            match fname {
+                "add" => {
+                    self.count += args[0].int()?;
+                    Ok(Value::Int(self.count))
+                }
+                "get" => Ok(Value::Int(self.count)),
+                "block" => Err(ctx.block_current()),
+                "sleep" => {
+                    let d = ctx.now() + SimTime(args[0].int()? as u64);
+                    Err(ctx.sleep_current_until(d))
+                }
+                "wake" => {
+                    ctx.wake(ThreadId(args[0].int()? as u32)).map_err(|_| ServiceError::InvalidArg)?;
+                    Ok(Value::Unit)
+                }
+                other => Err(ServiceError::NoSuchFunction(other.to_owned())),
+            }
+        }
+        fn reset(&mut self) {
+            self.count = 0;
+        }
+        fn post_reboot(&mut self, _ctx: &mut ServiceCtx<'_>) {
+            self.post_reboots += 1;
+        }
+    }
+
+    fn setup() -> (Kernel, ComponentId, ComponentId, ThreadId) {
+        let mut k = Kernel::with_costs(CostModel::free());
+        let client = k.add_client_component("app");
+        let svc = k.add_component("counter", Box::new(Counter::default()));
+        k.grant(client, svc);
+        let t = k.create_thread(client, Priority(10));
+        (k, client, svc, t)
+    }
+
+    #[test]
+    fn invoke_happy_path() {
+        let (mut k, client, svc, t) = setup();
+        assert_eq!(k.invoke(client, t, svc, "add", &[Value::Int(5)]).unwrap(), Value::Int(5));
+        assert_eq!(k.invoke(client, t, svc, "get", &[]).unwrap(), Value::Int(5));
+        assert_eq!(k.stats().total_invocations(), 2);
+    }
+
+    #[test]
+    fn invoke_without_capability_rejected() {
+        let (mut k, _client, svc, t) = setup();
+        let stranger = k.add_client_component("stranger");
+        let err = k.invoke(stranger, t, svc, "get", &[]).unwrap_err();
+        assert!(matches!(err, CallError::NoCapability { .. }));
+    }
+
+    #[test]
+    fn invoke_unknown_component_rejected() {
+        let (mut k, client, _svc, t) = setup();
+        let err = k.invoke(client, t, ComponentId(99), "get", &[]).unwrap_err();
+        assert!(matches!(err, CallError::NoSuchComponent(_)));
+    }
+
+    #[test]
+    fn invoke_client_component_rejected() {
+        let (mut k, client, _svc, t) = setup();
+        let other = k.add_client_component("other");
+        k.grant(client, other);
+        let err = k.invoke(client, t, other, "get", &[]).unwrap_err();
+        assert!(matches!(err, CallError::NoSuchComponent(_)));
+    }
+
+    #[test]
+    fn faulty_component_raises_fault_on_invoke() {
+        let (mut k, client, svc, t) = setup();
+        k.fault(svc);
+        assert!(k.is_faulty(svc));
+        let err = k.invoke(client, t, svc, "get", &[]).unwrap_err();
+        assert_eq!(err, CallError::Fault { component: svc });
+        assert_eq!(k.stats().faulted_invocations[&svc], 1);
+    }
+
+    #[test]
+    fn micro_reboot_resets_state_and_bumps_epoch() {
+        let (mut k, client, svc, t) = setup();
+        k.invoke(client, t, svc, "add", &[Value::Int(7)]).unwrap();
+        k.fault(svc);
+        let e0 = k.epoch_of(svc).unwrap();
+        k.micro_reboot(svc).unwrap();
+        assert!(!k.is_faulty(svc));
+        assert_eq!(k.epoch_of(svc).unwrap(), e0.next());
+        // State was wiped by reset().
+        assert_eq!(k.invoke(client, t, svc, "get", &[]).unwrap(), Value::Int(0));
+        assert_eq!(k.stats().total_reboots(), 1);
+    }
+
+    #[test]
+    fn micro_reboot_of_client_component_rejected() {
+        let (mut k, client, _svc, _t) = setup();
+        assert!(k.micro_reboot(client).is_err());
+    }
+
+    #[test]
+    fn blocking_and_waking() {
+        let (mut k, client, svc, t) = setup();
+        let err = k.invoke(client, t, svc, "block", &[]).unwrap_err();
+        assert_eq!(err, CallError::WouldBlock);
+        assert_eq!(k.thread(t).unwrap().state, ThreadState::Blocked { in_component: svc });
+        assert_eq!(k.threads_blocked_in(svc), vec![t]);
+
+        let t2 = k.create_thread(client, Priority(10));
+        k.invoke(client, t2, svc, "wake", &[Value::Int(i64::from(t.0))]).unwrap();
+        assert!(k.thread(t).unwrap().state.is_runnable());
+    }
+
+    #[test]
+    fn fault_wakes_blocked_threads() {
+        let (mut k, client, svc, t) = setup();
+        let _ = k.invoke(client, t, svc, "block", &[]);
+        k.fault(svc);
+        assert!(k.thread(t).unwrap().state.is_runnable());
+        // Retried invocation observes the fault.
+        assert!(matches!(k.invoke(client, t, svc, "block", &[]), Err(CallError::Fault { .. })));
+    }
+
+    #[test]
+    fn sleeping_and_time_advance() {
+        let (mut k, client, svc, t) = setup();
+        let err = k.invoke(client, t, svc, "sleep", &[Value::Int(1000)]).unwrap_err();
+        assert_eq!(err, CallError::WouldBlock);
+        assert_eq!(k.earliest_wakeup(), Some(SimTime(1000)));
+        k.advance_to(SimTime(999));
+        assert!(!k.thread(t).unwrap().state.is_runnable());
+        k.advance_to(SimTime(1000));
+        assert!(k.thread(t).unwrap().state.is_runnable());
+        assert_eq!(k.earliest_wakeup(), None);
+    }
+
+    #[test]
+    fn advance_never_goes_backwards() {
+        let mut k = Kernel::with_costs(CostModel::free());
+        k.advance_to(SimTime(500));
+        k.advance_to(SimTime(100));
+        assert_eq!(k.now(), SimTime(500));
+    }
+
+    #[test]
+    fn next_runnable_respects_priority_and_round_robin() {
+        let mut k = Kernel::with_costs(CostModel::free());
+        let c = k.add_client_component("app");
+        let hi = k.create_thread(c, Priority(1));
+        let lo = k.create_thread(c, Priority(5));
+        // Boot thread is priority 0 — park it.
+        k.thread_mut(BOOT_THREAD).unwrap().state = ThreadState::Completed;
+        assert_eq!(k.next_runnable(), Some(hi));
+        k.thread_mut(hi).unwrap().dispatches += 1;
+        // Same priority class unchanged: hi still beats lo on priority.
+        assert_eq!(k.next_runnable(), Some(hi));
+        k.thread_mut(hi).unwrap().state = ThreadState::Completed;
+        assert_eq!(k.next_runnable(), Some(lo));
+    }
+
+    #[test]
+    fn invocation_cost_advances_time() {
+        let mut k = Kernel::with_costs(CostModel::paper_defaults());
+        let client = k.add_client_component("app");
+        let svc = k.add_component("counter", Box::new(Counter::default()));
+        k.grant(client, svc);
+        let t = k.create_thread(client, Priority(3));
+        let before = k.now();
+        k.invoke(client, t, svc, "get", &[]).unwrap();
+        assert_eq!(k.now(), before + CostModel::paper_defaults().invocation);
+    }
+
+    #[test]
+    fn upcall_bypasses_capabilities_and_counts() {
+        let (mut k, _client, svc, _t) = setup();
+        let r = k.upcall(svc, BOOT_THREAD, "get", &[]).unwrap();
+        assert_eq!(r, Value::Int(0));
+        assert_eq!(k.stats().upcalls, 1);
+    }
+
+    #[test]
+    fn post_reboot_hook_runs() {
+        let (mut k, client, svc, t) = setup();
+        k.fault(svc);
+        k.micro_reboot(svc).unwrap();
+        // post_reboots survives reset() because reset only clears count.
+        // Verify indirectly: counter still works.
+        assert_eq!(k.invoke(client, t, svc, "get", &[]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn reentrant_invocation_rejected() {
+        // A service that calls back into itself.
+        #[derive(Debug)]
+        struct Reenter {
+            me: ComponentId,
+        }
+        impl Service for Reenter {
+            fn interface(&self) -> &'static str {
+                "reenter"
+            }
+            fn call(
+                &mut self,
+                ctx: &mut ServiceCtx<'_>,
+                _fname: &str,
+                _args: &[Value],
+            ) -> Result<Value, ServiceError> {
+                match ctx.invoke(self.me, "again", &[]) {
+                    Err(CallError::Reentrant(_)) => Ok(Value::Int(1)),
+                    _ => Ok(Value::Int(0)),
+                }
+            }
+            fn reset(&mut self) {}
+        }
+        let mut k = Kernel::with_costs(CostModel::free());
+        let client = k.add_client_component("app");
+        let svc = k.add_component("reenter", Box::new(Reenter { me: ComponentId(2) }));
+        k.grant(client, svc);
+        let t = k.create_thread(client, Priority(3));
+        assert_eq!(k.invoke(client, t, svc, "go", &[]).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn mid_call_fault_surfaces_as_fault() {
+        // A service that faults itself during the call (the SWIFI case).
+        #[derive(Debug)]
+        struct SelfFault {
+            me: ComponentId,
+        }
+        impl Service for SelfFault {
+            fn interface(&self) -> &'static str {
+                "selffault"
+            }
+            fn call(
+                &mut self,
+                ctx: &mut ServiceCtx<'_>,
+                _fname: &str,
+                _args: &[Value],
+            ) -> Result<Value, ServiceError> {
+                ctx.kernel.fault(self.me);
+                Ok(Value::Int(7))
+            }
+            fn reset(&mut self) {}
+        }
+        let mut k = Kernel::with_costs(CostModel::free());
+        let client = k.add_client_component("app");
+        let svc = k.add_component("selffault", Box::new(SelfFault { me: ComponentId(2) }));
+        k.grant(client, svc);
+        let t = k.create_thread(client, Priority(3));
+        let err = k.invoke(client, t, svc, "go", &[]).unwrap_err();
+        assert_eq!(err, CallError::Fault { component: svc });
+    }
+}

@@ -1,0 +1,56 @@
+//! Deterministic simulation of the COMPOSITE component-based μ-kernel.
+//!
+//! COMPOSITE (§II-B of the SuperGlue paper) is a small kernel plus
+//! user-level components implementing system services (scheduling, memory
+//! management, files, locks, events, timers). Components expose interfaces
+//! of functions; invoking one triggers a *component invocation* — a
+//! synchronous, thread-migrating IPC mediated by capability-based access
+//! control. Hardware page tables isolate component memory, so faults can
+//! propagate only through interface data.
+//!
+//! This crate simulates that substrate deterministically in user space:
+//!
+//! * [`kernel::Kernel`] — components, threads, capabilities, simulated
+//!   page tables, virtual time, and the synchronous invocation path;
+//! * [`component::Service`] — the trait a simulated component implements;
+//!   its private state *is* the "memory image" that a fault corrupts and
+//!   a micro-reboot resets;
+//! * [`thread::RegisterFile`] — each thread carries 8 simulated 32-bit
+//!   registers (EAX…EDI, ESP, EBP) so the SWIFI crate can flip real bits
+//!   with mechanistic consequences;
+//! * [`executor::Executor`] — a priority-driven dispatcher that runs
+//!   client *workloads* (explicit state machines standing in for
+//!   application threads);
+//! * micro-reboot and reflection — the booter's `memcpy` of a fresh image
+//!   is [`kernel::Kernel::micro_reboot`] (a [`component::Service::reset`]
+//!   call plus epoch bump), and kernel reflection APIs let recovering
+//!   services re-discover kernel-held state, as §II-C describes for the
+//!   scheduler.
+//!
+//! Faults never propagate *through* this crate's kernel: as in the paper
+//! (§II-E), the kernel itself is assumed protected; a fault in a
+//! component makes every subsequent invocation of it return
+//! [`error::CallError::Fault`] until the booter micro-reboots it and the
+//! recovery runtime (the `sg-c3` / `superglue` crates) rebuilds its
+//! state.
+
+pub mod capability;
+pub mod component;
+pub mod error;
+pub mod executor;
+pub mod ids;
+pub mod kernel;
+pub mod pages;
+pub mod stats;
+pub mod thread;
+pub mod time;
+pub mod value;
+
+pub use component::{Service, ServiceCtx};
+pub use error::{CallError, KernelError, ServiceError};
+pub use executor::{Executor, RunExit, StepResult, Workload};
+pub use ids::{ComponentId, Epoch, FrameId, Priority, ThreadId};
+pub use kernel::{InterfaceCall, Kernel, KernelAccess, BOOTER, BOOT_THREAD};
+pub use thread::{RegisterFile, ThreadState, NUM_REGISTERS};
+pub use time::{CostModel, SimTime};
+pub use value::Value;

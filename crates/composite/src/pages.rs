@@ -1,0 +1,214 @@
+//! Simulated physical frames and per-component page tables.
+//!
+//! The memory manager *component* owns the mapping-tree policy; the
+//! *kernel* owns the actual page tables. This mirrors COMPOSITE: when the
+//! MM faults and is micro-rebooted its trees are lost, but the kernel
+//! page tables survive, and the recovering MM can *reflect* on them
+//! (§II-D, §II-F) while rebuilding its metadata from client stubs.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::error::KernelError;
+use crate::ids::{ComponentId, FrameId};
+
+/// A virtual page address within a component. Page-granular: the low 12
+/// bits are ignored by convention (callers pass page-aligned values).
+pub type VAddr = u64;
+
+/// Simulated physical memory + per-component page tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageTables {
+    /// Next frame to hand out.
+    next_frame: u32,
+    /// Upper bound on frames (0 = unlimited).
+    frame_limit: u32,
+    /// (component, vaddr) → frame.
+    maps: BTreeMap<(ComponentId, VAddr), FrameId>,
+}
+
+impl PageTables {
+    /// Unlimited-frame page tables.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Page tables with a frame budget, for exhaustion tests.
+    #[must_use]
+    pub fn with_frame_limit(limit: u32) -> Self {
+        Self { frame_limit: limit, ..Self::default() }
+    }
+
+    /// Allocate a fresh physical frame.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::OutOfFrames`] when the budget is exhausted.
+    pub fn alloc_frame(&mut self) -> Result<FrameId, KernelError> {
+        if self.frame_limit != 0 && self.next_frame >= self.frame_limit {
+            return Err(KernelError::OutOfFrames);
+        }
+        let f = FrameId(self.next_frame);
+        self.next_frame += 1;
+        Ok(f)
+    }
+
+    /// Map `vaddr` in `component` to `frame`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::AlreadyMapped`] when the slot is taken.
+    pub fn map(&mut self, component: ComponentId, vaddr: VAddr, frame: FrameId) -> Result<(), KernelError> {
+        match self.maps.entry((component, vaddr)) {
+            std::collections::btree_map::Entry::Occupied(_) => Err(KernelError::AlreadyMapped),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(frame);
+                Ok(())
+            }
+        }
+    }
+
+    /// Map `vaddr` to `frame`, succeeding silently when the identical
+    /// mapping already exists — the idempotent variant recovery replay
+    /// relies on (re-granting a surviving kernel mapping is a no-op).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::AlreadyMapped`] when the slot maps a *different*
+    /// frame.
+    pub fn map_idempotent(
+        &mut self,
+        component: ComponentId,
+        vaddr: VAddr,
+        frame: FrameId,
+    ) -> Result<(), KernelError> {
+        match self.maps.get(&(component, vaddr)) {
+            Some(&existing) if existing == frame => Ok(()),
+            Some(_) => Err(KernelError::AlreadyMapped),
+            None => self.map(component, vaddr, frame),
+        }
+    }
+
+    /// Remove a mapping, returning its frame.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotMapped`] when no mapping exists.
+    pub fn unmap(&mut self, component: ComponentId, vaddr: VAddr) -> Result<FrameId, KernelError> {
+        self.maps.remove(&(component, vaddr)).ok_or(KernelError::NotMapped)
+    }
+
+    /// Current frame behind a mapping.
+    #[must_use]
+    pub fn translate(&self, component: ComponentId, vaddr: VAddr) -> Option<FrameId> {
+        self.maps.get(&(component, vaddr)).copied()
+    }
+
+    /// Kernel reflection: all mappings of one component, in vaddr order.
+    pub fn mappings_of(
+        &self,
+        component: ComponentId,
+    ) -> impl Iterator<Item = (VAddr, FrameId)> + '_ {
+        self.maps
+            .range((component, VAddr::MIN)..=(component, VAddr::MAX))
+            .map(|(&(_, v), &f)| (v, f))
+    }
+
+    /// Kernel reflection: every component mapping a given frame (aliases
+    /// included), in component/vaddr order.
+    pub fn mappers_of(&self, frame: FrameId) -> impl Iterator<Item = (ComponentId, VAddr)> + '_ {
+        self.maps
+            .iter()
+            .filter(move |(_, &f)| f == frame)
+            .map(|(&(c, v), _)| (c, v))
+    }
+
+    /// Total number of live mappings.
+    #[must_use]
+    pub fn mapping_count(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Number of frames handed out so far.
+    #[must_use]
+    pub fn frames_allocated(&self) -> u32 {
+        self.next_frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C1: ComponentId = ComponentId(1);
+    const C2: ComponentId = ComponentId(2);
+
+    #[test]
+    fn alloc_map_translate_unmap() {
+        let mut p = PageTables::new();
+        let f = p.alloc_frame().unwrap();
+        p.map(C1, 0x1000, f).unwrap();
+        assert_eq!(p.translate(C1, 0x1000), Some(f));
+        assert_eq!(p.unmap(C1, 0x1000).unwrap(), f);
+        assert_eq!(p.translate(C1, 0x1000), None);
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut p = PageTables::new();
+        let f = p.alloc_frame().unwrap();
+        p.map(C1, 0x1000, f).unwrap();
+        assert_eq!(p.map(C1, 0x1000, f), Err(KernelError::AlreadyMapped));
+    }
+
+    #[test]
+    fn idempotent_map_allows_same_frame_only() {
+        let mut p = PageTables::new();
+        let f = p.alloc_frame().unwrap();
+        let g = p.alloc_frame().unwrap();
+        p.map_idempotent(C1, 0x1000, f).unwrap();
+        p.map_idempotent(C1, 0x1000, f).unwrap();
+        assert_eq!(p.map_idempotent(C1, 0x1000, g), Err(KernelError::AlreadyMapped));
+    }
+
+    #[test]
+    fn unmap_missing_rejected() {
+        let mut p = PageTables::new();
+        assert_eq!(p.unmap(C1, 0x2000), Err(KernelError::NotMapped));
+    }
+
+    #[test]
+    fn frame_limit_enforced() {
+        let mut p = PageTables::with_frame_limit(2);
+        p.alloc_frame().unwrap();
+        p.alloc_frame().unwrap();
+        assert_eq!(p.alloc_frame(), Err(KernelError::OutOfFrames));
+        assert_eq!(p.frames_allocated(), 2);
+    }
+
+    #[test]
+    fn reflection_by_component_and_frame() {
+        let mut p = PageTables::new();
+        let f = p.alloc_frame().unwrap();
+        p.map(C1, 0x1000, f).unwrap();
+        p.map(C2, 0x8000, f).unwrap(); // alias in another component
+        let g = p.alloc_frame().unwrap();
+        p.map(C1, 0x2000, g).unwrap();
+
+        assert_eq!(p.mappings_of(C1).collect::<Vec<_>>(), vec![(0x1000, f), (0x2000, g)]);
+        assert_eq!(p.mappers_of(f).collect::<Vec<_>>(), vec![(C1, 0x1000), (C2, 0x8000)]);
+        assert_eq!(p.mapping_count(), 3);
+    }
+
+    #[test]
+    fn same_vaddr_different_components_coexist() {
+        let mut p = PageTables::new();
+        let f = p.alloc_frame().unwrap();
+        let g = p.alloc_frame().unwrap();
+        p.map(C1, 0x1000, f).unwrap();
+        p.map(C2, 0x1000, g).unwrap();
+        assert_eq!(p.translate(C1, 0x1000), Some(f));
+        assert_eq!(p.translate(C2, 0x1000), Some(g));
+    }
+}

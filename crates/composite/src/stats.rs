@@ -1,0 +1,96 @@
+//! Kernel event counters, consumed by tests and benchmark harnesses.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::ids::ComponentId;
+
+/// Monotonic counters for kernel-visible events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Successful component invocations, per target component.
+    pub invocations: BTreeMap<ComponentId, u64>,
+    /// Invocations rejected because the target was faulty, per target.
+    pub faulted_invocations: BTreeMap<ComponentId, u64>,
+    /// Fault events raised, per component.
+    pub faults: BTreeMap<ComponentId, u64>,
+    /// Micro-reboots performed, per component.
+    pub reboots: BTreeMap<ComponentId, u64>,
+    /// Threads blocked inside servers (WouldBlock results).
+    pub blocks: u64,
+    /// Thread wakeups.
+    pub wakeups: u64,
+    /// Upcalls dispatched.
+    pub upcalls: u64,
+}
+
+impl KernelStats {
+    /// Fresh, all-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total successful invocations across all components.
+    #[must_use]
+    pub fn total_invocations(&self) -> u64 {
+        self.invocations.values().sum()
+    }
+
+    /// Total faults across all components.
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.faults.values().sum()
+    }
+
+    /// Total micro-reboots across all components.
+    #[must_use]
+    pub fn total_reboots(&self) -> u64 {
+        self.reboots.values().sum()
+    }
+
+    pub(crate) fn count_invocation(&mut self, c: ComponentId) {
+        *self.invocations.entry(c).or_insert(0) += 1;
+    }
+
+    pub(crate) fn count_faulted_invocation(&mut self, c: ComponentId) {
+        *self.faulted_invocations.entry(c).or_insert(0) += 1;
+    }
+
+    pub(crate) fn count_fault(&mut self, c: ComponentId) {
+        *self.faults.entry(c).or_insert(0) += 1;
+    }
+
+    pub(crate) fn count_reboot(&mut self, c: ComponentId) {
+        *self.reboots.entry(c).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = KernelStats::new();
+        let c = ComponentId(3);
+        s.count_invocation(c);
+        s.count_invocation(c);
+        s.count_fault(c);
+        s.count_reboot(c);
+        s.count_faulted_invocation(c);
+        assert_eq!(s.invocations[&c], 2);
+        assert_eq!(s.total_invocations(), 2);
+        assert_eq!(s.total_faults(), 1);
+        assert_eq!(s.total_reboots(), 1);
+        assert_eq!(s.faulted_invocations[&c], 1);
+    }
+
+    #[test]
+    fn totals_span_components() {
+        let mut s = KernelStats::new();
+        s.count_invocation(ComponentId(1));
+        s.count_invocation(ComponentId(2));
+        assert_eq!(s.total_invocations(), 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! Simulated threads: scheduling state, invocation stack, and the
+//! register file targeted by SWIFI fault injection.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::ids::{ComponentId, Priority, ThreadId};
+use crate::time::SimTime;
+
+/// Number of simulated registers per thread: six general-purpose
+/// registers plus `ESP` and `EBP`, mirroring the paper's SWIFI setup
+/// ("eight 32-bit registers (6 general purpose registers and 2 special
+/// registers ESP and EBP)").
+pub const NUM_REGISTERS: usize = 8;
+
+/// Register names, indexable by register number.
+pub const REGISTER_NAMES: [&str; NUM_REGISTERS] =
+    ["EAX", "EBX", "ECX", "EDX", "ESI", "EDI", "ESP", "EBP"];
+
+/// Index of `ESP` in a [`RegisterFile`].
+pub const REG_ESP: usize = 6;
+/// Index of `EBP` in a [`RegisterFile`].
+pub const REG_EBP: usize = 7;
+
+/// A thread's simulated register file.
+///
+/// The SWIFI crate flips bits here; the μ-programs attached to interface
+/// functions read and write these registers so that corruption has
+/// mechanistic consequences (bad addresses, bad values, bad counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterFile {
+    regs: [u32; NUM_REGISTERS],
+    /// Bitmask of registers whose current value came from a fault
+    /// injection and has not been overwritten since. Cleared per-register
+    /// on write; used to decide whether a flipped bit was ever *read*
+    /// (activated) or died silently (undetected fault).
+    tainted: u8,
+}
+
+impl RegisterFile {
+    /// All-zero registers, no taint.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { regs: [0; NUM_REGISTERS], tainted: 0 }
+    }
+
+    /// Read a register, reporting whether its value is tainted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_REGISTERS`.
+    #[must_use]
+    pub fn read(&self, idx: usize) -> (u32, bool) {
+        assert!(idx < NUM_REGISTERS, "register index out of range");
+        (self.regs[idx], self.tainted & (1 << idx) != 0)
+    }
+
+    /// Write a register, clearing its taint (the injected value was
+    /// overwritten before being consumed — an undetected fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_REGISTERS`.
+    pub fn write(&mut self, idx: usize, value: u32) {
+        assert!(idx < NUM_REGISTERS, "register index out of range");
+        self.regs[idx] = value;
+        self.tainted &= !(1 << idx);
+    }
+
+    /// Flip one bit of a register and mark it tainted — the SWIFI
+    /// injection primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_REGISTERS` or `bit >= 32`.
+    pub fn flip_bit(&mut self, idx: usize, bit: u32) {
+        assert!(idx < NUM_REGISTERS, "register index out of range");
+        assert!(bit < 32, "bit index out of range");
+        self.regs[idx] ^= 1 << bit;
+        self.tainted |= 1 << idx;
+    }
+
+    /// Whether any register is currently tainted.
+    #[must_use]
+    pub fn any_tainted(&self) -> bool {
+        self.tainted != 0
+    }
+
+    /// Clear all taint without changing values (e.g. after classifying an
+    /// injection outcome).
+    pub fn clear_taint(&mut self) {
+        self.tainted = 0;
+    }
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for RegisterFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, name) in REGISTER_NAMES.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{name}={:08x}", self.regs[i])?;
+        }
+        Ok(())
+    }
+}
+
+/// Scheduling state of a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// Eligible to run.
+    Runnable,
+    /// Suspended inside the given server component (synchronous blocking
+    /// invocation).
+    Blocked {
+        /// The component the thread blocked in.
+        in_component: ComponentId,
+    },
+    /// Suspended until the given simulated time (timer block).
+    SleepingUntil(SimTime),
+    /// The workload finished.
+    Completed,
+    /// The thread was killed by an unrecoverable fault.
+    Crashed,
+}
+
+impl ThreadState {
+    /// True for [`ThreadState::Runnable`].
+    #[must_use]
+    pub fn is_runnable(&self) -> bool {
+        matches!(self, ThreadState::Runnable)
+    }
+
+    /// True when the thread can never run again.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, ThreadState::Completed | ThreadState::Crashed)
+    }
+}
+
+/// A simulated thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Thread {
+    /// Thread id.
+    pub id: ThreadId,
+    /// Fixed base priority (lower value = higher priority).
+    pub priority: Priority,
+    /// Home component (where the thread's workload logic lives).
+    pub home: ComponentId,
+    /// Scheduling state.
+    pub state: ThreadState,
+    /// Invocation stack: the chain of components the thread has migrated
+    /// through, home first. The last entry is where it currently
+    /// executes.
+    pub invocation_stack: Vec<ComponentId>,
+    /// The simulated registers.
+    pub registers: RegisterFile,
+    /// Monotonically increasing count of scheduler dispatches, for
+    /// round-robin tie-breaking.
+    pub dispatches: u64,
+}
+
+impl Thread {
+    /// Create a runnable thread homed in `home`.
+    #[must_use]
+    pub fn new(id: ThreadId, home: ComponentId, priority: Priority) -> Self {
+        Self {
+            id,
+            priority,
+            home,
+            state: ThreadState::Runnable,
+            invocation_stack: vec![home],
+            registers: RegisterFile::new(),
+            dispatches: 0,
+        }
+    }
+
+    /// The component the thread currently executes in.
+    #[must_use]
+    pub fn current_component(&self) -> ComponentId {
+        *self.invocation_stack.last().expect("stack never empty")
+    }
+
+    /// True when the thread is currently executing inside `c` (anywhere
+    /// on its invocation stack top).
+    #[must_use]
+    pub fn executing_in(&self, c: ComponentId) -> bool {
+        self.current_component() == c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_register_file_is_clean() {
+        let r = RegisterFile::new();
+        assert!(!r.any_tainted());
+        assert_eq!(r.read(0), (0, false));
+    }
+
+    #[test]
+    fn flip_taints_and_write_clears() {
+        let mut r = RegisterFile::new();
+        r.flip_bit(3, 7);
+        assert_eq!(r.read(3), (1 << 7, true));
+        assert!(r.any_tainted());
+        r.write(3, 42);
+        assert_eq!(r.read(3), (42, false));
+        assert!(!r.any_tainted());
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        let mut r = RegisterFile::new();
+        r.write(1, 0xdead_beef);
+        r.flip_bit(1, 0);
+        r.flip_bit(1, 0);
+        assert_eq!(r.read(1).0, 0xdead_beef);
+    }
+
+    #[test]
+    fn clear_taint_preserves_values() {
+        let mut r = RegisterFile::new();
+        r.flip_bit(REG_ESP, 31);
+        let v = r.read(REG_ESP).0;
+        r.clear_taint();
+        assert_eq!(r.read(REG_ESP), (v, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn read_out_of_range_panics() {
+        let _ = RegisterFile::new().read(8);
+    }
+
+    #[test]
+    fn display_names_all_registers() {
+        let s = RegisterFile::new().to_string();
+        for name in REGISTER_NAMES {
+            assert!(s.contains(name));
+        }
+    }
+
+    #[test]
+    fn thread_stack_tracks_current_component() {
+        let mut t = Thread::new(ThreadId(1), ComponentId(10), Priority(5));
+        assert_eq!(t.current_component(), ComponentId(10));
+        t.invocation_stack.push(ComponentId(20));
+        assert_eq!(t.current_component(), ComponentId(20));
+        assert!(t.executing_in(ComponentId(20)));
+        assert!(!t.executing_in(ComponentId(10)));
+    }
+
+    #[test]
+    fn thread_state_predicates() {
+        assert!(ThreadState::Runnable.is_runnable());
+        assert!(!ThreadState::Completed.is_runnable());
+        assert!(ThreadState::Crashed.is_terminal());
+        assert!(ThreadState::Completed.is_terminal());
+        assert!(!ThreadState::Blocked { in_component: ComponentId(1) }.is_terminal());
+    }
+}

@@ -1,0 +1,197 @@
+//! Simulated time and the invocation cost model.
+//!
+//! The web-server macro-benchmark (Fig 7) and the fault-injection
+//! campaign (Table II) need deterministic, laptop-fast runs, so the
+//! kernel keeps a virtual clock in nanoseconds. Every component
+//! invocation advances the clock by a configurable cost; the recovery
+//! runtime adds further costs for micro-reboots and descriptor walks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since boot.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero (boot).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from microseconds.
+    #[must_use]
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    #[must_use]
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Whole nanoseconds.
+    #[must_use]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional microseconds.
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating difference.
+    #[must_use]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.1}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// Virtual-time costs charged by the kernel and recovery runtime.
+///
+/// Defaults approximate the paper's hardware (§II-E: kernel invocation
+/// paths around ½ μs on an i7-2760QM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of one component invocation (kernel mediation + stubs).
+    pub invocation: SimTime,
+    /// Extra per-invocation cost of descriptor-state tracking (the
+    /// infrastructure overhead of Fig 6(a)).
+    pub tracking: SimTime,
+    /// Cost of the booter's `memcpy` micro-reboot of one component.
+    pub micro_reboot: SimTime,
+    /// Cost of replaying one interface function during a recovery walk.
+    pub recovery_step: SimTime,
+    /// Cost of one storage-component round trip (**G0**/**G1**).
+    pub storage_round_trip: SimTime,
+    /// Cost of one upcall into a client component (**U0**).
+    pub upcall: SimTime,
+}
+
+impl CostModel {
+    /// The paper-calibrated defaults.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        Self {
+            invocation: SimTime(700),
+            tracking: SimTime(100),
+            micro_reboot: SimTime(40_000),
+            recovery_step: SimTime(1_500),
+            storage_round_trip: SimTime(2_500),
+            upcall: SimTime(1_200),
+        }
+    }
+
+    /// A zero-cost model for logic-only tests.
+    #[must_use]
+    pub fn free() -> Self {
+        Self {
+            invocation: SimTime::ZERO,
+            tracking: SimTime::ZERO,
+            micro_reboot: SimTime::ZERO,
+            recovery_step: SimTime::ZERO,
+            storage_round_trip: SimTime::ZERO,
+            upcall: SimTime::ZERO,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert!((SimTime::from_secs(1).as_secs_f64() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime(100);
+        let b = SimTime(40);
+        assert_eq!(a + b, SimTime(140));
+        assert_eq!(a - b, SimTime(60));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime(140));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime(12).to_string(), "12ns");
+        assert_eq!(SimTime(1_500).to_string(), "1.5us");
+        assert_eq!(SimTime(2_500_000_000).to_string(), "2.500s");
+    }
+
+    #[test]
+    fn default_cost_model_is_paper_calibrated() {
+        let m = CostModel::default();
+        assert_eq!(m.invocation, SimTime(700));
+        assert!(m.micro_reboot > m.invocation);
+    }
+
+    #[test]
+    fn free_model_is_all_zero() {
+        let m = CostModel::free();
+        assert_eq!(m.invocation, SimTime::ZERO);
+        assert_eq!(m.micro_reboot, SimTime::ZERO);
+    }
+}

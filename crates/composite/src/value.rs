@@ -1,0 +1,171 @@
+//! Dynamically typed values crossing component interfaces.
+//!
+//! COMPOSITE invocations pass register-sized words (plus shared buffers
+//! for bulk data). The simulation mirrors that with a small dynamic value
+//! type: integers for ids/offsets/flags, strings for paths, and byte
+//! buffers standing in for zero-copy `cbuf` references.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value passed to or returned from a component invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absence of a value (a `void` return).
+    #[default]
+    Unit,
+    /// A register-sized integer.
+    Int(i64),
+    /// A string (file path etc.).
+    Str(String),
+    /// Bulk data (stands in for a zero-copy buffer reference).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Integer payload.
+    ///
+    /// # Errors
+    ///
+    /// [`TypeMismatch`] when the value is not an [`Value::Int`].
+    pub fn int(&self) -> Result<i64, TypeMismatch> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(TypeMismatch { expected: "int", found: other.kind() }),
+        }
+    }
+
+    /// String payload.
+    ///
+    /// # Errors
+    ///
+    /// [`TypeMismatch`] when the value is not a [`Value::Str`].
+    pub fn str(&self) -> Result<&str, TypeMismatch> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(TypeMismatch { expected: "str", found: other.kind() }),
+        }
+    }
+
+    /// Byte payload.
+    ///
+    /// # Errors
+    ///
+    /// [`TypeMismatch`] when the value is not a [`Value::Bytes`].
+    pub fn bytes(&self) -> Result<&[u8], TypeMismatch> {
+        match self {
+            Value::Bytes(b) => Ok(b),
+            other => Err(TypeMismatch { expected: "bytes", found: other.kind() }),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+impl From<()> for Value {
+    fn from((): ()) -> Self {
+        Value::Unit
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("()"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+        }
+    }
+}
+
+/// Error for a [`Value`] accessed at the wrong type — interface misuse
+/// detected at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeMismatch {
+    /// What the accessor wanted.
+    pub expected: &'static str,
+    /// What the value actually was.
+    pub found: &'static str,
+}
+
+impl fmt::Display for TypeMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected a {} value, found {}", self.expected, self.found)
+    }
+}
+
+impl std::error::Error for TypeMismatch {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_succeed_on_matching_kind() {
+        assert_eq!(Value::Int(3).int().unwrap(), 3);
+        assert_eq!(Value::Str("p".into()).str().unwrap(), "p");
+        assert_eq!(Value::Bytes(vec![1]).bytes().unwrap(), &[1]);
+    }
+
+    #[test]
+    fn accessors_fail_on_mismatch() {
+        assert!(Value::Unit.int().is_err());
+        assert!(Value::Int(1).str().is_err());
+        let e = Value::Int(1).bytes().unwrap_err();
+        assert_eq!(e.to_string(), "expected a bytes value, found int");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(7u32), Value::Int(7));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(()), Value::Unit);
+        assert_eq!(Value::from(vec![9u8]), Value::Bytes(vec![9]));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Bytes(vec![0; 4]).to_string(), "<4 bytes>");
+    }
+}

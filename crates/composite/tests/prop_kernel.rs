@@ -1,0 +1,121 @@
+//! Model-based property tests for the kernel substrates: page tables,
+//! capability tables, and register files.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+use composite::capability::CapTable;
+use composite::pages::PageTables;
+use composite::{ComponentId, RegisterFile, NUM_REGISTERS};
+
+#[derive(Debug, Clone, Copy)]
+enum PageOp {
+    Map { comp: u32, vaddr: u64 },
+    Unmap { comp: u32, vaddr: u64 },
+}
+
+fn page_op() -> impl Strategy<Value = PageOp> {
+    prop_oneof![
+        (0u32..4, 0u64..8).prop_map(|(c, v)| PageOp::Map { comp: c, vaddr: v * 0x1000 }),
+        (0u32..4, 0u64..8).prop_map(|(c, v)| PageOp::Unmap { comp: c, vaddr: v * 0x1000 }),
+    ]
+}
+
+proptest! {
+    /// The page tables agree with a naive HashMap model under arbitrary
+    /// map/unmap sequences, and the reflection views stay consistent.
+    #[test]
+    fn page_tables_match_model(ops in proptest::collection::vec(page_op(), 0..120)) {
+        let mut pt = PageTables::new();
+        let mut model: HashMap<(u32, u64), u32> = HashMap::new();
+        for op in ops {
+            match op {
+                PageOp::Map { comp, vaddr } => {
+                    let frame = pt.alloc_frame().expect("unlimited frames");
+                    let r = pt.map(ComponentId(comp), vaddr, frame);
+                    if model.contains_key(&(comp, vaddr)) {
+                        prop_assert!(r.is_err());
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert((comp, vaddr), frame.0);
+                    }
+                }
+                PageOp::Unmap { comp, vaddr } => {
+                    let r = pt.unmap(ComponentId(comp), vaddr);
+                    match model.remove(&(comp, vaddr)) {
+                        Some(f) => prop_assert_eq!(r.expect("was mapped").0, f),
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+            }
+            // Translation agrees everywhere the model has entries.
+            for (&(c, v), &f) in &model {
+                prop_assert_eq!(pt.translate(ComponentId(c), v).map(|x| x.0), Some(f));
+            }
+            prop_assert_eq!(pt.mapping_count(), model.len());
+        }
+        // Reflection views are exact partitions of the model.
+        for c in 0..4u32 {
+            let view: Vec<(u64, u32)> =
+                pt.mappings_of(ComponentId(c)).map(|(v, f)| (v, f.0)).collect();
+            let mut expect: Vec<(u64, u32)> = model
+                .iter()
+                .filter(|((mc, _), _)| *mc == c)
+                .map(|((_, v), f)| (*v, *f))
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(view, expect);
+        }
+    }
+
+    /// The capability table is a faithful set.
+    #[test]
+    fn cap_table_matches_model(
+        grants in proptest::collection::vec((0u32..5, 0u32..5), 0..40),
+        revokes in proptest::collection::vec((0u32..5, 0u32..5), 0..40),
+    ) {
+        let mut caps = CapTable::new();
+        let mut model: HashSet<(u32, u32)> = HashSet::new();
+        for (c, s) in &grants {
+            caps.grant(ComponentId(*c), ComponentId(*s));
+            model.insert((*c, *s));
+        }
+        for (c, s) in &revokes {
+            let removed = caps.revoke(ComponentId(*c), ComponentId(*s));
+            prop_assert_eq!(removed, model.remove(&(*c, *s)));
+        }
+        for c in 0..5u32 {
+            for s in 0..5u32 {
+                let expect = c == s || model.contains(&(c, s));
+                prop_assert_eq!(caps.allows(ComponentId(c), ComponentId(s)), expect);
+            }
+        }
+        prop_assert_eq!(caps.len(), model.len());
+    }
+
+    /// Register files: flips are involutive, writes clear taint, taint
+    /// tracking is exact per register.
+    #[test]
+    fn register_file_taint_tracking(
+        flips in proptest::collection::vec((0usize..NUM_REGISTERS, 0u32..32), 0..16),
+        writes in proptest::collection::vec((0usize..NUM_REGISTERS, any::<u32>()), 0..16),
+    ) {
+        let mut regs = RegisterFile::new();
+        let mut tainted = [false; NUM_REGISTERS];
+        let mut values = [0u32; NUM_REGISTERS];
+        for &(r, b) in &flips {
+            regs.flip_bit(r, b);
+            values[r] ^= 1 << b;
+            tainted[r] = true;
+        }
+        for &(r, v) in &writes {
+            regs.write(r, v);
+            values[r] = v;
+            tainted[r] = false;
+        }
+        for r in 0..NUM_REGISTERS {
+            prop_assert_eq!(regs.read(r), (values[r], tainted[r]), "register {}", r);
+        }
+        prop_assert_eq!(regs.any_tainted(), tainted.iter().any(|&t| t));
+    }
+}

@@ -1,0 +1,298 @@
+//! The event-notification component (`evt` interface) — the interface of
+//! the paper's Fig 3, with **global descriptors**: event ids live in a
+//! single namespace shared by all client components, so a waiter in one
+//! component can wait on an event created (split) by another.
+//!
+//! | function | role | effect |
+//! |---|---|---|
+//! | `evt_split(compid, parent_evtid, grp)` → evtid | create | create an event (child of `parent_evtid`; 0 = root) |
+//! | `evt_wait(compid, desc)` | block | wait until triggered |
+//! | `evt_trigger(compid, desc)` | wakeup | trigger; wakes a waiter or pends |
+//! | `evt_free(compid, desc)` | terminate | destroy the event |
+
+use std::collections::BTreeMap;
+
+use composite::{ComponentId, Service, ServiceCtx, ServiceError, ThreadId, Value};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event {
+    creator: ComponentId,
+    parent: i64,
+    grp: i64,
+    waiters: Vec<ThreadId>,
+    /// Triggers that arrived with no waiter present.
+    pending_triggers: u32,
+}
+
+/// The event-manager service component.
+#[derive(Debug, Default)]
+pub struct EventService {
+    events: BTreeMap<i64, Event>,
+    next_id: i64,
+}
+
+impl EventService {
+    /// A fresh event manager.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live events (tests/reflection).
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+impl Service for EventService {
+    fn interface(&self) -> &'static str {
+        "evt"
+    }
+
+    fn call(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, ServiceError> {
+        match fname {
+            // evt_split(compid, parent_evtid, grp) -> evtid
+            "evt_split" => {
+                let _compid = args[0].int()?;
+                let parent = args[1].int()?;
+                let grp = args[2].int()?;
+                if parent != 0 && !self.events.contains_key(&parent) {
+                    // Parent must exist (D1: parents recover first).
+                    return Err(ServiceError::NotFound);
+                }
+                self.next_id += 1;
+                let id = self.next_id;
+                self.events.insert(
+                    id,
+                    Event {
+                        creator: ctx.client,
+                        parent,
+                        grp,
+                        waiters: Vec::new(),
+                        pending_triggers: 0,
+                    },
+                );
+                Ok(Value::Int(id))
+            }
+            // evt_wait(compid, desc(evtid)) -> evtid on wake
+            "evt_wait" => {
+                let id = args[1].int()?;
+                let me = ctx.thread;
+                let evt = self.events.get_mut(&id).ok_or(ServiceError::NotFound)?;
+                if evt.pending_triggers > 0 {
+                    evt.pending_triggers -= 1;
+                    evt.waiters.retain(|&w| w != me);
+                    return Ok(Value::Int(id));
+                }
+                if !evt.waiters.contains(&me) {
+                    evt.waiters.push(me);
+                }
+                Err(ctx.block_current())
+            }
+            // evt_trigger(compid, desc(evtid))
+            "evt_trigger" => {
+                let id = args[1].int()?;
+                let evt = self.events.get_mut(&id).ok_or(ServiceError::NotFound)?;
+                if let Some(w) = if evt.waiters.is_empty() { None } else { Some(evt.waiters[0]) } {
+                    // Leave the waiter in the list; its retried evt_wait
+                    // consumes the pending trigger and removes itself.
+                    evt.pending_triggers += 1;
+                    let _ = ctx.wake(w);
+                } else {
+                    evt.pending_triggers += 1;
+                }
+                Ok(Value::Int(0))
+            }
+            // evt_free(compid, desc(evtid))
+            "evt_free" => {
+                let id = args[1].int()?;
+                let evt = self.events.remove(&id).ok_or(ServiceError::NotFound)?;
+                for w in evt.waiters {
+                    let _ = ctx.wake(w);
+                }
+                Ok(Value::Int(0))
+            }
+            // evt_restore(creator_compid, evtid, parent_evtid, grp) —
+            // recovery-only: rebuild an event under its *original global
+            // id* (invoked by stubs during G0/U0 recovery; a regular
+            // evt_split would mint a fresh id, breaking every other
+            // client that shares the global descriptor).
+            "evt_restore" => {
+                let creator = ComponentId(args[0].int()? as u32);
+                let id = args[1].int()?;
+                let parent = args[2].int()?;
+                let grp = args[3].int()?;
+                if self.events.contains_key(&id) {
+                    // Already restored by another client's recovery.
+                    return Ok(Value::Int(id));
+                }
+                self.restore(id, creator, parent, grp)?;
+                Ok(Value::Int(id))
+            }
+            // Reflection for recovery: who created this event?
+            "evt_creator" => {
+                let id = args[1].int()?;
+                let evt = self.events.get(&id).ok_or(ServiceError::NotFound)?;
+                Ok(Value::Int(i64::from(evt.creator.0)))
+            }
+            other => Err(ServiceError::NoSuchFunction(other.to_owned())),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.events.clear();
+        // next_id stays monotone so global descriptor ids are never
+        // recycled across reboots.
+    }
+}
+
+/// During **G0** recovery the storage component upcalls the creator to
+/// re-split an event under its *original global id*. This service entry
+/// point re-inserts a specific id (only valid when absent — i.e. during
+/// recovery).
+impl EventService {
+    /// Recreate an event under a fixed id (recovery-only path, used by
+    /// the runtime's G0 handler through `evt_restore`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidArg`] when the id is already live.
+    pub fn restore(
+        &mut self,
+        id: i64,
+        creator: ComponentId,
+        parent: i64,
+        grp: i64,
+    ) -> Result<(), ServiceError> {
+        if self.events.contains_key(&id) {
+            return Err(ServiceError::InvalidArg);
+        }
+        self.events.insert(
+            id,
+            Event { creator, parent, grp, waiters: Vec::new(), pending_triggers: 0 },
+        );
+        if id > self.next_id {
+            self.next_id = id;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use composite::{CallError, CostModel, Kernel, Priority, ThreadState};
+
+    fn setup() -> (Kernel, ComponentId, ComponentId, ComponentId, ThreadId, ThreadId) {
+        let mut k = Kernel::with_costs(CostModel::free());
+        let app1 = k.add_client_component("app1");
+        let app2 = k.add_client_component("app2");
+        let evt = k.add_component("evt", Box::new(EventService::new()));
+        k.grant(app1, evt);
+        k.grant(app2, evt);
+        let t1 = k.create_thread(app1, Priority(5));
+        let t2 = k.create_thread(app2, Priority(6));
+        (k, app1, app2, evt, t1, t2)
+    }
+
+    fn split(k: &mut Kernel, app: ComponentId, evt: ComponentId, t: ThreadId, parent: i64) -> i64 {
+        k.invoke(app, t, evt, "evt_split", &[Value::Int(1), Value::Int(parent), Value::Int(0)])
+            .unwrap()
+            .int()
+            .unwrap()
+    }
+
+    #[test]
+    fn split_wait_trigger_across_components() {
+        let (mut k, app1, app2, evt, t1, t2) = setup();
+        let id = split(&mut k, app1, evt, t1, 0);
+        // Global namespace: app2 waits on an event app1 created.
+        let err = k
+            .invoke(app2, t2, evt, "evt_wait", &[Value::Int(2), Value::Int(id)])
+            .unwrap_err();
+        assert_eq!(err, CallError::WouldBlock);
+        assert!(matches!(k.thread(t2).unwrap().state, ThreadState::Blocked { .. }));
+
+        k.invoke(app1, t1, evt, "evt_trigger", &[Value::Int(1), Value::Int(id)]).unwrap();
+        assert!(k.thread(t2).unwrap().state.is_runnable());
+        // Retried wait consumes the pending trigger.
+        let r = k.invoke(app2, t2, evt, "evt_wait", &[Value::Int(2), Value::Int(id)]).unwrap();
+        assert_eq!(r, Value::Int(id));
+    }
+
+    #[test]
+    fn trigger_before_wait_pends() {
+        let (mut k, app1, _app2, evt, t1, _t2) = setup();
+        let id = split(&mut k, app1, evt, t1, 0);
+        k.invoke(app1, t1, evt, "evt_trigger", &[Value::Int(1), Value::Int(id)]).unwrap();
+        let r = k.invoke(app1, t1, evt, "evt_wait", &[Value::Int(1), Value::Int(id)]).unwrap();
+        assert_eq!(r, Value::Int(id));
+    }
+
+    #[test]
+    fn child_events_need_live_parent() {
+        let (mut k, app1, _a, evt, t1, _t2) = setup();
+        let root = split(&mut k, app1, evt, t1, 0);
+        let child = split(&mut k, app1, evt, t1, root);
+        assert!(child > root);
+        let err = k
+            .invoke(app1, t1, evt, "evt_split", &[Value::Int(1), Value::Int(999), Value::Int(0)])
+            .unwrap_err();
+        assert_eq!(err, CallError::Service(ServiceError::NotFound));
+    }
+
+    #[test]
+    fn free_wakes_waiters_and_removes() {
+        let (mut k, app1, app2, evt, t1, t2) = setup();
+        let id = split(&mut k, app1, evt, t1, 0);
+        let _ = k.invoke(app2, t2, evt, "evt_wait", &[Value::Int(2), Value::Int(id)]);
+        k.invoke(app1, t1, evt, "evt_free", &[Value::Int(1), Value::Int(id)]).unwrap();
+        assert!(k.thread(t2).unwrap().state.is_runnable());
+        let err =
+            k.invoke(app1, t1, evt, "evt_wait", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        assert_eq!(err, CallError::Service(ServiceError::NotFound));
+    }
+
+    #[test]
+    fn creator_reflection() {
+        let (mut k, app1, app2, evt, t1, t2) = setup();
+        let id = split(&mut k, app1, evt, t1, 0);
+        let r = k.invoke(app2, t2, evt, "evt_creator", &[Value::Int(2), Value::Int(id)]).unwrap();
+        assert_eq!(r, Value::Int(i64::from(app1.0)));
+    }
+
+    #[test]
+    fn restore_reinserts_specific_id() {
+        let mut svc = EventService::new();
+        svc.restore(42, ComponentId(1), 0, 7).unwrap();
+        assert_eq!(svc.event_count(), 1);
+        // Restoring an existing id is invalid.
+        assert!(svc.restore(42, ComponentId(1), 0, 7).is_err());
+        // next_id advanced past the restored id.
+        assert_eq!(svc.next_id, 42);
+    }
+
+    #[test]
+    fn ids_survive_reboot_monotonically() {
+        let (mut k, app1, _a, evt, t1, _t2) = setup();
+        let id1 = split(&mut k, app1, evt, t1, 0);
+        k.fault(evt);
+        k.micro_reboot(evt).unwrap();
+        let id2 = split(&mut k, app1, evt, t1, 0);
+        assert!(id2 > id1);
+    }
+
+    #[test]
+    fn wait_on_unknown_event_not_found() {
+        let (mut k, app1, _a, evt, t1, _t2) = setup();
+        let err =
+            k.invoke(app1, t1, evt, "evt_wait", &[Value::Int(1), Value::Int(5)]).unwrap_err();
+        assert_eq!(err, CallError::Service(ServiceError::NotFound));
+    }
+}

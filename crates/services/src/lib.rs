@@ -1,0 +1,61 @@
+//! System-level service components for the simulated COMPOSITE OS.
+//!
+//! These are the six services the paper injects faults into (§V-B) —
+//! scheduler, memory manager, RAM filesystem, lock, event manager, timer
+//! manager — plus the two unprotected infrastructure components of §II-E:
+//! the storage component (redundant descriptor/data store used by the
+//! **G0**/**G1** recovery mechanisms) and the zero-copy buffer (`cbuf`)
+//! manager used to move file data without copies.
+//!
+//! Each service implements [`composite::Service`]; its struct fields are
+//! the private memory image a fault destroys and a micro-reboot resets.
+//! The [`api`] module provides typed client wrappers over the dynamic
+//! interface, and [`workloads`] contains the exact micro-workloads of
+//! §V-B, written against [`composite::InterfaceCall`] so they run
+//! unchanged on the bare kernel, under C³, and under SuperGlue.
+//!
+//! | Service | interface | `DR` model highlights |
+//! |---|---|---|
+//! | [`scheduler::Scheduler`] | `sched` | blocking; solo descriptors |
+//! | [`lock::LockService`] | `lock` | blocking; solo descriptors |
+//! | [`event::EventService`] | `evt` | blocking; **global** descriptors; parent links; metadata |
+//! | [`timer::TimerService`] | `tmr` | blocking (timed); solo; metadata |
+//! | [`mm::MemoryManager`] | `mm` | cross-component parents; recursive revocation; metadata |
+//! | [`ramfs::RamFs`] | `fs` | parents; resource data (**G1**); metadata |
+//! | [`storage::StorageService`] | `storage` | unprotected substrate |
+//! | [`cbuf::CbufService`] | `cbuf` | unprotected substrate |
+
+pub mod api;
+pub mod cbuf;
+pub mod event;
+pub mod lock;
+pub mod mm;
+pub mod ramfs;
+pub mod scheduler;
+pub mod storage;
+pub mod timer;
+pub mod workloads;
+
+/// Interface names as exported by each service, for stub registration.
+pub mod interfaces {
+    /// Scheduler interface name.
+    pub const SCHED: &str = "sched";
+    /// Memory-manager interface name.
+    pub const MM: &str = "mm";
+    /// RAM filesystem interface name.
+    pub const FS: &str = "fs";
+    /// Lock interface name.
+    pub const LOCK: &str = "lock";
+    /// Event-manager interface name.
+    pub const EVT: &str = "evt";
+    /// Timer-manager interface name.
+    pub const TMR: &str = "tmr";
+    /// Storage interface name.
+    pub const STORAGE: &str = "storage";
+    /// Zero-copy buffer interface name.
+    pub const CBUF: &str = "cbuf";
+
+    /// The six fault-injection target interfaces, in the paper's order
+    /// (Table II rows).
+    pub const TARGETS: [&str; 6] = [SCHED, MM, FS, LOCK, EVT, TMR];
+}

@@ -1,0 +1,342 @@
+//! The memory-manager component (`mm` interface) — §II-D's example.
+//!
+//! Provides virtual-to-physical mappings in the recursive address-space
+//! style: a *root* mapping is created with `mman_get_page`, shared into
+//! other components with `mman_alias_page` (forming a tree rooted at the
+//! physical frame), and revoked — subtree included — with
+//! `mman_release_page`.
+//!
+//! The MM's descriptors are mappings, identified by an encoded
+//! `(component, vaddr)` key ([`map_key`]). Dependencies cross components
+//! (`P_dr = XCParent`) and revocation is recursive (`C_dr`).
+//!
+//! The *kernel* page tables ([`composite::pages`]) survive an MM fault;
+//! only the MM's mapping-tree metadata is lost. Recovery replays
+//! `mman_get_page`/`mman_alias_page`, which are idempotent against
+//! surviving kernel mappings, and root revocation falls back on kernel
+//! reflection to clear every alias of the frame even if parts of the tree
+//! were never rebuilt.
+
+use std::collections::BTreeMap;
+
+use composite::pages::VAddr;
+use composite::{ComponentId, FrameId, Service, ServiceCtx, ServiceError, Value};
+
+/// Encode a mapping descriptor key from component and vaddr.
+///
+/// The key is `component << 40 | vaddr`; vaddrs are page-aligned and below
+/// 2^40 in the simulation.
+#[must_use]
+pub fn map_key(component: ComponentId, vaddr: VAddr) -> i64 {
+    ((i64::from(component.0)) << 40) | (vaddr as i64 & ((1 << 40) - 1))
+}
+
+/// Decode a mapping descriptor key.
+#[must_use]
+pub fn unmap_key(key: i64) -> (ComponentId, VAddr) {
+    (ComponentId((key >> 40) as u32), (key & ((1 << 40) - 1)) as VAddr)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Mapping {
+    frame: FrameId,
+    parent: Option<i64>,
+    children: Vec<i64>,
+}
+
+/// The memory-manager service component.
+#[derive(Debug, Default)]
+pub struct MemoryManager {
+    tree: BTreeMap<i64, Mapping>,
+}
+
+impl MemoryManager {
+    /// A fresh memory manager with no mappings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked mappings (tests/reflection).
+    #[must_use]
+    pub fn mapping_count(&self) -> usize {
+        self.tree.len()
+    }
+}
+
+impl Service for MemoryManager {
+    fn interface(&self) -> &'static str {
+        "mm"
+    }
+
+    fn call(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, ServiceError> {
+        match fname {
+            // mman_get_page(compid, vaddr) -> mapping key (root mapping)
+            "mman_get_page" => {
+                let comp = ComponentId(args[0].int()? as u32);
+                let vaddr = args[1].int()? as VAddr;
+                let key = map_key(comp, vaddr);
+                if let Some(existing) = self.tree.get(&key) {
+                    // Replay of a mapping the MM still knows: idempotent.
+                    let _ = existing;
+                    return Ok(Value::Int(key));
+                }
+                // Reuse a surviving kernel mapping (post-reboot replay),
+                // else allocate a fresh frame.
+                let frame = match ctx.translate(comp, vaddr) {
+                    Some(f) => f,
+                    None => {
+                        let f = ctx.alloc_frame().map_err(|_| ServiceError::Unavailable)?;
+                        ctx.map_page(comp, vaddr, f).map_err(|_| ServiceError::InvalidArg)?;
+                        f
+                    }
+                };
+                self.tree.insert(key, Mapping { frame, parent: None, children: Vec::new() });
+                Ok(Value::Int(key))
+            }
+            // mman_alias_page(compid, src_key, dst_compid, dst_vaddr)
+            //   -> child mapping key (the parent descriptor is passed as
+            //   an argument, per the Parent model of §III-A)
+            "mman_alias_page" => {
+                let _compid = args[0].int()?;
+                let src_key = args[1].int()?;
+                let dst_comp = ComponentId(args[2].int()? as u32);
+                let dst_vaddr = args[3].int()? as VAddr;
+                let dst_key = map_key(dst_comp, dst_vaddr);
+                let frame = self.tree.get(&src_key).ok_or(ServiceError::NotFound)?.frame;
+                if self.tree.contains_key(&dst_key) {
+                    // Replay idempotency.
+                    return Ok(Value::Int(dst_key));
+                }
+                ctx.map_page(dst_comp, dst_vaddr, frame).map_err(|_| ServiceError::InvalidArg)?;
+                self.tree
+                    .insert(dst_key, Mapping { frame, parent: Some(src_key), children: Vec::new() });
+                self.tree
+                    .get_mut(&src_key)
+                    .expect("source checked above")
+                    .children
+                    .push(dst_key);
+                Ok(Value::Int(dst_key))
+            }
+            // mman_release_page(compid, desc(key)) — revoke mapping + subtree
+            "mman_release_page" => {
+                let _compid = args[0].int()?;
+                let key = args[1].int()?;
+                let node = self.tree.get(&key).ok_or(ServiceError::NotFound)?;
+                let frame = node.frame;
+                let is_root = node.parent.is_none();
+
+                // Collect the subtree.
+                let mut subtree = Vec::new();
+                let mut stack = vec![key];
+                while let Some(k) = stack.pop() {
+                    subtree.push(k);
+                    if let Some(n) = self.tree.get(&k) {
+                        stack.extend(n.children.iter().copied());
+                    }
+                }
+                for k in &subtree {
+                    if let Some(n) = self.tree.remove(k) {
+                        let (c, v) = unmap_key(*k);
+                        let _ = ctx.unmap_page(c, v);
+                        if let Some(p) = n.parent {
+                            if let Some(pn) = self.tree.get_mut(&p) {
+                                pn.children.retain(|&x| x != *k);
+                            }
+                        }
+                    }
+                }
+                if is_root {
+                    // A root release revokes *every* alias of the frame,
+                    // even aliases whose tree nodes were lost to a fault
+                    // and never rebuilt: reflect on the kernel (the
+                    // authoritative record) and clear them.
+                    for (c, v) in ctx.mappers_of(frame) {
+                        let _ = ctx.unmap_page(c, v);
+                        self.tree.remove(&map_key(c, v));
+                    }
+                }
+                Ok(Value::Int(0))
+            }
+            // Reflection: current frame behind a mapping (tests/recovery).
+            "mman_introspect" => {
+                let comp = ComponentId(args[0].int()? as u32);
+                let vaddr = args[1].int()? as VAddr;
+                match ctx.translate(comp, vaddr) {
+                    Some(f) => Ok(Value::Int(i64::from(f.0))),
+                    None => Err(ServiceError::NotFound),
+                }
+            }
+            other => Err(ServiceError::NoSuchFunction(other.to_owned())),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.tree.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use composite::{CallError, CostModel, Kernel, Priority, ThreadId};
+
+    fn setup() -> (Kernel, ComponentId, ComponentId, ComponentId, ThreadId) {
+        let mut k = Kernel::with_costs(CostModel::free());
+        let app1 = k.add_client_component("app1");
+        let app2 = k.add_client_component("app2");
+        let mm = k.add_component("mm", Box::new(MemoryManager::new()));
+        k.grant(app1, mm);
+        k.grant(app2, mm);
+        let t = k.create_thread(app1, Priority(5));
+        (k, app1, app2, mm, t)
+    }
+
+    fn get_page(k: &mut Kernel, app: ComponentId, mm: ComponentId, t: ThreadId, v: u64) -> i64 {
+        k.invoke(app, t, mm, "mman_get_page", &[Value::from(app.0), Value::Int(v as i64)])
+            .unwrap()
+            .int()
+            .unwrap()
+    }
+
+    #[test]
+    fn key_encoding_round_trips() {
+        let k = map_key(ComponentId(7), 0x12_3000);
+        assert_eq!(unmap_key(k), (ComponentId(7), 0x12_3000));
+    }
+
+    #[test]
+    fn get_page_creates_kernel_mapping() {
+        let (mut k, app1, _a2, mm, t) = setup();
+        get_page(&mut k, app1, mm, t, 0x1000);
+        assert!(k.pages().translate(app1, 0x1000).is_some());
+    }
+
+    #[test]
+    fn get_page_is_replay_idempotent() {
+        let (mut k, app1, _a2, mm, t) = setup();
+        let k1 = get_page(&mut k, app1, mm, t, 0x1000);
+        let k2 = get_page(&mut k, app1, mm, t, 0x1000);
+        assert_eq!(k1, k2);
+        assert_eq!(k.pages().mapping_count(), 1);
+    }
+
+    #[test]
+    fn alias_shares_the_frame() {
+        let (mut k, app1, app2, mm, t) = setup();
+        get_page(&mut k, app1, mm, t, 0x1000);
+        let src_key = map_key(app1, 0x1000);
+        k.invoke(
+            app1,
+            t,
+            mm,
+            "mman_alias_page",
+            &[Value::from(app1.0), Value::Int(src_key), Value::from(app2.0), Value::Int(0x8000)],
+        )
+        .unwrap();
+        assert_eq!(k.pages().translate(app1, 0x1000), k.pages().translate(app2, 0x8000));
+    }
+
+    #[test]
+    fn alias_of_missing_source_not_found() {
+        let (mut k, app1, app2, mm, t) = setup();
+        let err = k
+            .invoke(
+                app1,
+                t,
+                mm,
+                "mman_alias_page",
+                &[Value::from(app1.0), Value::Int(map_key(app1, 0x0999_9000)), Value::from(app2.0), Value::Int(0x8000)],
+            )
+            .unwrap_err();
+        assert_eq!(err, CallError::Service(ServiceError::NotFound));
+    }
+
+    #[test]
+    fn release_revokes_subtree() {
+        let (mut k, app1, app2, mm, t) = setup();
+        get_page(&mut k, app1, mm, t, 0x1000);
+        let src_key = map_key(app1, 0x1000);
+        k.invoke(
+            app1,
+            t,
+            mm,
+            "mman_alias_page",
+            &[Value::from(app1.0), Value::Int(src_key), Value::from(app2.0), Value::Int(0x8000)],
+        )
+        .unwrap();
+        k.invoke(app1, t, mm, "mman_release_page", &[Value::from(app1.0), Value::Int(map_key(app1, 0x1000))])
+            .unwrap();
+        assert_eq!(k.pages().translate(app1, 0x1000), None);
+        assert_eq!(k.pages().translate(app2, 0x8000), None);
+        assert_eq!(k.pages().mapping_count(), 0);
+    }
+
+    #[test]
+    fn release_of_alias_keeps_root() {
+        let (mut k, app1, app2, mm, t) = setup();
+        get_page(&mut k, app1, mm, t, 0x1000);
+        let src_key = map_key(app1, 0x1000);
+        k.invoke(
+            app1,
+            t,
+            mm,
+            "mman_alias_page",
+            &[Value::from(app1.0), Value::Int(src_key), Value::from(app2.0), Value::Int(0x8000)],
+        )
+        .unwrap();
+        k.invoke(app1, t, mm, "mman_release_page", &[Value::from(app1.0), Value::Int(map_key(app2, 0x8000))])
+            .unwrap();
+        assert!(k.pages().translate(app1, 0x1000).is_some());
+        assert_eq!(k.pages().translate(app2, 0x8000), None);
+    }
+
+    #[test]
+    fn root_release_after_reboot_clears_orphan_aliases() {
+        let (mut k, app1, app2, mm, t) = setup();
+        get_page(&mut k, app1, mm, t, 0x1000);
+        let src_key = map_key(app1, 0x1000);
+        k.invoke(
+            app1,
+            t,
+            mm,
+            "mman_alias_page",
+            &[Value::from(app1.0), Value::Int(src_key), Value::from(app2.0), Value::Int(0x8000)],
+        )
+        .unwrap();
+        // MM loses its tree; only the root is replayed by the client.
+        k.fault(mm);
+        k.micro_reboot(mm).unwrap();
+        get_page(&mut k, app1, mm, t, 0x1000); // rebuild root (reuses frame)
+        k.invoke(app1, t, mm, "mman_release_page", &[Value::from(app1.0), Value::Int(map_key(app1, 0x1000))])
+            .unwrap();
+        // Kernel reflection removed the never-rebuilt alias too.
+        assert_eq!(k.pages().translate(app2, 0x8000), None);
+    }
+
+    #[test]
+    fn get_page_reuses_surviving_kernel_mapping() {
+        let (mut k, app1, _a2, mm, t) = setup();
+        get_page(&mut k, app1, mm, t, 0x1000);
+        let frame_before = k.pages().translate(app1, 0x1000).unwrap();
+        k.fault(mm);
+        k.micro_reboot(mm).unwrap();
+        get_page(&mut k, app1, mm, t, 0x1000);
+        assert_eq!(k.pages().translate(app1, 0x1000), Some(frame_before));
+    }
+
+    #[test]
+    fn introspect_reports_frame() {
+        let (mut k, app1, _a2, mm, t) = setup();
+        get_page(&mut k, app1, mm, t, 0x1000);
+        let r = k
+            .invoke(app1, t, mm, "mman_introspect", &[Value::from(app1.0), Value::Int(0x1000)])
+            .unwrap();
+        assert!(matches!(r, Value::Int(_)));
+    }
+}

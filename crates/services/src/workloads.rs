@@ -1,0 +1,738 @@
+//! The benchmark micro-workloads of §V-B, one per fault-injection target.
+//!
+//! Each workload is an explicit state machine implementing
+//! [`composite::Workload`] over any `Ctx: InterfaceCall + KernelAccess`,
+//! so the identical client code drives the bare kernel, C³, and
+//! SuperGlue. Workloads *verify their own semantics* (e.g. a read
+//! returns the written byte); a violated expectation crashes the
+//! workload, which the fault-injection campaign counts as an
+//! unrecovered/propagated fault.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use composite::{CallError, InterfaceCall, KernelAccess, StepResult, ThreadId, Workload};
+
+use crate::api::{evt, fs, lock, mman, sched, tmr, ClientEnd};
+
+fn on_err(e: &CallError) -> StepResult {
+    match e {
+        CallError::WouldBlock => StepResult::Blocked,
+        other => StepResult::Crashed(other.to_string()),
+    }
+}
+
+/// Outcome shared between paired workloads (lock/event partners).
+pub type SharedDesc = Rc<RefCell<Option<i64>>>;
+
+/// Create an empty shared-descriptor cell.
+#[must_use]
+pub fn shared_desc() -> SharedDesc {
+    Rc::new(RefCell::new(None))
+}
+
+// ---------------------------------------------------------------------
+// Sched: two threads ping-pong with sched_blk / sched_wakeup.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PingPongState {
+    Setup,
+    WakePartner,
+    Block,
+    Exit,
+}
+
+/// One side of the scheduler ping-pong workload.
+#[derive(Debug)]
+pub struct SchedPingPong {
+    end: ClientEnd,
+    partner: ThreadId,
+    rounds: u32,
+    /// The leader starts by waking; the follower starts by blocking.
+    leader: bool,
+    state: PingPongState,
+    my_desc: i64,
+    pinged_once: bool,
+}
+
+impl SchedPingPong {
+    /// A ping-pong half performing `rounds` wake/block exchanges.
+    #[must_use]
+    pub fn new(end: ClientEnd, partner: ThreadId, rounds: u32, leader: bool) -> Self {
+        Self { end, partner, rounds, leader, state: PingPongState::Setup, my_desc: 0, pinged_once: false }
+    }
+
+    /// Remaining rounds (tests).
+    #[must_use]
+    pub fn remaining(&self) -> u32 {
+        self.rounds
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for SchedPingPong {
+    fn step(&mut self, ctx: &mut Ctx, thread: ThreadId) -> StepResult {
+        match self.state {
+            PingPongState::Setup => match sched::setup(ctx, &self.end, thread) {
+                Ok(d) => {
+                    self.my_desc = d;
+                    self.state =
+                        if self.leader { PingPongState::WakePartner } else { PingPongState::Block };
+                    StepResult::Yield
+                }
+                Err(e) => on_err(&e),
+            },
+            PingPongState::WakePartner => {
+                match sched::wakeup(ctx, &self.end, i64::from(self.partner.0)) {
+                    Ok(()) => {
+                        self.pinged_once = true;
+                        if self.rounds == 0 {
+                            self.state = PingPongState::Exit;
+                        } else {
+                            self.state = PingPongState::Block;
+                        }
+                        StepResult::Yield
+                    }
+                    // Before the first ping the partner may not have
+                    // registered yet (retry); afterwards NotFound means
+                    // the partner already exited, so we finish too.
+                    Err(CallError::Service(composite::ServiceError::NotFound)) => {
+                        if self.pinged_once {
+                            self.state = PingPongState::Exit;
+                        }
+                        StepResult::Yield
+                    }
+                    Err(e) => on_err(&e),
+                }
+            }
+            PingPongState::Block => match sched::blk(ctx, &self.end, self.my_desc) {
+                Ok(()) => {
+                    if self.rounds == 0 {
+                        self.state = PingPongState::Exit;
+                    } else {
+                        self.rounds -= 1;
+                        self.state = PingPongState::WakePartner;
+                    }
+                    StepResult::Yield
+                }
+                Err(e) => on_err(&e),
+            },
+            PingPongState::Exit => match sched::exit(ctx, &self.end, self.my_desc) {
+                Ok(()) => StepResult::Done,
+                Err(e) => on_err(&e),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lock: owner holds, contender contends, owner releases, contender takes.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockOwnerState {
+    Alloc,
+    Take,
+    Hold,
+    Release,
+    Free,
+}
+
+/// The lock-owning half of the §V-B Lock workload.
+#[derive(Debug)]
+pub struct LockOwner {
+    end: ClientEnd,
+    shared: SharedDesc,
+    rounds: u32,
+    hold_steps: u32,
+    held: u32,
+    state: LockOwnerState,
+    desc: i64,
+}
+
+impl LockOwner {
+    /// An owner performing `rounds` take/hold/release cycles, holding for
+    /// `hold_steps` dispatches each time.
+    #[must_use]
+    pub fn new(end: ClientEnd, shared: SharedDesc, rounds: u32, hold_steps: u32) -> Self {
+        Self { end, shared, rounds, hold_steps, held: 0, state: LockOwnerState::Alloc, desc: 0 }
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for LockOwner {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        match self.state {
+            LockOwnerState::Alloc => match lock::alloc(ctx, &self.end) {
+                Ok(d) => {
+                    self.desc = d;
+                    *self.shared.borrow_mut() = Some(d);
+                    self.state = LockOwnerState::Take;
+                    StepResult::Yield
+                }
+                Err(e) => on_err(&e),
+            },
+            LockOwnerState::Take => match lock::take(ctx, &self.end, self.desc) {
+                Ok(()) => {
+                    self.held = 0;
+                    self.state = LockOwnerState::Hold;
+                    StepResult::Yield
+                }
+                Err(e) => on_err(&e),
+            },
+            LockOwnerState::Hold => {
+                self.held += 1;
+                if self.held >= self.hold_steps {
+                    self.state = LockOwnerState::Release;
+                }
+                StepResult::Yield
+            }
+            LockOwnerState::Release => match lock::release(ctx, &self.end, self.desc) {
+                Ok(()) => {
+                    self.rounds -= 1;
+                    self.state =
+                        if self.rounds == 0 { LockOwnerState::Free } else { LockOwnerState::Take };
+                    StepResult::Yield
+                }
+                Err(e) => on_err(&e),
+            },
+            LockOwnerState::Free => match lock::free(ctx, &self.end, self.desc) {
+                Ok(()) => {
+                    *self.shared.borrow_mut() = None;
+                    StepResult::Done
+                }
+                Err(e) => on_err(&e),
+            },
+        }
+    }
+}
+
+/// The contending half of the §V-B Lock workload: repeatedly takes and
+/// immediately releases the shared lock, blocking while the owner holds
+/// it.
+#[derive(Debug)]
+pub struct LockContender {
+    end: ClientEnd,
+    shared: SharedDesc,
+    rounds: u32,
+    holding: bool,
+    contended: bool,
+}
+
+impl LockContender {
+    /// A contender performing up to `rounds` take/release cycles; it
+    /// finishes early when the owner frees the lock.
+    #[must_use]
+    pub fn new(end: ClientEnd, shared: SharedDesc, rounds: u32) -> Self {
+        Self { end, shared, rounds, holding: false, contended: false }
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for LockContender {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        let Some(desc) = *self.shared.borrow() else {
+            // Done if the owner already freed the lock; otherwise it has
+            // not allocated it yet.
+            return if self.rounds == 0 || self.contended {
+                StepResult::Done
+            } else {
+                StepResult::Yield
+            };
+        };
+        self.contended = true;
+        if self.holding {
+            match lock::release(ctx, &self.end, desc) {
+                Ok(()) => {
+                    self.holding = false;
+                    self.rounds = self.rounds.saturating_sub(1);
+                    if self.rounds == 0 {
+                        return StepResult::Done;
+                    }
+                    StepResult::Yield
+                }
+                Err(e) => on_err(&e),
+            }
+        } else {
+            match lock::take(ctx, &self.end, desc) {
+                Ok(()) => {
+                    self.holding = true;
+                    StepResult::Yield
+                }
+                // The owner may have freed the lock while we contended.
+                Err(CallError::Service(composite::ServiceError::NotFound)) => {
+                    if self.rounds == 0 {
+                        StepResult::Done
+                    } else {
+                        StepResult::Yield
+                    }
+                }
+                Err(e) => on_err(&e),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event: a waiter blocks on an event; a trigger fires it from another
+// component.
+// ---------------------------------------------------------------------
+
+/// The waiting half of the §V-B Event workload (also the event creator).
+#[derive(Debug)]
+pub struct EventWaiter {
+    end: ClientEnd,
+    shared: SharedDesc,
+    rounds: u32,
+    desc: Option<i64>,
+}
+
+impl EventWaiter {
+    /// A waiter creating the event and waiting `rounds` times.
+    #[must_use]
+    pub fn new(end: ClientEnd, shared: SharedDesc, rounds: u32) -> Self {
+        Self { end, shared, rounds, desc: None }
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for EventWaiter {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        let desc = match self.desc {
+            Some(d) => d,
+            None => match evt::split(ctx, &self.end, 0, 1) {
+                Ok(d) => {
+                    self.desc = Some(d);
+                    *self.shared.borrow_mut() = Some(d);
+                    return StepResult::Yield;
+                }
+                Err(e) => return on_err(&e),
+            },
+        };
+        if self.rounds == 0 {
+            return match evt::free(ctx, &self.end, desc) {
+                Ok(()) => {
+                    *self.shared.borrow_mut() = None;
+                    StepResult::Done
+                }
+                Err(e) => on_err(&e),
+            };
+        }
+        match evt::wait(ctx, &self.end, desc) {
+            Ok(returned) => {
+                if returned != desc {
+                    return StepResult::Crashed(format!(
+                        "evt_wait returned {returned}, expected {desc}"
+                    ));
+                }
+                self.rounds -= 1;
+                StepResult::Yield
+            }
+            Err(e) => on_err(&e),
+        }
+    }
+}
+
+/// The triggering half of the §V-B Event workload, running in a
+/// *different* component (exercising the global descriptor namespace).
+#[derive(Debug)]
+pub struct EventTrigger {
+    end: ClientEnd,
+    shared: SharedDesc,
+    rounds: u32,
+}
+
+impl EventTrigger {
+    /// A trigger firing the shared event `rounds` times.
+    #[must_use]
+    pub fn new(end: ClientEnd, shared: SharedDesc, rounds: u32) -> Self {
+        Self { end, shared, rounds }
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for EventTrigger {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        if self.rounds == 0 {
+            return StepResult::Done;
+        }
+        let Some(desc) = *self.shared.borrow() else {
+            return StepResult::Yield; // waiter has not created it yet
+        };
+        match evt::trigger(ctx, &self.end, desc) {
+            Ok(()) => {
+                self.rounds -= 1;
+                if self.rounds == 0 {
+                    StepResult::Done
+                } else {
+                    StepResult::Yield
+                }
+            }
+            // The waiter may have freed the event already.
+            Err(CallError::Service(composite::ServiceError::NotFound)) => StepResult::Done,
+            Err(e) => on_err(&e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timer: periodic block/wake.
+// ---------------------------------------------------------------------
+
+/// The §V-B Timer workload: create a periodic timer and wait on it
+/// repeatedly.
+#[derive(Debug)]
+pub struct TimerPeriodic {
+    end: ClientEnd,
+    period_ns: i64,
+    rounds: u32,
+    desc: Option<i64>,
+}
+
+impl TimerPeriodic {
+    /// A periodic waiter with the given period, running `rounds` periods.
+    #[must_use]
+    pub fn new(end: ClientEnd, period_ns: i64, rounds: u32) -> Self {
+        Self { end, period_ns, rounds, desc: None }
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for TimerPeriodic {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        let desc = match self.desc {
+            Some(d) => d,
+            None => match tmr::create(ctx, &self.end, self.period_ns) {
+                Ok(d) => {
+                    self.desc = Some(d);
+                    return StepResult::Yield;
+                }
+                Err(e) => return on_err(&e),
+            },
+        };
+        if self.rounds == 0 {
+            return match tmr::free(ctx, &self.end, desc) {
+                Ok(()) => StepResult::Done,
+                Err(e) => on_err(&e),
+            };
+        }
+        match tmr::wait(ctx, &self.end, desc) {
+            Ok(()) => {
+                self.rounds -= 1;
+                StepResult::Yield
+            }
+            Err(e) => on_err(&e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MM: grant, alias into another component, revoke.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MmState {
+    Get,
+    Alias,
+    Release,
+}
+
+/// The §V-B MM workload: pages are granted, aliased into a different
+/// component, then revoked (removing all aliases).
+#[derive(Debug)]
+pub struct MmGrantAliasRevoke {
+    end: ClientEnd,
+    dst: composite::ComponentId,
+    rounds: u32,
+    state: MmState,
+    next_vaddr: u64,
+    root_key: i64,
+}
+
+impl MmGrantAliasRevoke {
+    /// A grant/alias/revoke loop of `rounds` iterations, aliasing into
+    /// `dst`.
+    #[must_use]
+    pub fn new(end: ClientEnd, dst: composite::ComponentId, rounds: u32) -> Self {
+        Self { end, dst, rounds, state: MmState::Get, next_vaddr: 0x1000, root_key: 0 }
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for MmGrantAliasRevoke {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        let vaddr = self.next_vaddr;
+        match self.state {
+            MmState::Get => match mman::get_page(ctx, &self.end, vaddr) {
+                Ok(key) => {
+                    self.root_key = key;
+                    self.state = MmState::Alias;
+                    StepResult::Yield
+                }
+                Err(e) => on_err(&e),
+            },
+            MmState::Alias => match mman::alias_page(ctx, &self.end, self.root_key, self.dst, vaddr + 0x1_0000_0000) {
+                Ok(_) => {
+                    self.state = MmState::Release;
+                    StepResult::Yield
+                }
+                Err(e) => on_err(&e),
+            },
+            MmState::Release => match mman::release_page(ctx, &self.end, self.root_key) {
+                Ok(()) => {
+                    // Verify revocation removed the alias.
+                    let alias_gone = ctx
+                        .kernel()
+                        .pages()
+                        .translate(self.dst, vaddr + 0x1_0000_0000)
+                        .is_none();
+                    if !alias_gone {
+                        return StepResult::Crashed("alias survived revocation".into());
+                    }
+                    self.rounds -= 1;
+                    self.next_vaddr += 0x1000;
+                    if self.rounds == 0 {
+                        StepResult::Done
+                    } else {
+                        self.state = MmState::Get;
+                        StepResult::Yield
+                    }
+                }
+                Err(e) => on_err(&e),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// FS: open, write a byte, read it back, close.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FsState {
+    Open,
+    Write,
+    Seek,
+    Read,
+    Close,
+}
+
+/// The §V-B FS workload: open a file, write a byte, read it back
+/// (verifying the value), close.
+#[derive(Debug)]
+pub struct FsOpenWriteRead {
+    end: ClientEnd,
+    rounds: u32,
+    state: FsState,
+    fd: i64,
+    iteration: u32,
+}
+
+impl FsOpenWriteRead {
+    /// An open/write/read/close loop of `rounds` iterations.
+    #[must_use]
+    pub fn new(end: ClientEnd, rounds: u32) -> Self {
+        Self { end, rounds, state: FsState::Open, fd: 0, iteration: 0 }
+    }
+
+    fn byte(&self) -> u8 {
+        (0x40 + (self.iteration % 64)) as u8
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for FsOpenWriteRead {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        match self.state {
+            FsState::Open => {
+                let path = format!("bench-{}.dat", self.iteration % 4);
+                match fs::split(ctx, &self.end, 0, &path) {
+                    Ok(fd) => {
+                        self.fd = fd;
+                        self.state = FsState::Write;
+                        StepResult::Yield
+                    }
+                    Err(e) => on_err(&e),
+                }
+            }
+            FsState::Write => match fs::write(ctx, &self.end, self.fd, vec![self.byte()]) {
+                Ok(1) => {
+                    self.state = FsState::Seek;
+                    StepResult::Yield
+                }
+                Ok(n) => StepResult::Crashed(format!("twrite wrote {n} bytes, expected 1")),
+                Err(e) => on_err(&e),
+            },
+            FsState::Seek => match fs::seek(ctx, &self.end, self.fd, 0) {
+                Ok(()) => {
+                    self.state = FsState::Read;
+                    StepResult::Yield
+                }
+                Err(e) => on_err(&e),
+            },
+            FsState::Read => match fs::read(ctx, &self.end, self.fd, 1) {
+                Ok(data) => {
+                    if data != vec![self.byte()] {
+                        return StepResult::Crashed(format!(
+                            "read back {data:?}, expected {:?}",
+                            [self.byte()]
+                        ));
+                    }
+                    self.state = FsState::Close;
+                    StepResult::Yield
+                }
+                Err(e) => on_err(&e),
+            },
+            FsState::Close => match fs::release(ctx, &self.end, self.fd) {
+                Ok(()) => {
+                    self.rounds -= 1;
+                    self.iteration += 1;
+                    if self.rounds == 0 {
+                        StepResult::Done
+                    } else {
+                        self.state = FsState::Open;
+                        StepResult::Yield
+                    }
+                }
+                Err(e) => on_err(&e),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use composite::{CostModel, Executor, Kernel, Priority, RunExit};
+
+    use crate::cbuf::CbufService;
+    use crate::event::EventService;
+    use crate::lock::LockService;
+    use crate::mm::MemoryManager;
+    use crate::ramfs::RamFs;
+    use crate::scheduler::Scheduler;
+    use crate::storage::StorageService;
+    use crate::timer::TimerService;
+
+    struct Rig {
+        k: Kernel,
+        app1: composite::ComponentId,
+        app2: composite::ComponentId,
+        sched: composite::ComponentId,
+        lock: composite::ComponentId,
+        evt: composite::ComponentId,
+        tmr: composite::ComponentId,
+        mm: composite::ComponentId,
+        fs: composite::ComponentId,
+    }
+
+    fn rig() -> Rig {
+        let mut k = Kernel::with_costs(CostModel::free());
+        let app1 = k.add_client_component("app1");
+        let app2 = k.add_client_component("app2");
+        let sched = k.add_component("sched", Box::new(Scheduler::new()));
+        let lock = k.add_component("lock", Box::new(LockService::new()));
+        let evt = k.add_component("evt", Box::new(EventService::new()));
+        let tmr = k.add_component("tmr", Box::new(TimerService::new()));
+        let st = k.add_component("storage", Box::new(StorageService::new()));
+        let cb = k.add_component("cbuf", Box::new(CbufService::new()));
+        let mm = k.add_component("mm", Box::new(MemoryManager::new()));
+        let fs = k.add_component("fs", Box::new(RamFs::new(st, cb)));
+        for app in [app1, app2] {
+            for svc in [sched, lock, evt, tmr, mm, fs] {
+                k.grant(app, svc);
+            }
+        }
+        k.grant(fs, st);
+        k.grant(fs, cb);
+        Rig { k, app1, app2, sched, lock, evt, tmr, mm, fs }
+    }
+
+    #[test]
+    fn sched_ping_pong_completes() {
+        let mut r = rig();
+        let t1 = r.k.create_thread(r.app1, Priority(5));
+        let t2 = r.k.create_thread(r.app1, Priority(5));
+        let mut ex: Executor<Kernel> = Executor::new();
+        ex.attach(
+            t1,
+            Box::new(SchedPingPong::new(ClientEnd::new(r.app1, t1, r.sched), t2, 5, true)),
+        );
+        ex.attach(
+            t2,
+            Box::new(SchedPingPong::new(ClientEnd::new(r.app1, t2, r.sched), t1, 5, false)),
+        );
+        assert_eq!(ex.run(&mut r.k, 10_000), RunExit::AllDone);
+        assert!(r.k.thread(t1).unwrap().state.is_terminal());
+        assert!(r.k.thread(t2).unwrap().state.is_terminal());
+    }
+
+    #[test]
+    fn lock_owner_and_contender_complete() {
+        let mut r = rig();
+        let t1 = r.k.create_thread(r.app1, Priority(5));
+        let t2 = r.k.create_thread(r.app1, Priority(5));
+        let shared = shared_desc();
+        let mut ex: Executor<Kernel> = Executor::new();
+        ex.attach(
+            t1,
+            Box::new(LockOwner::new(ClientEnd::new(r.app1, t1, r.lock), shared.clone(), 4, 2)),
+        );
+        ex.attach(
+            t2,
+            Box::new(LockContender::new(ClientEnd::new(r.app1, t2, r.lock), shared, 3)),
+        );
+        assert_eq!(ex.run(&mut r.k, 10_000), RunExit::AllDone);
+    }
+
+    #[test]
+    fn event_waiter_and_trigger_complete_across_components() {
+        let mut r = rig();
+        let t1 = r.k.create_thread(r.app1, Priority(5));
+        let t2 = r.k.create_thread(r.app2, Priority(6));
+        let shared = shared_desc();
+        let mut ex: Executor<Kernel> = Executor::new();
+        ex.attach(
+            t1,
+            Box::new(EventWaiter::new(ClientEnd::new(r.app1, t1, r.evt), shared.clone(), 4)),
+        );
+        ex.attach(t2, Box::new(EventTrigger::new(ClientEnd::new(r.app2, t2, r.evt), shared, 4)));
+        assert_eq!(ex.run(&mut r.k, 10_000), RunExit::AllDone);
+    }
+
+    #[test]
+    fn timer_periodic_completes_and_advances_time() {
+        let mut r = rig();
+        let t = r.k.create_thread(r.app1, Priority(5));
+        let mut ex: Executor<Kernel> = Executor::new();
+        ex.attach(t, Box::new(TimerPeriodic::new(ClientEnd::new(r.app1, t, r.tmr), 1_000_000, 5)));
+        assert_eq!(ex.run(&mut r.k, 10_000), RunExit::AllDone);
+        assert!(r.k.now().as_nanos() >= 5_000_000);
+    }
+
+    #[test]
+    fn mm_grant_alias_revoke_completes() {
+        let mut r = rig();
+        let t = r.k.create_thread(r.app1, Priority(5));
+        let mut ex: Executor<Kernel> = Executor::new();
+        ex.attach(t, Box::new(MmGrantAliasRevoke::new(ClientEnd::new(r.app1, t, r.mm), r.app2, 6)));
+        assert_eq!(ex.run(&mut r.k, 10_000), RunExit::AllDone);
+        assert_eq!(r.k.pages().mapping_count(), 0);
+    }
+
+    #[test]
+    fn fs_open_write_read_close_completes() {
+        let mut r = rig();
+        let t = r.k.create_thread(r.app1, Priority(5));
+        let mut ex: Executor<Kernel> = Executor::new();
+        ex.attach(t, Box::new(FsOpenWriteRead::new(ClientEnd::new(r.app1, t, r.fs), 6)));
+        assert_eq!(ex.run(&mut r.k, 10_000), RunExit::AllDone);
+    }
+
+    #[test]
+    fn fs_workload_crashes_on_unrecovered_fault() {
+        // Without a recovery runtime, a fault reaches the workload and
+        // crashes it — the bare-kernel baseline behavior.
+        let mut r = rig();
+        let t = r.k.create_thread(r.app1, Priority(5));
+        let mut ex: Executor<Kernel> = Executor::new();
+        ex.attach(t, Box::new(FsOpenWriteRead::new(ClientEnd::new(r.app1, t, r.fs), 100)));
+        ex.run(&mut r.k, 10);
+        r.k.fault(r.fs);
+        ex.run(&mut r.k, 100);
+        assert_eq!(r.k.thread(t).unwrap().state, composite::ThreadState::Crashed);
+    }
+}

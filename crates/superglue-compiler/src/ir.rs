@@ -1,0 +1,412 @@
+//! Intermediate representation: the executable stub specification.
+//!
+//! [`CompiledStubSpec`] is what the generated stub code *means*: which
+//! argument positions carry descriptors, parents, and tracked metadata;
+//! how return values feed the tracking tables; which recovery mechanisms
+//! the interface's model demands; and how to synthesize arguments when a
+//! recovery walk replays interface functions. The `superglue` runtime
+//! interprets one of these per (client, server) edge.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use superglue_idl::ast::RetvalMode;
+use superglue_idl::{FnSig, InterfaceSpec, TrackKind};
+use superglue_sm::machine::FnRoles;
+use superglue_sm::{DescriptorResourceModel, FnId, StateMachine};
+
+/// How the runtime treats a function's return value. Metadata is named
+/// by compiler-interned slot indices into
+/// [`CompiledStubSpec::meta_names`], so the runtime's hot path never
+/// touches strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetvalSpec {
+    /// Ignored.
+    None,
+    /// The id of the freshly created descriptor (creation functions),
+    /// also stored as metadata in the given slot.
+    NewDesc(usize),
+    /// Stored into descriptor metadata in the given slot.
+    SetData(usize),
+    /// Added to the integer metadata in the given slot (buffer returns
+    /// contribute their byte length) — offset accumulation.
+    AccumData(usize),
+}
+
+/// Where a replayed walk step's argument value comes from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArgSource {
+    /// The client component id.
+    ClientId,
+    /// The descriptor's current server-side id.
+    DescId,
+    /// The parent descriptor's current server-side id.
+    ParentId,
+    /// Tracked metadata in this slot (falls back to the last observed
+    /// argument at this position, then to zero).
+    Meta(usize),
+    /// The last observed argument at this position (falls back to zero).
+    LastObserved,
+}
+
+/// One argument of the `*_restore` upcall used by **G0** recovery of
+/// global descriptors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RestoreArg {
+    /// The creator component id.
+    Creator,
+    /// The descriptor's original (stable, global) id.
+    DescId,
+    /// Tracked metadata in this slot.
+    Meta(usize),
+}
+
+/// The compiled description of one interface function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompiledFn {
+    /// Function name.
+    pub name: String,
+    /// Role memberships (create/terminate/block/wakeup).
+    pub roles: FnRoles,
+    /// Position of the `desc(...)` argument, if any.
+    pub desc_arg: Option<usize>,
+    /// Position of the `parent_desc(...)` argument, if any.
+    pub parent_arg: Option<usize>,
+    /// Tracked-data arguments: (position, metadata slot).
+    pub data_args: Vec<(usize, usize)>,
+    /// Return-value treatment.
+    pub retval: RetvalSpec,
+    /// Per-position argument synthesis plan for recovery replay.
+    pub replay_args: Vec<ArgSource>,
+    /// Whether the stub must remember this function's last arguments
+    /// (only functions that can appear on a recovery walk need them —
+    /// skipping the rest keeps the hot path allocation-free).
+    pub track_args: bool,
+}
+
+/// The full compiled stub specification for one interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledStubSpec {
+    /// Interface name.
+    pub interface: String,
+    /// The descriptor-resource model.
+    pub model: DescriptorResourceModel,
+    /// The descriptor state machine.
+    pub machine: StateMachine,
+    /// Interned metadata names; slot indices in [`CompiledFn`] index
+    /// into this table.
+    pub meta_names: Vec<String>,
+    /// Compiled functions, `FnId`-aligned.
+    pub fns: Vec<CompiledFn>,
+    /// Recovery-state substitutions (`sm_recover_via`).
+    #[serde(with = "superglue_sm::serde_kv")]
+    pub recover_via: BTreeMap<FnId, FnId>,
+    /// Blocking-function restore substitutions (`sm_recover_block`).
+    #[serde(with = "superglue_sm::serde_kv")]
+    pub recover_block: BTreeMap<FnId, FnId>,
+    /// The G0 restore upcall for global interfaces:
+    /// `(function name, argument plan)`.
+    pub restore: Option<(String, Vec<RestoreArg>)>,
+    /// Whether creations are recorded in the storage component — true
+    /// for global descriptors (**G0**) and for cross-component parents
+    /// (creator discovery for **D1**/**U0**).
+    pub records_creations: bool,
+    /// Dense σ: `sigma[state_index * fns.len() + fn_index]`, where
+    /// `state_index` is 0 for `Init` and `1 + f` for `After(f)`. Lets the
+    /// runtime step descriptor state without map lookups.
+    pub sigma: Vec<Option<superglue_sm::State>>,
+}
+
+impl CompiledStubSpec {
+    /// Dense σ step (hot path). Falls back to `None` (invalid branch)
+    /// for states with no outgoing edges.
+    #[must_use]
+    pub fn step(&self, state: superglue_sm::State, f: FnId) -> Option<superglue_sm::State> {
+        use superglue_sm::State;
+        let idx = match state {
+            State::Init => 0usize,
+            State::After(g) => 1 + g.index(),
+            State::Terminated | State::Faulty => return None,
+        };
+        self.sigma.get(idx * self.fns.len() + f.index()).copied().flatten()
+    }
+
+    /// Look up a compiled function by name.
+    #[must_use]
+    pub fn fn_by_name(&self, name: &str) -> Option<(FnId, &CompiledFn)> {
+        self.fns
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FnId(i as u32), f))
+    }
+
+    /// The compiled function for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn fn_of(&self, id: FnId) -> &CompiledFn {
+        &self.fns[id.index()]
+    }
+}
+
+fn intern(names: &mut Vec<String>, name: &str) -> usize {
+    if let Some(i) = names.iter().position(|n| n == name) {
+        return i;
+    }
+    names.push(name.to_owned());
+    names.len() - 1
+}
+
+fn replay_plan(sig: &FnSig, names: &mut Vec<String>) -> Vec<ArgSource> {
+    sig.params
+        .iter()
+        .map(|p| match p.track {
+            TrackKind::Desc => ArgSource::DescId,
+            TrackKind::Parent | TrackKind::DataParent => ArgSource::ParentId,
+            TrackKind::Data => {
+                if p.ty.contains("componentid") || p.name == "compid" {
+                    ArgSource::ClientId
+                } else {
+                    ArgSource::Meta(intern(names, &p.name))
+                }
+            }
+            TrackKind::None => {
+                if p.ty.contains("componentid") || p.name == "compid" {
+                    ArgSource::ClientId
+                } else {
+                    ArgSource::LastObserved
+                }
+            }
+        })
+        .collect()
+}
+
+fn lower_fn(spec: &InterfaceSpec, sig: &FnSig, names: &mut Vec<String>) -> CompiledFn {
+    let roles = spec.machine.roles(sig.id);
+    let desc_arg = sig.params.iter().position(|p| p.track == TrackKind::Desc);
+    let parent_arg = sig
+        .params
+        .iter()
+        .position(|p| matches!(p.track, TrackKind::Parent | TrackKind::DataParent));
+    let data_args = sig
+        .params
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p.track, TrackKind::Data | TrackKind::DataParent))
+        .map(|(i, p)| (i, intern(names, &p.name)))
+        .collect();
+    let retval = match &sig.retval_tracked {
+        None => RetvalSpec::None,
+        Some((_, name, mode)) => {
+            let slot = intern(names, name);
+            if roles.creates {
+                RetvalSpec::NewDesc(slot)
+            } else {
+                match mode {
+                    RetvalMode::Set => RetvalSpec::SetData(slot),
+                    RetvalMode::Accum => RetvalSpec::AccumData(slot),
+                }
+            }
+        }
+    };
+    CompiledFn {
+        name: sig.name.clone(),
+        roles,
+        desc_arg,
+        parent_arg,
+        data_args,
+        retval,
+        replay_args: replay_plan(sig, names),
+        track_args: false, // filled in by `lower`
+    }
+}
+
+/// Functions that may be replayed during recovery: every function on any
+/// shortest walk to any reachable state (after `sm_recover_via`
+/// substitution), plus creations and `sm_recover_block` targets.
+fn walk_functions(spec: &InterfaceSpec) -> std::collections::BTreeSet<FnId> {
+    use superglue_sm::State;
+    let mut set = std::collections::BTreeSet::new();
+    let via: BTreeMap<FnId, FnId> = spec.recover_via.iter().copied().collect();
+    for (i, _) in spec.fns.iter().enumerate() {
+        let f = FnId(i as u32);
+        let target = via.get(&f).copied().unwrap_or(f);
+        if let Ok(walk) = spec.machine.recovery_walk(State::After(target)) {
+            set.extend(walk);
+        }
+        if spec.machine.roles(f).creates {
+            set.insert(f);
+        }
+    }
+    for (_, g) in &spec.recover_block {
+        set.insert(*g);
+    }
+    set
+}
+
+/// Lower a validated interface into its compiled stub specification.
+#[must_use]
+pub fn lower(spec: &InterfaceSpec) -> CompiledStubSpec {
+    let replayable = walk_functions(spec);
+    let mut meta_names = Vec::new();
+    let mut fns: Vec<CompiledFn> =
+        spec.fns.iter().map(|sig| lower_fn(spec, sig, &mut meta_names)).collect();
+    for (i, f) in fns.iter_mut().enumerate() {
+        f.track_args = replayable.contains(&FnId(i as u32));
+    }
+    let recover_via: BTreeMap<FnId, FnId> = spec.recover_via.iter().copied().collect();
+    let recover_block: BTreeMap<FnId, FnId> = spec.recover_block.iter().copied().collect();
+
+    // G0: a global interface gets a `<iface>_restore` upcall whose
+    // arguments are the creator, the original id, and the creation
+    // function's tracked metadata (in declaration order).
+    let restore = if spec.model.global {
+        let create_sig = spec
+            .fns
+            .iter()
+            .find(|s| spec.machine.roles(s.id).creates)
+            .expect("validation guarantees a creation function");
+        let mut args = vec![RestoreArg::Creator, RestoreArg::DescId];
+        for p in create_sig.data_params() {
+            // compid-like parameters are covered by Creator.
+            if p.ty.contains("componentid") || p.name == "compid" {
+                continue;
+            }
+            args.push(RestoreArg::Meta(intern(&mut meta_names, &p.name)));
+        }
+        Some((format!("{}_restore", spec.name), args))
+    } else {
+        None
+    };
+
+    let records_creations = spec.model.global || spec.model.parent.crosses_components();
+
+    let nfns = fns.len();
+    let mut sigma: Vec<Option<superglue_sm::State>> = vec![None; (nfns + 1) * nfns];
+    {
+        use superglue_sm::State;
+        for (src, f, dst) in spec.machine.edges() {
+            let idx = match src {
+                State::Init => 0usize,
+                State::After(g) => 1 + g.index(),
+                State::Terminated | State::Faulty => continue,
+            };
+            sigma[idx * nfns + f.index()] = Some(dst);
+        }
+    }
+
+    CompiledStubSpec {
+        interface: spec.name.clone(),
+        model: spec.model,
+        machine: spec.machine.clone(),
+        meta_names,
+        fns,
+        recover_via,
+        recover_block,
+        restore,
+        records_creations,
+        sigma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EVT_IDL: &str = r#"
+service_global_info = {
+        desc_has_parent    = parent,
+        desc_close_remove  = true,
+        desc_is_global     = true,
+        desc_block         = true,
+        desc_has_data      = true
+};
+sm_transition(evt_split,   evt_wait);
+sm_transition(evt_split,   evt_trigger);
+sm_transition(evt_wait,    evt_trigger);
+sm_transition(evt_trigger, evt_wait);
+sm_transition(evt_trigger, evt_free);
+sm_transition(evt_split,   evt_free);
+sm_creation(evt_split);
+sm_terminal(evt_free);
+sm_block(evt_wait);
+sm_wakeup(evt_trigger);
+sm_recover_via(evt_wait, evt_split);
+
+desc_data_retval(long, evtid)
+evt_split(desc_data(componentid_t compid),
+          desc_data(parent_desc(long parent_evtid)),
+          desc_data(int grp));
+long evt_wait(componentid_t compid, desc(long evtid));
+int evt_trigger(componentid_t compid, desc(long evtid));
+int evt_free(componentid_t compid, desc(long evtid));
+"#;
+
+    fn evt_spec() -> CompiledStubSpec {
+        let spec = superglue_idl::compile_interface("evt", EVT_IDL).unwrap();
+        lower(&spec)
+    }
+
+    #[test]
+    fn lowers_fn_positions() {
+        let s = evt_spec();
+        let (_, wait) = s.fn_by_name("evt_wait").unwrap();
+        assert_eq!(wait.desc_arg, Some(1));
+        assert_eq!(wait.parent_arg, None);
+        assert!(wait.roles.blocks);
+        let (_, split) = s.fn_by_name("evt_split").unwrap();
+        assert_eq!(split.parent_arg, Some(1));
+        let RetvalSpec::NewDesc(slot) = split.retval else { panic!("expected NewDesc") };
+        assert_eq!(s.meta_names[slot], "evtid");
+        assert_eq!(split.data_args.len(), 3);
+    }
+
+    #[test]
+    fn global_interface_gets_restore_plan() {
+        let s = evt_spec();
+        let (name, args) = s.restore.as_ref().unwrap();
+        assert_eq!(name, "evt_restore");
+        // Creator, original id, parent metadata, grp metadata — compid is
+        // folded into Creator.
+        assert_eq!(args.len(), 4);
+        assert_eq!(args[0], RestoreArg::Creator);
+        assert_eq!(args[1], RestoreArg::DescId);
+        let RestoreArg::Meta(p) = args[2] else { panic!("meta") };
+        let RestoreArg::Meta(g) = args[3] else { panic!("meta") };
+        assert_eq!(s.meta_names[p], "parent_evtid");
+        assert_eq!(s.meta_names[g], "grp");
+        assert!(s.records_creations);
+    }
+
+    #[test]
+    fn recover_via_is_lowered() {
+        let s = evt_spec();
+        let (wait_id, _) = s.fn_by_name("evt_wait").unwrap();
+        let (split_id, _) = s.fn_by_name("evt_split").unwrap();
+        assert_eq!(s.recover_via.get(&wait_id), Some(&split_id));
+    }
+
+    #[test]
+    fn replay_plan_synthesizes_compid_and_desc() {
+        let s = evt_spec();
+        let (_, wait) = s.fn_by_name("evt_wait").unwrap();
+        assert_eq!(wait.replay_args, vec![ArgSource::ClientId, ArgSource::DescId]);
+        let (_, split) = s.fn_by_name("evt_split").unwrap();
+        assert!(matches!(split.replay_args[0], ArgSource::ClientId));
+        assert!(matches!(split.replay_args[1], ArgSource::ParentId));
+        let ArgSource::Meta(slot) = split.replay_args[2] else { panic!("meta") };
+        assert_eq!(s.meta_names[slot], "grp");
+    }
+
+    #[test]
+    fn local_interface_has_no_restore() {
+        let idl = "sm_creation(f);\ndesc_data_retval(long, id)\nf(componentid_t compid);\n";
+        let spec = superglue_idl::compile_interface("x", idl).unwrap();
+        let s = lower(&spec);
+        assert!(s.restore.is_none());
+        assert!(!s.records_creations);
+    }
+}

@@ -1,0 +1,109 @@
+//! The SuperGlue compiler (§IV-B of the paper).
+//!
+//! The paper's compiler is a pipeline: C preprocessor → `pycparser` front
+//! end → intermediate representation encoding the descriptor-resource and
+//! state-machine models → a back end of **72 template–predicate pairs**
+//! that emits client and server stub code, where a template is included
+//! only when its predicate holds for the interface's model.
+//!
+//! This crate is the Rust equivalent. The front end lives in
+//! [`superglue_idl`]; from a validated
+//! [`InterfaceSpec`] this crate produces:
+//!
+//! * an executable **stub specification** ([`ir::CompiledStubSpec`]) that
+//!   the `superglue` runtime interprets — the semantic payload of the
+//!   generated code (descriptor tracking tables, recovery walks, id
+//!   translation, G0/G1/U0 interactions);
+//! * **generated stub source text** ([`emit`]) for the client and server
+//!   sides, rendered from the same template–predicate network — this is
+//!   what Fig 6(c) counts as "generated LOC" against the IDL's
+//!   hand-written-replacement LOC.
+//!
+//! # Example
+//!
+//! ```
+//! let idl = r#"
+//! sm_creation(lock_alloc);
+//! sm_terminal(lock_free);
+//! sm_transition(lock_alloc, lock_take);
+//! sm_transition(lock_take, lock_release);
+//! sm_transition(lock_release, lock_take);
+//! sm_transition(lock_release, lock_free);
+//! sm_transition(lock_alloc, lock_free);
+//! desc_data_retval(long, lockid)
+//! lock_alloc(componentid_t compid);
+//! int lock_take(componentid_t compid, desc(long lockid));
+//! int lock_release(componentid_t compid, desc(long lockid));
+//! int lock_free(componentid_t compid, desc(long lockid));
+//! "#;
+//! let spec = superglue_idl::compile_interface("lock", idl)?;
+//! let out = superglue_compiler::compile(&spec);
+//! assert_eq!(out.stub_spec.interface, "lock");
+//! assert!(out.client_source.contains("lock_take"));
+//! assert!(out.generated_loc() > superglue_idl::idl_loc(idl));
+//! # Ok::<(), superglue_idl::IdlError>(())
+//! ```
+
+pub mod emit;
+pub mod ir;
+pub mod predicates;
+pub mod templates;
+
+pub use ir::{ArgSource, CompiledFn, CompiledStubSpec, RestoreArg, RetvalSpec};
+pub use predicates::ModelPredicates;
+
+use superglue_idl::InterfaceSpec;
+
+/// Everything the compiler produces for one interface.
+#[derive(Debug, Clone)]
+pub struct Compilation {
+    /// The runtime-interpretable stub specification.
+    pub stub_spec: CompiledStubSpec,
+    /// Generated client-stub source text.
+    pub client_source: String,
+    /// Generated server-stub source text.
+    pub server_source: String,
+    /// Which template–predicate pairs fired, by template name (for
+    /// inspection and for the template-count invariant tests).
+    pub templates_used: Vec<&'static str>,
+}
+
+impl Compilation {
+    /// Lines of generated stub code, client + server — the "generated
+    /// LOC" series of Fig 6(c).
+    #[must_use]
+    pub fn generated_loc(&self) -> usize {
+        count_loc(&self.client_source) + count_loc(&self.server_source)
+    }
+}
+
+/// Count non-blank, non-comment lines of generated source.
+#[must_use]
+pub fn count_loc(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| {
+            !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && !l.starts_with('*')
+        })
+        .count()
+}
+
+/// Compile a validated interface into a stub spec plus generated source.
+#[must_use]
+pub fn compile(spec: &InterfaceSpec) -> Compilation {
+    let stub_spec = ir::lower(spec);
+    let preds = ModelPredicates::of(spec);
+    let (client_source, server_source, templates_used) = emit::emit_both(spec, &stub_spec, &preds);
+    Compilation { stub_spec, client_source, server_source, templates_used }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_loc_skips_blank_and_comment_lines() {
+        assert_eq!(count_loc("a\n\n// c\nb\n"), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Predicates over the descriptor-resource model — the §III-C mapping
+//! from model to recovery mechanism, used to gate code templates.
+
+use superglue_idl::InterfaceSpec;
+use superglue_sm::model::Mechanism;
+
+/// The evaluated predicate set for one interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelPredicates {
+    /// `B_r`: threads can block in the server → **T0** eager wakeup.
+    pub blocks: bool,
+    /// `D_r`: the resource carries bulk data → **G1** storage redundancy.
+    pub resource_data: bool,
+    /// `G_dr`: descriptors are global → **G0** + **U0**.
+    pub global: bool,
+    /// `P_dr ≠ Solo`: parent ordering → **D1**.
+    pub has_parent: bool,
+    /// `P_dr = XCParent`: parents cross components → upcall-based D1.
+    pub xc_parent: bool,
+    /// `C_dr`: recursive close → **D0**.
+    pub close_children: bool,
+    /// `Y_dr`: close removes tracking.
+    pub close_removes: bool,
+    /// `D_dr`: descriptors carry metadata.
+    pub desc_data: bool,
+    /// The interface declares `sm_recover_via` substitutions.
+    pub has_recover_via: bool,
+    /// Some function accumulates its return value into metadata.
+    pub has_accum: bool,
+    /// Some function has a terminal role.
+    pub has_terminal: bool,
+}
+
+impl ModelPredicates {
+    /// Evaluate the predicates for an interface.
+    #[must_use]
+    pub fn of(spec: &InterfaceSpec) -> Self {
+        let m = &spec.model;
+        Self {
+            blocks: m.blocks,
+            resource_data: m.resource_has_data,
+            global: m.global,
+            has_parent: m.parent.has_parent(),
+            xc_parent: m.parent.crosses_components(),
+            close_children: m.close_children,
+            close_removes: m.close_removes_tracking,
+            desc_data: m.descriptor_has_data,
+            has_recover_via: !spec.recover_via.is_empty(),
+            has_accum: spec.fns.iter().any(|f| {
+                matches!(
+                    f.retval_tracked,
+                    Some((_, _, superglue_idl::ast::RetvalMode::Accum))
+                )
+            }),
+            has_terminal: spec.machine.terminal_fns().next().is_some(),
+        }
+    }
+
+    /// Whether the storage component participates in recovery.
+    #[must_use]
+    pub fn needs_storage(&self) -> bool {
+        self.global || self.resource_data || self.xc_parent
+    }
+
+    /// The §III-C mechanism set implied by the predicates, matching
+    /// [`superglue_sm::DescriptorResourceModel::mechanisms`].
+    #[must_use]
+    pub fn mechanisms(&self) -> Vec<Mechanism> {
+        let mut m = vec![Mechanism::R0];
+        if self.blocks {
+            m.push(Mechanism::T0);
+        }
+        m.push(Mechanism::T1);
+        if self.close_children {
+            m.push(Mechanism::D0);
+        }
+        if self.has_parent {
+            m.push(Mechanism::D1);
+        }
+        if self.global {
+            m.push(Mechanism::G0);
+            m.push(Mechanism::U0);
+        }
+        if self.resource_data {
+            m.push(Mechanism::G1);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock_spec() -> InterfaceSpec {
+        superglue_idl::compile_interface(
+            "lock",
+            r#"
+service_global_info = { desc_block = true };
+sm_creation(lock_alloc);
+sm_terminal(lock_free);
+sm_block(lock_take);
+sm_wakeup(lock_release);
+sm_transition(lock_alloc, lock_take);
+sm_transition(lock_take, lock_release);
+sm_transition(lock_release, lock_take);
+sm_transition(lock_release, lock_free);
+sm_transition(lock_alloc, lock_free);
+desc_data_retval(long, lockid)
+lock_alloc(componentid_t compid);
+int lock_take(componentid_t compid, desc(long lockid));
+int lock_release(componentid_t compid, desc(long lockid));
+int lock_free(componentid_t compid, desc(long lockid));
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lock_predicates_match_paper() {
+        // §V-C: "a lock descriptor only needs eager recovery (T0), base
+        // recovery (R0), and on-demand recovery (T1)".
+        let p = ModelPredicates::of(&lock_spec());
+        assert!(p.blocks);
+        assert!(!p.global && !p.has_parent && !p.resource_data);
+        assert_eq!(
+            p.mechanisms(),
+            vec![Mechanism::R0, Mechanism::T0, Mechanism::T1]
+        );
+        assert!(!p.needs_storage());
+    }
+
+    #[test]
+    fn mechanisms_agree_with_model() {
+        let spec = lock_spec();
+        let p = ModelPredicates::of(&spec);
+        assert_eq!(p.mechanisms(), spec.model.mechanisms());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the compiler: the dense σ table must agree with
+//! the state machine everywhere, template emission must be monotone in
+//! the predicates, and the shipped interfaces must satisfy the
+//! compiled-spec invariants.
+
+use proptest::prelude::*;
+
+use superglue_compiler::{compile, ArgSource, RetvalSpec};
+use superglue_idl::compile_interface;
+use superglue_sm::{FnId, State};
+
+/// The six shipped interface sources, embedded for compiler-level tests.
+const SHIPPED: [(&str, &str); 6] = [
+    ("sched", include_str!("../../../idl/sched.sg")),
+    ("mm", include_str!("../../../idl/mm.sg")),
+    ("fs", include_str!("../../../idl/fs.sg")),
+    ("lock", include_str!("../../../idl/lock.sg")),
+    ("evt", include_str!("../../../idl/evt.sg")),
+    ("tmr", include_str!("../../../idl/tmr.sg")),
+];
+
+#[test]
+fn dense_sigma_agrees_with_machine_for_all_shipped_interfaces() {
+    for (name, src) in SHIPPED {
+        let spec = compile_interface(name, src).expect("shipped IDL compiles");
+        let out = compile(&spec);
+        let n = spec.machine.function_count();
+        let mut states = vec![State::Init];
+        states.extend((0..n).map(|i| State::After(FnId(i as u32))));
+        states.push(State::Terminated);
+        states.push(State::Faulty);
+        for s in states {
+            for i in 0..n {
+                let f = FnId(i as u32);
+                let machine = spec.machine.step(s, f).ok();
+                let dense = out.stub_spec.step(s, f);
+                assert_eq!(machine, dense, "{name}: σ({s:?}, {f:?})");
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_fn_invariants_hold_for_all_shipped_interfaces() {
+    for (name, src) in SHIPPED {
+        let spec = compile_interface(name, src).expect("shipped IDL compiles");
+        let out = compile(&spec);
+        let stub = &out.stub_spec;
+        assert_eq!(stub.fns.len(), spec.machine.function_count(), "{name}");
+        for (i, f) in stub.fns.iter().enumerate() {
+            let fid = FnId(i as u32);
+            // Creation functions have a NewDesc retval; non-creations
+            // with a desc arg have a valid position; replay plans match
+            // parameter counts.
+            if f.roles.creates {
+                assert!(matches!(f.retval, RetvalSpec::NewDesc(_)), "{name}/{}", f.name);
+                assert!(f.track_args, "{name}/{}: creations must remember args", f.name);
+            } else {
+                assert!(f.desc_arg.is_some(), "{name}/{}", f.name);
+            }
+            assert_eq!(
+                f.replay_args.len(),
+                spec.fns[fid.index()].params.len(),
+                "{name}/{}",
+                f.name
+            );
+            // Every slot index referenced is within the interned table.
+            for arg in &f.replay_args {
+                if let ArgSource::Meta(slot) = arg {
+                    assert!(*slot < stub.meta_names.len(), "{name}/{}", f.name);
+                }
+            }
+            for (_, slot) in &f.data_args {
+                assert!(*slot < stub.meta_names.len(), "{name}/{}", f.name);
+            }
+            match f.retval {
+                RetvalSpec::NewDesc(s) | RetvalSpec::SetData(s) | RetvalSpec::AccumData(s) => {
+                    assert!(s < stub.meta_names.len(), "{name}/{}", f.name);
+                }
+                RetvalSpec::None => {}
+            }
+        }
+        // Every function on a recovery walk is marked track_args.
+        for i in 0..stub.fns.len() {
+            let fid = FnId(i as u32);
+            let effective = stub.recover_via.get(&fid).copied().unwrap_or(fid);
+            if let Ok(walk) = spec.machine.recovery_walk(State::After(effective)) {
+                for w in walk {
+                    assert!(
+                        stub.fns[w.index()].track_args,
+                        "{name}: walk fn {} must track args",
+                        stub.fns[w.index()].name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Random subsets of model bits: emission is monotone — enabling a model
+/// feature can only keep or grow the fired template set.
+fn idl_with(global: bool, data: bool, blocking: bool) -> String {
+    let mut out = String::from("service_global_info = {\n    desc_has_parent = parent");
+    if global {
+        out.push_str(",\n    desc_is_global = true");
+    }
+    if data {
+        out.push_str(",\n    desc_has_data = true");
+    }
+    if blocking {
+        out.push_str(",\n    desc_block = true");
+    }
+    out.push_str("\n};\n");
+    out.push_str(
+        "sm_creation(g_open);\nsm_terminal(g_close);\n\
+         sm_transition(g_open, g_use);\nsm_transition(g_use, g_use);\n\
+         sm_transition(g_use, g_close);\nsm_transition(g_open, g_close);\n",
+    );
+    if blocking {
+        out.push_str("sm_block(g_use);\n");
+    }
+    out.push_str(
+        "desc_data_retval(long, gid)\n\
+         g_open(componentid_t compid, desc_data(parent_desc(long parent_gid)));\n\
+         int g_use(componentid_t compid, desc(long gid));\n\
+         int g_close(componentid_t compid, desc(long gid));\n",
+    );
+    out
+}
+
+proptest! {
+    #[test]
+    fn template_emission_is_monotone_in_model_bits(
+        global in any::<bool>(),
+        data in any::<bool>(),
+        blocking in any::<bool>(),
+    ) {
+        let base = compile(&compile_interface("g", &idl_with(false, false, false)).unwrap());
+        let richer = compile(&compile_interface("g", &idl_with(global, data, blocking)).unwrap());
+        let base_set: std::collections::BTreeSet<_> = base.templates_used.iter().collect();
+        let richer_set: std::collections::BTreeSet<_> = richer.templates_used.iter().collect();
+        prop_assert!(
+            base_set.is_subset(&richer_set),
+            "templates must grow monotonically: missing {:?}",
+            base_set.difference(&richer_set).collect::<Vec<_>>()
+        );
+        prop_assert!(richer.generated_loc() >= base.generated_loc());
+    }
+
+    /// The generated source is deterministic.
+    #[test]
+    fn emission_is_deterministic(global in any::<bool>(), blocking in any::<bool>()) {
+        let spec = compile_interface("g", &idl_with(global, false, blocking)).unwrap();
+        let a = compile(&spec);
+        let b = compile(&spec);
+        prop_assert_eq!(a.client_source, b.client_source);
+        prop_assert_eq!(a.server_source, b.server_source);
+        prop_assert_eq!(a.templates_used, b.templates_used);
+    }
+}

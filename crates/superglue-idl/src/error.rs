@@ -1,0 +1,128 @@
+use std::fmt;
+
+/// A half-open source region `(line, column)`, 1-based, attached to
+/// diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Construct a span.
+    #[must_use]
+    pub fn new(line: u32, col: u32) -> Self {
+        Self { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors produced by the IDL front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IdlError {
+    /// A character the lexer cannot tokenize.
+    Lex {
+        /// Location of the offending character.
+        span: Span,
+        /// The character.
+        found: char,
+    },
+    /// An unterminated block comment.
+    UnterminatedComment {
+        /// Where the comment started.
+        span: Span,
+    },
+    /// The parser expected something else.
+    Parse {
+        /// Location of the unexpected token.
+        span: Span,
+        /// Human description of what was expected.
+        expected: String,
+        /// What was found instead.
+        found: String,
+    },
+    /// Semantic validation failure (unknown function in an `sm_*`
+    /// declaration, bad `service_global_info` key, model inconsistency…).
+    Semantic {
+        /// Explanation.
+        message: String,
+    },
+    /// The underlying state-machine/model construction failed.
+    Model(superglue_sm::Error),
+}
+
+impl fmt::Display for IdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdlError::Lex { span, found } => {
+                write!(f, "{span}: unexpected character {found:?}")
+            }
+            IdlError::UnterminatedComment { span } => {
+                write!(f, "{span}: unterminated block comment")
+            }
+            IdlError::Parse { span, expected, found } => {
+                write!(f, "{span}: expected {expected}, found {found}")
+            }
+            IdlError::Semantic { message } => write!(f, "semantic error: {message}"),
+            IdlError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IdlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IdlError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<superglue_sm::Error> for IdlError {
+    fn from(e: superglue_sm::Error) -> Self {
+        IdlError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_display_as_line_col() {
+        assert_eq!(Span::new(3, 14).to_string(), "3:14");
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs = [
+            IdlError::Lex { span: Span::new(1, 1), found: '#' },
+            IdlError::UnterminatedComment { span: Span::new(2, 2) },
+            IdlError::Parse {
+                span: Span::new(3, 3),
+                expected: "identifier".into(),
+                found: "';'".into(),
+            },
+            IdlError::Semantic { message: "x".into() },
+            IdlError::Model(superglue_sm::Error::NoCreationFunction),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn model_error_has_source() {
+        use std::error::Error as _;
+        let e = IdlError::Model(superglue_sm::Error::NoCreationFunction);
+        assert!(e.source().is_some());
+    }
+}

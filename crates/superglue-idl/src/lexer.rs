@@ -1,0 +1,241 @@
+//! Hand-written lexer for the SuperGlue IDL.
+//!
+//! Handles `//` line comments, `/* … */` block comments, identifiers
+//! (including `_`), decimal integer literals, and the punctuation set of
+//! [`crate::token::TokenKind`]. Positions are tracked for diagnostics.
+
+use crate::token::{Token, TokenKind};
+use crate::{IdlError, Span};
+
+/// Tokenize an entire source string.
+///
+/// The returned vector always ends with an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// [`IdlError::Lex`] on a character outside the language, or
+/// [`IdlError::UnterminatedComment`] when a `/*` never closes.
+pub fn lex(source: &str) -> Result<Vec<Token>, IdlError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self { chars: source.chars().peekable(), line: 1, col: 1 }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, IdlError> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace.
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.bump();
+            }
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                out.push(Token::new(TokenKind::Eof, span));
+                return Ok(out);
+            };
+            match c {
+                '/' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('/') => {
+                            while let Some(c) = self.peek() {
+                                if c == '\n' {
+                                    break;
+                                }
+                                self.bump();
+                            }
+                        }
+                        Some('*') => {
+                            self.bump();
+                            let mut closed = false;
+                            while let Some(c) = self.bump() {
+                                if c == '*' && self.peek() == Some('/') {
+                                    self.bump();
+                                    closed = true;
+                                    break;
+                                }
+                            }
+                            if !closed {
+                                return Err(IdlError::UnterminatedComment { span });
+                            }
+                        }
+                        other => {
+                            return Err(IdlError::Lex { span, found: other.unwrap_or('/') });
+                        }
+                    }
+                }
+                '(' => {
+                    self.bump();
+                    out.push(Token::new(TokenKind::LParen, span));
+                }
+                ')' => {
+                    self.bump();
+                    out.push(Token::new(TokenKind::RParen, span));
+                }
+                '{' => {
+                    self.bump();
+                    out.push(Token::new(TokenKind::LBrace, span));
+                }
+                '}' => {
+                    self.bump();
+                    out.push(Token::new(TokenKind::RBrace, span));
+                }
+                ',' => {
+                    self.bump();
+                    out.push(Token::new(TokenKind::Comma, span));
+                }
+                ';' => {
+                    self.bump();
+                    out.push(Token::new(TokenKind::Semi, span));
+                }
+                '=' => {
+                    self.bump();
+                    out.push(Token::new(TokenKind::Eq, span));
+                }
+                '*' => {
+                    self.bump();
+                    out.push(Token::new(TokenKind::Star, span));
+                }
+                c if c.is_ascii_digit() => {
+                    let mut v: i64 = 0;
+                    while let Some(d) = self.peek() {
+                        let Some(digit) = d.to_digit(10) else { break };
+                        v = v * 10 + i64::from(digit);
+                        self.bump();
+                    }
+                    out.push(Token::new(TokenKind::Int(v), span));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            s.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Token::new(TokenKind::Ident(s), span));
+                }
+                other => return Err(IdlError::Lex { span, found: other }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_fig3_fragment() {
+        let toks = kinds("sm_transition(evt_split, evt_wait);");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("sm_transition".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("evt_split".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("evt_wait".into()),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_global_info_block() {
+        let toks = kinds("service_global_info = { desc_block = true };");
+        assert!(toks.contains(&TokenKind::LBrace));
+        assert!(toks.contains(&TokenKind::Eq));
+        assert!(toks.contains(&TokenKind::Ident("true".into())));
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let toks = kinds("// hello\nint /* inline */ x;");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn integers_and_stars() {
+        let toks = kinds("char *buf 16");
+        assert_eq!(toks[0], TokenKind::Ident("char".into()));
+        assert_eq!(toks[1], TokenKind::Star);
+        assert_eq!(toks[2], TokenKind::Ident("buf".into()));
+        assert_eq!(toks[3], TokenKind::Int(16));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("int $x;").unwrap_err();
+        assert!(matches!(err, IdlError::Lex { found: '$', .. }));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        let err = lex("/* never closes").unwrap_err();
+        assert!(matches!(err, IdlError::UnterminatedComment { .. }));
+    }
+
+    #[test]
+    fn lone_slash_is_an_error() {
+        let err = lex("a / b").unwrap_err();
+        assert!(matches!(err, IdlError::Lex { .. }));
+    }
+
+    #[test]
+    fn empty_input_yields_only_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+}

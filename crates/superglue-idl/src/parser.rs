@@ -1,0 +1,490 @@
+//! Recursive-descent parser for the SuperGlue IDL.
+//!
+//! The grammar (see Fig 3 of the paper for a complete example):
+//!
+//! ```text
+//! file        := item*
+//! item        := global_info | sm_decl | fn_decl
+//! global_info := "service_global_info" "=" "{" kv ("," kv)* ","? "}" ";"
+//! kv          := IDENT "=" (true|false|solo|parent|xcparent)
+//! sm_decl     := "sm_transition" "(" IDENT "," IDENT ")" ";"
+//!              | ("sm_creation"|"sm_terminal"|"sm_block"|"sm_wakeup")
+//!                "(" IDENT ")" ";"
+//! fn_decl     := retval_annot? type? IDENT "(" params? ")" ";"
+//! retval_annot:= "desc_data_retval" "(" type "," IDENT ")"
+//! params      := "void" | param ("," param)*
+//! param       := "desc"        "(" type IDENT ")"
+//!              | "parent_desc" "(" type IDENT ")"
+//!              | "desc_data"   "(" ("parent_desc" "(" type IDENT ")" | type IDENT) ")"
+//!              | type IDENT
+//! type        := IDENT+ "*"*
+//! ```
+
+use superglue_sm::ParentPolicy;
+
+use crate::ast::{CType, FnDecl, GlobalValue, IdlFile, Param, ParamAnnot, RetvalMode, SmDecl};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+use crate::{IdlError, Span};
+
+/// Parse an IDL source string into an [`IdlFile`].
+///
+/// # Errors
+///
+/// Any lexical or syntactic error, with position.
+pub fn parse(source: &str) -> Result<IdlFile, IdlError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.file()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, expected: &str) -> IdlError {
+        let t = self.peek();
+        IdlError::Parse {
+            span: t.span,
+            expected: expected.to_owned(),
+            found: t.kind.to_string(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Span, IdlError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, IdlError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let TokenKind::Ident(s) = self.bump().kind else { unreachable!() };
+                Ok(s)
+            }
+            _ => Err(self.err(what)),
+        }
+    }
+
+    fn at_ident(&self, text: &str) -> bool {
+        self.peek().kind.ident() == Some(text)
+    }
+
+    fn file(mut self) -> Result<IdlFile, IdlError> {
+        let mut out = IdlFile::default();
+        let mut pending_retval: Option<(CType, String, RetvalMode)> = None;
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => break,
+                TokenKind::Ident(name) => match name.as_str() {
+                    "service_global_info" => {
+                        self.bump();
+                        self.global_info(&mut out)?;
+                    }
+                    "sm_transition" | "sm_creation" | "sm_terminal" | "sm_block" | "sm_wakeup"
+                    | "sm_recover_via" | "sm_recover_block" => {
+                        let kw = self.expect_ident("sm keyword")?;
+                        out.sm_decls.push(self.sm_decl(&kw)?);
+                    }
+                    "desc_data_retval" | "desc_data_retval_accum" => {
+                        if pending_retval.is_some() {
+                            return Err(IdlError::Parse {
+                                span: self.peek().span,
+                                expected: "a function prototype after desc_data_retval".into(),
+                                found: "another desc_data_retval".into(),
+                            });
+                        }
+                        let mode = if name == "desc_data_retval_accum" {
+                            RetvalMode::Accum
+                        } else {
+                            RetvalMode::Set
+                        };
+                        self.bump();
+                        self.expect(&TokenKind::LParen, "'('")?;
+                        let ty = self.ctype()?;
+                        self.expect(&TokenKind::Comma, "','")?;
+                        let name = self.expect_ident("retval name")?;
+                        self.expect(&TokenKind::RParen, "')'")?;
+                        pending_retval = Some((ty, name, mode));
+                    }
+                    _ => {
+                        let mut f = self.fn_decl()?;
+                        f.retval = pending_retval.take();
+                        out.functions.push(f);
+                    }
+                },
+                _ => return Err(self.err("a declaration")),
+            }
+        }
+        if pending_retval.is_some() {
+            return Err(IdlError::Semantic {
+                message: "desc_data_retval annotation not followed by a function prototype".into(),
+            });
+        }
+        Ok(out)
+    }
+
+    fn global_info(&mut self, out: &mut IdlFile) -> Result<(), IdlError> {
+        self.expect(&TokenKind::Eq, "'='")?;
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        loop {
+            if self.peek().kind == TokenKind::RBrace {
+                self.bump();
+                break;
+            }
+            let key = self.expect_ident("a service_global_info key")?;
+            self.expect(&TokenKind::Eq, "'='")?;
+            let span = self.peek().span;
+            let raw = self.expect_ident("true, false, Solo, Parent or XCParent")?;
+            let value = parse_global_value(&raw, span)?;
+            out.global_info.push((key, value));
+            match &self.peek().kind {
+                TokenKind::Comma => {
+                    self.bump();
+                }
+                TokenKind::RBrace => {}
+                _ => return Err(self.err("',' or '}'")),
+            }
+        }
+        self.expect(&TokenKind::Semi, "';'")?;
+        Ok(())
+    }
+
+    fn sm_decl(&mut self, kw: &str) -> Result<SmDecl, IdlError> {
+        self.expect(&TokenKind::LParen, "'('")?;
+        let first = self.expect_ident("a function name")?;
+        let decl = if kw == "sm_transition" || kw == "sm_recover_via" || kw == "sm_recover_block" {
+            self.expect(&TokenKind::Comma, "','")?;
+            let second = self.expect_ident("a function name")?;
+            match kw {
+                "sm_transition" => SmDecl::Transition(first, second),
+                "sm_recover_via" => SmDecl::RecoverVia(first, second),
+                _ => SmDecl::RecoverBlock(first, second),
+            }
+        } else {
+            match kw {
+                "sm_creation" => SmDecl::Creation(first),
+                "sm_terminal" => SmDecl::Terminal(first),
+                "sm_block" => SmDecl::Block(first),
+                "sm_wakeup" => SmDecl::Wakeup(first),
+                _ => unreachable!("caller checked the keyword"),
+            }
+        };
+        self.expect(&TokenKind::RParen, "')'")?;
+        self.expect(&TokenKind::Semi, "';'")?;
+        Ok(decl)
+    }
+
+    /// Parse a type: one or more identifier words followed by `*`s.
+    fn ctype(&mut self) -> Result<CType, IdlError> {
+        let mut words = vec![self.expect_ident("a type")?];
+        while let TokenKind::Ident(_) = &self.peek().kind {
+            // Only continue while the *next* token is also part of a type
+            // context; the caller handles name/word ambiguity.
+            words.push(self.expect_ident("a type word")?);
+        }
+        let mut pointers = 0u8;
+        while self.peek().kind == TokenKind::Star {
+            self.bump();
+            pointers = pointers.saturating_add(1);
+        }
+        Ok(CType::new(words, pointers))
+    }
+
+    /// Parse `type name` where the final identifier is the name.
+    fn typed_name(&mut self) -> Result<(CType, String), IdlError> {
+        let mut words = vec![self.expect_ident("a type")?];
+        let mut pointers = 0u8;
+        loop {
+            match &self.peek().kind {
+                TokenKind::Ident(_) => words.push(self.expect_ident("an identifier")?),
+                TokenKind::Star => {
+                    self.bump();
+                    pointers = pointers.saturating_add(1);
+                }
+                _ => break,
+            }
+        }
+        if words.len() < 2 {
+            return Err(self.err("a parameter name after its type"));
+        }
+        let name = words.pop().expect("len >= 2");
+        Ok((CType::new(words, pointers), name))
+    }
+
+    fn fn_decl(&mut self) -> Result<FnDecl, IdlError> {
+        // Collect leading identifier words and stars until '('. The last
+        // word is the function name; anything before is the return type.
+        let mut words = vec![self.expect_ident("a function prototype")?];
+        let mut pointers = 0u8;
+        loop {
+            match &self.peek().kind {
+                TokenKind::Ident(_) if self.peek2().kind != TokenKind::Eq => {
+                    words.push(self.expect_ident("an identifier")?);
+                }
+                TokenKind::Star => {
+                    self.bump();
+                    pointers = pointers.saturating_add(1);
+                }
+                TokenKind::LParen => break,
+                _ => return Err(self.err("'(' to start the parameter list")),
+            }
+        }
+        let name = words.pop().expect("at least one word");
+        let ret = if words.is_empty() { None } else { Some(CType::new(words, pointers)) };
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut params = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            if self.at_ident("void") && self.peek2().kind == TokenKind::RParen {
+                self.bump();
+            } else {
+                loop {
+                    params.push(self.param()?);
+                    if self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        self.expect(&TokenKind::Semi, "';'")?;
+        Ok(FnDecl { ret, retval: None, name, params })
+    }
+
+    fn param(&mut self) -> Result<Param, IdlError> {
+        if self.at_ident("desc") && self.peek2().kind == TokenKind::LParen {
+            self.bump();
+            self.bump();
+            let (ty, name) = self.typed_name()?;
+            self.expect(&TokenKind::RParen, "')'")?;
+            return Ok(Param { ty, name, annot: ParamAnnot::Desc });
+        }
+        if self.at_ident("parent_desc") && self.peek2().kind == TokenKind::LParen {
+            self.bump();
+            self.bump();
+            let (ty, name) = self.typed_name()?;
+            self.expect(&TokenKind::RParen, "')'")?;
+            return Ok(Param { ty, name, annot: ParamAnnot::ParentDesc });
+        }
+        if self.at_ident("desc_data") && self.peek2().kind == TokenKind::LParen {
+            self.bump();
+            self.bump();
+            let param = if self.at_ident("parent_desc") && self.peek2().kind == TokenKind::LParen {
+                self.bump();
+                self.bump();
+                let (ty, name) = self.typed_name()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Param { ty, name, annot: ParamAnnot::DescDataParent }
+            } else {
+                let (ty, name) = self.typed_name()?;
+                Param { ty, name, annot: ParamAnnot::DescData }
+            };
+            self.expect(&TokenKind::RParen, "')'")?;
+            return Ok(param);
+        }
+        let (ty, name) = self.typed_name()?;
+        Ok(Param { ty, name, annot: ParamAnnot::None })
+    }
+}
+
+fn parse_global_value(raw: &str, span: Span) -> Result<GlobalValue, IdlError> {
+    match raw.to_ascii_lowercase().as_str() {
+        "true" => Ok(GlobalValue::Bool(true)),
+        "false" => Ok(GlobalValue::Bool(false)),
+        "solo" => Ok(GlobalValue::Policy(ParentPolicy::Solo)),
+        "parent" => Ok(GlobalValue::Policy(ParentPolicy::Parent)),
+        "xcparent" => Ok(GlobalValue::Policy(ParentPolicy::XcParent)),
+        _ => Err(IdlError::Parse {
+            span,
+            expected: "true, false, Solo, Parent or XCParent".into(),
+            found: format!("identifier {raw:?}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig 3 of the paper, verbatim (modulo the `desc_data` inner syntax
+    /// which we normalize to `type name`).
+    pub(crate) const FIG3: &str = r#"
+service_global_info = {
+        desc_has_parent    = parent,
+        desc_close_remove  = true,
+        desc_is_global     = true,
+        desc_block         = true,
+        desc_has_data      = true
+};
+
+sm_transition(evt_split,   evt_wait);
+sm_transition(evt_wait,    evt_trigger);
+sm_transition(evt_trigger, evt_wait);
+sm_transition(evt_trigger, evt_free);
+sm_transition(evt_split,   evt_free);
+
+sm_creation(evt_split);
+sm_terminal(evt_free);
+sm_block(evt_wait);
+sm_wakeup(evt_trigger);
+
+desc_data_retval(long, evtid)
+evt_split(desc_data(componentid_t compid),
+          desc_data(parent_desc(long parent_evtid)),
+          desc_data(int grp));
+long evt_wait(componentid_t compid, desc(long evtid));
+int evt_trigger(componentid_t compid, desc(long evtid));
+int evt_free(componentid_t compid, desc(long evtid));
+"#;
+
+    #[test]
+    fn parses_fig3() {
+        let file = parse(FIG3).unwrap();
+        assert_eq!(file.global_info.len(), 5);
+        assert_eq!(file.sm_decls.len(), 9);
+        assert_eq!(file.functions.len(), 4);
+    }
+
+    #[test]
+    fn fig3_global_info_values() {
+        let file = parse(FIG3).unwrap();
+        let get = |k: &str| {
+            file.global_info
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("desc_has_parent"), GlobalValue::Policy(ParentPolicy::Parent));
+        assert_eq!(get("desc_close_remove"), GlobalValue::Bool(true));
+        assert_eq!(get("desc_is_global"), GlobalValue::Bool(true));
+    }
+
+    #[test]
+    fn fig3_evt_split_annotations() {
+        let file = parse(FIG3).unwrap();
+        let split = &file.functions[0];
+        assert_eq!(split.name, "evt_split");
+        assert!(split.ret.is_none());
+        let (ty, name, mode) = split.retval.as_ref().unwrap();
+        assert_eq!(ty.to_string(), "long");
+        assert_eq!(name, "evtid");
+        assert_eq!(*mode, RetvalMode::Set);
+        assert_eq!(split.params.len(), 3);
+        assert_eq!(split.params[0].annot, ParamAnnot::DescData);
+        assert_eq!(split.params[1].annot, ParamAnnot::DescDataParent);
+        assert_eq!(split.params[1].name, "parent_evtid");
+        assert_eq!(split.params[2].annot, ParamAnnot::DescData);
+        assert_eq!(split.params[2].name, "grp");
+    }
+
+    #[test]
+    fn fig3_evt_wait_signature() {
+        let file = parse(FIG3).unwrap();
+        let wait = &file.functions[1];
+        assert_eq!(wait.name, "evt_wait");
+        assert_eq!(wait.ret.as_ref().unwrap().to_string(), "long");
+        assert_eq!(wait.params[0].annot, ParamAnnot::None);
+        assert_eq!(wait.params[1].annot, ParamAnnot::Desc);
+        assert_eq!(wait.params[1].name, "evtid");
+    }
+
+    #[test]
+    fn parses_void_params_and_no_params() {
+        let f = parse("int f(void);\nint g();\n").unwrap();
+        assert!(f.functions[0].params.is_empty());
+        assert!(f.functions[1].params.is_empty());
+    }
+
+    #[test]
+    fn parses_multiword_and_pointer_types() {
+        let f = parse("unsigned long h(char *buf, unsigned int n);\n").unwrap();
+        let h = &f.functions[0];
+        assert_eq!(h.ret.as_ref().unwrap().to_string(), "unsigned long");
+        assert_eq!(h.params[0].ty.pointers, 1);
+        assert_eq!(h.params[0].name, "buf");
+        assert_eq!(h.params[1].ty.to_string(), "unsigned int");
+        assert_eq!(h.params[1].name, "n");
+    }
+
+    #[test]
+    fn sm_decl_forms() {
+        let f = parse("sm_creation(a);\nsm_terminal(b);\nsm_block(c);\nsm_wakeup(d);\nsm_transition(a, b);\n").unwrap();
+        assert_eq!(
+            f.sm_decls,
+            vec![
+                SmDecl::Creation("a".into()),
+                SmDecl::Terminal("b".into()),
+                SmDecl::Block("c".into()),
+                SmDecl::Wakeup("d".into()),
+                SmDecl::Transition("a".into(), "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_semicolon_is_a_parse_error() {
+        let err = parse("sm_creation(a)").unwrap_err();
+        assert!(matches!(err, IdlError::Parse { .. }));
+    }
+
+    #[test]
+    fn bad_global_value_is_rejected() {
+        let err = parse("service_global_info = { desc_block = maybe };").unwrap_err();
+        assert!(matches!(err, IdlError::Parse { .. }));
+    }
+
+    #[test]
+    fn dangling_retval_annotation_is_rejected() {
+        let err = parse("desc_data_retval(long, id)").unwrap_err();
+        assert!(matches!(err, IdlError::Semantic { .. }));
+    }
+
+    #[test]
+    fn double_retval_annotation_is_rejected() {
+        let err = parse("desc_data_retval(long, a)\ndesc_data_retval(long, b)\nf();\n").unwrap_err();
+        assert!(matches!(err, IdlError::Parse { .. }));
+    }
+
+    #[test]
+    fn trailing_comma_in_global_info_allowed() {
+        let f = parse("service_global_info = { desc_block = true, };").unwrap();
+        assert_eq!(f.global_info.len(), 1);
+    }
+
+    #[test]
+    fn empty_file_parses() {
+        let f = parse("").unwrap();
+        assert!(f.functions.is_empty());
+        assert!(f.sm_decls.is_empty());
+    }
+
+    #[test]
+    fn param_missing_name_is_rejected() {
+        // A single bare word as a (non-void) parameter has no name.
+        let err = parse("int f(x);").unwrap_err();
+        assert!(matches!(err, IdlError::Parse { .. }));
+    }
+}

@@ -1,0 +1,102 @@
+//! Token definitions for the SuperGlue IDL lexer.
+
+use std::fmt;
+
+use crate::Span;
+
+/// Lexical token kinds.
+///
+/// The IDL is a C-prototype subset, so the token set is tiny: identifiers
+/// (which also cover type names and the `sm_*` keywords — keyword
+/// recognition happens in the parser), integer literals (array sizes,
+/// rarely used), and punctuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`evt_split`, `desc_data`, `true`, `long`…).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `*` (pointer declarator)
+    Star,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl TokenKind {
+    /// Identifier text, if this token is an identifier.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier {s:?}"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::LParen => f.write_str("'('"),
+            TokenKind::RParen => f.write_str("')'"),
+            TokenKind::LBrace => f.write_str("'{'"),
+            TokenKind::RBrace => f.write_str("'}'"),
+            TokenKind::Comma => f.write_str("','"),
+            TokenKind::Semi => f.write_str("';'"),
+            TokenKind::Eq => f.write_str("'='"),
+            TokenKind::Star => f.write_str("'*'"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Source location of the first character.
+    pub span: Span,
+}
+
+impl Token {
+    /// Construct a token.
+    #[must_use]
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Self { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier \"x\"");
+        assert_eq!(TokenKind::Semi.to_string(), "';'");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+        assert_eq!(TokenKind::Int(4).to_string(), "integer 4");
+    }
+
+    #[test]
+    fn ident_accessor() {
+        assert_eq!(TokenKind::Ident("abc".into()).ident(), Some("abc"));
+        assert_eq!(TokenKind::Comma.ident(), None);
+    }
+}

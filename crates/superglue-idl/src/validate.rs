@@ -1,0 +1,498 @@
+//! Semantic validation: lower a parsed [`IdlFile`] into an
+//! [`InterfaceSpec`] — the checked, model-level description the SuperGlue
+//! compiler consumes.
+
+use serde::{Deserialize, Serialize};
+
+use superglue_sm::machine::StateMachineBuilder;
+use superglue_sm::model::DescriptorResourceModelBuilder;
+use superglue_sm::{DescriptorResourceModel, FnId, StateMachine};
+
+use crate::ast::{FnDecl, GlobalValue, IdlFile, ParamAnnot, RetvalMode, SmDecl};
+use crate::IdlError;
+
+/// How a parameter participates in descriptor tracking (lowered from
+/// [`ParamAnnot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrackKind {
+    /// Pass-through.
+    None,
+    /// Stored into descriptor metadata.
+    Data,
+    /// The descriptor lookup key.
+    Desc,
+    /// The parent descriptor id.
+    Parent,
+    /// Stored into metadata *and* the parent descriptor id.
+    DataParent,
+}
+
+impl From<ParamAnnot> for TrackKind {
+    fn from(a: ParamAnnot) -> Self {
+        match a {
+            ParamAnnot::None => TrackKind::None,
+            ParamAnnot::DescData => TrackKind::Data,
+            ParamAnnot::Desc => TrackKind::Desc,
+            ParamAnnot::ParentDesc => TrackKind::Parent,
+            ParamAnnot::DescDataParent => TrackKind::DataParent,
+        }
+    }
+}
+
+/// A validated parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamSpec {
+    /// C type, as written.
+    pub ty: String,
+    /// Parameter name.
+    pub name: String,
+    /// Tracking role.
+    pub track: TrackKind,
+}
+
+/// A validated function signature, index-aligned with the machine's
+/// [`FnId`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FnSig {
+    /// Function id in the interface's state machine.
+    pub id: FnId,
+    /// Function name.
+    pub name: String,
+    /// Declared return type (textual), if written.
+    pub ret: Option<String>,
+    /// `desc_data_retval[_accum]` annotation: (type, tracked name,
+    /// mode). Present on every creation function — there, the returned
+    /// value is the new descriptor's id.
+    pub retval_tracked: Option<(String, String, RetvalMode)>,
+    /// Parameters in order.
+    pub params: Vec<ParamSpec>,
+}
+
+impl FnSig {
+    /// The parameter that names the descriptor, if any.
+    #[must_use]
+    pub fn desc_param(&self) -> Option<&ParamSpec> {
+        self.params.iter().find(|p| p.track == TrackKind::Desc)
+    }
+
+    /// The parameter that names the parent descriptor, if any.
+    #[must_use]
+    pub fn parent_param(&self) -> Option<&ParamSpec> {
+        self.params
+            .iter()
+            .find(|p| matches!(p.track, TrackKind::Parent | TrackKind::DataParent))
+    }
+
+    /// Parameters tracked into descriptor metadata.
+    pub fn data_params(&self) -> impl Iterator<Item = &ParamSpec> {
+        self.params
+            .iter()
+            .filter(|p| matches!(p.track, TrackKind::Data | TrackKind::DataParent))
+    }
+}
+
+/// A fully validated interface: the checked output of the IDL front end
+/// and the input to the SuperGlue compiler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterfaceSpec {
+    /// Interface/service name.
+    pub name: String,
+    /// The descriptor-resource model from `service_global_info`.
+    pub model: DescriptorResourceModel,
+    /// The descriptor state machine from the `sm_*` declarations.
+    pub machine: StateMachine,
+    /// Function signatures, where `fns[i].id == FnId(i)`.
+    pub fns: Vec<FnSig>,
+    /// Recovery-state substitutions from `sm_recover_via(f, g)`: when a
+    /// descriptor's expected state is `After(f)`, recovery rebuilds to
+    /// `After(g)` instead.
+    pub recover_via: Vec<(FnId, FnId)>,
+    /// Blocking-function restore substitutions from
+    /// `sm_recover_block(f, g)`: replaying blocking `f` for another
+    /// thread calls the recovery entry point `g` with the owner id.
+    pub recover_block: Vec<(FnId, FnId)>,
+}
+
+impl InterfaceSpec {
+    /// Look up a function signature by name.
+    #[must_use]
+    pub fn fn_by_name(&self, name: &str) -> Option<&FnSig> {
+        self.fns.iter().find(|f| f.name == name)
+    }
+}
+
+fn semantic(msg: impl Into<String>) -> IdlError {
+    IdlError::Semantic { message: msg.into() }
+}
+
+/// Validate a parsed file and lower it to an [`InterfaceSpec`].
+///
+/// # Errors
+///
+/// [`IdlError::Semantic`] for any violated rule:
+/// * unknown or duplicated `service_global_info` keys, or a value of the
+///   wrong kind;
+/// * `sm_*` declarations naming undeclared functions;
+/// * creation functions without a `desc_data_retval` annotation;
+/// * non-creation functions without a `desc(...)` parameter;
+/// * `desc_block` inconsistent with `sm_block`/`sm_wakeup` (the paper's
+///   invariant `I^block ≠ ∅ ↔ B_r`);
+/// * `desc_has_parent != Solo` with no creation function taking a
+///   `parent_desc(...)` argument;
+/// * model inconsistencies per
+///   [`DescriptorResourceModel::validate`](superglue_sm::DescriptorResourceModel::validate)
+///   and machine problems per
+///   [`StateMachineBuilder::build`](superglue_sm::StateMachineBuilder::build).
+pub fn validate(name: &str, file: &IdlFile) -> Result<InterfaceSpec, IdlError> {
+    let model = lower_model(file)?;
+    let machine = lower_machine(name, file)?;
+
+    // Lower function signatures, aligned with machine FnIds.
+    let mut fns = Vec::with_capacity(file.functions.len());
+    for f in &file.functions {
+        let id = machine
+            .function_by_name(&f.name)
+            .expect("machine was built from the same declarations");
+        fns.push(lower_fn(id, f));
+    }
+    // Sort by id so fns[i].id == FnId(i).
+    fns.sort_by_key(|f: &FnSig| f.id);
+
+    let mut recover_block = Vec::new();
+    for decl in &file.sm_decls {
+        if let SmDecl::RecoverBlock(f, g) = decl {
+            let fid = machine
+                .function_by_name(f)
+                .ok_or_else(|| semantic(format!("sm_recover_block references undeclared function {f:?}")))?;
+            let gid = machine
+                .function_by_name(g)
+                .ok_or_else(|| semantic(format!("sm_recover_block references undeclared function {g:?}")))?;
+            if !machine.roles(fid).blocks {
+                return Err(semantic(format!(
+                    "sm_recover_block source {f:?} must be a blocking function"
+                )));
+            }
+            recover_block.push((fid, gid));
+        }
+    }
+
+    let mut recover_via = Vec::new();
+    for decl in &file.sm_decls {
+        if let SmDecl::RecoverVia(f, g) = decl {
+            let fid = machine
+                .function_by_name(f)
+                .ok_or_else(|| semantic(format!("sm_recover_via references undeclared function {f:?}")))?;
+            let gid = machine
+                .function_by_name(g)
+                .ok_or_else(|| semantic(format!("sm_recover_via references undeclared function {g:?}")))?;
+            if machine.recovery_walk(superglue_sm::State::After(gid)).is_err() {
+                return Err(semantic(format!(
+                    "sm_recover_via target {g:?} is not reachable from the initial state"
+                )));
+            }
+            recover_via.push((fid, gid));
+        }
+    }
+
+    check_cross_rules(&model, &machine, &fns)?;
+
+    Ok(InterfaceSpec { name: name.to_owned(), model, machine, fns, recover_via, recover_block })
+}
+
+fn lower_model(file: &IdlFile) -> Result<DescriptorResourceModel, IdlError> {
+    let mut b = DescriptorResourceModelBuilder::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for (key, value) in &file.global_info {
+        if seen.contains(&key.as_str()) {
+            return Err(semantic(format!("duplicate service_global_info key {key:?}")));
+        }
+        seen.push(key);
+        let bool_val = || match value {
+            GlobalValue::Bool(v) => Ok(*v),
+            GlobalValue::Policy(_) => {
+                Err(semantic(format!("key {key:?} expects true/false, got a parent policy")))
+            }
+        };
+        match key.as_str() {
+            "desc_block" => b = b.blocks(bool_val()?),
+            "resc_has_data" => b = b.resource_has_data(bool_val()?),
+            "desc_is_global" => b = b.global(bool_val()?),
+            "desc_close_children" => b = b.close_children(bool_val()?),
+            "desc_close_remove" => b = b.close_removes_tracking(bool_val()?),
+            "desc_has_data" => b = b.descriptor_has_data(bool_val()?),
+            "desc_has_parent" => match value {
+                GlobalValue::Policy(p) => b = b.parent(*p),
+                GlobalValue::Bool(_) => {
+                    return Err(semantic(
+                        "key \"desc_has_parent\" expects Solo, Parent or XCParent",
+                    ))
+                }
+            },
+            other => return Err(semantic(format!("unknown service_global_info key {other:?}"))),
+        }
+    }
+    b.build().map_err(IdlError::from)
+}
+
+fn lower_machine(name: &str, file: &IdlFile) -> Result<StateMachine, IdlError> {
+    let mut b = StateMachineBuilder::new(name);
+    let mut ids = std::collections::BTreeMap::new();
+    for f in &file.functions {
+        if ids.contains_key(f.name.as_str()) {
+            return Err(semantic(format!("function {:?} declared twice", f.name)));
+        }
+        ids.insert(f.name.as_str(), b.function(f.name.clone()));
+    }
+    let lookup = |n: &str| {
+        ids.get(n)
+            .copied()
+            .ok_or_else(|| semantic(format!("sm declaration references undeclared function {n:?}")))
+    };
+    for decl in &file.sm_decls {
+        match decl {
+            SmDecl::Transition(f, g) => {
+                let (f, g) = (lookup(f)?, lookup(g)?);
+                b.transition(f, g);
+            }
+            SmDecl::Creation(f) => {
+                let f = lookup(f)?;
+                b.creation(f);
+            }
+            SmDecl::Terminal(f) => {
+                let f = lookup(f)?;
+                b.terminal(f);
+            }
+            SmDecl::Block(f) => {
+                let f = lookup(f)?;
+                b.block(f);
+            }
+            SmDecl::Wakeup(f) => {
+                let f = lookup(f)?;
+                b.wakeup(f);
+            }
+            SmDecl::RecoverVia(_, _) | SmDecl::RecoverBlock(_, _) => {
+                // Handled after the machine is built (needs reachability
+                // and role information).
+            }
+        }
+    }
+    b.build().map_err(IdlError::from)
+}
+
+fn lower_fn(id: FnId, f: &FnDecl) -> FnSig {
+    FnSig {
+        id,
+        name: f.name.clone(),
+        ret: f.ret.as_ref().map(ToString::to_string),
+        retval_tracked: f.retval.as_ref().map(|(t, n, m)| (t.to_string(), n.clone(), *m)),
+        params: f
+            .params
+            .iter()
+            .map(|p| ParamSpec { ty: p.ty.to_string(), name: p.name.clone(), track: p.annot.into() })
+            .collect(),
+    }
+}
+
+fn check_cross_rules(
+    model: &DescriptorResourceModel,
+    machine: &StateMachine,
+    fns: &[FnSig],
+) -> Result<(), IdlError> {
+    let has_block = machine.blocking_fns().next().is_some();
+    if model.blocks && !has_block {
+        return Err(semantic("desc_block = true but no sm_block function is declared"));
+    }
+    if !model.blocks && has_block {
+        return Err(semantic("sm_block declared but desc_block = false (I^block != {} <-> B_r)"));
+    }
+
+    for sig in fns {
+        let is_creation = machine.roles(sig.id).creates;
+        if is_creation {
+            match &sig.retval_tracked {
+                None => {
+                    return Err(semantic(format!(
+                        "creation function {:?} needs a desc_data_retval annotation naming the returned descriptor",
+                        sig.name
+                    )))
+                }
+                Some((_, _, RetvalMode::Accum)) => {
+                    return Err(semantic(format!(
+                        "creation function {:?} cannot use desc_data_retval_accum: the return value is the descriptor id",
+                        sig.name
+                    )))
+                }
+                Some(_) => {}
+            }
+        } else if sig.desc_param().is_none() {
+            return Err(semantic(format!(
+                "function {:?} needs a desc(...) parameter to identify the descriptor it acts on",
+                sig.name
+            )));
+        }
+    }
+
+    if model.parent.has_parent() {
+        let any_parent = fns
+            .iter()
+            .filter(|s| machine.roles(s.id).creates)
+            .any(|s| s.parent_param().is_some());
+        if !any_parent {
+            return Err(semantic(
+                "desc_has_parent != Solo but no creation function takes a parent_desc(...) argument",
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const FIG3: &str = r#"
+service_global_info = {
+        desc_has_parent    = parent,
+        desc_close_remove  = true,
+        desc_is_global     = true,
+        desc_block         = true,
+        desc_has_data      = true
+};
+sm_transition(evt_split,   evt_wait);
+sm_transition(evt_wait,    evt_trigger);
+sm_transition(evt_trigger, evt_wait);
+sm_transition(evt_trigger, evt_free);
+sm_transition(evt_split,   evt_free);
+sm_creation(evt_split);
+sm_terminal(evt_free);
+sm_block(evt_wait);
+sm_wakeup(evt_trigger);
+
+desc_data_retval(long, evtid)
+evt_split(desc_data(componentid_t compid),
+          desc_data(parent_desc(long parent_evtid)),
+          desc_data(int grp));
+long evt_wait(componentid_t compid, desc(long evtid));
+int evt_trigger(componentid_t compid, desc(long evtid));
+int evt_free(componentid_t compid, desc(long evtid));
+"#;
+
+    fn spec(src: &str) -> Result<InterfaceSpec, IdlError> {
+        validate("test", &parse(src).unwrap())
+    }
+
+    #[test]
+    fn fig3_validates() {
+        let s = spec(FIG3).unwrap();
+        assert!(s.model.blocks && s.model.global && s.model.descriptor_has_data);
+        assert_eq!(s.machine.function_count(), 4);
+        assert_eq!(s.fns.len(), 4);
+        // fns are FnId-aligned.
+        for (i, f) in s.fns.iter().enumerate() {
+            assert_eq!(f.id, FnId(i as u32));
+        }
+    }
+
+    #[test]
+    fn fig3_split_is_creation_with_retval() {
+        let s = spec(FIG3).unwrap();
+        let split = s.fn_by_name("evt_split").unwrap();
+        assert!(s.machine.roles(split.id).creates);
+        assert_eq!(split.retval_tracked.as_ref().unwrap().1, "evtid");
+        assert_eq!(split.retval_tracked.as_ref().unwrap().2, RetvalMode::Set);
+        assert_eq!(split.parent_param().unwrap().name, "parent_evtid");
+        assert_eq!(split.data_params().count(), 3);
+    }
+
+    #[test]
+    fn unknown_global_key_rejected() {
+        let err = spec("service_global_info = { desc_is_cool = true };").unwrap_err();
+        assert!(err.to_string().contains("unknown service_global_info key"));
+    }
+
+    #[test]
+    fn duplicate_global_key_rejected() {
+        let err =
+            spec("service_global_info = { desc_block = true, desc_block = false };\nsm_creation(f);\ndesc_data_retval(long, x)\nf();\n")
+                .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn policy_key_needs_policy_value() {
+        let err = spec("service_global_info = { desc_has_parent = true };").unwrap_err();
+        assert!(err.to_string().contains("Solo, Parent or XCParent"));
+    }
+
+    #[test]
+    fn bool_key_rejects_policy_value() {
+        let err = spec("service_global_info = { desc_block = parent };").unwrap_err();
+        assert!(err.to_string().contains("true/false"));
+    }
+
+    #[test]
+    fn sm_decl_must_reference_declared_function() {
+        let err = spec("sm_creation(ghost);\n").unwrap_err();
+        assert!(err.to_string().contains("undeclared function"));
+    }
+
+    #[test]
+    fn creation_needs_retval_annotation() {
+        let err = spec("sm_creation(f);\nf();\n").unwrap_err();
+        assert!(err.to_string().contains("desc_data_retval"));
+    }
+
+    #[test]
+    fn non_creation_needs_desc_param() {
+        let err = spec(
+            "sm_creation(f);\nsm_transition(f, g);\ndesc_data_retval(long, id)\nf();\nint g(int x);\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("desc(...)"));
+    }
+
+    #[test]
+    fn block_consistency_enforced_both_ways() {
+        // desc_block without sm_block:
+        let err = spec(
+            "service_global_info = { desc_block = true };\nsm_creation(f);\ndesc_data_retval(long, id)\nf();\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("sm_block"));
+        // A blocking interface may legitimately lack a wakeup function
+        // (timers are woken by the clock).
+        let ok = spec(
+            "service_global_info = { desc_block = true };\nsm_creation(f);\nsm_block(g);\nsm_transition(f, g);\ndesc_data_retval(long, id)\nf();\nint g(desc(long id));\n",
+        );
+        assert!(ok.is_ok());
+        // sm_block without desc_block:
+        let err = spec(
+            "sm_creation(f);\nsm_block(g);\nsm_transition(f, g);\ndesc_data_retval(long, id)\nf();\nint g(desc(long id));\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("desc_block = false"));
+    }
+
+    #[test]
+    fn parent_model_needs_parent_param() {
+        let err = spec(
+            "service_global_info = { desc_has_parent = parent };\nsm_creation(f);\ndesc_data_retval(long, id)\nf();\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("parent_desc"));
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let err = spec("sm_creation(f);\ndesc_data_retval(long, id)\nf();\ndesc_data_retval(long, id2)\nf();\n").unwrap_err();
+        assert!(err.to_string().contains("declared twice"));
+    }
+
+    #[test]
+    fn minimal_interface_validates() {
+        let s = spec("sm_creation(f);\ndesc_data_retval(long, id)\nf();\n").unwrap();
+        assert_eq!(s.fns.len(), 1);
+        assert!(!s.model.blocks);
+    }
+}

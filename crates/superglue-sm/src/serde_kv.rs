@@ -1,0 +1,59 @@
+//! Serde adapter serializing ordered maps with non-string keys as
+//! sequences of pairs, so model types survive JSON (whose object keys
+//! must be strings).
+
+use serde::de::{Deserialize, Deserializer};
+use serde::ser::{Serialize, Serializer};
+use std::collections::BTreeMap;
+
+/// Serialize a map as `[[k, v], …]`.
+///
+/// # Errors
+///
+/// Propagates serializer errors.
+pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+where
+    K: Serialize + Ord,
+    V: Serialize,
+    S: Serializer,
+{
+    serializer.collect_seq(map.iter())
+}
+
+/// Deserialize a map from `[[k, v], …]`.
+///
+/// # Errors
+///
+/// Propagates deserializer errors.
+pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<BTreeMap<K, V>, D::Error>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+    D: Deserializer<'de>,
+{
+    let pairs: Vec<(K, V)> = Vec::deserialize(deserializer)?;
+    Ok(pairs.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Holder {
+        #[serde(with = "super")]
+        map: BTreeMap<(u32, u32), u32>,
+    }
+
+    #[test]
+    fn tuple_keyed_map_round_trips_json() {
+        let mut map = BTreeMap::new();
+        map.insert((1, 2), 3);
+        map.insert((4, 5), 6);
+        let h = Holder { map };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Holder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+}

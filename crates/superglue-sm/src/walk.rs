@@ -1,0 +1,152 @@
+//! Shortest recovery walks through a descriptor state machine.
+//!
+//! After a micro-reboot puts a failed server into its safe (initial)
+//! state, the client stub must replay interface functions so the server
+//! rebuilds each descriptor into the state the client observed before the
+//! fault. §III-B requires the *precomputed shortest path* `f0, …, fn` such
+//! that `σ(σ(…σ(s0, f0)…), fn) = s_expected`. This module computes those
+//! walks once at compile (build) time by breadth-first search.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::machine::{FnId, State};
+use crate::{Error, Result};
+
+/// Precomputed shortest walks from [`State::Init`] to every reachable
+/// state of one machine.
+///
+/// Stored as a breadth-first-search predecessor map so that memory stays
+/// proportional to the number of states, not the sum of walk lengths —
+/// the paper's embedded-systems constraint of bounded tracking memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryWalks {
+    /// state → (predecessor state, function taken to get here).
+    #[serde(with = "crate::serde_kv")]
+    pred: BTreeMap<State, (State, FnId)>,
+}
+
+impl RecoveryWalks {
+    /// Run BFS over σ (given as an explicit edge map) from [`State::Init`].
+    #[must_use]
+    pub fn compute(transitions: &BTreeMap<(State, FnId), State>) -> Self {
+        // Adjacency: state → [(fn, target)] in deterministic order.
+        let mut adj: BTreeMap<State, Vec<(FnId, State)>> = BTreeMap::new();
+        for (&(src, f), &dst) in transitions {
+            adj.entry(src).or_default().push((f, dst));
+        }
+
+        let mut pred = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(State::Init);
+        let mut visited = std::collections::BTreeSet::new();
+        visited.insert(State::Init);
+        while let Some(s) = queue.pop_front() {
+            if let Some(edges) = adj.get(&s) {
+                for &(f, t) in edges {
+                    if visited.insert(t) {
+                        pred.insert(t, (s, f));
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        Self { pred }
+    }
+
+    /// The shortest function sequence from `s0` to `target`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unreachable`] if BFS never reached `target`. The faulty
+    /// state and terminated state are never recovery targets; asking for
+    /// them also yields `Unreachable`.
+    pub fn walk_to(&self, target: State) -> Result<Vec<FnId>> {
+        if target == State::Init {
+            return Ok(Vec::new());
+        }
+        let mut walk = Vec::new();
+        let mut cur = target;
+        while cur != State::Init {
+            let &(prev, f) = self.pred.get(&cur).ok_or(Error::Unreachable(target))?;
+            walk.push(f);
+            cur = prev;
+        }
+        walk.reverse();
+        Ok(walk)
+    }
+
+    /// Whether `target` is reachable from the initial state.
+    #[must_use]
+    pub fn reachable(&self, target: State) -> bool {
+        target == State::Init || self.pred.contains_key(&target)
+    }
+
+    /// All reachable states (excluding `Init`), in deterministic order.
+    pub fn reachable_states(&self) -> impl Iterator<Item = State> + '_ {
+        self.pred.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(list: &[(State, u32, State)]) -> BTreeMap<(State, FnId), State> {
+        list.iter().map(|&(s, f, t)| ((s, FnId(f)), t)).collect()
+    }
+
+    #[test]
+    fn empty_machine_reaches_nothing() {
+        let w = RecoveryWalks::compute(&BTreeMap::new());
+        assert!(w.walk_to(State::Init).unwrap().is_empty());
+        assert!(w.walk_to(State::After(FnId(0))).is_err());
+        assert_eq!(w.reachable_states().count(), 0);
+    }
+
+    #[test]
+    fn linear_chain_walks() {
+        let a = State::After(FnId(0));
+        let b = State::After(FnId(1));
+        let c = State::After(FnId(2));
+        let t = edges(&[(State::Init, 0, a), (a, 1, b), (b, 2, c)]);
+        let w = RecoveryWalks::compute(&t);
+        assert_eq!(w.walk_to(c).unwrap(), vec![FnId(0), FnId(1), FnId(2)]);
+        assert!(w.reachable(b));
+    }
+
+    #[test]
+    fn bfs_prefers_shorter_route() {
+        // Two ways to reach After(2): Init-0->A-1->B-2->C or Init-3->C.
+        let a = State::After(FnId(0));
+        let b = State::After(FnId(1));
+        let c = State::After(FnId(2));
+        let t = edges(&[
+            (State::Init, 0, a),
+            (a, 1, b),
+            (b, 2, c),
+            (State::Init, 3, c),
+        ]);
+        let w = RecoveryWalks::compute(&t);
+        assert_eq!(w.walk_to(c).unwrap(), vec![FnId(3)]);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let a = State::After(FnId(0));
+        let b = State::After(FnId(1));
+        let t = edges(&[(State::Init, 0, a), (a, 1, b), (b, 0, a)]);
+        let w = RecoveryWalks::compute(&t);
+        assert_eq!(w.walk_to(a).unwrap(), vec![FnId(0)]);
+        assert_eq!(w.walk_to(b).unwrap(), vec![FnId(0), FnId(1)]);
+    }
+
+    #[test]
+    fn faulty_state_never_reachable() {
+        let a = State::After(FnId(0));
+        let t = edges(&[(State::Init, 0, a)]);
+        let w = RecoveryWalks::compute(&t);
+        assert!(!w.reachable(State::Faulty));
+        assert!(w.walk_to(State::Faulty).is_err());
+    }
+}

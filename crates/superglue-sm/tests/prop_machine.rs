@@ -1,0 +1,205 @@
+//! Property-based tests for the descriptor state machines and trackers.
+
+use proptest::prelude::*;
+
+use superglue_sm::machine::{State, StateMachineBuilder};
+use superglue_sm::model::DescriptorResourceModelBuilder;
+use superglue_sm::tracking::{DescId, DescriptorTracker, OperationLog};
+use superglue_sm::{DescriptorResourceModel, FnId};
+
+/// A random machine description: `n` functions, some creation/terminal
+/// roles, and a set of follows edges.
+#[derive(Debug, Clone)]
+struct MachineDesc {
+    n: usize,
+    creations: Vec<usize>,
+    terminals: Vec<usize>,
+    follows: Vec<(usize, usize)>,
+}
+
+fn machine_desc() -> impl Strategy<Value = MachineDesc> {
+    (2usize..7).prop_flat_map(|n| {
+        let creations = proptest::collection::vec(0..n, 1..=2);
+        let terminals = proptest::collection::vec(0..n, 0..=1);
+        let follows = proptest::collection::vec((0..n, 0..n), 0..20);
+        (Just(n), creations, terminals, follows).prop_map(|(n, creations, terminals, follows)| {
+            MachineDesc { n, creations, terminals, follows }
+        })
+    })
+}
+
+fn build(desc: &MachineDesc) -> Option<superglue_sm::StateMachine> {
+    let mut b = StateMachineBuilder::new("prop");
+    let fns: Vec<FnId> = (0..desc.n).map(|i| b.function(format!("f{i}"))).collect();
+    for &c in &desc.creations {
+        b.creation(fns[c]);
+    }
+    for &t in &desc.terminals {
+        b.terminal(fns[t]);
+    }
+    for &(f, g) in &desc.follows {
+        b.transition(fns[f], fns[g]);
+    }
+    b.build().ok()
+}
+
+proptest! {
+    /// Building never panics, and when it succeeds, replaying the
+    /// recovery walk through σ from Init always lands exactly on the
+    /// walk's target state.
+    #[test]
+    fn walks_replay_to_their_target(desc in machine_desc()) {
+        let Some(sm) = build(&desc) else { return Ok(()) };
+        for i in 0..sm.function_count() {
+            let target = State::After(FnId(i as u32));
+            let Ok(walk) = sm.recovery_walk(target) else { continue };
+            let mut s = State::Init;
+            for f in &walk {
+                s = sm.step(s, *f).expect("walk edges must be valid transitions");
+            }
+            prop_assert_eq!(s, target);
+        }
+    }
+
+    /// Walks are shortest: no other path found by exhaustive BFS is
+    /// shorter.
+    #[test]
+    fn walks_are_minimal(desc in machine_desc()) {
+        let Some(sm) = build(&desc) else { return Ok(()) };
+        // Exhaustive BFS over σ.
+        use std::collections::{BTreeMap, VecDeque};
+        let mut dist: BTreeMap<State, usize> = BTreeMap::new();
+        dist.insert(State::Init, 0);
+        let mut q = VecDeque::from([State::Init]);
+        while let Some(s) = q.pop_front() {
+            let d = dist[&s];
+            for i in 0..sm.function_count() {
+                let f = FnId(i as u32);
+                if let Ok(t) = sm.step(s, f) {
+                    if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(t) {
+                        e.insert(d + 1);
+                        q.push_back(t);
+                    }
+                }
+            }
+        }
+        for (&s, &d) in &dist {
+            if let Ok(walk) = sm.recovery_walk(s) {
+                prop_assert_eq!(walk.len(), d, "walk to {:?}", s);
+            }
+        }
+    }
+
+    /// σ is deterministic and total on declared edges only.
+    #[test]
+    fn step_is_deterministic(desc in machine_desc()) {
+        let Some(sm) = build(&desc) else { return Ok(()) };
+        for (s, f, t) in sm.edges() {
+            prop_assert_eq!(sm.step(s, f).expect("edge exists"), t);
+            prop_assert_eq!(sm.step(s, f).expect("edge exists"), t);
+        }
+    }
+}
+
+fn lock_like() -> (superglue_sm::StateMachine, [FnId; 4]) {
+    let mut b = StateMachineBuilder::new("lock");
+    let alloc = b.function("alloc");
+    let take = b.function("take");
+    let release = b.function("release");
+    let free = b.function("free");
+    b.creation(alloc);
+    b.terminal(free);
+    b.transition(alloc, take);
+    b.transition(take, release);
+    b.transition(release, take);
+    b.transition(release, free);
+    b.transition(alloc, free);
+    (b.build().unwrap(), [alloc, take, release, free])
+}
+
+/// Ops applied to a tracker in fuzzing.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Create(u64),
+    Take(u64),
+    Release(u64),
+    Free(u64),
+    FaultAll,
+    Recover(u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..8).prop_map(Op::Create),
+        (0u64..8).prop_map(Op::Take),
+        (0u64..8).prop_map(Op::Release),
+        (0u64..8).prop_map(Op::Free),
+        Just(Op::FaultAll),
+        (0u64..8).prop_map(Op::Recover),
+    ]
+}
+
+proptest! {
+    /// The tracker never panics under arbitrary op sequences, its
+    /// footprint stays bounded by live descriptors, and faulty counts
+    /// never exceed tracked counts.
+    #[test]
+    fn tracker_is_robust_and_bounded(ops in proptest::collection::vec(op(), 0..120)) {
+        let (sm, [alloc, take, release, free]) = lock_like();
+        let mut t = DescriptorTracker::new(DescriptorResourceModel::new());
+        let mut log = OperationLog::new();
+        for op in ops {
+            match op {
+                Op::Create(id) => {
+                    let _ = t.create(DescId(id), alloc, 1, None);
+                    log.record(DescId(id), alloc, vec![]);
+                }
+                Op::Take(id) => {
+                    let _ = t.on_call(&sm, DescId(id), take);
+                    log.record(DescId(id), take, vec![]);
+                }
+                Op::Release(id) => {
+                    let _ = t.on_call(&sm, DescId(id), release);
+                    log.record(DescId(id), release, vec![]);
+                }
+                Op::Free(id) => {
+                    let _ = t.on_call(&sm, DescId(id), free);
+                    log.record(DescId(id), free, vec![]);
+                }
+                Op::FaultAll => t.mark_all_faulty(),
+                Op::Recover(id) => {
+                    let _ = t.mark_recovered(DescId(id));
+                }
+            }
+            prop_assert!(t.faulty().count() <= t.len());
+            // Bounded memory: at most 8 descriptors are ever live, so the
+            // footprint cannot scale with the number of operations.
+            prop_assert!(t.footprint() <= 8 * 512);
+        }
+        // The rejected alternative grows with every operation.
+        prop_assert!(log.len() <= 120);
+    }
+
+    /// Recovery order is always root-first: every descriptor appears
+    /// after its parent.
+    #[test]
+    fn recovery_order_parents_first(chain_len in 1usize..6) {
+        let (_, [alloc, ..]) = lock_like();
+        let model = DescriptorResourceModelBuilder::new()
+            .parent(superglue_sm::ParentPolicy::XcParent)
+            .build()
+            .unwrap();
+        let mut t = DescriptorTracker::new(model);
+        t.create(DescId(0), alloc, 1, Some(DescId(999))).unwrap();
+        for i in 1..chain_len as u64 {
+            t.create(DescId(i), alloc, 1, Some(DescId(i - 1))).unwrap();
+        }
+        let order = t.recovery_order(DescId(chain_len as u64 - 1));
+        for (i, d) in order.iter().enumerate() {
+            if i > 0 {
+                prop_assert_eq!(order[i - 1].0 + 1, d.0, "chain order broken");
+            }
+        }
+        prop_assert_eq!(order.len(), chain_len);
+    }
+}

@@ -1,0 +1,116 @@
+//! The shipped SuperGlue IDL files and their compilation products.
+//!
+//! The six `.sg` files under `idl/` are the complete declarative
+//! replacement for the hand-written C³ stub code — the artifact Fig 6(c)
+//! measures. They are embedded here so every consumer (runtime, fault
+//! campaign, benches, examples) compiles the identical specifications.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use superglue_compiler::{compile, Compilation};
+use superglue_idl::IdlError;
+
+/// The six (interface name, IDL source) pairs, in the paper's Table II
+/// row order.
+#[must_use]
+pub fn idl_sources() -> [(&'static str, &'static str); 6] {
+    [
+        ("sched", include_str!("../../../idl/sched.sg")),
+        ("mm", include_str!("../../../idl/mm.sg")),
+        ("fs", include_str!("../../../idl/fs.sg")),
+        ("lock", include_str!("../../../idl/lock.sg")),
+        ("evt", include_str!("../../../idl/evt.sg")),
+        ("tmr", include_str!("../../../idl/tmr.sg")),
+    ]
+}
+
+/// All six interfaces compiled: specs, stub specs, generated sources.
+#[derive(Debug, Clone)]
+pub struct CompiledInterfaces {
+    compilations: BTreeMap<&'static str, Arc<Compilation>>,
+}
+
+impl CompiledInterfaces {
+    /// The compilation for one interface.
+    #[must_use]
+    pub fn get(&self, iface: &str) -> Option<&Arc<Compilation>> {
+        self.compilations.get(iface)
+    }
+
+    /// Iterate over (interface, compilation) in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Arc<Compilation>)> {
+        self.compilations.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Number of compiled interfaces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.compilations.len()
+    }
+
+    /// Whether no interfaces were compiled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.compilations.is_empty()
+    }
+}
+
+/// Parse, validate and compile all six shipped IDL files.
+///
+/// # Errors
+///
+/// The first [`IdlError`] across the files, tagged with the file name in
+/// the message path.
+pub fn compile_all() -> Result<CompiledInterfaces, IdlError> {
+    let mut compilations = BTreeMap::new();
+    for (name, src) in idl_sources() {
+        let spec = superglue_idl::compile_interface(name, src)?;
+        compilations.insert(name, Arc::new(compile(&spec)));
+    }
+    Ok(CompiledInterfaces { compilations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_idl_files_compile() {
+        let c = compile_all().expect("shipped IDL must be valid");
+        assert_eq!(c.len(), 6);
+        for iface in ["sched", "mm", "fs", "lock", "evt", "tmr"] {
+            assert!(c.get(iface).is_some(), "{iface} missing");
+        }
+    }
+
+    #[test]
+    fn idl_files_average_around_paper_size() {
+        // §VII: "The average SuperGlue IDL file ... is 37 lines of code".
+        let total: usize = idl_sources().iter().map(|(_, s)| superglue_idl::idl_loc(s)).sum();
+        let avg = total / 6;
+        assert!((15..=60).contains(&avg), "average IDL LOC {avg} out of expected band");
+    }
+
+    #[test]
+    fn generated_loc_is_an_order_of_magnitude_larger() {
+        let c = compile_all().unwrap();
+        for (name, src) in idl_sources() {
+            let idl = superglue_idl::idl_loc(src);
+            let generated = c.get(name).unwrap().generated_loc();
+            assert!(
+                generated >= 4 * idl,
+                "{name}: generated {generated} LOC vs IDL {idl} LOC — expected a large expansion"
+            );
+        }
+    }
+
+    #[test]
+    fn evt_is_global_and_fs_has_resource_data() {
+        let c = compile_all().unwrap();
+        assert!(c.get("evt").unwrap().stub_spec.model.global);
+        assert!(c.get("fs").unwrap().stub_spec.model.resource_has_data);
+        assert!(c.get("mm").unwrap().stub_spec.model.close_children);
+        assert!(c.get("lock").unwrap().stub_spec.model.blocks);
+    }
+}

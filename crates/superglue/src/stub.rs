@@ -1,0 +1,674 @@
+//! The generic compiled stub: one interpreter for every interface.
+//!
+//! Where C³ needs a hand-written stub per service
+//! ([`sg_c3::stubs`]), SuperGlue needs exactly one *generic* stub whose
+//! behavior is entirely driven by the compiler's
+//! [`CompiledStubSpec`]:
+//!
+//! * descriptor tracking tables (state, metadata, parent links, last
+//!   observed arguments) populated according to the spec's argument
+//!   annotations;
+//! * σ-checked state transitions (invalid branches are counted as
+//!   detections);
+//! * the Fig 4 redo loop with micro-reboot on the fault exception;
+//! * **R0** recovery walks over the precomputed shortest paths, with
+//!   `sm_recover_via` substitutions and per-position argument synthesis;
+//! * **D1** parent-first ordering, with storage-discovered **U0** upcalls
+//!   for cross-component parents;
+//! * **D0**/`Y_dr` close semantics;
+//! * **G0** storage records + restore upcalls for global descriptors;
+//! * thread-affine deferral of blocking walk steps;
+//! * client-visible→server descriptor id translation across reboots.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use composite::{CallError, ServiceError, ThreadId, Value};
+use sg_c3::stub::{is_server_fault, InterfaceStub};
+use sg_c3::StubEnv;
+use superglue_compiler::{ArgSource, CompiledFn, CompiledStubSpec, RestoreArg, RetvalSpec};
+use superglue_sm::{FnId, State};
+
+/// Pass-through invocation that still honors the fault exception: the
+/// server is micro-rebooted (and this stub's descriptors marked faulty)
+/// before the call is redone, so untracked-descriptor calls observe
+/// post-reboot semantics (e.g. NotFound) rather than the raw fault.
+macro_rules! passthrough {
+    ($self:ident, $env:ident, $fname:ident, $args:ident) => {
+        loop {
+            match $env.invoke($fname, $args) {
+                Err(e) if is_server_fault(&e, $env.server) => {
+                    $env.ensure_rebooted()?;
+                    $self.mark_faulty();
+                }
+                other => return other,
+            }
+        }
+    };
+}
+
+/// Parent id conventionally meaning "no parent" (root descriptors).
+const NO_PARENT: i64 = 0;
+
+#[derive(Debug, Clone)]
+struct GenDesc {
+    /// Current server-side id (translated on every call).
+    server_id: i64,
+    /// Expected state-machine state.
+    state: State,
+    /// Thread whose call produced the current state (thread affinity).
+    state_thread: Option<ThreadId>,
+    faulty: bool,
+    /// Whether this edge created the descriptor (owns the metadata).
+    creator: bool,
+    /// Client-visible parent id, when any.
+    parent: Option<i64>,
+    children: Vec<i64>,
+    /// Tracked metadata (`desc_data` arguments and return values),
+    /// indexed by compiler-interned slot.
+    meta: Vec<Option<Value>>,
+    /// Last observed argument vector per interface function.
+    last_args: BTreeMap<FnId, Vec<Value>>,
+    /// A recovery walk that stopped at a thread-affine step: (walk,
+    /// resume index). Completed when `state_thread` next arrives.
+    pending_walk: Option<(Vec<FnId>, usize)>,
+}
+
+impl GenDesc {
+    fn new(
+        server_id: i64,
+        state: State,
+        thread: ThreadId,
+        creator: bool,
+        parent: Option<i64>,
+        meta_slots: usize,
+    ) -> Self {
+        Self {
+            server_id,
+            state,
+            state_thread: Some(thread),
+            faulty: false,
+            creator,
+            parent,
+            children: Vec::new(),
+            meta: vec![None; meta_slots],
+            last_args: BTreeMap::new(),
+            pending_walk: None,
+        }
+    }
+}
+
+/// The compiler-driven interface stub.
+#[derive(Debug)]
+pub struct CompiledStub {
+    spec: Arc<CompiledStubSpec>,
+    descs: BTreeMap<i64, GenDesc>,
+}
+
+impl CompiledStub {
+    /// A stub interpreting the given compiled specification.
+    #[must_use]
+    pub fn new(spec: Arc<CompiledStubSpec>) -> Self {
+        Self { spec, descs: BTreeMap::new() }
+    }
+
+    /// The interface name.
+    #[must_use]
+    pub fn iface(&self) -> &str {
+        &self.spec.interface
+    }
+
+    // -----------------------------------------------------------------
+    // Argument plumbing
+    // -----------------------------------------------------------------
+
+    fn parent_of_args(cf: &CompiledFn, args: &[Value]) -> Option<i64> {
+        cf.parent_arg
+            .and_then(|i| args.get(i))
+            .and_then(|v| v.int().ok())
+            .filter(|&p| p != NO_PARENT)
+    }
+
+    fn desc_of_args(cf: &CompiledFn, args: &[Value]) -> Option<i64> {
+        cf.desc_arg.and_then(|i| args.get(i)).and_then(|v| v.int().ok())
+    }
+
+    /// Rewrite descriptor/parent argument positions to current server
+    /// ids.
+    fn translate_args(&self, cf: &CompiledFn, desc: Option<i64>, args: &[Value]) -> Vec<Value> {
+        let mut out = args.to_vec();
+        if let (Some(pos), Some(id)) = (cf.desc_arg, desc) {
+            if let Some(d) = self.descs.get(&id) {
+                out[pos] = Value::Int(d.server_id);
+            }
+        }
+        if let Some(pos) = cf.parent_arg {
+            if let Some(p) = Self::parent_of_args(cf, args) {
+                if let Some(pd) = self.descs.get(&p) {
+                    out[pos] = Value::Int(pd.server_id);
+                }
+            }
+        }
+        out
+    }
+
+    /// Synthesize replay arguments for one walk step per the compiled
+    /// plan, overlaying tracked state onto the last observed arguments.
+    fn synth_args(&self, env: &StubEnv<'_>, fid: FnId, desc_id: i64) -> Vec<Value> {
+        let cf = self.spec.fn_of(fid);
+        let d = self.descs.get(&desc_id);
+        let base: Option<&Vec<Value>> = d.and_then(|d| d.last_args.get(&fid));
+        cf.replay_args
+            .iter()
+            .enumerate()
+            .map(|(pos, src)| match src {
+                ArgSource::ClientId => Value::from(env.client.0),
+                ArgSource::DescId => Value::Int(d.map_or(desc_id, |d| d.server_id)),
+                ArgSource::ParentId => {
+                    let p = d.and_then(|d| d.parent);
+                    match p {
+                        Some(p) => Value::Int(self.descs.get(&p).map_or(p, |pd| pd.server_id)),
+                        None => Value::Int(NO_PARENT),
+                    }
+                }
+                ArgSource::Meta(slot) => d
+                    .and_then(|d| d.meta.get(*slot).cloned().flatten())
+                    .or_else(|| base.and_then(|b| b.get(pos).cloned()))
+                    .unwrap_or(Value::Int(0)),
+                ArgSource::LastObserved => {
+                    base.and_then(|b| b.get(pos).cloned()).unwrap_or(Value::Int(0))
+                }
+            })
+            .collect()
+    }
+
+    // -----------------------------------------------------------------
+    // Tracking updates
+    // -----------------------------------------------------------------
+
+    fn harvest(
+        &mut self,
+        cf: &CompiledFn,
+        fid: FnId,
+        desc_id: i64,
+        args: &[Value],
+        ret: &Value,
+        thread: ThreadId,
+    ) {
+        let Some(d) = self.descs.get_mut(&desc_id) else { return };
+        for &(pos, slot) in &cf.data_args {
+            if let Some(v) = args.get(pos) {
+                d.meta[slot] = Some(v.clone());
+            }
+        }
+        match cf.retval {
+            RetvalSpec::None => {}
+            RetvalSpec::NewDesc(slot) => {
+                d.meta[slot] = Some(Value::Int(desc_id));
+            }
+            RetvalSpec::SetData(slot) => {
+                d.meta[slot] = Some(ret.clone());
+            }
+            RetvalSpec::AccumData(slot) => {
+                let add = match ret {
+                    Value::Int(n) => *n,
+                    Value::Bytes(b) => b.len() as i64,
+                    _ => 0,
+                };
+                let cur =
+                    d.meta[slot].as_ref().and_then(|v| v.int().ok()).unwrap_or(0);
+                d.meta[slot] = Some(Value::Int(cur + add));
+            }
+        }
+        if cf.track_args {
+            d.last_args.insert(fid, args.to_vec());
+        }
+        d.state_thread = Some(thread);
+    }
+
+    fn close(&mut self, env: &mut StubEnv<'_>, desc_id: i64) {
+        let model = self.spec.model;
+        if model.close_children {
+            // D0: drop the tracked subtree.
+            let mut stack = self.descs.get(&desc_id).map(|d| d.children.clone()).unwrap_or_default();
+            while let Some(c) = stack.pop() {
+                if let Some(cd) = self.descs.remove(&c) {
+                    stack.extend(cd.children);
+                }
+            }
+        }
+        let remove =
+            model.close_removes_tracking || model.close_children || !model.parent.has_parent();
+        if remove {
+            if let Some(d) = self.descs.remove(&desc_id) {
+                if let Some(p) = d.parent {
+                    if let Some(pd) = self.descs.get_mut(&p) {
+                        pd.children.retain(|&c| c != desc_id);
+                    }
+                }
+            }
+        }
+        if self.spec.records_creations {
+            let iface = self.spec.interface.clone();
+            if let Some(storage) = env.storage {
+                let _ = env.kernel.invoke(
+                    env.client,
+                    env.thread,
+                    storage,
+                    "st_unrecord",
+                    &[Value::from(iface.as_str()), Value::Int(desc_id)],
+                );
+            }
+        }
+    }
+
+    fn record_creation(
+        &mut self,
+        env: &mut StubEnv<'_>,
+        desc_id: i64,
+        parent: Option<i64>,
+        args: &[Value],
+        cf: &CompiledFn,
+    ) {
+        if !self.spec.records_creations {
+            return;
+        }
+        // aux = the first tracked integer argument that is neither the
+        // parent nor a component id (e.g. the event group).
+        let aux = cf
+            .data_args
+            .iter()
+            .filter(|(pos, _)| {
+                Some(*pos) != cf.parent_arg
+                    && cf.replay_args.get(*pos) != Some(&ArgSource::ClientId)
+            })
+            .filter_map(|(pos, _)| args.get(*pos))
+            .find_map(|v| v.int().ok())
+            .unwrap_or(0);
+        let iface = self.spec.interface.clone();
+        let _ = env.storage_record(&iface, desc_id, env.client, parent.unwrap_or(NO_PARENT), aux);
+    }
+
+    // -----------------------------------------------------------------
+    // Recovery
+    // -----------------------------------------------------------------
+
+    /// Recover a parent that is not tracked on this edge: discover its
+    /// creator through the storage records and upcall (U0 across edges).
+    fn recover_foreign(&mut self, env: &mut StubEnv<'_>, desc_id: i64) -> Result<(), CallError> {
+        let iface = self.spec.interface.clone();
+        let creator = env.storage_lookup_creator(&iface, desc_id)?;
+        if creator == env.client {
+            // Racy self-reference: nothing more we can do.
+            return Err(CallError::Service(ServiceError::NotFound));
+        }
+        env.upcall_recover(creator, desc_id)
+    }
+
+    fn effective_state(&self, state: State) -> State {
+        match state {
+            State::After(f) => match self.spec.recover_via.get(&f) {
+                Some(&g) => State::After(g),
+                None => state,
+            },
+            other => other,
+        }
+    }
+
+    fn replay_walk(
+        &mut self,
+        env: &mut StubEnv<'_>,
+        desc_id: i64,
+        walk: &[FnId],
+        start: usize,
+    ) -> Result<(), CallError> {
+        for (i, &fid) in walk.iter().enumerate().skip(start) {
+            let roles = self.spec.machine.roles(fid);
+            // Thread-affine blocking steps may not be replayed verbatim
+            // by a different thread: either substitute the declared
+            // restore entry point (sm_recover_block) passing the recorded
+            // owner, or defer the remaining walk to the owner.
+            if roles.blocks {
+                let owner = self.descs.get(&desc_id).and_then(|d| d.state_thread);
+                if owner != Some(env.thread) {
+                    if let Some(&gid) = self.spec.recover_block.get(&fid) {
+                        let gname = self.spec.machine.function_name(gid).to_owned();
+                        let owner_id = owner.map_or(0, |t| i64::from(t.0));
+                        let mut args = self.synth_args(env, gid, desc_id);
+                        for (pos, src) in self.spec.fn_of(gid).replay_args.iter().enumerate() {
+                            if *src == ArgSource::LastObserved {
+                                args[pos] = Value::Int(owner_id);
+                            }
+                        }
+                        env.replay(&gname, &args)?;
+                        continue;
+                    }
+                    if let Some(d) = self.descs.get_mut(&desc_id) {
+                        d.pending_walk = Some((walk.to_vec(), i));
+                    }
+                    env.stats.deferred_completions += 1;
+                    return Ok(());
+                }
+            }
+            let fname = self.spec.machine.function_name(fid).to_owned();
+            let args = self.synth_args(env, fid, desc_id);
+            let ret = env.replay(&fname, &args)?;
+            if roles.creates {
+                if let Ok(new_id) = ret.int() {
+                    if let Some(d) = self.descs.get_mut(&desc_id) {
+                        d.server_id = new_id;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn complete_pending(&mut self, env: &mut StubEnv<'_>, desc_id: i64) -> Result<(), CallError> {
+        let Some(d) = self.descs.get(&desc_id) else { return Ok(()) };
+        if d.state_thread != Some(env.thread) {
+            return Ok(());
+        }
+        let Some((walk, start)) = d.pending_walk.clone() else { return Ok(()) };
+        if let Some(d) = self.descs.get_mut(&desc_id) {
+            d.pending_walk = None;
+        }
+        self.replay_walk(env, desc_id, &walk, start)
+    }
+
+    fn restore_args(&self, env: &StubEnv<'_>, desc_id: i64, plan: &[RestoreArg]) -> Vec<Value> {
+        let d = self.descs.get(&desc_id);
+        plan.iter()
+            .map(|a| match a {
+                RestoreArg::Creator => Value::from(env.client.0),
+                RestoreArg::DescId => Value::Int(desc_id),
+                RestoreArg::Meta(slot) => d
+                    .and_then(|d| d.meta.get(*slot).cloned().flatten())
+                    .unwrap_or(Value::Int(0)),
+            })
+            .collect()
+    }
+}
+
+impl InterfaceStub for CompiledStub {
+    fn interface(&self) -> &'static str {
+        // Interface names come from the static idl table; leak-free
+        // static access is not possible for dynamic specs, so map the
+        // known six (falling back to a generic tag).
+        match self.spec.interface.as_str() {
+            "sched" => "sched",
+            "mm" => "mm",
+            "fs" => "fs",
+            "lock" => "lock",
+            "evt" => "evt",
+            "tmr" => "tmr",
+            _ => "superglue",
+        }
+    }
+
+    fn call(
+        &mut self,
+        env: &mut StubEnv<'_>,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        let spec = Arc::clone(&self.spec);
+        let Some((fid, cf)) = spec.fn_by_name(fname) else {
+            // Not part of the described interface: pass through (with
+            // fault handling).
+            passthrough!(self, env, fname, args);
+        };
+
+        if cf.roles.creates {
+            let parent = Self::parent_of_args(cf, args);
+            let mut g0_attempted = false;
+            loop {
+                // D1: a faulty (or foreign, post-fault) parent recovers
+                // before the creation that depends on it.
+                if let Some(p) = parent {
+                    if self.descs.get(&p).is_some_and(|d| d.faulty) {
+                        self.recover_descriptor(env, p)?;
+                    }
+                }
+                let real_args = self.translate_args(cf, None, args);
+                match env.invoke(fname, &real_args) {
+                    Ok(v) => {
+                        let id = v.int().map_err(|e| CallError::Service(e.into()))?;
+                        let state = State::After(fid);
+                        let mut d =
+                            GenDesc::new(id, state, env.thread, true, parent, spec.meta_names.len());
+                        if cf.track_args {
+                            d.last_args.insert(fid, args.to_vec());
+                        }
+                        self.descs.insert(id, d);
+                        if let Some(p) = parent {
+                            if let Some(pd) = self.descs.get_mut(&p) {
+                                if !pd.children.contains(&id) {
+                                    pd.children.push(id);
+                                }
+                            }
+                        }
+                        self.harvest(cf, fid, id, args, &v, env.thread);
+                        self.record_creation(env, id, parent, args, cf);
+                        return Ok(v);
+                    }
+                    Err(e) if is_server_fault(&e, env.server) => {
+                        env.ensure_rebooted()?;
+                        self.mark_faulty();
+                    }
+                    // The parent vanished with the reboot and is tracked
+                    // by another component: G0-style discovery (once).
+                    Err(CallError::Service(ServiceError::NotFound))
+                        if !g0_attempted
+                            && parent.is_some()
+                            && self.spec.records_creations
+                            && !self.descs.contains_key(&parent.expect("checked")) =>
+                    {
+                        g0_attempted = true;
+                        self.recover_foreign(env, parent.expect("checked"))?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        let Some(desc_id) = Self::desc_of_args(cf, args) else {
+            passthrough!(self, env, fname, args);
+        };
+        if !self.descs.contains_key(&desc_id) {
+            if self.spec.model.global {
+                // First use of a foreign global descriptor: track it so a
+                // later fault can be recovered via G0.
+                let init_state = self
+                    .spec
+                    .machine
+                    .creation_fns()
+                    .next()
+                    .map_or(State::Init, State::After);
+                let slots = self.spec.meta_names.len();
+                self.descs
+                    .insert(desc_id, GenDesc::new(desc_id, init_state, env.thread, false, None, slots));
+            } else {
+                // Untracked local descriptor: pass through (with fault
+                // handling so the redo observes post-reboot semantics).
+                passthrough!(self, env, fname, args);
+            }
+        }
+
+        let mut g0_attempted = false;
+        loop {
+            if self.descs.get(&desc_id).is_some_and(|d| d.faulty) {
+                self.recover_descriptor(env, desc_id)?;
+            }
+            self.complete_pending(env, desc_id)?;
+            let real_args = self.translate_args(cf, Some(desc_id), args);
+            match env.invoke(fname, &real_args) {
+                Ok(v) => {
+                    // One descriptor lookup covers the σ step, metadata
+                    // harvest and close detection (the hot path).
+                    let mut terminated = false;
+                    if let Some(d) = self.descs.get_mut(&desc_id) {
+                        match spec.step(d.state, fid) {
+                            Some(next) => d.state = next,
+                            None => {
+                                // Invalid σ branch: fault detection
+                                // (§III-B); tracking resynchronizes to
+                                // the observed call.
+                                env.stats.invalid_transitions += 1;
+                                d.state = if cf.roles.terminates {
+                                    State::Terminated
+                                } else {
+                                    State::After(fid)
+                                };
+                            }
+                        }
+                        if d.state == State::Terminated {
+                            terminated = true;
+                        } else {
+                            for &(pos, slot) in &cf.data_args {
+                                if let Some(val) = args.get(pos) {
+                                    d.meta[slot] = Some(val.clone());
+                                }
+                            }
+                            match cf.retval {
+                                RetvalSpec::None | RetvalSpec::NewDesc(_) => {}
+                                RetvalSpec::SetData(slot) => d.meta[slot] = Some(v.clone()),
+                                RetvalSpec::AccumData(slot) => {
+                                    let add = match &v {
+                                        Value::Int(n) => *n,
+                                        Value::Bytes(b) => b.len() as i64,
+                                        _ => 0,
+                                    };
+                                    let cur = d.meta[slot]
+                                        .as_ref()
+                                        .and_then(|x| x.int().ok())
+                                        .unwrap_or(0);
+                                    d.meta[slot] = Some(Value::Int(cur + add));
+                                }
+                            }
+                            if cf.track_args {
+                                d.last_args.insert(fid, args.to_vec());
+                            }
+                            d.state_thread = Some(env.thread);
+                        }
+                    }
+                    if terminated {
+                        self.close(env, desc_id);
+                    }
+                    return Ok(v);
+                }
+                Err(CallError::WouldBlock) => return Err(CallError::WouldBlock),
+                Err(e) if is_server_fault(&e, env.server) => {
+                    env.ensure_rebooted()?;
+                    self.mark_faulty();
+                }
+                Err(CallError::Service(ServiceError::NotFound)) if !g0_attempted => {
+                    // Unknown id at the (possibly rebuilt) server: give
+                    // recovery exactly one chance, then redo.
+                    g0_attempted = true;
+                    if let Some(d) = self.descs.get_mut(&desc_id) {
+                        d.faulty = true;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn recover_descriptor(&mut self, env: &mut StubEnv<'_>, desc_id: i64) -> Result<(), CallError> {
+        let Some(d) = self.descs.get(&desc_id) else {
+            // Untracked on this edge: only meaningful for interfaces with
+            // storage-recorded creations (global / XCParent).
+            if self.spec.records_creations {
+                return self.recover_foreign(env, desc_id);
+            }
+            return Ok(());
+        };
+        if !d.faulty {
+            return Ok(());
+        }
+        let (creator, parent, state) = (d.creator, d.parent, d.state);
+
+        if self.spec.model.global && !creator {
+            // G0 + U0: the creator's edge rebuilds under the original id.
+            self.recover_foreign(env, desc_id)?;
+            if let Some(d) = self.descs.get_mut(&desc_id) {
+                d.faulty = false;
+            }
+            env.stats.descriptors_recovered += 1;
+            return Ok(());
+        }
+
+        // D1: parents recover root-first.
+        if let Some(p) = parent {
+            if self.descs.contains_key(&p) {
+                self.recover_descriptor(env, p)?;
+            } else if self.spec.records_creations {
+                self.recover_foreign(env, p)?;
+            }
+        }
+
+        let effective = self.effective_state(state);
+        let walk = match effective {
+            State::Terminated | State::Faulty | State::Init => Vec::new(),
+            s => self
+                .spec
+                .machine
+                .recovery_walk(s)
+                .map_err(|_| CallError::Service(ServiceError::NotFound))?,
+        };
+
+        if let Some((restore_fn, plan)) = self.spec.restore.clone() {
+            // Global creator: the creation step is replaced by the
+            // restore upcall, which preserves the original global id.
+            let args = self.restore_args(env, desc_id, &plan);
+            env.replay(&restore_fn, &args)?;
+            if let Some(d) = self.descs.get_mut(&desc_id) {
+                d.faulty = false;
+                d.server_id = desc_id;
+            }
+            // Replay any post-creation steps of the walk.
+            self.replay_walk(env, desc_id, &walk, 1)?;
+        } else {
+            if let Some(d) = self.descs.get_mut(&desc_id) {
+                d.faulty = false;
+            }
+            self.replay_walk(env, desc_id, &walk, 0)?;
+        }
+        env.stats.descriptors_recovered += 1;
+        Ok(())
+    }
+
+    fn mark_faulty(&mut self) {
+        for d in self.descs.values_mut() {
+            d.faulty = true;
+        }
+    }
+
+    fn recover_all(&mut self, env: &mut StubEnv<'_>) -> Result<(), CallError> {
+        let ids: Vec<i64> =
+            self.descs.iter().filter(|(_, d)| d.faulty).map(|(&id, _)| id).collect();
+        for id in ids {
+            match self.recover_descriptor(env, id) {
+                Ok(()) => {}
+                // The descriptor no longer exists anywhere authoritative
+                // (freed by another client before the fault): drop the
+                // stale tracking record instead of aborting the eager
+                // pass.
+                Err(CallError::Service(ServiceError::NotFound)) => {
+                    self.descs.remove(&id);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn tracked_count(&self) -> usize {
+        self.descs.len()
+    }
+
+    fn faulty_count(&self) -> usize {
+        self.descs.values().filter(|d| d.faulty).count()
+    }
+}

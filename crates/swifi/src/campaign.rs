@@ -1,0 +1,412 @@
+//! The fault-injection campaign (§V-D, Table II).
+//!
+//! For each target service, the §V-B workload runs continuously on the
+//! full assembled system while faults are injected one at a time:
+//! a random bit of a random register of the thread invoking the target
+//! is flipped, the invocation's μ-program consumes (or kills, or
+//! ignores) the taint, and the mechanistic consequence plays out through
+//! the real recovery machinery. Successful recovery is judged by the
+//! paper's criterion: "continued execution that abides by the target
+//! component and workload specifications post-recovery."
+//!
+//! The paper paces injections one per second of wall time; the
+//! simulation instead separates injections by a settle window of
+//! executor steps (long enough for recovery to complete and the workload
+//! to demonstrate correct progress), which preserves the at-most-one-
+//! live-fault property the Poisson argument of §V-A establishes.
+
+use composite::{
+    CallError, ComponentId, Executor, InterfaceCall, Kernel, KernelAccess, Priority, RunExit,
+    ThreadId, ThreadState, Value,
+};
+use sg_services::api::ClientEnd;
+use sg_services::workloads::{
+    shared_desc, EventTrigger, EventWaiter, FsOpenWriteRead, LockContender, LockOwner,
+    MmGrantAliasRevoke, SchedPingPong, TimerPeriodic,
+};
+use superglue::testbed::{Testbed, Variant};
+
+use crate::inject::Injector;
+use crate::outcome::{CampaignRow, Outcome};
+use crate::program::program_for;
+use crate::simcpu::{classify_execution, ExecEvent};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Which protection variant to exercise.
+    pub variant: Variant,
+    /// Faults to inject per target component (the paper uses 500).
+    pub injections: u64,
+    /// RNG seed (printed by harnesses for reproducibility).
+    pub seed: u64,
+    /// Executor steps granted for recovery + workload progress before an
+    /// activated fault is judged.
+    pub settle_steps: u64,
+    /// Calls a latent flip may survive unconsumed before it is declared
+    /// undetected.
+    pub latent_call_cap: u32,
+    /// The 32-bit fault mask (§V-A): only bits set here are injectable.
+    /// The paper's campaigns use `0xFFFF_FFFF`.
+    pub fault_mask: u32,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            variant: Variant::SuperGlue,
+            injections: 500,
+            seed: 0xC3C3_5EED,
+            settle_steps: 700,
+            latent_call_cap: 48,
+            fault_mask: 0xFFFF_FFFF,
+        }
+    }
+}
+
+/// How one injection resolved inside the interposer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Classified {
+    /// Outcome fully determined (no settle window needed).
+    Final(Outcome),
+    /// Activated and detected; judge recovery after the settle window.
+    NeedsSettle,
+}
+
+/// The campaign context: the full system plus the injection interposer
+/// on calls into the target component.
+struct CampaignCtx {
+    tb: Testbed,
+    target: ComponentId,
+    target_iface: &'static str,
+    /// Armed flip, applied to the next thread invoking the target.
+    armed: Option<(usize, u32)>,
+    /// Applied flip not yet consumed: (thread, bit, calls survived).
+    latent: Option<(ThreadId, u32, u32)>,
+    latent_call_cap: u32,
+    /// Private state corrupted; the next target invocation detects it.
+    corrupt: bool,
+    /// Classification of the current injection, once known.
+    classified: Option<Classified>,
+    /// A segfault/hang/propagation took the whole system down.
+    system_down: bool,
+}
+
+impl KernelAccess for CampaignCtx {
+    fn kernel(&self) -> &Kernel {
+        self.tb.runtime.kernel()
+    }
+    fn kernel_mut(&mut self) -> &mut Kernel {
+        self.tb.runtime.kernel_mut()
+    }
+}
+
+impl InterfaceCall for CampaignCtx {
+    fn interface_call(
+        &mut self,
+        client: ComponentId,
+        thread: ThreadId,
+        server: ComponentId,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        if self.system_down {
+            return Err(CallError::Fault { component: server });
+        }
+        if server == self.target {
+            // Deferred assertion: corrupted private state is detected by
+            // the next invocation's consistency checks (fail-stop).
+            if self.corrupt {
+                self.corrupt = false;
+                self.tb.runtime.inject_fault(server);
+            }
+            // Apply an armed flip to the invoking thread's registers.
+            if let Some((reg, bit)) = self.armed.take() {
+                if let Ok(th) = self.tb.runtime.kernel_mut().thread_mut(thread) {
+                    th.registers.flip_bit(reg, bit);
+                }
+                self.latent = Some((thread, bit, 0));
+            }
+            // Execute the invocation's μ-program against the thread's
+            // registers, consuming live taint mechanistically.
+            if let Some((t, bit, calls)) = self.latent {
+                if t == thread {
+                    let program = program_for(self.target_iface);
+                    let ev = {
+                        let th = self
+                            .tb
+                            .runtime
+                            .kernel_mut()
+                            .thread_mut(thread)
+                            .expect("workload thread exists");
+                        classify_execution(&mut th.registers, program, bit)
+                    };
+                    match ev {
+                        ExecEvent::Latent => {
+                            if calls + 1 >= self.latent_call_cap {
+                                self.clear_taint(t);
+                                self.classified = Some(Classified::Final(Outcome::Undetected));
+                            } else {
+                                self.latent = Some((t, bit, calls + 1));
+                            }
+                        }
+                        ExecEvent::Overwritten => {
+                            self.latent = None;
+                            self.classified = Some(Classified::Final(Outcome::Undetected));
+                        }
+                        ExecEvent::ValueCorruption | ExecEvent::WildAccess => {
+                            self.clear_taint(t);
+                            self.corrupt = true;
+                            self.classified = Some(Classified::NeedsSettle);
+                        }
+                        ExecEvent::AccessException => {
+                            self.clear_taint(t);
+                            self.tb.runtime.inject_fault(server);
+                            self.classified = Some(Classified::NeedsSettle);
+                        }
+                        ExecEvent::Propagation => {
+                            self.clear_taint(t);
+                            self.system_down = true;
+                            self.classified = Some(Classified::Final(Outcome::Propagated));
+                            return Err(CallError::Fault { component: server });
+                        }
+                        ExecEvent::StackSegfault => {
+                            self.clear_taint(t);
+                            self.system_down = true;
+                            self.classified = Some(Classified::Final(Outcome::Segfault));
+                            return Err(CallError::Fault { component: server });
+                        }
+                        ExecEvent::Hang => {
+                            self.clear_taint(t);
+                            self.system_down = true;
+                            self.classified = Some(Classified::Final(Outcome::Other));
+                            return Err(CallError::Fault { component: server });
+                        }
+                    }
+                }
+            }
+        }
+        self.tb.runtime.interface_call(client, thread, server, fname, args)
+    }
+}
+
+impl CampaignCtx {
+    fn clear_taint(&mut self, t: ThreadId) {
+        self.latent = None;
+        if let Ok(th) = self.tb.runtime.kernel_mut().thread_mut(t) {
+            th.registers.clear_taint();
+        }
+    }
+}
+
+/// The per-target workload rig: threads + attached §V-B workloads.
+fn attach_target_workload(
+    tb: &mut Testbed,
+    ex: &mut Executor<CampaignCtx>,
+    iface: &'static str,
+) -> Vec<ThreadId> {
+    const ROUNDS: u32 = u32::MAX / 2;
+    let ids = tb.ids;
+    match iface {
+        "sched" => {
+            let t1 = tb.spawn_thread(ids.app1, Priority(5));
+            let t2 = tb.spawn_thread(ids.app1, Priority(5));
+            ex.attach(t1, Box::new(SchedPingPong::new(ClientEnd::new(ids.app1, t1, ids.sched), t2, ROUNDS, true)));
+            ex.attach(t2, Box::new(SchedPingPong::new(ClientEnd::new(ids.app1, t2, ids.sched), t1, ROUNDS, false)));
+            vec![t1, t2]
+        }
+        "lock" => {
+            let t1 = tb.spawn_thread(ids.app1, Priority(5));
+            let t2 = tb.spawn_thread(ids.app1, Priority(5));
+            let shared = shared_desc();
+            ex.attach(t1, Box::new(LockOwner::new(ClientEnd::new(ids.app1, t1, ids.lock), shared.clone(), ROUNDS, 1)));
+            ex.attach(t2, Box::new(LockContender::new(ClientEnd::new(ids.app1, t2, ids.lock), shared, ROUNDS)));
+            vec![t1, t2]
+        }
+        "evt" => {
+            let t1 = tb.spawn_thread(ids.app1, Priority(5));
+            let t2 = tb.spawn_thread(ids.app2, Priority(5));
+            let shared = shared_desc();
+            ex.attach(t1, Box::new(EventWaiter::new(ClientEnd::new(ids.app1, t1, ids.evt), shared.clone(), ROUNDS)));
+            ex.attach(t2, Box::new(EventTrigger::new(ClientEnd::new(ids.app2, t2, ids.evt), shared, ROUNDS)));
+            vec![t1, t2]
+        }
+        "tmr" => {
+            let t = tb.spawn_thread(ids.app1, Priority(5));
+            ex.attach(t, Box::new(TimerPeriodic::new(ClientEnd::new(ids.app1, t, ids.tmr), 50_000, ROUNDS)));
+            vec![t]
+        }
+        "mm" => {
+            let t = tb.spawn_thread(ids.app1, Priority(5));
+            ex.attach(t, Box::new(MmGrantAliasRevoke::new(ClientEnd::new(ids.app1, t, ids.mm), ids.app2, ROUNDS)));
+            vec![t]
+        }
+        "fs" => {
+            let t = tb.spawn_thread(ids.app1, Priority(5));
+            ex.attach(t, Box::new(FsOpenWriteRead::new(ClientEnd::new(ids.app1, t, ids.fs), ROUNDS)));
+            vec![t]
+        }
+        other => panic!("unknown campaign target {other:?}"),
+    }
+}
+
+fn target_component(tb: &Testbed, iface: &str) -> ComponentId {
+    match iface {
+        "sched" => tb.ids.sched,
+        "mm" => tb.ids.mm,
+        "fs" => tb.ids.fs,
+        "lock" => tb.ids.lock,
+        "evt" => tb.ids.evt,
+        "tmr" => tb.ids.tmr,
+        other => panic!("unknown campaign target {other:?}"),
+    }
+}
+
+/// The paper's row label for an interface.
+#[must_use]
+pub fn row_label(iface: &str) -> &'static str {
+    match iface {
+        "sched" => "Sched",
+        "mm" => "MM",
+        "fs" => "FS",
+        "lock" => "Lock",
+        "evt" => "Event",
+        "tmr" => "Timer",
+        _ => "?",
+    }
+}
+
+/// Run the fault-injection campaign against one target service.
+///
+/// # Panics
+///
+/// Panics if `iface` is not one of the six target interfaces or the
+/// testbed fails to build (shipped IDL is validated by tests).
+#[must_use]
+pub fn run_campaign(iface: &'static str, cfg: &CampaignConfig) -> CampaignRow {
+    let mut row = CampaignRow::new(row_label(iface));
+    let mut injector = Injector::with_mask(cfg.seed ^ fxhash(iface), cfg.fault_mask);
+
+    'reboot: while row.injected < cfg.injections {
+        // (Re)boot the machine: fresh system + workloads.
+        let tb = Testbed::build(cfg.variant).expect("testbed builds");
+        let target = target_component(&tb, iface);
+        let mut ctx = CampaignCtx {
+            tb,
+            target,
+            target_iface: iface,
+            armed: None,
+            latent: None,
+            latent_call_cap: cfg.latent_call_cap,
+            corrupt: false,
+            classified: None,
+            system_down: false,
+        };
+        let mut ex: Executor<CampaignCtx> = Executor::new();
+        let threads = attach_target_workload(&mut ctx.tb, &mut ex, iface);
+
+        // Warm up so descriptors exist before the first injection.
+        ex.run(&mut ctx, 40);
+
+        while row.injected < cfg.injections {
+            // Arm one injection and run until it classifies.
+            ctx.classified = None;
+            ctx.armed = Some(injector.choose());
+            let mut windows = 0;
+            while ctx.classified.is_none() {
+                let exit = ex.run(&mut ctx, 64);
+                windows += 1;
+                if ctx.classified.is_some() {
+                    break;
+                }
+                if exit != RunExit::StepLimit || windows > 4_000 {
+                    // Workloads ended or wedged before the flip resolved:
+                    // treat an armed-but-unapplied flip as undetected and
+                    // reboot.
+                    row.record(Outcome::Undetected);
+                    continue 'reboot;
+                }
+            }
+
+            let outcome = match ctx.classified.take().expect("loop ensures classification") {
+                Classified::Final(o) => o,
+                Classified::NeedsSettle => {
+                    let before_unrecovered = ctx.tb.runtime.stats().unrecovered;
+                    ex.run(&mut ctx, cfg.settle_steps);
+                    let crashed = threads.iter().any(|&t| {
+                        ctx.tb.runtime.kernel().thread(t).map(|th| th.state)
+                            == Ok(ThreadState::Crashed)
+                    });
+                    if crashed || ctx.tb.runtime.stats().unrecovered > before_unrecovered {
+                        Outcome::Other
+                    } else {
+                        Outcome::Recovered
+                    }
+                }
+            };
+            row.record(outcome);
+            if ctx.system_down || matches!(outcome, Outcome::Other) {
+                // Segfault/hang/propagation (or failed recovery): the
+                // paper reboots the machine before continuing.
+                continue 'reboot;
+            }
+        }
+        break;
+    }
+    row
+}
+
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(variant: Variant) -> CampaignConfig {
+        CampaignConfig { variant, injections: 60, seed: 7, ..CampaignConfig::default() }
+    }
+
+    #[test]
+    fn lock_campaign_mostly_recovers_under_superglue() {
+        let row = run_campaign("lock", &quick_cfg(Variant::SuperGlue));
+        assert_eq!(row.injected, 60);
+        assert!(row.activation_ratio() > 0.7, "activation {:.2}", row.activation_ratio());
+        assert!(row.success_rate() > 0.7, "success {:.2} ({row:?})", row.success_rate());
+    }
+
+    #[test]
+    fn sched_campaign_has_segfaults() {
+        let row = run_campaign("sched", &quick_cfg(Variant::SuperGlue));
+        assert!(row.segfault > 0, "sched is the segfault-heavy target: {row:?}");
+    }
+
+    #[test]
+    fn fs_campaign_recovers_under_c3_too() {
+        let row = run_campaign("fs", &quick_cfg(Variant::C3));
+        assert_eq!(row.injected, 60);
+        assert!(row.success_rate() > 0.6, "{row:?}");
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = run_campaign("tmr", &quick_cfg(Variant::SuperGlue));
+        let b = run_campaign("tmr", &quick_cfg(Variant::SuperGlue));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mm_and_evt_campaigns_run() {
+        for iface in ["mm", "evt"] {
+            let row = run_campaign(iface, &quick_cfg(Variant::SuperGlue));
+            assert_eq!(row.injected, 60, "{iface}");
+            assert!(row.recovered > 0, "{iface}: {row:?}");
+        }
+    }
+}

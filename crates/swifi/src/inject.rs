@@ -1,0 +1,114 @@
+//! The bit-flip injector.
+//!
+//! §V-A: "the fault type can be defined by a 32-bit fault mask in which
+//! the bits to be affected are set to 1 … a fault mask of 0xFFFFFFFF is
+//! chosen and the faults are injected by iterating through all threads
+//! and flipping register's bits only if they are executing within one of
+//! the target server components … randomly selecting a register from
+//! eight 32-bit registers … and flipping a random bit."
+
+use composite::{RegisterFile, NUM_REGISTERS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic source of (register, bit) flip choices under a fault
+/// mask.
+#[derive(Debug, Clone)]
+pub struct Injector {
+    rng: StdRng,
+    mask: u32,
+}
+
+impl Injector {
+    /// An injector with the paper's all-ones fault mask.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self::with_mask(seed, 0xFFFF_FFFF)
+    }
+
+    /// An injector restricted to the bits set in `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` is zero (no injectable bit).
+    #[must_use]
+    pub fn with_mask(seed: u64, mask: u32) -> Self {
+        assert!(mask != 0, "fault mask must enable at least one bit");
+        Self { rng: StdRng::seed_from_u64(seed), mask }
+    }
+
+    /// Choose the next (register, bit) pair.
+    pub fn choose(&mut self) -> (usize, u32) {
+        let reg = self.rng.gen_range(0..NUM_REGISTERS);
+        loop {
+            let bit = self.rng.gen_range(0..32u32);
+            if (self.mask >> bit) & 1 == 1 {
+                return (reg, bit);
+            }
+        }
+    }
+
+    /// Flip a chosen (register, bit) in a register file; returns the
+    /// choice for bookkeeping.
+    pub fn inject(&mut self, regs: &mut RegisterFile) -> (usize, u32) {
+        let (reg, bit) = self.choose();
+        regs.flip_bit(reg, bit);
+        (reg, bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let mut a = Injector::new(42);
+        let mut b = Injector::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.choose(), b.choose());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Injector::new(1);
+        let mut b = Injector::new(2);
+        let same = (0..50).filter(|_| a.choose() == b.choose()).count();
+        assert!(same < 50);
+    }
+
+    #[test]
+    fn mask_restricts_bits() {
+        let mut inj = Injector::with_mask(7, 0x0000_00F0);
+        for _ in 0..200 {
+            let (_, bit) = inj.choose();
+            assert!((4..8).contains(&bit));
+        }
+    }
+
+    #[test]
+    fn inject_taints_the_register_file() {
+        let mut inj = Injector::new(3);
+        let mut regs = RegisterFile::new();
+        let (reg, _) = inj.inject(&mut regs);
+        assert!(regs.read(reg).1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault mask")]
+    fn zero_mask_rejected() {
+        let _ = Injector::with_mask(0, 0);
+    }
+
+    #[test]
+    fn choices_cover_all_registers_eventually() {
+        let mut inj = Injector::new(9);
+        let mut seen = [false; NUM_REGISTERS];
+        for _ in 0..500 {
+            let (r, _) = inj.choose();
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,42 @@
+//! SWIFI — software-implemented fault injection (§V-A of the paper).
+//!
+//! The paper injects transient faults by flipping bits in the registers
+//! of threads executing inside a target system component, under a
+//! fail-stop model: most activated faults raise a hardware exception
+//! immediately, a few corrupt state, hang, escape as segfaults, or
+//! propagate; many flips die silently when the register is overwritten
+//! before being read.
+//!
+//! This crate reproduces that mechanistically rather than by sampling
+//! outcome labels:
+//!
+//! * every thread carries a real (simulated) 8×32-bit register file
+//!   ([`composite::RegisterFile`]) and the injector flips real bits in it
+//!   ([`inject`]);
+//! * every interface invocation of a target service executes a short
+//!   **μ-program** ([`program`]) on a tiny register machine
+//!   ([`simcpu`]): reads consume register values, writes overwrite them
+//!   (killing latent taint), loads/stores/frame-ops use registers as
+//!   addresses against the component's bounded memory region;
+//! * the *consequence* of a flip follows from which instruction first
+//!   consumes the tainted register and how far the flipped bit bends an
+//!   address ([`simcpu::ExecEvent`]): out-of-region accesses raise the
+//!   fail-stop exception, near misses corrupt private state (detected by
+//!   the next invocation's assertions), stack-pointer corruption can
+//!   escape as an unrecoverable segfault, loop-counter corruption hangs,
+//!   shared-window writes propagate to the client, and unconsumed or
+//!   overwritten taint is an undetected fault;
+//! * [`campaign`] drives the §V-B workloads over the full SuperGlue (or
+//!   C³) system, injects a configurable number of faults per service,
+//!   classifies every one, and reports the Table II row.
+
+pub mod campaign;
+pub mod inject;
+pub mod outcome;
+pub mod program;
+pub mod simcpu;
+
+pub use campaign::{run_campaign, CampaignConfig};
+pub use inject::Injector;
+pub use outcome::{CampaignRow, Outcome};
+pub use simcpu::{classify_execution, ExecEvent, Insn};

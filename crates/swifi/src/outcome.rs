@@ -1,0 +1,177 @@
+//! Injection outcomes and the Table II row aggregation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Final classification of one injected fault — the columns of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Activated, detected, and the system recovered (workloads continue
+    /// to meet their specifications).
+    Recovered,
+    /// Activated but the system exited with an unrecoverable segfault.
+    Segfault,
+    /// Activated and the corruption propagated to a client component.
+    Propagated,
+    /// Activated but not recovered for another reason (hang / latent
+    /// fault / failed recovery).
+    Other,
+    /// Never activated (register overwritten or flip never consumed).
+    Undetected,
+}
+
+impl Outcome {
+    /// Whether the fault was activated (everything but undetected).
+    #[must_use]
+    pub fn activated(self) -> bool {
+        !matches!(self, Outcome::Undetected)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Outcome::Recovered => "recovered",
+            Outcome::Segfault => "not recovered (segfault)",
+            Outcome::Propagated => "not recovered (propagated)",
+            Outcome::Other => "not recovered (other reason)",
+            Outcome::Undetected => "undetected",
+        })
+    }
+}
+
+/// One row of Table II: the aggregated campaign result for a system
+/// component.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignRow {
+    /// Component label ("Sched", "MM", …).
+    pub component: String,
+    /// Total injected faults.
+    pub injected: u64,
+    /// Recovered faults.
+    pub recovered: u64,
+    /// Unrecoverable segfaults.
+    pub segfault: u64,
+    /// Propagated faults.
+    pub propagated: u64,
+    /// Other unrecovered faults.
+    pub other: u64,
+    /// Undetected faults.
+    pub undetected: u64,
+}
+
+impl CampaignRow {
+    /// A row for the named component.
+    #[must_use]
+    pub fn new(component: &str) -> Self {
+        Self { component: component.to_owned(), ..Self::default() }
+    }
+
+    /// Record one outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        self.injected += 1;
+        match outcome {
+            Outcome::Recovered => self.recovered += 1,
+            Outcome::Segfault => self.segfault += 1,
+            Outcome::Propagated => self.propagated += 1,
+            Outcome::Other => self.other += 1,
+            Outcome::Undetected => self.undetected += 1,
+        }
+    }
+
+    /// Number of activated faults (`|F_a|`).
+    #[must_use]
+    pub fn activated(&self) -> u64 {
+        self.injected - self.undetected
+    }
+
+    /// `|F_a| / |F_a ∪ F_u|` — the fault activation ratio.
+    #[must_use]
+    pub fn activation_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            return 0.0;
+        }
+        self.activated() as f64 / self.injected as f64
+    }
+
+    /// `|F_r| / |F_a|` — the recovery success rate.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        let a = self.activated();
+        if a == 0 {
+            return 0.0;
+        }
+        self.recovered as f64 / a as f64
+    }
+
+    /// The Table II row as a printable line.
+    #[must_use]
+    pub fn table_line(&self) -> String {
+        format!(
+            "{:<6} {:>8} {:>9} {:>10} {:>12} {:>7} {:>10} {:>9.2}% {:>8.2}%",
+            self.component,
+            self.injected,
+            self.recovered,
+            self.segfault,
+            self.propagated,
+            self.other,
+            self.undetected,
+            self.activation_ratio() * 100.0,
+            self.success_rate() * 100.0,
+        )
+    }
+
+    /// The Table II header matching [`CampaignRow::table_line`].
+    #[must_use]
+    pub fn table_header() -> String {
+        format!(
+            "{:<6} {:>8} {:>9} {:>10} {:>12} {:>7} {:>10} {:>10} {:>9}",
+            "Comp", "Injected", "Recovered", "Segfault", "Propagated", "Other", "Undetected",
+            "Activation", "Success"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut r = CampaignRow::new("FS");
+        for _ in 0..90 {
+            r.record(Outcome::Recovered);
+        }
+        for _ in 0..5 {
+            r.record(Outcome::Segfault);
+        }
+        for _ in 0..5 {
+            r.record(Outcome::Undetected);
+        }
+        assert_eq!(r.injected, 100);
+        assert_eq!(r.activated(), 95);
+        assert!((r.activation_ratio() - 0.95).abs() < 1e-9);
+        assert!((r.success_rate() - 90.0 / 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_row_has_zero_ratios() {
+        let r = CampaignRow::new("X");
+        assert_eq!(r.activation_ratio(), 0.0);
+        assert_eq!(r.success_rate(), 0.0);
+    }
+
+    #[test]
+    fn outcome_display_and_activation() {
+        assert_eq!(Outcome::Recovered.to_string(), "recovered");
+        assert!(Outcome::Segfault.activated());
+        assert!(!Outcome::Undetected.activated());
+    }
+
+    #[test]
+    fn table_line_is_aligned_with_header() {
+        let r = CampaignRow::new("Lock");
+        assert!(!CampaignRow::table_header().is_empty());
+        assert!(r.table_line().starts_with("Lock"));
+    }
+}

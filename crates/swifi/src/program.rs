@@ -1,0 +1,188 @@
+//! Per-service μ-programs.
+//!
+//! Each service's interface functions execute a short register program
+//! whose instruction mix reflects the character of the real code: the
+//! scheduler is frame-heavy (context-switch paths manipulate both ESP
+//! and EBP, so stack corruption escapes most often there — matching the
+//! paper's observation that **Sched** has the most segfault crashes);
+//! the memory manager walks mapping trees (pointer loads plus an
+//! unmasked loop); the filesystem masks its loop bound (buffer sizes are
+//! range-checked) and copies through pointers; lock and event are short
+//! pointer-chasing paths; the timer is mostly arithmetic on masked
+//! values.
+//!
+//! Register conventions: 0=EAX 1=EBX 2=ECX 3=EDX 4=ESI 5=EDI 6=ESP 7=EBP.
+
+use crate::simcpu::Insn;
+
+/// EAX. First argument / return value.
+pub const EAX: usize = 0;
+/// EBX. Second argument.
+pub const EBX: usize = 1;
+/// ECX. Loop counter.
+pub const ECX: usize = 2;
+/// EDX. Third argument / scratch.
+pub const EDX: usize = 3;
+/// ESI. Source pointer.
+pub const ESI: usize = 4;
+/// EDI. Destination pointer.
+pub const EDI: usize = 5;
+/// ESP. Stack pointer.
+pub const ESP: usize = 6;
+/// EBP. Frame pointer.
+pub const EBP: usize = 7;
+
+/// The μ-program run by every invocation of the given interface.
+/// Unknown interfaces get a generic program.
+#[must_use]
+pub fn program_for(iface: &str) -> &'static [Insn] {
+    match iface {
+        // Scheduler: deep frame manipulation on both stack registers
+        // (context-switch paths), run-queue pointer walks, an unmasked
+        // loop over the run queue.
+        "sched" => &[
+            Insn::FrameOp(ESP),
+            Insn::FrameOp(EBP),
+            Insn::ReadVal(EAX),
+            Insn::ReadVal(EBX),
+            Insn::LoadFrom(ESI),
+            Insn::StoreTo(EDI),
+            Insn::LoopBound(ECX),
+            Insn::AndImm(EDX, 0x0fff_ffff),
+            Insn::ReadVal(EDX),
+            Insn::FrameOp(ESP),
+            Insn::WriteVal(EAX),
+        ],
+        // Memory manager: mapping-tree pointer chasing, a child-list
+        // store, an unmasked loop, range-checked flags, one frame op.
+        "mm" => &[
+            Insn::ReadVal(EAX),
+            Insn::ReadVal(EBX),
+            Insn::LoadFrom(ESI),
+            Insn::StoreTo(EDI),
+            Insn::LoopBound(ECX),
+            Insn::AndImm(EDX, 0xffff),
+            Insn::ReadVal(EDX),
+            Insn::FrameOp(EBP),
+            Insn::ReadVal(ESP),
+        ],
+        // Filesystem: masked block loop (sizes are range-checked),
+        // buffer copies through both pointers, light frame use.
+        "fs" => &[
+            Insn::ReadVal(EAX),
+            Insn::ReadVal(EBX),
+            Insn::AndImm(ECX, 0x7fff),
+            Insn::LoopBound(ECX),
+            Insn::LoadFrom(ESI),
+            Insn::StoreTo(EDI),
+            Insn::ReadVal(EDX),
+            Insn::FrameOp(EBP),
+            Insn::ReadVal(ESP),
+            Insn::WriteVal(EAX),
+        ],
+        // Lock: short critical-section path — owner checks, one
+        // wait-queue store, a masked flags word, one frame op.
+        "lock" => &[
+            Insn::ReadVal(EAX),
+            Insn::ReadVal(EBX),
+            Insn::LoadFrom(ESI),
+            Insn::StoreTo(EDI),
+            Insn::AndImm(EDX, 0xffff),
+            Insn::ReadVal(EDX),
+            Insn::ReadVal(ECX),
+            Insn::FrameOp(EBP),
+            Insn::ReadVal(ESP),
+        ],
+        // Event: id hashing (values), a masked group loop, waiter-list
+        // pointer walk, one frame op.
+        "evt" => &[
+            Insn::ReadVal(EAX),
+            Insn::ReadVal(EBX),
+            Insn::AndImm(ECX, 0x0003_ffff),
+            Insn::LoopBound(ECX),
+            Insn::LoadFrom(ESI),
+            Insn::StoreTo(EDI),
+            Insn::ReadVal(EDX),
+            Insn::FrameOp(EBP),
+            Insn::ReadVal(ESP),
+        ],
+        // Timer: deadline arithmetic on a masked value, a wheel-slot
+        // store, one frame op.
+        "tmr" => &[
+            Insn::ReadVal(EAX),
+            Insn::ReadVal(EBX),
+            Insn::AndImm(EDX, 0x00ff_ffff),
+            Insn::ReadVal(EDX),
+            Insn::LoadFrom(ESI),
+            Insn::StoreTo(EDI),
+            Insn::ReadVal(ECX),
+            Insn::FrameOp(EBP),
+            Insn::ReadVal(ESP),
+            Insn::WriteVal(EAX),
+        ],
+        _ => &[
+            Insn::ReadVal(EAX),
+            Insn::ReadVal(EBX),
+            Insn::LoadFrom(ESI),
+            Insn::StoreTo(EDI),
+            Insn::ReadVal(ECX),
+            Insn::ReadVal(EDX),
+            Insn::FrameOp(EBP),
+            Insn::ReadVal(ESP),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use composite::NUM_REGISTERS;
+
+    const IFACES: [&str; 6] = ["sched", "mm", "fs", "lock", "evt", "tmr"];
+
+    #[test]
+    fn every_interface_has_a_program() {
+        for i in IFACES {
+            assert!(!program_for(i).is_empty());
+        }
+        assert!(!program_for("unknown").is_empty());
+    }
+
+    #[test]
+    fn programs_reference_valid_registers() {
+        for i in IFACES {
+            for insn in program_for(i) {
+                assert!(insn.reg() < NUM_REGISTERS);
+            }
+        }
+    }
+
+    #[test]
+    fn sched_is_the_most_frame_heavy() {
+        let frames = |i: &str| {
+            program_for(i).iter().filter(|x| matches!(x, Insn::FrameOp(_))).count()
+        };
+        for other in ["mm", "fs", "lock", "evt", "tmr"] {
+            assert!(frames("sched") > frames(other), "sched must out-frame {other}");
+        }
+    }
+
+    #[test]
+    fn most_registers_are_read_before_written() {
+        // High fault-activation ratios (93–98% in Table II) require that
+        // live registers dominate: at most one register per program is
+        // overwritten before any read.
+        for i in IFACES {
+            let mut seen_read = [false; NUM_REGISTERS];
+            let mut dead = 0;
+            for insn in program_for(i) {
+                let r = insn.reg();
+                match insn {
+                    Insn::WriteVal(_) if !seen_read[r] => dead += 1,
+                    _ => seen_read[r] = true,
+                }
+            }
+            assert!(dead <= 1, "{i}: too many dead registers ({dead})");
+        }
+    }
+}

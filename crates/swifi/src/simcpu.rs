@@ -1,0 +1,280 @@
+//! A tiny register machine giving bit flips mechanistic consequences.
+//!
+//! Instructions operate on the thread's [`RegisterFile`] (8 × 32-bit,
+//! EAX…EDI + ESP/EBP). Register *reads* consume taint; register *writes*
+//! overwrite it (the paper's "a flipped register can be overwritten
+//! before it is read and those are undetected faults"). Address-forming
+//! reads are classified by how far the flipped bit displaces the access
+//! relative to the component's memory region.
+
+use composite::{RegisterFile, NUM_REGISTERS};
+use serde::{Deserialize, Serialize};
+
+/// Log2 of the component memory-region size (32 KiB): a displaced access
+/// whose flip bit is below this stays inside the region.
+pub const REGION_BITS: u32 = 15;
+
+/// Bits `[SHARED_WINDOW_LO, REGION_BITS)` displace a store into the
+/// shared interface window at the top of the region — the one spot where
+/// corruption escapes to the client (fault propagation).
+pub const SHARED_WINDOW_LO: u32 = 14;
+
+/// Frame-op displacement at or above this bit trashes the stack beyond
+/// the exception handler's reach — the unrecoverable segfault.
+pub const STACK_FATAL_BIT: u32 = 17;
+
+/// A loop counter whose flipped bit is at or above this runs the
+/// component past its watchdog budget — a hang (latent fault). Budgets
+/// are generous (the paper observes hangs in well under 1% of
+/// injections), so only flips in the topmost bits run away far enough.
+pub const HANG_BIT: u32 = 30;
+
+/// μ-program instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Insn {
+    /// Read a register as a data value (arithmetic, comparisons).
+    ReadVal(usize),
+    /// Overwrite a register with a clean value (argument load, scratch).
+    WriteVal(usize),
+    /// Mask a register with an immediate; a flip in a masked-off bit is
+    /// neutralized.
+    AndImm(usize, u32),
+    /// Use a register as an address and load through it.
+    LoadFrom(usize),
+    /// Use a register as an address and store through it.
+    StoreTo(usize),
+    /// Use a register as a stack/frame pointer (push/pop/leave/ret).
+    FrameOp(usize),
+    /// Use a register as a loop bound (dec-and-branch).
+    LoopBound(usize),
+}
+
+impl Insn {
+    /// The register this instruction touches.
+    #[must_use]
+    pub fn reg(self) -> usize {
+        match self {
+            Insn::ReadVal(r)
+            | Insn::WriteVal(r)
+            | Insn::AndImm(r, _)
+            | Insn::LoadFrom(r)
+            | Insn::StoreTo(r)
+            | Insn::FrameOp(r)
+            | Insn::LoopBound(r) => r,
+        }
+    }
+}
+
+/// What one μ-program execution did with the (single) live taint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecEvent {
+    /// No tainted register was touched: the flip stays latent in the
+    /// register file (it may be consumed by a later invocation).
+    Latent,
+    /// The tainted register was overwritten (or the flipped bit masked
+    /// off) before any read: the fault is undetected.
+    Overwritten,
+    /// A data-value read consumed the taint: private state is now
+    /// corrupt; the *next* invocation's assertions detect it
+    /// (fail-stop, recoverable).
+    ValueCorruption,
+    /// An address-forming read went outside the memory region: an
+    /// immediate hardware exception (fail-stop, recoverable).
+    AccessException,
+    /// An in-region wild access corrupted private state (detected by the
+    /// next invocation's assertions; recoverable).
+    WildAccess,
+    /// A wild store landed in the shared interface window: the
+    /// corruption propagates to the client (unrecoverable).
+    Propagation,
+    /// A frame op through a badly bent stack pointer: unrecoverable
+    /// segfault (the exception path itself is trashed).
+    StackSegfault,
+    /// A loop counter ran away: the component hangs (latent fault,
+    /// "not recovered (other reason)").
+    Hang,
+}
+
+impl ExecEvent {
+    /// Whether this event ends the classification of one injection.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, ExecEvent::Latent)
+    }
+}
+
+/// Run a μ-program against the thread's registers, classifying the fate
+/// of the given flip (register index, bit index). Writes performed by
+/// the program clear taint in the register file, so repeated executions
+/// across invocations behave exactly like real code re-using registers.
+///
+/// # Panics
+///
+/// Panics if the program references a register index `>=`
+/// [`NUM_REGISTERS`].
+#[must_use]
+pub fn classify_execution(
+    regs: &mut RegisterFile,
+    program: &[Insn],
+    flip_bit: u32,
+) -> ExecEvent {
+    for &insn in program {
+        let r = insn.reg();
+        assert!(r < NUM_REGISTERS, "register index out of range");
+        let (_, tainted) = regs.read(r);
+        match insn {
+            Insn::WriteVal(_) => {
+                // Overwrite with a clean (deterministic) value.
+                let overwrote_taint = tainted;
+                regs.write(r, 0);
+                if overwrote_taint {
+                    return ExecEvent::Overwritten;
+                }
+            }
+            Insn::AndImm(_, mask) => {
+                if tainted && (mask >> flip_bit) & 1 == 0 {
+                    // The flipped bit is masked off: neutralized.
+                    let (v, _) = regs.read(r);
+                    regs.write(r, v & mask);
+                    return ExecEvent::Overwritten;
+                }
+                if tainted {
+                    // Masked value still carries the flip: a data read.
+                    return ExecEvent::ValueCorruption;
+                }
+            }
+            Insn::ReadVal(_) => {
+                if tainted {
+                    return ExecEvent::ValueCorruption;
+                }
+            }
+            Insn::LoadFrom(_) | Insn::StoreTo(_) => {
+                if tainted {
+                    if flip_bit >= REGION_BITS {
+                        return ExecEvent::AccessException;
+                    }
+                    if matches!(insn, Insn::StoreTo(_)) && flip_bit >= SHARED_WINDOW_LO {
+                        return ExecEvent::Propagation;
+                    }
+                    return ExecEvent::WildAccess;
+                }
+            }
+            Insn::FrameOp(_) => {
+                if tainted {
+                    if flip_bit >= STACK_FATAL_BIT {
+                        return ExecEvent::StackSegfault;
+                    }
+                    return ExecEvent::AccessException;
+                }
+            }
+            Insn::LoopBound(_) => {
+                if tainted {
+                    if flip_bit >= HANG_BIT {
+                        return ExecEvent::Hang;
+                    }
+                    return ExecEvent::ValueCorruption;
+                }
+            }
+        }
+    }
+    ExecEvent::Latent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regs_with_flip(reg: usize, bit: u32) -> RegisterFile {
+        let mut r = RegisterFile::new();
+        r.flip_bit(reg, bit);
+        r
+    }
+
+    #[test]
+    fn untouched_taint_stays_latent() {
+        let mut r = regs_with_flip(3, 5);
+        let ev = classify_execution(&mut r, &[Insn::ReadVal(0), Insn::WriteVal(1)], 5);
+        assert_eq!(ev, ExecEvent::Latent);
+        assert!(r.any_tainted());
+    }
+
+    #[test]
+    fn write_before_read_is_undetected() {
+        let mut r = regs_with_flip(0, 5);
+        let ev = classify_execution(&mut r, &[Insn::WriteVal(0), Insn::ReadVal(0)], 5);
+        assert_eq!(ev, ExecEvent::Overwritten);
+        assert!(!r.any_tainted());
+    }
+
+    #[test]
+    fn value_read_corrupts_state() {
+        let mut r = regs_with_flip(0, 5);
+        let ev = classify_execution(&mut r, &[Insn::ReadVal(0)], 5);
+        assert_eq!(ev, ExecEvent::ValueCorruption);
+    }
+
+    #[test]
+    fn high_bit_address_use_raises_exception() {
+        let mut r = regs_with_flip(4, 20);
+        let ev = classify_execution(&mut r, &[Insn::LoadFrom(4)], 20);
+        assert_eq!(ev, ExecEvent::AccessException);
+    }
+
+    #[test]
+    fn low_bit_address_use_wild_access() {
+        let mut r = regs_with_flip(4, 3);
+        let ev = classify_execution(&mut r, &[Insn::LoadFrom(4)], 3);
+        assert_eq!(ev, ExecEvent::WildAccess);
+    }
+
+    #[test]
+    fn shared_window_store_propagates() {
+        let bit = SHARED_WINDOW_LO; // in [SHARED_WINDOW_LO, REGION_BITS)
+        assert!(bit < REGION_BITS);
+        let mut r = regs_with_flip(5, bit);
+        let ev = classify_execution(&mut r, &[Insn::StoreTo(5)], bit);
+        assert_eq!(ev, ExecEvent::Propagation);
+        // Loads at the same displacement merely read garbage.
+        let mut r = regs_with_flip(5, bit);
+        let ev = classify_execution(&mut r, &[Insn::LoadFrom(5)], bit);
+        assert_eq!(ev, ExecEvent::WildAccess);
+    }
+
+    #[test]
+    fn stack_corruption_classifies_by_bit() {
+        let mut r = regs_with_flip(6, STACK_FATAL_BIT);
+        let ev = classify_execution(&mut r, &[Insn::FrameOp(6)], STACK_FATAL_BIT);
+        assert_eq!(ev, ExecEvent::StackSegfault);
+        let mut r = regs_with_flip(6, 4);
+        let ev = classify_execution(&mut r, &[Insn::FrameOp(6)], 4);
+        assert_eq!(ev, ExecEvent::AccessException);
+    }
+
+    #[test]
+    fn loop_counter_runaway_hangs() {
+        let mut r = regs_with_flip(2, 31);
+        let ev = classify_execution(&mut r, &[Insn::LoopBound(2)], 31);
+        assert_eq!(ev, ExecEvent::Hang);
+        let mut r = regs_with_flip(2, 2);
+        let ev = classify_execution(&mut r, &[Insn::LoopBound(2)], 2);
+        assert_eq!(ev, ExecEvent::ValueCorruption);
+    }
+
+    #[test]
+    fn mask_neutralizes_high_flips() {
+        let mut r = regs_with_flip(2, 20);
+        let ev = classify_execution(&mut r, &[Insn::AndImm(2, 0xff), Insn::LoopBound(2)], 20);
+        assert_eq!(ev, ExecEvent::Overwritten);
+        // A flip inside the mask is consumed as a value.
+        let mut r = regs_with_flip(2, 3);
+        let ev = classify_execution(&mut r, &[Insn::AndImm(2, 0xff), Insn::LoopBound(2)], 3);
+        assert_eq!(ev, ExecEvent::ValueCorruption);
+    }
+
+    #[test]
+    fn terminality() {
+        assert!(!ExecEvent::Latent.is_terminal());
+        assert!(ExecEvent::Overwritten.is_terminal());
+        assert!(ExecEvent::StackSegfault.is_terminal());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the SWIFI machinery: classification is total,
+//! deterministic, consumes each flip at most once, and campaign rows
+//! always balance.
+
+use proptest::prelude::*;
+
+use composite::{RegisterFile, NUM_REGISTERS};
+use sg_swifi::outcome::{CampaignRow, Outcome};
+use sg_swifi::program::program_for;
+use sg_swifi::simcpu::{classify_execution, ExecEvent};
+
+const IFACES: [&str; 6] = ["sched", "mm", "fs", "lock", "evt", "tmr"];
+
+proptest! {
+    /// Every (interface, register, bit) classifies without panicking,
+    /// and a terminal event always clears or terminalizes the taint.
+    #[test]
+    fn classification_is_total(
+        iface_idx in 0usize..6,
+        reg in 0usize..NUM_REGISTERS,
+        bit in 0u32..32,
+    ) {
+        let iface = IFACES[iface_idx];
+        let mut regs = RegisterFile::new();
+        regs.flip_bit(reg, bit);
+        let ev = classify_execution(&mut regs, program_for(iface), bit);
+        match ev {
+            ExecEvent::Latent => prop_assert!(regs.any_tainted(), "latent keeps the taint"),
+            ExecEvent::Overwritten => {
+                prop_assert!(!regs.any_tainted(), "overwrite clears the taint");
+            }
+            // Consuming events leave the register file's taint to the
+            // campaign layer (which clears it explicitly).
+            _ => {}
+        }
+    }
+
+    /// Classification is deterministic.
+    #[test]
+    fn classification_is_deterministic(
+        iface_idx in 0usize..6,
+        reg in 0usize..NUM_REGISTERS,
+        bit in 0u32..32,
+    ) {
+        let iface = IFACES[iface_idx];
+        let run = || {
+            let mut regs = RegisterFile::new();
+            regs.flip_bit(reg, bit);
+            classify_execution(&mut regs, program_for(iface), bit)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// A clean register file never produces an event: the μ-programs are
+    /// fault-free on untainted state.
+    #[test]
+    fn clean_registers_never_classify(iface_idx in 0usize..6) {
+        let mut regs = RegisterFile::new();
+        let ev = classify_execution(&mut regs, program_for(IFACES[iface_idx]), 0);
+        prop_assert_eq!(ev, ExecEvent::Latent);
+        prop_assert!(!regs.any_tainted());
+    }
+
+    /// Repeated executions eventually resolve every flip: no
+    /// (register, bit) stays latent forever on any interface whose
+    /// program touches all registers.
+    #[test]
+    fn taint_resolves_within_two_runs(
+        iface_idx in 0usize..6,
+        reg in 0usize..NUM_REGISTERS,
+        bit in 0u32..32,
+    ) {
+        let iface = IFACES[iface_idx];
+        let mut regs = RegisterFile::new();
+        regs.flip_bit(reg, bit);
+        let first = classify_execution(&mut regs, program_for(iface), bit);
+        if first == ExecEvent::Latent {
+            let second = classify_execution(&mut regs, program_for(iface), bit);
+            prop_assert_ne!(
+                second,
+                ExecEvent::Latent,
+                "{} must consume a flip in reg {} within two runs",
+                iface,
+                reg
+            );
+        }
+    }
+
+    /// Campaign rows always balance: injected = sum of outcome buckets,
+    /// and the derived ratios stay in [0, 1].
+    #[test]
+    fn campaign_rows_balance(outcomes in proptest::collection::vec(0u8..5, 0..300)) {
+        let mut row = CampaignRow::new("X");
+        for o in &outcomes {
+            row.record(match o {
+                0 => Outcome::Recovered,
+                1 => Outcome::Segfault,
+                2 => Outcome::Propagated,
+                3 => Outcome::Other,
+                _ => Outcome::Undetected,
+            });
+        }
+        prop_assert_eq!(
+            row.injected,
+            row.recovered + row.segfault + row.propagated + row.other + row.undetected
+        );
+        prop_assert!((0.0..=1.0).contains(&row.activation_ratio()));
+        prop_assert!((0.0..=1.0).contains(&row.success_rate()));
+        prop_assert_eq!(row.activated(), row.injected - row.undetected);
+    }
+}

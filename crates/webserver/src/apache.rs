@@ -1,0 +1,114 @@
+//! The monolithic comparator ("Apache on Linux").
+//!
+//! Fig 7 compares the componentized COMPOSITE server against Apache
+//! 2.2.14 on Linux. Structurally, the relevant difference is that a
+//! monolithic server crosses one protection boundary per request (the
+//! system call) instead of one per subsystem, and pays no
+//! descriptor-tracking interposition. This module models exactly that: a
+//! single service component serving whole requests in one invocation,
+//! with the same per-request application work.
+
+use std::collections::BTreeMap;
+
+use composite::{Service, ServiceCtx, ServiceError, SimTime, Value};
+
+use crate::http::{Request, Response};
+
+/// The monolithic web server component.
+#[derive(Debug)]
+pub struct ApacheService {
+    site: BTreeMap<String, Vec<u8>>,
+    /// Per-request handler work, charged in virtual time.
+    work: SimTime,
+    requests_served: u64,
+}
+
+impl ApacheService {
+    /// A server with the given site content and per-request work.
+    #[must_use]
+    pub fn new(site: BTreeMap<String, Vec<u8>>, work: SimTime) -> Self {
+        Self { site, work, requests_served: 0 }
+    }
+
+    /// Requests served so far (tests).
+    #[must_use]
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+}
+
+impl Service for ApacheService {
+    fn interface(&self) -> &'static str {
+        "apache"
+    }
+
+    fn call(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, ServiceError> {
+        match fname {
+            // handle(raw_request) -> raw_response
+            "handle" => {
+                let raw = args[0].str()?;
+                ctx.charge(self.work);
+                let resp = match Request::parse(raw) {
+                    Ok(req) => match self.site.get(&req.path) {
+                        Some(body) => Response::ok(body.clone()),
+                        None => Response::not_found(),
+                    },
+                    Err(_) => Response::not_found(),
+                };
+                self.requests_served += 1;
+                Ok(Value::Bytes(resp.to_bytes()))
+            }
+            other => Err(ServiceError::NoSuchFunction(other.to_owned())),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.requests_served = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use composite::{CostModel, Kernel, Priority};
+
+    fn site() -> BTreeMap<String, Vec<u8>> {
+        let mut m = BTreeMap::new();
+        m.insert("/index.html".to_owned(), vec![b'x'; 64]);
+        m
+    }
+
+    #[test]
+    fn serves_known_path() {
+        let mut k = Kernel::with_costs(CostModel::free());
+        let app = k.add_client_component("client");
+        let apache =
+            k.add_component("apache", Box::new(ApacheService::new(site(), SimTime::from_micros(50))));
+        k.grant(app, apache);
+        let t = k.create_thread(app, Priority(5));
+        let r = k
+            .invoke(app, t, apache, "handle", &[Value::from(Request::get("/index.html"))])
+            .unwrap();
+        let body = r.bytes().unwrap();
+        assert!(String::from_utf8_lossy(body).starts_with("HTTP/1.0 200"));
+        // Handler work advanced virtual time.
+        assert!(k.now() >= SimTime::from_micros(50));
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let mut k = Kernel::with_costs(CostModel::free());
+        let app = k.add_client_component("client");
+        let apache =
+            k.add_component("apache", Box::new(ApacheService::new(site(), SimTime::ZERO)));
+        k.grant(app, apache);
+        let t = k.create_thread(app, Priority(5));
+        let r = k.invoke(app, t, apache, "handle", &[Value::from(Request::get("/nope"))]).unwrap();
+        assert!(String::from_utf8_lossy(r.bytes().unwrap()).contains("404"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Minimal HTTP/1.0 codec used by the simulated web server.
+//!
+//! Keeps the macro-benchmark honest: every simulated request formats a
+//! real request line, the server parses it, resolves a path, and
+//! formats a real response with the bytes read from RamFS.
+
+use std::fmt;
+
+/// A parsed HTTP request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method (only `GET` is served).
+    pub method: String,
+    /// The request path, e.g. `/index.html`.
+    pub path: String,
+}
+
+impl Request {
+    /// Format a GET request for a path.
+    #[must_use]
+    pub fn get(path: &str) -> String {
+        format!("GET {path} HTTP/1.0\r\nHost: sim\r\n\r\n")
+    }
+
+    /// Parse a request head.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError`] on malformed input.
+    pub fn parse(raw: &str) -> Result<Request, HttpError> {
+        let line = raw.lines().next().ok_or(HttpError::Malformed)?;
+        let mut parts = line.split_whitespace();
+        let method = parts.next().ok_or(HttpError::Malformed)?.to_owned();
+        let path = parts.next().ok_or(HttpError::Malformed)?.to_owned();
+        let version = parts.next().ok_or(HttpError::Malformed)?;
+        if !version.starts_with("HTTP/") {
+            return Err(HttpError::Malformed);
+        }
+        if !path.starts_with('/') {
+            return Err(HttpError::BadPath);
+        }
+        Ok(Request { method, path })
+    }
+}
+
+/// A response under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 OK with a body.
+    #[must_use]
+    pub fn ok(body: Vec<u8>) -> Self {
+        Self { status: 200, body }
+    }
+
+    /// 404 Not Found.
+    #[must_use]
+    pub fn not_found() -> Self {
+        Self { status: 404, body: b"not found".to_vec() }
+    }
+
+    /// Serialize to wire bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            _ => "Error",
+        };
+        let mut out = format!(
+            "HTTP/1.0 {} {reason}\r\nContent-Length: {}\r\n\r\n",
+            self.status,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// HTTP parse errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    /// Not a valid request head.
+    Malformed,
+    /// The path is not absolute.
+    BadPath,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HttpError::Malformed => "malformed http request",
+            HttpError::BadPath => "request path must be absolute",
+        })
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_get() {
+        let raw = Request::get("/index.html");
+        let req = Request::parse(&raw).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/index.html");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(Request::parse(""), Err(HttpError::Malformed));
+        assert_eq!(Request::parse("GET"), Err(HttpError::Malformed));
+        assert_eq!(Request::parse("GET /x JUNK"), Err(HttpError::Malformed));
+        assert_eq!(Request::parse("GET x HTTP/1.0"), Err(HttpError::BadPath));
+    }
+
+    #[test]
+    fn response_serializes_with_length() {
+        let r = Response::ok(vec![b'h', b'i']);
+        let bytes = r.to_bytes();
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.starts_with("HTTP/1.0 200 OK"));
+        assert!(text.contains("Content-Length: 2"));
+        assert!(text.ends_with("hi"));
+    }
+
+    #[test]
+    fn not_found_has_404() {
+        assert!(String::from_utf8_lossy(&Response::not_found().to_bytes()).contains("404"));
+    }
+}

@@ -1,0 +1,38 @@
+//! The web-server macro-benchmark (§V-E, Fig 7).
+//!
+//! The paper evaluates a custom componentized web server on COMPOSITE —
+//! with and without C³/SuperGlue — against Apache on Linux, measuring
+//! requests/second under `ab` (50 000 requests, concurrency 10), and
+//! then injects a fault into a rotating system component every 10
+//! seconds to show throughput dips briefly (< 2 s) and recovers.
+//!
+//! This crate rebuilds that experiment on the simulated OS:
+//!
+//! * [`pipeline`] — the componentized server: per-connection workloads
+//!   whose request path crosses *all* protected system services (session
+//!   lock, request-buffer page from the MM, content read from RamFS,
+//!   log event to the event manager), plus a logger thread (event wait +
+//!   log write) and a periodic housekeeping timer;
+//! * [`http`] — a minimal HTTP/1.0 request/response codec so the
+//!   connections move real bytes end to end;
+//! * [`apache`] — the monolithic comparator: the same per-request work
+//!   behind a single component boundary (no interposition, no tracking);
+//! * [`loadgen`] — the `ab`-style closed-loop driver (N concurrent
+//!   connections, fixed request budget or fixed duration) with optional
+//!   periodic fault injection into rotating services;
+//! * [`throughput`] — per-second buckets of completed requests and
+//!   summary statistics, the series Fig 7 plots.
+//!
+//! Timing is virtual: per-invocation, per-tracking and per-recovery
+//! costs come from [`composite::CostModel`], calibrated (see
+//! `EXPERIMENTS.md`) so the *relative* throughput of the four variants
+//! reproduces the paper's ordering and gaps.
+
+pub mod apache;
+pub mod http;
+pub mod loadgen;
+pub mod pipeline;
+pub mod throughput;
+
+pub use loadgen::{run_fig7_variant, Fig7Config, WebVariant};
+pub use throughput::ThroughputSeries;

@@ -1,0 +1,296 @@
+//! The componentized web server: connection, logger, and housekeeping
+//! workloads whose request path crosses the protected system services.
+//!
+//! Per request, a connection thread:
+//!
+//! 1. takes and releases the accept/session lock (lock service);
+//! 2. formats a real HTTP request, resolves it, opens the content file,
+//!    reads the body, closes (RamFS — three protected invocations);
+//! 3. triggers the logging event (event manager, global descriptor
+//!    namespace shared with the logger's component);
+//! 4. charges the application handler work and completes the response.
+//!
+//! Every Nth request additionally maps/unmaps a fresh request buffer
+//! through the memory manager, and a logger thread in a different
+//! component waits on the log event and appends to the access log, with
+//! a housekeeping timer ticking via the timer manager — so all six
+//! fault-injection targets sit on the hot or warm path, as the paper
+//! requires ("this web server ... makes use of all system-level
+//! components").
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use composite::{CallError, InterfaceCall, KernelAccess, SimTime, StepResult, ThreadId, Workload};
+use sg_services::api::{evt, fs, lock, mman, sched, tmr, ClientEnd};
+
+use crate::http::{Request, Response};
+use crate::throughput::ThroughputSeries;
+
+/// Shared site/session state created by the load generator at setup.
+#[derive(Debug)]
+pub struct Site {
+    /// The accept/session lock descriptor.
+    pub session_lock: i64,
+    /// The log event descriptor (global).
+    pub log_evt: i64,
+    /// Served paths (absolute, e.g. `/index.html`) and their RamFS
+    /// file names.
+    pub pages: Vec<(String, String)>,
+    /// Handler work charged per request.
+    pub work: SimTime,
+    /// Map/unmap a request buffer every this many requests (0 = never).
+    pub mm_every: u32,
+    /// Trigger the log event every this many requests (batched logging;
+    /// 0 = never).
+    pub log_every: u32,
+    /// The shared throughput recorder.
+    pub series: Rc<RefCell<ThroughputSeries>>,
+}
+
+/// Interface endpoints one connection uses.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnEnds {
+    /// Lock service endpoint.
+    pub lock: ClientEnd,
+    /// RamFS endpoint.
+    pub fs: ClientEnd,
+    /// Event-manager endpoint.
+    pub evt: ClientEnd,
+    /// Memory-manager endpoint.
+    pub mm: ClientEnd,
+    /// Scheduler endpoint (thread registration).
+    pub sched: ClientEnd,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    TakeLock,
+    Serve,
+}
+
+/// One closed-loop client connection.
+#[derive(Debug)]
+pub struct WebConnection {
+    ends: ConnEnds,
+    site: Rc<Site>,
+    state: ConnState,
+    registered: bool,
+    /// Request budget; `None` = run until externally stopped.
+    remaining: Option<u64>,
+    served: u64,
+    vaddr: u64,
+}
+
+impl WebConnection {
+    /// A connection issuing up to `budget` requests (None = unbounded),
+    /// using a private buffer vaddr range keyed by connection index.
+    #[must_use]
+    pub fn new(ends: ConnEnds, site: Rc<Site>, budget: Option<u64>, conn_index: u64) -> Self {
+        Self {
+            ends,
+            site,
+            state: ConnState::TakeLock,
+            registered: false,
+            remaining: budget,
+            served: 0,
+            vaddr: 0x100_0000 + conn_index * 0x1_0000,
+        }
+    }
+
+    /// Requests completed by this connection.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    fn serve_one<Ctx: InterfaceCall + KernelAccess>(
+        &mut self,
+        ctx: &mut Ctx,
+    ) -> Result<(), CallError> {
+        // Release the accept lock immediately (short critical section).
+        lock::release(ctx, &self.ends.lock, self.site.session_lock)?;
+
+        // Application handler work.
+        ctx.kernel_mut().charge(self.site.work);
+
+        // Pick the page round-robin, format + parse a real request.
+        let (url, file) = &self.site.pages[(self.served % self.site.pages.len() as u64) as usize];
+        let raw = Request::get(url);
+        let parsed = Request::parse(&raw).map_err(|_| CallError::WouldBlock);
+        debug_assert!(parsed.is_ok());
+
+        // Optional request buffer through the MM.
+        let mapped = self.site.mm_every != 0 && self.served.is_multiple_of(u64::from(self.site.mm_every));
+        let mut map_key = 0;
+        if mapped {
+            map_key = mman::get_page(ctx, &self.ends.mm, self.vaddr)?;
+        }
+
+        // Content from RamFS.
+        let fd = fs::split(ctx, &self.ends.fs, 0, file)?;
+        let body = fs::read(ctx, &self.ends.fs, fd, 4096)?;
+        fs::release(ctx, &self.ends.fs, fd)?;
+        let resp = Response::ok(body).to_bytes();
+        debug_assert!(!resp.is_empty());
+
+        if mapped {
+            mman::release_page(ctx, &self.ends.mm, map_key)?;
+        }
+
+        // Batched access logging: the log event is triggered every Nth
+        // request and consumed by the logger in another component.
+        if self.site.log_every != 0 && self.served.is_multiple_of(u64::from(self.site.log_every)) {
+            evt::trigger(ctx, &self.ends.evt, self.site.log_evt)?;
+        }
+
+        self.served += 1;
+        let now = ctx.kernel().now();
+        self.site.series.borrow_mut().record(now);
+        Ok(())
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for WebConnection {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        match self.state {
+            ConnState::TakeLock => {
+                if self.remaining == Some(0) {
+                    return StepResult::Done;
+                }
+                if !self.registered {
+                    // Register the connection thread with the scheduler
+                    // once, so the scheduler holds recoverable state for
+                    // this workload too.
+                    match sched::setup(ctx, &self.ends.sched, _thread) {
+                        Ok(_) => self.registered = true,
+                        Err(CallError::WouldBlock) => return StepResult::Blocked,
+                        Err(e) => return StepResult::Crashed(e.to_string()),
+                    }
+                    return StepResult::Yield;
+                }
+                match lock::take(ctx, &self.ends.lock, self.site.session_lock) {
+                    Ok(()) => {
+                        self.state = ConnState::Serve;
+                        StepResult::Yield
+                    }
+                    Err(CallError::WouldBlock) => StepResult::Blocked,
+                    Err(e) => StepResult::Crashed(e.to_string()),
+                }
+            }
+            ConnState::Serve => match self.serve_one(ctx) {
+                Ok(()) => {
+                    if let Some(r) = &mut self.remaining {
+                        *r -= 1;
+                    }
+                    self.state = ConnState::TakeLock;
+                    StepResult::Yield
+                }
+                Err(CallError::WouldBlock) => StepResult::Blocked,
+                Err(e) => StepResult::Crashed(e.to_string()),
+            },
+        }
+    }
+}
+
+/// The access logger: waits on the (global) log event from a different
+/// component and appends one line per wakeup to the access log.
+#[derive(Debug)]
+pub struct Logger {
+    evt_end: ClientEnd,
+    fs_end: ClientEnd,
+    log_evt: i64,
+    log_fd: Option<i64>,
+    lines: u64,
+}
+
+impl Logger {
+    /// A logger consuming `log_evt`.
+    #[must_use]
+    pub fn new(evt_end: ClientEnd, fs_end: ClientEnd, log_evt: i64) -> Self {
+        Self { evt_end, fs_end, log_evt, log_fd: None, lines: 0 }
+    }
+
+    /// Lines written so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for Logger {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        if self.log_fd.is_none() {
+            match fs::split(ctx, &self.fs_end, 0, "access.log") {
+                Ok(fd) => self.log_fd = Some(fd),
+                Err(CallError::WouldBlock) => return StepResult::Blocked,
+                Err(e) => return StepResult::Crashed(e.to_string()),
+            }
+            return StepResult::Yield;
+        }
+        match evt::wait(ctx, &self.evt_end, self.log_evt) {
+            Ok(_) => {
+                let fd = self.log_fd.expect("opened above");
+                match fs::write(ctx, &self.fs_end, fd, b"GET 200\n".to_vec()) {
+                    Ok(_) => {
+                        self.lines += 1;
+                        StepResult::Yield
+                    }
+                    Err(CallError::WouldBlock) => StepResult::Blocked,
+                    Err(e) => StepResult::Crashed(e.to_string()),
+                }
+            }
+            Err(CallError::WouldBlock) => StepResult::Blocked,
+            // The event can vanish if the system is torn down mid-run.
+            Err(_) => StepResult::Done,
+        }
+    }
+}
+
+/// Housekeeping: a periodic timer tick (connection reaping, cache
+/// expiry) keeping the timer manager on the warm path.
+#[derive(Debug)]
+pub struct Housekeeper {
+    tmr_end: ClientEnd,
+    period_ns: i64,
+    desc: Option<i64>,
+    ticks: u64,
+}
+
+impl Housekeeper {
+    /// A housekeeper ticking at the given period.
+    #[must_use]
+    pub fn new(tmr_end: ClientEnd, period_ns: i64) -> Self {
+        Self { tmr_end, period_ns, desc: None, ticks: 0 }
+    }
+
+    /// Ticks elapsed.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for Housekeeper {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        let desc = match self.desc {
+            Some(d) => d,
+            None => match tmr::create(ctx, &self.tmr_end, self.period_ns) {
+                Ok(d) => {
+                    self.desc = Some(d);
+                    return StepResult::Yield;
+                }
+                Err(CallError::WouldBlock) => return StepResult::Blocked,
+                Err(e) => return StepResult::Crashed(e.to_string()),
+            },
+        };
+        match tmr::wait(ctx, &self.tmr_end, desc) {
+            Ok(()) => {
+                self.ticks += 1;
+                StepResult::Yield
+            }
+            Err(CallError::WouldBlock) => StepResult::Blocked,
+            Err(e) => StepResult::Crashed(e.to_string()),
+        }
+    }
+}

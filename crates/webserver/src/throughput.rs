@@ -1,0 +1,154 @@
+//! Per-second throughput buckets and summary statistics (the Fig 7
+//! series).
+
+use composite::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Completed-request counts in fixed-width virtual-time buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThroughputSeries {
+    bucket_ns: u64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl ThroughputSeries {
+    /// A series with the given bucket width.
+    #[must_use]
+    pub fn new(bucket: SimTime) -> Self {
+        assert!(bucket.as_nanos() > 0, "bucket width must be positive");
+        Self { bucket_ns: bucket.as_nanos(), counts: Vec::new(), total: 0 }
+    }
+
+    /// One-second buckets (the paper's resolution).
+    #[must_use]
+    pub fn per_second() -> Self {
+        Self::new(SimTime::from_secs(1))
+    }
+
+    /// Record a completed request at virtual time `t`.
+    pub fn record(&mut self, t: SimTime) {
+        let idx = (t.as_nanos() / self.bucket_ns) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total completed requests.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bucket counts (requests per bucket).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Mean requests/second over the closed buckets (drops a trailing
+    /// partial bucket when `end` falls inside it).
+    #[must_use]
+    pub fn mean_rps(&self, end: SimTime) -> f64 {
+        let whole = (end.as_nanos() / self.bucket_ns) as usize;
+        let n = whole.min(self.counts.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts[..n].iter().sum();
+        let per_bucket = sum as f64 / n as f64;
+        per_bucket * 1e9 / self.bucket_ns as f64
+    }
+
+    /// Standard deviation of per-bucket rates over the closed buckets.
+    #[must_use]
+    pub fn stdev_rps(&self, end: SimTime) -> f64 {
+        let whole = (end.as_nanos() / self.bucket_ns) as usize;
+        let n = whole.min(self.counts.len());
+        if n < 2 {
+            return 0.0;
+        }
+        let scale = 1e9 / self.bucket_ns as f64;
+        let rates: Vec<f64> = self.counts[..n].iter().map(|&c| c as f64 * scale).collect();
+        let mean = rates.iter().sum::<f64>() / n as f64;
+        let var = rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// The deepest relative dip: `1 - min_bucket / mean` over closed
+    /// buckets (0 when the series is flat).
+    #[must_use]
+    pub fn worst_dip(&self, end: SimTime) -> f64 {
+        let whole = (end.as_nanos() / self.bucket_ns) as usize;
+        let n = whole.min(self.counts.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.counts[..n].iter().sum::<u64>() as f64 / n as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let min = self.counts[..n].iter().copied().min().unwrap_or(0) as f64;
+        (1.0 - min / mean).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_buckets() {
+        let mut s = ThroughputSeries::per_second();
+        s.record(SimTime::from_millis(100));
+        s.record(SimTime::from_millis(900));
+        s.record(SimTime::from_millis(1500));
+        assert_eq!(s.buckets(), &[2, 1]);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn mean_ignores_partial_tail() {
+        let mut s = ThroughputSeries::per_second();
+        for i in 0..10 {
+            s.record(SimTime::from_millis(i * 200)); // 5 in bucket 0, 5 in bucket 1
+        }
+        // end at 1.5s: only bucket 0 is closed.
+        let m = s.mean_rps(SimTime::from_millis(1500));
+        assert!((m - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_series_has_no_dip_and_zero_stdev() {
+        let mut s = ThroughputSeries::per_second();
+        for sec in 0..5u64 {
+            for _ in 0..10 {
+                s.record(SimTime::from_millis(sec * 1000 + 10));
+            }
+        }
+        let end = SimTime::from_secs(5);
+        assert!((s.worst_dip(end)).abs() < 1e-9);
+        assert!(s.stdev_rps(end).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dip_is_detected() {
+        let mut s = ThroughputSeries::per_second();
+        for sec in 0..4u64 {
+            let n = if sec == 2 { 5 } else { 10 };
+            for _ in 0..n {
+                s.record(SimTime::from_millis(sec * 1000 + 10));
+            }
+        }
+        let dip = s.worst_dip(SimTime::from_secs(4));
+        assert!(dip > 0.3, "dip {dip}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_rejected() {
+        let _ = ThroughputSeries::new(SimTime::ZERO);
+    }
+}
