@@ -1,44 +1,45 @@
-//! Criterion version of Fig 6(a): per-iteration cost of the §V-B
-//! micro-workloads under no FT, C³ stubs, and SuperGlue stubs. The
-//! difference between a variant and the bare baseline is the
-//! descriptor-tracking infrastructure overhead.
+//! Fig 6(a): per-iteration cost of the §V-B micro-workloads under no
+//! FT, C³ stubs, and SuperGlue stubs. The difference between a variant
+//! and the bare baseline is the descriptor-tracking infrastructure
+//! overhead.
+//!
+//! Self-timed harness (`harness = false`): warms up, then reports the
+//! mean wall-clock per iteration over a fixed batch. The simulation is
+//! deterministic, so batch means are already tight.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use sg_bench::{rig, SERVICES};
 use superglue::testbed::Variant;
 
-fn bench_tracking(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6a_tracking");
-    for iface in SERVICES {
-        for (name, variant) in
-            [("bare", Variant::Bare), ("c3", Variant::C3), ("superglue", Variant::SuperGlue)]
-        {
-            group.bench_with_input(
-                BenchmarkId::new(iface, name),
-                &variant,
-                |b, &variant| {
-                    let mut r = rig(variant);
-                    let mut seq = 0u64;
-                    b.iter(|| {
-                        seq += 1;
-                        r.run_iteration(iface, seq)
-                    });
-                },
-            );
-        }
-    }
-    group.finish();
-}
+const WARMUP: u64 = 200;
+const ITERS: u64 = 2_000;
 
-criterion_group! {
-    name = benches;
-    // Compact sampling: the simulation is deterministic, so small sample
-    // counts already give tight intervals, and the full suite stays fast
-    // on one core.
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_tracking
+fn main() {
+    println!("fig6a_tracking: ns/iteration (wall clock, {ITERS} iterations)");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12}",
+        "iface", "bare", "c3", "superglue"
+    );
+    for iface in SERVICES {
+        let mut cols = Vec::new();
+        for variant in [Variant::Bare, Variant::C3, Variant::SuperGlue] {
+            let mut r = rig(variant);
+            let mut seq = 0u64;
+            for _ in 0..WARMUP {
+                seq += 1;
+                r.run_iteration(iface, seq);
+            }
+            let start = Instant::now();
+            for _ in 0..ITERS {
+                seq += 1;
+                r.run_iteration(iface, seq);
+            }
+            cols.push((start.elapsed().as_nanos() / u128::from(ITERS)) as u64);
+        }
+        println!(
+            "{:<6} {:>12} {:>12} {:>12}",
+            iface, cols[0], cols[1], cols[2]
+        );
+    }
 }
-criterion_main!(benches);

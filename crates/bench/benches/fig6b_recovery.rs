@@ -1,40 +1,42 @@
-//! Criterion version of Fig 6(b): per-descriptor recovery cost — each
-//! iteration injects a fail-stop fault and performs the call that drives
-//! micro-reboot plus the on-demand recovery walk.
+//! Fig 6(b): per-descriptor recovery cost — each iteration injects a
+//! fail-stop fault and performs the call that drives micro-reboot plus
+//! the on-demand recovery walk.
+//!
+//! Self-timed harness (`harness = false`): warms up, then reports the
+//! mean wall-clock per fault-recover cycle over a fixed batch.
+
+use std::time::Instant;
 
 use composite::InterfaceCall as _;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sg_bench::{rig, SERVICES};
 use superglue::testbed::Variant;
 
-fn bench_recovery(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6b_recovery");
-    for iface in SERVICES {
-        for (name, variant) in [("c3", Variant::C3), ("superglue", Variant::SuperGlue)] {
-            group.bench_with_input(BenchmarkId::new(iface, name), &variant, |b, &variant| {
-                let mut r = rig(variant);
-                let (client, thread, svc, fname, args) = r.setup_recovery_victim(iface);
-                b.iter(|| {
-                    r.tb.runtime.inject_fault(svc);
-                    r.tb.runtime
-                        .interface_call(client, thread, svc, fname, &args)
-                        .expect("recovery succeeds")
-                });
-            });
-        }
-    }
-    group.finish();
-}
+const WARMUP: u64 = 50;
+const ITERS: u64 = 500;
 
-criterion_group! {
-    name = benches;
-    // Compact sampling: the simulation is deterministic, so small sample
-    // counts already give tight intervals, and the full suite stays fast
-    // on one core.
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_recovery
+fn main() {
+    println!("fig6b_recovery: ns/fault-recover cycle (wall clock, {ITERS} iterations)");
+    println!("{:<6} {:>12} {:>12}", "iface", "c3", "superglue");
+    for iface in SERVICES {
+        let mut cols = Vec::new();
+        for variant in [Variant::C3, Variant::SuperGlue] {
+            let mut r = rig(variant);
+            let (client, thread, svc, fname, args) = r.setup_recovery_victim(iface);
+            let cycle = |r: &mut sg_bench::Rig| {
+                r.tb.runtime.inject_fault(svc);
+                r.tb.runtime
+                    .interface_call(client, thread, svc, fname, &args)
+                    .expect("recovery succeeds");
+            };
+            for _ in 0..WARMUP {
+                cycle(&mut r);
+            }
+            let start = Instant::now();
+            for _ in 0..ITERS {
+                cycle(&mut r);
+            }
+            cols.push((start.elapsed().as_nanos() / u128::from(ITERS)) as u64);
+        }
+        println!("{:<6} {:>12} {:>12}", iface, cols[0], cols[1]);
+    }
 }
-criterion_main!(benches);

@@ -1,10 +1,16 @@
 //! Ablation benches for the design choices DESIGN.md §5 calls out.
 //!
-//! Run with `cargo run -p sg-bench --release --bin ablations`.
+//! Run with `cargo run -p sg-bench --release --bin ablations`. The
+//! three ablations are independent and run across worker threads
+//! (`--jobs N`, default: available parallelism); their reports print in
+//! ablation order regardless of the job count.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
-use composite::{CostModel, InterfaceCall as _, Kernel, Priority, Value};
+use composite::{
+    default_jobs, parallel_map_indexed, CostModel, InterfaceCall as _, Kernel, Priority, Value,
+};
 use sg_c3::RecoveryPolicy;
 use superglue::testbed::{Testbed, Variant};
 use superglue_sm::machine::StateMachineBuilder;
@@ -13,13 +19,13 @@ use superglue_sm::{DescriptorResourceModel, State};
 
 /// Ablation 1: on-demand (T1) vs eager recovery — what a high-priority
 /// client waits for after a fault when many descriptors are live.
-fn ablation_policy() {
-    println!("== Ablation 1: on-demand (T1) vs eager recovery ==");
+fn ablation_policy() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Ablation 1: on-demand (T1) vs eager recovery ==");
     const DESCRIPTORS: usize = 400;
     for policy in [RecoveryPolicy::OnDemand, RecoveryPolicy::Eager] {
-        let mut tb =
-            Testbed::build_with(Variant::SuperGlue, CostModel::paper_defaults(), policy)
-                .expect("testbed builds");
+        let mut tb = Testbed::build_with(Variant::SuperGlue, CostModel::paper_defaults(), policy)
+            .expect("testbed builds");
         let t = tb.spawn_thread(tb.ids.app1, Priority(5));
         let (app, lock) = (tb.ids.app1, tb.ids.lock);
         let mut ids = Vec::new();
@@ -35,29 +41,44 @@ fn ablation_policy() {
         tb.runtime.inject_fault(lock);
         let start = Instant::now();
         if policy == RecoveryPolicy::Eager {
-            tb.runtime.handle_fault_now(lock, t).expect("eager recovery");
+            tb.runtime
+                .handle_fault_now(lock, t)
+                .expect("eager recovery");
         }
         // The "high-priority request": one take on one descriptor.
         tb.runtime
-            .interface_call(app, t, lock, "lock_take", &[Value::Int(1), Value::Int(ids[0])])
+            .interface_call(
+                app,
+                t,
+                lock,
+                "lock_take",
+                &[Value::Int(1), Value::Int(ids[0])],
+            )
             .expect("take");
         let first_us = start.elapsed().as_secs_f64() * 1e6;
         let recovered = tb.runtime.stats().descriptors_recovered;
-        println!(
+        let _ = writeln!(
+            out,
             "  {policy:?}: first request served after {first_us:8.1} us wall  \
              ({recovered} descriptors recovered before it completed)"
         );
     }
-    println!(
+    let _ = writeln!(
+        out,
         "  -> on-demand bounds the priority inversion: the first request pays for\n\
          \x20    one descriptor, not all {DESCRIPTORS} (the paper's schedulability argument)."
     );
+    out
 }
 
 /// Ablation 2+3: bounded state-machine tracking vs the operation log
 /// §II-C rejects, and shortest-walk vs full-history replay.
-fn ablation_tracker() {
-    println!("\n== Ablation 2: state-machine tracker vs operation log ==");
+fn ablation_tracker() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n== Ablation 2: state-machine tracker vs operation log =="
+    );
     let mut b = StateMachineBuilder::new("lock");
     let alloc = b.function("lock_alloc");
     let take = b.function("lock_take");
@@ -75,10 +96,13 @@ fn ablation_tracker() {
     log.record(DescId(1), alloc, vec![]);
     for i in 0..OPS {
         let f = if i % 2 == 0 { take } else { release };
-        tracker.on_call(&sm, DescId(1), f).expect("valid transition");
+        tracker
+            .on_call(&sm, DescId(1), f)
+            .expect("valid transition");
         log.record(DescId(1), f, vec![]);
     }
-    println!(
+    let _ = writeln!(
+        out,
         "  after {OPS} operations on one descriptor:\n\
          \x20   state-machine tracker footprint: {:>10} bytes (bounded)\n\
          \x20   operation-log footprint:         {:>10} bytes (unbounded growth)",
@@ -86,10 +110,14 @@ fn ablation_tracker() {
         log.footprint()
     );
 
-    println!("\n== Ablation 3: shortest recovery walk vs full-history replay ==");
+    let _ = writeln!(
+        out,
+        "\n== Ablation 3: shortest recovery walk vs full-history replay =="
+    );
     let expected = tracker.get(DescId(1)).expect("tracked").state;
     let walk = sm.recovery_walk(expected).expect("reachable");
-    println!(
+    let _ = writeln!(
+        out,
         "  expected state {:?}: shortest walk replays {} calls; a log replay\n\
          \x20 would re-execute {} calls ({}x more recovery work)",
         expected,
@@ -98,15 +126,20 @@ fn ablation_tracker() {
         log.replay_for(DescId(1)).len() / walk.len().max(1)
     );
     let _ = State::Init;
+    out
 }
 
 /// Ablation 4: G1 redundant storage on vs off — RamFS data survival.
-fn ablation_g1() {
-    println!("\n== Ablation 4: G1 redundant storage on vs off ==");
+fn ablation_g1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== Ablation 4: G1 redundant storage on vs off ==");
     for persist in [true, false] {
         let mut k = Kernel::with_costs(CostModel::free());
         let app = k.add_client_component("app");
-        let st = k.add_component("storage", Box::new(sg_services::storage::StorageService::new()));
+        let st = k.add_component(
+            "storage",
+            Box::new(sg_services::storage::StorageService::new()),
+        );
         let cb = k.add_component("cbuf", Box::new(sg_services::cbuf::CbufService::new()));
         let fs_svc: Box<dyn composite::Service> = if persist {
             Box::new(sg_services::ramfs::RamFs::new(st, cb))
@@ -119,35 +152,79 @@ fn ablation_g1() {
         k.grant(fs, cb);
         let t = k.create_thread(app, Priority(5));
         let fd = k
-            .invoke(app, t, fs, "tsplit", &[Value::Int(1), Value::Int(0), Value::from("data")])
+            .invoke(
+                app,
+                t,
+                fs,
+                "tsplit",
+                &[Value::Int(1), Value::Int(0), Value::from("data")],
+            )
             .expect("split")
             .int()
             .expect("fd");
-        k.invoke(app, t, fs, "twrite", &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![7; 64])])
-            .expect("write");
+        k.invoke(
+            app,
+            t,
+            fs,
+            "twrite",
+            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![7; 64])],
+        )
+        .expect("write");
         k.fault(fs);
         k.micro_reboot(fs).expect("reboot");
         let fd2 = k
-            .invoke(app, t, fs, "tsplit", &[Value::Int(1), Value::Int(0), Value::from("data")])
+            .invoke(
+                app,
+                t,
+                fs,
+                "tsplit",
+                &[Value::Int(1), Value::Int(0), Value::from("data")],
+            )
             .expect("split")
             .int()
             .expect("fd");
         let read = k
-            .invoke(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd2), Value::Int(64)])
+            .invoke(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd2), Value::Int(64)],
+            )
             .expect("read");
         let survived = matches!(&read, Value::Bytes(b) if b.len() == 64);
-        println!(
+        let _ = writeln!(
+            out,
             "  persistence {}: 64-byte file {} the micro-reboot",
             if persist { "ON (G1) " } else { "OFF      " },
-            if survived { "SURVIVED" } else { "was LOST across" }
+            if survived {
+                "SURVIVED"
+            } else {
+                "was LOST across"
+            }
         );
     }
-    println!("  -> without the storage component, interface-driven recovery alone\n\
-              \x20    cannot restore resource *data* — the reason G1 exists (SIII-C).");
+    let _ = writeln!(
+        out,
+        "  -> without the storage component, interface-driven recovery alone\n\
+         \x20    cannot restore resource *data* — the reason G1 exists (SIII-C)."
+    );
+    out
 }
 
 fn main() {
-    ablation_policy();
-    ablation_tracker();
-    ablation_g1();
+    let mut jobs = default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let ablations: [fn() -> String; 3] = [ablation_policy, ablation_tracker, ablation_g1];
+    for report in parallel_map_indexed(ablations.len(), jobs, |i| ablations[i]()) {
+        print!("{report}");
+    }
 }

@@ -65,16 +65,14 @@ fn recovery_us(variant: Variant, iface: &str) -> (f64, f64) {
         for _ in 0..cycles {
             r.tb.runtime.inject_fault(svc);
             let start = Instant::now();
-            r.tb
-                .runtime
+            r.tb.runtime
                 .interface_call(client, thread, svc, fname, &args)
                 .expect("recovery succeeds");
             total_us += start.elapsed().as_secs_f64() * 1e6;
         }
         let start = Instant::now();
         for _ in 0..cycles {
-            r.tb
-                .runtime
+            r.tb.runtime
                 .interface_call(client, thread, svc, fname, &args)
                 .expect("plain call succeeds");
         }
@@ -114,7 +112,13 @@ fn main() {
             .find(|(n, _)| *n == iface)
             .map(|(_, s)| handwritten_loc(s))
             .expect("stub source");
-        println!("{:<6} {:>12} {:>16} {:>18}", label(iface), idl, generated, hand);
+        println!(
+            "{:<6} {:>12} {:>16} {:>18}",
+            label(iface),
+            idl,
+            generated,
+            hand
+        );
         if let Some(dir) = &emit_dir {
             let c = compiled.get(iface).expect("compiled");
             superglue_compiler::emit::write_to_dir(

@@ -4,23 +4,62 @@
 //! every 10 seconds.
 //!
 //! Run with `cargo run -p sg-bench --release --bin fig7`. Options:
-//! `--seconds N` (default 60), `--connections N` (default 10),
-//! `--json PATH`.
+//!
+//! * `--seconds N` — virtual run duration (default 60);
+//! * `--connections N` — concurrent connections (default 10);
+//! * `--repetitions N` — repetitions per variant; repetitions differ
+//!   only in the phase of the fault schedule and are averaged (default 1);
+//! * `--seed S` — experiment seed for the per-repetition fault phase;
+//! * `--jobs N` — worker threads over the (variant × repetition) grid
+//!   (default: available parallelism). Output is bit-identical for every
+//!   value of `--jobs`;
+//! * `--json PATH` — additionally dump the rows as JSON;
+//! * `--metrics PATH` — dump per-component recovery-mechanism counters
+//!   as JSON-lines (one line per component per variant).
 
-use composite::SimTime;
-use serde::Serialize;
-use sg_webserver::{run_fig7_variant, Fig7Config, WebVariant};
+use composite::{default_jobs, parallel_map_indexed, Json, MetricsSnapshot, SimTime};
+use sg_webserver::{run_fig7_rep, Fig7Config, Fig7Result, WebVariant};
 
-#[derive(Serialize)]
+const VARIANTS: [WebVariant; 6] = [
+    WebVariant::Apache,
+    WebVariant::Composite,
+    WebVariant::C3 { faults: false },
+    WebVariant::SuperGlue { faults: false },
+    WebVariant::C3 { faults: true },
+    WebVariant::SuperGlue { faults: true },
+];
+
+/// One output row: a variant's repetitions merged.
 struct Row {
-    variant: String,
+    variant: WebVariant,
     mean_rps: f64,
     stdev_rps: f64,
     total_requests: u64,
     faults_injected: u64,
     unrecovered: u64,
-    slowdown_vs_base_pct: f64,
     per_second: Vec<u64>,
+    metrics: MetricsSnapshot,
+}
+
+/// Merge a variant's repetitions in repetition order: the mean of the
+/// per-rep means, the mean per-rep stdev, summed counters, and the
+/// repetition-0 series (the unphased schedule Fig 7 plots).
+fn merge_reps(reps: &[Fig7Result]) -> Row {
+    let n = reps.len() as f64;
+    let mut metrics = MetricsSnapshot::default();
+    for r in reps {
+        metrics.merge(&r.metrics);
+    }
+    Row {
+        variant: reps[0].variant,
+        mean_rps: reps.iter().map(|r| r.mean_rps).sum::<f64>() / n,
+        stdev_rps: reps.iter().map(|r| r.stdev_rps).sum::<f64>() / n,
+        total_requests: reps.iter().map(|r| r.total_requests).sum(),
+        faults_injected: reps.iter().map(|r| r.faults_injected).sum(),
+        unrecovered: reps.iter().map(|r| r.unrecovered).sum(),
+        per_second: reps[0].series.buckets().to_vec(),
+        metrics,
+    }
 }
 
 fn sparkline(buckets: &[u64]) -> String {
@@ -35,74 +74,90 @@ fn sparkline(buckets: &[u64]) -> String {
 fn main() {
     let mut cfg = Fig7Config::default();
     let mut json_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut jobs = default_jobs();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seconds" => {
-                let s: u64 = args.next().and_then(|v| v.parse().ok()).expect("--seconds N");
+                let s: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seconds N");
                 cfg.duration = SimTime::from_secs(s);
             }
             "--connections" => {
-                cfg.connections =
-                    args.next().and_then(|v| v.parse().ok()).expect("--connections N");
+                cfg.connections = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--connections N");
+            }
+            "--repetitions" => {
+                cfg.repetitions = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repetitions N");
+                assert!(cfg.repetitions > 0, "--repetitions must be positive");
+            }
+            "--seed" => {
+                cfg.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed S");
+            }
+            "--jobs" => {
+                jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N");
             }
             "--json" => json_path = Some(args.next().expect("--json PATH")),
+            "--metrics" => metrics_path = Some(args.next().expect("--metrics PATH")),
             other => panic!("unknown argument {other:?}"),
         }
     }
 
-    let variants = [
-        WebVariant::Apache,
-        WebVariant::Composite,
-        WebVariant::C3 { faults: false },
-        WebVariant::SuperGlue { faults: false },
-        WebVariant::C3 { faults: true },
-        WebVariant::SuperGlue { faults: true },
-    ];
-
     println!(
-        "Fig 7: web-server throughput, {} connections, {}s virtual time, fault period {}",
-        cfg.connections, cfg.duration.as_secs_f64(), cfg.fault_period
+        "Fig 7: web-server throughput, {} connections, {}s virtual time, fault period {}, {} rep(s), {jobs} jobs",
+        cfg.connections,
+        cfg.duration.as_secs_f64(),
+        cfg.fault_period,
+        cfg.repetitions,
     );
     println!(
         "{:<28} {:>12} {:>9} {:>10} {:>7} {:>9}",
         "system", "req/s", "stdev", "requests", "faults", "slowdown"
     );
 
-    let mut base_rps = None;
-    let mut rows = Vec::new();
-    for v in variants {
-        let r = run_fig7_variant(v, &cfg);
-        if v == WebVariant::Composite {
-            base_rps = Some(r.mean_rps);
+    // Every (variant, repetition) pair is an independent deterministic
+    // run; flatten the grid into one task pool and regroup in variant
+    // order — bit-identical for any job count.
+    let reps = cfg.repetitions as usize;
+    let results = parallel_map_indexed(VARIANTS.len() * reps, jobs, |task| {
+        run_fig7_rep(VARIANTS[task / reps], &cfg, (task % reps) as u64)
+    });
+    let rows: Vec<Row> = results.chunks(reps).map(merge_reps).collect();
+
+    let base_rps = rows
+        .iter()
+        .find(|r| r.variant == WebVariant::Composite)
+        .map(|r| r.mean_rps)
+        .expect("Composite base runs");
+    let slowdown = |r: &Row| {
+        if r.variant == WebVariant::Apache {
+            0.0
+        } else {
+            (1.0 - r.mean_rps / base_rps) * 100.0
         }
-        let slowdown = base_rps
-            .map(|b| (1.0 - r.mean_rps / b) * 100.0)
-            .filter(|_| v != WebVariant::Apache)
-            .unwrap_or(0.0);
+    };
+    for r in &rows {
         println!(
             "{:<28} {:>12.0} {:>9.0} {:>10} {:>7} {:>8.2}%",
-            v.to_string(),
+            r.variant.to_string(),
             r.mean_rps,
             r.stdev_rps,
             r.total_requests,
             r.faults_injected,
-            slowdown
+            slowdown(r)
         );
         if r.faults_injected > 0 {
-            println!("  per-second: {}", sparkline(r.series.buckets()));
+            println!("  per-second: {}", sparkline(&r.per_second));
             assert_eq!(r.unrecovered, 0, "every injected fault must be recovered");
         }
-        rows.push(Row {
-            variant: v.to_string(),
-            mean_rps: r.mean_rps,
-            stdev_rps: r.stdev_rps,
-            total_requests: r.total_requests,
-            faults_injected: r.faults_injected,
-            unrecovered: r.unrecovered,
-            slowdown_vs_base_pct: slowdown,
-            per_second: r.series.buckets().to_vec(),
-        });
     }
 
     println!();
@@ -111,8 +166,40 @@ fn main() {
     println!("       drop throughput to zero.");
 
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).expect("serialize"))
-            .expect("write json");
+        let out: Vec<Json> = rows
+            .iter()
+            .map(|r| {
+                let mut j = Json::object();
+                j.push("variant", r.variant.to_string())
+                    .push("mean_rps", r.mean_rps)
+                    .push("stdev_rps", r.stdev_rps)
+                    .push("total_requests", r.total_requests)
+                    .push("faults_injected", r.faults_injected)
+                    .push("unrecovered", r.unrecovered)
+                    .push("slowdown_vs_base_pct", slowdown(r))
+                    .push(
+                        "per_second",
+                        Json::Array(r.per_second.iter().map(|&b| Json::from(b)).collect()),
+                    );
+                j
+            })
+            .collect();
+        std::fs::write(&path, Json::Array(out).to_pretty()).expect("write json");
         println!("rows written to {path}");
+    }
+
+    if let Some(path) = metrics_path {
+        let mut out = String::new();
+        for r in &rows {
+            let label = match r.variant {
+                WebVariant::Apache => "fig7/apache".to_owned(),
+                WebVariant::Composite => "fig7/composite".to_owned(),
+                WebVariant::C3 { faults } => format!("fig7/c3/faults={faults}"),
+                WebVariant::SuperGlue { faults } => format!("fig7/superglue/faults={faults}"),
+            };
+            out.push_str(&r.metrics.to_json_lines(&label));
+        }
+        std::fs::write(&path, out).expect("write metrics");
+        println!("metrics written to {path}");
     }
 }

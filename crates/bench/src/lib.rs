@@ -54,7 +54,11 @@ pub fn rig(variant: Variant) -> Rig {
     let mut tb = Testbed::build(variant).expect("testbed builds");
     let thread = tb.spawn_thread(tb.ids.app1, Priority(5));
     let thread2 = tb.spawn_thread(tb.ids.app2, Priority(5));
-    Rig { tb, thread, thread2 }
+    Rig {
+        tb,
+        thread,
+        thread2,
+    }
 }
 
 impl Rig {
@@ -97,7 +101,8 @@ impl Rig {
                 // The pending wakeup makes this blk non-blocking.
                 rt.interface_call(app, t, svc, "sched_blk", &[compid.clone(), d.clone()])
                     .expect("blk");
-                rt.interface_call(app, t, svc, "sched_exit", &[compid, d]).expect("exit");
+                rt.interface_call(app, t, svc, "sched_exit", &[compid, d])
+                    .expect("exit");
                 4
             }
             "lock" => {
@@ -109,8 +114,14 @@ impl Rig {
                     .expect("id");
                 rt.interface_call(app, t, svc, "lock_take", &[compid.clone(), Value::Int(id)])
                     .expect("take");
-                rt.interface_call(app, t, svc, "lock_release", &[compid.clone(), Value::Int(id)])
-                    .expect("release");
+                rt.interface_call(
+                    app,
+                    t,
+                    svc,
+                    "lock_release",
+                    &[compid.clone(), Value::Int(id)],
+                )
+                .expect("release");
                 rt.interface_call(app, t, svc, "lock_free", &[compid, Value::Int(id)])
                     .expect("free");
                 4
@@ -128,8 +139,14 @@ impl Rig {
                     .expect("split")
                     .int()
                     .expect("id");
-                rt.interface_call(app, t, svc, "evt_trigger", &[compid.clone(), Value::Int(id)])
-                    .expect("trigger");
+                rt.interface_call(
+                    app,
+                    t,
+                    svc,
+                    "evt_trigger",
+                    &[compid.clone(), Value::Int(id)],
+                )
+                .expect("trigger");
                 // Pending trigger: the wait returns immediately.
                 rt.interface_call(app, t, svc, "evt_wait", &[compid.clone(), Value::Int(id)])
                     .expect("wait");
@@ -140,7 +157,13 @@ impl Rig {
             "tmr" => {
                 let svc = self.tb.ids.tmr;
                 let id = rt
-                    .interface_call(app, t, svc, "tmr_create", &[compid.clone(), Value::Int(1_000_000)])
+                    .interface_call(
+                        app,
+                        t,
+                        svc,
+                        "tmr_create",
+                        &[compid.clone(), Value::Int(1_000_000)],
+                    )
                     .expect("create")
                     .int()
                     .expect("id");
@@ -160,7 +183,13 @@ impl Rig {
                 let svc = self.tb.ids.mm;
                 let vaddr = 0x1000 + (seq % 512) * 0x1000;
                 let root = rt
-                    .interface_call(app, t, svc, "mman_get_page", &[compid.clone(), Value::Int(vaddr as i64)])
+                    .interface_call(
+                        app,
+                        t,
+                        svc,
+                        "mman_get_page",
+                        &[compid.clone(), Value::Int(vaddr as i64)],
+                    )
                     .expect("get")
                     .int()
                     .expect("key");
@@ -177,8 +206,14 @@ impl Rig {
                     ],
                 )
                 .expect("alias");
-                rt.interface_call(app, t, svc, "mman_release_page", &[compid, Value::Int(root)])
-                    .expect("release");
+                rt.interface_call(
+                    app,
+                    t,
+                    svc,
+                    "mman_release_page",
+                    &[compid, Value::Int(root)],
+                )
+                .expect("release");
                 3
             }
             "fs" => {
@@ -211,8 +246,14 @@ impl Rig {
                     &[compid.clone(), Value::Int(fd), Value::Int(0)],
                 )
                 .expect("seek");
-                rt.interface_call(app, t, svc, "tread", &[compid.clone(), Value::Int(fd), Value::Int(1)])
-                    .expect("read");
+                rt.interface_call(
+                    app,
+                    t,
+                    svc,
+                    "tread",
+                    &[compid.clone(), Value::Int(fd), Value::Int(1)],
+                )
+                .expect("read");
                 rt.interface_call(app, t, svc, "trelease", &[compid, Value::Int(fd)])
                     .expect("release");
                 5
@@ -242,8 +283,14 @@ impl Rig {
         match iface {
             "sched" => {
                 let svc = self.tb.ids.sched;
-                rt.interface_call(app, t, svc, "sched_setup", &[compid.clone(), Value::from(t.0)])
-                    .expect("setup");
+                rt.interface_call(
+                    app,
+                    t,
+                    svc,
+                    "sched_setup",
+                    &[compid.clone(), Value::from(t.0)],
+                )
+                .expect("setup");
                 (app, t, svc, "sched_wakeup", vec![compid, Value::from(t.0)])
             }
             "lock" => {
@@ -262,29 +309,65 @@ impl Rig {
             "evt" => {
                 let svc = self.tb.ids.evt;
                 let id = rt
-                    .interface_call(app, t, svc, "evt_split", &[compid.clone(), Value::Int(0), Value::Int(1)])
+                    .interface_call(
+                        app,
+                        t,
+                        svc,
+                        "evt_split",
+                        &[compid.clone(), Value::Int(0), Value::Int(1)],
+                    )
                     .expect("split")
                     .int()
                     .expect("id");
-                rt.interface_call(app, t, svc, "evt_trigger", &[compid.clone(), Value::Int(id)])
-                    .expect("trigger");
+                rt.interface_call(
+                    app,
+                    t,
+                    svc,
+                    "evt_trigger",
+                    &[compid.clone(), Value::Int(id)],
+                )
+                .expect("trigger");
                 // Recover from the foreign client: G0 lookup + U0 upcall.
                 let app2 = self.tb.ids.app2;
-                (app2, self.thread2, svc, "evt_trigger", vec![Value::from(app2.0), Value::Int(id)])
+                (
+                    app2,
+                    self.thread2,
+                    svc,
+                    "evt_trigger",
+                    vec![Value::from(app2.0), Value::Int(id)],
+                )
             }
             "tmr" => {
                 let svc = self.tb.ids.tmr;
                 let id = rt
-                    .interface_call(app, t, svc, "tmr_create", &[compid.clone(), Value::Int(1_000_000)])
+                    .interface_call(
+                        app,
+                        t,
+                        svc,
+                        "tmr_create",
+                        &[compid.clone(), Value::Int(1_000_000)],
+                    )
                     .expect("create")
                     .int()
                     .expect("id");
-                (app, t, svc, "tmr_period", vec![compid, Value::Int(id), Value::Int(1_000_000)])
+                (
+                    app,
+                    t,
+                    svc,
+                    "tmr_period",
+                    vec![compid, Value::Int(id), Value::Int(1_000_000)],
+                )
             }
             "mm" => {
                 let svc = self.tb.ids.mm;
                 let root = rt
-                    .interface_call(app, t, svc, "mman_get_page", &[compid.clone(), Value::Int(0x4000)])
+                    .interface_call(
+                        app,
+                        t,
+                        svc,
+                        "mman_get_page",
+                        &[compid.clone(), Value::Int(0x4000)],
+                    )
                     .expect("get")
                     .int()
                     .expect("key");
@@ -296,7 +379,12 @@ impl Rig {
                     t,
                     svc,
                     "mman_alias_page",
-                    vec![compid, Value::Int(root), Value::from(self.tb.ids.app2.0), Value::Int(0x9000)],
+                    vec![
+                        compid,
+                        Value::Int(root),
+                        Value::from(self.tb.ids.app2.0),
+                        Value::Int(0x9000),
+                    ],
                 )
             }
             "fs" => {
@@ -320,7 +408,13 @@ impl Rig {
                     &[compid.clone(), Value::Int(fd), Value::Bytes(vec![1, 2, 3])],
                 )
                 .expect("write");
-                (app, t, svc, "tseek", vec![compid, Value::Int(fd), Value::Int(0)])
+                (
+                    app,
+                    t,
+                    svc,
+                    "tseek",
+                    vec![compid, Value::Int(fd), Value::Int(0)],
+                )
             }
             other => panic!("unknown interface {other:?}"),
         }
@@ -356,7 +450,10 @@ mod tests {
                 r.tb.runtime
                     .interface_call(client, thread, svc, fname, &args)
                     .unwrap_or_else(|e| panic!("{variant:?}/{iface}: {e}"));
-                assert!(r.tb.runtime.stats().faults_handled >= 1, "{variant:?}/{iface}");
+                assert!(
+                    r.tb.runtime.stats().faults_handled >= 1,
+                    "{variant:?}/{iface}"
+                );
             }
         }
     }
@@ -366,7 +463,10 @@ mod tests {
         for (iface, src) in C3_STUB_SOURCES {
             let loc = handwritten_loc(src);
             assert!(loc > 50, "{iface}: {loc}");
-            assert!(loc < superglue_compiler::count_loc(src), "{iface}: tests excluded");
+            assert!(
+                loc < superglue_compiler::count_loc(src),
+                "{iface}: tests excluded"
+            );
         }
     }
 }

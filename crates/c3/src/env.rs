@@ -2,14 +2,13 @@
 
 use std::collections::BTreeMap;
 
-use composite::{CallError, ComponentId, Kernel, SimTime, ThreadId, Value};
-use serde::{Deserialize, Serialize};
+use composite::{CallError, ComponentId, Kernel, Mechanism, SimTime, ThreadId, Value};
 
 use crate::stub::InterfaceStub;
 
 /// Counters describing recovery activity, consumed by tests and by the
 /// benchmark harnesses (Fig 6(b), Table II).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
     /// Faults handled (micro-reboot sequences initiated).
     pub faults_handled: u64,
@@ -45,7 +44,10 @@ impl RecoveryStats {
     /// Total virtual time spent recovering `server`.
     #[must_use]
     pub fn recovery_time_of(&self, server: ComponentId) -> SimTime {
-        self.recovery_time.get(&server.0).copied().unwrap_or(SimTime::ZERO)
+        self.recovery_time
+            .get(&server.0)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
     }
 
     pub(crate) fn add_recovery_time(&mut self, server: ComponentId, t: SimTime) {
@@ -100,7 +102,8 @@ impl StubEnv<'_> {
     ///
     /// As for [`Kernel::invoke`].
     pub fn invoke(&mut self, fname: &str, args: &[Value]) -> Result<Value, CallError> {
-        self.kernel.invoke(self.client, self.thread, self.server, fname, args)
+        self.kernel
+            .invoke(self.client, self.thread, self.server, fname, args)
     }
 
     /// Replay one walk step: a raw invocation charged as recovery work.
@@ -116,6 +119,38 @@ impl StubEnv<'_> {
         self.invoke(fname, args)
     }
 
+    /// Count one firing of mechanism `m` on the executing edge's server
+    /// in the kernel's observability registry.
+    pub fn note_mechanism(&mut self, m: Mechanism) {
+        self.kernel.metrics_mut().record(self.server, m);
+    }
+
+    /// One descriptor fully rebuilt through its recovery walk (**R0**).
+    pub fn note_descriptor_recovered(&mut self) {
+        self.stats.descriptors_recovered += 1;
+        self.note_mechanism(Mechanism::R0);
+    }
+
+    /// A recovery walk deferred at a thread-affine step (**T1**,
+    /// on-demand completion by the owning thread).
+    pub fn note_deferred_completion(&mut self) {
+        self.stats.deferred_completions += 1;
+        self.note_mechanism(Mechanism::T1);
+    }
+
+    /// A parent descriptor recovered before its dependent child (**D1**).
+    pub fn note_parent_first(&mut self) {
+        self.note_mechanism(Mechanism::D1);
+    }
+
+    /// `n` descriptors dropped from tracking by close semantics (**D0**,
+    /// the descriptor itself plus any recursively revoked subtree).
+    pub fn note_teardown(&mut self, n: u64) {
+        self.kernel
+            .metrics_mut()
+            .record_many(self.server, Mechanism::D0, n);
+    }
+
     /// If the server is (still) faulty, micro-reboot it and mark every
     /// edge of that server faulty — steps (2)–(4) of §III-D. Returns
     /// whether a reboot happened.
@@ -129,23 +164,28 @@ impl StubEnv<'_> {
         }
         if self.retries_left == 0 {
             self.stats.unrecovered += 1;
-            return Err(CallError::Fault { component: self.server });
+            return Err(CallError::Fault {
+                component: self.server,
+            });
         }
         self.retries_left -= 1;
 
-        // T0: account for the eager wakeup of threads that were blocked
-        // inside the failed server (the kernel released them when the
-        // fault was raised; the recovering server re-learns about them
-        // through post_reboot reflection and their retried calls).
-        let blocked = self.kernel.threads_blocked_in(self.server).len() as u64;
-        self.stats.eager_wakeups += blocked;
+        // T0 wakeups happened when the fault was raised: the kernel
+        // releases threads blocked in the failed server, counts them, and
+        // [`crate::FtRuntime::inject_fault`] accumulates the stat.
 
         let before = self.kernel.now();
         self.kernel
             .micro_reboot(self.server)
-            .map_err(|_| CallError::Fault { component: self.server })?;
+            .map_err(|_| CallError::Fault {
+                component: self.server,
+            })?;
         self.stats.faults_handled += 1;
-        self.stats.add_recovery_time(self.server, self.kernel.now().saturating_sub(before));
+        let took = self.kernel.now().saturating_sub(before);
+        self.stats.add_recovery_time(self.server, took);
+        self.kernel
+            .metrics_mut()
+            .record_recovery_latency(self.server, took);
 
         // Propagate the inter-component exception to every client edge of
         // this server (including edges currently checked out — the
@@ -169,11 +209,14 @@ impl StubEnv<'_> {
         iface: &str,
         desc: i64,
     ) -> Result<ComponentId, CallError> {
-        let storage = self.storage.ok_or(CallError::Service(composite::ServiceError::NotFound))?;
+        let storage = self
+            .storage
+            .ok_or(CallError::Service(composite::ServiceError::NotFound))?;
         let cost = self.kernel.costs().storage_round_trip;
         self.kernel.charge(cost);
         self.stats.add_recovery_time(self.server, cost);
         self.stats.storage_roundtrips += 1;
+        self.note_mechanism(Mechanism::G0);
         let v = self.kernel.invoke(
             self.client,
             self.thread,
@@ -199,10 +242,13 @@ impl StubEnv<'_> {
         parent: i64,
         aux: i64,
     ) -> Result<(), CallError> {
-        let storage = self.storage.ok_or(CallError::Service(composite::ServiceError::NotFound))?;
+        let storage = self
+            .storage
+            .ok_or(CallError::Service(composite::ServiceError::NotFound))?;
         let cost = self.kernel.costs().storage_round_trip;
         self.kernel.charge(cost);
         self.stats.storage_roundtrips += 1;
+        self.note_mechanism(Mechanism::G0);
         self.kernel.invoke(
             self.client,
             self.thread,
@@ -233,6 +279,7 @@ impl StubEnv<'_> {
         };
         self.kernel.count_upcall();
         self.stats.upcalls += 1;
+        self.note_mechanism(Mechanism::U0);
         let mut inner = StubEnv {
             kernel: self.kernel,
             stubs: self.stubs,

@@ -41,7 +41,11 @@ pub struct RuntimeConfig {
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        Self { policy: RecoveryPolicy::OnDemand, storage: None, max_retries: 3 }
+        Self {
+            policy: RecoveryPolicy::OnDemand,
+            storage: None,
+            max_retries: 3,
+        }
     }
 }
 
@@ -59,7 +63,12 @@ impl FtRuntime {
     /// Wrap a kernel with an empty edge map.
     #[must_use]
     pub fn new(kernel: Kernel, config: RuntimeConfig) -> Self {
-        Self { kernel, stubs: BTreeMap::new(), config, stats: RecoveryStats::new() }
+        Self {
+            kernel,
+            stubs: BTreeMap::new(),
+            config,
+            stats: RecoveryStats::new(),
+        }
     }
 
     /// Install a stub on the (client, server) edge, replacing any
@@ -101,7 +110,7 @@ impl FtRuntime {
     /// point). The fault is handled lazily: the next invocation of the
     /// component triggers micro-reboot and recovery.
     pub fn inject_fault(&mut self, server: ComponentId) {
-        self.kernel.fault(server);
+        self.stats.eager_wakeups += self.kernel.fault(server);
     }
 
     /// Handle a pending fault in `server` immediately (reboot + fault
@@ -111,7 +120,11 @@ impl FtRuntime {
     /// # Errors
     ///
     /// [`CallError::Fault`] when recovery is impossible.
-    pub fn handle_fault_now(&mut self, server: ComponentId, thread: ThreadId) -> Result<(), CallError> {
+    pub fn handle_fault_now(
+        &mut self,
+        server: ComponentId,
+        thread: ThreadId,
+    ) -> Result<(), CallError> {
         if !self.kernel.is_faulty(server) {
             return Ok(());
         }
@@ -134,12 +147,30 @@ impl FtRuntime {
         Ok(())
     }
 
+    /// Eagerly sweep every still-faulty descriptor on every edge of
+    /// `server`, regardless of the configured recovery policy. On-demand
+    /// recovery is lazy per touched descriptor; this quiesces the rest —
+    /// harnesses use it before comparing descriptor-table shapes.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::Fault`] when recovery is impossible.
+    pub fn recover_now(&mut self, server: ComponentId, thread: ThreadId) -> Result<(), CallError> {
+        self.eager_recover(server, thread)
+    }
+
     /// Recover every descriptor of every edge of `server` right now.
     fn eager_recover(&mut self, server: ComponentId, thread: ThreadId) -> Result<(), CallError> {
-        let edges: Vec<(ComponentId, ComponentId)> =
-            self.stubs.keys().filter(|(_, s)| *s == server).copied().collect();
+        let edges: Vec<(ComponentId, ComponentId)> = self
+            .stubs
+            .keys()
+            .filter(|(_, s)| *s == server)
+            .copied()
+            .collect();
         for key in edges {
-            let Some(mut stub) = self.stubs.remove(&key) else { continue };
+            let Some(mut stub) = self.stubs.remove(&key) else {
+                continue;
+            };
             let mut env = StubEnv {
                 kernel: &mut self.kernel,
                 stubs: &mut self.stubs,
@@ -253,7 +284,11 @@ mod tests {
                 }
             }
         }
-        fn recover_descriptor(&mut self, _env: &mut StubEnv<'_>, _desc: i64) -> Result<(), CallError> {
+        fn recover_descriptor(
+            &mut self,
+            _env: &mut StubEnv<'_>,
+            _desc: i64,
+        ) -> Result<(), CallError> {
             Ok(())
         }
         fn mark_faulty(&mut self) {
@@ -331,7 +366,9 @@ mod tests {
     #[test]
     fn unprotected_edges_pass_through_raw() {
         let (mut rt, app, _svc, t) = setup();
-        let other = rt.kernel_mut().add_component("counter2", Box::new(Counter::default()));
+        let other = rt
+            .kernel_mut()
+            .add_component("counter2", Box::new(Counter::default()));
         rt.kernel_mut().grant(app, other);
         rt.interface_call(app, t, other, "add", &[]).unwrap();
         rt.inject_fault(other);
@@ -391,7 +428,10 @@ mod tests {
         let t = k.create_thread(app1, Priority(5));
         let mut rt = FtRuntime::new(
             k,
-            RuntimeConfig { policy: RecoveryPolicy::Eager, ..RuntimeConfig::default() },
+            RuntimeConfig {
+                policy: RecoveryPolicy::Eager,
+                ..RuntimeConfig::default()
+            },
         );
         rt.install_stub(app1, svc, Box::new(NullStub::default()));
         rt.install_stub(app2, svc, Box::new(NullStub::default()));

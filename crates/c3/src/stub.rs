@@ -83,7 +83,9 @@ mod tests {
 
     #[test]
     fn fault_detection_matches_server_only() {
-        let e = CallError::Fault { component: ComponentId(3) };
+        let e = CallError::Fault {
+            component: ComponentId(3),
+        };
         assert!(is_server_fault(&e, ComponentId(3)));
         assert!(!is_server_fault(&e, ComponentId(4)));
         assert!(!is_server_fault(&CallError::WouldBlock, ComponentId(3)));

@@ -77,6 +77,7 @@ impl InterfaceStub for C3EvtStub {
             loop {
                 // D1: a parented split needs its parent alive first.
                 if parent != 0 && self.descs.get(&parent).is_some_and(|d| d.faulty) {
+                    env.note_parent_first();
                     self.recover_descriptor(env, parent)?;
                 }
                 match env.invoke(fname, args) {
@@ -122,6 +123,7 @@ impl InterfaceStub for C3EvtStub {
                         "evt_trigger" => d.state = EvtState::TriggerPending,
                         "evt_free" => {
                             self.descs.remove(&desc);
+                            env.note_teardown(1);
                             if let Some(storage) = env.storage {
                                 let _ = env.kernel.invoke(
                                     env.client,
@@ -155,7 +157,9 @@ impl InterfaceStub for C3EvtStub {
     }
 
     fn recover_descriptor(&mut self, env: &mut StubEnv<'_>, desc: i64) -> Result<(), CallError> {
-        let Some(d) = self.descs.get(&desc) else { return Ok(()) };
+        let Some(d) = self.descs.get(&desc) else {
+            return Ok(());
+        };
         if !d.faulty {
             return Ok(());
         }
@@ -164,17 +168,26 @@ impl InterfaceStub for C3EvtStub {
         if creator {
             // D1: rebuild the parent first, root-first ordering.
             if parent != 0 && self.descs.get(&parent).is_some_and(|p| p.faulty) {
+                env.note_parent_first();
                 self.recover_descriptor(env, parent)?;
             }
             // Restore under the original global id using tracked
             // metadata.
             env.replay(
                 "evt_restore",
-                &[Value::from(env.client.0), Value::Int(desc), Value::Int(parent), Value::Int(grp)],
+                &[
+                    Value::from(env.client.0),
+                    Value::Int(desc),
+                    Value::Int(parent),
+                    Value::Int(grp),
+                ],
             )?;
             if state == EvtState::TriggerPending {
                 // Re-pend the possibly unconsumed trigger.
-                env.replay("evt_trigger", &[Value::from(env.client.0), Value::Int(desc)])?;
+                env.replay(
+                    "evt_trigger",
+                    &[Value::from(env.client.0), Value::Int(desc)],
+                )?;
             }
         } else {
             // G0: find the creator through the storage component and
@@ -187,7 +200,7 @@ impl InterfaceStub for C3EvtStub {
         }
         let d = self.descs.get_mut(&desc).expect("still tracked");
         d.faulty = false;
-        env.stats.descriptors_recovered += 1;
+        env.note_descriptor_recovered();
         Ok(())
     }
 
@@ -198,8 +211,12 @@ impl InterfaceStub for C3EvtStub {
     }
 
     fn recover_all(&mut self, env: &mut StubEnv<'_>) -> Result<(), CallError> {
-        let ids: Vec<i64> =
-            self.descs.iter().filter(|(_, d)| d.faulty).map(|(&id, _)| id).collect();
+        let ids: Vec<i64> = self
+            .descs
+            .iter()
+            .filter(|(_, d)| d.faulty)
+            .map(|(&id, _)| id)
+            .collect();
         for id in ids {
             match self.recover_descriptor(env, id) {
                 Ok(()) => {}
@@ -250,11 +267,21 @@ mod tests {
         let t2 = k.create_thread(app2, Priority(5));
         let mut rt = FtRuntime::new(
             k,
-            RuntimeConfig { storage: Some(storage), ..RuntimeConfig::default() },
+            RuntimeConfig {
+                storage: Some(storage),
+                ..RuntimeConfig::default()
+            },
         );
         rt.install_stub(app1, evt, Box::new(C3EvtStub::new()));
         rt.install_stub(app2, evt, Box::new(C3EvtStub::new()));
-        Rig { rt, app1, app2, evt, t1, t2 }
+        Rig {
+            rt,
+            app1,
+            app2,
+            evt,
+            t1,
+            t2,
+        }
     }
 
     fn split(r: &mut Rig) -> i64 {
@@ -281,17 +308,32 @@ mod tests {
     fn creator_recovers_under_original_id() {
         let mut r = rig();
         let id = split(&mut r);
-        r.rt.interface_call(r.app1, r.t1, r.evt, "evt_trigger", &[Value::from(r.app1.0), Value::Int(id)])
-            .unwrap();
+        r.rt.interface_call(
+            r.app1,
+            r.t1,
+            r.evt,
+            "evt_trigger",
+            &[Value::from(r.app1.0), Value::Int(id)],
+        )
+        .unwrap();
         r.rt.inject_fault(r.evt);
         // The creator's next wait recovers the event under the same id;
         // the pending trigger was re-pended, so the wait succeeds
         // immediately.
-        let v = r
-            .rt
-            .interface_call(r.app1, r.t1, r.evt, "evt_wait", &[Value::from(r.app1.0), Value::Int(id)])
+        let v =
+            r.rt.interface_call(
+                r.app1,
+                r.t1,
+                r.evt,
+                "evt_wait",
+                &[Value::from(r.app1.0), Value::Int(id)],
+            )
             .unwrap();
-        assert_eq!(v, Value::Int(id), "global id must be stable across recovery");
+        assert_eq!(
+            v,
+            Value::Int(id),
+            "global id must be stable across recovery"
+        );
     }
 
     #[test]
@@ -301,14 +343,25 @@ mod tests {
         r.rt.inject_fault(r.evt);
         // app2 (not the creator) triggers: G0 storage lookup + U0 upcall
         // into app1's edge rebuild the event, then the trigger lands.
-        r.rt.interface_call(r.app2, r.t2, r.evt, "evt_trigger", &[Value::from(r.app2.0), Value::Int(id)])
-            .unwrap();
+        r.rt.interface_call(
+            r.app2,
+            r.t2,
+            r.evt,
+            "evt_trigger",
+            &[Value::from(r.app2.0), Value::Int(id)],
+        )
+        .unwrap();
         assert!(r.rt.stats().upcalls >= 1);
         assert!(r.rt.stats().storage_roundtrips >= 2);
         // The trigger is visible to the creator.
-        let v = r
-            .rt
-            .interface_call(r.app1, r.t1, r.evt, "evt_wait", &[Value::from(r.app1.0), Value::Int(id)])
+        let v =
+            r.rt.interface_call(
+                r.app1,
+                r.t1,
+                r.evt,
+                "evt_wait",
+                &[Value::from(r.app1.0), Value::Int(id)],
+            )
             .unwrap();
         assert_eq!(v, Value::Int(id));
     }
@@ -317,15 +370,29 @@ mod tests {
     fn free_unrecords_from_storage() {
         let mut r = rig();
         let id = split(&mut r);
-        r.rt.interface_call(r.app1, r.t1, r.evt, "evt_free", &[Value::from(r.app1.0), Value::Int(id)])
-            .unwrap();
+        r.rt.interface_call(
+            r.app1,
+            r.t1,
+            r.evt,
+            "evt_free",
+            &[Value::from(r.app1.0), Value::Int(id)],
+        )
+        .unwrap();
         // A post-free recovery attempt finds no storage record.
         r.rt.inject_fault(r.evt);
-        let err = r
-            .rt
-            .interface_call(r.app2, r.t2, r.evt, "evt_trigger", &[Value::from(r.app2.0), Value::Int(id)])
+        let err =
+            r.rt.interface_call(
+                r.app2,
+                r.t2,
+                r.evt,
+                "evt_trigger",
+                &[Value::from(r.app2.0), Value::Int(id)],
+            )
             .unwrap_err();
-        assert!(matches!(err, CallError::Service(ServiceError::NotFound) | CallError::Fault { .. }));
+        assert!(matches!(
+            err,
+            CallError::Service(ServiceError::NotFound) | CallError::Fault { .. }
+        ));
     }
 
     #[test]
@@ -333,9 +400,14 @@ mod tests {
         let mut r = rig();
         // app2 uses an id that was never recorded.
         r.rt.inject_fault(r.evt);
-        let err = r
-            .rt
-            .interface_call(r.app2, r.t2, r.evt, "evt_wait", &[Value::from(r.app2.0), Value::Int(424_242)])
+        let err =
+            r.rt.interface_call(
+                r.app2,
+                r.t2,
+                r.evt,
+                "evt_wait",
+                &[Value::from(r.app2.0), Value::Int(424_242)],
+            )
             .unwrap_err();
         assert!(matches!(err, CallError::Service(ServiceError::NotFound)));
     }

@@ -91,11 +91,16 @@ impl InterfaceStub for C3FsStub {
     ) -> Result<Value, CallError> {
         if fname == "tsplit" {
             let parent = args.get(1).and_then(|v| v.int().ok()).unwrap_or(0);
-            let rel = args.get(2).and_then(|v| v.str().ok()).unwrap_or("").to_owned();
+            let rel = args
+                .get(2)
+                .and_then(|v| v.str().ok())
+                .unwrap_or("")
+                .to_owned();
             loop {
                 // D1: the parent descriptor must be live to resolve the
                 // path (its tracked full path suffices even if released).
                 if self.descs.get(&parent).is_some_and(|d| d.faulty) {
+                    env.note_parent_first();
                     self.recover_descriptor(env, parent)?;
                 }
                 let mut real_args = args.to_vec();
@@ -151,6 +156,7 @@ impl InterfaceStub for C3FsStub {
                             "twrite" => d.offset += v.int().unwrap_or(0),
                             "trelease" => {
                                 self.descs.remove(&fd);
+                                env.note_teardown(1);
                             }
                             _ => {}
                         }
@@ -168,7 +174,9 @@ impl InterfaceStub for C3FsStub {
     }
 
     fn recover_descriptor(&mut self, env: &mut StubEnv<'_>, fd: i64) -> Result<(), CallError> {
-        let Some(d) = self.descs.get(&fd) else { return Ok(()) };
+        let Some(d) = self.descs.get(&fd) else {
+            return Ok(());
+        };
         if !d.faulty {
             return Ok(());
         }
@@ -188,7 +196,7 @@ impl InterfaceStub for C3FsStub {
         let d = self.descs.get_mut(&fd).expect("still tracked");
         d.server_fd = new_fd;
         d.faulty = false;
-        env.stats.descriptors_recovered += 1;
+        env.note_descriptor_recovered();
         Ok(())
     }
 
@@ -199,8 +207,12 @@ impl InterfaceStub for C3FsStub {
     }
 
     fn recover_all(&mut self, env: &mut StubEnv<'_>) -> Result<(), CallError> {
-        let ids: Vec<i64> =
-            self.descs.iter().filter(|(_, d)| d.faulty).map(|(&id, _)| id).collect();
+        let ids: Vec<i64> = self
+            .descs
+            .iter()
+            .filter(|(_, d)| d.faulty)
+            .map(|(&id, _)| id)
+            .collect();
         for id in ids {
             match self.recover_descriptor(env, id) {
                 Ok(()) => {}
@@ -242,32 +254,67 @@ mod tests {
         k.grant(fs, st);
         k.grant(fs, cb);
         let t = k.create_thread(app, Priority(5));
-        let mut rt =
-            FtRuntime::new(k, RuntimeConfig { storage: Some(st), ..RuntimeConfig::default() });
+        let mut rt = FtRuntime::new(
+            k,
+            RuntimeConfig {
+                storage: Some(st),
+                ..RuntimeConfig::default()
+            },
+        );
         rt.install_stub(app, fs, Box::new(C3FsStub::new()));
         (rt, app, fs, t)
     }
 
-    fn tsplit(rt: &mut FtRuntime, app: ComponentId, fs: ComponentId, t: ThreadId, path: &str) -> i64 {
-        rt.interface_call(app, t, fs, "tsplit", &[Value::Int(1), Value::Int(0), Value::from(path)])
-            .unwrap()
-            .int()
-            .unwrap()
+    fn tsplit(
+        rt: &mut FtRuntime,
+        app: ComponentId,
+        fs: ComponentId,
+        t: ThreadId,
+        path: &str,
+    ) -> i64 {
+        rt.interface_call(
+            app,
+            t,
+            fs,
+            "tsplit",
+            &[Value::Int(1), Value::Int(0), Value::from(path)],
+        )
+        .unwrap()
+        .int()
+        .unwrap()
     }
 
     #[test]
     fn open_write_read_close_with_mid_fault() {
         let (mut rt, app, fs, t) = rig();
         let fd = tsplit(&mut rt, app, fs, t, "f.txt");
-        rt.interface_call(app, t, fs, "twrite", &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![0x42])])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t,
+            fs,
+            "twrite",
+            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![0x42])],
+        )
+        .unwrap();
         rt.inject_fault(fs);
         // Recovery re-opens by path and re-seeks to offset 1; the read at
         // the rewound offset 0 then sees the persisted byte.
-        rt.interface_call(app, t, fs, "tseek", &[Value::Int(1), Value::Int(fd), Value::Int(0)])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t,
+            fs,
+            "tseek",
+            &[Value::Int(1), Value::Int(fd), Value::Int(0)],
+        )
+        .unwrap();
         let r = rt
-            .interface_call(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd), Value::Int(1)])
+            .interface_call(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd), Value::Int(1)],
+            )
             .unwrap();
         assert_eq!(r, Value::Bytes(vec![0x42]));
         assert_eq!(rt.stats().faults_handled, 1);
@@ -288,7 +335,13 @@ mod tests {
         rt.inject_fault(fs);
         // Next read happens at the *recovered* offset 3 → EOF (empty).
         let r = rt
-            .interface_call(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd), Value::Int(4)])
+            .interface_call(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd), Value::Int(4)],
+            )
             .unwrap();
         assert_eq!(r, Value::Bytes(vec![]));
     }
@@ -298,16 +351,35 @@ mod tests {
         let (mut rt, app, fs, t) = rig();
         let fd = tsplit(&mut rt, app, fs, t, "f.txt");
         rt.inject_fault(fs);
-        rt.interface_call(app, t, fs, "twrite", &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![9])])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t,
+            fs,
+            "twrite",
+            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![9])],
+        )
+        .unwrap();
         // The same client-visible fd keeps working (translated).
-        rt.interface_call(app, t, fs, "tseek", &[Value::Int(1), Value::Int(fd), Value::Int(0)])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t,
+            fs,
+            "tseek",
+            &[Value::Int(1), Value::Int(fd), Value::Int(0)],
+        )
+        .unwrap();
         let r = rt
-            .interface_call(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd), Value::Int(1)])
+            .interface_call(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd), Value::Int(1)],
+            )
             .unwrap();
         assert_eq!(r, Value::Bytes(vec![9]));
-        rt.interface_call(app, t, fs, "trelease", &[Value::Int(1), Value::Int(fd)]).unwrap();
+        rt.interface_call(app, t, fs, "trelease", &[Value::Int(1), Value::Int(fd)])
+            .unwrap();
         assert_eq!(rt.stub(app, fs).unwrap().tracked_count(), 0);
     }
 
@@ -316,17 +388,41 @@ mod tests {
         let (mut rt, app, fs, t) = rig();
         let dir = tsplit(&mut rt, app, fs, t, "dir");
         let fd = rt
-            .interface_call(app, t, fs, "tsplit", &[Value::Int(1), Value::Int(dir), Value::from("leaf")])
+            .interface_call(
+                app,
+                t,
+                fs,
+                "tsplit",
+                &[Value::Int(1), Value::Int(dir), Value::from("leaf")],
+            )
             .unwrap()
             .int()
             .unwrap();
-        rt.interface_call(app, t, fs, "twrite", &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![5])])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t,
+            fs,
+            "twrite",
+            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![5])],
+        )
+        .unwrap();
         rt.inject_fault(fs);
-        rt.interface_call(app, t, fs, "tseek", &[Value::Int(1), Value::Int(fd), Value::Int(0)])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t,
+            fs,
+            "tseek",
+            &[Value::Int(1), Value::Int(fd), Value::Int(0)],
+        )
+        .unwrap();
         let r = rt
-            .interface_call(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd), Value::Int(1)])
+            .interface_call(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd), Value::Int(1)],
+            )
             .unwrap();
         assert_eq!(r, Value::Bytes(vec![5]));
     }
@@ -339,7 +435,10 @@ mod tests {
 
         let (mut rt, app, fs, t) = rig();
         let mut ex: Executor<FtRuntime> = Executor::new();
-        ex.attach(t, Box::new(FsOpenWriteRead::new(ClientEnd::new(app, t, fs), 12)));
+        ex.attach(
+            t,
+            Box::new(FsOpenWriteRead::new(ClientEnd::new(app, t, fs), 12)),
+        );
         for _ in 0..4 {
             ex.run(&mut rt, 9);
             rt.inject_fault(fs);

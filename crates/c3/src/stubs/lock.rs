@@ -76,15 +76,20 @@ impl C3LockStub {
     }
 
     fn complete_pending(&mut self, env: &mut StubEnv<'_>, desc: i64) -> Result<(), CallError> {
-        let Some(d) = self.descs.get(&desc) else { return Ok(()) };
+        let Some(d) = self.descs.get(&desc) else {
+            return Ok(());
+        };
         if !d.pending_retake || d.state_thread != Some(env.thread) {
             return Ok(());
         }
         let server_id = d.server_id;
         let compid = Value::from(env.client.0);
         env.replay("lock_take", &[compid, Value::Int(server_id)])?;
-        self.descs.get_mut(&desc).expect("checked above").pending_retake = false;
-        env.stats.descriptors_recovered += 1;
+        self.descs
+            .get_mut(&desc)
+            .expect("checked above")
+            .pending_retake = false;
+        env.note_descriptor_recovered();
         Ok(())
     }
 }
@@ -153,6 +158,7 @@ impl InterfaceStub for C3LockStub {
                         }
                         "lock_free" => {
                             self.descs.remove(&desc);
+                            env.note_teardown(1);
                         }
                         _ => {}
                     }
@@ -170,7 +176,9 @@ impl InterfaceStub for C3LockStub {
     }
 
     fn recover_descriptor(&mut self, env: &mut StubEnv<'_>, desc: i64) -> Result<(), CallError> {
-        let Some(d) = self.descs.get(&desc) else { return Ok(()) };
+        let Some(d) = self.descs.get(&desc) else {
+            return Ok(());
+        };
         if !d.faulty {
             return Ok(());
         }
@@ -197,11 +205,11 @@ impl InterfaceStub for C3LockStub {
                         "lock_restore",
                         &[compid, Value::Int(new_id), Value::Int(owner)],
                     )?;
-                    env.stats.deferred_completions += 1;
+                    env.note_deferred_completion();
                 }
             }
         }
-        env.stats.descriptors_recovered += 1;
+        env.note_descriptor_recovered();
         Ok(())
     }
 
@@ -212,8 +220,12 @@ impl InterfaceStub for C3LockStub {
     }
 
     fn recover_all(&mut self, env: &mut StubEnv<'_>) -> Result<(), CallError> {
-        let ids: Vec<i64> =
-            self.descs.iter().filter(|(_, d)| d.faulty).map(|(&id, _)| id).collect();
+        let ids: Vec<i64> = self
+            .descs
+            .iter()
+            .filter(|(_, d)| d.faulty)
+            .map(|(&id, _)| id)
+            .collect();
         for id in ids {
             match self.recover_descriptor(env, id) {
                 Ok(()) => {}
@@ -275,10 +287,18 @@ mod tests {
         let (mut rt, app, lock, t1, _) = setup();
         let id = alloc(&mut rt, app, lock, t1);
         assert_eq!(rt.stub(app, lock).unwrap().tracked_count(), 1);
-        rt.interface_call(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
-        rt.interface_call(app, t1, lock, "lock_release", &[Value::Int(1), Value::Int(id)])
+        rt.interface_call(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
             .unwrap();
-        rt.interface_call(app, t1, lock, "lock_free", &[Value::Int(1), Value::Int(id)]).unwrap();
+        rt.interface_call(
+            app,
+            t1,
+            lock,
+            "lock_release",
+            &[Value::Int(1), Value::Int(id)],
+        )
+        .unwrap();
+        rt.interface_call(app, t1, lock, "lock_free", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         assert_eq!(rt.stub(app, lock).unwrap().tracked_count(), 0);
     }
 
@@ -288,7 +308,8 @@ mod tests {
         let id = alloc(&mut rt, app, lock, t1);
         rt.inject_fault(lock);
         // The take triggers fault handling + recovery + redo.
-        rt.interface_call(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
+        rt.interface_call(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         assert_eq!(rt.stats().faults_handled, 1);
         assert!(rt.stats().descriptors_recovered >= 1);
     }
@@ -297,12 +318,19 @@ mod tests {
     fn taken_lock_recovers_for_the_holder() {
         let (mut rt, app, lock, t1, _) = setup();
         let id = alloc(&mut rt, app, lock, t1);
-        rt.interface_call(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
+        rt.interface_call(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         rt.inject_fault(lock);
         // The holder's release triggers recovery: replay alloc + take,
         // then redo release.
-        rt.interface_call(app, t1, lock, "lock_release", &[Value::Int(1), Value::Int(id)])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t1,
+            lock,
+            "lock_release",
+            &[Value::Int(1), Value::Int(id)],
+        )
+        .unwrap();
         assert_eq!(rt.stats().faults_handled, 1);
     }
 
@@ -310,7 +338,8 @@ mod tests {
     fn taken_lock_defers_retake_for_other_threads() {
         let (mut rt, app, lock, t1, t2) = setup();
         let id = alloc(&mut rt, app, lock, t1);
-        rt.interface_call(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
+        rt.interface_call(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         rt.inject_fault(lock);
         // t2 contends: recovery replays alloc and then restores the hold
         // for t1 (the recorded owner), so t2's take blocks — exactly the
@@ -321,8 +350,14 @@ mod tests {
         assert_eq!(err, CallError::WouldBlock);
         assert!(rt.stats().deferred_completions >= 1);
         // The owner's release still works and wakes t2.
-        rt.interface_call(app, t1, lock, "lock_release", &[Value::Int(1), Value::Int(id)])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t1,
+            lock,
+            "lock_release",
+            &[Value::Int(1), Value::Int(id)],
+        )
+        .unwrap();
     }
 
     #[test]
@@ -330,19 +365,33 @@ mod tests {
         let (mut rt, app, lock, t1, _) = setup();
         let id = alloc(&mut rt, app, lock, t1);
         rt.inject_fault(lock);
-        rt.interface_call(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
+        rt.interface_call(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         // The client keeps using the original id even though the server
         // allocated a fresh one during recovery.
-        rt.interface_call(app, t1, lock, "lock_release", &[Value::Int(1), Value::Int(id)])
+        rt.interface_call(
+            app,
+            t1,
+            lock,
+            "lock_release",
+            &[Value::Int(1), Value::Int(id)],
+        )
+        .unwrap();
+        rt.interface_call(app, t1, lock, "lock_free", &[Value::Int(1), Value::Int(id)])
             .unwrap();
-        rt.interface_call(app, t1, lock, "lock_free", &[Value::Int(1), Value::Int(id)]).unwrap();
     }
 
     #[test]
     fn untracked_descriptor_passes_through() {
         let (mut rt, app, lock, t1, _) = setup();
         let err = rt
-            .interface_call(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(777)])
+            .interface_call(
+                app,
+                t1,
+                lock,
+                "lock_take",
+                &[Value::Int(1), Value::Int(777)],
+            )
             .unwrap_err();
         assert!(is_not_found(&err));
     }

@@ -59,10 +59,13 @@ impl C3MmStub {
         Self::default()
     }
 
-    fn remove_subtree(&mut self, root: i64) {
+    /// Returns how many tracked descriptors the revocation dropped.
+    fn remove_subtree(&mut self, root: i64) -> u64 {
+        let mut dropped = 0;
         let mut stack = vec![root];
         while let Some(k) = stack.pop() {
             if let Some(d) = self.descs.remove(&k) {
+                dropped += 1;
                 stack.extend(d.children);
                 if let Some(p) = d.parent {
                     if let Some(pd) = self.descs.get_mut(&p) {
@@ -71,6 +74,7 @@ impl C3MmStub {
                 }
             }
         }
+        dropped
     }
 }
 
@@ -91,6 +95,7 @@ impl InterfaceStub for C3MmStub {
                 if fname == "mman_alias_page" {
                     let parent_key = args[1].int().unwrap_or(0);
                     if self.descs.get(&parent_key).is_some_and(|d| d.faulty) {
+                        env.note_parent_first();
                         self.recover_descriptor(env, parent_key)?;
                     }
                 }
@@ -139,7 +144,8 @@ impl InterfaceStub for C3MmStub {
                         Ok(v) => {
                             // D0: recursive revocation drops the tracked
                             // subtree.
-                            self.remove_subtree(key);
+                            let dropped = self.remove_subtree(key);
+                            env.note_teardown(dropped);
                             return Ok(v);
                         }
                         Err(e) if is_server_fault(&e, env.server) => {
@@ -170,6 +176,7 @@ impl InterfaceStub for C3MmStub {
         let (parent, create_fn, create_args) = (d.parent, d.create_fn, d.create_args.clone());
         // D1: rebuild the parent chain root-first.
         if let Some(p) = parent {
+            env.note_parent_first();
             self.recover_descriptor(env, p)?;
         }
         // Replay the creation; get_page/alias_page are idempotent against
@@ -178,7 +185,7 @@ impl InterfaceStub for C3MmStub {
         debug_assert_eq!(v.int().ok(), Some(desc), "mapping keys are deterministic");
         let d = self.descs.get_mut(&desc).expect("still tracked");
         d.faulty = false;
-        env.stats.descriptors_recovered += 1;
+        env.note_descriptor_recovered();
         Ok(())
     }
 
@@ -189,8 +196,12 @@ impl InterfaceStub for C3MmStub {
     }
 
     fn recover_all(&mut self, env: &mut StubEnv<'_>) -> Result<(), CallError> {
-        let ids: Vec<i64> =
-            self.descs.iter().filter(|(_, d)| d.faulty).map(|(&id, _)| id).collect();
+        let ids: Vec<i64> = self
+            .descs
+            .iter()
+            .filter(|(_, d)| d.faulty)
+            .map(|(&id, _)| id)
+            .collect();
         for id in ids {
             match self.recover_descriptor(env, id) {
                 Ok(()) => {}
@@ -216,7 +227,9 @@ impl InterfaceStub for C3MmStub {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use composite::{ComponentId, CostModel, InterfaceCall as _, Kernel, KernelAccess as _, Priority, ThreadId};
+    use composite::{
+        ComponentId, CostModel, InterfaceCall as _, Kernel, KernelAccess as _, Priority, ThreadId,
+    };
     use sg_services::mm::MemoryManager;
 
     use crate::runtime::{FtRuntime, RuntimeConfig};
@@ -234,10 +247,16 @@ mod tests {
     }
 
     fn get_page(rt: &mut FtRuntime, app: ComponentId, mm: ComponentId, t: ThreadId, v: i64) -> i64 {
-        rt.interface_call(app, t, mm, "mman_get_page", &[Value::from(app.0), Value::Int(v)])
-            .unwrap()
-            .int()
-            .unwrap()
+        rt.interface_call(
+            app,
+            t,
+            mm,
+            "mman_get_page",
+            &[Value::from(app.0), Value::Int(v)],
+        )
+        .unwrap()
+        .int()
+        .unwrap()
     }
 
     fn alias(
@@ -254,7 +273,12 @@ mod tests {
             t,
             mm,
             "mman_alias_page",
-            &[Value::from(app.0), Value::Int(src_key), Value::from(dst.0), Value::Int(dst_vaddr)],
+            &[
+                Value::from(app.0),
+                Value::Int(src_key),
+                Value::from(dst.0),
+                Value::Int(dst_vaddr),
+            ],
         )
         .unwrap()
         .int()
@@ -276,8 +300,14 @@ mod tests {
         let frame = rt.kernel().pages().translate(app1, 0x1000).unwrap();
         rt.inject_fault(mm);
         // Releasing triggers recovery (replay get_page) then the release.
-        rt.interface_call(app1, t, mm, "mman_release_page", &[Value::from(app1.0), Value::Int(root)])
-            .unwrap();
+        rt.interface_call(
+            app1,
+            t,
+            mm,
+            "mman_release_page",
+            &[Value::from(app1.0), Value::Int(root)],
+        )
+        .unwrap();
         assert_eq!(rt.stats().faults_handled, 1);
         // The replayed mapping reused the surviving frame before being
         // released.
@@ -306,8 +336,14 @@ mod tests {
         let (mut rt, app1, app2, mm, t) = rig();
         let root = get_page(&mut rt, app1, mm, t, 0x1000);
         alias(&mut rt, app1, mm, t, root, app2, 0x8000);
-        rt.interface_call(app1, t, mm, "mman_release_page", &[Value::from(app1.0), Value::Int(root)])
-            .unwrap();
+        rt.interface_call(
+            app1,
+            t,
+            mm,
+            "mman_release_page",
+            &[Value::from(app1.0), Value::Int(root)],
+        )
+        .unwrap();
         assert_eq!(rt.stub(app1, mm).unwrap().tracked_count(), 0);
     }
 
@@ -319,7 +355,14 @@ mod tests {
 
         let (mut rt, app1, app2, mm, t) = rig();
         let mut ex: Executor<FtRuntime> = Executor::new();
-        ex.attach(t, Box::new(MmGrantAliasRevoke::new(ClientEnd::new(app1, t, mm), app2, 10)));
+        ex.attach(
+            t,
+            Box::new(MmGrantAliasRevoke::new(
+                ClientEnd::new(app1, t, mm),
+                app2,
+                10,
+            )),
+        );
         ex.run(&mut rt, 7);
         rt.inject_fault(mm);
         assert_eq!(ex.run(&mut rt, 100_000), RunExit::AllDone);

@@ -77,8 +77,13 @@ impl InterfaceStub for C3SchedStub {
                 match env.invoke(fname, args) {
                     Ok(v) => {
                         let id = v.int().map_err(|e| CallError::Service(e.into()))?;
-                        self.descs
-                            .insert(id, SchedDesc { state: SchedState::Ready, faulty: false });
+                        self.descs.insert(
+                            id,
+                            SchedDesc {
+                                state: SchedState::Ready,
+                                faulty: false,
+                            },
+                        );
                         return Ok(v);
                     }
                     Err(e) if is_server_fault(&e, env.server) => {
@@ -107,6 +112,7 @@ impl InterfaceStub for C3SchedStub {
                         "sched_wakeup" => d.state = SchedState::WakeupPending,
                         "sched_exit" => {
                             self.descs.remove(&desc);
+                            env.note_teardown(1);
                         }
                         _ => {}
                     }
@@ -123,7 +129,9 @@ impl InterfaceStub for C3SchedStub {
     }
 
     fn recover_descriptor(&mut self, env: &mut StubEnv<'_>, desc: i64) -> Result<(), CallError> {
-        let Some(d) = self.descs.get(&desc) else { return Ok(()) };
+        let Some(d) = self.descs.get(&desc) else {
+            return Ok(());
+        };
         if !d.faulty {
             return Ok(());
         }
@@ -139,7 +147,7 @@ impl InterfaceStub for C3SchedStub {
         }
         let d = self.descs.get_mut(&desc).expect("still tracked");
         d.faulty = false;
-        env.stats.descriptors_recovered += 1;
+        env.note_descriptor_recovered();
         Ok(())
     }
 
@@ -150,8 +158,12 @@ impl InterfaceStub for C3SchedStub {
     }
 
     fn recover_all(&mut self, env: &mut StubEnv<'_>) -> Result<(), CallError> {
-        let ids: Vec<i64> =
-            self.descs.iter().filter(|(_, d)| d.faulty).map(|(&id, _)| id).collect();
+        let ids: Vec<i64> = self
+            .descs
+            .iter()
+            .filter(|(_, d)| d.faulty)
+            .map(|(&id, _)| id)
+            .collect();
         for id in ids {
             match self.recover_descriptor(env, id) {
                 Ok(()) => {}
@@ -177,7 +189,9 @@ impl InterfaceStub for C3SchedStub {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use composite::{ComponentId, CostModel, Executor, InterfaceCall as _, Kernel, Priority, RunExit, ThreadId};
+    use composite::{
+        ComponentId, CostModel, Executor, InterfaceCall as _, Kernel, Priority, RunExit, ThreadId,
+    };
     use sg_services::api::ClientEnd;
     use sg_services::scheduler::Scheduler;
     use sg_services::workloads::SchedPingPong;
@@ -198,19 +212,37 @@ mod tests {
     #[test]
     fn setup_tracks_descriptor() {
         let (mut rt, app, sched, t1, _) = setup();
-        rt.interface_call(app, t1, sched, "sched_setup", &[Value::Int(1), Value::from(t1.0)])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t1,
+            sched,
+            "sched_setup",
+            &[Value::Int(1), Value::from(t1.0)],
+        )
+        .unwrap();
         assert_eq!(rt.stub(app, sched).unwrap().tracked_count(), 1);
     }
 
     #[test]
     fn wakeup_recovers_descriptor_after_fault() {
         let (mut rt, app, sched, t1, _) = setup();
-        rt.interface_call(app, t1, sched, "sched_setup", &[Value::Int(1), Value::from(t1.0)])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t1,
+            sched,
+            "sched_setup",
+            &[Value::Int(1), Value::from(t1.0)],
+        )
+        .unwrap();
         rt.inject_fault(sched);
-        rt.interface_call(app, t1, sched, "sched_wakeup", &[Value::Int(1), Value::from(t1.0)])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t1,
+            sched,
+            "sched_wakeup",
+            &[Value::Int(1), Value::from(t1.0)],
+        )
+        .unwrap();
         assert_eq!(rt.stats().faults_handled, 1);
         assert!(rt.stats().descriptors_recovered >= 1);
     }
@@ -218,15 +250,33 @@ mod tests {
     #[test]
     fn pending_wakeup_survives_recovery() {
         let (mut rt, app, sched, t1, _) = setup();
-        rt.interface_call(app, t1, sched, "sched_setup", &[Value::Int(1), Value::from(t1.0)])
-            .unwrap();
-        rt.interface_call(app, t1, sched, "sched_wakeup", &[Value::Int(1), Value::from(t1.0)])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t1,
+            sched,
+            "sched_setup",
+            &[Value::Int(1), Value::from(t1.0)],
+        )
+        .unwrap();
+        rt.interface_call(
+            app,
+            t1,
+            sched,
+            "sched_wakeup",
+            &[Value::Int(1), Value::from(t1.0)],
+        )
+        .unwrap();
         rt.inject_fault(sched);
         // After recovery, the pending wakeup is re-pended, so blk does
         // not block.
         let r = rt
-            .interface_call(app, t1, sched, "sched_blk", &[Value::Int(1), Value::from(t1.0)])
+            .interface_call(
+                app,
+                t1,
+                sched,
+                "sched_blk",
+                &[Value::Int(1), Value::from(t1.0)],
+            )
             .unwrap();
         assert_eq!(r, Value::Int(0));
     }
@@ -237,11 +287,21 @@ mod tests {
         let mut ex: Executor<FtRuntime> = Executor::new();
         ex.attach(
             t1,
-            Box::new(SchedPingPong::new(ClientEnd::new(app, t1, sched), t2, 20, true)),
+            Box::new(SchedPingPong::new(
+                ClientEnd::new(app, t1, sched),
+                t2,
+                20,
+                true,
+            )),
         );
         ex.attach(
             t2,
-            Box::new(SchedPingPong::new(ClientEnd::new(app, t2, sched), t1, 20, false)),
+            Box::new(SchedPingPong::new(
+                ClientEnd::new(app, t2, sched),
+                t1,
+                20,
+                false,
+            )),
         );
         // Run a bit, crash the scheduler, keep running: the workload
         // completes across the fault.
@@ -258,11 +318,21 @@ mod tests {
         let mut ex: Executor<FtRuntime> = Executor::new();
         ex.attach(
             t1,
-            Box::new(SchedPingPong::new(ClientEnd::new(app, t1, sched), t2, 30, true)),
+            Box::new(SchedPingPong::new(
+                ClientEnd::new(app, t1, sched),
+                t2,
+                30,
+                true,
+            )),
         );
         ex.attach(
             t2,
-            Box::new(SchedPingPong::new(ClientEnd::new(app, t2, sched), t1, 30, false)),
+            Box::new(SchedPingPong::new(
+                ClientEnd::new(app, t2, sched),
+                t1,
+                30,
+                false,
+            )),
         );
         for _ in 0..3 {
             ex.run(&mut rt, 40);

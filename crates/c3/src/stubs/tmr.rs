@@ -78,8 +78,14 @@ impl InterfaceStub for C3TmrStub {
                 match env.invoke(fname, args) {
                     Ok(v) => {
                         let id = v.int().map_err(|e| CallError::Service(e.into()))?;
-                        self.descs
-                            .insert(id, TmrDesc { server_id: id, period_ns: period, faulty: false });
+                        self.descs.insert(
+                            id,
+                            TmrDesc {
+                                server_id: id,
+                                period_ns: period,
+                                faulty: false,
+                            },
+                        );
                         return Ok(v);
                     }
                     Err(e) if is_server_fault(&e, env.server) => {
@@ -108,6 +114,7 @@ impl InterfaceStub for C3TmrStub {
                         "tmr_period" => d.period_ns = args[2].int().unwrap_or(d.period_ns),
                         "tmr_free" => {
                             self.descs.remove(&desc);
+                            env.note_teardown(1);
                         }
                         _ => {}
                     }
@@ -124,17 +131,22 @@ impl InterfaceStub for C3TmrStub {
     }
 
     fn recover_descriptor(&mut self, env: &mut StubEnv<'_>, desc: i64) -> Result<(), CallError> {
-        let Some(d) = self.descs.get(&desc) else { return Ok(()) };
+        let Some(d) = self.descs.get(&desc) else {
+            return Ok(());
+        };
         if !d.faulty {
             return Ok(());
         }
         let period = d.period_ns;
-        let v = env.replay("tmr_create", &[Value::from(env.client.0), Value::Int(period)])?;
+        let v = env.replay(
+            "tmr_create",
+            &[Value::from(env.client.0), Value::Int(period)],
+        )?;
         let new_id = v.int().map_err(|e| CallError::Service(e.into()))?;
         let d = self.descs.get_mut(&desc).expect("still tracked");
         d.server_id = new_id;
         d.faulty = false;
-        env.stats.descriptors_recovered += 1;
+        env.note_descriptor_recovered();
         Ok(())
     }
 
@@ -145,8 +157,12 @@ impl InterfaceStub for C3TmrStub {
     }
 
     fn recover_all(&mut self, env: &mut StubEnv<'_>) -> Result<(), CallError> {
-        let ids: Vec<i64> =
-            self.descs.iter().filter(|(_, d)| d.faulty).map(|(&id, _)| id).collect();
+        let ids: Vec<i64> = self
+            .descs
+            .iter()
+            .filter(|(_, d)| d.faulty)
+            .map(|(&id, _)| id)
+            .collect();
         for id in ids {
             match self.recover_descriptor(env, id) {
                 Ok(()) => {}
@@ -172,7 +188,10 @@ impl InterfaceStub for C3TmrStub {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use composite::{ComponentId, CostModel, InterfaceCall as _, Kernel, KernelAccess as _, Priority, SimTime, ThreadId};
+    use composite::{
+        ComponentId, CostModel, InterfaceCall as _, Kernel, KernelAccess as _, Priority, SimTime,
+        ThreadId,
+    };
     use sg_services::timer::TimerService;
 
     use crate::runtime::{FtRuntime, RuntimeConfig};
@@ -191,13 +210,20 @@ mod tests {
     fn create_and_wait_track_descriptor() {
         let (mut rt, app, tmr, t) = rig();
         let id = rt
-            .interface_call(app, t, tmr, "tmr_create", &[Value::Int(1), Value::Int(1_000)])
+            .interface_call(
+                app,
+                t,
+                tmr,
+                "tmr_create",
+                &[Value::Int(1), Value::Int(1_000)],
+            )
             .unwrap()
             .int()
             .unwrap();
         assert_eq!(rt.stub(app, tmr).unwrap().tracked_count(), 1);
-        let err =
-            rt.interface_call(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        let err = rt
+            .interface_call(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)])
+            .unwrap_err();
         assert_eq!(err, CallError::WouldBlock);
     }
 
@@ -205,15 +231,22 @@ mod tests {
     fn timer_recovers_and_rearms_after_fault() {
         let (mut rt, app, tmr, t) = rig();
         let id = rt
-            .interface_call(app, t, tmr, "tmr_create", &[Value::Int(1), Value::Int(1_000)])
+            .interface_call(
+                app,
+                t,
+                tmr,
+                "tmr_create",
+                &[Value::Int(1), Value::Int(1_000)],
+            )
             .unwrap()
             .int()
             .unwrap();
         rt.inject_fault(tmr);
         // The wait triggers recovery: replay create (new server id, armed
         // at now + period) then redo wait → sleeps.
-        let err =
-            rt.interface_call(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        let err = rt
+            .interface_call(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)])
+            .unwrap_err();
         assert_eq!(err, CallError::WouldBlock);
         assert_eq!(rt.stats().faults_handled, 1);
         assert!(rt.kernel().earliest_wakeup().is_some());
@@ -223,12 +256,24 @@ mod tests {
     fn period_updates_are_tracked_for_recovery() {
         let (mut rt, app, tmr, t) = rig();
         let id = rt
-            .interface_call(app, t, tmr, "tmr_create", &[Value::Int(1), Value::Int(1_000)])
+            .interface_call(
+                app,
+                t,
+                tmr,
+                "tmr_create",
+                &[Value::Int(1), Value::Int(1_000)],
+            )
             .unwrap()
             .int()
             .unwrap();
-        rt.interface_call(app, t, tmr, "tmr_period", &[Value::Int(1), Value::Int(id), Value::Int(9_000)])
-            .unwrap();
+        rt.interface_call(
+            app,
+            t,
+            tmr,
+            "tmr_period",
+            &[Value::Int(1), Value::Int(id), Value::Int(9_000)],
+        )
+        .unwrap();
         rt.inject_fault(tmr);
         let _ = rt.interface_call(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]);
         // Recovered timer was re-created with the *updated* period.
@@ -244,7 +289,14 @@ mod tests {
 
         let (mut rt, app, tmr, t) = rig();
         let mut ex: Executor<FtRuntime> = Executor::new();
-        ex.attach(t, Box::new(TimerPeriodic::new(ClientEnd::new(app, t, tmr), 1_000_000, 10)));
+        ex.attach(
+            t,
+            Box::new(TimerPeriodic::new(
+                ClientEnd::new(app, t, tmr),
+                1_000_000,
+                10,
+            )),
+        );
         ex.run(&mut rt, 6);
         rt.inject_fault(tmr);
         assert_eq!(ex.run(&mut rt, 100_000), RunExit::AllDone);

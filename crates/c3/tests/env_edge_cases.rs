@@ -8,7 +8,14 @@ use sg_c3::{FtRuntime, RuntimeConfig};
 use sg_services::lock::LockService;
 use sg_services::storage::StorageService;
 
-fn runtime(with_storage: bool) -> (FtRuntime, composite::ComponentId, composite::ComponentId, composite::ThreadId) {
+fn runtime(
+    with_storage: bool,
+) -> (
+    FtRuntime,
+    composite::ComponentId,
+    composite::ComponentId,
+    composite::ThreadId,
+) {
     let mut k = Kernel::with_costs(CostModel::paper_defaults());
     let app = k.add_client_component("app");
     let storage = k.add_component("storage", Box::new(StorageService::new()));
@@ -33,11 +40,15 @@ fn recovery_time_is_attributed_to_the_faulted_server() {
         .unwrap();
     assert_eq!(rt.stats().recovery_time_of(lock), SimTime::ZERO);
     rt.inject_fault(lock);
-    rt.interface_call(app, t, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
+    rt.interface_call(app, t, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+        .unwrap();
     let spent = rt.stats().recovery_time_of(lock);
     // At least the micro-reboot plus one replayed walk step.
     let costs = CostModel::paper_defaults();
-    assert!(spent >= costs.micro_reboot + costs.recovery_step, "spent {spent}");
+    assert!(
+        spent >= costs.micro_reboot + costs.recovery_step,
+        "spent {spent}"
+    );
 }
 
 #[test]
@@ -56,9 +67,17 @@ fn stats_expose_walk_and_descriptor_counters() {
         .unwrap()
         .int()
         .unwrap();
-    rt.interface_call(app, t, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
+    rt.interface_call(app, t, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+        .unwrap();
     rt.inject_fault(lock);
-    rt.interface_call(app, t, lock, "lock_release", &[Value::Int(1), Value::Int(id)]).unwrap();
+    rt.interface_call(
+        app,
+        t,
+        lock,
+        "lock_release",
+        &[Value::Int(1), Value::Int(id)],
+    )
+    .unwrap();
     let s = rt.stats();
     assert_eq!(s.descriptors_recovered, 1);
     // Taken lock by the same thread: alloc + take replayed.
@@ -85,7 +104,8 @@ fn eager_wakeups_are_counted_for_blocked_threads() {
         .unwrap()
         .int()
         .unwrap();
-    rt.interface_call(app, t, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
+    rt.interface_call(app, t, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+        .unwrap();
     // t2 blocks contending the lock.
     let err = rt
         .interface_call(app, t2, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
@@ -94,7 +114,14 @@ fn eager_wakeups_are_counted_for_blocked_threads() {
     rt.inject_fault(lock);
     // The owner's next call handles the fault; kernel released t2 when
     // the fault was raised — T0 accounting happens during the reboot.
-    rt.interface_call(app, t, lock, "lock_release", &[Value::Int(1), Value::Int(id)]).unwrap();
+    rt.interface_call(
+        app,
+        t,
+        lock,
+        "lock_release",
+        &[Value::Int(1), Value::Int(id)],
+    )
+    .unwrap();
     assert_eq!(rt.stats().faults_handled, 1);
 }
 
@@ -105,5 +132,8 @@ fn service_errors_pass_through_untouched() {
     let err = rt
         .interface_call(app, t, lock, "lock_free", &[Value::Int(1), Value::Int(999)])
         .unwrap_err();
-    assert!(matches!(err, composite::CallError::Service(ServiceError::NotFound)));
+    assert!(matches!(
+        err,
+        composite::CallError::Service(ServiceError::NotFound)
+    ));
 }

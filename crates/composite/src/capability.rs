@@ -5,14 +5,13 @@
 //! invocable targets; an invocation without a matching capability is
 //! rejected before reaching the server.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 use crate::ids::ComponentId;
 
 /// Kernel capability table: which client components may invoke which
 /// server components.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CapTable {
     grants: BTreeSet<(ComponentId, ComponentId)>,
 }

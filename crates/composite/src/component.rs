@@ -103,6 +103,12 @@ impl ServiceCtx<'_> {
         self.kernel.wake_thread(thread)
     }
 
+    /// Count one firing of a recovery mechanism attributed to this
+    /// component (e.g. RamFS noting a **G1** data re-fetch).
+    pub fn note_mechanism(&mut self, m: crate::metrics::Mechanism) {
+        self.kernel.metrics_mut().record(self.this, m);
+    }
+
     /// Nested synchronous invocation from this component to another
     /// (e.g. RamFS → storage).
     ///
@@ -115,7 +121,8 @@ impl ServiceCtx<'_> {
         fname: &str,
         args: &[Value],
     ) -> Result<Value, CallError> {
-        self.kernel.invoke(self.this, self.thread, target, fname, args)
+        self.kernel
+            .invoke(self.this, self.thread, target, fname, args)
     }
 
     /// Allocate a physical frame (memory-manager privilege).
@@ -139,7 +146,9 @@ impl ServiceCtx<'_> {
         vaddr: VAddr,
         frame: FrameId,
     ) -> Result<(), KernelError> {
-        self.kernel.pages_mut().map_idempotent(component, vaddr, frame)
+        self.kernel
+            .pages_mut()
+            .map_idempotent(component, vaddr, frame)
     }
 
     /// Remove a page mapping.
@@ -147,7 +156,11 @@ impl ServiceCtx<'_> {
     /// # Errors
     ///
     /// [`KernelError::NotMapped`] when absent.
-    pub fn unmap_page(&mut self, component: ComponentId, vaddr: VAddr) -> Result<FrameId, KernelError> {
+    pub fn unmap_page(
+        &mut self,
+        component: ComponentId,
+        vaddr: VAddr,
+    ) -> Result<FrameId, KernelError> {
         self.kernel.pages_mut().unmap(component, vaddr)
     }
 
@@ -252,7 +265,9 @@ mod tests {
         let echo = k.add_component("echo", Box::new(Echo::default()));
         k.grant(client, echo);
         let t = k.create_thread(client, Priority(5));
-        let r = k.invoke(client, t, echo, "ping", &[Value::Int(41)]).unwrap();
+        let r = k
+            .invoke(client, t, echo, "ping", &[Value::Int(41)])
+            .unwrap();
         assert_eq!(r, Value::Int(42));
     }
 }

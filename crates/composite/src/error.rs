@@ -153,13 +153,21 @@ mod tests {
 
     #[test]
     fn service_error_displays() {
-        assert_eq!(ServiceError::WouldBlock.to_string(), "invoking thread must block");
-        assert!(ServiceError::NoSuchFunction("f".into()).to_string().contains("\"f\""));
+        assert_eq!(
+            ServiceError::WouldBlock.to_string(),
+            "invoking thread must block"
+        );
+        assert!(ServiceError::NoSuchFunction("f".into())
+            .to_string()
+            .contains("\"f\""));
     }
 
     #[test]
     fn call_error_from_service_error() {
-        assert_eq!(CallError::from(ServiceError::WouldBlock), CallError::WouldBlock);
+        assert_eq!(
+            CallError::from(ServiceError::WouldBlock),
+            CallError::WouldBlock
+        );
         assert_eq!(
             CallError::from(ServiceError::InvalidArg),
             CallError::Service(ServiceError::InvalidArg)
@@ -176,8 +184,13 @@ mod tests {
 
     #[test]
     fn kernel_error_displays() {
-        assert_eq!(KernelError::OutOfFrames.to_string(), "out of physical frames");
-        assert!(KernelError::NoSuchThread(ThreadId(3)).to_string().contains("thd#3"));
+        assert_eq!(
+            KernelError::OutOfFrames.to_string(),
+            "out of physical frames"
+        );
+        assert!(KernelError::NoSuchThread(ThreadId(3))
+            .to_string()
+            .contains("thd#3"));
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl<Ctx: KernelAccess> Executor<Ctx> {
     /// An executor with no workloads.
     #[must_use]
     pub fn new() -> Self {
-        Self { workloads: BTreeMap::new(), steps_executed: 0 }
+        Self {
+            workloads: BTreeMap::new(),
+            steps_executed: 0,
+        }
     }
 
     /// Attach a workload to a thread. Replaces any previous workload for
@@ -156,7 +159,9 @@ impl<Ctx: KernelAccess> Executor<Ctx> {
     /// Run one step of a specific thread (used by tests and by the
     /// recovery runtime when it must execute a thread eagerly).
     pub fn dispatch(&mut self, ctx: &mut Ctx, tid: ThreadId) {
-        let Some(mut w) = self.workloads.remove(&tid) else { return };
+        let Some(mut w) = self.workloads.remove(&tid) else {
+            return;
+        };
         if let Ok(th) = ctx.kernel_mut().thread_mut(tid) {
             th.dispatches += 1;
         }

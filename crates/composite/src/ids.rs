@@ -1,10 +1,9 @@
 //! Newtype identifiers used throughout the simulated kernel.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a component (protection domain).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ComponentId(pub u32);
 
 impl fmt::Display for ComponentId {
@@ -14,7 +13,7 @@ impl fmt::Display for ComponentId {
 }
 
 /// Identifier of a thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ThreadId(pub u32);
 
 impl fmt::Display for ThreadId {
@@ -24,7 +23,7 @@ impl fmt::Display for ThreadId {
 }
 
 /// Identifier of a physical frame in the simulated memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FrameId(pub u32);
 
 impl fmt::Display for FrameId {
@@ -36,7 +35,7 @@ impl fmt::Display for FrameId {
 /// Component epoch: incremented on every micro-reboot so client stubs can
 /// detect that the server lost its state since their last invocation
 /// (the `CSTUB_FAULT_UPDATE` check of Fig 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Epoch(pub u32);
 
 impl Epoch {
@@ -55,7 +54,7 @@ impl fmt::Display for Epoch {
 
 /// Thread priority. **Lower numeric value = higher priority** (COMPOSITE
 /// and fixed-priority RT convention).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Priority(pub u8);
 
 impl Priority {

@@ -1,0 +1,222 @@
+//! A minimal JSON emitter for harness output.
+//!
+//! The harness binaries dump tables and metric snapshots as JSON (and
+//! JSON-lines). The repo builds in sealed environments with no registry
+//! access, so rather than depending on an external serializer this module
+//! provides the small value-tree writer the harnesses need. Emission is
+//! deterministic: object keys keep insertion order, floats are written
+//! with `{:?}` (shortest round-trip representation), and strings are
+//! escaped per RFC 8259.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Insertion-ordered object; the writer emits keys in push order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Start an empty object.
+    #[must_use]
+    pub fn object() -> Self {
+        Json::Object(Vec::new())
+    }
+
+    /// Push a field onto an object; panics if `self` is not an object.
+    pub fn push(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        match self {
+            Json::Object(fields) => fields.push((key.to_owned(), value.into())),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Compact single-line rendering (JSON-lines friendly).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with 2-space indentation.
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => write_seq(out, indent, depth, '[', ']', items.len(), |o, i| {
+                items[i].write(o, indent, depth + 1);
+            }),
+            Json::Object(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |o, i| {
+                    let (k, v) = &fields[i];
+                    write_escaped(o, k);
+                    o.push(':');
+                    if indent.is_some() {
+                        o.push(' ');
+                    }
+                    v.write(o, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::UInt(u64::from(v))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_round_trips_structure() {
+        let mut j = Json::object();
+        j.push("name", "fs\"x")
+            .push("count", 3u64)
+            .push("ratio", 0.25);
+        assert_eq!(j.to_line(), r#"{"name":"fs\"x","count":3,"ratio":0.25}"#);
+    }
+
+    #[test]
+    fn pretty_indents_nested() {
+        let mut inner = Json::object();
+        inner.push("a", 1u64);
+        let j = Json::Array(vec![inner, Json::Null]);
+        assert_eq!(j.to_pretty(), "[\n  {\n    \"a\": 1\n  },\n  null\n]");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let j = Json::Str("a\nb\u{1}".into());
+        assert_eq!(j.to_line(), "\"a\\nb\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).to_line(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_line(), "null");
+    }
+}

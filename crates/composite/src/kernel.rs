@@ -6,6 +6,7 @@ use crate::capability::CapTable;
 use crate::component::{Service, ServiceCtx};
 use crate::error::{CallError, KernelError, ServiceError};
 use crate::ids::{ComponentId, Epoch, Priority, ThreadId};
+use crate::metrics::MetricsRegistry;
 use crate::pages::PageTables;
 use crate::stats::KernelStats;
 use crate::thread::{Thread, ThreadState};
@@ -46,6 +47,7 @@ pub struct Kernel {
     time: SimTime,
     costs: CostModel,
     stats: KernelStats,
+    metrics: MetricsRegistry,
 }
 
 /// The booter component created by [`Kernel::new`]; it owns micro-reboot
@@ -76,6 +78,7 @@ impl Kernel {
             time: SimTime::ZERO,
             costs,
             stats: KernelStats::new(),
+            metrics: MetricsRegistry::default(),
         };
         let booter = k.add_client_component("booter");
         debug_assert_eq!(booter, BOOTER);
@@ -184,7 +187,9 @@ impl Kernel {
     ///
     /// [`KernelError::NoSuchThread`] for unknown ids.
     pub fn thread(&self, t: ThreadId) -> Result<&Thread, KernelError> {
-        self.threads.get(t.0 as usize).ok_or(KernelError::NoSuchThread(t))
+        self.threads
+            .get(t.0 as usize)
+            .ok_or(KernelError::NoSuchThread(t))
     }
 
     /// Mutable thread access.
@@ -193,7 +198,9 @@ impl Kernel {
     ///
     /// [`KernelError::NoSuchThread`] for unknown ids.
     pub fn thread_mut(&mut self, t: ThreadId) -> Result<&mut Thread, KernelError> {
-        self.threads.get_mut(t.0 as usize).ok_or(KernelError::NoSuchThread(t))
+        self.threads
+            .get_mut(t.0 as usize)
+            .ok_or(KernelError::NoSuchThread(t))
     }
 
     /// Number of threads.
@@ -211,7 +218,9 @@ impl Kernel {
     /// [`ServiceCtx::block_current`]).
     pub(crate) fn block_thread(&mut self, t: ThreadId, component: ComponentId) {
         if let Some(th) = self.threads.get_mut(t.0 as usize) {
-            th.state = ThreadState::Blocked { in_component: component };
+            th.state = ThreadState::Blocked {
+                in_component: component,
+            };
             self.stats.blocks += 1;
         }
     }
@@ -232,7 +241,10 @@ impl Kernel {
     /// [`KernelError::NoSuchThread`] for unknown ids,
     /// [`KernelError::BadThreadState`] for completed/crashed threads.
     pub fn wake_thread(&mut self, t: ThreadId) -> Result<(), KernelError> {
-        let th = self.threads.get_mut(t.0 as usize).ok_or(KernelError::NoSuchThread(t))?;
+        let th = self
+            .threads
+            .get_mut(t.0 as usize)
+            .ok_or(KernelError::NoSuchThread(t))?;
         match th.state {
             ThreadState::Blocked { .. } | ThreadState::SleepingUntil(_) => {
                 th.state = ThreadState::Runnable;
@@ -250,7 +262,12 @@ impl Kernel {
     pub fn threads_blocked_in(&self, component: ComponentId) -> Vec<ThreadId> {
         self.threads
             .iter()
-            .filter(|t| t.state == ThreadState::Blocked { in_component: component })
+            .filter(|t| {
+                t.state
+                    == ThreadState::Blocked {
+                        in_component: component,
+                    }
+            })
             .map(|t| t.id)
             .collect()
     }
@@ -329,6 +346,19 @@ impl Kernel {
         &self.stats
     }
 
+    /// Recovery-mechanism metrics (read side; harnesses snapshot these
+    /// via [`crate::metrics::MetricsSnapshot::from_kernel`]).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Recovery-mechanism metrics (write side; the C³/SuperGlue recovery
+    /// runtimes record mechanism firings here).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
     /// Count an upcall dispatch (the recovery runtime calls this when it
     /// performs **U0**).
     pub fn count_upcall(&mut self) {
@@ -405,7 +435,12 @@ impl Kernel {
                 return Err(CallError::NoSuchComponent(target));
             }
         };
-        let mut ctx = ServiceCtx { kernel: self, this: target, client, thread };
+        let mut ctx = ServiceCtx {
+            kernel: self,
+            this: target,
+            client,
+            thread,
+        };
         let result = service.call(&mut ctx, fname, args);
         self.components[target.0 as usize].service = Some(service);
         self.pop_stack(thread, target);
@@ -458,17 +493,28 @@ impl Kernel {
 
     /// Crash a component (fail-stop). Every thread blocked inside it is
     /// made runnable so its retried invocation observes the fault and
-    /// enters recovery.
-    pub fn fault(&mut self, c: ComponentId) {
-        let Some(slot) = self.components.get_mut(c.0 as usize) else { return };
+    /// enters recovery; the number of threads so woken is returned.
+    pub fn fault(&mut self, c: ComponentId) -> u64 {
+        let Some(slot) = self.components.get_mut(c.0 as usize) else {
+            return 0;
+        };
         slot.state = ComponentState::Faulty;
         self.stats.count_fault(c);
+        let mut woken = 0;
         for th in &mut self.threads {
             if th.state == (ThreadState::Blocked { in_component: c }) {
                 th.state = ThreadState::Runnable;
                 self.stats.wakeups += 1;
+                woken += 1;
             }
         }
+        // T0: these wakeups are the eager release of threads blocked in
+        // the failed component (§III-C).
+        if woken > 0 {
+            self.metrics
+                .record_many(c, crate::metrics::Mechanism::T0, woken);
+        }
+        woken
     }
 
     /// Booter micro-reboot (steps (3)–(4) of §III-D): `memcpy` a pristine
@@ -493,7 +539,12 @@ impl Kernel {
         slot.state = ComponentState::Active;
         self.time += self.costs.micro_reboot;
         self.stats.count_reboot(c);
-        let mut ctx = ServiceCtx { kernel: self, this: c, client: BOOTER, thread: BOOT_THREAD };
+        let mut ctx = ServiceCtx {
+            kernel: self,
+            this: c,
+            client: BOOTER,
+            thread: BOOT_THREAD,
+        };
         service.post_reboot(&mut ctx);
         self.components[c.0 as usize].service = Some(service);
         Ok(())
@@ -593,7 +644,8 @@ mod tests {
                     Err(ctx.sleep_current_until(d))
                 }
                 "wake" => {
-                    ctx.wake(ThreadId(args[0].int()? as u32)).map_err(|_| ServiceError::InvalidArg)?;
+                    ctx.wake(ThreadId(args[0].int()? as u32))
+                        .map_err(|_| ServiceError::InvalidArg)?;
                     Ok(Value::Unit)
                 }
                 other => Err(ServiceError::NoSuchFunction(other.to_owned())),
@@ -619,7 +671,10 @@ mod tests {
     #[test]
     fn invoke_happy_path() {
         let (mut k, client, svc, t) = setup();
-        assert_eq!(k.invoke(client, t, svc, "add", &[Value::Int(5)]).unwrap(), Value::Int(5));
+        assert_eq!(
+            k.invoke(client, t, svc, "add", &[Value::Int(5)]).unwrap(),
+            Value::Int(5)
+        );
         assert_eq!(k.invoke(client, t, svc, "get", &[]).unwrap(), Value::Int(5));
         assert_eq!(k.stats().total_invocations(), 2);
     }
@@ -635,7 +690,9 @@ mod tests {
     #[test]
     fn invoke_unknown_component_rejected() {
         let (mut k, client, _svc, t) = setup();
-        let err = k.invoke(client, t, ComponentId(99), "get", &[]).unwrap_err();
+        let err = k
+            .invoke(client, t, ComponentId(99), "get", &[])
+            .unwrap_err();
         assert!(matches!(err, CallError::NoSuchComponent(_)));
     }
 
@@ -683,11 +740,15 @@ mod tests {
         let (mut k, client, svc, t) = setup();
         let err = k.invoke(client, t, svc, "block", &[]).unwrap_err();
         assert_eq!(err, CallError::WouldBlock);
-        assert_eq!(k.thread(t).unwrap().state, ThreadState::Blocked { in_component: svc });
+        assert_eq!(
+            k.thread(t).unwrap().state,
+            ThreadState::Blocked { in_component: svc }
+        );
         assert_eq!(k.threads_blocked_in(svc), vec![t]);
 
         let t2 = k.create_thread(client, Priority(10));
-        k.invoke(client, t2, svc, "wake", &[Value::Int(i64::from(t.0))]).unwrap();
+        k.invoke(client, t2, svc, "wake", &[Value::Int(i64::from(t.0))])
+            .unwrap();
         assert!(k.thread(t).unwrap().state.is_runnable());
     }
 
@@ -698,13 +759,18 @@ mod tests {
         k.fault(svc);
         assert!(k.thread(t).unwrap().state.is_runnable());
         // Retried invocation observes the fault.
-        assert!(matches!(k.invoke(client, t, svc, "block", &[]), Err(CallError::Fault { .. })));
+        assert!(matches!(
+            k.invoke(client, t, svc, "block", &[]),
+            Err(CallError::Fault { .. })
+        ));
     }
 
     #[test]
     fn sleeping_and_time_advance() {
         let (mut k, client, svc, t) = setup();
-        let err = k.invoke(client, t, svc, "sleep", &[Value::Int(1000)]).unwrap_err();
+        let err = k
+            .invoke(client, t, svc, "sleep", &[Value::Int(1000)])
+            .unwrap_err();
         assert_eq!(err, CallError::WouldBlock);
         assert_eq!(k.earliest_wakeup(), Some(SimTime(1000)));
         k.advance_to(SimTime(999));

@@ -39,8 +39,12 @@ pub mod component;
 pub mod error;
 pub mod executor;
 pub mod ids;
+pub mod json;
 pub mod kernel;
+pub mod metrics;
 pub mod pages;
+pub mod par;
+pub mod rng;
 pub mod stats;
 pub mod thread;
 pub mod time;
@@ -50,7 +54,13 @@ pub use component::{Service, ServiceCtx};
 pub use error::{CallError, KernelError, ServiceError};
 pub use executor::{Executor, RunExit, StepResult, Workload};
 pub use ids::{ComponentId, Epoch, FrameId, Priority, ThreadId};
+pub use json::Json;
 pub use kernel::{InterfaceCall, Kernel, KernelAccess, BOOTER, BOOT_THREAD};
+pub use metrics::{
+    LatencyStat, Mechanism, MetricsRegistry, MetricsRow, MetricsSnapshot, MECHANISMS,
+};
+pub use par::{default_jobs, parallel_map_indexed};
+pub use rng::{mix, SplitMix64};
 pub use thread::{RegisterFile, ThreadState, NUM_REGISTERS};
 pub use time::{CostModel, SimTime};
 pub use value::Value;

@@ -1,0 +1,402 @@
+//! Recovery-observability metrics: per-component counters for the eight
+//! SuperGlue/C³ recovery mechanisms plus simulated-time recovery
+//! latency.
+//!
+//! The paper names eight mechanisms that together reconstruct a failed
+//! service (§III): **R0** recovery-walk replay, **T0** eager thread
+//! wakeup, **T1** on-demand (thread-affine, deferred) recovery, **D0**
+//! descriptor/subtree teardown, **D1** parent-first recovery ordering,
+//! **G0** storage creator lookup/record, **G1** redundant data storage,
+//! and **U0** upcall to the creating component. The recovery runtimes
+//! (`sg-c3` hand-written stubs and the `superglue` compiled-stub
+//! interpreter) increment these counters at the moment the mechanism
+//! fires; the harness binaries snapshot them per run and dump JSON-lines
+//! for offline analysis.
+//!
+//! The registry lives in the [`Kernel`](crate::kernel::Kernel) so that
+//! stubs (which only see a kernel handle) and services alike can reach
+//! it. Snapshots are keyed by component *name* — stable across testbed
+//! rebuilds and across the campaign shards whose merged totals must be
+//! bit-identical regardless of thread count.
+
+use std::collections::BTreeMap;
+
+use crate::ids::ComponentId;
+use crate::json::Json;
+use crate::kernel::Kernel;
+use crate::time::SimTime;
+
+/// The eight recovery mechanisms of the paper, in presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mechanism {
+    /// Recovery-walk replay: a σ-walk function re-executed to rebuild a
+    /// descriptor.
+    R0,
+    /// Eager wakeup of threads blocked in the failed service.
+    T0,
+    /// On-demand / deferred (thread-affine) recovery completion.
+    T1,
+    /// Descriptor teardown: close/free drops the descriptor (and its
+    /// subtree) from tracking.
+    D0,
+    /// Parent-first ordering: a parent descriptor recovered before its
+    /// child.
+    D1,
+    /// Storage round trip: creator lookup or record of descriptor
+    /// metadata.
+    G0,
+    /// Redundant data storage: descriptor payload fetched back from the
+    /// storage service.
+    G1,
+    /// Upcall into the descriptor's creating component.
+    U0,
+}
+
+/// All mechanisms, in presentation order (R0 T0 T1 D0 D1 G0 G1 U0).
+pub const MECHANISMS: [Mechanism; 8] = [
+    Mechanism::R0,
+    Mechanism::T0,
+    Mechanism::T1,
+    Mechanism::D0,
+    Mechanism::D1,
+    Mechanism::G0,
+    Mechanism::G1,
+    Mechanism::U0,
+];
+
+impl Mechanism {
+    /// Stable short name used in JSON output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::R0 => "R0",
+            Mechanism::T0 => "T0",
+            Mechanism::T1 => "T1",
+            Mechanism::D0 => "D0",
+            Mechanism::D1 => "D1",
+            Mechanism::G0 => "G0",
+            Mechanism::G1 => "G1",
+            Mechanism::U0 => "U0",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Simulated-time latency statistic: count/sum/min/max plus a log₂
+/// histogram of nanosecond durations (bucket `i` holds durations in
+/// `[2^i, 2^(i+1))`; bucket 0 also holds zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyStat {
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub log2_buckets: [u64; 64],
+}
+
+impl Default for LatencyStat {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            total_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            log2_buckets: [0; 64],
+        }
+    }
+}
+
+impl LatencyStat {
+    /// Record one duration.
+    pub fn record(&mut self, d: SimTime) {
+        let ns = d.0;
+        if self.count == 0 || ns < self.min_ns {
+            self.min_ns = ns;
+        }
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+        self.count += 1;
+        self.total_ns += ns;
+        self.log2_buckets[63 - (ns | 1).leading_zeros() as usize] += 1;
+    }
+
+    /// Merge another statistic into this one.
+    pub fn merge(&mut self, other: &LatencyStat) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min_ns < self.min_ns {
+            self.min_ns = other.min_ns;
+        }
+        if other.max_ns > self.max_ns {
+            self.max_ns = other.max_ns;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        for (a, b) in self.log2_buckets.iter_mut().zip(other.log2_buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut j = Json::object();
+        j.push("count", self.count)
+            .push("total_ns", self.total_ns)
+            .push("min_ns", self.min_ns)
+            .push("max_ns", self.max_ns)
+            .push("mean_ns", self.mean_ns());
+        // Histogram as a sparse object {bit_length: count} — compact and
+        // deterministic.
+        let mut hist = Json::object();
+        for (i, &n) in self.log2_buckets.iter().enumerate() {
+            if n > 0 {
+                hist.push(&i.to_string(), n);
+            }
+        }
+        j.push("log2_hist", hist);
+        j
+    }
+}
+
+/// Live per-component mechanism counters, written on recovery hot paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct ComponentCounters {
+    mechanisms: [u64; 8],
+    recovery_latency: LatencyStat,
+}
+
+/// The registry the kernel carries. Recovery runtimes call
+/// [`MetricsRegistry::record`] at mechanism chokepoints; harnesses take
+/// [`MetricsSnapshot`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    per_component: BTreeMap<ComponentId, ComponentCounters>,
+}
+
+impl MetricsRegistry {
+    /// Count one firing of `m` attributed to component `c` (the failed /
+    /// recovering service).
+    pub fn record(&mut self, c: ComponentId, m: Mechanism) {
+        self.record_many(c, m, 1);
+    }
+
+    /// Count `n` firings at once (e.g. T0 waking several threads).
+    pub fn record_many(&mut self, c: ComponentId, m: Mechanism, n: u64) {
+        self.per_component.entry(c).or_default().mechanisms[m.index()] += n;
+    }
+
+    /// Record the simulated time one recovery episode took on `c`.
+    pub fn record_recovery_latency(&mut self, c: ComponentId, d: SimTime) {
+        self.per_component
+            .entry(c)
+            .or_default()
+            .recovery_latency
+            .record(d);
+    }
+
+    /// Raw count for one component/mechanism (0 when never recorded).
+    #[must_use]
+    pub fn count(&self, c: ComponentId, m: Mechanism) -> u64 {
+        self.per_component
+            .get(&c)
+            .map_or(0, |p| p.mechanisms[m.index()])
+    }
+}
+
+/// One component's row in a snapshot: kernel event counters joined with
+/// mechanism counters, keyed by component name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRow {
+    pub invocations: u64,
+    pub faulted_invocations: u64,
+    pub faults: u64,
+    pub reboots: u64,
+    pub mechanisms: [u64; 8],
+    pub recovery_latency: LatencyStat,
+}
+
+impl MetricsRow {
+    fn merge(&mut self, other: &MetricsRow) {
+        self.invocations += other.invocations;
+        self.faulted_invocations += other.faulted_invocations;
+        self.faults += other.faults;
+        self.reboots += other.reboots;
+        for (a, b) in self.mechanisms.iter_mut().zip(other.mechanisms.iter()) {
+            *a += *b;
+        }
+        self.recovery_latency.merge(&other.recovery_latency);
+    }
+}
+
+/// A point-in-time, name-resolved copy of every counter — plain data,
+/// `Send`, mergeable across campaign shards in shard order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Rows keyed by component name (BTreeMap: deterministic dump order).
+    pub rows: BTreeMap<String, MetricsRow>,
+}
+
+impl MetricsSnapshot {
+    /// Snapshot every counter of `kernel`, resolving component ids to
+    /// names. Kernel event counters (invocations, faults, reboots) come
+    /// from [`Kernel::stats`]; mechanism counters from the registry.
+    #[must_use]
+    pub fn from_kernel(kernel: &Kernel) -> Self {
+        let mut rows: BTreeMap<String, MetricsRow> = BTreeMap::new();
+        let stats = kernel.stats();
+        let ids: Vec<ComponentId> = kernel.component_ids().collect();
+        for c in ids {
+            let Some(name) = kernel.component_name(c).map(str::to_owned) else {
+                continue;
+            };
+            let row = rows.entry(name).or_default();
+            row.invocations += stats.invocations.get(&c).copied().unwrap_or(0);
+            row.faulted_invocations += stats.faulted_invocations.get(&c).copied().unwrap_or(0);
+            row.faults += stats.faults.get(&c).copied().unwrap_or(0);
+            row.reboots += stats.reboots.get(&c).copied().unwrap_or(0);
+            if let Some(p) = kernel.metrics().per_component.get(&c) {
+                for (a, b) in row.mechanisms.iter_mut().zip(p.mechanisms.iter()) {
+                    *a += *b;
+                }
+                row.recovery_latency.merge(&p.recovery_latency);
+            }
+        }
+        // Drop all-zero rows (pure clients that never recovered) to keep
+        // dumps focused on services.
+        rows.retain(|_, r| {
+            r.invocations + r.faulted_invocations + r.faults + r.reboots > 0
+                || r.mechanisms.iter().any(|&m| m > 0)
+                || r.recovery_latency.count > 0
+        });
+        Self { rows }
+    }
+
+    /// Merge another snapshot into this one (order-insensitive sums, so
+    /// merging shard snapshots in shard order is bit-identical for any
+    /// thread count).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, row) in &other.rows {
+            self.rows.entry(name.clone()).or_default().merge(row);
+        }
+    }
+
+    /// Total count of one mechanism across all components.
+    #[must_use]
+    pub fn mechanism_total(&self, m: Mechanism) -> u64 {
+        self.rows.values().map(|r| r.mechanisms[m.index()]).sum()
+    }
+
+    /// Count of one mechanism on one component (0 when absent).
+    #[must_use]
+    pub fn mechanism_count(&self, component: &str, m: Mechanism) -> u64 {
+        self.rows
+            .get(component)
+            .map_or(0, |r| r.mechanisms[m.index()])
+    }
+
+    /// Render as JSON-lines: one object per component (sorted by name),
+    /// each carrying a `context` label supplied by the harness (e.g.
+    /// `"table2/fs/superglue"`), then one `total` line summing every row.
+    #[must_use]
+    pub fn to_json_lines(&self, context: &str) -> String {
+        let mut out = String::new();
+        let mut total = MetricsRow::default();
+        for (name, row) in &self.rows {
+            total.merge(row);
+            out.push_str(&row_json(context, name, row).to_line());
+            out.push('\n');
+        }
+        out.push_str(&row_json(context, "*total*", &total).to_line());
+        out.push('\n');
+        out
+    }
+}
+
+fn row_json(context: &str, name: &str, row: &MetricsRow) -> Json {
+    let mut j = Json::object();
+    j.push("context", context)
+        .push("component", name)
+        .push("invocations", row.invocations)
+        .push("faulted_invocations", row.faulted_invocations)
+        .push("faults", row.faults)
+        .push("reboots", row.reboots);
+    let mut mech = Json::object();
+    for m in MECHANISMS {
+        mech.push(m.name(), row.mechanisms[m.index()]);
+    }
+    j.push("mechanisms", mech);
+    j.push("recovery_latency", row.recovery_latency.to_json());
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut r = MetricsRegistry::default();
+        let c = ComponentId(4);
+        r.record(c, Mechanism::R0);
+        r.record_many(c, Mechanism::T0, 3);
+        assert_eq!(r.count(c, Mechanism::R0), 1);
+        assert_eq!(r.count(c, Mechanism::T0), 3);
+        assert_eq!(r.count(c, Mechanism::U0), 0);
+        assert_eq!(r.count(ComponentId(9), Mechanism::R0), 0);
+    }
+
+    #[test]
+    fn latency_stat_tracks_extremes_and_histogram() {
+        let mut s = LatencyStat::default();
+        s.record(SimTime(0));
+        s.record(SimTime(1));
+        s.record(SimTime(1000));
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min_ns, 0);
+        assert_eq!(s.max_ns, 1000);
+        assert_eq!(s.total_ns, 1001);
+        assert_eq!(s.log2_buckets[0], 2); // 0 and 1 both land in bucket 0|1
+        assert_eq!(s.log2_buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_totals() {
+        let mut a = MetricsSnapshot::default();
+        a.rows.entry("fs".into()).or_default().mechanisms[0] = 2;
+        let mut b = MetricsSnapshot::default();
+        b.rows.entry("fs".into()).or_default().mechanisms[0] = 3;
+        b.rows.entry("mm".into()).or_default().faults = 1;
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.mechanism_total(Mechanism::R0), 5);
+    }
+
+    #[test]
+    fn json_lines_shape() {
+        let mut s = MetricsSnapshot::default();
+        let row = s.rows.entry("lock".into()).or_default();
+        row.invocations = 7;
+        row.mechanisms[Mechanism::U0.index()] = 2;
+        let dump = s.to_json_lines("test/ctx");
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2, "one component + total");
+        assert!(lines[0].contains(r#""component":"lock""#));
+        assert!(lines[0].contains(r#""U0":2"#));
+        assert!(lines[1].contains(r#""component":"*total*""#));
+        assert!(lines[1].contains(r#""invocations":7"#));
+    }
+}

@@ -6,7 +6,6 @@
 //! page tables survive, and the recovering MM can *reflect* on them
 //! (§II-D, §II-F) while rebuilding its metadata from client stubs.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use crate::error::KernelError;
@@ -17,7 +16,7 @@ use crate::ids::{ComponentId, FrameId};
 pub type VAddr = u64;
 
 /// Simulated physical memory + per-component page tables.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PageTables {
     /// Next frame to hand out.
     next_frame: u32,
@@ -37,7 +36,10 @@ impl PageTables {
     /// Page tables with a frame budget, for exhaustion tests.
     #[must_use]
     pub fn with_frame_limit(limit: u32) -> Self {
-        Self { frame_limit: limit, ..Self::default() }
+        Self {
+            frame_limit: limit,
+            ..Self::default()
+        }
     }
 
     /// Allocate a fresh physical frame.
@@ -59,7 +61,12 @@ impl PageTables {
     /// # Errors
     ///
     /// [`KernelError::AlreadyMapped`] when the slot is taken.
-    pub fn map(&mut self, component: ComponentId, vaddr: VAddr, frame: FrameId) -> Result<(), KernelError> {
+    pub fn map(
+        &mut self,
+        component: ComponentId,
+        vaddr: VAddr,
+        frame: FrameId,
+    ) -> Result<(), KernelError> {
         match self.maps.entry((component, vaddr)) {
             std::collections::btree_map::Entry::Occupied(_) => Err(KernelError::AlreadyMapped),
             std::collections::btree_map::Entry::Vacant(e) => {
@@ -96,7 +103,9 @@ impl PageTables {
     ///
     /// [`KernelError::NotMapped`] when no mapping exists.
     pub fn unmap(&mut self, component: ComponentId, vaddr: VAddr) -> Result<FrameId, KernelError> {
-        self.maps.remove(&(component, vaddr)).ok_or(KernelError::NotMapped)
+        self.maps
+            .remove(&(component, vaddr))
+            .ok_or(KernelError::NotMapped)
     }
 
     /// Current frame behind a mapping.
@@ -169,7 +178,10 @@ mod tests {
         let g = p.alloc_frame().unwrap();
         p.map_idempotent(C1, 0x1000, f).unwrap();
         p.map_idempotent(C1, 0x1000, f).unwrap();
-        assert_eq!(p.map_idempotent(C1, 0x1000, g), Err(KernelError::AlreadyMapped));
+        assert_eq!(
+            p.map_idempotent(C1, 0x1000, g),
+            Err(KernelError::AlreadyMapped)
+        );
     }
 
     #[test]
@@ -196,8 +208,14 @@ mod tests {
         let g = p.alloc_frame().unwrap();
         p.map(C1, 0x2000, g).unwrap();
 
-        assert_eq!(p.mappings_of(C1).collect::<Vec<_>>(), vec![(0x1000, f), (0x2000, g)]);
-        assert_eq!(p.mappers_of(f).collect::<Vec<_>>(), vec![(C1, 0x1000), (C2, 0x8000)]);
+        assert_eq!(
+            p.mappings_of(C1).collect::<Vec<_>>(),
+            vec![(0x1000, f), (0x2000, g)]
+        );
+        assert_eq!(
+            p.mappers_of(f).collect::<Vec<_>>(),
+            vec![(C1, 0x1000), (C2, 0x8000)]
+        );
         assert_eq!(p.mapping_count(), 3);
     }
 

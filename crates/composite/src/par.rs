@@ -1,0 +1,119 @@
+//! Deterministic parallel execution for the evaluation harnesses.
+//!
+//! The sharded campaign runner needs "run these N independent tasks on
+//! up to J worker threads and give me the results in task order". The
+//! task bodies are already deterministic (each owns its seeded RNG
+//! stream), so determinism of the whole run reduces to merging results
+//! by task index rather than by completion order — which is what
+//! [`parallel_map_indexed`] guarantees. Scheduling (which worker runs
+//! which task) is free to vary; observable output never does.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use when the user asked for "default
+/// parallelism": the machine's available parallelism, or 1 if unknown.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Run `f(0..n)` on up to `jobs` worker threads and return the results
+/// in index order.
+///
+/// Work is distributed by an atomic task counter (dynamic load
+/// balancing: long tasks do not stall a fixed stripe), while the output
+/// vector is written at the slot of each task's index, so the returned
+/// `Vec` is identical for every `jobs >= 1` as long as `f` itself
+/// depends only on the index.
+///
+/// Panics in `f` are propagated to the caller after all workers stop.
+pub fn parallel_map_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let next = AtomicUsize::new(0);
+    let slots_ptr = SlotsPtr(slots.as_mut_ptr());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                let slots_ptr = &slots_ptr;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i);
+                    // SAFETY: each index is claimed by exactly one
+                    // worker (fetch_add), so slot `i` has a single
+                    // writer and no concurrent readers until join.
+                    unsafe { slots_ptr.0.add(i).write(Some(value)) };
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all task slots filled"))
+        .collect()
+}
+
+/// Raw-pointer wrapper so worker threads can share the output buffer.
+/// Safe by the single-writer-per-slot argument above.
+struct SlotsPtr<T>(*mut Option<T>);
+unsafe impl<T: Send> Sync for SlotsPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order_for_any_job_count() {
+        let expect: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = parallel_map_indexed(97, jobs, |i| i * i);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let got: Vec<u32> = parallel_map_indexed(0, 8, |_| unreachable!());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn uneven_task_durations_do_not_reorder() {
+        let got = parallel_map_indexed(32, 4, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "task 3 exploded")]
+    fn worker_panics_propagate() {
+        let _ = parallel_map_indexed(8, 4, |i| {
+            if i == 3 {
+                panic!("task 3 exploded");
+            }
+            i
+        });
+    }
+}

@@ -1,12 +1,11 @@
 //! Kernel event counters, consumed by tests and benchmark harnesses.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use crate::ids::ComponentId;
 
 /// Monotonic counters for kernel-visible events.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Successful component invocations, per target component.
     pub invocations: BTreeMap<ComponentId, u64>,

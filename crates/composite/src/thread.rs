@@ -1,7 +1,6 @@
 //! Simulated threads: scheduling state, invocation stack, and the
 //! register file targeted by SWIFI fault injection.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::ids::{ComponentId, Priority, ThreadId};
@@ -27,7 +26,7 @@ pub const REG_EBP: usize = 7;
 /// The SWIFI crate flips bits here; the μ-programs attached to interface
 /// functions read and write these registers so that corruption has
 /// mechanistic consequences (bad addresses, bad values, bad counts).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegisterFile {
     regs: [u32; NUM_REGISTERS],
     /// Bitmask of registers whose current value came from a fault
@@ -41,7 +40,10 @@ impl RegisterFile {
     /// All-zero registers, no taint.
     #[must_use]
     pub fn new() -> Self {
-        Self { regs: [0; NUM_REGISTERS], tainted: 0 }
+        Self {
+            regs: [0; NUM_REGISTERS],
+            tainted: 0,
+        }
     }
 
     /// Read a register, reporting whether its value is tainted.
@@ -112,7 +114,7 @@ impl fmt::Display for RegisterFile {
 }
 
 /// Scheduling state of a simulated thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadState {
     /// Eligible to run.
     Runnable,
@@ -145,7 +147,7 @@ impl ThreadState {
 }
 
 /// A simulated thread.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Thread {
     /// Thread id.
     pub id: ThreadId,
@@ -265,6 +267,9 @@ mod tests {
         assert!(!ThreadState::Completed.is_runnable());
         assert!(ThreadState::Crashed.is_terminal());
         assert!(ThreadState::Completed.is_terminal());
-        assert!(!ThreadState::Blocked { in_component: ComponentId(1) }.is_terminal());
+        assert!(!ThreadState::Blocked {
+            in_component: ComponentId(1)
+        }
+        .is_terminal());
     }
 }

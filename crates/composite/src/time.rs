@@ -6,14 +6,11 @@
 //! invocation advances the clock by a configurable cost; the recovery
 //! runtime adds further costs for micro-reboots and descriptor walks.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time, in nanoseconds since boot.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -99,7 +96,7 @@ impl fmt::Display for SimTime {
 ///
 /// Defaults approximate the paper's hardware (§II-E: kernel invocation
 /// paths around ½ μs on an i7-2760QM).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Cost of one component invocation (kernel mediation + stubs).
     pub invocation: SimTime,

@@ -5,11 +5,10 @@
 //! type: integers for ids/offsets/flags, strings for paths, and byte
 //! buffers standing in for zero-copy `cbuf` references.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A value passed to or returned from a component invocation.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub enum Value {
     /// Absence of a value (a `void` return).
     #[default]
@@ -31,7 +30,10 @@ impl Value {
     pub fn int(&self) -> Result<i64, TypeMismatch> {
         match self {
             Value::Int(v) => Ok(*v),
-            other => Err(TypeMismatch { expected: "int", found: other.kind() }),
+            other => Err(TypeMismatch {
+                expected: "int",
+                found: other.kind(),
+            }),
         }
     }
 
@@ -43,7 +45,10 @@ impl Value {
     pub fn str(&self) -> Result<&str, TypeMismatch> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(TypeMismatch { expected: "str", found: other.kind() }),
+            other => Err(TypeMismatch {
+                expected: "str",
+                found: other.kind(),
+            }),
         }
     }
 
@@ -55,7 +60,10 @@ impl Value {
     pub fn bytes(&self) -> Result<&[u8], TypeMismatch> {
         match self {
             Value::Bytes(b) => Ok(b),
-            other => Err(TypeMismatch { expected: "bytes", found: other.kind() }),
+            other => Err(TypeMismatch {
+                expected: "bytes",
+                found: other.kind(),
+            }),
         }
     }
 
@@ -128,7 +136,11 @@ pub struct TypeMismatch {
 
 impl fmt::Display for TypeMismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "expected a {} value, found {}", self.expected, self.found)
+        write!(
+            f,
+            "expected a {} value, found {}",
+            self.expected, self.found
+        )
     }
 }
 

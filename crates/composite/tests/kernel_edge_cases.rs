@@ -49,7 +49,11 @@ fn component_metadata_queries() {
     let svc = k.add_component("echo", Box::new(Echo));
     assert_eq!(k.component_name(svc), Some("echo"));
     assert_eq!(k.interface_of(svc), Some("echo"));
-    assert_eq!(k.interface_of(app), None, "client components export no interface");
+    assert_eq!(
+        k.interface_of(app),
+        None,
+        "client components export no interface"
+    );
     assert_eq!(k.component_name(ComponentId(99)), None);
     assert_eq!(k.component_ids().count(), 3);
 }
@@ -92,7 +96,10 @@ fn waking_terminal_threads_is_rejected() {
     let t = k.create_thread(app, Priority(5));
     k.thread_mut(t).unwrap().state = ThreadState::Completed;
     assert_eq!(k.wake_thread(t), Err(KernelError::BadThreadState(t)));
-    assert_eq!(k.wake_thread(composite::ThreadId(99)), Err(KernelError::NoSuchThread(composite::ThreadId(99))));
+    assert_eq!(
+        k.wake_thread(composite::ThreadId(99)),
+        Err(KernelError::NoSuchThread(composite::ThreadId(99)))
+    );
 }
 
 #[test]

@@ -1,12 +1,16 @@
 //! Model-based property tests for the kernel substrates: page tables,
-//! capability tables, and register files.
+//! capability tables, and register files. Randomized op sequences are
+//! driven by the repo's deterministic [`SplitMix64`] generator (seeded
+//! per case), so failures are reproducible from the case index alone.
 
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 use composite::capability::CapTable;
 use composite::pages::PageTables;
+use composite::rng::{mix, SplitMix64};
 use composite::{ComponentId, RegisterFile, NUM_REGISTERS};
+
+const CASES: u64 = 64;
 
 #[derive(Debug, Clone, Copy)]
 enum PageOp {
@@ -14,108 +18,134 @@ enum PageOp {
     Unmap { comp: u32, vaddr: u64 },
 }
 
-fn page_op() -> impl Strategy<Value = PageOp> {
-    prop_oneof![
-        (0u32..4, 0u64..8).prop_map(|(c, v)| PageOp::Map { comp: c, vaddr: v * 0x1000 }),
-        (0u32..4, 0u64..8).prop_map(|(c, v)| PageOp::Unmap { comp: c, vaddr: v * 0x1000 }),
-    ]
+fn page_op(rng: &mut SplitMix64) -> PageOp {
+    let comp = rng.gen_range(4) as u32;
+    let vaddr = rng.gen_range(8) * 0x1000;
+    if rng.gen_bool(1, 2) {
+        PageOp::Map { comp, vaddr }
+    } else {
+        PageOp::Unmap { comp, vaddr }
+    }
 }
 
-proptest! {
-    /// The page tables agree with a naive HashMap model under arbitrary
-    /// map/unmap sequences, and the reflection views stay consistent.
-    #[test]
-    fn page_tables_match_model(ops in proptest::collection::vec(page_op(), 0..120)) {
+/// The page tables agree with a naive HashMap model under arbitrary
+/// map/unmap sequences, and the reflection views stay consistent.
+#[test]
+fn page_tables_match_model() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(mix(0x9a9e_0001, case));
+        let n_ops = rng.gen_index(120);
         let mut pt = PageTables::new();
         let mut model: HashMap<(u32, u64), u32> = HashMap::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match page_op(&mut rng) {
                 PageOp::Map { comp, vaddr } => {
                     let frame = pt.alloc_frame().expect("unlimited frames");
                     let r = pt.map(ComponentId(comp), vaddr, frame);
-                    if model.contains_key(&(comp, vaddr)) {
-                        prop_assert!(r.is_err());
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry((comp, vaddr))
+                    {
+                        assert!(r.is_ok(), "case {case}");
+                        e.insert(frame.0);
                     } else {
-                        prop_assert!(r.is_ok());
-                        model.insert((comp, vaddr), frame.0);
+                        assert!(r.is_err(), "case {case}");
                     }
                 }
                 PageOp::Unmap { comp, vaddr } => {
                     let r = pt.unmap(ComponentId(comp), vaddr);
                     match model.remove(&(comp, vaddr)) {
-                        Some(f) => prop_assert_eq!(r.expect("was mapped").0, f),
-                        None => prop_assert!(r.is_err()),
+                        Some(f) => assert_eq!(r.expect("was mapped").0, f, "case {case}"),
+                        None => assert!(r.is_err(), "case {case}"),
                     }
                 }
             }
             // Translation agrees everywhere the model has entries.
             for (&(c, v), &f) in &model {
-                prop_assert_eq!(pt.translate(ComponentId(c), v).map(|x| x.0), Some(f));
+                assert_eq!(pt.translate(ComponentId(c), v).map(|x| x.0), Some(f));
             }
-            prop_assert_eq!(pt.mapping_count(), model.len());
+            assert_eq!(pt.mapping_count(), model.len());
         }
         // Reflection views are exact partitions of the model.
         for c in 0..4u32 {
-            let view: Vec<(u64, u32)> =
-                pt.mappings_of(ComponentId(c)).map(|(v, f)| (v, f.0)).collect();
+            let view: Vec<(u64, u32)> = pt
+                .mappings_of(ComponentId(c))
+                .map(|(v, f)| (v, f.0))
+                .collect();
             let mut expect: Vec<(u64, u32)> = model
                 .iter()
                 .filter(|((mc, _), _)| *mc == c)
                 .map(|((_, v), f)| (*v, *f))
                 .collect();
             expect.sort_unstable();
-            prop_assert_eq!(view, expect);
+            assert_eq!(view, expect, "case {case}");
         }
     }
+}
 
-    /// The capability table is a faithful set.
-    #[test]
-    fn cap_table_matches_model(
-        grants in proptest::collection::vec((0u32..5, 0u32..5), 0..40),
-        revokes in proptest::collection::vec((0u32..5, 0u32..5), 0..40),
-    ) {
+/// The capability table is a faithful set.
+#[test]
+fn cap_table_matches_model() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(mix(0xCA9_0002, case));
+        let n_grants = rng.gen_index(40);
+        let n_revokes = rng.gen_index(40);
         let mut caps = CapTable::new();
         let mut model: HashSet<(u32, u32)> = HashSet::new();
-        for (c, s) in &grants {
-            caps.grant(ComponentId(*c), ComponentId(*s));
-            model.insert((*c, *s));
+        for _ in 0..n_grants {
+            let (c, s) = (rng.gen_range(5) as u32, rng.gen_range(5) as u32);
+            caps.grant(ComponentId(c), ComponentId(s));
+            model.insert((c, s));
         }
-        for (c, s) in &revokes {
-            let removed = caps.revoke(ComponentId(*c), ComponentId(*s));
-            prop_assert_eq!(removed, model.remove(&(*c, *s)));
+        for _ in 0..n_revokes {
+            let (c, s) = (rng.gen_range(5) as u32, rng.gen_range(5) as u32);
+            let removed = caps.revoke(ComponentId(c), ComponentId(s));
+            assert_eq!(removed, model.remove(&(c, s)), "case {case}");
         }
         for c in 0..5u32 {
             for s in 0..5u32 {
                 let expect = c == s || model.contains(&(c, s));
-                prop_assert_eq!(caps.allows(ComponentId(c), ComponentId(s)), expect);
+                assert_eq!(
+                    caps.allows(ComponentId(c), ComponentId(s)),
+                    expect,
+                    "case {case}"
+                );
             }
         }
-        prop_assert_eq!(caps.len(), model.len());
+        assert_eq!(caps.len(), model.len(), "case {case}");
     }
+}
 
-    /// Register files: flips are involutive, writes clear taint, taint
-    /// tracking is exact per register.
-    #[test]
-    fn register_file_taint_tracking(
-        flips in proptest::collection::vec((0usize..NUM_REGISTERS, 0u32..32), 0..16),
-        writes in proptest::collection::vec((0usize..NUM_REGISTERS, any::<u32>()), 0..16),
-    ) {
+/// Register files: flips are involutive, writes clear taint, taint
+/// tracking is exact per register.
+#[test]
+fn register_file_taint_tracking() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(mix(0x4e9_0003, case));
         let mut regs = RegisterFile::new();
         let mut tainted = [false; NUM_REGISTERS];
         let mut values = [0u32; NUM_REGISTERS];
-        for &(r, b) in &flips {
+        for _ in 0..rng.gen_index(16) {
+            let (r, b) = (rng.gen_index(NUM_REGISTERS), rng.gen_range(32) as u32);
             regs.flip_bit(r, b);
             values[r] ^= 1 << b;
             tainted[r] = true;
         }
-        for &(r, v) in &writes {
+        for _ in 0..rng.gen_index(16) {
+            let (r, v) = (rng.gen_index(NUM_REGISTERS), rng.next_u32());
             regs.write(r, v);
             values[r] = v;
             tainted[r] = false;
         }
         for r in 0..NUM_REGISTERS {
-            prop_assert_eq!(regs.read(r), (values[r], tainted[r]), "register {}", r);
+            assert_eq!(
+                regs.read(r),
+                (values[r], tainted[r]),
+                "case {case} register {r}"
+            );
         }
-        prop_assert_eq!(regs.any_tainted(), tainted.iter().any(|&t| t));
+        assert_eq!(
+            regs.any_tainted(),
+            tainted.iter().any(|&t| t),
+            "case {case}"
+        );
     }
 }

@@ -21,7 +21,11 @@ impl ClientEnd {
     /// Construct a client end.
     #[must_use]
     pub fn new(client: ComponentId, thread: ThreadId, server: ComponentId) -> Self {
-        Self { client, thread, server }
+        Self {
+            client,
+            thread,
+            server,
+        }
     }
 
     /// Raw call through the interface-call layer.
@@ -52,8 +56,15 @@ pub mod sched {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn setup<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, thdid: ThreadId) -> Result<i64, CallError> {
-        Ok(end.call(ctx, "sched_setup", &[end.compid(), Value::from(thdid.0)])?.int().unwrap_or(-1))
+    pub fn setup<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        thdid: ThreadId,
+    ) -> Result<i64, CallError> {
+        Ok(end
+            .call(ctx, "sched_setup", &[end.compid(), Value::from(thdid.0)])?
+            .int()
+            .unwrap_or(-1))
     }
 
     /// Block the calling thread on its descriptor.
@@ -62,7 +73,8 @@ pub mod sched {
     ///
     /// [`CallError::WouldBlock`] until woken; other [`CallError`]s as-is.
     pub fn blk<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, desc: i64) -> Result<(), CallError> {
-        end.call(ctx, "sched_blk", &[end.compid(), Value::Int(desc)]).map(|_| ())
+        end.call(ctx, "sched_blk", &[end.compid(), Value::Int(desc)])
+            .map(|_| ())
     }
 
     /// Wake the thread behind a descriptor.
@@ -70,8 +82,13 @@ pub mod sched {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn wakeup<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, desc: i64) -> Result<(), CallError> {
-        end.call(ctx, "sched_wakeup", &[end.compid(), Value::Int(desc)]).map(|_| ())
+    pub fn wakeup<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        desc: i64,
+    ) -> Result<(), CallError> {
+        end.call(ctx, "sched_wakeup", &[end.compid(), Value::Int(desc)])
+            .map(|_| ())
     }
 
     /// Deregister a descriptor.
@@ -79,8 +96,13 @@ pub mod sched {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn exit<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, desc: i64) -> Result<(), CallError> {
-        end.call(ctx, "sched_exit", &[end.compid(), Value::Int(desc)]).map(|_| ())
+    pub fn exit<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        desc: i64,
+    ) -> Result<(), CallError> {
+        end.call(ctx, "sched_exit", &[end.compid(), Value::Int(desc)])
+            .map(|_| ())
     }
 }
 
@@ -94,7 +116,10 @@ pub mod lock {
     ///
     /// Propagates [`CallError`].
     pub fn alloc<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd) -> Result<i64, CallError> {
-        Ok(end.call(ctx, "lock_alloc", &[end.compid()])?.int().unwrap_or(-1))
+        Ok(end
+            .call(ctx, "lock_alloc", &[end.compid()])?
+            .int()
+            .unwrap_or(-1))
     }
 
     /// Take (acquire) a lock; blocks under contention.
@@ -102,8 +127,13 @@ pub mod lock {
     /// # Errors
     ///
     /// [`CallError::WouldBlock`] while contended.
-    pub fn take<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, desc: i64) -> Result<(), CallError> {
-        end.call(ctx, "lock_take", &[end.compid(), Value::Int(desc)]).map(|_| ())
+    pub fn take<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        desc: i64,
+    ) -> Result<(), CallError> {
+        end.call(ctx, "lock_take", &[end.compid(), Value::Int(desc)])
+            .map(|_| ())
     }
 
     /// Release a lock.
@@ -111,8 +141,13 @@ pub mod lock {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn release<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, desc: i64) -> Result<(), CallError> {
-        end.call(ctx, "lock_release", &[end.compid(), Value::Int(desc)]).map(|_| ())
+    pub fn release<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        desc: i64,
+    ) -> Result<(), CallError> {
+        end.call(ctx, "lock_release", &[end.compid(), Value::Int(desc)])
+            .map(|_| ())
     }
 
     /// Free a lock.
@@ -120,8 +155,13 @@ pub mod lock {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn free<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, desc: i64) -> Result<(), CallError> {
-        end.call(ctx, "lock_free", &[end.compid(), Value::Int(desc)]).map(|_| ())
+    pub fn free<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        desc: i64,
+    ) -> Result<(), CallError> {
+        end.call(ctx, "lock_free", &[end.compid(), Value::Int(desc)])
+            .map(|_| ())
     }
 }
 
@@ -141,7 +181,11 @@ pub mod evt {
         grp: i64,
     ) -> Result<i64, CallError> {
         Ok(end
-            .call(ctx, "evt_split", &[end.compid(), Value::Int(parent), Value::Int(grp)])?
+            .call(
+                ctx,
+                "evt_split",
+                &[end.compid(), Value::Int(parent), Value::Int(grp)],
+            )?
             .int()
             .unwrap_or(-1))
     }
@@ -151,8 +195,15 @@ pub mod evt {
     /// # Errors
     ///
     /// [`CallError::WouldBlock`] until triggered.
-    pub fn wait<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, desc: i64) -> Result<i64, CallError> {
-        Ok(end.call(ctx, "evt_wait", &[end.compid(), Value::Int(desc)])?.int().unwrap_or(-1))
+    pub fn wait<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        desc: i64,
+    ) -> Result<i64, CallError> {
+        Ok(end
+            .call(ctx, "evt_wait", &[end.compid(), Value::Int(desc)])?
+            .int()
+            .unwrap_or(-1))
     }
 
     /// Trigger the event.
@@ -160,8 +211,13 @@ pub mod evt {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn trigger<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, desc: i64) -> Result<(), CallError> {
-        end.call(ctx, "evt_trigger", &[end.compid(), Value::Int(desc)]).map(|_| ())
+    pub fn trigger<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        desc: i64,
+    ) -> Result<(), CallError> {
+        end.call(ctx, "evt_trigger", &[end.compid(), Value::Int(desc)])
+            .map(|_| ())
     }
 
     /// Destroy the event.
@@ -169,8 +225,13 @@ pub mod evt {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn free<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, desc: i64) -> Result<(), CallError> {
-        end.call(ctx, "evt_free", &[end.compid(), Value::Int(desc)]).map(|_| ())
+    pub fn free<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        desc: i64,
+    ) -> Result<(), CallError> {
+        end.call(ctx, "evt_free", &[end.compid(), Value::Int(desc)])
+            .map(|_| ())
     }
 }
 
@@ -183,8 +244,15 @@ pub mod tmr {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn create<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, period_ns: i64) -> Result<i64, CallError> {
-        Ok(end.call(ctx, "tmr_create", &[end.compid(), Value::Int(period_ns)])?.int().unwrap_or(-1))
+    pub fn create<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        period_ns: i64,
+    ) -> Result<i64, CallError> {
+        Ok(end
+            .call(ctx, "tmr_create", &[end.compid(), Value::Int(period_ns)])?
+            .int()
+            .unwrap_or(-1))
     }
 
     /// Sleep until the next period boundary.
@@ -192,8 +260,13 @@ pub mod tmr {
     /// # Errors
     ///
     /// [`CallError::WouldBlock`] until the deadline.
-    pub fn wait<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, desc: i64) -> Result<(), CallError> {
-        end.call(ctx, "tmr_wait", &[end.compid(), Value::Int(desc)]).map(|_| ())
+    pub fn wait<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        desc: i64,
+    ) -> Result<(), CallError> {
+        end.call(ctx, "tmr_wait", &[end.compid(), Value::Int(desc)])
+            .map(|_| ())
     }
 
     /// Change the period (re-arms relative to now).
@@ -207,8 +280,12 @@ pub mod tmr {
         desc: i64,
         period_ns: i64,
     ) -> Result<(), CallError> {
-        end.call(ctx, "tmr_period", &[end.compid(), Value::Int(desc), Value::Int(period_ns)])
-            .map(|_| ())
+        end.call(
+            ctx,
+            "tmr_period",
+            &[end.compid(), Value::Int(desc), Value::Int(period_ns)],
+        )
+        .map(|_| ())
     }
 
     /// Destroy the timer.
@@ -216,8 +293,13 @@ pub mod tmr {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn free<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, desc: i64) -> Result<(), CallError> {
-        end.call(ctx, "tmr_free", &[end.compid(), Value::Int(desc)]).map(|_| ())
+    pub fn free<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        desc: i64,
+    ) -> Result<(), CallError> {
+        end.call(ctx, "tmr_free", &[end.compid(), Value::Int(desc)])
+            .map(|_| ())
     }
 }
 
@@ -230,9 +312,17 @@ pub mod mman {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn get_page<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, vaddr: u64) -> Result<i64, CallError> {
+    pub fn get_page<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        vaddr: u64,
+    ) -> Result<i64, CallError> {
         Ok(end
-            .call(ctx, "mman_get_page", &[end.compid(), Value::Int(vaddr as i64)])?
+            .call(
+                ctx,
+                "mman_get_page",
+                &[end.compid(), Value::Int(vaddr as i64)],
+            )?
             .int()
             .unwrap_or(-1))
     }
@@ -270,8 +360,13 @@ pub mod mman {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn release_page<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, key: i64) -> Result<(), CallError> {
-        end.call(ctx, "mman_release_page", &[end.compid(), Value::Int(key)]).map(|_| ())
+    pub fn release_page<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        key: i64,
+    ) -> Result<(), CallError> {
+        end.call(ctx, "mman_release_page", &[end.compid(), Value::Int(key)])
+            .map(|_| ())
     }
 }
 
@@ -291,7 +386,11 @@ pub mod fs {
         path: &str,
     ) -> Result<i64, CallError> {
         Ok(end
-            .call(ctx, "tsplit", &[end.compid(), Value::Int(parent), Value::from(path)])?
+            .call(
+                ctx,
+                "tsplit",
+                &[end.compid(), Value::Int(parent), Value::from(path)],
+            )?
             .int()
             .unwrap_or(-1))
     }
@@ -301,8 +400,18 @@ pub mod fs {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn seek<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, fd: i64, offset: i64) -> Result<(), CallError> {
-        end.call(ctx, "tseek", &[end.compid(), Value::Int(fd), Value::Int(offset)]).map(|_| ())
+    pub fn seek<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        fd: i64,
+        offset: i64,
+    ) -> Result<(), CallError> {
+        end.call(
+            ctx,
+            "tseek",
+            &[end.compid(), Value::Int(fd), Value::Int(offset)],
+        )
+        .map(|_| ())
     }
 
     /// Read up to `len` bytes at the current offset.
@@ -316,7 +425,11 @@ pub mod fs {
         fd: i64,
         len: i64,
     ) -> Result<Vec<u8>, CallError> {
-        let v = end.call(ctx, "tread", &[end.compid(), Value::Int(fd), Value::Int(len)])?;
+        let v = end.call(
+            ctx,
+            "tread",
+            &[end.compid(), Value::Int(fd), Value::Int(len)],
+        )?;
         match v {
             Value::Bytes(b) => Ok(b),
             _ => Ok(Vec::new()),
@@ -335,7 +448,11 @@ pub mod fs {
         data: Vec<u8>,
     ) -> Result<i64, CallError> {
         Ok(end
-            .call(ctx, "twrite", &[end.compid(), Value::Int(fd), Value::Bytes(data)])?
+            .call(
+                ctx,
+                "twrite",
+                &[end.compid(), Value::Int(fd), Value::Bytes(data)],
+            )?
             .int()
             .unwrap_or(0))
     }
@@ -345,8 +462,13 @@ pub mod fs {
     /// # Errors
     ///
     /// Propagates [`CallError`].
-    pub fn release<C: InterfaceCall>(ctx: &mut C, end: &ClientEnd, fd: i64) -> Result<(), CallError> {
-        end.call(ctx, "trelease", &[end.compid(), Value::Int(fd)]).map(|_| ())
+    pub fn release<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        fd: i64,
+    ) -> Result<(), CallError> {
+        end.call(ctx, "trelease", &[end.compid(), Value::Int(fd)])
+            .map(|_| ())
     }
 }
 

@@ -9,7 +9,6 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
 use composite::{ComponentId, Service, ServiceCtx, ServiceError, Value};
 
 #[derive(Debug, Clone)]
@@ -38,11 +37,11 @@ impl CbufService {
         self.bufs.len()
     }
 
-    /// Direct read-only view of a buffer (zero-copy path for in-process
+    /// Direct read-only view of a buffer (the in-process path used by
     /// consumers like the storage service).
     #[must_use]
-    pub fn view(&self, cbid: i64) -> Option<Bytes> {
-        self.bufs.get(&cbid).map(|b| Bytes::copy_from_slice(&b.data))
+    pub fn view(&self, cbid: i64) -> Option<&[u8]> {
+        self.bufs.get(&cbid).map(|b| b.data.as_slice())
     }
 }
 
@@ -66,7 +65,13 @@ impl Service for CbufService {
                 }
                 self.next_id += 1;
                 let id = self.next_id;
-                self.bufs.insert(id, Cbuf { owner: ctx.client, data: vec![0; size as usize] });
+                self.bufs.insert(
+                    id,
+                    Cbuf {
+                        owner: ctx.client,
+                        data: vec![0; size as usize],
+                    },
+                );
                 Ok(Value::Int(id))
             }
             // cb_write(cbid, offset, bytes) -> bytes written
@@ -117,7 +122,14 @@ mod tests {
     use super::*;
     use composite::{CallError, CostModel, Kernel, Priority, ThreadId};
 
-    fn setup() -> (Kernel, ComponentId, ComponentId, ComponentId, ThreadId, ThreadId) {
+    fn setup() -> (
+        Kernel,
+        ComponentId,
+        ComponentId,
+        ComponentId,
+        ThreadId,
+        ThreadId,
+    ) {
         let mut k = Kernel::with_costs(CostModel::free());
         let prod = k.add_client_component("producer");
         let cons = k.add_client_component("consumer");
@@ -132,19 +144,45 @@ mod tests {
     #[test]
     fn alloc_write_read_roundtrip() {
         let (mut k, prod, cons, cb, tp, tc) = setup();
-        let id = k.invoke(prod, tp, cb, "cb_alloc", &[Value::Int(4)]).unwrap().int().unwrap();
-        k.invoke(prod, tp, cb, "cb_write", &[Value::Int(id), Value::Int(0), Value::Bytes(vec![1, 2, 3, 4])])
+        let id = k
+            .invoke(prod, tp, cb, "cb_alloc", &[Value::Int(4)])
+            .unwrap()
+            .int()
             .unwrap();
-        let r = k.invoke(cons, tc, cb, "cb_read", &[Value::Int(id)]).unwrap();
+        k.invoke(
+            prod,
+            tp,
+            cb,
+            "cb_write",
+            &[
+                Value::Int(id),
+                Value::Int(0),
+                Value::Bytes(vec![1, 2, 3, 4]),
+            ],
+        )
+        .unwrap();
+        let r = k
+            .invoke(cons, tc, cb, "cb_read", &[Value::Int(id)])
+            .unwrap();
         assert_eq!(r, Value::Bytes(vec![1, 2, 3, 4]));
     }
 
     #[test]
     fn only_producer_may_write() {
         let (mut k, prod, cons, cb, tp, tc) = setup();
-        let id = k.invoke(prod, tp, cb, "cb_alloc", &[Value::Int(4)]).unwrap().int().unwrap();
+        let id = k
+            .invoke(prod, tp, cb, "cb_alloc", &[Value::Int(4)])
+            .unwrap()
+            .int()
+            .unwrap();
         let err = k
-            .invoke(cons, tc, cb, "cb_write", &[Value::Int(id), Value::Int(0), Value::Bytes(vec![9])])
+            .invoke(
+                cons,
+                tc,
+                cb,
+                "cb_write",
+                &[Value::Int(id), Value::Int(0), Value::Bytes(vec![9])],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::InvalidArg));
     }
@@ -152,28 +190,51 @@ mod tests {
     #[test]
     fn write_extends_buffer() {
         let (mut k, prod, _cons, cb, tp, _tc) = setup();
-        let id = k.invoke(prod, tp, cb, "cb_alloc", &[Value::Int(0)]).unwrap().int().unwrap();
-        k.invoke(prod, tp, cb, "cb_write", &[Value::Int(id), Value::Int(2), Value::Bytes(vec![7])])
+        let id = k
+            .invoke(prod, tp, cb, "cb_alloc", &[Value::Int(0)])
+            .unwrap()
+            .int()
             .unwrap();
-        let r = k.invoke(prod, tp, cb, "cb_read", &[Value::Int(id)]).unwrap();
+        k.invoke(
+            prod,
+            tp,
+            cb,
+            "cb_write",
+            &[Value::Int(id), Value::Int(2), Value::Bytes(vec![7])],
+        )
+        .unwrap();
+        let r = k
+            .invoke(prod, tp, cb, "cb_read", &[Value::Int(id)])
+            .unwrap();
         assert_eq!(r, Value::Bytes(vec![0, 0, 7]));
     }
 
     #[test]
     fn free_requires_ownership_and_removes() {
         let (mut k, prod, cons, cb, tp, tc) = setup();
-        let id = k.invoke(prod, tp, cb, "cb_alloc", &[Value::Int(1)]).unwrap().int().unwrap();
-        let err = k.invoke(cons, tc, cb, "cb_free", &[Value::Int(id)]).unwrap_err();
+        let id = k
+            .invoke(prod, tp, cb, "cb_alloc", &[Value::Int(1)])
+            .unwrap()
+            .int()
+            .unwrap();
+        let err = k
+            .invoke(cons, tc, cb, "cb_free", &[Value::Int(id)])
+            .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::InvalidArg));
-        k.invoke(prod, tp, cb, "cb_free", &[Value::Int(id)]).unwrap();
-        let err = k.invoke(prod, tp, cb, "cb_read", &[Value::Int(id)]).unwrap_err();
+        k.invoke(prod, tp, cb, "cb_free", &[Value::Int(id)])
+            .unwrap();
+        let err = k
+            .invoke(prod, tp, cb, "cb_read", &[Value::Int(id)])
+            .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
 
     #[test]
     fn negative_alloc_rejected() {
         let (mut k, prod, _c, cb, tp, _tc) = setup();
-        let err = k.invoke(prod, tp, cb, "cb_alloc", &[Value::Int(-1)]).unwrap_err();
+        let err = k
+            .invoke(prod, tp, cb, "cb_alloc", &[Value::Int(-1)])
+            .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::InvalidArg));
     }
 }

@@ -99,7 +99,11 @@ impl Service for EventService {
             "evt_trigger" => {
                 let id = args[1].int()?;
                 let evt = self.events.get_mut(&id).ok_or(ServiceError::NotFound)?;
-                if let Some(w) = if evt.waiters.is_empty() { None } else { Some(evt.waiters[0]) } {
+                if let Some(w) = if evt.waiters.is_empty() {
+                    None
+                } else {
+                    Some(evt.waiters[0])
+                } {
                     // Leave the waiter in the list; its retried evt_wait
                     // consumes the pending trigger and removes itself.
                     evt.pending_triggers += 1;
@@ -175,7 +179,13 @@ impl EventService {
         }
         self.events.insert(
             id,
-            Event { creator, parent, grp, waiters: Vec::new(), pending_triggers: 0 },
+            Event {
+                creator,
+                parent,
+                grp,
+                waiters: Vec::new(),
+                pending_triggers: 0,
+            },
         );
         if id > self.next_id {
             self.next_id = id;
@@ -189,7 +199,14 @@ mod tests {
     use super::*;
     use composite::{CallError, CostModel, Kernel, Priority, ThreadState};
 
-    fn setup() -> (Kernel, ComponentId, ComponentId, ComponentId, ThreadId, ThreadId) {
+    fn setup() -> (
+        Kernel,
+        ComponentId,
+        ComponentId,
+        ComponentId,
+        ThreadId,
+        ThreadId,
+    ) {
         let mut k = Kernel::with_costs(CostModel::free());
         let app1 = k.add_client_component("app1");
         let app2 = k.add_client_component("app2");
@@ -202,10 +219,16 @@ mod tests {
     }
 
     fn split(k: &mut Kernel, app: ComponentId, evt: ComponentId, t: ThreadId, parent: i64) -> i64 {
-        k.invoke(app, t, evt, "evt_split", &[Value::Int(1), Value::Int(parent), Value::Int(0)])
-            .unwrap()
-            .int()
-            .unwrap()
+        k.invoke(
+            app,
+            t,
+            evt,
+            "evt_split",
+            &[Value::Int(1), Value::Int(parent), Value::Int(0)],
+        )
+        .unwrap()
+        .int()
+        .unwrap()
     }
 
     #[test]
@@ -217,12 +240,24 @@ mod tests {
             .invoke(app2, t2, evt, "evt_wait", &[Value::Int(2), Value::Int(id)])
             .unwrap_err();
         assert_eq!(err, CallError::WouldBlock);
-        assert!(matches!(k.thread(t2).unwrap().state, ThreadState::Blocked { .. }));
+        assert!(matches!(
+            k.thread(t2).unwrap().state,
+            ThreadState::Blocked { .. }
+        ));
 
-        k.invoke(app1, t1, evt, "evt_trigger", &[Value::Int(1), Value::Int(id)]).unwrap();
+        k.invoke(
+            app1,
+            t1,
+            evt,
+            "evt_trigger",
+            &[Value::Int(1), Value::Int(id)],
+        )
+        .unwrap();
         assert!(k.thread(t2).unwrap().state.is_runnable());
         // Retried wait consumes the pending trigger.
-        let r = k.invoke(app2, t2, evt, "evt_wait", &[Value::Int(2), Value::Int(id)]).unwrap();
+        let r = k
+            .invoke(app2, t2, evt, "evt_wait", &[Value::Int(2), Value::Int(id)])
+            .unwrap();
         assert_eq!(r, Value::Int(id));
     }
 
@@ -230,8 +265,17 @@ mod tests {
     fn trigger_before_wait_pends() {
         let (mut k, app1, _app2, evt, t1, _t2) = setup();
         let id = split(&mut k, app1, evt, t1, 0);
-        k.invoke(app1, t1, evt, "evt_trigger", &[Value::Int(1), Value::Int(id)]).unwrap();
-        let r = k.invoke(app1, t1, evt, "evt_wait", &[Value::Int(1), Value::Int(id)]).unwrap();
+        k.invoke(
+            app1,
+            t1,
+            evt,
+            "evt_trigger",
+            &[Value::Int(1), Value::Int(id)],
+        )
+        .unwrap();
+        let r = k
+            .invoke(app1, t1, evt, "evt_wait", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         assert_eq!(r, Value::Int(id));
     }
 
@@ -242,7 +286,13 @@ mod tests {
         let child = split(&mut k, app1, evt, t1, root);
         assert!(child > root);
         let err = k
-            .invoke(app1, t1, evt, "evt_split", &[Value::Int(1), Value::Int(999), Value::Int(0)])
+            .invoke(
+                app1,
+                t1,
+                evt,
+                "evt_split",
+                &[Value::Int(1), Value::Int(999), Value::Int(0)],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
@@ -252,10 +302,12 @@ mod tests {
         let (mut k, app1, app2, evt, t1, t2) = setup();
         let id = split(&mut k, app1, evt, t1, 0);
         let _ = k.invoke(app2, t2, evt, "evt_wait", &[Value::Int(2), Value::Int(id)]);
-        k.invoke(app1, t1, evt, "evt_free", &[Value::Int(1), Value::Int(id)]).unwrap();
+        k.invoke(app1, t1, evt, "evt_free", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         assert!(k.thread(t2).unwrap().state.is_runnable());
-        let err =
-            k.invoke(app1, t1, evt, "evt_wait", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        let err = k
+            .invoke(app1, t1, evt, "evt_wait", &[Value::Int(1), Value::Int(id)])
+            .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
 
@@ -263,7 +315,15 @@ mod tests {
     fn creator_reflection() {
         let (mut k, app1, app2, evt, t1, t2) = setup();
         let id = split(&mut k, app1, evt, t1, 0);
-        let r = k.invoke(app2, t2, evt, "evt_creator", &[Value::Int(2), Value::Int(id)]).unwrap();
+        let r = k
+            .invoke(
+                app2,
+                t2,
+                evt,
+                "evt_creator",
+                &[Value::Int(2), Value::Int(id)],
+            )
+            .unwrap();
         assert_eq!(r, Value::Int(i64::from(app1.0)));
     }
 
@@ -291,8 +351,9 @@ mod tests {
     #[test]
     fn wait_on_unknown_event_not_found() {
         let (mut k, app1, _a, evt, t1, _t2) = setup();
-        let err =
-            k.invoke(app1, t1, evt, "evt_wait", &[Value::Int(1), Value::Int(5)]).unwrap_err();
+        let err = k
+            .invoke(app1, t1, evt, "evt_wait", &[Value::Int(1), Value::Int(5)])
+            .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
 }

@@ -118,7 +118,11 @@ impl Service for LockService {
                 let id = args[1].int()?;
                 let owner = args[2].int()?;
                 let lock = self.locks.entry(id).or_default();
-                lock.owner = if owner > 0 { Some(ThreadId(owner as u32)) } else { None };
+                lock.owner = if owner > 0 {
+                    Some(ThreadId(owner as u32))
+                } else {
+                    None
+                };
                 Ok(Value::Int(id))
             }
             // lock_free(compid, desc(lockid))
@@ -158,7 +162,10 @@ mod tests {
     }
 
     fn alloc(k: &mut Kernel, app: ComponentId, lock: ComponentId, t: ThreadId) -> i64 {
-        k.invoke(app, t, lock, "lock_alloc", &[Value::Int(1)]).unwrap().int().unwrap()
+        k.invoke(app, t, lock, "lock_alloc", &[Value::Int(1)])
+            .unwrap()
+            .int()
+            .unwrap()
     }
 
     #[test]
@@ -166,13 +173,23 @@ mod tests {
         let (mut k, app, lock, t1, _) = setup();
         let id = alloc(&mut k, app, lock, t1);
         assert_eq!(
-            k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap(),
+            k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+                .unwrap(),
             Value::Int(0)
         );
-        k.invoke(app, t1, lock, "lock_release", &[Value::Int(1), Value::Int(id)]).unwrap();
-        k.invoke(app, t1, lock, "lock_free", &[Value::Int(1), Value::Int(id)]).unwrap();
-        let err =
-            k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        k.invoke(
+            app,
+            t1,
+            lock,
+            "lock_release",
+            &[Value::Int(1), Value::Int(id)],
+        )
+        .unwrap();
+        k.invoke(app, t1, lock, "lock_free", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
+        let err = k
+            .invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
 
@@ -180,33 +197,55 @@ mod tests {
     fn contention_blocks_and_release_wakes() {
         let (mut k, app, lock, t1, t2) = setup();
         let id = alloc(&mut k, app, lock, t1);
-        k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
-        let err =
-            k.invoke(app, t2, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
+        let err = k
+            .invoke(app, t2, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap_err();
         assert_eq!(err, CallError::WouldBlock);
-        assert!(matches!(k.thread(t2).unwrap().state, ThreadState::Blocked { .. }));
+        assert!(matches!(
+            k.thread(t2).unwrap().state,
+            ThreadState::Blocked { .. }
+        ));
 
-        k.invoke(app, t1, lock, "lock_release", &[Value::Int(1), Value::Int(id)]).unwrap();
+        k.invoke(
+            app,
+            t1,
+            lock,
+            "lock_release",
+            &[Value::Int(1), Value::Int(id)],
+        )
+        .unwrap();
         assert!(k.thread(t2).unwrap().state.is_runnable());
         // The retried take now succeeds.
-        k.invoke(app, t2, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
+        k.invoke(app, t2, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
     }
 
     #[test]
     fn retake_by_owner_is_replay_idempotent() {
         let (mut k, app, lock, t1, _) = setup();
         let id = alloc(&mut k, app, lock, t1);
-        k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
-        k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
+        k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
+        k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
     }
 
     #[test]
     fn release_by_non_owner_rejected() {
         let (mut k, app, lock, t1, t2) = setup();
         let id = alloc(&mut k, app, lock, t1);
-        k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
+        k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         let err = k
-            .invoke(app, t2, lock, "lock_release", &[Value::Int(1), Value::Int(id)])
+            .invoke(
+                app,
+                t2,
+                lock,
+                "lock_release",
+                &[Value::Int(1), Value::Int(id)],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::InvalidArg));
     }
@@ -215,9 +254,11 @@ mod tests {
     fn free_wakes_waiters() {
         let (mut k, app, lock, t1, t2) = setup();
         let id = alloc(&mut k, app, lock, t1);
-        k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
+        k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         let _ = k.invoke(app, t2, lock, "lock_take", &[Value::Int(1), Value::Int(id)]);
-        k.invoke(app, t1, lock, "lock_free", &[Value::Int(1), Value::Int(id)]).unwrap();
+        k.invoke(app, t1, lock, "lock_free", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         assert!(k.thread(t2).unwrap().state.is_runnable());
     }
 
@@ -228,14 +269,18 @@ mod tests {
         k.fault(lock);
         k.micro_reboot(lock).unwrap();
         let id2 = alloc(&mut k, app, lock, t1);
-        assert!(id2 > id1, "descriptor ids must not be recycled across reboots");
+        assert!(
+            id2 > id1,
+            "descriptor ids must not be recycled across reboots"
+        );
     }
 
     #[test]
     fn restore_reestablishes_recorded_owner() {
         let (mut k, app, lock, t1, t2) = setup();
         let id = alloc(&mut k, app, lock, t1);
-        k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap();
+        k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         k.fault(lock);
         k.micro_reboot(lock).unwrap();
         // Recovery (driven by t2) restores the hold for t1.
@@ -248,10 +293,18 @@ mod tests {
         )
         .unwrap();
         // t2 contends; t1 releases successfully.
-        let err =
-            k.invoke(app, t2, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        let err = k
+            .invoke(app, t2, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap_err();
         assert_eq!(err, CallError::WouldBlock);
-        k.invoke(app, t1, lock, "lock_release", &[Value::Int(1), Value::Int(id)]).unwrap();
+        k.invoke(
+            app,
+            t1,
+            lock,
+            "lock_release",
+            &[Value::Int(1), Value::Int(id)],
+        )
+        .unwrap();
     }
 
     #[test]
@@ -260,8 +313,9 @@ mod tests {
         let id = alloc(&mut k, app, lock, t1);
         k.fault(lock);
         k.micro_reboot(lock).unwrap();
-        let err =
-            k.invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        let err = k
+            .invoke(app, t1, lock, "lock_take", &[Value::Int(1), Value::Int(id)])
+            .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
 }

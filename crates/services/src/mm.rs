@@ -34,7 +34,10 @@ pub fn map_key(component: ComponentId, vaddr: VAddr) -> i64 {
 /// Decode a mapping descriptor key.
 #[must_use]
 pub fn unmap_key(key: i64) -> (ComponentId, VAddr) {
-    (ComponentId((key >> 40) as u32), (key & ((1 << 40) - 1)) as VAddr)
+    (
+        ComponentId((key >> 40) as u32),
+        (key & ((1 << 40) - 1)) as VAddr,
+    )
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,11 +95,19 @@ impl Service for MemoryManager {
                     Some(f) => f,
                     None => {
                         let f = ctx.alloc_frame().map_err(|_| ServiceError::Unavailable)?;
-                        ctx.map_page(comp, vaddr, f).map_err(|_| ServiceError::InvalidArg)?;
+                        ctx.map_page(comp, vaddr, f)
+                            .map_err(|_| ServiceError::InvalidArg)?;
                         f
                     }
                 };
-                self.tree.insert(key, Mapping { frame, parent: None, children: Vec::new() });
+                self.tree.insert(
+                    key,
+                    Mapping {
+                        frame,
+                        parent: None,
+                        children: Vec::new(),
+                    },
+                );
                 Ok(Value::Int(key))
             }
             // mman_alias_page(compid, src_key, dst_compid, dst_vaddr)
@@ -113,9 +124,16 @@ impl Service for MemoryManager {
                     // Replay idempotency.
                     return Ok(Value::Int(dst_key));
                 }
-                ctx.map_page(dst_comp, dst_vaddr, frame).map_err(|_| ServiceError::InvalidArg)?;
-                self.tree
-                    .insert(dst_key, Mapping { frame, parent: Some(src_key), children: Vec::new() });
+                ctx.map_page(dst_comp, dst_vaddr, frame)
+                    .map_err(|_| ServiceError::InvalidArg)?;
+                self.tree.insert(
+                    dst_key,
+                    Mapping {
+                        frame,
+                        parent: Some(src_key),
+                        children: Vec::new(),
+                    },
+                );
                 self.tree
                     .get_mut(&src_key)
                     .expect("source checked above")
@@ -198,10 +216,16 @@ mod tests {
     }
 
     fn get_page(k: &mut Kernel, app: ComponentId, mm: ComponentId, t: ThreadId, v: u64) -> i64 {
-        k.invoke(app, t, mm, "mman_get_page", &[Value::from(app.0), Value::Int(v as i64)])
-            .unwrap()
-            .int()
-            .unwrap()
+        k.invoke(
+            app,
+            t,
+            mm,
+            "mman_get_page",
+            &[Value::from(app.0), Value::Int(v as i64)],
+        )
+        .unwrap()
+        .int()
+        .unwrap()
     }
 
     #[test]
@@ -236,10 +260,18 @@ mod tests {
             t,
             mm,
             "mman_alias_page",
-            &[Value::from(app1.0), Value::Int(src_key), Value::from(app2.0), Value::Int(0x8000)],
+            &[
+                Value::from(app1.0),
+                Value::Int(src_key),
+                Value::from(app2.0),
+                Value::Int(0x8000),
+            ],
         )
         .unwrap();
-        assert_eq!(k.pages().translate(app1, 0x1000), k.pages().translate(app2, 0x8000));
+        assert_eq!(
+            k.pages().translate(app1, 0x1000),
+            k.pages().translate(app2, 0x8000)
+        );
     }
 
     #[test]
@@ -251,7 +283,12 @@ mod tests {
                 t,
                 mm,
                 "mman_alias_page",
-                &[Value::from(app1.0), Value::Int(map_key(app1, 0x0999_9000)), Value::from(app2.0), Value::Int(0x8000)],
+                &[
+                    Value::from(app1.0),
+                    Value::Int(map_key(app1, 0x0999_9000)),
+                    Value::from(app2.0),
+                    Value::Int(0x8000),
+                ],
             )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
@@ -267,11 +304,22 @@ mod tests {
             t,
             mm,
             "mman_alias_page",
-            &[Value::from(app1.0), Value::Int(src_key), Value::from(app2.0), Value::Int(0x8000)],
+            &[
+                Value::from(app1.0),
+                Value::Int(src_key),
+                Value::from(app2.0),
+                Value::Int(0x8000),
+            ],
         )
         .unwrap();
-        k.invoke(app1, t, mm, "mman_release_page", &[Value::from(app1.0), Value::Int(map_key(app1, 0x1000))])
-            .unwrap();
+        k.invoke(
+            app1,
+            t,
+            mm,
+            "mman_release_page",
+            &[Value::from(app1.0), Value::Int(map_key(app1, 0x1000))],
+        )
+        .unwrap();
         assert_eq!(k.pages().translate(app1, 0x1000), None);
         assert_eq!(k.pages().translate(app2, 0x8000), None);
         assert_eq!(k.pages().mapping_count(), 0);
@@ -287,11 +335,22 @@ mod tests {
             t,
             mm,
             "mman_alias_page",
-            &[Value::from(app1.0), Value::Int(src_key), Value::from(app2.0), Value::Int(0x8000)],
+            &[
+                Value::from(app1.0),
+                Value::Int(src_key),
+                Value::from(app2.0),
+                Value::Int(0x8000),
+            ],
         )
         .unwrap();
-        k.invoke(app1, t, mm, "mman_release_page", &[Value::from(app1.0), Value::Int(map_key(app2, 0x8000))])
-            .unwrap();
+        k.invoke(
+            app1,
+            t,
+            mm,
+            "mman_release_page",
+            &[Value::from(app1.0), Value::Int(map_key(app2, 0x8000))],
+        )
+        .unwrap();
         assert!(k.pages().translate(app1, 0x1000).is_some());
         assert_eq!(k.pages().translate(app2, 0x8000), None);
     }
@@ -306,15 +365,26 @@ mod tests {
             t,
             mm,
             "mman_alias_page",
-            &[Value::from(app1.0), Value::Int(src_key), Value::from(app2.0), Value::Int(0x8000)],
+            &[
+                Value::from(app1.0),
+                Value::Int(src_key),
+                Value::from(app2.0),
+                Value::Int(0x8000),
+            ],
         )
         .unwrap();
         // MM loses its tree; only the root is replayed by the client.
         k.fault(mm);
         k.micro_reboot(mm).unwrap();
         get_page(&mut k, app1, mm, t, 0x1000); // rebuild root (reuses frame)
-        k.invoke(app1, t, mm, "mman_release_page", &[Value::from(app1.0), Value::Int(map_key(app1, 0x1000))])
-            .unwrap();
+        k.invoke(
+            app1,
+            t,
+            mm,
+            "mman_release_page",
+            &[Value::from(app1.0), Value::Int(map_key(app1, 0x1000))],
+        )
+        .unwrap();
         // Kernel reflection removed the never-rebuilt alias too.
         assert_eq!(k.pages().translate(app2, 0x8000), None);
     }
@@ -335,7 +405,13 @@ mod tests {
         let (mut k, app1, _a2, mm, t) = setup();
         get_page(&mut k, app1, mm, t, 0x1000);
         let r = k
-            .invoke(app1, t, mm, "mman_introspect", &[Value::from(app1.0), Value::Int(0x1000)])
+            .invoke(
+                app1,
+                t,
+                mm,
+                "mman_introspect",
+                &[Value::from(app1.0), Value::Int(0x1000)],
+            )
             .unwrap();
         assert!(matches!(r, Value::Int(_)));
     }

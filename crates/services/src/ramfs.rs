@@ -66,7 +66,13 @@ impl RamFs {
     }
 
     fn install_root(&mut self) {
-        self.fds.insert(0, FdRec { path: String::new(), offset: 0 });
+        self.fds.insert(
+            0,
+            FdRec {
+                path: String::new(),
+                offset: 0,
+            },
+        );
     }
 
     /// Number of open descriptors, root included (tests/reflection).
@@ -96,6 +102,8 @@ impl RamFs {
         };
         match ctx.invoke(self.cbuf, "cb_read", &[Value::Int(cbid)]) {
             Ok(Value::Bytes(data)) => {
+                // G1: the redundant copy brought the lost contents back.
+                ctx.note_mechanism(composite::Mechanism::G1);
                 self.files.insert(path.to_owned(), data);
                 self.file_cbufs.insert(path.to_owned(), cbid);
                 true
@@ -122,8 +130,16 @@ impl RamFs {
                 id
             }
         };
-        ctx.invoke(self.cbuf, "cb_write", &[Value::Int(cbid), Value::Int(0), Value::Bytes(data)])?;
-        ctx.invoke(self.storage, "st_store_ref", &[Value::from(path), Value::Int(cbid)])?;
+        ctx.invoke(
+            self.cbuf,
+            "cb_write",
+            &[Value::Int(cbid), Value::Int(0), Value::Bytes(data)],
+        )?;
+        ctx.invoke(
+            self.storage,
+            "st_store_ref",
+            &[Value::from(path), Value::Int(cbid)],
+        )?;
         Ok(())
     }
 }
@@ -148,8 +164,12 @@ impl Service for RamFs {
                 if rel.is_empty() || rel.contains('\0') {
                     return Err(ServiceError::InvalidArg);
                 }
-                let parent_path =
-                    self.fds.get(&parent).ok_or(ServiceError::NotFound)?.path.clone();
+                let parent_path = self
+                    .fds
+                    .get(&parent)
+                    .ok_or(ServiceError::NotFound)?
+                    .path
+                    .clone();
                 let path = format!("{parent_path}/{rel}");
                 // Restore contents from storage if we lost them (G1), or
                 // create the file fresh.
@@ -183,7 +203,11 @@ impl Service for RamFs {
                 }
                 let data = self.files.get(&path).expect("loaded above");
                 let end = (offset + len).min(data.len());
-                let chunk = if offset < data.len() { data[offset..end].to_vec() } else { Vec::new() };
+                let chunk = if offset < data.len() {
+                    data[offset..end].to_vec()
+                } else {
+                    Vec::new()
+                };
                 let n = chunk.len();
                 self.fds.get_mut(&fd).expect("checked above").offset = offset + n;
                 Ok(Value::Bytes(chunk))
@@ -203,7 +227,8 @@ impl Service for RamFs {
                 let n = bytes.len();
                 self.fds.get_mut(&fd).expect("checked above").offset = offset + n;
                 // G1: persist inside the critical region.
-                self.persist_file(ctx, &path).map_err(|_| ServiceError::Unavailable)?;
+                self.persist_file(ctx, &path)
+                    .map_err(|_| ServiceError::Unavailable)?;
                 Ok(Value::Int(n as i64))
             }
             // trelease(compid, fd)
@@ -250,10 +275,16 @@ mod tests {
     }
 
     fn tsplit(k: &mut Kernel, app: ComponentId, fs: ComponentId, t: ThreadId, path: &str) -> i64 {
-        k.invoke(app, t, fs, "tsplit", &[Value::Int(1), Value::Int(0), Value::from(path)])
-            .unwrap()
-            .int()
-            .unwrap()
+        k.invoke(
+            app,
+            t,
+            fs,
+            "tsplit",
+            &[Value::Int(1), Value::Int(0), Value::from(path)],
+        )
+        .unwrap()
+        .int()
+        .unwrap()
     }
 
     #[test]
@@ -263,30 +294,77 @@ mod tests {
         let (mut k, app, fs, t) = setup();
         let fd = tsplit(&mut k, app, fs, t, "data.txt");
         let n = k
-            .invoke(app, t, fs, "twrite", &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![0x42])])
+            .invoke(
+                app,
+                t,
+                fs,
+                "twrite",
+                &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![0x42])],
+            )
             .unwrap();
         assert_eq!(n, Value::Int(1));
-        k.invoke(app, t, fs, "tseek", &[Value::Int(1), Value::Int(fd), Value::Int(0)]).unwrap();
+        k.invoke(
+            app,
+            t,
+            fs,
+            "tseek",
+            &[Value::Int(1), Value::Int(fd), Value::Int(0)],
+        )
+        .unwrap();
         let r = k
-            .invoke(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd), Value::Int(1)])
+            .invoke(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd), Value::Int(1)],
+            )
             .unwrap();
         assert_eq!(r, Value::Bytes(vec![0x42]));
-        k.invoke(app, t, fs, "trelease", &[Value::Int(1), Value::Int(fd)]).unwrap();
+        k.invoke(app, t, fs, "trelease", &[Value::Int(1), Value::Int(fd)])
+            .unwrap();
     }
 
     #[test]
     fn offsets_advance_and_seek_repositions() {
         let (mut k, app, fs, t) = setup();
         let fd = tsplit(&mut k, app, fs, t, "f");
-        k.invoke(app, t, fs, "twrite", &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![1, 2, 3])])
-            .unwrap();
+        k.invoke(
+            app,
+            t,
+            fs,
+            "twrite",
+            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![1, 2, 3])],
+        )
+        .unwrap();
         // Offset is now 3; reading yields nothing.
-        let r =
-            k.invoke(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd), Value::Int(3)]).unwrap();
+        let r = k
+            .invoke(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd), Value::Int(3)],
+            )
+            .unwrap();
         assert_eq!(r, Value::Bytes(vec![]));
-        k.invoke(app, t, fs, "tseek", &[Value::Int(1), Value::Int(fd), Value::Int(1)]).unwrap();
-        let r =
-            k.invoke(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd), Value::Int(9)]).unwrap();
+        k.invoke(
+            app,
+            t,
+            fs,
+            "tseek",
+            &[Value::Int(1), Value::Int(fd), Value::Int(1)],
+        )
+        .unwrap();
+        let r = k
+            .invoke(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd), Value::Int(9)],
+            )
+            .unwrap();
         assert_eq!(r, Value::Bytes(vec![2, 3]));
     }
 
@@ -294,15 +372,27 @@ mod tests {
     fn contents_survive_micro_reboot_via_storage() {
         let (mut k, app, fs, t) = setup();
         let fd = tsplit(&mut k, app, fs, t, "persist.txt");
-        k.invoke(app, t, fs, "twrite", &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![7, 8])])
-            .unwrap();
+        k.invoke(
+            app,
+            t,
+            fs,
+            "twrite",
+            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![7, 8])],
+        )
+        .unwrap();
         k.fault(fs);
         k.micro_reboot(fs).unwrap();
         // Fresh open (as recovery would replay): contents restored from
         // the storage component through the cbuf.
         let fd2 = tsplit(&mut k, app, fs, t, "persist.txt");
         let r = k
-            .invoke(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd2), Value::Int(2)])
+            .invoke(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd2), Value::Int(2)],
+            )
             .unwrap();
         assert_eq!(r, Value::Bytes(vec![7, 8]));
     }
@@ -319,13 +409,25 @@ mod tests {
         k.grant(fs, cb);
         let t = k.create_thread(app, Priority(5));
         let fd = tsplit(&mut k, app, fs, t, "gone.txt");
-        k.invoke(app, t, fs, "twrite", &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![7])])
-            .unwrap();
+        k.invoke(
+            app,
+            t,
+            fs,
+            "twrite",
+            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![7])],
+        )
+        .unwrap();
         k.fault(fs);
         k.micro_reboot(fs).unwrap();
         let fd2 = tsplit(&mut k, app, fs, t, "gone.txt");
         let r = k
-            .invoke(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd2), Value::Int(1)])
+            .invoke(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd2), Value::Int(1)],
+            )
             .unwrap();
         assert_eq!(r, Value::Bytes(vec![]), "ablation variant loses data");
     }
@@ -335,21 +437,45 @@ mod tests {
         let (mut k, app, fs, t) = setup();
         let dir = tsplit(&mut k, app, fs, t, "dir");
         let fd = k
-            .invoke(app, t, fs, "tsplit", &[Value::Int(1), Value::Int(dir), Value::from("leaf")])
+            .invoke(
+                app,
+                t,
+                fs,
+                "tsplit",
+                &[Value::Int(1), Value::Int(dir), Value::from("leaf")],
+            )
             .unwrap()
             .int()
             .unwrap();
-        k.invoke(app, t, fs, "twrite", &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![5])])
-            .unwrap();
+        k.invoke(
+            app,
+            t,
+            fs,
+            "twrite",
+            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![5])],
+        )
+        .unwrap();
         // Re-opening via the same nesting reaches the same file.
         let dir2 = tsplit(&mut k, app, fs, t, "dir");
         let fd2 = k
-            .invoke(app, t, fs, "tsplit", &[Value::Int(1), Value::Int(dir2), Value::from("leaf")])
+            .invoke(
+                app,
+                t,
+                fs,
+                "tsplit",
+                &[Value::Int(1), Value::Int(dir2), Value::from("leaf")],
+            )
             .unwrap()
             .int()
             .unwrap();
         let r = k
-            .invoke(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd2), Value::Int(1)])
+            .invoke(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd2), Value::Int(1)],
+            )
             .unwrap();
         assert_eq!(r, Value::Bytes(vec![5]));
     }
@@ -358,7 +484,13 @@ mod tests {
     fn split_of_unknown_parent_not_found() {
         let (mut k, app, fs, t) = setup();
         let err = k
-            .invoke(app, t, fs, "tsplit", &[Value::Int(1), Value::Int(77), Value::from("x")])
+            .invoke(
+                app,
+                t,
+                fs,
+                "tsplit",
+                &[Value::Int(1), Value::Int(77), Value::from("x")],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
@@ -366,8 +498,9 @@ mod tests {
     #[test]
     fn root_cannot_be_released() {
         let (mut k, app, fs, t) = setup();
-        let err =
-            k.invoke(app, t, fs, "trelease", &[Value::Int(1), Value::Int(0)]).unwrap_err();
+        let err = k
+            .invoke(app, t, fs, "trelease", &[Value::Int(1), Value::Int(0)])
+            .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::InvalidArg));
     }
 
@@ -375,7 +508,13 @@ mod tests {
     fn empty_path_rejected() {
         let (mut k, app, fs, t) = setup();
         let err = k
-            .invoke(app, t, fs, "tsplit", &[Value::Int(1), Value::Int(0), Value::from("")])
+            .invoke(
+                app,
+                t,
+                fs,
+                "tsplit",
+                &[Value::Int(1), Value::Int(0), Value::from("")],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::InvalidArg));
     }

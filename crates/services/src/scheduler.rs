@@ -134,7 +134,11 @@ impl Service for Scheduler {
         for t in ctx.threads_blocked_in(ctx.this) {
             self.records.insert(
                 i64::from(t.0),
-                ThdRecord { thread: t, blocked: true, pending_wakeup: false },
+                ThdRecord {
+                    thread: t,
+                    blocked: true,
+                    pending_wakeup: false,
+                },
             );
         }
     }
@@ -156,15 +160,27 @@ mod tests {
     }
 
     fn setup_thread(k: &mut Kernel, app: ComponentId, sched: ComponentId, t: ThreadId) {
-        k.invoke(app, t, sched, "sched_setup", &[Value::Int(1), Value::Int(i64::from(t.0))])
-            .unwrap();
+        k.invoke(
+            app,
+            t,
+            sched,
+            "sched_setup",
+            &[Value::Int(1), Value::Int(i64::from(t.0))],
+        )
+        .unwrap();
     }
 
     #[test]
     fn setup_returns_descriptor() {
         let (mut k, app, sched, t1, _) = setup();
         let r = k
-            .invoke(app, t1, sched, "sched_setup", &[Value::Int(1), Value::Int(i64::from(t1.0))])
+            .invoke(
+                app,
+                t1,
+                sched,
+                "sched_setup",
+                &[Value::Int(1), Value::Int(i64::from(t1.0))],
+            )
             .unwrap();
         assert_eq!(r, Value::Int(i64::from(t1.0)));
     }
@@ -175,13 +191,28 @@ mod tests {
         setup_thread(&mut k, app, sched, t1);
         setup_thread(&mut k, app, sched, t2);
         let err = k
-            .invoke(app, t1, sched, "sched_blk", &[Value::Int(1), Value::Int(i64::from(t1.0))])
+            .invoke(
+                app,
+                t1,
+                sched,
+                "sched_blk",
+                &[Value::Int(1), Value::Int(i64::from(t1.0))],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::WouldBlock);
-        assert!(matches!(k.thread(t1).unwrap().state, ThreadState::Blocked { .. }));
+        assert!(matches!(
+            k.thread(t1).unwrap().state,
+            ThreadState::Blocked { .. }
+        ));
 
-        k.invoke(app, t2, sched, "sched_wakeup", &[Value::Int(1), Value::Int(i64::from(t1.0))])
-            .unwrap();
+        k.invoke(
+            app,
+            t2,
+            sched,
+            "sched_wakeup",
+            &[Value::Int(1), Value::Int(i64::from(t1.0))],
+        )
+        .unwrap();
         assert!(k.thread(t1).unwrap().state.is_runnable());
         // The retried sched_blk sees... no pending wakeup, so it blocks
         // again only if called again; here we emulate the woken thread
@@ -192,11 +223,23 @@ mod tests {
     fn wakeup_before_block_pends() {
         let (mut k, app, sched, t1, t2) = setup();
         setup_thread(&mut k, app, sched, t1);
-        k.invoke(app, t2, sched, "sched_wakeup", &[Value::Int(1), Value::Int(i64::from(t1.0))])
-            .unwrap();
+        k.invoke(
+            app,
+            t2,
+            sched,
+            "sched_wakeup",
+            &[Value::Int(1), Value::Int(i64::from(t1.0))],
+        )
+        .unwrap();
         // The pending wakeup makes the next blk a no-op.
         let r = k
-            .invoke(app, t1, sched, "sched_blk", &[Value::Int(1), Value::Int(i64::from(t1.0))])
+            .invoke(
+                app,
+                t1,
+                sched,
+                "sched_blk",
+                &[Value::Int(1), Value::Int(i64::from(t1.0))],
+            )
             .unwrap();
         assert_eq!(r, Value::Int(0));
         assert!(k.thread(t1).unwrap().state.is_runnable());
@@ -206,7 +249,13 @@ mod tests {
     fn blk_on_unknown_descriptor_not_found() {
         let (mut k, app, sched, t1, _) = setup();
         let err = k
-            .invoke(app, t1, sched, "sched_blk", &[Value::Int(1), Value::Int(42)])
+            .invoke(
+                app,
+                t1,
+                sched,
+                "sched_blk",
+                &[Value::Int(1), Value::Int(42)],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
@@ -216,7 +265,13 @@ mod tests {
         let (mut k, app, sched, t1, t2) = setup();
         setup_thread(&mut k, app, sched, t1);
         let err = k
-            .invoke(app, t2, sched, "sched_blk", &[Value::Int(1), Value::Int(i64::from(t1.0))])
+            .invoke(
+                app,
+                t2,
+                sched,
+                "sched_blk",
+                &[Value::Int(1), Value::Int(i64::from(t1.0))],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::InvalidArg));
     }
@@ -225,10 +280,22 @@ mod tests {
     fn exit_removes_record() {
         let (mut k, app, sched, t1, _) = setup();
         setup_thread(&mut k, app, sched, t1);
-        k.invoke(app, t1, sched, "sched_exit", &[Value::Int(1), Value::Int(i64::from(t1.0))])
-            .unwrap();
+        k.invoke(
+            app,
+            t1,
+            sched,
+            "sched_exit",
+            &[Value::Int(1), Value::Int(i64::from(t1.0))],
+        )
+        .unwrap();
         let err = k
-            .invoke(app, t1, sched, "sched_blk", &[Value::Int(1), Value::Int(i64::from(t1.0))])
+            .invoke(
+                app,
+                t1,
+                sched,
+                "sched_blk",
+                &[Value::Int(1), Value::Int(i64::from(t1.0))],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
@@ -237,14 +304,26 @@ mod tests {
     fn reset_clears_records_and_post_reboot_reflects() {
         let (mut k, app, sched, t1, _t2) = setup();
         setup_thread(&mut k, app, sched, t1);
-        let _ = k.invoke(app, t1, sched, "sched_blk", &[Value::Int(1), Value::Int(i64::from(t1.0))]);
+        let _ = k.invoke(
+            app,
+            t1,
+            sched,
+            "sched_blk",
+            &[Value::Int(1), Value::Int(i64::from(t1.0))],
+        );
         // Fault wakes t1 (kernel behavior); reboot reflects on kernel
         // state — t1 is no longer physically blocked, so no record is
         // recreated and the client stub must rebuild it.
         k.fault(sched);
         k.micro_reboot(sched).unwrap();
         let err = k
-            .invoke(app, t1, sched, "sched_wakeup", &[Value::Int(1), Value::Int(i64::from(t1.0))])
+            .invoke(
+                app,
+                t1,
+                sched,
+                "sched_wakeup",
+                &[Value::Int(1), Value::Int(i64::from(t1.0))],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
@@ -255,10 +334,22 @@ mod tests {
         setup_thread(&mut k, app, sched, t1);
         setup_thread(&mut k, app, sched, t1);
         // Still exactly one record: exit succeeds once, then NotFound.
-        k.invoke(app, t1, sched, "sched_exit", &[Value::Int(1), Value::Int(i64::from(t1.0))])
-            .unwrap();
+        k.invoke(
+            app,
+            t1,
+            sched,
+            "sched_exit",
+            &[Value::Int(1), Value::Int(i64::from(t1.0))],
+        )
+        .unwrap();
         let err = k
-            .invoke(app, t1, sched, "sched_exit", &[Value::Int(1), Value::Int(i64::from(t1.0))])
+            .invoke(
+                app,
+                t1,
+                sched,
+                "sched_exit",
+                &[Value::Int(1), Value::Int(i64::from(t1.0))],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }

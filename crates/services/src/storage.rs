@@ -130,7 +130,9 @@ impl Service for StorageService {
             "st_unrecord" => {
                 let iface = args[0].str()?.to_owned();
                 let descid = args[1].int()?;
-                self.descs.remove(&(iface, descid)).ok_or(ServiceError::NotFound)?;
+                self.descs
+                    .remove(&(iface, descid))
+                    .ok_or(ServiceError::NotFound)?;
                 Ok(Value::Int(0))
             }
             other => Err(ServiceError::NoSuchFunction(other.to_owned())),
@@ -162,19 +164,40 @@ mod tests {
     #[test]
     fn store_fetch_erase() {
         let (mut k, app, st, t) = setup();
-        k.invoke(app, t, st, "st_store", &[Value::from("f"), Value::Bytes(vec![1, 2])]).unwrap();
-        let r = k.invoke(app, t, st, "st_fetch", &[Value::from("f")]).unwrap();
+        k.invoke(
+            app,
+            t,
+            st,
+            "st_store",
+            &[Value::from("f"), Value::Bytes(vec![1, 2])],
+        )
+        .unwrap();
+        let r = k
+            .invoke(app, t, st, "st_fetch", &[Value::from("f")])
+            .unwrap();
         assert_eq!(r, Value::Bytes(vec![1, 2]));
-        k.invoke(app, t, st, "st_erase", &[Value::from("f")]).unwrap();
-        let err = k.invoke(app, t, st, "st_fetch", &[Value::from("f")]).unwrap_err();
+        k.invoke(app, t, st, "st_erase", &[Value::from("f")])
+            .unwrap();
+        let err = k
+            .invoke(app, t, st, "st_fetch", &[Value::from("f")])
+            .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
 
     #[test]
     fn cbuf_refs_round_trip() {
         let (mut k, app, st, t) = setup();
-        k.invoke(app, t, st, "st_store_ref", &[Value::from("f"), Value::Int(42)]).unwrap();
-        let r = k.invoke(app, t, st, "st_fetch_ref", &[Value::from("f")]).unwrap();
+        k.invoke(
+            app,
+            t,
+            st,
+            "st_store_ref",
+            &[Value::from("f"), Value::Int(42)],
+        )
+        .unwrap();
+        let r = k
+            .invoke(app, t, st, "st_fetch_ref", &[Value::from("f")])
+            .unwrap();
         assert_eq!(r, Value::Int(42));
     }
 
@@ -186,23 +209,61 @@ mod tests {
             t,
             st,
             "st_record",
-            &[Value::from("evt"), Value::Int(7), Value::Int(3), Value::Int(0), Value::Int(9)],
+            &[
+                Value::from("evt"),
+                Value::Int(7),
+                Value::Int(3),
+                Value::Int(0),
+                Value::Int(9),
+            ],
         )
         .unwrap();
         let creator = k
-            .invoke(app, t, st, "st_lookup_creator", &[Value::from("evt"), Value::Int(7)])
+            .invoke(
+                app,
+                t,
+                st,
+                "st_lookup_creator",
+                &[Value::from("evt"), Value::Int(7)],
+            )
             .unwrap();
         assert_eq!(creator, Value::Int(3));
         let parent = k
-            .invoke(app, t, st, "st_lookup_parent", &[Value::from("evt"), Value::Int(7)])
+            .invoke(
+                app,
+                t,
+                st,
+                "st_lookup_parent",
+                &[Value::from("evt"), Value::Int(7)],
+            )
             .unwrap();
         assert_eq!(parent, Value::Int(0));
-        let aux =
-            k.invoke(app, t, st, "st_lookup_aux", &[Value::from("evt"), Value::Int(7)]).unwrap();
+        let aux = k
+            .invoke(
+                app,
+                t,
+                st,
+                "st_lookup_aux",
+                &[Value::from("evt"), Value::Int(7)],
+            )
+            .unwrap();
         assert_eq!(aux, Value::Int(9));
-        k.invoke(app, t, st, "st_unrecord", &[Value::from("evt"), Value::Int(7)]).unwrap();
+        k.invoke(
+            app,
+            t,
+            st,
+            "st_unrecord",
+            &[Value::from("evt"), Value::Int(7)],
+        )
+        .unwrap();
         let err = k
-            .invoke(app, t, st, "st_lookup_creator", &[Value::from("evt"), Value::Int(7)])
+            .invoke(
+                app,
+                t,
+                st,
+                "st_lookup_creator",
+                &[Value::from("evt"), Value::Int(7)],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
@@ -215,11 +276,23 @@ mod tests {
             t,
             st,
             "st_record",
-            &[Value::from("evt"), Value::Int(7), Value::Int(1), Value::Int(0), Value::Int(0)],
+            &[
+                Value::from("evt"),
+                Value::Int(7),
+                Value::Int(1),
+                Value::Int(0),
+                Value::Int(0),
+            ],
         )
         .unwrap();
         let err = k
-            .invoke(app, t, st, "st_lookup_creator", &[Value::from("lock"), Value::Int(7)])
+            .invoke(
+                app,
+                t,
+                st,
+                "st_lookup_creator",
+                &[Value::from("lock"), Value::Int(7)],
+            )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
@@ -227,9 +300,25 @@ mod tests {
     #[test]
     fn overwrite_replaces_data() {
         let (mut k, app, st, t) = setup();
-        k.invoke(app, t, st, "st_store", &[Value::from("f"), Value::Bytes(vec![1])]).unwrap();
-        k.invoke(app, t, st, "st_store", &[Value::from("f"), Value::Bytes(vec![2])]).unwrap();
-        let r = k.invoke(app, t, st, "st_fetch", &[Value::from("f")]).unwrap();
+        k.invoke(
+            app,
+            t,
+            st,
+            "st_store",
+            &[Value::from("f"), Value::Bytes(vec![1])],
+        )
+        .unwrap();
+        k.invoke(
+            app,
+            t,
+            st,
+            "st_store",
+            &[Value::from("f"), Value::Bytes(vec![2])],
+        )
+        .unwrap();
+        let r = k
+            .invoke(app, t, st, "st_fetch", &[Value::from("f")])
+            .unwrap();
         assert_eq!(r, Value::Bytes(vec![2]));
     }
 }

@@ -69,7 +69,13 @@ impl Service for TimerService {
                 let period = SimTime(period as u64);
                 self.next_id += 1;
                 let id = self.next_id;
-                self.timers.insert(id, Timer { period, next_deadline: ctx.now() + period });
+                self.timers.insert(
+                    id,
+                    Timer {
+                        period,
+                        next_deadline: ctx.now() + period,
+                    },
+                );
                 Ok(Value::Int(id))
             }
             // tmr_wait(compid, desc(tmrid)) -> 0 once the deadline passed
@@ -134,23 +140,32 @@ mod tests {
     }
 
     fn create(k: &mut Kernel, app: ComponentId, tmr: ComponentId, t: ThreadId, period: i64) -> i64 {
-        k.invoke(app, t, tmr, "tmr_create", &[Value::Int(1), Value::Int(period)])
-            .unwrap()
-            .int()
-            .unwrap()
+        k.invoke(
+            app,
+            t,
+            tmr,
+            "tmr_create",
+            &[Value::Int(1), Value::Int(period)],
+        )
+        .unwrap()
+        .int()
+        .unwrap()
     }
 
     #[test]
     fn wait_sleeps_until_deadline_then_fires() {
         let (mut k, app, tmr, t) = setup();
         let id = create(&mut k, app, tmr, t, 1_000);
-        let err =
-            k.invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        let err = k
+            .invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)])
+            .unwrap_err();
         assert_eq!(err, CallError::WouldBlock);
         assert_eq!(k.earliest_wakeup(), Some(SimTime(1_000)));
         k.advance_to(SimTime(1_000));
         // Retry succeeds and re-arms.
-        let r = k.invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]).unwrap();
+        let r = k
+            .invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         assert_eq!(r, Value::Int(0));
         // Second wait sleeps until 2000.
         let _ = k.invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]);
@@ -162,7 +177,9 @@ mod tests {
         let (mut k, app, tmr, t) = setup();
         let id = create(&mut k, app, tmr, t, 1_000);
         k.advance_to(SimTime(10_500));
-        let r = k.invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]).unwrap();
+        let r = k
+            .invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
         assert_eq!(r, Value::Int(0));
         // Next deadline is now + period, not a burst of stale deadlines.
         let _ = k.invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]);
@@ -172,8 +189,9 @@ mod tests {
     #[test]
     fn invalid_period_rejected() {
         let (mut k, app, tmr, t) = setup();
-        let err =
-            k.invoke(app, t, tmr, "tmr_create", &[Value::Int(1), Value::Int(0)]).unwrap_err();
+        let err = k
+            .invoke(app, t, tmr, "tmr_create", &[Value::Int(1), Value::Int(0)])
+            .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::InvalidArg));
     }
 
@@ -181,8 +199,14 @@ mod tests {
     fn period_change_rearms() {
         let (mut k, app, tmr, t) = setup();
         let id = create(&mut k, app, tmr, t, 1_000);
-        k.invoke(app, t, tmr, "tmr_period", &[Value::Int(1), Value::Int(id), Value::Int(5_000)])
-            .unwrap();
+        k.invoke(
+            app,
+            t,
+            tmr,
+            "tmr_period",
+            &[Value::Int(1), Value::Int(id), Value::Int(5_000)],
+        )
+        .unwrap();
         let _ = k.invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]);
         assert_eq!(k.earliest_wakeup(), Some(SimTime(5_000)));
     }
@@ -191,9 +215,11 @@ mod tests {
     fn free_then_wait_not_found() {
         let (mut k, app, tmr, t) = setup();
         let id = create(&mut k, app, tmr, t, 1_000);
-        k.invoke(app, t, tmr, "tmr_free", &[Value::Int(1), Value::Int(id)]).unwrap();
-        let err =
-            k.invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        k.invoke(app, t, tmr, "tmr_free", &[Value::Int(1), Value::Int(id)])
+            .unwrap();
+        let err = k
+            .invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)])
+            .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
 
@@ -203,8 +229,9 @@ mod tests {
         let id = create(&mut k, app, tmr, t, 1_000);
         k.fault(tmr);
         k.micro_reboot(tmr).unwrap();
-        let err =
-            k.invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)]).unwrap_err();
+        let err = k
+            .invoke(app, t, tmr, "tmr_wait", &[Value::Int(1), Value::Int(id)])
+            .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::NotFound));
     }
 }

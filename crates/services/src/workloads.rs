@@ -60,7 +60,15 @@ impl SchedPingPong {
     /// A ping-pong half performing `rounds` wake/block exchanges.
     #[must_use]
     pub fn new(end: ClientEnd, partner: ThreadId, rounds: u32, leader: bool) -> Self {
-        Self { end, partner, rounds, leader, state: PingPongState::Setup, my_desc: 0, pinged_once: false }
+        Self {
+            end,
+            partner,
+            rounds,
+            leader,
+            state: PingPongState::Setup,
+            my_desc: 0,
+            pinged_once: false,
+        }
     }
 
     /// Remaining rounds (tests).
@@ -76,8 +84,11 @@ impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for SchedPingPong {
             PingPongState::Setup => match sched::setup(ctx, &self.end, thread) {
                 Ok(d) => {
                     self.my_desc = d;
-                    self.state =
-                        if self.leader { PingPongState::WakePartner } else { PingPongState::Block };
+                    self.state = if self.leader {
+                        PingPongState::WakePartner
+                    } else {
+                        PingPongState::Block
+                    };
                     StepResult::Yield
                 }
                 Err(e) => on_err(&e),
@@ -155,7 +166,15 @@ impl LockOwner {
     /// `hold_steps` dispatches each time.
     #[must_use]
     pub fn new(end: ClientEnd, shared: SharedDesc, rounds: u32, hold_steps: u32) -> Self {
-        Self { end, shared, rounds, hold_steps, held: 0, state: LockOwnerState::Alloc, desc: 0 }
+        Self {
+            end,
+            shared,
+            rounds,
+            hold_steps,
+            held: 0,
+            state: LockOwnerState::Alloc,
+            desc: 0,
+        }
     }
 }
 
@@ -189,8 +208,11 @@ impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for LockOwner {
             LockOwnerState::Release => match lock::release(ctx, &self.end, self.desc) {
                 Ok(()) => {
                     self.rounds -= 1;
-                    self.state =
-                        if self.rounds == 0 { LockOwnerState::Free } else { LockOwnerState::Take };
+                    self.state = if self.rounds == 0 {
+                        LockOwnerState::Free
+                    } else {
+                        LockOwnerState::Take
+                    };
                     StepResult::Yield
                 }
                 Err(e) => on_err(&e),
@@ -223,7 +245,13 @@ impl LockContender {
     /// finishes early when the owner frees the lock.
     #[must_use]
     pub fn new(end: ClientEnd, shared: SharedDesc, rounds: u32) -> Self {
-        Self { end, shared, rounds, holding: false, contended: false }
+        Self {
+            end,
+            shared,
+            rounds,
+            holding: false,
+            contended: false,
+        }
     }
 }
 
@@ -289,7 +317,12 @@ impl EventWaiter {
     /// A waiter creating the event and waiting `rounds` times.
     #[must_use]
     pub fn new(end: ClientEnd, shared: SharedDesc, rounds: u32) -> Self {
-        Self { end, shared, rounds, desc: None }
+        Self {
+            end,
+            shared,
+            rounds,
+            desc: None,
+        }
     }
 }
 
@@ -343,7 +376,11 @@ impl EventTrigger {
     /// A trigger firing the shared event `rounds` times.
     #[must_use]
     pub fn new(end: ClientEnd, shared: SharedDesc, rounds: u32) -> Self {
-        Self { end, shared, rounds }
+        Self {
+            end,
+            shared,
+            rounds,
+        }
     }
 }
 
@@ -389,7 +426,12 @@ impl TimerPeriodic {
     /// A periodic waiter with the given period, running `rounds` periods.
     #[must_use]
     pub fn new(end: ClientEnd, period_ns: i64, rounds: u32) -> Self {
-        Self { end, period_ns, rounds, desc: None }
+        Self {
+            end,
+            period_ns,
+            rounds,
+            desc: None,
+        }
     }
 }
 
@@ -449,7 +491,14 @@ impl MmGrantAliasRevoke {
     /// `dst`.
     #[must_use]
     pub fn new(end: ClientEnd, dst: composite::ComponentId, rounds: u32) -> Self {
-        Self { end, dst, rounds, state: MmState::Get, next_vaddr: 0x1000, root_key: 0 }
+        Self {
+            end,
+            dst,
+            rounds,
+            state: MmState::Get,
+            next_vaddr: 0x1000,
+            root_key: 0,
+        }
     }
 }
 
@@ -465,7 +514,13 @@ impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for MmGrantAliasRevoke {
                 }
                 Err(e) => on_err(&e),
             },
-            MmState::Alias => match mman::alias_page(ctx, &self.end, self.root_key, self.dst, vaddr + 0x1_0000_0000) {
+            MmState::Alias => match mman::alias_page(
+                ctx,
+                &self.end,
+                self.root_key,
+                self.dst,
+                vaddr + 0x1_0000_0000,
+            ) {
                 Ok(_) => {
                     self.state = MmState::Release;
                     StepResult::Yield
@@ -526,7 +581,13 @@ impl FsOpenWriteRead {
     /// An open/write/read/close loop of `rounds` iterations.
     #[must_use]
     pub fn new(end: ClientEnd, rounds: u32) -> Self {
-        Self { end, rounds, state: FsState::Open, fd: 0, iteration: 0 }
+        Self {
+            end,
+            rounds,
+            state: FsState::Open,
+            fd: 0,
+            iteration: 0,
+        }
     }
 
     fn byte(&self) -> u8 {
@@ -638,7 +699,17 @@ mod tests {
         }
         k.grant(fs, st);
         k.grant(fs, cb);
-        Rig { k, app1, app2, sched, lock, evt, tmr, mm, fs }
+        Rig {
+            k,
+            app1,
+            app2,
+            sched,
+            lock,
+            evt,
+            tmr,
+            mm,
+            fs,
+        }
     }
 
     #[test]
@@ -649,11 +720,21 @@ mod tests {
         let mut ex: Executor<Kernel> = Executor::new();
         ex.attach(
             t1,
-            Box::new(SchedPingPong::new(ClientEnd::new(r.app1, t1, r.sched), t2, 5, true)),
+            Box::new(SchedPingPong::new(
+                ClientEnd::new(r.app1, t1, r.sched),
+                t2,
+                5,
+                true,
+            )),
         );
         ex.attach(
             t2,
-            Box::new(SchedPingPong::new(ClientEnd::new(r.app1, t2, r.sched), t1, 5, false)),
+            Box::new(SchedPingPong::new(
+                ClientEnd::new(r.app1, t2, r.sched),
+                t1,
+                5,
+                false,
+            )),
         );
         assert_eq!(ex.run(&mut r.k, 10_000), RunExit::AllDone);
         assert!(r.k.thread(t1).unwrap().state.is_terminal());
@@ -669,11 +750,20 @@ mod tests {
         let mut ex: Executor<Kernel> = Executor::new();
         ex.attach(
             t1,
-            Box::new(LockOwner::new(ClientEnd::new(r.app1, t1, r.lock), shared.clone(), 4, 2)),
+            Box::new(LockOwner::new(
+                ClientEnd::new(r.app1, t1, r.lock),
+                shared.clone(),
+                4,
+                2,
+            )),
         );
         ex.attach(
             t2,
-            Box::new(LockContender::new(ClientEnd::new(r.app1, t2, r.lock), shared, 3)),
+            Box::new(LockContender::new(
+                ClientEnd::new(r.app1, t2, r.lock),
+                shared,
+                3,
+            )),
         );
         assert_eq!(ex.run(&mut r.k, 10_000), RunExit::AllDone);
     }
@@ -687,9 +777,20 @@ mod tests {
         let mut ex: Executor<Kernel> = Executor::new();
         ex.attach(
             t1,
-            Box::new(EventWaiter::new(ClientEnd::new(r.app1, t1, r.evt), shared.clone(), 4)),
+            Box::new(EventWaiter::new(
+                ClientEnd::new(r.app1, t1, r.evt),
+                shared.clone(),
+                4,
+            )),
         );
-        ex.attach(t2, Box::new(EventTrigger::new(ClientEnd::new(r.app2, t2, r.evt), shared, 4)));
+        ex.attach(
+            t2,
+            Box::new(EventTrigger::new(
+                ClientEnd::new(r.app2, t2, r.evt),
+                shared,
+                4,
+            )),
+        );
         assert_eq!(ex.run(&mut r.k, 10_000), RunExit::AllDone);
     }
 
@@ -698,7 +799,14 @@ mod tests {
         let mut r = rig();
         let t = r.k.create_thread(r.app1, Priority(5));
         let mut ex: Executor<Kernel> = Executor::new();
-        ex.attach(t, Box::new(TimerPeriodic::new(ClientEnd::new(r.app1, t, r.tmr), 1_000_000, 5)));
+        ex.attach(
+            t,
+            Box::new(TimerPeriodic::new(
+                ClientEnd::new(r.app1, t, r.tmr),
+                1_000_000,
+                5,
+            )),
+        );
         assert_eq!(ex.run(&mut r.k, 10_000), RunExit::AllDone);
         assert!(r.k.now().as_nanos() >= 5_000_000);
     }
@@ -708,7 +816,14 @@ mod tests {
         let mut r = rig();
         let t = r.k.create_thread(r.app1, Priority(5));
         let mut ex: Executor<Kernel> = Executor::new();
-        ex.attach(t, Box::new(MmGrantAliasRevoke::new(ClientEnd::new(r.app1, t, r.mm), r.app2, 6)));
+        ex.attach(
+            t,
+            Box::new(MmGrantAliasRevoke::new(
+                ClientEnd::new(r.app1, t, r.mm),
+                r.app2,
+                6,
+            )),
+        );
         assert_eq!(ex.run(&mut r.k, 10_000), RunExit::AllDone);
         assert_eq!(r.k.pages().mapping_count(), 0);
     }
@@ -718,7 +833,10 @@ mod tests {
         let mut r = rig();
         let t = r.k.create_thread(r.app1, Priority(5));
         let mut ex: Executor<Kernel> = Executor::new();
-        ex.attach(t, Box::new(FsOpenWriteRead::new(ClientEnd::new(r.app1, t, r.fs), 6)));
+        ex.attach(
+            t,
+            Box::new(FsOpenWriteRead::new(ClientEnd::new(r.app1, t, r.fs), 6)),
+        );
         assert_eq!(ex.run(&mut r.k, 10_000), RunExit::AllDone);
     }
 
@@ -729,10 +847,16 @@ mod tests {
         let mut r = rig();
         let t = r.k.create_thread(r.app1, Priority(5));
         let mut ex: Executor<Kernel> = Executor::new();
-        ex.attach(t, Box::new(FsOpenWriteRead::new(ClientEnd::new(r.app1, t, r.fs), 100)));
+        ex.attach(
+            t,
+            Box::new(FsOpenWriteRead::new(ClientEnd::new(r.app1, t, r.fs), 100)),
+        );
         ex.run(&mut r.k, 10);
         r.k.fault(r.fs);
         ex.run(&mut r.k, 100);
-        assert_eq!(r.k.thread(t).unwrap().state, composite::ThreadState::Crashed);
+        assert_eq!(
+            r.k.thread(t).unwrap().state,
+            composite::ThreadState::Crashed
+        );
     }
 }

@@ -158,8 +158,16 @@ int evt_free(componentid_t compid, desc(long evtid));
         let (s, st, p) = evt();
         let (client, server, _) = emit_both(&s, &st, &p);
         for f in &s.fns {
-            assert!(client.contains(&f.name), "client source must mention {}", f.name);
-            assert!(server.contains(&f.name), "server source must mention {}", f.name);
+            assert!(
+                client.contains(&f.name),
+                "client source must mention {}",
+                f.name
+            );
+            assert!(
+                server.contains(&f.name),
+                "server source must mention {}",
+                f.name
+            );
         }
     }
 

@@ -7,7 +7,6 @@
 //! recovery walk replays interface functions. The `superglue` runtime
 //! interprets one of these per (client, server) edge.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use superglue_idl::ast::RetvalMode;
@@ -19,7 +18,7 @@ use superglue_sm::{DescriptorResourceModel, FnId, StateMachine};
 /// by compiler-interned slot indices into
 /// [`CompiledStubSpec::meta_names`], so the runtime's hot path never
 /// touches strings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetvalSpec {
     /// Ignored.
     None,
@@ -34,7 +33,7 @@ pub enum RetvalSpec {
 }
 
 /// Where a replayed walk step's argument value comes from.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArgSource {
     /// The client component id.
     ClientId,
@@ -51,7 +50,7 @@ pub enum ArgSource {
 
 /// One argument of the `*_restore` upcall used by **G0** recovery of
 /// global descriptors.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RestoreArg {
     /// The creator component id.
     Creator,
@@ -62,7 +61,7 @@ pub enum RestoreArg {
 }
 
 /// The compiled description of one interface function.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledFn {
     /// Function name.
     pub name: String,
@@ -85,7 +84,7 @@ pub struct CompiledFn {
 }
 
 /// The full compiled stub specification for one interface.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledStubSpec {
     /// Interface name.
     pub interface: String,
@@ -99,10 +98,8 @@ pub struct CompiledStubSpec {
     /// Compiled functions, `FnId`-aligned.
     pub fns: Vec<CompiledFn>,
     /// Recovery-state substitutions (`sm_recover_via`).
-    #[serde(with = "superglue_sm::serde_kv")]
     pub recover_via: BTreeMap<FnId, FnId>,
     /// Blocking-function restore substitutions (`sm_recover_block`).
-    #[serde(with = "superglue_sm::serde_kv")]
     pub recover_block: BTreeMap<FnId, FnId>,
     /// The G0 restore upcall for global interfaces:
     /// `(function name, argument plan)`.
@@ -128,7 +125,10 @@ impl CompiledStubSpec {
             State::After(g) => 1 + g.index(),
             State::Terminated | State::Faulty => return None,
         };
-        self.sigma.get(idx * self.fns.len() + f.index()).copied().flatten()
+        self.sigma
+            .get(idx * self.fns.len() + f.index())
+            .copied()
+            .flatten()
     }
 
     /// Look up a compiled function by name.
@@ -252,8 +252,11 @@ fn walk_functions(spec: &InterfaceSpec) -> std::collections::BTreeSet<FnId> {
 pub fn lower(spec: &InterfaceSpec) -> CompiledStubSpec {
     let replayable = walk_functions(spec);
     let mut meta_names = Vec::new();
-    let mut fns: Vec<CompiledFn> =
-        spec.fns.iter().map(|sig| lower_fn(spec, sig, &mut meta_names)).collect();
+    let mut fns: Vec<CompiledFn> = spec
+        .fns
+        .iter()
+        .map(|sig| lower_fn(spec, sig, &mut meta_names))
+        .collect();
     for (i, f) in fns.iter_mut().enumerate() {
         f.track_args = replayable.contains(&FnId(i as u32));
     }
@@ -359,7 +362,9 @@ int evt_free(componentid_t compid, desc(long evtid));
         assert!(wait.roles.blocks);
         let (_, split) = s.fn_by_name("evt_split").unwrap();
         assert_eq!(split.parent_arg, Some(1));
-        let RetvalSpec::NewDesc(slot) = split.retval else { panic!("expected NewDesc") };
+        let RetvalSpec::NewDesc(slot) = split.retval else {
+            panic!("expected NewDesc")
+        };
         assert_eq!(s.meta_names[slot], "evtid");
         assert_eq!(split.data_args.len(), 3);
     }
@@ -374,8 +379,12 @@ int evt_free(componentid_t compid, desc(long evtid));
         assert_eq!(args.len(), 4);
         assert_eq!(args[0], RestoreArg::Creator);
         assert_eq!(args[1], RestoreArg::DescId);
-        let RestoreArg::Meta(p) = args[2] else { panic!("meta") };
-        let RestoreArg::Meta(g) = args[3] else { panic!("meta") };
+        let RestoreArg::Meta(p) = args[2] else {
+            panic!("meta")
+        };
+        let RestoreArg::Meta(g) = args[3] else {
+            panic!("meta")
+        };
         assert_eq!(s.meta_names[p], "parent_evtid");
         assert_eq!(s.meta_names[g], "grp");
         assert!(s.records_creations);
@@ -393,11 +402,16 @@ int evt_free(componentid_t compid, desc(long evtid));
     fn replay_plan_synthesizes_compid_and_desc() {
         let s = evt_spec();
         let (_, wait) = s.fn_by_name("evt_wait").unwrap();
-        assert_eq!(wait.replay_args, vec![ArgSource::ClientId, ArgSource::DescId]);
+        assert_eq!(
+            wait.replay_args,
+            vec![ArgSource::ClientId, ArgSource::DescId]
+        );
         let (_, split) = s.fn_by_name("evt_split").unwrap();
         assert!(matches!(split.replay_args[0], ArgSource::ClientId));
         assert!(matches!(split.replay_args[1], ArgSource::ParentId));
-        let ArgSource::Meta(slot) = split.replay_args[2] else { panic!("meta") };
+        let ArgSource::Meta(slot) = split.replay_args[2] else {
+            panic!("meta")
+        };
         assert_eq!(s.meta_names[slot], "grp");
     }
 

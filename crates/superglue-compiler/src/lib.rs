@@ -95,7 +95,12 @@ pub fn compile(spec: &InterfaceSpec) -> Compilation {
     let stub_spec = ir::lower(spec);
     let preds = ModelPredicates::of(spec);
     let (client_source, server_source, templates_used) = emit::emit_both(spec, &stub_spec, &preds);
-    Compilation { stub_spec, client_source, server_source, templates_used }
+    Compilation {
+        stub_spec,
+        client_source,
+        server_source,
+        templates_used,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,120 @@
+//! Golden-file snapshot tests for the generated stub sources.
+//!
+//! For each of the six shipped `idl/*.sg` interfaces the compiler's
+//! client and server stub output is compared **byte-for-byte** against a
+//! checked-in snapshot under `tests/golden/`. Any change to the
+//! template–predicate network, the IR lowering, or the IDL files shows
+//! up as a readable diff in review instead of a silent behavior drift.
+//!
+//! To regenerate after an intentional compiler change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p superglue-compiler --test golden_emit
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use superglue_compiler::compile;
+use superglue_idl::compile_interface;
+
+/// The six shipped IDL files, same set `superglue::sources` embeds.
+const IDL: [(&str, &str); 6] = [
+    ("sched", include_str!("../../../idl/sched.sg")),
+    ("mm", include_str!("../../../idl/mm.sg")),
+    ("fs", include_str!("../../../idl/fs.sg")),
+    ("lock", include_str!("../../../idl/lock.sg")),
+    ("evt", include_str!("../../../idl/evt.sg")),
+    ("tmr", include_str!("../../../idl/tmr.sg")),
+];
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file)
+}
+
+/// Compare `actual` against the checked-in snapshot, or rewrite the
+/// snapshot when `UPDATE_GOLDEN` is set.
+fn assert_matches_golden(file: &str, actual: &str) {
+    let path = golden_path(file);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "generated {file} differs from golden snapshot; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+fn check_interface(name: &str) {
+    let src = IDL
+        .iter()
+        .find(|(n, _)| *n == name)
+        .expect("known interface")
+        .1;
+    let spec = compile_interface(name, src).expect("shipped IDL compiles");
+    let out = compile(&spec);
+    assert_matches_golden(&format!("{name}_cstub.rs.gen"), &out.client_source);
+    assert_matches_golden(&format!("{name}_sstub.rs.gen"), &out.server_source);
+}
+
+#[test]
+fn golden_sched() {
+    check_interface("sched");
+}
+
+#[test]
+fn golden_mm() {
+    check_interface("mm");
+}
+
+#[test]
+fn golden_fs() {
+    check_interface("fs");
+}
+
+#[test]
+fn golden_lock() {
+    check_interface("lock");
+}
+
+#[test]
+fn golden_evt() {
+    check_interface("evt");
+}
+
+#[test]
+fn golden_tmr() {
+    check_interface("tmr");
+}
+
+/// The snapshot directory contains exactly the twelve expected files —
+/// no stale snapshots from renamed interfaces survive unnoticed.
+#[test]
+fn golden_dir_has_no_strays() {
+    let dir = golden_path("");
+    let Ok(entries) = fs::read_dir(&dir) else {
+        // First run before generation; the per-interface tests report it.
+        return;
+    };
+    let mut names: Vec<String> = entries
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort_unstable();
+    let mut expected: Vec<String> = IDL
+        .iter()
+        .flat_map(|(n, _)| [format!("{n}_cstub.rs.gen"), format!("{n}_sstub.rs.gen")])
+        .collect();
+    expected.sort_unstable();
+    assert_eq!(names, expected);
+}

@@ -3,8 +3,6 @@
 //! the predicates, and the shipped interfaces must satisfy the
 //! compiled-spec invariants.
 
-use proptest::prelude::*;
-
 use superglue_compiler::{compile, ArgSource, RetvalSpec};
 use superglue_idl::compile_interface;
 use superglue_sm::{FnId, State};
@@ -53,8 +51,16 @@ fn compiled_fn_invariants_hold_for_all_shipped_interfaces() {
             // with a desc arg have a valid position; replay plans match
             // parameter counts.
             if f.roles.creates {
-                assert!(matches!(f.retval, RetvalSpec::NewDesc(_)), "{name}/{}", f.name);
-                assert!(f.track_args, "{name}/{}: creations must remember args", f.name);
+                assert!(
+                    matches!(f.retval, RetvalSpec::NewDesc(_)),
+                    "{name}/{}",
+                    f.name
+                );
+                assert!(
+                    f.track_args,
+                    "{name}/{}: creations must remember args",
+                    f.name
+                );
             } else {
                 assert!(f.desc_arg.is_some(), "{name}/{}", f.name);
             }
@@ -128,33 +134,42 @@ fn idl_with(global: bool, data: bool, blocking: bool) -> String {
     out
 }
 
-proptest! {
-    #[test]
-    fn template_emission_is_monotone_in_model_bits(
-        global in any::<bool>(),
-        data in any::<bool>(),
-        blocking in any::<bool>(),
-    ) {
-        let base = compile(&compile_interface("g", &idl_with(false, false, false)).unwrap());
-        let richer = compile(&compile_interface("g", &idl_with(global, data, blocking)).unwrap());
-        let base_set: std::collections::BTreeSet<_> = base.templates_used.iter().collect();
-        let richer_set: std::collections::BTreeSet<_> = richer.templates_used.iter().collect();
-        prop_assert!(
-            base_set.is_subset(&richer_set),
-            "templates must grow monotonically: missing {:?}",
-            base_set.difference(&richer_set).collect::<Vec<_>>()
-        );
-        prop_assert!(richer.generated_loc() >= base.generated_loc());
+/// Template emission is monotone in the model bits: enabling a model
+/// feature can only keep or grow the fired template set. The space is
+/// 2³, enumerated exhaustively.
+#[test]
+fn template_emission_is_monotone_in_model_bits() {
+    let base = compile(&compile_interface("g", &idl_with(false, false, false)).unwrap());
+    let base_set: std::collections::BTreeSet<_> = base.templates_used.iter().cloned().collect();
+    for global in [false, true] {
+        for data in [false, true] {
+            for blocking in [false, true] {
+                let richer =
+                    compile(&compile_interface("g", &idl_with(global, data, blocking)).unwrap());
+                let richer_set: std::collections::BTreeSet<_> =
+                    richer.templates_used.iter().cloned().collect();
+                assert!(
+                    base_set.is_subset(&richer_set),
+                    "templates must grow monotonically: missing {:?}",
+                    base_set.difference(&richer_set).collect::<Vec<_>>()
+                );
+                assert!(richer.generated_loc() >= base.generated_loc());
+            }
+        }
     }
+}
 
-    /// The generated source is deterministic.
-    #[test]
-    fn emission_is_deterministic(global in any::<bool>(), blocking in any::<bool>()) {
-        let spec = compile_interface("g", &idl_with(global, false, blocking)).unwrap();
-        let a = compile(&spec);
-        let b = compile(&spec);
-        prop_assert_eq!(a.client_source, b.client_source);
-        prop_assert_eq!(a.server_source, b.server_source);
-        prop_assert_eq!(a.templates_used, b.templates_used);
+/// The generated source is deterministic.
+#[test]
+fn emission_is_deterministic() {
+    for global in [false, true] {
+        for blocking in [false, true] {
+            let spec = compile_interface("g", &idl_with(global, false, blocking)).unwrap();
+            let a = compile(&spec);
+            let b = compile(&spec);
+            assert_eq!(a.client_source, b.client_source);
+            assert_eq!(a.server_source, b.server_source);
+            assert_eq!(a.templates_used, b.templates_used);
+        }
     }
 }

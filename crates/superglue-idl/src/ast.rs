@@ -1,13 +1,12 @@
 //! Abstract syntax tree for SuperGlue IDL files.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use superglue_sm::ParentPolicy;
 
 /// A parsed IDL file: global info, state-machine declarations, and
 /// annotated function prototypes, in source order.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IdlFile {
     /// Key/value pairs of the `service_global_info` block (empty when the
     /// block is absent — every property then defaults to false/`Solo`).
@@ -19,7 +18,7 @@ pub struct IdlFile {
 }
 
 /// Value of a `service_global_info` entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GlobalValue {
     /// `true` / `false`.
     Bool(bool),
@@ -38,7 +37,7 @@ impl fmt::Display for GlobalValue {
 }
 
 /// A state-machine declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SmDecl {
     /// `sm_transition(f, g)` — `g` may follow `f`.
     Transition(String, String),
@@ -67,7 +66,7 @@ pub enum SmDecl {
 
 /// A C type as written: one or more identifier words plus pointer depth
 /// (e.g. `unsigned long`, `char *`, `componentid_t`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CType {
     /// The identifier words, in order.
     pub words: Vec<String>,
@@ -85,7 +84,10 @@ impl CType {
     /// Shorthand for a single-word non-pointer type.
     #[must_use]
     pub fn simple(word: &str) -> Self {
-        Self { words: vec![word.to_owned()], pointers: 0 }
+        Self {
+            words: vec![word.to_owned()],
+            pointers: 0,
+        }
     }
 }
 
@@ -101,7 +103,7 @@ impl fmt::Display for CType {
 
 /// Tracking annotation attached to a parameter (Table I, "descriptor
 /// state tracking" rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParamAnnot {
     /// Unannotated parameter — passed through, not tracked.
     None,
@@ -135,7 +137,7 @@ impl ParamAnnot {
 }
 
 /// One function parameter.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Param {
     /// Declared C type.
     pub ty: CType,
@@ -146,7 +148,7 @@ pub struct Param {
 }
 
 /// How a `desc_data_retval`-style annotation treats the return value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetvalMode {
     /// `desc_data_retval(type, name)` — store the return value under
     /// `name` (on a creation function, the value is also the new
@@ -159,7 +161,7 @@ pub enum RetvalMode {
 }
 
 /// A function prototype with its annotations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FnDecl {
     /// Declared return type; `None` when omitted (Fig 3's `evt_split`
     /// style, where `desc_data_retval` supplies the type).
@@ -199,7 +201,10 @@ mod tests {
     #[test]
     fn ctype_display() {
         assert_eq!(CType::simple("long").to_string(), "long");
-        assert_eq!(CType::new(vec!["unsigned".into(), "long".into()], 0).to_string(), "unsigned long");
+        assert_eq!(
+            CType::new(vec!["unsigned".into(), "long".into()], 0).to_string(),
+            "unsigned long"
+        );
         assert_eq!(CType::new(vec!["char".into()], 2).to_string(), "char * *");
     }
 
@@ -220,8 +225,16 @@ mod tests {
             retval: None,
             name: "evt_wait".into(),
             params: vec![
-                Param { ty: CType::simple("componentid_t"), name: "compid".into(), annot: ParamAnnot::None },
-                Param { ty: CType::simple("long"), name: "evtid".into(), annot: ParamAnnot::Desc },
+                Param {
+                    ty: CType::simple("componentid_t"),
+                    name: "compid".into(),
+                    annot: ParamAnnot::None,
+                },
+                Param {
+                    ty: CType::simple("long"),
+                    name: "evtid".into(),
+                    annot: ParamAnnot::Desc,
+                },
                 Param {
                     ty: CType::simple("long"),
                     name: "parent".into(),
@@ -237,6 +250,9 @@ mod tests {
     #[test]
     fn global_value_display() {
         assert_eq!(GlobalValue::Bool(true).to_string(), "true");
-        assert_eq!(GlobalValue::Policy(ParentPolicy::XcParent).to_string(), "XCParent");
+        assert_eq!(
+            GlobalValue::Policy(ParentPolicy::XcParent).to_string(),
+            "XCParent"
+        );
     }
 }

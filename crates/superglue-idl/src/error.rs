@@ -68,7 +68,11 @@ impl fmt::Display for IdlError {
             IdlError::UnterminatedComment { span } => {
                 write!(f, "{span}: unterminated block comment")
             }
-            IdlError::Parse { span, expected, found } => {
+            IdlError::Parse {
+                span,
+                expected,
+                found,
+            } => {
                 write!(f, "{span}: expected {expected}, found {found}")
             }
             IdlError::Semantic { message } => write!(f, "semantic error: {message}"),
@@ -104,14 +108,21 @@ mod tests {
     #[test]
     fn errors_display_nonempty() {
         let errs = [
-            IdlError::Lex { span: Span::new(1, 1), found: '#' },
-            IdlError::UnterminatedComment { span: Span::new(2, 2) },
+            IdlError::Lex {
+                span: Span::new(1, 1),
+                found: '#',
+            },
+            IdlError::UnterminatedComment {
+                span: Span::new(2, 2),
+            },
             IdlError::Parse {
                 span: Span::new(3, 3),
                 expected: "identifier".into(),
                 found: "';'".into(),
             },
-            IdlError::Semantic { message: "x".into() },
+            IdlError::Semantic {
+                message: "x".into(),
+            },
             IdlError::Model(superglue_sm::Error::NoCreationFunction),
         ];
         for e in errs {

@@ -27,7 +27,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(source: &'a str) -> Self {
-        Self { chars: source.chars().peekable(), line: 1, col: 1 }
+        Self {
+            chars: source.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
     }
 
     fn span(&self) -> Span {
@@ -88,7 +92,10 @@ impl<'a> Lexer<'a> {
                             }
                         }
                         other => {
-                            return Err(IdlError::Lex { span, found: other.unwrap_or('/') });
+                            return Err(IdlError::Lex {
+                                span,
+                                found: other.unwrap_or('/'),
+                            });
                         }
                     }
                 }

@@ -79,7 +79,9 @@ impl Parser {
     fn expect_ident(&mut self, what: &str) -> Result<String, IdlError> {
         match &self.peek().kind {
             TokenKind::Ident(_) => {
-                let TokenKind::Ident(s) = self.bump().kind else { unreachable!() };
+                let TokenKind::Ident(s) = self.bump().kind else {
+                    unreachable!()
+                };
                 Ok(s)
             }
             _ => Err(self.err(what)),
@@ -251,7 +253,11 @@ impl Parser {
             }
         }
         let name = words.pop().expect("at least one word");
-        let ret = if words.is_empty() { None } else { Some(CType::new(words, pointers)) };
+        let ret = if words.is_empty() {
+            None
+        } else {
+            Some(CType::new(words, pointers))
+        };
         self.expect(&TokenKind::LParen, "'('")?;
         let mut params = Vec::new();
         if self.peek().kind != TokenKind::RParen {
@@ -270,7 +276,12 @@ impl Parser {
         }
         self.expect(&TokenKind::RParen, "')'")?;
         self.expect(&TokenKind::Semi, "';'")?;
-        Ok(FnDecl { ret, retval: None, name, params })
+        Ok(FnDecl {
+            ret,
+            retval: None,
+            name,
+            params,
+        })
     }
 
     fn param(&mut self) -> Result<Param, IdlError> {
@@ -279,14 +290,22 @@ impl Parser {
             self.bump();
             let (ty, name) = self.typed_name()?;
             self.expect(&TokenKind::RParen, "')'")?;
-            return Ok(Param { ty, name, annot: ParamAnnot::Desc });
+            return Ok(Param {
+                ty,
+                name,
+                annot: ParamAnnot::Desc,
+            });
         }
         if self.at_ident("parent_desc") && self.peek2().kind == TokenKind::LParen {
             self.bump();
             self.bump();
             let (ty, name) = self.typed_name()?;
             self.expect(&TokenKind::RParen, "')'")?;
-            return Ok(Param { ty, name, annot: ParamAnnot::ParentDesc });
+            return Ok(Param {
+                ty,
+                name,
+                annot: ParamAnnot::ParentDesc,
+            });
         }
         if self.at_ident("desc_data") && self.peek2().kind == TokenKind::LParen {
             self.bump();
@@ -296,16 +315,28 @@ impl Parser {
                 self.bump();
                 let (ty, name) = self.typed_name()?;
                 self.expect(&TokenKind::RParen, "')'")?;
-                Param { ty, name, annot: ParamAnnot::DescDataParent }
+                Param {
+                    ty,
+                    name,
+                    annot: ParamAnnot::DescDataParent,
+                }
             } else {
                 let (ty, name) = self.typed_name()?;
-                Param { ty, name, annot: ParamAnnot::DescData }
+                Param {
+                    ty,
+                    name,
+                    annot: ParamAnnot::DescData,
+                }
             };
             self.expect(&TokenKind::RParen, "')'")?;
             return Ok(param);
         }
         let (ty, name) = self.typed_name()?;
-        Ok(Param { ty, name, annot: ParamAnnot::None })
+        Ok(Param {
+            ty,
+            name,
+            annot: ParamAnnot::None,
+        })
     }
 }
 
@@ -377,7 +408,10 @@ int evt_free(componentid_t compid, desc(long evtid));
                 .map(|(_, v)| *v)
                 .unwrap()
         };
-        assert_eq!(get("desc_has_parent"), GlobalValue::Policy(ParentPolicy::Parent));
+        assert_eq!(
+            get("desc_has_parent"),
+            GlobalValue::Policy(ParentPolicy::Parent)
+        );
         assert_eq!(get("desc_close_remove"), GlobalValue::Bool(true));
         assert_eq!(get("desc_is_global"), GlobalValue::Bool(true));
     }
@@ -431,7 +465,10 @@ int evt_free(componentid_t compid, desc(long evtid));
 
     #[test]
     fn sm_decl_forms() {
-        let f = parse("sm_creation(a);\nsm_terminal(b);\nsm_block(c);\nsm_wakeup(d);\nsm_transition(a, b);\n").unwrap();
+        let f = parse(
+            "sm_creation(a);\nsm_terminal(b);\nsm_block(c);\nsm_wakeup(d);\nsm_transition(a, b);\n",
+        )
+        .unwrap();
         assert_eq!(
             f.sm_decls,
             vec![
@@ -464,7 +501,8 @@ int evt_free(componentid_t compid, desc(long evtid));
 
     #[test]
     fn double_retval_annotation_is_rejected() {
-        let err = parse("desc_data_retval(long, a)\ndesc_data_retval(long, b)\nf();\n").unwrap_err();
+        let err =
+            parse("desc_data_retval(long, a)\ndesc_data_retval(long, b)\nf();\n").unwrap_err();
         assert!(matches!(err, IdlError::Parse { .. }));
     }
 

@@ -2,8 +2,6 @@
 //! [`InterfaceSpec`] — the checked, model-level description the SuperGlue
 //! compiler consumes.
 
-use serde::{Deserialize, Serialize};
-
 use superglue_sm::machine::StateMachineBuilder;
 use superglue_sm::model::DescriptorResourceModelBuilder;
 use superglue_sm::{DescriptorResourceModel, FnId, StateMachine};
@@ -13,7 +11,7 @@ use crate::IdlError;
 
 /// How a parameter participates in descriptor tracking (lowered from
 /// [`ParamAnnot`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrackKind {
     /// Pass-through.
     None,
@@ -40,7 +38,7 @@ impl From<ParamAnnot> for TrackKind {
 }
 
 /// A validated parameter.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParamSpec {
     /// C type, as written.
     pub ty: String,
@@ -52,7 +50,7 @@ pub struct ParamSpec {
 
 /// A validated function signature, index-aligned with the machine's
 /// [`FnId`]s.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FnSig {
     /// Function id in the interface's state machine.
     pub id: FnId,
@@ -93,7 +91,7 @@ impl FnSig {
 
 /// A fully validated interface: the checked output of the IDL front end
 /// and the input to the SuperGlue compiler.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterfaceSpec {
     /// Interface/service name.
     pub name: String,
@@ -122,7 +120,9 @@ impl InterfaceSpec {
 }
 
 fn semantic(msg: impl Into<String>) -> IdlError {
-    IdlError::Semantic { message: msg.into() }
+    IdlError::Semantic {
+        message: msg.into(),
+    }
 }
 
 /// Validate a parsed file and lower it to an [`InterfaceSpec`].
@@ -161,12 +161,16 @@ pub fn validate(name: &str, file: &IdlFile) -> Result<InterfaceSpec, IdlError> {
     let mut recover_block = Vec::new();
     for decl in &file.sm_decls {
         if let SmDecl::RecoverBlock(f, g) = decl {
-            let fid = machine
-                .function_by_name(f)
-                .ok_or_else(|| semantic(format!("sm_recover_block references undeclared function {f:?}")))?;
-            let gid = machine
-                .function_by_name(g)
-                .ok_or_else(|| semantic(format!("sm_recover_block references undeclared function {g:?}")))?;
+            let fid = machine.function_by_name(f).ok_or_else(|| {
+                semantic(format!(
+                    "sm_recover_block references undeclared function {f:?}"
+                ))
+            })?;
+            let gid = machine.function_by_name(g).ok_or_else(|| {
+                semantic(format!(
+                    "sm_recover_block references undeclared function {g:?}"
+                ))
+            })?;
             if !machine.roles(fid).blocks {
                 return Err(semantic(format!(
                     "sm_recover_block source {f:?} must be a blocking function"
@@ -179,13 +183,20 @@ pub fn validate(name: &str, file: &IdlFile) -> Result<InterfaceSpec, IdlError> {
     let mut recover_via = Vec::new();
     for decl in &file.sm_decls {
         if let SmDecl::RecoverVia(f, g) = decl {
-            let fid = machine
-                .function_by_name(f)
-                .ok_or_else(|| semantic(format!("sm_recover_via references undeclared function {f:?}")))?;
-            let gid = machine
-                .function_by_name(g)
-                .ok_or_else(|| semantic(format!("sm_recover_via references undeclared function {g:?}")))?;
-            if machine.recovery_walk(superglue_sm::State::After(gid)).is_err() {
+            let fid = machine.function_by_name(f).ok_or_else(|| {
+                semantic(format!(
+                    "sm_recover_via references undeclared function {f:?}"
+                ))
+            })?;
+            let gid = machine.function_by_name(g).ok_or_else(|| {
+                semantic(format!(
+                    "sm_recover_via references undeclared function {g:?}"
+                ))
+            })?;
+            if machine
+                .recovery_walk(superglue_sm::State::After(gid))
+                .is_err()
+            {
                 return Err(semantic(format!(
                     "sm_recover_via target {g:?} is not reachable from the initial state"
                 )));
@@ -196,7 +207,14 @@ pub fn validate(name: &str, file: &IdlFile) -> Result<InterfaceSpec, IdlError> {
 
     check_cross_rules(&model, &machine, &fns)?;
 
-    Ok(InterfaceSpec { name: name.to_owned(), model, machine, fns, recover_via, recover_block })
+    Ok(InterfaceSpec {
+        name: name.to_owned(),
+        model,
+        machine,
+        fns,
+        recover_via,
+        recover_block,
+    })
 }
 
 fn lower_model(file: &IdlFile) -> Result<DescriptorResourceModel, IdlError> {
@@ -204,14 +222,16 @@ fn lower_model(file: &IdlFile) -> Result<DescriptorResourceModel, IdlError> {
     let mut seen: Vec<&str> = Vec::new();
     for (key, value) in &file.global_info {
         if seen.contains(&key.as_str()) {
-            return Err(semantic(format!("duplicate service_global_info key {key:?}")));
+            return Err(semantic(format!(
+                "duplicate service_global_info key {key:?}"
+            )));
         }
         seen.push(key);
         let bool_val = || match value {
             GlobalValue::Bool(v) => Ok(*v),
-            GlobalValue::Policy(_) => {
-                Err(semantic(format!("key {key:?} expects true/false, got a parent policy")))
-            }
+            GlobalValue::Policy(_) => Err(semantic(format!(
+                "key {key:?} expects true/false, got a parent policy"
+            ))),
         };
         match key.as_str() {
             "desc_block" => b = b.blocks(bool_val()?),
@@ -228,7 +248,11 @@ fn lower_model(file: &IdlFile) -> Result<DescriptorResourceModel, IdlError> {
                     ))
                 }
             },
-            other => return Err(semantic(format!("unknown service_global_info key {other:?}"))),
+            other => {
+                return Err(semantic(format!(
+                    "unknown service_global_info key {other:?}"
+                )))
+            }
         }
     }
     b.build().map_err(IdlError::from)
@@ -244,9 +268,11 @@ fn lower_machine(name: &str, file: &IdlFile) -> Result<StateMachine, IdlError> {
         ids.insert(f.name.as_str(), b.function(f.name.clone()));
     }
     let lookup = |n: &str| {
-        ids.get(n)
-            .copied()
-            .ok_or_else(|| semantic(format!("sm declaration references undeclared function {n:?}")))
+        ids.get(n).copied().ok_or_else(|| {
+            semantic(format!(
+                "sm declaration references undeclared function {n:?}"
+            ))
+        })
     };
     for decl in &file.sm_decls {
         match decl {
@@ -284,11 +310,18 @@ fn lower_fn(id: FnId, f: &FnDecl) -> FnSig {
         id,
         name: f.name.clone(),
         ret: f.ret.as_ref().map(ToString::to_string),
-        retval_tracked: f.retval.as_ref().map(|(t, n, m)| (t.to_string(), n.clone(), *m)),
+        retval_tracked: f
+            .retval
+            .as_ref()
+            .map(|(t, n, m)| (t.to_string(), n.clone(), *m)),
         params: f
             .params
             .iter()
-            .map(|p| ParamSpec { ty: p.ty.to_string(), name: p.name.clone(), track: p.annot.into() })
+            .map(|p| ParamSpec {
+                ty: p.ty.to_string(),
+                name: p.name.clone(),
+                track: p.annot.into(),
+            })
             .collect(),
     }
 }
@@ -300,10 +333,14 @@ fn check_cross_rules(
 ) -> Result<(), IdlError> {
     let has_block = machine.blocking_fns().next().is_some();
     if model.blocks && !has_block {
-        return Err(semantic("desc_block = true but no sm_block function is declared"));
+        return Err(semantic(
+            "desc_block = true but no sm_block function is declared",
+        ));
     }
     if !model.blocks && has_block {
-        return Err(semantic("sm_block declared but desc_block = false (I^block != {} <-> B_r)"));
+        return Err(semantic(
+            "sm_block declared but desc_block = false (I^block != {} <-> B_r)",
+        ));
     }
 
     for sig in fns {

@@ -1,29 +1,57 @@
 //! Property-based tests for the IDL front end: total lexing/parsing
 //! (never panics), and a generator of well-formed IDL files that must
-//! always validate.
+//! always validate. Fuzz inputs are drawn from the repo's seeded
+//! [`SplitMix64`] generator; the well-formed-IDL space (4 shape knobs)
+//! is enumerated exhaustively.
 
-use proptest::prelude::*;
-
+use composite::rng::{mix, SplitMix64};
 use superglue_idl::{compile_interface, idl_loc, lexer, parser};
 
-proptest! {
-    /// The lexer is total: arbitrary input yields Ok or a positioned
-    /// error, never a panic.
-    #[test]
-    fn lexer_never_panics(input in ".{0,200}") {
+const CASES: u64 = 128;
+
+/// Random string over a byte alphabet, length in `[0, max_len)`.
+fn random_string(rng: &mut SplitMix64, alphabet: &[u8], max_len: usize) -> String {
+    let len = rng.gen_index(max_len);
+    (0..len)
+        .map(|_| char::from(alphabet[rng.gen_index(alphabet.len())]))
+        .collect()
+}
+
+/// Printable-ish alphabet including newlines — enough to hit every lexer
+/// state.
+const FULL: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 \t\n\r(),;={}*_#/\\\"'.-+<>[]!@$%^&|~`?:";
+
+/// The token-ish alphabet of the original parser fuzz property.
+const TOKENISH: &[u8] = b"abcdefghijklmnopqrstuvwxyz_(),;={} \n*0123456789";
+
+/// The lexer is total: arbitrary input yields Ok or a positioned error,
+/// never a panic.
+#[test]
+fn lexer_never_panics() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(mix(0x1d1_0001, case));
+        let input = random_string(&mut rng, FULL, 200);
         let _ = lexer::lex(&input);
     }
+}
 
-    /// The parser is total over arbitrary token-ish text.
-    #[test]
-    fn parser_never_panics(input in "[a-z_(),;={} \\n*0-9]{0,300}") {
+/// The parser is total over arbitrary token-ish text.
+#[test]
+fn parser_never_panics() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(mix(0x1d1_0002, case));
+        let input = random_string(&mut rng, TOKENISH, 300);
         let _ = parser::parse(&input);
     }
+}
 
-    /// idl_loc never exceeds the physical line count.
-    #[test]
-    fn idl_loc_bounded_by_lines(input in ".{0,400}") {
-        prop_assert!(idl_loc(&input) <= input.lines().count());
+/// idl_loc never exceeds the physical line count.
+#[test]
+fn idl_loc_bounded_by_lines() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(mix(0x1d1_0003, case));
+        let input = random_string(&mut rng, FULL, 400);
+        assert!(idl_loc(&input) <= input.lines().count(), "case {case}");
     }
 }
 
@@ -35,12 +63,6 @@ struct GenIdl {
     blocking: bool,
     terminal: bool,
     desc_data: bool,
-}
-
-fn gen_idl() -> impl Strategy<Value = GenIdl> {
-    (1usize..5, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(ops, blocking, terminal, desc_data)| GenIdl { ops, blocking, terminal, desc_data },
-    )
 }
 
 fn render(g: &GenIdl) -> String {
@@ -59,7 +81,11 @@ fn render(g: &GenIdl) -> String {
     }
     out.push_str("sm_creation(x_open);\n");
     for i in 0..g.ops {
-        let prev = if i == 0 { "x_open".to_owned() } else { format!("x_op{}", i - 1) };
+        let prev = if i == 0 {
+            "x_open".to_owned()
+        } else {
+            format!("x_op{}", i - 1)
+        };
         out.push_str(&format!("sm_transition({prev}, x_op{i});\n"));
     }
     if g.blocking {
@@ -68,7 +94,11 @@ fn render(g: &GenIdl) -> String {
         out.push_str("sm_transition(x_op0, x_op0);\n");
     }
     if g.terminal {
-        let last = if g.ops == 0 { "x_open".to_owned() } else { format!("x_op{}", g.ops - 1) };
+        let last = if g.ops == 0 {
+            "x_open".to_owned()
+        } else {
+            format!("x_op{}", g.ops - 1)
+        };
         out.push_str("sm_terminal(x_close);\n");
         out.push_str(&format!("sm_transition({last}, x_close);\n"));
     }
@@ -80,7 +110,9 @@ fn render(g: &GenIdl) -> String {
                 "int x_op{i}(componentid_t compid, desc(long xid), desc_data(long v{i}));\n"
             ));
         } else {
-            out.push_str(&format!("int x_op{i}(componentid_t compid, desc(long xid));\n"));
+            out.push_str(&format!(
+                "int x_op{i}(componentid_t compid, desc(long xid));\n"
+            ));
         }
     }
     if g.terminal {
@@ -89,32 +121,43 @@ fn render(g: &GenIdl) -> String {
     out
 }
 
-proptest! {
-    /// Every generated well-formed IDL parses, validates, and compiles;
-    /// the machine exposes exactly the declared functions and a recovery
-    /// walk exists to every operation state.
-    #[test]
-    fn generated_idl_always_validates(g in gen_idl()) {
-        // A blocking op with ops==0 is impossible by construction (op0
-        // always exists when blocking due to the extra transition), so
-        // only skip the degenerate case.
-        if g.blocking && g.ops == 0 {
-            return Ok(());
-        }
-        let src = render(&g);
-        let spec = compile_interface("gen", &src)
-            .unwrap_or_else(|e| panic!("generated IDL must validate: {e}\n{src}"));
-        let expected_fns = 1 + g.ops + usize::from(g.terminal);
-        prop_assert_eq!(spec.machine.function_count(), expected_fns);
+/// Every well-formed IDL in the generator space parses, validates, and
+/// compiles; the machine exposes exactly the declared functions and a
+/// recovery walk exists to every operation state. The space is small
+/// (4 × 2 × 2 × 2), so it is enumerated exhaustively.
+#[test]
+fn generated_idl_always_validates() {
+    for ops in 1usize..5 {
+        for blocking in [false, true] {
+            for terminal in [false, true] {
+                for desc_data in [false, true] {
+                    let g = GenIdl {
+                        ops,
+                        blocking,
+                        terminal,
+                        desc_data,
+                    };
+                    let src = render(&g);
+                    let spec = compile_interface("gen", &src)
+                        .unwrap_or_else(|e| panic!("generated IDL must validate: {e}\n{src}"));
+                    let expected_fns = 1 + g.ops + usize::from(g.terminal);
+                    assert_eq!(spec.machine.function_count(), expected_fns);
 
-        // Chain states are reachable with walk length == position + 1.
-        for i in 0..g.ops {
-            let fid = spec.machine.function_by_name(&format!("x_op{i}")).expect("declared");
-            let walk = spec
-                .machine
-                .recovery_walk(superglue_sm::State::After(fid))
-                .expect("chain states reachable");
-            prop_assert_eq!(walk.len(), i + 2); // open + op0..opi
+                    // Chain states are reachable with walk length ==
+                    // position + 1.
+                    for i in 0..g.ops {
+                        let fid = spec
+                            .machine
+                            .function_by_name(&format!("x_op{i}"))
+                            .expect("declared");
+                        let walk = spec
+                            .machine
+                            .recovery_walk(superglue_sm::State::After(fid))
+                            .expect("chain states reachable");
+                        assert_eq!(walk.len(), i + 2); // open + op0..opi
+                    }
+                }
+            }
         }
     }
 }

@@ -48,8 +48,12 @@ impl fmt::Display for Error {
             }
             Error::UnknownDescriptor(id) => write!(f, "unknown descriptor {id}"),
             Error::DuplicateDescriptor(id) => write!(f, "descriptor {id} already tracked"),
-            Error::InconsistentModel(why) => write!(f, "inconsistent descriptor-resource model: {why}"),
-            Error::MissingParent(id) => write!(f, "descriptor {id} requires a parent but none was given"),
+            Error::InconsistentModel(why) => {
+                write!(f, "inconsistent descriptor-resource model: {why}")
+            }
+            Error::MissingParent(id) => {
+                write!(f, "descriptor {id} requires a parent but none was given")
+            }
         }
     }
 }

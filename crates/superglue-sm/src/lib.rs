@@ -53,7 +53,6 @@
 
 pub mod machine;
 pub mod model;
-pub mod serde_kv;
 pub mod tracking;
 pub mod walk;
 

@@ -6,7 +6,6 @@
 //! to it". This module makes those states explicit as [`State`] values and
 //! builds a checked transition function σ.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -17,7 +16,7 @@ use crate::{Error, Result};
 ///
 /// `FnId`s are dense (0..function_count) and order follows declaration
 /// order, so they double as indices into per-function side tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FnId(pub u32);
 
 impl FnId {
@@ -43,7 +42,7 @@ impl fmt::Display for FnId {
 /// * [`State::Terminated`] — a terminal function destroyed the descriptor.
 /// * [`State::Faulty`] — `s_f`: the server failed; there are implicit
 ///   transitions here from every other state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum State {
     /// `s0`, before/at creation.
     Init,
@@ -67,7 +66,7 @@ impl fmt::Display for State {
 }
 
 /// Role sets `I^create`, `I^terminate`, `I^block`, `I^wakeup` (§III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct FnRoles {
     /// Returns a new descriptor in state `s0` (`sm_creation`).
     pub creates: bool,
@@ -80,7 +79,7 @@ pub struct FnRoles {
 }
 
 /// One interface function of the state machine.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FnSpec {
     /// Function name as written in the IDL / C header.
     pub name: String,
@@ -93,12 +92,11 @@ pub struct FnSpec {
 /// Construct with [`StateMachineBuilder`]. Transition checking uses σ; the
 /// precomputed shortest recovery walks are exposed via
 /// [`StateMachine::recovery_walk`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateMachine {
     interface: String,
     functions: Vec<FnSpec>,
     /// σ as an explicit edge map: (source state, function) → target state.
-    #[serde(with = "crate::serde_kv")]
     transitions: BTreeMap<(State, FnId), State>,
     walks: RecoveryWalks,
 }
@@ -259,7 +257,11 @@ impl StateMachineBuilder {
     /// Start building the machine for the named interface.
     #[must_use]
     pub fn new(interface: impl Into<String>) -> Self {
-        Self { interface: interface.into(), functions: Vec::new(), follows: Vec::new() }
+        Self {
+            interface: interface.into(),
+            functions: Vec::new(),
+            follows: Vec::new(),
+        }
     }
 
     /// Register an interface function and return its id. Re-registering a
@@ -269,7 +271,10 @@ impl StateMachineBuilder {
         if let Some(i) = self.functions.iter().position(|f| f.name == name) {
             return FnId(i as u32);
         }
-        self.functions.push(FnSpec { name, roles: FnRoles::default() });
+        self.functions.push(FnSpec {
+            name,
+            roles: FnRoles::default(),
+        });
         FnId((self.functions.len() - 1) as u32)
     }
 
@@ -429,16 +434,25 @@ mod tests {
     #[test]
     fn unknown_function_rejected_by_step() {
         let (sm, _) = lock_machine();
-        assert!(matches!(sm.step(State::Init, FnId(99)), Err(Error::UnknownFunction(_))));
+        assert!(matches!(
+            sm.step(State::Init, FnId(99)),
+            Err(Error::UnknownFunction(_))
+        ));
     }
 
     #[test]
     fn recovery_walk_is_shortest() {
         let (sm, [alloc, take, release, _free]) = lock_machine();
         assert_eq!(sm.recovery_walk(State::After(alloc)).unwrap(), vec![alloc]);
-        assert_eq!(sm.recovery_walk(State::After(take)).unwrap(), vec![alloc, take]);
+        assert_eq!(
+            sm.recovery_walk(State::After(take)).unwrap(),
+            vec![alloc, take]
+        );
         // "Released" is reachable only through take.
-        assert_eq!(sm.recovery_walk(State::After(release)).unwrap(), vec![alloc, take, release]);
+        assert_eq!(
+            sm.recovery_walk(State::After(release)).unwrap(),
+            vec![alloc, take, release]
+        );
         // Init needs no replay.
         assert!(sm.recovery_walk(State::Init).unwrap().is_empty());
     }
@@ -517,8 +531,14 @@ mod tests {
         b.transition(trigger, free);
         b.transition(split, free);
         let sm = b.build().unwrap();
-        assert_eq!(sm.recovery_walk(State::After(wait)).unwrap(), vec![split, wait]);
-        assert_eq!(sm.recovery_walk(State::After(trigger)).unwrap(), vec![split, wait, trigger]);
+        assert_eq!(
+            sm.recovery_walk(State::After(wait)).unwrap(),
+            vec![split, wait]
+        );
+        assert_eq!(
+            sm.recovery_walk(State::After(trigger)).unwrap(),
+            vec![split, wait, trigger]
+        );
     }
 
     #[test]

@@ -7,14 +7,13 @@
 //! seven properties that fully determine which recovery mechanisms
 //! (R0/T0/T1/D0/D1/G0/G1/U0) the compiler must emit.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::{Error, Result};
 
 /// `P_dr`: whether descriptors of a class depend on one another, and
 /// whether that dependency can span components.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ParentPolicy {
     /// No inter-descriptor dependencies exist.
     #[default]
@@ -57,7 +56,7 @@ impl fmt::Display for ParentPolicy {
 /// Field names follow the paper's notation; the IDL surface syntax for each
 /// field is listed in Table I of the paper and in the doc comment of the
 /// corresponding accessor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct DescriptorResourceModel {
     /// `B_r` — a thread can block while accessing the resource inside the
     /// server (`desc_block = true`). Blocking servers need eager wakeup
@@ -158,7 +157,7 @@ impl DescriptorResourceModel {
 }
 
 /// The interface-driven recovery mechanisms taxonomy of §III-C.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Mechanism {
     /// Base state-machine-directed recovery shared by every configuration.
     R0,
@@ -299,8 +298,14 @@ mod tests {
     fn lock_model_mechanisms() {
         // Lock: blocking, local, solo descriptors — T0 + R0 + T1 only,
         // exactly as §V-C states.
-        let m = DescriptorResourceModelBuilder::new().blocks(true).build().unwrap();
-        assert_eq!(m.mechanisms(), vec![Mechanism::R0, Mechanism::T0, Mechanism::T1]);
+        let m = DescriptorResourceModelBuilder::new()
+            .blocks(true)
+            .build()
+            .unwrap();
+        assert_eq!(
+            m.mechanisms(),
+            vec![Mechanism::R0, Mechanism::T0, Mechanism::T1]
+        );
     }
 
     #[test]
@@ -380,9 +385,15 @@ mod tests {
 
     #[test]
     fn storage_needed_for_global_or_resource_data() {
-        let g = DescriptorResourceModelBuilder::new().global(true).build().unwrap();
+        let g = DescriptorResourceModelBuilder::new()
+            .global(true)
+            .build()
+            .unwrap();
         assert!(g.needs_storage());
-        let d = DescriptorResourceModelBuilder::new().resource_has_data(true).build().unwrap();
+        let d = DescriptorResourceModelBuilder::new()
+            .resource_has_data(true)
+            .build()
+            .unwrap();
         assert!(d.needs_storage());
     }
 

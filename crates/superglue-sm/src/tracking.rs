@@ -13,7 +13,6 @@
 //! * [`OperationLog`] — the unbounded operation log that §II-C rejects,
 //!   kept as an ablation baseline for the memory/replay benchmarks.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -23,7 +22,7 @@ use crate::{Error, Result};
 
 /// Identifier of a descriptor as seen on an interface (the opaque value a
 /// server returns from an `I^create` function).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DescId(pub u64);
 
 impl fmt::Display for DescId {
@@ -34,7 +33,7 @@ impl fmt::Display for DescId {
 
 /// A metadata value harvested from an interface call (`desc_data` /
 /// `desc_data_retval` annotations).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TrackedValue {
     /// An integer argument or return value (ids, offsets, flags).
     Int(i64),
@@ -87,7 +86,7 @@ impl fmt::Display for TrackedValue {
 
 /// Per-descriptor tracking record: state-machine state + `D_dr` metadata +
 /// dependency links.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrackedDescriptor {
     /// Current (expected) state-machine state.
     pub state: State,
@@ -119,7 +118,7 @@ impl TrackedDescriptor {
 /// One tracker exists per (client component, server interface) edge; it
 /// holds exactly one record per live descriptor — the paper's bounded
 /// alternative to logging every operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DescriptorTracker {
     model: DescriptorResourceModel,
     records: BTreeMap<DescId, TrackedDescriptor>,
@@ -132,7 +131,11 @@ impl DescriptorTracker {
     /// Create an empty tracker for an interface with the given model.
     #[must_use]
     pub fn new(model: DescriptorResourceModel) -> Self {
-        Self { model, records: BTreeMap::new(), children: BTreeMap::new() }
+        Self {
+            model,
+            records: BTreeMap::new(),
+            children: BTreeMap::new(),
+        }
     }
 
     /// The descriptor-resource model this tracker enforces.
@@ -216,7 +219,10 @@ impl DescriptorTracker {
     /// * [`Error::UnknownDescriptor`] if `id` is not tracked.
     /// * [`Error::InvalidTransition`] if σ has no edge — fault detection.
     pub fn on_call(&mut self, sm: &StateMachine, id: DescId, via: FnId) -> Result<State> {
-        let rec = self.records.get_mut(&id).ok_or(Error::UnknownDescriptor(id.0))?;
+        let rec = self
+            .records
+            .get_mut(&id)
+            .ok_or(Error::UnknownDescriptor(id.0))?;
         let next = sm.step(rec.state, via)?;
         rec.state = next;
         if next == State::Terminated {
@@ -238,7 +244,10 @@ impl DescriptorTracker {
                 }
             }
         }
-        if self.model.close_removes_tracking || self.model.close_children || !self.model.parent.has_parent() {
+        if self.model.close_removes_tracking
+            || self.model.close_children
+            || !self.model.parent.has_parent()
+        {
             if let Some(rec) = self.records.remove(&id) {
                 if let Some(p) = rec.parent {
                     if let Some(kids) = self.children.get_mut(&p) {
@@ -257,7 +266,10 @@ impl DescriptorTracker {
     ///
     /// [`Error::UnknownDescriptor`] if `id` is not tracked.
     pub fn set_data(&mut self, id: DescId, key: &str, value: TrackedValue) -> Result<()> {
-        let rec = self.records.get_mut(&id).ok_or(Error::UnknownDescriptor(id.0))?;
+        let rec = self
+            .records
+            .get_mut(&id)
+            .ok_or(Error::UnknownDescriptor(id.0))?;
         rec.data.insert(key.to_owned(), value);
         Ok(())
     }
@@ -321,7 +333,10 @@ impl DescriptorTracker {
     ///
     /// [`Error::UnknownDescriptor`] if `id` is not tracked.
     pub fn mark_recovered(&mut self, id: DescId) -> Result<()> {
-        let rec = self.records.get_mut(&id).ok_or(Error::UnknownDescriptor(id.0))?;
+        let rec = self
+            .records
+            .get_mut(&id)
+            .ok_or(Error::UnknownDescriptor(id.0))?;
         rec.faulty = false;
         Ok(())
     }
@@ -329,20 +344,30 @@ impl DescriptorTracker {
     /// Descriptors currently marked faulty, in id order (the worklist for
     /// eager recovery).
     pub fn faulty(&self) -> impl Iterator<Item = DescId> + '_ {
-        self.records.iter().filter(|(_, r)| r.faulty).map(|(&id, _)| id)
+        self.records
+            .iter()
+            .filter(|(_, r)| r.faulty)
+            .map(|(&id, _)| id)
     }
 
     /// Approximate heap footprint in bytes of all tracking state — the
     /// quantity the paper bounds by rejecting operation logs.
     #[must_use]
     pub fn footprint(&self) -> usize {
-        self.records.values().map(TrackedDescriptor::footprint).sum::<usize>()
-            + self.children.values().map(|v| v.len() * std::mem::size_of::<DescId>()).sum::<usize>()
+        self.records
+            .values()
+            .map(TrackedDescriptor::footprint)
+            .sum::<usize>()
+            + self
+                .children
+                .values()
+                .map(|v| v.len() * std::mem::size_of::<DescId>())
+                .sum::<usize>()
     }
 }
 
 /// One logged interface operation (ablation baseline).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoggedOp {
     /// Descriptor acted on.
     pub desc: DescId,
@@ -358,7 +383,7 @@ pub struct LoggedOp {
 /// a descriptor rather than the shortest walk; memory grows with the
 /// operation count. Kept as a comparison point for the ablation
 /// benchmarks — not used by the SuperGlue runtime.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OperationLog {
     ops: Vec<LoggedOp>,
 }
@@ -401,7 +426,10 @@ impl OperationLog {
             .iter()
             .map(|o| {
                 std::mem::size_of::<LoggedOp>()
-                    + o.data.iter().map(|(k, v)| k.len() + v.footprint()).sum::<usize>()
+                    + o.data
+                        .iter()
+                        .map(|(k, v)| k.len() + v.footprint())
+                        .sum::<usize>()
             })
             .sum()
     }
@@ -436,7 +464,10 @@ mod tests {
         t.create(DescId(1), alloc, 5, None).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.on_call(&sm, DescId(1), take).unwrap(), State::After(take));
-        assert_eq!(t.on_call(&sm, DescId(1), release).unwrap(), State::After(release));
+        assert_eq!(
+            t.on_call(&sm, DescId(1), release).unwrap(),
+            State::After(release)
+        );
         assert_eq!(t.on_call(&sm, DescId(1), free).unwrap(), State::Terminated);
         // Solo descriptors are dropped on close.
         assert!(t.is_empty());
@@ -447,7 +478,10 @@ mod tests {
         let (_, [alloc, ..]) = lock_sm();
         let mut t = DescriptorTracker::new(DescriptorResourceModel::new());
         t.create(DescId(1), alloc, 0, None).unwrap();
-        assert!(matches!(t.create(DescId(1), alloc, 0, None), Err(Error::DuplicateDescriptor(1))));
+        assert!(matches!(
+            t.create(DescId(1), alloc, 0, None),
+            Err(Error::DuplicateDescriptor(1))
+        ));
     }
 
     #[test]
@@ -465,7 +499,10 @@ mod tests {
     fn unknown_descriptor_rejected() {
         let (sm, [_, take, ..]) = lock_sm();
         let mut t = DescriptorTracker::new(DescriptorResourceModel::new());
-        assert!(matches!(t.on_call(&sm, DescId(9), take), Err(Error::UnknownDescriptor(9))));
+        assert!(matches!(
+            t.on_call(&sm, DescId(9), take),
+            Err(Error::UnknownDescriptor(9))
+        ));
         assert!(matches!(
             t.set_data(DescId(9), "k", TrackedValue::Int(1)),
             Err(Error::UnknownDescriptor(9))
@@ -484,7 +521,10 @@ mod tests {
     fn parent_required_when_model_demands() {
         let (_, [alloc, ..]) = lock_sm();
         let mut t = DescriptorTracker::new(parented_model());
-        assert!(matches!(t.create(DescId(2), alloc, 0, None), Err(Error::MissingParent(2))));
+        assert!(matches!(
+            t.create(DescId(2), alloc, 0, None),
+            Err(Error::MissingParent(2))
+        ));
         // An unknown local parent is also rejected...
         assert!(matches!(
             t.create(DescId(2), alloc, 0, Some(DescId(99))),
@@ -541,7 +581,10 @@ mod tests {
         t.create(DescId(1), alloc, 0, Some(DescId(777))).unwrap(); // root (parent external)
         t.create(DescId(2), alloc, 0, Some(DescId(1))).unwrap();
         t.create(DescId(3), alloc, 0, Some(DescId(2))).unwrap();
-        assert_eq!(t.recovery_order(DescId(3)), vec![DescId(1), DescId(2), DescId(3)]);
+        assert_eq!(
+            t.recovery_order(DescId(3)),
+            vec![DescId(1), DescId(2), DescId(3)]
+        );
     }
 
     #[test]
@@ -563,8 +606,10 @@ mod tests {
         let (_, [alloc, ..]) = lock_sm();
         let mut t = DescriptorTracker::new(DescriptorResourceModel::new());
         t.create(DescId(1), alloc, 0, None).unwrap();
-        t.set_data(DescId(1), "path", TrackedValue::Str("/a/b".into())).unwrap();
-        t.set_data(DescId(1), "offset", TrackedValue::Int(42)).unwrap();
+        t.set_data(DescId(1), "path", TrackedValue::Str("/a/b".into()))
+            .unwrap();
+        t.set_data(DescId(1), "offset", TrackedValue::Int(42))
+            .unwrap();
         assert_eq!(t.data(DescId(1), "path").unwrap().as_str(), Some("/a/b"));
         assert_eq!(t.data(DescId(1), "offset").unwrap().as_int(), Some(42));
         assert!(t.data(DescId(1), "nope").is_none());

@@ -7,7 +7,6 @@
 //! that `σ(σ(…σ(s0, f0)…), fn) = s_expected`. This module computes those
 //! walks once at compile (build) time by breadth-first search.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 use crate::machine::{FnId, State};
@@ -19,10 +18,9 @@ use crate::{Error, Result};
 /// Stored as a breadth-first-search predecessor map so that memory stays
 /// proportional to the number of states, not the sum of walk lengths —
 /// the paper's embedded-systems constraint of bounded tracking memory.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryWalks {
     /// state → (predecessor state, function taken to get here).
-    #[serde(with = "crate::serde_kv")]
     pred: BTreeMap<State, (State, FnId)>,
 }
 

@@ -1,11 +1,15 @@
 //! Property-based tests for the descriptor state machines and trackers.
+//! Random machine shapes and op sequences come from the repo's seeded
+//! [`SplitMix64`] generator, so every case is reproducible from its
+//! index.
 
-use proptest::prelude::*;
-
+use composite::rng::{mix, SplitMix64};
 use superglue_sm::machine::{State, StateMachineBuilder};
 use superglue_sm::model::DescriptorResourceModelBuilder;
 use superglue_sm::tracking::{DescId, DescriptorTracker, OperationLog};
 use superglue_sm::{DescriptorResourceModel, FnId};
+
+const CASES: u64 = 96;
 
 /// A random machine description: `n` functions, some creation/terminal
 /// roles, and a set of follows edges.
@@ -17,15 +21,21 @@ struct MachineDesc {
     follows: Vec<(usize, usize)>,
 }
 
-fn machine_desc() -> impl Strategy<Value = MachineDesc> {
-    (2usize..7).prop_flat_map(|n| {
-        let creations = proptest::collection::vec(0..n, 1..=2);
-        let terminals = proptest::collection::vec(0..n, 0..=1);
-        let follows = proptest::collection::vec((0..n, 0..n), 0..20);
-        (Just(n), creations, terminals, follows).prop_map(|(n, creations, terminals, follows)| {
-            MachineDesc { n, creations, terminals, follows }
-        })
-    })
+fn machine_desc(rng: &mut SplitMix64) -> MachineDesc {
+    let n = 2 + rng.gen_index(5);
+    let creations = (0..1 + rng.gen_index(2))
+        .map(|_| rng.gen_index(n))
+        .collect();
+    let terminals = (0..rng.gen_index(2)).map(|_| rng.gen_index(n)).collect();
+    let follows = (0..rng.gen_index(20))
+        .map(|_| (rng.gen_index(n), rng.gen_index(n)))
+        .collect();
+    MachineDesc {
+        n,
+        creations,
+        terminals,
+        follows,
+    }
 }
 
 fn build(desc: &MachineDesc) -> Option<superglue_sm::StateMachine> {
@@ -43,29 +53,38 @@ fn build(desc: &MachineDesc) -> Option<superglue_sm::StateMachine> {
     b.build().ok()
 }
 
-proptest! {
-    /// Building never panics, and when it succeeds, replaying the
-    /// recovery walk through σ from Init always lands exactly on the
-    /// walk's target state.
-    #[test]
-    fn walks_replay_to_their_target(desc in machine_desc()) {
-        let Some(sm) = build(&desc) else { return Ok(()) };
+/// Building never panics, and when it succeeds, replaying the recovery
+/// walk through σ from Init always lands exactly on the walk's target
+/// state.
+#[test]
+fn walks_replay_to_their_target() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(mix(0x3a17_0001, case));
+        let desc = machine_desc(&mut rng);
+        let Some(sm) = build(&desc) else { continue };
         for i in 0..sm.function_count() {
             let target = State::After(FnId(i as u32));
-            let Ok(walk) = sm.recovery_walk(target) else { continue };
+            let Ok(walk) = sm.recovery_walk(target) else {
+                continue;
+            };
             let mut s = State::Init;
             for f in &walk {
-                s = sm.step(s, *f).expect("walk edges must be valid transitions");
+                s = sm
+                    .step(s, *f)
+                    .expect("walk edges must be valid transitions");
             }
-            prop_assert_eq!(s, target);
+            assert_eq!(s, target, "case {case}");
         }
     }
+}
 
-    /// Walks are shortest: no other path found by exhaustive BFS is
-    /// shorter.
-    #[test]
-    fn walks_are_minimal(desc in machine_desc()) {
-        let Some(sm) = build(&desc) else { return Ok(()) };
+/// Walks are shortest: no other path found by exhaustive BFS is shorter.
+#[test]
+fn walks_are_minimal() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(mix(0x3a17_0002, case));
+        let desc = machine_desc(&mut rng);
+        let Some(sm) = build(&desc) else { continue };
         // Exhaustive BFS over σ.
         use std::collections::{BTreeMap, VecDeque};
         let mut dist: BTreeMap<State, usize> = BTreeMap::new();
@@ -85,18 +104,22 @@ proptest! {
         }
         for (&s, &d) in &dist {
             if let Ok(walk) = sm.recovery_walk(s) {
-                prop_assert_eq!(walk.len(), d, "walk to {:?}", s);
+                assert_eq!(walk.len(), d, "case {case}: walk to {s:?}");
             }
         }
     }
+}
 
-    /// σ is deterministic and total on declared edges only.
-    #[test]
-    fn step_is_deterministic(desc in machine_desc()) {
-        let Some(sm) = build(&desc) else { return Ok(()) };
+/// σ is deterministic and total on declared edges only.
+#[test]
+fn step_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(mix(0x3a17_0003, case));
+        let desc = machine_desc(&mut rng);
+        let Some(sm) = build(&desc) else { continue };
         for (s, f, t) in sm.edges() {
-            prop_assert_eq!(sm.step(s, f).expect("edge exists"), t);
-            prop_assert_eq!(sm.step(s, f).expect("edge exists"), t);
+            assert_eq!(sm.step(s, f).expect("edge exists"), t, "case {case}");
+            assert_eq!(sm.step(s, f).expect("edge exists"), t, "case {case}");
         }
     }
 }
@@ -128,28 +151,30 @@ enum Op {
     Recover(u64),
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..8).prop_map(Op::Create),
-        (0u64..8).prop_map(Op::Take),
-        (0u64..8).prop_map(Op::Release),
-        (0u64..8).prop_map(Op::Free),
-        Just(Op::FaultAll),
-        (0u64..8).prop_map(Op::Recover),
-    ]
+fn op(rng: &mut SplitMix64) -> Op {
+    let id = rng.gen_range(8);
+    match rng.gen_range(6) {
+        0 => Op::Create(id),
+        1 => Op::Take(id),
+        2 => Op::Release(id),
+        3 => Op::Free(id),
+        4 => Op::FaultAll,
+        _ => Op::Recover(id),
+    }
 }
 
-proptest! {
-    /// The tracker never panics under arbitrary op sequences, its
-    /// footprint stays bounded by live descriptors, and faulty counts
-    /// never exceed tracked counts.
-    #[test]
-    fn tracker_is_robust_and_bounded(ops in proptest::collection::vec(op(), 0..120)) {
+/// The tracker never panics under arbitrary op sequences, its footprint
+/// stays bounded by live descriptors, and faulty counts never exceed
+/// tracked counts.
+#[test]
+fn tracker_is_robust_and_bounded() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(mix(0x3a17_0004, case));
         let (sm, [alloc, take, release, free]) = lock_like();
         let mut t = DescriptorTracker::new(DescriptorResourceModel::new());
         let mut log = OperationLog::new();
-        for op in ops {
-            match op {
+        for _ in 0..rng.gen_index(120) {
+            match op(&mut rng) {
                 Op::Create(id) => {
                     let _ = t.create(DescId(id), alloc, 1, None);
                     log.record(DescId(id), alloc, vec![]);
@@ -171,19 +196,21 @@ proptest! {
                     let _ = t.mark_recovered(DescId(id));
                 }
             }
-            prop_assert!(t.faulty().count() <= t.len());
+            assert!(t.faulty().count() <= t.len(), "case {case}");
             // Bounded memory: at most 8 descriptors are ever live, so the
             // footprint cannot scale with the number of operations.
-            prop_assert!(t.footprint() <= 8 * 512);
+            assert!(t.footprint() <= 8 * 512, "case {case}");
         }
         // The rejected alternative grows with every operation.
-        prop_assert!(log.len() <= 120);
+        assert!(log.len() <= 120, "case {case}");
     }
+}
 
-    /// Recovery order is always root-first: every descriptor appears
-    /// after its parent.
-    #[test]
-    fn recovery_order_parents_first(chain_len in 1usize..6) {
+/// Recovery order is always root-first: every descriptor appears after
+/// its parent.
+#[test]
+fn recovery_order_parents_first() {
+    for chain_len in 1usize..6 {
         let (_, [alloc, ..]) = lock_like();
         let model = DescriptorResourceModelBuilder::new()
             .parent(superglue_sm::ParentPolicy::XcParent)
@@ -197,9 +224,9 @@ proptest! {
         let order = t.recovery_order(DescId(chain_len as u64 - 1));
         for (i, d) in order.iter().enumerate() {
             if i > 0 {
-                prop_assert_eq!(order[i - 1].0 + 1, d.0, "chain order broken");
+                assert_eq!(order[i - 1].0 + 1, d.0, "chain order broken");
             }
         }
-        prop_assert_eq!(order.len(), chain_len);
+        assert_eq!(order.len(), chain_len);
     }
 }

@@ -87,9 +87,15 @@ mod tests {
     #[test]
     fn idl_files_average_around_paper_size() {
         // §VII: "The average SuperGlue IDL file ... is 37 lines of code".
-        let total: usize = idl_sources().iter().map(|(_, s)| superglue_idl::idl_loc(s)).sum();
+        let total: usize = idl_sources()
+            .iter()
+            .map(|(_, s)| superglue_idl::idl_loc(s))
+            .sum();
         let avg = total / 6;
-        assert!((15..=60).contains(&avg), "average IDL LOC {avg} out of expected band");
+        assert!(
+            (15..=60).contains(&avg),
+            "average IDL LOC {avg} out of expected band"
+        );
     }
 
     #[test]

@@ -109,7 +109,10 @@ impl CompiledStub {
     /// A stub interpreting the given compiled specification.
     #[must_use]
     pub fn new(spec: Arc<CompiledStubSpec>) -> Self {
-        Self { spec, descs: BTreeMap::new() }
+        Self {
+            spec,
+            descs: BTreeMap::new(),
+        }
     }
 
     /// The interface name.
@@ -130,7 +133,9 @@ impl CompiledStub {
     }
 
     fn desc_of_args(cf: &CompiledFn, args: &[Value]) -> Option<i64> {
-        cf.desc_arg.and_then(|i| args.get(i)).and_then(|v| v.int().ok())
+        cf.desc_arg
+            .and_then(|i| args.get(i))
+            .and_then(|v| v.int().ok())
     }
 
     /// Rewrite descriptor/parent argument positions to current server
@@ -175,9 +180,9 @@ impl CompiledStub {
                     .and_then(|d| d.meta.get(*slot).cloned().flatten())
                     .or_else(|| base.and_then(|b| b.get(pos).cloned()))
                     .unwrap_or(Value::Int(0)),
-                ArgSource::LastObserved => {
-                    base.and_then(|b| b.get(pos).cloned()).unwrap_or(Value::Int(0))
-                }
+                ArgSource::LastObserved => base
+                    .and_then(|b| b.get(pos).cloned())
+                    .unwrap_or(Value::Int(0)),
             })
             .collect()
     }
@@ -195,7 +200,9 @@ impl CompiledStub {
         ret: &Value,
         thread: ThreadId,
     ) {
-        let Some(d) = self.descs.get_mut(&desc_id) else { return };
+        let Some(d) = self.descs.get_mut(&desc_id) else {
+            return;
+        };
         for &(pos, slot) in &cf.data_args {
             if let Some(v) = args.get(pos) {
                 d.meta[slot] = Some(v.clone());
@@ -215,8 +222,10 @@ impl CompiledStub {
                     Value::Bytes(b) => b.len() as i64,
                     _ => 0,
                 };
-                let cur =
-                    d.meta[slot].as_ref().and_then(|v| v.int().ok()).unwrap_or(0);
+                let cur = d.meta[slot]
+                    .as_ref()
+                    .and_then(|v| v.int().ok())
+                    .unwrap_or(0);
                 d.meta[slot] = Some(Value::Int(cur + add));
             }
         }
@@ -228,11 +237,17 @@ impl CompiledStub {
 
     fn close(&mut self, env: &mut StubEnv<'_>, desc_id: i64) {
         let model = self.spec.model;
+        let mut dropped = 0u64;
         if model.close_children {
             // D0: drop the tracked subtree.
-            let mut stack = self.descs.get(&desc_id).map(|d| d.children.clone()).unwrap_or_default();
+            let mut stack = self
+                .descs
+                .get(&desc_id)
+                .map(|d| d.children.clone())
+                .unwrap_or_default();
             while let Some(c) = stack.pop() {
                 if let Some(cd) = self.descs.remove(&c) {
+                    dropped += 1;
                     stack.extend(cd.children);
                 }
             }
@@ -241,6 +256,7 @@ impl CompiledStub {
             model.close_removes_tracking || model.close_children || !model.parent.has_parent();
         if remove {
             if let Some(d) = self.descs.remove(&desc_id) {
+                dropped += 1;
                 if let Some(p) = d.parent {
                     if let Some(pd) = self.descs.get_mut(&p) {
                         pd.children.retain(|&c| c != desc_id);
@@ -248,6 +264,7 @@ impl CompiledStub {
                 }
             }
         }
+        env.note_teardown(dropped);
         if self.spec.records_creations {
             let iface = self.spec.interface.clone();
             if let Some(storage) = env.storage {
@@ -286,7 +303,13 @@ impl CompiledStub {
             .find_map(|v| v.int().ok())
             .unwrap_or(0);
         let iface = self.spec.interface.clone();
-        let _ = env.storage_record(&iface, desc_id, env.client, parent.unwrap_or(NO_PARENT), aux);
+        let _ = env.storage_record(
+            &iface,
+            desc_id,
+            env.client,
+            parent.unwrap_or(NO_PARENT),
+            aux,
+        );
     }
 
     // -----------------------------------------------------------------
@@ -341,12 +364,17 @@ impl CompiledStub {
                             }
                         }
                         env.replay(&gname, &args)?;
+                        // T1: the blocking step completed thread-affinely
+                        // on the recorded owner's behalf, not verbatim by
+                        // the recovering thread (C³ counts its
+                        // `lock_restore` substitution the same way).
+                        env.note_deferred_completion();
                         continue;
                     }
                     if let Some(d) = self.descs.get_mut(&desc_id) {
                         d.pending_walk = Some((walk.to_vec(), i));
                     }
-                    env.stats.deferred_completions += 1;
+                    env.note_deferred_completion();
                     return Ok(());
                 }
             }
@@ -365,11 +393,15 @@ impl CompiledStub {
     }
 
     fn complete_pending(&mut self, env: &mut StubEnv<'_>, desc_id: i64) -> Result<(), CallError> {
-        let Some(d) = self.descs.get(&desc_id) else { return Ok(()) };
+        let Some(d) = self.descs.get(&desc_id) else {
+            return Ok(());
+        };
         if d.state_thread != Some(env.thread) {
             return Ok(());
         }
-        let Some((walk, start)) = d.pending_walk.clone() else { return Ok(()) };
+        let Some((walk, start)) = d.pending_walk.clone() else {
+            return Ok(());
+        };
         if let Some(d) = self.descs.get_mut(&desc_id) {
             d.pending_walk = None;
         }
@@ -427,6 +459,7 @@ impl InterfaceStub for CompiledStub {
                 // before the creation that depends on it.
                 if let Some(p) = parent {
                     if self.descs.get(&p).is_some_and(|d| d.faulty) {
+                        env.note_parent_first();
                         self.recover_descriptor(env, p)?;
                     }
                 }
@@ -435,8 +468,14 @@ impl InterfaceStub for CompiledStub {
                     Ok(v) => {
                         let id = v.int().map_err(|e| CallError::Service(e.into()))?;
                         let state = State::After(fid);
-                        let mut d =
-                            GenDesc::new(id, state, env.thread, true, parent, spec.meta_names.len());
+                        let mut d = GenDesc::new(
+                            id,
+                            state,
+                            env.thread,
+                            true,
+                            parent,
+                            spec.meta_names.len(),
+                        );
                         if cf.track_args {
                             d.last_args.insert(fid, args.to_vec());
                         }
@@ -486,8 +525,10 @@ impl InterfaceStub for CompiledStub {
                     .next()
                     .map_or(State::Init, State::After);
                 let slots = self.spec.meta_names.len();
-                self.descs
-                    .insert(desc_id, GenDesc::new(desc_id, init_state, env.thread, false, None, slots));
+                self.descs.insert(
+                    desc_id,
+                    GenDesc::new(desc_id, init_state, env.thread, false, None, slots),
+                );
             } else {
                 // Untracked local descriptor: pass through (with fault
                 // handling so the redo observes post-reboot semantics).
@@ -595,15 +636,19 @@ impl InterfaceStub for CompiledStub {
             if let Some(d) = self.descs.get_mut(&desc_id) {
                 d.faulty = false;
             }
-            env.stats.descriptors_recovered += 1;
+            env.note_descriptor_recovered();
             return Ok(());
         }
 
         // D1: parents recover root-first.
         if let Some(p) = parent {
             if self.descs.contains_key(&p) {
+                if self.descs.get(&p).is_some_and(|d| d.faulty) {
+                    env.note_parent_first();
+                }
                 self.recover_descriptor(env, p)?;
             } else if self.spec.records_creations {
+                env.note_parent_first();
                 self.recover_foreign(env, p)?;
             }
         }
@@ -635,7 +680,7 @@ impl InterfaceStub for CompiledStub {
             }
             self.replay_walk(env, desc_id, &walk, 0)?;
         }
-        env.stats.descriptors_recovered += 1;
+        env.note_descriptor_recovered();
         Ok(())
     }
 
@@ -646,8 +691,12 @@ impl InterfaceStub for CompiledStub {
     }
 
     fn recover_all(&mut self, env: &mut StubEnv<'_>) -> Result<(), CallError> {
-        let ids: Vec<i64> =
-            self.descs.iter().filter(|(_, d)| d.faulty).map(|(&id, _)| id).collect();
+        let ids: Vec<i64> = self
+            .descs
+            .iter()
+            .filter(|(_, d)| d.faulty)
+            .map(|(&id, _)| id)
+            .collect();
         for id in ids {
             match self.recover_descriptor(env, id) {
                 Ok(()) => {}

@@ -104,7 +104,11 @@ impl Testbed {
     /// [`IdlError`] if the shipped IDL fails to compile (SuperGlue
     /// variant only).
     pub fn build(variant: Variant) -> Result<Self, IdlError> {
-        Self::build_with(variant, CostModel::paper_defaults(), RecoveryPolicy::OnDemand)
+        Self::build_with(
+            variant,
+            CostModel::paper_defaults(),
+            RecoveryPolicy::OnDemand,
+        )
     }
 
     /// Build with explicit cost model and recovery policy.
@@ -133,8 +137,23 @@ impl Testbed {
         k.grant(fs, storage);
         k.grant(fs, cbuf);
 
-        let ids = SystemIds { app1, app2, sched, mm, fs, lock, evt, tmr, storage, cbuf };
-        let config = RuntimeConfig { policy, storage: Some(storage), max_retries: 3 };
+        let ids = SystemIds {
+            app1,
+            app2,
+            sched,
+            mm,
+            fs,
+            lock,
+            evt,
+            tmr,
+            storage,
+            cbuf,
+        };
+        let config = RuntimeConfig {
+            policy,
+            storage: Some(storage),
+            max_retries: 3,
+        };
         let mut runtime = FtRuntime::new(k, config);
 
         let services = [sched, mm, fs, lock, evt, tmr];
@@ -159,9 +178,14 @@ impl Testbed {
             Variant::SuperGlue => {
                 let compiled = compile_all()?;
                 for app in [app1, app2] {
-                    for (iface, svc) in
-                        [("sched", sched), ("mm", mm), ("fs", fs), ("lock", lock), ("evt", evt), ("tmr", tmr)]
-                    {
+                    for (iface, svc) in [
+                        ("sched", sched),
+                        ("mm", mm),
+                        ("fs", fs),
+                        ("lock", lock),
+                        ("evt", evt),
+                        ("tmr", tmr),
+                    ] {
                         let spec = compiled
                             .get(iface)
                             .expect("all six interfaces compiled")
@@ -176,7 +200,11 @@ impl Testbed {
                 }
             }
         }
-        Ok(Self { runtime, ids, variant })
+        Ok(Self {
+            runtime,
+            ids,
+            variant,
+        })
     }
 
     /// Spawn a runnable thread homed in `home`.
@@ -228,29 +256,94 @@ mod tests {
         // Sched ping-pong.
         let t1 = tb.spawn_thread(ids.app1, Priority(5));
         let t2 = tb.spawn_thread(ids.app1, Priority(5));
-        ex.attach(t1, Box::new(SchedPingPong::new(ClientEnd::new(ids.app1, t1, ids.sched), t2, rounds, true)));
-        ex.attach(t2, Box::new(SchedPingPong::new(ClientEnd::new(ids.app1, t2, ids.sched), t1, rounds, false)));
+        ex.attach(
+            t1,
+            Box::new(SchedPingPong::new(
+                ClientEnd::new(ids.app1, t1, ids.sched),
+                t2,
+                rounds,
+                true,
+            )),
+        );
+        ex.attach(
+            t2,
+            Box::new(SchedPingPong::new(
+                ClientEnd::new(ids.app1, t2, ids.sched),
+                t1,
+                rounds,
+                false,
+            )),
+        );
         // Lock owner/contender.
         let t3 = tb.spawn_thread(ids.app1, Priority(5));
         let t4 = tb.spawn_thread(ids.app1, Priority(5));
         let shared = shared_desc();
-        ex.attach(t3, Box::new(LockOwner::new(ClientEnd::new(ids.app1, t3, ids.lock), shared.clone(), rounds, 2)));
-        ex.attach(t4, Box::new(LockContender::new(ClientEnd::new(ids.app1, t4, ids.lock), shared, rounds)));
+        ex.attach(
+            t3,
+            Box::new(LockOwner::new(
+                ClientEnd::new(ids.app1, t3, ids.lock),
+                shared.clone(),
+                rounds,
+                2,
+            )),
+        );
+        ex.attach(
+            t4,
+            Box::new(LockContender::new(
+                ClientEnd::new(ids.app1, t4, ids.lock),
+                shared,
+                rounds,
+            )),
+        );
         // Event waiter/trigger across components.
         let t5 = tb.spawn_thread(ids.app1, Priority(5));
         let t6 = tb.spawn_thread(ids.app2, Priority(5));
         let shared_e = shared_desc();
-        ex.attach(t5, Box::new(EventWaiter::new(ClientEnd::new(ids.app1, t5, ids.evt), shared_e.clone(), rounds)));
-        ex.attach(t6, Box::new(EventTrigger::new(ClientEnd::new(ids.app2, t6, ids.evt), shared_e, rounds)));
+        ex.attach(
+            t5,
+            Box::new(EventWaiter::new(
+                ClientEnd::new(ids.app1, t5, ids.evt),
+                shared_e.clone(),
+                rounds,
+            )),
+        );
+        ex.attach(
+            t6,
+            Box::new(EventTrigger::new(
+                ClientEnd::new(ids.app2, t6, ids.evt),
+                shared_e,
+                rounds,
+            )),
+        );
         // Timer.
         let t7 = tb.spawn_thread(ids.app1, Priority(5));
-        ex.attach(t7, Box::new(TimerPeriodic::new(ClientEnd::new(ids.app1, t7, ids.tmr), 1_000_000, rounds)));
+        ex.attach(
+            t7,
+            Box::new(TimerPeriodic::new(
+                ClientEnd::new(ids.app1, t7, ids.tmr),
+                1_000_000,
+                rounds,
+            )),
+        );
         // MM.
         let t8 = tb.spawn_thread(ids.app1, Priority(5));
-        ex.attach(t8, Box::new(MmGrantAliasRevoke::new(ClientEnd::new(ids.app1, t8, ids.mm), ids.app2, rounds)));
+        ex.attach(
+            t8,
+            Box::new(MmGrantAliasRevoke::new(
+                ClientEnd::new(ids.app1, t8, ids.mm),
+                ids.app2,
+                rounds,
+            )),
+        );
         // FS.
         let t9 = tb.spawn_thread(ids.app1, Priority(5));
-        ex.attach(t9, Box::new(FsOpenWriteRead::new(ClientEnd::new(ids.app1, t9, ids.fs), rounds)));
+        ex.attach(
+            t9,
+            Box::new(FsOpenWriteRead::new(
+                ClientEnd::new(ids.app1, t9, ids.fs),
+                rounds,
+            )),
+        );
         threads.extend([t1, t2, t3, t4, t5, t6, t7, t8, t9]);
         threads
     }
@@ -293,7 +386,12 @@ mod tests {
             tb.runtime.inject_fault(svc);
         }
         assert_eq!(ex.run(&mut tb.runtime, 2_000_000), RunExit::AllDone);
-        assert_eq!(tb.runtime.stats().unrecovered, 0, "{:#?}", tb.runtime.stats());
+        assert_eq!(
+            tb.runtime.stats().unrecovered,
+            0,
+            "{:#?}",
+            tb.runtime.stats()
+        );
         assert!(tb.runtime.stats().faults_handled >= 1);
     }
 
@@ -329,7 +427,13 @@ mod tests {
         // Release after the fault: recovery replays alloc+take (same
         // thread), then the release goes through.
         tb.runtime
-            .interface_call(app, t, lock, "lock_release", &[Value::Int(1), Value::Int(id)])
+            .interface_call(
+                app,
+                t,
+                lock,
+                "lock_release",
+                &[Value::Int(1), Value::Int(id)],
+            )
             .unwrap();
         assert_eq!(tb.runtime.stats().faults_handled, 1);
         assert!(tb.runtime.stats().descriptors_recovered >= 1);
@@ -343,7 +447,13 @@ mod tests {
         let (a1, a2, evt) = (tb.ids.app1, tb.ids.app2, tb.ids.evt);
         let id = tb
             .runtime
-            .interface_call(a1, t1, evt, "evt_split", &[Value::from(a1.0), Value::Int(0), Value::Int(7)])
+            .interface_call(
+                a1,
+                t1,
+                evt,
+                "evt_split",
+                &[Value::from(a1.0), Value::Int(0), Value::Int(7)],
+            )
             .unwrap()
             .int()
             .unwrap();
@@ -351,12 +461,24 @@ mod tests {
         // The foreign client triggers: G0 lookup + U0 upcall restore the
         // event under its original id.
         tb.runtime
-            .interface_call(a2, t2, evt, "evt_trigger", &[Value::from(a2.0), Value::Int(id)])
+            .interface_call(
+                a2,
+                t2,
+                evt,
+                "evt_trigger",
+                &[Value::from(a2.0), Value::Int(id)],
+            )
             .unwrap();
         assert!(tb.runtime.stats().upcalls >= 1);
         let got = tb
             .runtime
-            .interface_call(a1, t1, evt, "evt_wait", &[Value::from(a1.0), Value::Int(id)])
+            .interface_call(
+                a1,
+                t1,
+                evt,
+                "evt_wait",
+                &[Value::from(a1.0), Value::Int(id)],
+            )
             .unwrap();
         assert_eq!(got, Value::Int(id));
     }
@@ -368,12 +490,24 @@ mod tests {
         let (app, fs) = (tb.ids.app1, tb.ids.fs);
         let fd = tb
             .runtime
-            .interface_call(app, t, fs, "tsplit", &[Value::Int(1), Value::Int(0), Value::from("f.bin")])
+            .interface_call(
+                app,
+                t,
+                fs,
+                "tsplit",
+                &[Value::Int(1), Value::Int(0), Value::from("f.bin")],
+            )
             .unwrap()
             .int()
             .unwrap();
         tb.runtime
-            .interface_call(app, t, fs, "twrite", &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![1, 2, 3])])
+            .interface_call(
+                app,
+                t,
+                fs,
+                "twrite",
+                &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![1, 2, 3])],
+            )
             .unwrap();
         tb.runtime.inject_fault(fs);
         // Recovery replays tsplit + tseek(offset=3 from accumulated
@@ -381,16 +515,34 @@ mod tests {
         // EOF.
         let r = tb
             .runtime
-            .interface_call(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd), Value::Int(10)])
+            .interface_call(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd), Value::Int(10)],
+            )
             .unwrap();
         assert_eq!(r, Value::Bytes(vec![]));
         // And the persisted data survives (G1): rewind and read.
         tb.runtime
-            .interface_call(app, t, fs, "tseek", &[Value::Int(1), Value::Int(fd), Value::Int(0)])
+            .interface_call(
+                app,
+                t,
+                fs,
+                "tseek",
+                &[Value::Int(1), Value::Int(fd), Value::Int(0)],
+            )
             .unwrap();
         let r = tb
             .runtime
-            .interface_call(app, t, fs, "tread", &[Value::Int(1), Value::Int(fd), Value::Int(10)])
+            .interface_call(
+                app,
+                t,
+                fs,
+                "tread",
+                &[Value::Int(1), Value::Int(fd), Value::Int(10)],
+            )
             .unwrap();
         assert_eq!(r, Value::Bytes(vec![1, 2, 3]));
     }
@@ -404,7 +556,13 @@ mod tests {
         // app1 creates a root mapping; app2 aliases from it.
         let root = tb
             .runtime
-            .interface_call(a1, t1, mm, "mman_get_page", &[Value::from(a1.0), Value::Int(0x1000)])
+            .interface_call(
+                a1,
+                t1,
+                mm,
+                "mman_get_page",
+                &[Value::from(a1.0), Value::Int(0x1000)],
+            )
             .unwrap()
             .int()
             .unwrap();
@@ -414,7 +572,12 @@ mod tests {
                 t2,
                 mm,
                 "mman_alias_page",
-                &[Value::from(a2.0), Value::Int(root), Value::from(a2.0), Value::Int(0x9000)],
+                &[
+                    Value::from(a2.0),
+                    Value::Int(root),
+                    Value::from(a2.0),
+                    Value::Int(0x9000),
+                ],
             )
             .unwrap();
         tb.runtime.inject_fault(mm);
@@ -426,7 +589,12 @@ mod tests {
                 t2,
                 mm,
                 "mman_alias_page",
-                &[Value::from(a2.0), Value::Int(root), Value::from(a2.0), Value::Int(0xa000)],
+                &[
+                    Value::from(a2.0),
+                    Value::Int(root),
+                    Value::from(a2.0),
+                    Value::Int(0xa000),
+                ],
             )
             .unwrap();
         assert!(tb.runtime.stats().upcalls >= 1);

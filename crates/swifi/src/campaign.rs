@@ -16,8 +16,8 @@
 //! live-fault property the Poisson argument of §V-A establishes.
 
 use composite::{
-    CallError, ComponentId, Executor, InterfaceCall, Kernel, KernelAccess, Priority, RunExit,
-    ThreadId, ThreadState, Value,
+    mix, parallel_map_indexed, CallError, ComponentId, Executor, InterfaceCall, Kernel,
+    KernelAccess, MetricsSnapshot, Priority, RunExit, ThreadId, ThreadState, Value,
 };
 use sg_services::api::ClientEnd;
 use sg_services::workloads::{
@@ -186,7 +186,9 @@ impl InterfaceCall for CampaignCtx {
                 }
             }
         }
-        self.tb.runtime.interface_call(client, thread, server, fname, args)
+        self.tb
+            .runtime
+            .interface_call(client, thread, server, fname, args)
     }
 }
 
@@ -211,39 +213,104 @@ fn attach_target_workload(
         "sched" => {
             let t1 = tb.spawn_thread(ids.app1, Priority(5));
             let t2 = tb.spawn_thread(ids.app1, Priority(5));
-            ex.attach(t1, Box::new(SchedPingPong::new(ClientEnd::new(ids.app1, t1, ids.sched), t2, ROUNDS, true)));
-            ex.attach(t2, Box::new(SchedPingPong::new(ClientEnd::new(ids.app1, t2, ids.sched), t1, ROUNDS, false)));
+            ex.attach(
+                t1,
+                Box::new(SchedPingPong::new(
+                    ClientEnd::new(ids.app1, t1, ids.sched),
+                    t2,
+                    ROUNDS,
+                    true,
+                )),
+            );
+            ex.attach(
+                t2,
+                Box::new(SchedPingPong::new(
+                    ClientEnd::new(ids.app1, t2, ids.sched),
+                    t1,
+                    ROUNDS,
+                    false,
+                )),
+            );
             vec![t1, t2]
         }
         "lock" => {
             let t1 = tb.spawn_thread(ids.app1, Priority(5));
             let t2 = tb.spawn_thread(ids.app1, Priority(5));
             let shared = shared_desc();
-            ex.attach(t1, Box::new(LockOwner::new(ClientEnd::new(ids.app1, t1, ids.lock), shared.clone(), ROUNDS, 1)));
-            ex.attach(t2, Box::new(LockContender::new(ClientEnd::new(ids.app1, t2, ids.lock), shared, ROUNDS)));
+            ex.attach(
+                t1,
+                Box::new(LockOwner::new(
+                    ClientEnd::new(ids.app1, t1, ids.lock),
+                    shared.clone(),
+                    ROUNDS,
+                    1,
+                )),
+            );
+            ex.attach(
+                t2,
+                Box::new(LockContender::new(
+                    ClientEnd::new(ids.app1, t2, ids.lock),
+                    shared,
+                    ROUNDS,
+                )),
+            );
             vec![t1, t2]
         }
         "evt" => {
             let t1 = tb.spawn_thread(ids.app1, Priority(5));
             let t2 = tb.spawn_thread(ids.app2, Priority(5));
             let shared = shared_desc();
-            ex.attach(t1, Box::new(EventWaiter::new(ClientEnd::new(ids.app1, t1, ids.evt), shared.clone(), ROUNDS)));
-            ex.attach(t2, Box::new(EventTrigger::new(ClientEnd::new(ids.app2, t2, ids.evt), shared, ROUNDS)));
+            ex.attach(
+                t1,
+                Box::new(EventWaiter::new(
+                    ClientEnd::new(ids.app1, t1, ids.evt),
+                    shared.clone(),
+                    ROUNDS,
+                )),
+            );
+            ex.attach(
+                t2,
+                Box::new(EventTrigger::new(
+                    ClientEnd::new(ids.app2, t2, ids.evt),
+                    shared,
+                    ROUNDS,
+                )),
+            );
             vec![t1, t2]
         }
         "tmr" => {
             let t = tb.spawn_thread(ids.app1, Priority(5));
-            ex.attach(t, Box::new(TimerPeriodic::new(ClientEnd::new(ids.app1, t, ids.tmr), 50_000, ROUNDS)));
+            ex.attach(
+                t,
+                Box::new(TimerPeriodic::new(
+                    ClientEnd::new(ids.app1, t, ids.tmr),
+                    50_000,
+                    ROUNDS,
+                )),
+            );
             vec![t]
         }
         "mm" => {
             let t = tb.spawn_thread(ids.app1, Priority(5));
-            ex.attach(t, Box::new(MmGrantAliasRevoke::new(ClientEnd::new(ids.app1, t, ids.mm), ids.app2, ROUNDS)));
+            ex.attach(
+                t,
+                Box::new(MmGrantAliasRevoke::new(
+                    ClientEnd::new(ids.app1, t, ids.mm),
+                    ids.app2,
+                    ROUNDS,
+                )),
+            );
             vec![t]
         }
         "fs" => {
             let t = tb.spawn_thread(ids.app1, Priority(5));
-            ex.attach(t, Box::new(FsOpenWriteRead::new(ClientEnd::new(ids.app1, t, ids.fs), ROUNDS)));
+            ex.attach(
+                t,
+                Box::new(FsOpenWriteRead::new(
+                    ClientEnd::new(ids.app1, t, ids.fs),
+                    ROUNDS,
+                )),
+            );
             vec![t]
         }
         other => panic!("unknown campaign target {other:?}"),
@@ -276,18 +343,55 @@ pub fn row_label(iface: &str) -> &'static str {
     }
 }
 
-/// Run the fault-injection campaign against one target service.
+/// Injections per shard of a sharded campaign. The shard plan is a
+/// function of the configured injection count **only** — never of the
+/// worker-thread count — so the injection streams (and therefore the
+/// merged tallies) are bit-identical for any `--jobs` value.
+pub const SHARD_INJECTIONS: u64 = 25;
+
+/// The shard plan for a campaign of `injections` faults: each entry is
+/// one shard's injection quota.
+#[must_use]
+pub fn shard_sizes(injections: u64) -> Vec<u64> {
+    let full = injections / SHARD_INJECTIONS;
+    let rem = injections % SHARD_INJECTIONS;
+    let mut sizes = vec![SHARD_INJECTIONS; full as usize];
+    if rem > 0 {
+        sizes.push(rem);
+    }
+    sizes
+}
+
+/// One shard's (or one merged campaign's) result: the Table II tallies
+/// plus the recovery-observability metrics accumulated across every
+/// machine (re)boot the shard performed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignResult {
+    pub row: CampaignRow,
+    pub metrics: MetricsSnapshot,
+}
+
+/// Run one shard of the campaign against `iface`.
+///
+/// The shard's injector stream is seeded `mix(seed ^ fxhash(iface),
+/// shard)` — the `hash(campaign_seed, shard_index)` derivation — so the
+/// shard never observes which worker ran it or what ran before it.
 ///
 /// # Panics
 ///
 /// Panics if `iface` is not one of the six target interfaces or the
 /// testbed fails to build (shipped IDL is validated by tests).
 #[must_use]
-pub fn run_campaign(iface: &'static str, cfg: &CampaignConfig) -> CampaignRow {
+pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> CampaignResult {
+    let quota = *shard_sizes(cfg.injections)
+        .get(shard)
+        .expect("shard index within plan");
     let mut row = CampaignRow::new(row_label(iface));
-    let mut injector = Injector::with_mask(cfg.seed ^ fxhash(iface), cfg.fault_mask);
+    let mut metrics = MetricsSnapshot::default();
+    let mut injector =
+        Injector::with_mask(mix(cfg.seed ^ fxhash(iface), shard as u64), cfg.fault_mask);
 
-    'reboot: while row.injected < cfg.injections {
+    'reboot: while row.injected < quota {
         // (Re)boot the machine: fresh system + workloads.
         let tb = Testbed::build(cfg.variant).expect("testbed builds");
         let target = target_component(&tb, iface);
@@ -308,7 +412,7 @@ pub fn run_campaign(iface: &'static str, cfg: &CampaignConfig) -> CampaignRow {
         // Warm up so descriptors exist before the first injection.
         ex.run(&mut ctx, 40);
 
-        while row.injected < cfg.injections {
+        while row.injected < quota {
             // Arm one injection and run until it classifies.
             ctx.classified = None;
             ctx.armed = Some(injector.choose());
@@ -324,6 +428,7 @@ pub fn run_campaign(iface: &'static str, cfg: &CampaignConfig) -> CampaignRow {
                     // treat an armed-but-unapplied flip as undetected and
                     // reboot.
                     row.record(Outcome::Undetected);
+                    metrics.merge(&MetricsSnapshot::from_kernel(ctx.tb.runtime.kernel()));
                     continue 'reboot;
                 }
             }
@@ -348,12 +453,60 @@ pub fn run_campaign(iface: &'static str, cfg: &CampaignConfig) -> CampaignRow {
             if ctx.system_down || matches!(outcome, Outcome::Other) {
                 // Segfault/hang/propagation (or failed recovery): the
                 // paper reboots the machine before continuing.
+                metrics.merge(&MetricsSnapshot::from_kernel(ctx.tb.runtime.kernel()));
                 continue 'reboot;
             }
         }
+        metrics.merge(&MetricsSnapshot::from_kernel(ctx.tb.runtime.kernel()));
         break;
     }
-    row
+    CampaignResult { row, metrics }
+}
+
+/// Run the full campaign against one target service, sharded across up
+/// to `jobs` worker threads. Shard results are merged in shard-index
+/// order, so the output is bit-identical for every `jobs >= 1`.
+///
+/// # Panics
+///
+/// As for [`run_shard`].
+#[must_use]
+pub fn run_campaign_parallel(
+    iface: &'static str,
+    cfg: &CampaignConfig,
+    jobs: usize,
+) -> CampaignResult {
+    let shards = shard_sizes(cfg.injections).len();
+    let results = parallel_map_indexed(shards, jobs, |i| run_shard(iface, cfg, i));
+    merge_shards(iface, results.iter())
+}
+
+/// Merge shard results (in the given order) into one campaign result.
+pub fn merge_shards<'a>(
+    iface: &str,
+    shards: impl Iterator<Item = &'a CampaignResult>,
+) -> CampaignResult {
+    let mut out = CampaignResult {
+        row: CampaignRow::new(row_label(iface)),
+        metrics: MetricsSnapshot::default(),
+    };
+    for s in shards {
+        out.row.merge(&s.row);
+        out.metrics.merge(&s.metrics);
+    }
+    out
+}
+
+/// Run the fault-injection campaign against one target service on the
+/// calling thread. Equivalent to [`run_campaign_parallel`] with
+/// `jobs = 1`, kept as the simple entry point for tests and examples.
+///
+/// # Panics
+///
+/// As for [`run_shard`].
+#[must_use]
+pub fn run_campaign(iface: &'static str, cfg: &CampaignConfig) -> CampaignRow {
+    run_campaign_parallel(iface, cfg, 1).row
 }
 
 fn fxhash(s: &str) -> u64 {
@@ -370,21 +523,37 @@ mod tests {
     use super::*;
 
     fn quick_cfg(variant: Variant) -> CampaignConfig {
-        CampaignConfig { variant, injections: 60, seed: 7, ..CampaignConfig::default() }
+        CampaignConfig {
+            variant,
+            injections: 60,
+            seed: 7,
+            ..CampaignConfig::default()
+        }
     }
 
     #[test]
     fn lock_campaign_mostly_recovers_under_superglue() {
         let row = run_campaign("lock", &quick_cfg(Variant::SuperGlue));
         assert_eq!(row.injected, 60);
-        assert!(row.activation_ratio() > 0.7, "activation {:.2}", row.activation_ratio());
-        assert!(row.success_rate() > 0.7, "success {:.2} ({row:?})", row.success_rate());
+        assert!(
+            row.activation_ratio() > 0.7,
+            "activation {:.2}",
+            row.activation_ratio()
+        );
+        assert!(
+            row.success_rate() > 0.7,
+            "success {:.2} ({row:?})",
+            row.success_rate()
+        );
     }
 
     #[test]
     fn sched_campaign_has_segfaults() {
         let row = run_campaign("sched", &quick_cfg(Variant::SuperGlue));
-        assert!(row.segfault > 0, "sched is the segfault-heavy target: {row:?}");
+        assert!(
+            row.segfault > 0,
+            "sched is the segfault-heavy target: {row:?}"
+        );
     }
 
     #[test]

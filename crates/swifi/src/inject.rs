@@ -7,15 +7,15 @@
 //! the target server components … randomly selecting a register from
 //! eight 32-bit registers … and flipping a random bit."
 
+use composite::rng::SplitMix64;
 use composite::{RegisterFile, NUM_REGISTERS};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Deterministic source of (register, bit) flip choices under a fault
-/// mask.
+/// mask. Draws come from the repo's [`SplitMix64`] stream, so a given
+/// seed produces the same flip sequence on every platform and thread.
 #[derive(Debug, Clone)]
 pub struct Injector {
-    rng: StdRng,
+    rng: SplitMix64,
     mask: u32,
 }
 
@@ -34,14 +34,17 @@ impl Injector {
     #[must_use]
     pub fn with_mask(seed: u64, mask: u32) -> Self {
         assert!(mask != 0, "fault mask must enable at least one bit");
-        Self { rng: StdRng::seed_from_u64(seed), mask }
+        Self {
+            rng: SplitMix64::new(seed),
+            mask,
+        }
     }
 
     /// Choose the next (register, bit) pair.
     pub fn choose(&mut self) -> (usize, u32) {
-        let reg = self.rng.gen_range(0..NUM_REGISTERS);
+        let reg = self.rng.gen_index(NUM_REGISTERS);
         loop {
-            let bit = self.rng.gen_range(0..32u32);
+            let bit = self.rng.gen_range(32) as u32;
             if (self.mask >> bit) & 1 == 1 {
                 return (reg, bit);
             }

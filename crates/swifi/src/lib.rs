@@ -36,7 +36,10 @@ pub mod outcome;
 pub mod program;
 pub mod simcpu;
 
-pub use campaign::{run_campaign, CampaignConfig};
+pub use campaign::{
+    merge_shards, run_campaign, run_campaign_parallel, run_shard, shard_sizes, CampaignConfig,
+    CampaignResult, SHARD_INJECTIONS,
+};
 pub use inject::Injector;
 pub use outcome::{CampaignRow, Outcome};
 pub use simcpu::{classify_execution, ExecEvent, Insn};

@@ -1,10 +1,9 @@
 //! Injection outcomes and the Table II row aggregation.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Final classification of one injected fault — the columns of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     /// Activated, detected, and the system recovered (workloads continue
     /// to meet their specifications).
@@ -42,7 +41,7 @@ impl fmt::Display for Outcome {
 
 /// One row of Table II: the aggregated campaign result for a system
 /// component.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignRow {
     /// Component label ("Sched", "MM", …).
     pub component: String,
@@ -64,7 +63,10 @@ impl CampaignRow {
     /// A row for the named component.
     #[must_use]
     pub fn new(component: &str) -> Self {
-        Self { component: component.to_owned(), ..Self::default() }
+        Self {
+            component: component.to_owned(),
+            ..Self::default()
+        }
     }
 
     /// Record one outcome.
@@ -77,6 +79,19 @@ impl CampaignRow {
             Outcome::Other => self.other += 1,
             Outcome::Undetected => self.undetected += 1,
         }
+    }
+
+    /// Merge another row's tallies into this one (used by the sharded
+    /// campaign runner; addition is order-insensitive, so merging shard
+    /// rows in shard order yields bit-identical totals for any thread
+    /// count).
+    pub fn merge(&mut self, other: &CampaignRow) {
+        self.injected += other.injected;
+        self.recovered += other.recovered;
+        self.segfault += other.segfault;
+        self.propagated += other.propagated;
+        self.other += other.other;
+        self.undetected += other.undetected;
     }
 
     /// Number of activated faults (`|F_a|`).
@@ -126,8 +141,15 @@ impl CampaignRow {
     pub fn table_header() -> String {
         format!(
             "{:<6} {:>8} {:>9} {:>10} {:>12} {:>7} {:>10} {:>10} {:>9}",
-            "Comp", "Injected", "Recovered", "Segfault", "Propagated", "Other", "Undetected",
-            "Activation", "Success"
+            "Comp",
+            "Injected",
+            "Recovered",
+            "Segfault",
+            "Propagated",
+            "Other",
+            "Undetected",
+            "Activation",
+            "Success"
         )
     }
 }

@@ -160,10 +160,16 @@ mod tests {
     #[test]
     fn sched_is_the_most_frame_heavy() {
         let frames = |i: &str| {
-            program_for(i).iter().filter(|x| matches!(x, Insn::FrameOp(_))).count()
+            program_for(i)
+                .iter()
+                .filter(|x| matches!(x, Insn::FrameOp(_)))
+                .count()
         };
         for other in ["mm", "fs", "lock", "evt", "tmr"] {
-            assert!(frames("sched") > frames(other), "sched must out-frame {other}");
+            assert!(
+                frames("sched") > frames(other),
+                "sched must out-frame {other}"
+            );
         }
     }
 

@@ -8,7 +8,6 @@
 //! relative to the component's memory region.
 
 use composite::{RegisterFile, NUM_REGISTERS};
-use serde::{Deserialize, Serialize};
 
 /// Log2 of the component memory-region size (32 KiB): a displaced access
 /// whose flip bit is below this stays inside the region.
@@ -30,7 +29,7 @@ pub const STACK_FATAL_BIT: u32 = 17;
 pub const HANG_BIT: u32 = 30;
 
 /// μ-program instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Insn {
     /// Read a register as a data value (arithmetic, comparisons).
     ReadVal(usize),
@@ -66,7 +65,7 @@ impl Insn {
 }
 
 /// What one μ-program execution did with the (single) live taint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecEvent {
     /// No tainted register was touched: the flip stays latent in the
     /// register file (it may be consumed by a later invocation).
@@ -113,11 +112,7 @@ impl ExecEvent {
 /// Panics if the program references a register index `>=`
 /// [`NUM_REGISTERS`].
 #[must_use]
-pub fn classify_execution(
-    regs: &mut RegisterFile,
-    program: &[Insn],
-    flip_bit: u32,
-) -> ExecEvent {
+pub fn classify_execution(regs: &mut RegisterFile, program: &[Insn], flip_bit: u32) -> ExecEvent {
     for &insn in program {
         let r = insn.reg();
         assert!(r < NUM_REGISTERS, "register index out of range");

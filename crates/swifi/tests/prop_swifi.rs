@@ -1,9 +1,11 @@
 //! Property tests for the SWIFI machinery: classification is total,
 //! deterministic, consumes each flip at most once, and campaign rows
-//! always balance.
+//! always balance. The (interface, register, bit) domain is small
+//! (6×8×32), so the former random sampling is replaced by exhaustive
+//! enumeration; the row-balance property draws random outcome sequences
+//! from the repo's seeded generator.
 
-use proptest::prelude::*;
-
+use composite::rng::{mix, SplitMix64};
 use composite::{RegisterFile, NUM_REGISTERS};
 use sg_swifi::outcome::{CampaignRow, Outcome};
 use sg_swifi::program::program_for;
@@ -11,88 +13,98 @@ use sg_swifi::simcpu::{classify_execution, ExecEvent};
 
 const IFACES: [&str; 6] = ["sched", "mm", "fs", "lock", "evt", "tmr"];
 
-proptest! {
-    /// Every (interface, register, bit) classifies without panicking,
-    /// and a terminal event always clears or terminalizes the taint.
-    #[test]
-    fn classification_is_total(
-        iface_idx in 0usize..6,
-        reg in 0usize..NUM_REGISTERS,
-        bit in 0u32..32,
-    ) {
-        let iface = IFACES[iface_idx];
+fn each_case(mut f: impl FnMut(&'static str, usize, u32)) {
+    for iface in IFACES {
+        for reg in 0..NUM_REGISTERS {
+            for bit in 0..32 {
+                f(iface, reg, bit);
+            }
+        }
+    }
+}
+
+/// Every (interface, register, bit) classifies without panicking, and a
+/// terminal event always clears or terminalizes the taint.
+#[test]
+fn classification_is_total() {
+    each_case(|iface, reg, bit| {
         let mut regs = RegisterFile::new();
         regs.flip_bit(reg, bit);
         let ev = classify_execution(&mut regs, program_for(iface), bit);
         match ev {
-            ExecEvent::Latent => prop_assert!(regs.any_tainted(), "latent keeps the taint"),
+            ExecEvent::Latent => {
+                assert!(
+                    regs.any_tainted(),
+                    "{iface}/{reg}/{bit}: latent keeps the taint"
+                );
+            }
             ExecEvent::Overwritten => {
-                prop_assert!(!regs.any_tainted(), "overwrite clears the taint");
+                assert!(
+                    !regs.any_tainted(),
+                    "{iface}/{reg}/{bit}: overwrite clears the taint"
+                );
             }
             // Consuming events leave the register file's taint to the
             // campaign layer (which clears it explicitly).
             _ => {}
         }
-    }
+    });
+}
 
-    /// Classification is deterministic.
-    #[test]
-    fn classification_is_deterministic(
-        iface_idx in 0usize..6,
-        reg in 0usize..NUM_REGISTERS,
-        bit in 0u32..32,
-    ) {
-        let iface = IFACES[iface_idx];
+/// Classification is deterministic.
+#[test]
+fn classification_is_deterministic() {
+    each_case(|iface, reg, bit| {
         let run = || {
             let mut regs = RegisterFile::new();
             regs.flip_bit(reg, bit);
             classify_execution(&mut regs, program_for(iface), bit)
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run(), "{iface}/{reg}/{bit}");
+    });
+}
 
-    /// A clean register file never produces an event: the μ-programs are
-    /// fault-free on untainted state.
-    #[test]
-    fn clean_registers_never_classify(iface_idx in 0usize..6) {
+/// A clean register file never produces an event: the μ-programs are
+/// fault-free on untainted state.
+#[test]
+fn clean_registers_never_classify() {
+    for iface in IFACES {
         let mut regs = RegisterFile::new();
-        let ev = classify_execution(&mut regs, program_for(IFACES[iface_idx]), 0);
-        prop_assert_eq!(ev, ExecEvent::Latent);
-        prop_assert!(!regs.any_tainted());
+        let ev = classify_execution(&mut regs, program_for(iface), 0);
+        assert_eq!(ev, ExecEvent::Latent, "{iface}");
+        assert!(!regs.any_tainted(), "{iface}");
     }
+}
 
-    /// Repeated executions eventually resolve every flip: no
-    /// (register, bit) stays latent forever on any interface whose
-    /// program touches all registers.
-    #[test]
-    fn taint_resolves_within_two_runs(
-        iface_idx in 0usize..6,
-        reg in 0usize..NUM_REGISTERS,
-        bit in 0u32..32,
-    ) {
-        let iface = IFACES[iface_idx];
+/// Repeated executions eventually resolve every flip: no (register, bit)
+/// stays latent forever on any interface whose program touches all
+/// registers.
+#[test]
+fn taint_resolves_within_two_runs() {
+    each_case(|iface, reg, bit| {
         let mut regs = RegisterFile::new();
         regs.flip_bit(reg, bit);
         let first = classify_execution(&mut regs, program_for(iface), bit);
         if first == ExecEvent::Latent {
             let second = classify_execution(&mut regs, program_for(iface), bit);
-            prop_assert_ne!(
+            assert_ne!(
                 second,
                 ExecEvent::Latent,
-                "{} must consume a flip in reg {} within two runs",
-                iface,
-                reg
+                "{iface} must consume a flip in reg {reg} within two runs"
             );
         }
-    }
+    });
+}
 
-    /// Campaign rows always balance: injected = sum of outcome buckets,
-    /// and the derived ratios stay in [0, 1].
-    #[test]
-    fn campaign_rows_balance(outcomes in proptest::collection::vec(0u8..5, 0..300)) {
+/// Campaign rows always balance: injected = sum of outcome buckets, and
+/// the derived ratios stay in [0, 1].
+#[test]
+fn campaign_rows_balance() {
+    for case in 0..64 {
+        let mut rng = SplitMix64::new(mix(0x5171_F100, case));
         let mut row = CampaignRow::new("X");
-        for o in &outcomes {
-            row.record(match o {
+        for _ in 0..rng.gen_index(300) {
+            row.record(match rng.gen_range(5) {
                 0 => Outcome::Recovered,
                 1 => Outcome::Segfault,
                 2 => Outcome::Propagated,
@@ -100,12 +112,42 @@ proptest! {
                 _ => Outcome::Undetected,
             });
         }
-        prop_assert_eq!(
+        assert_eq!(
             row.injected,
             row.recovered + row.segfault + row.propagated + row.other + row.undetected
         );
-        prop_assert!((0.0..=1.0).contains(&row.activation_ratio()));
-        prop_assert!((0.0..=1.0).contains(&row.success_rate()));
-        prop_assert_eq!(row.activated(), row.injected - row.undetected);
+        assert!((0.0..=1.0).contains(&row.activation_ratio()));
+        assert!((0.0..=1.0).contains(&row.success_rate()));
+        assert_eq!(row.activated(), row.injected - row.undetected);
+    }
+}
+
+/// Merging shard rows reproduces the whole: splitting any outcome
+/// sequence at any point and merging the two partial rows equals the
+/// row recorded in one pass.
+#[test]
+fn shard_merge_equals_single_pass() {
+    let mut rng = SplitMix64::new(0xD15C_04D5);
+    let outcomes: Vec<Outcome> = (0..200)
+        .map(|_| match rng.gen_range(5) {
+            0 => Outcome::Recovered,
+            1 => Outcome::Segfault,
+            2 => Outcome::Propagated,
+            3 => Outcome::Other,
+            _ => Outcome::Undetected,
+        })
+        .collect();
+    let mut whole = CampaignRow::new("X");
+    for &o in &outcomes {
+        whole.record(o);
+    }
+    for split in [0, 1, 57, 199, 200] {
+        let (a, b) = outcomes.split_at(split);
+        let mut left = CampaignRow::new("X");
+        let mut right = CampaignRow::new("X");
+        a.iter().for_each(|&o| left.record(o));
+        b.iter().for_each(|&o| right.record(o));
+        left.merge(&right);
+        assert_eq!(left, whole, "split at {split}");
     }
 }

@@ -27,7 +27,11 @@ impl ApacheService {
     /// A server with the given site content and per-request work.
     #[must_use]
     pub fn new(site: BTreeMap<String, Vec<u8>>, work: SimTime) -> Self {
-        Self { site, work, requests_served: 0 }
+        Self {
+            site,
+            work,
+            requests_served: 0,
+        }
     }
 
     /// Requests served so far (tests).
@@ -87,12 +91,20 @@ mod tests {
     fn serves_known_path() {
         let mut k = Kernel::with_costs(CostModel::free());
         let app = k.add_client_component("client");
-        let apache =
-            k.add_component("apache", Box::new(ApacheService::new(site(), SimTime::from_micros(50))));
+        let apache = k.add_component(
+            "apache",
+            Box::new(ApacheService::new(site(), SimTime::from_micros(50))),
+        );
         k.grant(app, apache);
         let t = k.create_thread(app, Priority(5));
         let r = k
-            .invoke(app, t, apache, "handle", &[Value::from(Request::get("/index.html"))])
+            .invoke(
+                app,
+                t,
+                apache,
+                "handle",
+                &[Value::from(Request::get("/index.html"))],
+            )
             .unwrap();
         let body = r.bytes().unwrap();
         assert!(String::from_utf8_lossy(body).starts_with("HTTP/1.0 200"));
@@ -104,11 +116,21 @@ mod tests {
     fn unknown_path_is_404() {
         let mut k = Kernel::with_costs(CostModel::free());
         let app = k.add_client_component("client");
-        let apache =
-            k.add_component("apache", Box::new(ApacheService::new(site(), SimTime::ZERO)));
+        let apache = k.add_component(
+            "apache",
+            Box::new(ApacheService::new(site(), SimTime::ZERO)),
+        );
         k.grant(app, apache);
         let t = k.create_thread(app, Priority(5));
-        let r = k.invoke(app, t, apache, "handle", &[Value::from(Request::get("/nope"))]).unwrap();
+        let r = k
+            .invoke(
+                app,
+                t,
+                apache,
+                "handle",
+                &[Value::from(Request::get("/nope"))],
+            )
+            .unwrap();
         assert!(String::from_utf8_lossy(r.bytes().unwrap()).contains("404"));
     }
 }

@@ -62,7 +62,10 @@ impl Response {
     /// 404 Not Found.
     #[must_use]
     pub fn not_found() -> Self {
-        Self { status: 404, body: b"not found".to_vec() }
+        Self {
+            status: 404,
+            body: b"not found".to_vec(),
+        }
     }
 
     /// Serialize to wire bytes.

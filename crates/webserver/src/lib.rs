@@ -34,5 +34,5 @@ pub mod loadgen;
 pub mod pipeline;
 pub mod throughput;
 
-pub use loadgen::{run_fig7_variant, Fig7Config, WebVariant};
+pub use loadgen::{run_fig7_rep, run_fig7_variant, Fig7Config, Fig7Result, WebVariant};
 pub use throughput::ThroughputSeries;

@@ -9,8 +9,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use composite::{
-    CostModel, Executor, InterfaceCall, Kernel, KernelAccess, Priority, RunExit, SimTime,
-    StepResult, ThreadId, Value, Workload,
+    mix, CostModel, Executor, InterfaceCall, Kernel, KernelAccess, MetricsSnapshot, Priority,
+    RunExit, SimTime, StepResult, ThreadId, Value, Workload,
 };
 use sg_c3::{FtRuntime, RecoveryPolicy};
 use sg_services::api::ClientEnd;
@@ -72,6 +72,12 @@ pub struct Fig7Config {
     pub log_every: u32,
     /// Fault-injection period for the faulted variants.
     pub fault_period: SimTime,
+    /// Experiment seed: repetition `rep` phase-shifts the fault schedule
+    /// by `mix(seed, rep) % fault_period` (repetition 0 keeps phase 0).
+    pub seed: u64,
+    /// Repetitions per variant (the paper averages several one-minute
+    /// runs). Repetitions only differ in their fault-schedule phase.
+    pub repetitions: u64,
 }
 
 impl Default for Fig7Config {
@@ -84,6 +90,22 @@ impl Default for Fig7Config {
             mm_every: 8,
             log_every: 4,
             fault_period: SimTime::from_secs(10),
+            seed: 0xF167_0007,
+            repetitions: 1,
+        }
+    }
+}
+
+impl Fig7Config {
+    /// Phase offset for repetition `rep`'s fault schedule, in
+    /// `[0, fault_period)`. Repetition 0 always has phase 0, so a
+    /// single-repetition run reproduces the unphased schedule exactly.
+    #[must_use]
+    pub fn fault_phase(&self, rep: u64) -> SimTime {
+        if rep == 0 || self.fault_period.as_nanos() == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime(mix(self.seed, rep) % self.fault_period.as_nanos())
         }
     }
 }
@@ -129,6 +151,8 @@ pub struct Fig7Result {
     pub faults_injected: u64,
     /// Unrecovered faults observed (must stay 0 for FT variants).
     pub unrecovered: u64,
+    /// Per-component recovery-observability counters for this run.
+    pub metrics: MetricsSnapshot,
 }
 
 /// A closed-loop Apache client connection.
@@ -157,7 +181,10 @@ fn run_apache(cfg: &Fig7Config) -> Fig7Result {
     let client = k.add_client_component("ab");
     let mut site = std::collections::BTreeMap::new();
     site.insert("/index.html".to_owned(), vec![b'x'; 1024]);
-    let apache = k.add_component("apache", Box::new(ApacheService::new(site, cfg.handler_work)));
+    let apache = k.add_component(
+        "apache",
+        Box::new(ApacheService::new(site, cfg.handler_work)),
+    );
     k.grant(client, apache);
 
     let series = Rc::new(RefCell::new(ThroughputSeries::per_second()));
@@ -166,7 +193,10 @@ fn run_apache(cfg: &Fig7Config) -> Fig7Result {
         let t = k.create_thread(client, Priority(5));
         ex.attach(
             t,
-            Box::new(ApacheConn { end: ClientEnd::new(client, t, apache), series: series.clone() }),
+            Box::new(ApacheConn {
+                end: ClientEnd::new(client, t, apache),
+                series: series.clone(),
+            }),
         );
     }
     while k.now() < cfg.duration {
@@ -174,8 +204,11 @@ fn run_apache(cfg: &Fig7Config) -> Fig7Result {
             break;
         }
     }
+    let metrics = MetricsSnapshot::from_kernel(&k);
     drop(ex);
-    let series = Rc::try_unwrap(series).expect("workloads dropped").into_inner();
+    let series = Rc::try_unwrap(series)
+        .expect("workloads dropped")
+        .into_inner();
     let mean = series.mean_rps(cfg.duration);
     let stdev = series.stdev_rps(cfg.duration);
     Fig7Result {
@@ -186,6 +219,7 @@ fn run_apache(cfg: &Fig7Config) -> Fig7Result {
         series,
         faults_injected: 0,
         unrecovered: 0,
+        metrics,
     }
 }
 
@@ -201,7 +235,13 @@ fn setup_site(
     let app = ids.app1;
     let session_lock = tb
         .runtime
-        .interface_call(app, setup_thread, ids.lock, "lock_alloc", &[Value::from(app.0)])
+        .interface_call(
+            app,
+            setup_thread,
+            ids.lock,
+            "lock_alloc",
+            &[Value::from(app.0)],
+        )
         .expect("lock_alloc")
         .int()
         .expect("lock id");
@@ -229,7 +269,11 @@ fn setup_site(
                 setup_thread,
                 ids.fs,
                 "tsplit",
-                &[Value::from(app.0), Value::Int(0), Value::from(file.as_str())],
+                &[
+                    Value::from(app.0),
+                    Value::Int(0),
+                    Value::from(file.as_str()),
+                ],
             )
             .expect("tsplit")
             .int()
@@ -240,11 +284,21 @@ fn setup_site(
                 setup_thread,
                 ids.fs,
                 "twrite",
-                &[Value::from(app.0), Value::Int(fd), Value::Bytes(vec![b'x'; 1024])],
+                &[
+                    Value::from(app.0),
+                    Value::Int(fd),
+                    Value::Bytes(vec![b'x'; 1024]),
+                ],
             )
             .expect("twrite");
         tb.runtime
-            .interface_call(app, setup_thread, ids.fs, "trelease", &[Value::from(app.0), Value::Int(fd)])
+            .interface_call(
+                app,
+                setup_thread,
+                ids.fs,
+                "trelease",
+                &[Value::from(app.0), Value::Int(fd)],
+            )
             .expect("trelease");
     }
     Site {
@@ -258,15 +312,19 @@ fn setup_site(
     }
 }
 
-fn run_composite(variant: WebVariant, cfg: &Fig7Config) -> Fig7Result {
+fn run_composite(variant: WebVariant, cfg: &Fig7Config, rep: u64) -> Fig7Result {
     let (tb_variant, faults) = match variant {
         WebVariant::Composite => (Variant::Bare, false),
         WebVariant::C3 { faults } => (Variant::C3, faults),
         WebVariant::SuperGlue { faults } => (Variant::SuperGlue, faults),
         WebVariant::Apache => unreachable!("handled by run_apache"),
     };
-    let mut tb = Testbed::build_with(tb_variant, web_cost_model(variant), RecoveryPolicy::OnDemand)
-        .expect("testbed builds");
+    let mut tb = Testbed::build_with(
+        tb_variant,
+        web_cost_model(variant),
+        RecoveryPolicy::OnDemand,
+    )
+    .expect("testbed builds");
 
     let series = Rc::new(RefCell::new(ThroughputSeries::per_second()));
     let setup_thread = tb.spawn_thread(tb.ids.app1, Priority(3));
@@ -284,7 +342,15 @@ fn run_composite(variant: WebVariant, cfg: &Fig7Config) -> Fig7Result {
             mm: ClientEnd::new(ids.app1, t, ids.mm),
             sched: ClientEnd::new(ids.app1, t, ids.sched),
         };
-        ex.attach(t, Box::new(WebConnection::new(ends, site.clone(), per_conn_budget, i as u64)));
+        ex.attach(
+            t,
+            Box::new(WebConnection::new(
+                ends,
+                site.clone(),
+                per_conn_budget,
+                i as u64,
+            )),
+        );
     }
     // Logger lives in a different component: the log event's global id
     // crosses the namespace exactly like the paper's setup.
@@ -307,11 +373,14 @@ fn run_composite(variant: WebVariant, cfg: &Fig7Config) -> Fig7Result {
     );
 
     let rotation = [ids.sched, ids.mm, ids.fs, ids.lock, ids.evt, ids.tmr];
-    let mut next_fault = cfg.fault_period;
+    let mut next_fault = cfg.fault_period + cfg.fault_phase(rep);
     let mut faults_injected = 0u64;
 
     while tb.runtime.kernel().now() < cfg.duration {
-        if cfg.request_budget.is_some_and(|n| series.borrow().total() >= n) {
+        if cfg
+            .request_budget
+            .is_some_and(|n| series.borrow().total() >= n)
+        {
             break;
         }
         if faults && tb.runtime.kernel().now() >= next_fault {
@@ -325,9 +394,12 @@ fn run_composite(variant: WebVariant, cfg: &Fig7Config) -> Fig7Result {
         }
     }
 
+    let metrics = MetricsSnapshot::from_kernel(tb.runtime.kernel());
     drop(ex);
     drop(site);
-    let series = Rc::try_unwrap(series).expect("workloads dropped").into_inner();
+    let series = Rc::try_unwrap(series)
+        .expect("workloads dropped")
+        .into_inner();
     let mean = series.mean_rps(cfg.duration);
     let stdev = series.stdev_rps(cfg.duration);
     Fig7Result {
@@ -338,15 +410,25 @@ fn run_composite(variant: WebVariant, cfg: &Fig7Config) -> Fig7Result {
         series,
         faults_injected,
         unrecovered: tb.runtime.stats().unrecovered,
+        metrics,
     }
 }
 
-/// Run one Fig 7 variant to completion.
+/// Run one Fig 7 variant to completion (repetition 0's fault schedule).
 #[must_use]
 pub fn run_fig7_variant(variant: WebVariant, cfg: &Fig7Config) -> Fig7Result {
+    run_fig7_rep(variant, cfg, 0)
+}
+
+/// Run one repetition of a Fig 7 variant. Repetitions differ only in
+/// the phase of the fault schedule ([`Fig7Config::fault_phase`]), so
+/// every `(variant, rep)` pair is an independent, deterministic unit of
+/// work that can run on any worker thread.
+#[must_use]
+pub fn run_fig7_rep(variant: WebVariant, cfg: &Fig7Config, rep: u64) -> Fig7Result {
     match variant {
         WebVariant::Apache => run_apache(cfg),
-        other => run_composite(other, cfg),
+        other => run_composite(other, cfg, rep),
     }
 }
 
@@ -355,7 +437,10 @@ mod tests {
     use super::*;
 
     fn short_cfg() -> Fig7Config {
-        Fig7Config { duration: SimTime::from_secs(2), ..Fig7Config::default() }
+        Fig7Config {
+            duration: SimTime::from_secs(2),
+            ..Fig7Config::default()
+        }
     }
 
     #[test]
@@ -384,7 +469,10 @@ mod tests {
         let c3_slow = 1.0 - c3.mean_rps / composite.mean_rps;
         let sg_slow = 1.0 - sg.mean_rps / composite.mean_rps;
         assert!(c3_slow > 0.03 && c3_slow < 0.25, "c3 slowdown {c3_slow}");
-        assert!(sg_slow > c3_slow, "superglue ({sg_slow}) must trail c3 ({c3_slow})");
+        assert!(
+            sg_slow > c3_slow,
+            "superglue ({sg_slow}) must trail c3 ({c3_slow})"
+        );
     }
 
     #[test]
@@ -400,7 +488,11 @@ mod tests {
         // Throughput never collapses to zero in any closed bucket.
         let whole = (cfg.duration.as_nanos() / 1_000_000_000) as usize;
         for (i, &b) in r.series.buckets().iter().take(whole).enumerate() {
-            assert!(b > 0, "bucket {i} dropped to zero: {:?}", r.series.buckets());
+            assert!(
+                b > 0,
+                "bucket {i} dropped to zero: {:?}",
+                r.series.buckets()
+            );
         }
     }
 

@@ -121,7 +121,8 @@ impl WebConnection {
         debug_assert!(parsed.is_ok());
 
         // Optional request buffer through the MM.
-        let mapped = self.site.mm_every != 0 && self.served.is_multiple_of(u64::from(self.site.mm_every));
+        let mapped =
+            self.site.mm_every != 0 && self.served.is_multiple_of(u64::from(self.site.mm_every));
         let mut map_key = 0;
         if mapped {
             map_key = mman::get_page(ctx, &self.ends.mm, self.vaddr)?;
@@ -208,7 +209,13 @@ impl Logger {
     /// A logger consuming `log_evt`.
     #[must_use]
     pub fn new(evt_end: ClientEnd, fs_end: ClientEnd, log_evt: i64) -> Self {
-        Self { evt_end, fs_end, log_evt, log_fd: None, lines: 0 }
+        Self {
+            evt_end,
+            fs_end,
+            log_evt,
+            log_fd: None,
+            lines: 0,
+        }
     }
 
     /// Lines written so far.
@@ -261,7 +268,12 @@ impl Housekeeper {
     /// A housekeeper ticking at the given period.
     #[must_use]
     pub fn new(tmr_end: ClientEnd, period_ns: i64) -> Self {
-        Self { tmr_end, period_ns, desc: None, ticks: 0 }
+        Self {
+            tmr_end,
+            period_ns,
+            desc: None,
+            ticks: 0,
+        }
     }
 
     /// Ticks elapsed.

@@ -2,10 +2,9 @@
 //! series).
 
 use composite::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Completed-request counts in fixed-width virtual-time buckets.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThroughputSeries {
     bucket_ns: u64,
     counts: Vec<u64>,
@@ -17,7 +16,11 @@ impl ThroughputSeries {
     #[must_use]
     pub fn new(bucket: SimTime) -> Self {
         assert!(bucket.as_nanos() > 0, "bucket width must be positive");
-        Self { bucket_ns: bucket.as_nanos(), counts: Vec::new(), total: 0 }
+        Self {
+            bucket_ns: bucket.as_nanos(),
+            counts: Vec::new(),
+            total: 0,
+        }
     }
 
     /// One-second buckets (the paper's resolution).

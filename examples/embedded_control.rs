@@ -95,9 +95,7 @@ impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for Controller {
         }
         // Read the newest sample (ring over the ten seeded ones).
         let sensor = self.sensor_fd.expect("set up");
-        if let Err(e) =
-            fs::seek(ctx, &self.fs_end, sensor, i64::from(self.cycle % 10))
-        {
+        if let Err(e) = fs::seek(ctx, &self.fs_end, sensor, i64::from(self.cycle % 10)) {
             return wrap(e);
         }
         let sample = match fs::read(ctx, &self.fs_end, sensor, 1) {
@@ -218,7 +216,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 break;
             }
         }
-        let name = tb.runtime.kernel().component_name(*svc).unwrap_or("?").to_owned();
+        let name = tb
+            .runtime
+            .kernel()
+            .component_name(*svc)
+            .unwrap_or("?")
+            .to_owned();
         println!(
             "  t={:>6}: crashing `{name}`",
             format!("{}", tb.runtime.kernel().now())
@@ -238,6 +241,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(t.commands_issued, CYCLES);
     assert_eq!(t.commands_actuated, CYCLES);
     assert_eq!(stats.unrecovered, 0);
-    println!("ok: every control command survived {} service crashes.", faults.len());
+    println!(
+        "ok: every control command survived {} service crashes.",
+        faults.len()
+    );
     Ok(())
 }

@@ -14,7 +14,10 @@ fn main() {
         seed: 0xD15EA5E,
         ..CampaignConfig::default()
     };
-    println!("mini SWIFI campaign: 120 bit flips into the FS component (seed 0x{:X})", cfg.seed);
+    println!(
+        "mini SWIFI campaign: 120 bit flips into the FS component (seed 0x{:X})",
+        cfg.seed
+    );
     println!("{}", CampaignRow::table_header());
     let row = run_campaign("fs", &cfg);
     println!("{}", row.table_line());

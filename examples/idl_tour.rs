@@ -48,8 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fid = superglue_sm::FnId(i as u32);
         match spec.machine.recovery_walk(State::After(fid)) {
             Ok(walk) => {
-                let names: Vec<&str> =
-                    walk.iter().map(|&w| spec.machine.function_name(w)).collect();
+                let names: Vec<&str> = walk
+                    .iter()
+                    .map(|&w| spec.machine.function_name(w))
+                    .collect();
                 println!("  after {:<14} -> replay [{}]", f.name, names.join(", "));
             }
             Err(_) => println!("  after {:<14} -> (terminal or unreachable)", f.name),

@@ -13,7 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Compile the six shipped IDL files and assemble the full
     //    simulated COMPOSITE OS with generated stubs on every edge.
     let mut tb = Testbed::build(Variant::SuperGlue)?;
-    println!("built {} with {} components", tb.variant, tb.runtime.kernel().component_count());
+    println!(
+        "built {} with {} components",
+        tb.variant,
+        tb.runtime.kernel().component_count()
+    );
 
     // 2. Attach the paper's Lock workload: one owner, one contender.
     let t1 = tb.spawn_thread(tb.ids.app1, Priority(5));
@@ -22,11 +26,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ex: Executor<FtRuntime> = Executor::new();
     ex.attach(
         t1,
-        Box::new(LockOwner::new(ClientEnd::new(tb.ids.app1, t1, tb.ids.lock), shared.clone(), 50, 2)),
+        Box::new(LockOwner::new(
+            ClientEnd::new(tb.ids.app1, t1, tb.ids.lock),
+            shared.clone(),
+            50,
+            2,
+        )),
     );
     ex.attach(
         t2,
-        Box::new(LockContender::new(ClientEnd::new(tb.ids.app1, t2, tb.ids.lock), shared, 50)),
+        Box::new(LockContender::new(
+            ClientEnd::new(tb.ids.app1, t2, tb.ids.lock),
+            shared,
+            50,
+        )),
     );
 
     // 3. Run a bit, then crash the lock server (fail-stop transient
@@ -44,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(exit, RunExit::AllDone);
 
     let stats = tb.runtime.stats();
-    println!("workloads completed across {} faults:", stats.faults_handled);
+    println!(
+        "workloads completed across {} faults:",
+        stats.faults_handled
+    );
     println!("  descriptors recovered : {}", stats.descriptors_recovered);
     println!("  walk steps replayed   : {}", stats.walk_steps_replayed);
     println!("  unrecovered faults    : {}", stats.unrecovered);

@@ -11,7 +11,10 @@ use sg_webserver::{run_fig7_variant, Fig7Config, WebVariant};
 fn sparkline(buckets: &[u64]) -> String {
     const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let max = buckets.iter().copied().max().unwrap_or(1).max(1);
-    buckets.iter().map(|&b| GLYPHS[((b * 7) / max) as usize]).collect()
+    buckets
+        .iter()
+        .map(|&b| GLYPHS[((b * 7) / max) as usize])
+        .collect()
 }
 
 fn main() {

@@ -1,0 +1,92 @@
+//! Determinism regression tests for the parallel evaluation engine.
+//!
+//! The sharded SWIFI campaign and the Fig 7 repetition fan-out must be
+//! **bit-identical for every worker count**: each shard/repetition draws
+//! from its own seeded RNG stream (`mix(campaign_seed, shard_index)`)
+//! and results are merged in shard order, so `--jobs 1` and `--jobs 8`
+//! may differ only in wall-clock time.
+
+use composite::parallel_map_indexed;
+use sg_swifi::{run_campaign_parallel, CampaignConfig};
+use sg_webserver::{run_fig7_rep, Fig7Config, WebVariant};
+use superglue::testbed::Variant;
+
+#[test]
+fn mini_campaign_tallies_identical_across_jobs() {
+    for variant in [Variant::C3, Variant::SuperGlue] {
+        let cfg = CampaignConfig {
+            variant,
+            injections: 50,
+            seed: 0x0D15_EA5E,
+            ..CampaignConfig::default()
+        };
+        let serial = run_campaign_parallel("lock", &cfg, 1);
+        let sharded = run_campaign_parallel("lock", &cfg, 8);
+        assert_eq!(
+            serial.row, sharded.row,
+            "{variant:?}: Table II tallies must not depend on --jobs"
+        );
+        assert_eq!(
+            serial.metrics, sharded.metrics,
+            "{variant:?}: mechanism counters must not depend on --jobs"
+        );
+        assert_eq!(
+            serial.metrics.to_json_lines("campaign/lock"),
+            sharded.metrics.to_json_lines("campaign/lock"),
+            "{variant:?}: emitted JSON-lines must be byte-identical"
+        );
+        assert_eq!(serial.row.injected, 50, "{variant:?}: full quota injected");
+    }
+}
+
+#[test]
+fn campaign_shard_results_are_independent_of_schedule() {
+    // Odd jobs counts exercise unbalanced work-stealing schedules; the
+    // merged result must still be the jobs=1 result.
+    let cfg = CampaignConfig {
+        injections: 50,
+        seed: 0xFEED_F00D,
+        ..CampaignConfig::default()
+    };
+    let baseline = run_campaign_parallel("evt", &cfg, 1);
+    for jobs in [2, 3, 5] {
+        assert_eq!(
+            baseline,
+            run_campaign_parallel("evt", &cfg, jobs),
+            "jobs = {jobs}"
+        );
+    }
+}
+
+#[test]
+fn fig7_repetitions_identical_across_jobs() {
+    let cfg = Fig7Config {
+        duration: composite::SimTime::from_secs(3),
+        fault_period: composite::SimTime::from_secs(1),
+        repetitions: 4,
+        seed: 0xF167_0007,
+        ..Fig7Config::default()
+    };
+    let variant = WebVariant::SuperGlue { faults: true };
+    let reps = cfg.repetitions as usize;
+    let run = |jobs: usize| {
+        parallel_map_indexed(reps, jobs, |rep| run_fig7_rep(variant, &cfg, rep as u64))
+    };
+    let serial = run(1);
+    let sharded = run(8);
+    for (a, b) in serial.iter().zip(&sharded) {
+        assert_eq!(a.series.buckets(), b.series.buckets());
+        assert_eq!(a.total_requests, b.total_requests);
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.unrecovered, b.unrecovered);
+        assert_eq!(a.metrics, b.metrics);
+    }
+    // Repetitions exist for variance: phase-shifted fault schedules must
+    // actually differ between repetitions.
+    assert!(
+        serial
+            .iter()
+            .any(|r| r.series.buckets() != serial[0].series.buckets()),
+        "phase-shifted repetitions should not all be identical"
+    );
+}

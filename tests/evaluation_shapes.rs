@@ -19,55 +19,107 @@ fn fig6c_loc_ordering_idl_far_below_generated_and_handwritten() {
         );
     }
     // §VII: the average IDL file is tens of lines.
-    let total: usize =
-        superglue::idl_sources().iter().map(|(_, s)| superglue_idl::idl_loc(s)).sum();
+    let total: usize = superglue::idl_sources()
+        .iter()
+        .map(|(_, s)| superglue_idl::idl_loc(s))
+        .sum();
     let avg = total / 6;
     assert!((15..=60).contains(&avg), "avg IDL LOC {avg}");
 }
 
 #[test]
 fn table2_shape_high_activation_high_recovery_sched_worst_segfaults() {
-    let cfg = CampaignConfig { injections: 150, seed: 11, ..CampaignConfig::default() };
+    let cfg = CampaignConfig {
+        injections: 150,
+        seed: 11,
+        ..CampaignConfig::default()
+    };
     let mut segfault_by_iface = Vec::new();
     for iface in ["sched", "fs", "lock"] {
         let row = run_campaign(iface, &cfg);
         assert_eq!(row.injected, 150, "{iface}");
-        assert!(row.activation_ratio() > 0.80, "{iface}: activation {:.2}", row.activation_ratio());
-        assert!(row.success_rate() > 0.75, "{iface}: success {:.2}", row.success_rate());
+        assert!(
+            row.activation_ratio() > 0.80,
+            "{iface}: activation {:.2}",
+            row.activation_ratio()
+        );
+        assert!(
+            row.success_rate() > 0.75,
+            "{iface}: success {:.2}",
+            row.success_rate()
+        );
         // Propagation is rare (hardware isolation), §V-D.
         assert!(row.propagated <= row.injected / 20, "{iface}: {row:?}");
         segfault_by_iface.push((iface, row.segfault));
     }
-    let sched = segfault_by_iface.iter().find(|(i, _)| *i == "sched").expect("sched ran").1;
+    let sched = segfault_by_iface
+        .iter()
+        .find(|(i, _)| *i == "sched")
+        .expect("sched ran")
+        .1;
     for (iface, n) in &segfault_by_iface {
         if *iface != "sched" {
-            assert!(sched >= *n, "sched ({sched}) must have the most segfaults vs {iface} ({n})");
+            assert!(
+                sched >= *n,
+                "sched ({sched}) must have the most segfaults vs {iface} ({n})"
+            );
         }
     }
 }
 
 #[test]
 fn table2_c3_and_superglue_recover_comparably() {
-    let base = CampaignConfig { injections: 100, seed: 23, ..CampaignConfig::default() };
-    let sg = run_campaign("lock", &CampaignConfig { variant: Variant::SuperGlue, ..base });
-    let c3 = run_campaign("lock", &CampaignConfig { variant: Variant::C3, ..base });
+    let base = CampaignConfig {
+        injections: 100,
+        seed: 23,
+        ..CampaignConfig::default()
+    };
+    let sg = run_campaign(
+        "lock",
+        &CampaignConfig {
+            variant: Variant::SuperGlue,
+            ..base
+        },
+    );
+    let c3 = run_campaign(
+        "lock",
+        &CampaignConfig {
+            variant: Variant::C3,
+            ..base
+        },
+    );
     let delta = (sg.success_rate() - c3.success_rate()).abs();
-    assert!(delta < 0.15, "success rates must be comparable: sg {sg:?} c3 {c3:?}");
+    assert!(
+        delta < 0.15,
+        "success rates must be comparable: sg {sg:?} c3 {c3:?}"
+    );
 }
 
 #[test]
 fn fig7_ordering_apache_base_c3_superglue() {
-    let cfg = Fig7Config { duration: SimTime::from_secs(3), ..Fig7Config::default() };
+    let cfg = Fig7Config {
+        duration: SimTime::from_secs(3),
+        ..Fig7Config::default()
+    };
     let apache = run_fig7_variant(WebVariant::Apache, &cfg).mean_rps;
     let base = run_fig7_variant(WebVariant::Composite, &cfg).mean_rps;
     let c3 = run_fig7_variant(WebVariant::C3 { faults: false }, &cfg).mean_rps;
     let sg = run_fig7_variant(WebVariant::SuperGlue { faults: false }, &cfg).mean_rps;
-    assert!(apache > base && base > c3 && c3 > sg, "{apache} > {base} > {c3} > {sg}");
+    assert!(
+        apache > base && base > c3 && c3 > sg,
+        "{apache} > {base} > {c3} > {sg}"
+    );
     // The FT cost stays in the paper's band (single-digit to low-teens %).
     let sg_slowdown = 1.0 - sg / base;
-    assert!((0.05..0.20).contains(&sg_slowdown), "superglue slowdown {sg_slowdown:.3}");
+    assert!(
+        (0.05..0.20).contains(&sg_slowdown),
+        "superglue slowdown {sg_slowdown:.3}"
+    );
     let c3_slowdown = 1.0 - c3 / base;
-    assert!((0.04..0.18).contains(&c3_slowdown), "c3 slowdown {c3_slowdown:.3}");
+    assert!(
+        (0.04..0.18).contains(&c3_slowdown),
+        "c3 slowdown {c3_slowdown:.3}"
+    );
 }
 
 #[test]
@@ -81,8 +133,14 @@ fn fig7_faults_cost_a_bit_more_but_never_zero_a_bucket() {
     let faulted = run_fig7_variant(WebVariant::SuperGlue { faults: true }, &cfg);
     assert!(faulted.faults_injected >= 4);
     assert_eq!(faulted.unrecovered, 0);
-    assert!(faulted.mean_rps < clean.mean_rps, "faults must cost some throughput");
-    assert!(faulted.mean_rps > 0.5 * clean.mean_rps, "recovery must not halve throughput");
+    assert!(
+        faulted.mean_rps < clean.mean_rps,
+        "faults must cost some throughput"
+    );
+    assert!(
+        faulted.mean_rps > 0.5 * clean.mean_rps,
+        "recovery must not halve throughput"
+    );
     let whole = (cfg.duration.as_nanos() / 1_000_000_000) as usize;
     for (i, &b) in faulted.series.buckets().iter().take(whole).enumerate() {
         assert!(b > 0, "bucket {i} dropped to zero");

@@ -43,7 +43,9 @@ impl Service for Registry {
             }
             "reg_get" => {
                 let id = args[1].int()?;
-                Ok(Value::Int(*self.entries.get(&id).ok_or(ServiceError::NotFound)?))
+                Ok(Value::Int(
+                    *self.entries.get(&id).ok_or(ServiceError::NotFound)?,
+                ))
             }
             "reg_close" => {
                 let id = args[1].int()?;
@@ -82,7 +84,12 @@ long reg_get(componentid_t compid, desc(long regid));
 int reg_close(componentid_t compid, desc(long regid));
 "#;
 
-fn build() -> (FtRuntime, composite::ComponentId, composite::ComponentId, composite::ThreadId) {
+fn build() -> (
+    FtRuntime,
+    composite::ComponentId,
+    composite::ComponentId,
+    composite::ThreadId,
+) {
     let mut k = Kernel::with_costs(CostModel::free());
     let app = k.add_client_component("app");
     let reg = k.add_component("reg", Box::new(Registry::default()));
@@ -90,7 +97,11 @@ fn build() -> (FtRuntime, composite::ComponentId, composite::ComponentId, compos
     let spec = superglue_idl::compile_interface("reg", REG_IDL).expect("idl compiles");
     let compiled = superglue_compiler::compile(&spec);
     let mut rt = FtRuntime::new(k, RuntimeConfig::default());
-    rt.install_stub(app, reg, Box::new(CompiledStub::new(Arc::new(compiled.stub_spec))));
+    rt.install_stub(
+        app,
+        reg,
+        Box::new(CompiledStub::new(Arc::new(compiled.stub_spec))),
+    );
     (rt, app, reg, t)
 }
 
@@ -102,8 +113,14 @@ fn third_party_service_gains_recovery_from_idl_alone() {
         .unwrap()
         .int()
         .unwrap();
-    rt.interface_call(app, t, reg, "reg_set", &[Value::Int(1), Value::Int(id), Value::Int(42)])
-        .unwrap();
+    rt.interface_call(
+        app,
+        t,
+        reg,
+        "reg_set",
+        &[Value::Int(1), Value::Int(id), Value::Int(42)],
+    )
+    .unwrap();
 
     rt.inject_fault(reg);
 
@@ -157,13 +174,17 @@ fn closed_descriptors_stay_closed_across_faults() {
         .unwrap()
         .int()
         .unwrap();
-    rt.interface_call(app, t, reg, "reg_close", &[Value::Int(1), Value::Int(id)]).unwrap();
+    rt.interface_call(app, t, reg, "reg_close", &[Value::Int(1), Value::Int(id)])
+        .unwrap();
     rt.inject_fault(reg);
     // A closed descriptor is not resurrected by recovery.
     let err = rt
         .interface_call(app, t, reg, "reg_get", &[Value::Int(1), Value::Int(id)])
         .unwrap_err();
-    assert!(matches!(err, composite::CallError::Service(ServiceError::NotFound)));
+    assert!(matches!(
+        err,
+        composite::CallError::Service(ServiceError::NotFound)
+    ));
 }
 
 #[test]

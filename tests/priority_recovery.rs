@@ -38,7 +38,13 @@ fn on_demand_recovery_charges_the_high_priority_thread_for_one_descriptor() {
     tb.runtime.inject_fault(tb.ids.lock);
     let before = tb.runtime.kernel().now();
     tb.runtime
-        .interface_call(tb.ids.app1, hi, tb.ids.lock, "lock_take", &[Value::Int(1), Value::Int(hi_desc)])
+        .interface_call(
+            tb.ids.app1,
+            hi,
+            tb.ids.lock,
+            "lock_take",
+            &[Value::Int(1), Value::Int(hi_desc)],
+        )
         .expect("take after recovery");
     let latency = tb.runtime.kernel().now().saturating_sub(before);
     // Exactly one descriptor was rebuilt before the request completed.
@@ -61,9 +67,17 @@ fn eager_recovery_pays_for_the_whole_backlog_first() {
     let (mut tb, hi, hi_desc) = build(RecoveryPolicy::Eager);
     tb.runtime.inject_fault(tb.ids.lock);
     let before = tb.runtime.kernel().now();
-    tb.runtime.handle_fault_now(tb.ids.lock, hi).expect("eager recovery");
     tb.runtime
-        .interface_call(tb.ids.app1, hi, tb.ids.lock, "lock_take", &[Value::Int(1), Value::Int(hi_desc)])
+        .handle_fault_now(tb.ids.lock, hi)
+        .expect("eager recovery");
+    tb.runtime
+        .interface_call(
+            tb.ids.app1,
+            hi,
+            tb.ids.lock,
+            "lock_take",
+            &[Value::Int(1), Value::Int(hi_desc)],
+        )
         .expect("take after recovery");
     let latency = tb.runtime.kernel().now().saturating_sub(before);
     // Every descriptor was recovered before the request completed…
@@ -92,7 +106,13 @@ fn on_demand_interference_is_an_order_of_magnitude_below_eager() {
             tb.runtime.handle_fault_now(tb.ids.lock, hi).expect("eager");
         }
         tb.runtime
-            .interface_call(tb.ids.app1, hi, tb.ids.lock, "lock_take", &[Value::Int(1), Value::Int(hi_desc)])
+            .interface_call(
+                tb.ids.app1,
+                hi,
+                tb.ids.lock,
+                "lock_take",
+                &[Value::Int(1), Value::Int(hi_desc)],
+            )
             .expect("take");
         tb.runtime.kernel().now().saturating_sub(before)
     };
