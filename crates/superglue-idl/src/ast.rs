@@ -4,6 +4,8 @@ use std::fmt;
 
 use superglue_sm::ParentPolicy;
 
+use crate::Span;
+
 /// A parsed IDL file: global info, state-machine declarations, and
 /// annotated function prototypes, in source order.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -13,8 +15,22 @@ pub struct IdlFile {
     pub global_info: Vec<(String, GlobalValue)>,
     /// `sm_*` declarations in source order.
     pub sm_decls: Vec<SmDecl>,
+    /// Source locations of the `sm_*` declarations, index-aligned with
+    /// [`IdlFile::sm_decls`] (the span of each declaration's keyword).
+    pub sm_spans: Vec<Span>,
     /// Function prototypes in source order.
     pub functions: Vec<FnDecl>,
+}
+
+impl IdlFile {
+    /// The source span of the first `sm_*` declaration matching `pred`.
+    #[must_use]
+    pub fn sm_span_where(&self, pred: impl FnMut(&SmDecl) -> bool) -> Option<Span> {
+        self.sm_decls
+            .iter()
+            .position(pred)
+            .and_then(|i| self.sm_spans.get(i).copied())
+    }
 }
 
 /// Value of a `service_global_info` entry.
@@ -145,6 +161,8 @@ pub struct Param {
     pub name: String,
     /// Tracking annotation.
     pub annot: ParamAnnot,
+    /// Source location of the parameter (its first token).
+    pub span: Span,
 }
 
 /// How a `desc_data_retval`-style annotation treats the return value.
@@ -171,6 +189,8 @@ pub struct FnDecl {
     pub retval: Option<(CType, String, RetvalMode)>,
     /// Function name.
     pub name: String,
+    /// Source location of the function name token.
+    pub span: Span,
     /// Parameters in order.
     pub params: Vec<Param>,
 }
@@ -224,21 +244,25 @@ mod tests {
             ret: Some(CType::simple("int")),
             retval: None,
             name: "evt_wait".into(),
+            span: Span::default(),
             params: vec![
                 Param {
                     ty: CType::simple("componentid_t"),
                     name: "compid".into(),
                     annot: ParamAnnot::None,
+                    span: Span::default(),
                 },
                 Param {
                     ty: CType::simple("long"),
                     name: "evtid".into(),
                     annot: ParamAnnot::Desc,
+                    span: Span::default(),
                 },
                 Param {
                     ty: CType::simple("long"),
                     name: "parent".into(),
                     annot: ParamAnnot::DescDataParent,
+                    span: Span::default(),
                 },
             ],
         };

@@ -105,8 +105,10 @@ impl Parser {
                     }
                     "sm_transition" | "sm_creation" | "sm_terminal" | "sm_block" | "sm_wakeup"
                     | "sm_recover_via" | "sm_recover_block" => {
+                        let span = self.peek().span;
                         let kw = self.expect_ident("sm keyword")?;
                         out.sm_decls.push(self.sm_decl(&kw)?);
+                        out.sm_spans.push(span);
                     }
                     "desc_data_retval" | "desc_data_retval_accum" => {
                         if pending_retval.is_some() {
@@ -237,11 +239,13 @@ impl Parser {
     fn fn_decl(&mut self) -> Result<FnDecl, IdlError> {
         // Collect leading identifier words and stars until '('. The last
         // word is the function name; anything before is the return type.
+        let mut spans = vec![self.peek().span];
         let mut words = vec![self.expect_ident("a function prototype")?];
         let mut pointers = 0u8;
         loop {
             match &self.peek().kind {
                 TokenKind::Ident(_) if self.peek2().kind != TokenKind::Eq => {
+                    spans.push(self.peek().span);
                     words.push(self.expect_ident("an identifier")?);
                 }
                 TokenKind::Star => {
@@ -253,6 +257,7 @@ impl Parser {
             }
         }
         let name = words.pop().expect("at least one word");
+        let name_span = spans.pop().expect("span per word");
         let ret = if words.is_empty() {
             None
         } else {
@@ -280,11 +285,13 @@ impl Parser {
             ret,
             retval: None,
             name,
+            span: name_span,
             params,
         })
     }
 
     fn param(&mut self) -> Result<Param, IdlError> {
+        let span = self.peek().span;
         if self.at_ident("desc") && self.peek2().kind == TokenKind::LParen {
             self.bump();
             self.bump();
@@ -294,6 +301,7 @@ impl Parser {
                 ty,
                 name,
                 annot: ParamAnnot::Desc,
+                span,
             });
         }
         if self.at_ident("parent_desc") && self.peek2().kind == TokenKind::LParen {
@@ -305,6 +313,7 @@ impl Parser {
                 ty,
                 name,
                 annot: ParamAnnot::ParentDesc,
+                span,
             });
         }
         if self.at_ident("desc_data") && self.peek2().kind == TokenKind::LParen {
@@ -319,6 +328,7 @@ impl Parser {
                     ty,
                     name,
                     annot: ParamAnnot::DescDataParent,
+                    span,
                 }
             } else {
                 let (ty, name) = self.typed_name()?;
@@ -326,6 +336,7 @@ impl Parser {
                     ty,
                     name,
                     annot: ParamAnnot::DescData,
+                    span,
                 }
             };
             self.expect(&TokenKind::RParen, "')'")?;
@@ -336,6 +347,7 @@ impl Parser {
             ty,
             name,
             annot: ParamAnnot::None,
+            span,
         })
     }
 }
@@ -517,6 +529,18 @@ int evt_free(componentid_t compid, desc(long evtid));
         let f = parse("").unwrap();
         assert!(f.functions.is_empty());
         assert!(f.sm_decls.is_empty());
+    }
+
+    #[test]
+    fn spans_recorded_for_decls() {
+        let f =
+            parse("sm_creation(a);\ndesc_data_retval(long, id)\nlong a(componentid_t compid);\n")
+                .unwrap();
+        assert_eq!(f.sm_spans.len(), f.sm_decls.len());
+        assert_eq!(f.sm_spans[0], Span::new(1, 1));
+        // The function's span is the name token, not the return type.
+        assert_eq!(f.functions[0].span, Span::new(3, 6));
+        assert_eq!(f.functions[0].params[0].span, Span::new(3, 8));
     }
 
     #[test]

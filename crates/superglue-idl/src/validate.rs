@@ -176,6 +176,11 @@ pub fn validate(name: &str, file: &IdlFile) -> Result<InterfaceSpec, IdlError> {
                     "sm_recover_block source {f:?} must be a blocking function"
                 )));
             }
+            if recover_block.iter().any(|&(s, _)| s == fid) {
+                return Err(semantic(format!(
+                    "duplicate sm_recover_block declaration for source {f:?}"
+                )));
+            }
             recover_block.push((fid, gid));
         }
     }
@@ -194,11 +199,25 @@ pub fn validate(name: &str, file: &IdlFile) -> Result<InterfaceSpec, IdlError> {
                 ))
             })?;
             if machine
+                .recovery_walk(superglue_sm::State::After(fid))
+                .is_err()
+            {
+                return Err(semantic(format!(
+                    "sm_recover_via source {f:?} is not a reachable state of the machine; \
+                     the substitution could never apply"
+                )));
+            }
+            if machine
                 .recovery_walk(superglue_sm::State::After(gid))
                 .is_err()
             {
                 return Err(semantic(format!(
                     "sm_recover_via target {g:?} is not reachable from the initial state"
+                )));
+            }
+            if recover_via.iter().any(|&(s, _)| s == fid) {
+                return Err(semantic(format!(
+                    "duplicate sm_recover_via declaration for source {f:?}"
                 )));
             }
             recover_via.push((fid, gid));
@@ -274,10 +293,19 @@ fn lower_machine(name: &str, file: &IdlFile) -> Result<StateMachine, IdlError> {
             ))
         })
     };
+    let mut seen_edges: Vec<(superglue_sm::FnId, superglue_sm::FnId)> = Vec::new();
     for decl in &file.sm_decls {
         match decl {
             SmDecl::Transition(f, g) => {
+                let names = (f.clone(), g.clone());
                 let (f, g) = (lookup(f)?, lookup(g)?);
+                if seen_edges.contains(&(f, g)) {
+                    return Err(semantic(format!(
+                        "duplicate sm_transition({}, {}) edge",
+                        names.0, names.1
+                    )));
+                }
+                seen_edges.push((f, g));
                 b.transition(f, g);
             }
             SmDecl::Creation(f) => {
@@ -524,6 +552,51 @@ int evt_free(componentid_t compid, desc(long evtid));
     fn duplicate_function_rejected() {
         let err = spec("sm_creation(f);\ndesc_data_retval(long, id)\nf();\ndesc_data_retval(long, id2)\nf();\n").unwrap_err();
         assert!(err.to_string().contains("declared twice"));
+    }
+
+    #[test]
+    fn duplicate_transition_edge_rejected() {
+        let err = spec(
+            "sm_creation(f);\nsm_transition(f, g);\nsm_transition(f, g);\n\
+             desc_data_retval(long, id)\nf();\nint g(desc(long id));\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate sm_transition"));
+    }
+
+    #[test]
+    fn duplicate_recover_via_source_rejected() {
+        let err = spec(
+            "sm_creation(f);\nsm_transition(f, g);\nsm_recover_via(g, f);\nsm_recover_via(g, f);\n\
+             desc_data_retval(long, id)\nf();\nint g(desc(long id));\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate sm_recover_via"));
+    }
+
+    #[test]
+    fn duplicate_recover_block_source_rejected() {
+        let err = spec(
+            "service_global_info = { desc_block = true };\n\
+             sm_creation(f);\nsm_block(g);\nsm_transition(f, g);\n\
+             sm_recover_block(g, h);\nsm_recover_block(g, h);\n\
+             desc_data_retval(long, id)\nf();\nint g(desc(long id));\nint h(desc(long id), long owner);\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate sm_recover_block"));
+    }
+
+    #[test]
+    fn recover_via_unreachable_source_rejected() {
+        // `g` is declared but never a state of the machine, so the
+        // substitution could never apply — silently accepting it hides a
+        // spec typo.
+        let err = spec(
+            "sm_creation(f);\nsm_recover_via(g, f);\n\
+             desc_data_retval(long, id)\nf();\nint g(desc(long id));\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not a reachable state"));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! `sglint` — recovery-soundness analyzer for SuperGlue IDL specs.
+//!
+//! ```text
+//! usage: sglint [--format human|json] [--deny-warnings] <spec.sg>...
+//! ```
+//!
+//! Exit status: 0 when every spec is clean (warnings allowed unless
+//! `--deny-warnings`), 1 when any diagnostic fails the build, 2 on usage
+//! or I/O errors. Human output is compiler-style
+//! (`file:line:col: error[SG021]: ...`); `--format json` emits one JSON
+//! object per file (JSON-lines). See the repository README for the
+//! diagnostic-code table.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use superglue_lint::{lint_source, Severity};
+
+const USAGE: &str = "usage: sglint [--format human|json] [--deny-warnings] <spec.sg>...";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = Format::Human;
+    let mut deny_warnings = false;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                _ => {
+                    eprintln!("sglint: --format expects 'human' or 'json'\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                println!();
+                println!("Statically verifies the recovery soundness of SuperGlue IDL specs:");
+                println!("state-graph shape (SG01x), recoverability of every reachable state");
+                println!("(SG02x), tracking sufficiency of every replayed argument (SG03x),");
+                println!("blocking/metadata hygiene (SG04x), and compiled-stub conformance");
+                println!("(SG05x). A spec with errors is refused by the checked compiler.");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("sglint: unknown flag {flag:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("sglint: no input files\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    let (mut errors, mut warnings, mut notes) = (0usize, 0usize, 0usize);
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sglint: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let name = Path::new(file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("interface");
+        let report = lint_source(name, &source);
+        match format {
+            Format::Human => print!("{}", report.render_human(file)),
+            Format::Json => println!("{}", report.to_json(file).to_line()),
+        }
+        errors += report.count(Severity::Error);
+        warnings += report.count(Severity::Warning);
+        notes += report.count(Severity::Note);
+        failed |= report.fails(deny_warnings);
+    }
+
+    if format == Format::Human {
+        eprintln!(
+            "sglint: {} spec(s) checked: {errors} error(s), {warnings} warning(s), {notes} note(s)",
+            files.len()
+        );
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

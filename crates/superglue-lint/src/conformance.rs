@@ -1,0 +1,473 @@
+//! Stub-conformance pass: cross-check a compiled
+//! [`CompiledStubSpec`] against an independent recomputation from the
+//! validated [`InterfaceSpec`].
+//!
+//! The compiler's lowering ([`superglue_compiler::ir::lower`]) and this
+//! module share no code beyond the model types, so drift in either —
+//! a lowering regression, or a hand-tampered stub spec — produces
+//! `SG05x` errors. This is the paper's "generated stubs are trustworthy
+//! because the generator is checked" argument made executable.
+
+use std::collections::BTreeMap;
+
+use superglue_compiler::{ArgSource, CompiledStubSpec, RestoreArg, RetvalSpec};
+use superglue_idl::ast::RetvalMode;
+use superglue_idl::{FnSig, InterfaceSpec, TrackKind};
+use superglue_sm::{FnId, State};
+
+use crate::diag::{Code, Diagnostic};
+use crate::{compid_like, fmt_state, replayable_fns};
+
+/// Run all conformance checks of `stub` against `spec`.
+#[must_use]
+pub fn check(spec: &InterfaceSpec, stub: &CompiledStubSpec) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if stub.interface != spec.name {
+        diags.push(Diagnostic::new(
+            Code::ConformanceReplayPlan,
+            format!(
+                "compiled stub is for interface {:?}, spec is {:?}",
+                stub.interface, spec.name
+            ),
+        ));
+    }
+    if stub.fns.len() != spec.fns.len() {
+        diags.push(Diagnostic::new(
+            Code::ConformanceReplayPlan,
+            format!(
+                "compiled stub has {} functions, the interface declares {}",
+                stub.fns.len(),
+                spec.fns.len()
+            ),
+        ));
+        return diags; // Nothing below is index-safe.
+    }
+    track_args(spec, stub, &mut diags);
+    sigma(spec, stub, &mut diags);
+    recovery_maps(spec, stub, &mut diags);
+    restore_plan(spec, stub, &mut diags);
+    per_fn_plans(spec, stub, &mut diags);
+    diags
+}
+
+/// Resolve a metadata slot index to its name, tolerating corrupt tables.
+fn slot_name(stub: &CompiledStubSpec, slot: usize) -> String {
+    stub.meta_names
+        .get(slot)
+        .cloned()
+        .unwrap_or_else(|| format!("<slot {slot}>"))
+}
+
+/// `SG050`: `track_args` must equal the recomputed replayable set —
+/// a function wrongly untracked loses the last-observed fallback values
+/// recovery may need; wrongly tracked, it wastes hot-path memory.
+fn track_args(spec: &InterfaceSpec, stub: &CompiledStubSpec, diags: &mut Vec<Diagnostic>) {
+    let replayable = replayable_fns(spec);
+    for (i, cf) in stub.fns.iter().enumerate() {
+        let expected = replayable.contains_key(&FnId(i as u32));
+        if cf.track_args != expected {
+            diags.push(Diagnostic::new(
+                Code::ConformanceTrackArgs,
+                format!(
+                    "function {}: compiled track_args is {}, but the independently \
+                     recomputed replayable set says {}",
+                    cf.name, cf.track_args, expected
+                ),
+            ));
+        }
+    }
+}
+
+/// `SG051`: the dense σ table must agree with the machine's edge map —
+/// the runtime steps descriptor state through this table, so a wrong cell
+/// is a wrong fault-detection verdict.
+fn sigma(spec: &InterfaceSpec, stub: &CompiledStubSpec, diags: &mut Vec<Diagnostic>) {
+    let n = spec.fns.len();
+    let mut expected: Vec<Option<State>> = vec![None; (n + 1) * n];
+    for (src, f, dst) in spec.machine.edges() {
+        let idx = match src {
+            State::Init => 0usize,
+            State::After(g) => 1 + g.index(),
+            State::Terminated | State::Faulty => continue,
+        };
+        expected[idx * n + f.index()] = Some(dst);
+    }
+    if stub.sigma.len() != expected.len() {
+        diags.push(Diagnostic::new(
+            Code::ConformanceSigma,
+            format!(
+                "dense sigma table has {} cells, the machine demands {} ({} states x {} \
+                 functions)",
+                stub.sigma.len(),
+                expected.len(),
+                n + 1,
+                n
+            ),
+        ));
+        return;
+    }
+    for (cell, (got, want)) in stub.sigma.iter().zip(&expected).enumerate() {
+        if got == want {
+            continue;
+        }
+        let src = if cell / n == 0 {
+            State::Init
+        } else {
+            State::After(FnId((cell / n - 1) as u32))
+        };
+        let render = |s: &Option<State>| {
+            s.map_or_else(
+                || "invalid branch".to_owned(),
+                |t| fmt_state(&spec.machine, t),
+            )
+        };
+        diags.push(Diagnostic::new(
+            Code::ConformanceSigma,
+            format!(
+                "dense sigma disagrees with the machine at ({}, {}): stub says {}, machine \
+                 says {}",
+                fmt_state(&spec.machine, src),
+                stub.fns[cell % n].name,
+                render(got),
+                render(want)
+            ),
+        ));
+        return; // The first divergent cell is enough to act on.
+    }
+}
+
+fn render_map(spec: &InterfaceSpec, map: &BTreeMap<FnId, FnId>) -> String {
+    let pairs: Vec<String> = map
+        .iter()
+        .map(|(&f, &g)| {
+            format!(
+                "{} -> {}",
+                spec.machine.function_name(f),
+                spec.machine.function_name(g)
+            )
+        })
+        .collect();
+    format!("{{{}}}", pairs.join(", "))
+}
+
+/// `SG052`: the recovery substitution maps must match the declarations.
+fn recovery_maps(spec: &InterfaceSpec, stub: &CompiledStubSpec, diags: &mut Vec<Diagnostic>) {
+    let want_via: BTreeMap<FnId, FnId> = spec.recover_via.iter().copied().collect();
+    if stub.recover_via != want_via {
+        diags.push(Diagnostic::new(
+            Code::ConformanceRecoveryMaps,
+            format!(
+                "sm_recover_via map drift: stub has {}, spec declares {}",
+                render_map(spec, &stub.recover_via),
+                render_map(spec, &want_via)
+            ),
+        ));
+    }
+    let want_block: BTreeMap<FnId, FnId> = spec.recover_block.iter().copied().collect();
+    if stub.recover_block != want_block {
+        diags.push(Diagnostic::new(
+            Code::ConformanceRecoveryMaps,
+            format!(
+                "sm_recover_block map drift: stub has {}, spec declares {}",
+                render_map(spec, &stub.recover_block),
+                render_map(spec, &want_block)
+            ),
+        ));
+    }
+}
+
+/// `SG053`: the G0 restore plan must exist exactly for global interfaces
+/// and carry `[creator, descid, <creation metadata in order>]`; and
+/// creation recording must match the model (global or cross-component
+/// parents).
+fn restore_plan(spec: &InterfaceSpec, stub: &CompiledStubSpec, diags: &mut Vec<Diagnostic>) {
+    let want_records = spec.model.global || spec.model.parent.crosses_components();
+    if stub.records_creations != want_records {
+        diags.push(Diagnostic::new(
+            Code::ConformanceRestorePlan,
+            format!(
+                "records_creations is {}, but the model demands {} (global: {}, parent \
+                 policy: {})",
+                stub.records_creations, want_records, spec.model.global, spec.model.parent
+            ),
+        ));
+    }
+    match (&stub.restore, spec.model.global) {
+        (None, false) => {}
+        (None, true) => diags.push(Diagnostic::new(
+            Code::ConformanceRestorePlan,
+            "interface is global (G0) but the compiled stub has no restore plan",
+        )),
+        (Some((name, _)), false) => diags.push(Diagnostic::new(
+            Code::ConformanceRestorePlan,
+            format!("interface is not global, yet the stub carries restore plan {name:?}"),
+        )),
+        (Some((name, args)), true) => {
+            let want_name = format!("{}_restore", spec.name);
+            if *name != want_name {
+                diags.push(Diagnostic::new(
+                    Code::ConformanceRestorePlan,
+                    format!("restore upcall is named {name:?}, expected {want_name:?}"),
+                ));
+            }
+            let mut want: Vec<String> = vec!["creator".into(), "descid".into()];
+            if let Some(create) = spec.fns.iter().find(|s| spec.machine.roles(s.id).creates) {
+                for p in create.data_params() {
+                    if !compid_like(&p.ty, &p.name) {
+                        want.push(format!("meta:{}", p.name));
+                    }
+                }
+            }
+            let got: Vec<String> = args
+                .iter()
+                .map(|a| match a {
+                    RestoreArg::Creator => "creator".to_owned(),
+                    RestoreArg::DescId => "descid".to_owned(),
+                    RestoreArg::Meta(slot) => format!("meta:{}", slot_name(stub, *slot)),
+                })
+                .collect();
+            if got != want {
+                diags.push(Diagnostic::new(
+                    Code::ConformanceRestorePlan,
+                    format!(
+                        "restore argument plan drift: stub passes [{}], the model demands \
+                         [{}]",
+                        got.join(", "),
+                        want.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Expected replay-argument rendering for one parameter, mirroring the
+/// compiler's lowering rules from the annotations alone.
+fn want_arg(p: &superglue_idl::ParamSpec) -> String {
+    match p.track {
+        TrackKind::Desc => "descid".to_owned(),
+        TrackKind::Parent | TrackKind::DataParent => "parentid".to_owned(),
+        TrackKind::Data => {
+            if compid_like(&p.ty, &p.name) {
+                "clientid".to_owned()
+            } else {
+                format!("meta:{}", p.name)
+            }
+        }
+        TrackKind::None => {
+            if compid_like(&p.ty, &p.name) {
+                "clientid".to_owned()
+            } else {
+                "last-observed".to_owned()
+            }
+        }
+    }
+}
+
+fn got_arg(stub: &CompiledStubSpec, a: &ArgSource) -> String {
+    match a {
+        ArgSource::ClientId => "clientid".to_owned(),
+        ArgSource::DescId => "descid".to_owned(),
+        ArgSource::ParentId => "parentid".to_owned(),
+        ArgSource::Meta(slot) => format!("meta:{}", slot_name(stub, *slot)),
+        ArgSource::LastObserved => "last-observed".to_owned(),
+    }
+}
+
+/// `SG054`: per-function plans — roles, descriptor/parent positions,
+/// metadata captures, return-value treatment, and the replay synthesis
+/// plan must all agree with the annotations.
+fn per_fn_plans(spec: &InterfaceSpec, stub: &CompiledStubSpec, diags: &mut Vec<Diagnostic>) {
+    for (cf, sig) in stub.fns.iter().zip(&spec.fns) {
+        let mut drift = |what: String| {
+            diags.push(Diagnostic::new(
+                Code::ConformanceReplayPlan,
+                format!("function {}: {what}", sig.name),
+            ));
+        };
+        if cf.name != sig.name {
+            drift(format!("compiled under the name {:?}", cf.name));
+            continue;
+        }
+        let roles = spec.machine.roles(sig.id);
+        if cf.roles != roles {
+            drift(format!(
+                "compiled roles {:?} disagree with the machine's {:?}",
+                cf.roles, roles
+            ));
+        }
+        let want_desc = sig.params.iter().position(|p| p.track == TrackKind::Desc);
+        if cf.desc_arg != want_desc {
+            drift(format!(
+                "desc argument position is {:?}, annotations say {:?}",
+                cf.desc_arg, want_desc
+            ));
+        }
+        let want_parent = sig
+            .params
+            .iter()
+            .position(|p| matches!(p.track, TrackKind::Parent | TrackKind::DataParent));
+        if cf.parent_arg != want_parent {
+            drift(format!(
+                "parent argument position is {:?}, annotations say {:?}",
+                cf.parent_arg, want_parent
+            ));
+        }
+        let want_data: Vec<(usize, String)> = sig
+            .params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.track, TrackKind::Data | TrackKind::DataParent))
+            .map(|(i, p)| (i, p.name.clone()))
+            .collect();
+        let got_data: Vec<(usize, String)> = cf
+            .data_args
+            .iter()
+            .map(|&(i, slot)| (i, slot_name(stub, slot)))
+            .collect();
+        if got_data != want_data {
+            drift(format!(
+                "metadata captures are {got_data:?}, annotations say {want_data:?}"
+            ));
+        }
+        let want_ret = expected_retval(sig, roles.creates);
+        let got_ret = match cf.retval {
+            RetvalSpec::None => "ignored".to_owned(),
+            RetvalSpec::NewDesc(slot) => format!("new-desc:{}", slot_name(stub, slot)),
+            RetvalSpec::SetData(slot) => format!("set:{}", slot_name(stub, slot)),
+            RetvalSpec::AccumData(slot) => format!("accum:{}", slot_name(stub, slot)),
+        };
+        if got_ret != want_ret {
+            drift(format!(
+                "return value is treated as {got_ret}, annotations say {want_ret}"
+            ));
+        }
+        let want_replay: Vec<String> = sig.params.iter().map(want_arg).collect();
+        let got_replay: Vec<String> = cf.replay_args.iter().map(|a| got_arg(stub, a)).collect();
+        if got_replay != want_replay {
+            drift(format!(
+                "replay plan is [{}], annotations demand [{}]",
+                got_replay.join(", "),
+                want_replay.join(", ")
+            ));
+        }
+    }
+}
+
+fn expected_retval(sig: &FnSig, creates: bool) -> String {
+    match &sig.retval_tracked {
+        None => "ignored".to_owned(),
+        Some((_, name, mode)) => {
+            if creates {
+                format!("new-desc:{name}")
+            } else {
+                match mode {
+                    RetvalMode::Set => format!("set:{name}"),
+                    RetvalMode::Accum => format!("accum:{name}"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superglue_compiler::ir::lower;
+
+    const EVT: &str = include_str!("../../../idl/evt.sg");
+    const LOCK: &str = include_str!("../../../idl/lock.sg");
+
+    fn spec(name: &str, src: &str) -> InterfaceSpec {
+        superglue_idl::compile_interface(name, src).unwrap()
+    }
+
+    #[test]
+    fn faithful_lowering_is_clean() {
+        for (name, src) in [("evt", EVT), ("lock", LOCK)] {
+            let s = spec(name, src);
+            let stub = lower(&s);
+            assert_eq!(check(&s, &stub), Vec::new(), "{name} drifted");
+        }
+    }
+
+    #[test]
+    fn tampered_track_args_is_sg050() {
+        let s = spec("lock", LOCK);
+        let mut stub = lower(&s);
+        let (id, _) = stub.fn_by_name("lock_restore").unwrap();
+        stub.fns[id.index()].track_args = false;
+        let d = check(&s, &stub);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::ConformanceTrackArgs);
+        assert!(d[0].message.contains("lock_restore"));
+    }
+
+    #[test]
+    fn tampered_sigma_is_sg051() {
+        let s = spec("lock", LOCK);
+        let mut stub = lower(&s);
+        // Invent an edge: taking a lock twice in a row.
+        let (take, _) = stub.fn_by_name("lock_take").unwrap();
+        let n = stub.fns.len();
+        stub.sigma[(1 + take.index()) * n + take.index()] = Some(State::After(take));
+        let d = check(&s, &stub);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::ConformanceSigma);
+        assert!(d[0].message.contains("after(lock_take)"));
+        assert!(d[0].message.contains("invalid branch"));
+    }
+
+    #[test]
+    fn tampered_recovery_maps_is_sg052() {
+        let s = spec("lock", LOCK);
+        let mut stub = lower(&s);
+        stub.recover_via.clear();
+        stub.recover_block.clear();
+        let d = check(&s, &stub);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| x.code == Code::ConformanceRecoveryMaps));
+    }
+
+    #[test]
+    fn tampered_restore_plan_is_sg053() {
+        let s = spec("evt", EVT);
+        let mut stub = lower(&s);
+        // Drop the metadata arguments from the G0 restore upcall.
+        let (name, _) = stub.restore.clone().unwrap();
+        stub.restore = Some((name, vec![RestoreArg::Creator, RestoreArg::DescId]));
+        let d = check(&s, &stub);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::ConformanceRestorePlan);
+        assert!(d[0].message.contains("meta:parent_evtid"));
+
+        let mut stub = lower(&s);
+        stub.restore = None;
+        let d = check(&s, &stub);
+        assert!(d.iter().any(|x| x.message.contains("no restore plan")));
+    }
+
+    #[test]
+    fn tampered_replay_plan_is_sg054() {
+        let s = spec("evt", EVT);
+        let mut stub = lower(&s);
+        let (id, _) = stub.fn_by_name("evt_wait").unwrap();
+        // Replay the descriptor argument from stale observations instead.
+        stub.fns[id.index()].replay_args[1] = ArgSource::LastObserved;
+        let d = check(&s, &stub);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::ConformanceReplayPlan);
+        assert!(d[0].message.contains("evt_wait"));
+        assert!(d[0].message.contains("last-observed"));
+    }
+
+    #[test]
+    fn truncated_fn_table_is_reported_and_bails() {
+        let s = spec("lock", LOCK);
+        let mut stub = lower(&s);
+        stub.fns.pop();
+        let d = check(&s, &stub);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("functions"));
+    }
+}

@@ -1,0 +1,399 @@
+//! Diagnostics: stable codes, severities, spans, and rendering.
+//!
+//! Every finding of the analyzer is a [`Diagnostic`] with a stable
+//! [`Code`] (`SG001`–`SG054`), a severity, an optional source span from
+//! the IDL lexer, a one-line message, and zero or more indented notes
+//! (counterexample state paths, fix hints). Reports render either as
+//! compiler-style human text or as JSON lines via [`composite::json`].
+
+use std::fmt;
+
+use composite::json::Json;
+use superglue_idl::Span;
+
+/// How bad a finding is.
+///
+/// * [`Severity::Error`] — the spec violates a recovery-soundness
+///   property; the compiler refuses to emit stubs.
+/// * [`Severity::Warning`] — suspicious but not provably unsound; fails
+///   the build only under `--deny-warnings`.
+/// * [`Severity::Note`] — informational (e.g. a time-woken blocking
+///   interface); never fails the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Recovery-soundness violation.
+    Error,
+    /// Suspicious construct; fatal only under `--deny-warnings`.
+    Warning,
+    /// Informational.
+    Note,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        })
+    }
+}
+
+/// Stable diagnostic codes. The numeric bands group the soundness
+/// properties (see DESIGN.md §8 for the full table):
+///
+/// * `SG00x` — front-end failures (lex/parse/semantic/model);
+/// * `SG01x` — state-graph soundness (reachability, leaks, dead edges);
+/// * `SG02x` — recoverability completeness (replay chains);
+/// * `SG03x` — tracking sufficiency (argument synthesis, restore
+///   signatures);
+/// * `SG04x` — blocking/wakeup and metadata hygiene;
+/// * `SG05x` — stub conformance (compiler/IR drift).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum Code {
+    /// Lexical or syntactic error in the `.sg` source.
+    SyntaxError,
+    /// Semantic validation failure in the IDL front end.
+    SemanticError,
+    /// Descriptor-resource-model or state-machine construction failure.
+    ModelError,
+    /// No `sm_terminal` function is declared: descriptors can never be
+    /// reclaimed.
+    NoTerminal,
+    /// A terminal state is unreachable from some reachable state — a
+    /// descriptor leak.
+    TerminalUnreachable,
+    /// A transition leaves a terminal function's state, which never
+    /// exists (terminals collapse to the terminated state).
+    TransitionOutOfTerminal,
+    /// A declared function participates in no reachable state of the
+    /// machine and is not a recovery entry point.
+    OrphanFunction,
+    /// A reachable state has no recovery replay chain back from the
+    /// creation functions.
+    NoReplayChain,
+    /// A blocking function is replayed mid-walk (before the final step)
+    /// on some recovery chain.
+    BlockingMidWalk,
+    /// A blocked state's replay ends in a blocking function with no
+    /// `sm_recover_block` entry point to restore it thread-affinely.
+    BlockedStateNotRestorable,
+    /// An `sm_recover_via` substitution discards the effects of a
+    /// non-blocking function that tracks no metadata the replacement
+    /// replay consumes.
+    SubstitutionLosesEffects,
+    /// A replay-path function takes an argument no annotation captures —
+    /// the C³ "untracked argument" bug class.
+    UntrackedArgument,
+    /// An `sm_recover_block` target has no owner slot (exactly one
+    /// unannotated non-component-id parameter is required).
+    BadRestoreSignature,
+    /// An `sm_recover_block` target may itself block.
+    RestoreTargetBlocks,
+    /// A blocking interface declares no wakeup function; blocked threads
+    /// are assumed time-woken (T0 eager wakeup only).
+    BlockingWithoutWakeup,
+    /// Tracked metadata is never consumed by any replay or restore plan.
+    UnusedTrackedData,
+    /// Compiled stub drift: the `track_args` set disagrees with the
+    /// independently recomputed replayable-function set.
+    ConformanceTrackArgs,
+    /// Compiled stub drift: the dense σ table disagrees with the state
+    /// machine's edges.
+    ConformanceSigma,
+    /// Compiled stub drift: the recovery substitution maps disagree with
+    /// the interface spec.
+    ConformanceRecoveryMaps,
+    /// Compiled stub drift: the G0 restore plan disagrees with the model
+    /// and creation signature.
+    ConformanceRestorePlan,
+    /// Compiled stub drift: a function's replay/retval plan disagrees
+    /// with its annotations.
+    ConformanceReplayPlan,
+}
+
+impl Code {
+    /// The stable `SGxxx` code string.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::SyntaxError => "SG001",
+            Code::SemanticError => "SG002",
+            Code::ModelError => "SG003",
+            Code::NoTerminal => "SG010",
+            Code::TerminalUnreachable => "SG011",
+            Code::TransitionOutOfTerminal => "SG012",
+            Code::OrphanFunction => "SG013",
+            Code::NoReplayChain => "SG020",
+            Code::BlockingMidWalk => "SG021",
+            Code::BlockedStateNotRestorable => "SG022",
+            Code::SubstitutionLosesEffects => "SG023",
+            Code::UntrackedArgument => "SG030",
+            Code::BadRestoreSignature => "SG031",
+            Code::RestoreTargetBlocks => "SG032",
+            Code::BlockingWithoutWakeup => "SG040",
+            Code::UnusedTrackedData => "SG041",
+            Code::ConformanceTrackArgs => "SG050",
+            Code::ConformanceSigma => "SG051",
+            Code::ConformanceRecoveryMaps => "SG052",
+            Code::ConformanceRestorePlan => "SG053",
+            Code::ConformanceReplayPlan => "SG054",
+        }
+    }
+
+    /// The default severity of this code.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::NoTerminal | Code::OrphanFunction | Code::UnusedTrackedData => Severity::Warning,
+            Code::BlockingWithoutWakeup => Severity::Note,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (defaults to [`Code::severity`]).
+    pub severity: Severity,
+    /// Source location, when one is known.
+    pub span: Option<Span>,
+    /// One-line description of the violation.
+    pub message: String,
+    /// Indented follow-up lines: counterexample state paths, fix hints.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity and no span.
+    #[must_use]
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: code.severity(),
+            span: None,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a source span.
+    #[must_use]
+    pub fn with_span(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Append a note line.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// The analyzer's verdict on one interface spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// Interface name (conventionally the `.sg` file stem).
+    pub interface: String,
+    /// Findings, sorted by (span, code).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Build a report, sorting diagnostics deterministically.
+    #[must_use]
+    pub fn new(interface: impl Into<String>, mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            let key = |d: &Diagnostic| {
+                (
+                    d.span.map_or((u32::MAX, u32::MAX), |s| (s.line, s.col)),
+                    d.code,
+                    d.message.clone(),
+                )
+            };
+            key(a).cmp(&key(b))
+        });
+        Self {
+            interface: interface.into(),
+            diagnostics,
+        }
+    }
+
+    /// Number of findings at the given severity.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Whether any error-severity finding exists.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Whether the report fails the build: always on errors, and on
+    /// warnings when `deny_warnings` is set.
+    #[must_use]
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.has_errors() || (deny_warnings && self.count(Severity::Warning) > 0)
+    }
+
+    /// Compiler-style human rendering, one block per diagnostic:
+    ///
+    /// ```text
+    /// idl/lock.sg:12:1: error[SG021]: blocking function `lock_take` ...
+    ///     state path: s0 --lock_alloc--> after(lock_alloc) ...
+    /// ```
+    #[must_use]
+    pub fn render_human(&self, file_label: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            match d.span {
+                Some(s) => out.push_str(&format!("{file_label}:{s}: ")),
+                None => out.push_str(&format!("{file_label}: ")),
+            }
+            out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+            for note in &d.notes {
+                out.push_str(&format!("    {note}\n"));
+            }
+        }
+        out
+    }
+
+    /// JSON rendering (one object per report; JSON-lines friendly).
+    #[must_use]
+    pub fn to_json(&self, file_label: &str) -> Json {
+        let mut obj = Json::object();
+        obj.push("interface", self.interface.as_str())
+            .push("file", file_label)
+            .push("errors", self.count(Severity::Error))
+            .push("warnings", self.count(Severity::Warning))
+            .push("notes", self.count(Severity::Note));
+        let diags: Vec<Json> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let mut j = Json::object();
+                j.push("code", d.code.as_str())
+                    .push("severity", d.severity.to_string());
+                match d.span {
+                    Some(s) => {
+                        j.push("line", u64::from(s.line))
+                            .push("col", u64::from(s.col));
+                    }
+                    None => {
+                        j.push("line", Json::Null).push("col", Json::Null);
+                    }
+                }
+                j.push("message", d.message.as_str()).push(
+                    "notes",
+                    Json::Array(d.notes.iter().map(|n| Json::from(n.as_str())).collect()),
+                );
+                j
+            })
+            .collect();
+        obj.push("diagnostics", Json::Array(diags));
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            Code::SyntaxError,
+            Code::SemanticError,
+            Code::ModelError,
+            Code::NoTerminal,
+            Code::TerminalUnreachable,
+            Code::TransitionOutOfTerminal,
+            Code::OrphanFunction,
+            Code::NoReplayChain,
+            Code::BlockingMidWalk,
+            Code::BlockedStateNotRestorable,
+            Code::SubstitutionLosesEffects,
+            Code::UntrackedArgument,
+            Code::BadRestoreSignature,
+            Code::RestoreTargetBlocks,
+            Code::BlockingWithoutWakeup,
+            Code::UnusedTrackedData,
+            Code::ConformanceTrackArgs,
+            Code::ConformanceSigma,
+            Code::ConformanceRecoveryMaps,
+            Code::ConformanceRestorePlan,
+            Code::ConformanceReplayPlan,
+        ];
+        let mut strs: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
+        strs.sort_unstable();
+        strs.dedup();
+        assert_eq!(strs.len(), all.len());
+        for c in all {
+            assert!(c.as_str().starts_with("SG"));
+        }
+    }
+
+    #[test]
+    fn report_sorts_and_counts() {
+        let d1 = Diagnostic::new(Code::UntrackedArgument, "b").with_span(Some(Span::new(9, 1)));
+        let d2 = Diagnostic::new(Code::TerminalUnreachable, "a").with_span(Some(Span::new(2, 4)));
+        let d3 = Diagnostic::new(Code::UnusedTrackedData, "c");
+        let r = LintReport::new("x", vec![d1, d2, d3]);
+        assert_eq!(r.diagnostics[0].code, Code::TerminalUnreachable);
+        assert_eq!(r.diagnostics[2].code, Code::UnusedTrackedData); // span-less last
+        assert_eq!(r.count(Severity::Error), 2);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert!(r.has_errors());
+        assert!(r.fails(false));
+    }
+
+    #[test]
+    fn deny_warnings_promotes_warnings() {
+        let r = LintReport::new("x", vec![Diagnostic::new(Code::UnusedTrackedData, "w")]);
+        assert!(!r.fails(false));
+        assert!(r.fails(true));
+        let notes = LintReport::new("x", vec![Diagnostic::new(Code::BlockingWithoutWakeup, "n")]);
+        assert!(!notes.fails(true));
+    }
+
+    #[test]
+    fn human_rendering_includes_span_code_and_notes() {
+        let d = Diagnostic::new(Code::BlockingMidWalk, "boom")
+            .with_span(Some(Span::new(3, 7)))
+            .with_note("state path: s0");
+        let r = LintReport::new("lock", vec![d]);
+        let text = r.render_human("idl/lock.sg");
+        assert_eq!(
+            text,
+            "idl/lock.sg:3:7: error[SG021]: boom\n    state path: s0\n"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_compact_and_complete() {
+        let d = Diagnostic::new(Code::NoTerminal, "leaky");
+        let r = LintReport::new("mm", vec![d]);
+        let line = r.to_json("idl/mm.sg").to_line();
+        assert!(line.contains("\"interface\":\"mm\""));
+        assert!(line.contains("\"code\":\"SG010\""));
+        assert!(line.contains("\"severity\":\"warning\""));
+        assert!(line.contains("\"line\":null"));
+    }
+}

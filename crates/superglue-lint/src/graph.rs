@@ -1,0 +1,529 @@
+//! Graph analyses over the descriptor state machine.
+//!
+//! Soundness here means two things (§III-B of the paper): the machine's
+//! *shape* must let every descriptor die (`SG01x` — no leaks, no dead
+//! edges, no orphans), and the machine's *recovery walks* must actually
+//! be executable (`SG02x` — a replay chain exists for every reachable
+//! state, never blocks mid-walk, and blocked states are restorable).
+//! `SG040` flags the one legitimate-but-noteworthy shape: a blocking
+//! interface with no wakeup function (timers — woken by the clock).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use superglue_idl::ast::SmDecl;
+use superglue_idl::{InterfaceSpec, TrackKind};
+use superglue_sm::{FnId, State};
+
+use crate::diag::{Code, Diagnostic};
+use crate::{compid_like, fmt_state, fmt_walk, recovery_target, SpanIndex};
+
+/// Run all graph checks.
+#[must_use]
+pub fn check(spec: &InterfaceSpec, spans: &SpanIndex) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    terminal_reachability(spec, spans, &mut diags);
+    dead_terminal_edges(spec, spans, &mut diags);
+    orphan_functions(spec, spans, &mut diags);
+    recoverability(spec, spans, &mut diags);
+    substitution_effects(spec, spans, &mut diags);
+    blocking_without_wakeup(spec, spans, &mut diags);
+    diags
+}
+
+/// `SG010` / `SG011`: a terminal function must exist, and the terminated
+/// state must be reachable from *every* reachable state — otherwise a
+/// descriptor can get parked where no walk ever destroys it, and the
+/// server's tracking memory leaks.
+fn terminal_reachability(spec: &InterfaceSpec, spans: &SpanIndex, diags: &mut Vec<Diagnostic>) {
+    let m = &spec.machine;
+    if m.terminal_fns().next().is_none() {
+        diags.push(
+            Diagnostic::new(
+                Code::NoTerminal,
+                "no sm_terminal function is declared: descriptors can never be destroyed, \
+                 so per-descriptor tracking memory grows without bound",
+            )
+            .with_note("declare sm_terminal(<fn>) on the function that releases the descriptor"),
+        );
+        return; // Every state would also trip SG011; don't pile on.
+    }
+
+    // Reverse reachability from Terminated over σ.
+    let mut rev: BTreeMap<State, Vec<State>> = BTreeMap::new();
+    for (src, _, dst) in m.edges() {
+        rev.entry(dst).or_default().push(src);
+    }
+    let mut reaches_terminal = BTreeSet::from([State::Terminated]);
+    let mut queue = VecDeque::from([State::Terminated]);
+    while let Some(s) = queue.pop_front() {
+        for &p in rev.get(&s).into_iter().flatten() {
+            if reaches_terminal.insert(p) {
+                queue.push_back(p);
+            }
+        }
+    }
+
+    let mut states = vec![State::Init];
+    states.extend((0..m.function_count()).map(|i| State::After(FnId(i as u32))));
+    for s in states {
+        if m.recovery_walk(s).is_err() {
+            continue; // Unreachable states are SG013's concern.
+        }
+        if !reaches_terminal.contains(&s) {
+            let span = match s {
+                State::After(f) => spans.fn_span(m.function_name(f)),
+                _ => None,
+            };
+            let mut d = Diagnostic::new(
+                Code::TerminalUnreachable,
+                format!(
+                    "no terminal function is reachable from state {}: a descriptor parked \
+                     there can never be destroyed (leak)",
+                    fmt_state(m, s)
+                ),
+            )
+            .with_span(span);
+            if let Ok(walk) = m.recovery_walk(s) {
+                if !walk.is_empty() {
+                    d = d.with_note(format!("a client reaches it via: {}", fmt_walk(m, &walk)));
+                }
+            }
+            diags.push(d.with_note(
+                "add sm_transition edges leading (transitively) to a terminal function",
+            ));
+        }
+    }
+}
+
+/// `SG012`: an `sm_transition(f, g)` where `f` is terminal describes an
+/// edge out of a state that never exists — terminal functions collapse
+/// into the terminated state, so the edge is dead and almost certainly a
+/// spec typo (the author believed the descriptor survives `f`).
+fn dead_terminal_edges(spec: &InterfaceSpec, spans: &SpanIndex, diags: &mut Vec<Diagnostic>) {
+    let m = &spec.machine;
+    for (src, g, _) in m.edges() {
+        let State::After(f) = src else { continue };
+        if !m.roles(f).terminates {
+            continue;
+        }
+        let (fname, gname) = (m.function_name(f), m.function_name(g));
+        let span =
+            spans.sm_span(|d| matches!(d, SmDecl::Transition(a, b) if a == fname && b == gname));
+        diags.push(
+            Diagnostic::new(
+                Code::TransitionOutOfTerminal,
+                format!(
+                    "sm_transition({fname}, {gname}) leaves terminal function {fname}, but \
+                     state after({fname}) never exists: terminal functions destroy the \
+                     descriptor"
+                ),
+            )
+            .with_span(span)
+            .with_note("remove the edge, or remove sm_terminal if the descriptor survives"),
+        );
+    }
+}
+
+/// `SG013`: a declared function that participates in no reachable state
+/// and is not a recovery entry point — clients can never call it along a
+/// valid protocol, so either edges are missing or the function is dead.
+fn orphan_functions(spec: &InterfaceSpec, spans: &SpanIndex, diags: &mut Vec<Diagnostic>) {
+    let m = &spec.machine;
+    let restore_targets: BTreeSet<FnId> = spec.recover_block.iter().map(|&(_, g)| g).collect();
+    for i in 0..m.function_count() {
+        let f = FnId(i as u32);
+        // Terminal functions have no After-state by design; restore entry
+        // points are invoked only during recovery, never by clients.
+        if m.roles(f).terminates || restore_targets.contains(&f) {
+            continue;
+        }
+        if m.recovery_walk(State::After(f)).is_err() {
+            let name = m.function_name(f);
+            diags.push(
+                Diagnostic::new(
+                    Code::OrphanFunction,
+                    format!(
+                        "function {name} participates in no reachable state of the machine: \
+                         no valid call sequence ever invokes it"
+                    ),
+                )
+                .with_span(spans.fn_span(name))
+                .with_note("connect it with sm_transition edges, or drop it from the interface"),
+            );
+        }
+    }
+}
+
+/// `SG020` / `SG021` / `SG022`: for every reachable state, the effective
+/// (post-`sm_recover_via`) replay walk must exist, must not replay a
+/// blocking function before its final step (the recovering thread would
+/// block with the walk unfinished), and may end in a blocking function
+/// only when an `sm_recover_block` entry point can restore the blocked
+/// state on the owner's behalf.
+fn recoverability(spec: &InterfaceSpec, spans: &SpanIndex, diags: &mut Vec<Diagnostic>) {
+    let m = &spec.machine;
+    let restorable: BTreeSet<FnId> = spec.recover_block.iter().map(|&(s, _)| s).collect();
+    for i in 0..m.function_count() {
+        let f = FnId(i as u32);
+        let state = State::After(f);
+        if m.recovery_walk(state).is_err() {
+            continue; // Unreachable: SG013 territory.
+        }
+        let fname = m.function_name(f);
+        let target = recovery_target(spec, f);
+        let walk = match m.recovery_walk(State::After(target)) {
+            Ok(w) => w,
+            Err(_) => {
+                // Unreachable through `validate` (it rejects unreachable
+                // substitution targets), kept as defense in depth for
+                // hand-built specs.
+                let span = spans.sm_span(|d| matches!(d, SmDecl::RecoverVia(a, _) if a == fname));
+                diags.push(
+                    Diagnostic::new(
+                        Code::NoReplayChain,
+                        format!(
+                            "reachable state {} has no recovery replay chain: its substituted \
+                             target after({}) is unreachable from s0",
+                            fmt_state(m, state),
+                            m.function_name(target)
+                        ),
+                    )
+                    .with_span(span)
+                    .with_note("point sm_recover_via at a state on some creation path"),
+                );
+                continue;
+            }
+        };
+        for (idx, &g) in walk.iter().enumerate() {
+            if !m.roles(g).blocks {
+                continue;
+            }
+            let gname = m.function_name(g);
+            let span = spans
+                .sm_span(|d| matches!(d, SmDecl::Block(n) if n == gname))
+                .or_else(|| spans.fn_span(gname));
+            if idx + 1 < walk.len() {
+                diags.push(
+                    Diagnostic::new(
+                        Code::BlockingMidWalk,
+                        format!(
+                            "recovering state {} replays blocking function {gname} at step \
+                             {} of {}: the recovering thread would block before the walk \
+                             completes",
+                            fmt_state(m, state),
+                            idx + 1,
+                            walk.len()
+                        ),
+                    )
+                    .with_span(span)
+                    .with_note(format!("replay walk: {}", fmt_walk(m, &walk)))
+                    .with_note(format!(
+                        "declare sm_recover_via({fname}, <fn>) so recovery rebuilds a state \
+                         whose walk avoids {gname}"
+                    )),
+                );
+            } else if !restorable.contains(&g) {
+                diags.push(
+                    Diagnostic::new(
+                        Code::BlockedStateNotRestorable,
+                        format!(
+                            "state {} is a blocked state: its recovery walk ends by replaying \
+                             blocking function {gname}, and no sm_recover_block entry point \
+                             can restore it on the blocked owner's behalf",
+                            fmt_state(m, state)
+                        ),
+                    )
+                    .with_span(span)
+                    .with_note(format!("replay walk: {}", fmt_walk(m, &walk)))
+                    .with_note(format!(
+                        "declare sm_recover_block({gname}, <restore fn>), or \
+                         sm_recover_via({fname}, <fn>) to recover to an unblocked state"
+                    )),
+                );
+            }
+        }
+    }
+}
+
+/// `SG023`: an `sm_recover_via(f, g)` substitution is justified when `f`
+/// blocks (replay must not block) or wakes (the wakeup is re-established
+/// by the woken party). For any *other* `f`, the substitution silently
+/// drops `f`'s effects unless `f` tracked them into metadata that the
+/// substituted walk replays — the fs pattern, where `tread`/`twrite`
+/// accumulate the offset that the substituted `tseek` then restores.
+fn substitution_effects(spec: &InterfaceSpec, spans: &SpanIndex, diags: &mut Vec<Diagnostic>) {
+    let m = &spec.machine;
+    for &(src, tgt) in &spec.recover_via {
+        let roles = m.roles(src);
+        if roles.blocks || roles.wakes {
+            continue;
+        }
+        let sig = &spec.fns[src.index()];
+        let mut writes: BTreeSet<&str> = sig
+            .params
+            .iter()
+            .filter(|p| {
+                matches!(p.track, TrackKind::Data | TrackKind::DataParent)
+                    && !compid_like(&p.ty, &p.name)
+            })
+            .map(|p| p.name.as_str())
+            .collect();
+        if !roles.creates {
+            if let Some((_, name, _)) = &sig.retval_tracked {
+                writes.insert(name.as_str());
+            }
+        }
+        let Ok(walk) = m.recovery_walk(State::After(tgt)) else {
+            continue; // SG020 already reported the missing chain.
+        };
+        let consumed: BTreeSet<&str> = walk
+            .iter()
+            .flat_map(|&g| {
+                spec.fns[g.index()]
+                    .params
+                    .iter()
+                    .filter(|p| p.track == TrackKind::Data && !compid_like(&p.ty, &p.name))
+                    .map(|p| p.name.as_str())
+            })
+            .collect();
+        if writes.intersection(&consumed).next().is_some() {
+            continue;
+        }
+        let (sname, tname) = (m.function_name(src), m.function_name(tgt));
+        let span = spans.sm_span(|d| matches!(d, SmDecl::RecoverVia(a, _) if a == sname));
+        let consumed_note = if consumed.is_empty() {
+            "the substituted walk consumes no tracked metadata at all".to_owned()
+        } else {
+            format!(
+                "the substituted walk consumes only: {}",
+                consumed.iter().copied().collect::<Vec<_>>().join(", ")
+            )
+        };
+        diags.push(
+            Diagnostic::new(
+                Code::SubstitutionLosesEffects,
+                format!(
+                    "sm_recover_via({sname}, {tname}) silently discards the effects of \
+                     {sname}: it neither blocks nor wakes, and none of the state it tracks \
+                     is replayed on the substituted walk"
+                ),
+            )
+            .with_span(span)
+            .with_note(consumed_note)
+            .with_note(format!(
+                "track {sname}'s effect (e.g. desc_data / desc_data_retval_accum) and \
+                 consume it on the walk to after({tname}), or remove the substitution"
+            )),
+        );
+    }
+}
+
+/// `SG040` (note): a blocking interface with no wakeup function relies on
+/// threads being woken externally — legitimate for timers (the clock
+/// wakes them), but worth stating, because recovery then applies only
+/// eager time-based wakeup (**T0**) and can never replay a wakeup.
+fn blocking_without_wakeup(spec: &InterfaceSpec, spans: &SpanIndex, diags: &mut Vec<Diagnostic>) {
+    let m = &spec.machine;
+    if m.blocking_fns().next().is_none() || m.wakeup_fns().next().is_some() {
+        return;
+    }
+    let blockers: Vec<&str> = m.blocking_fns().map(|f| m.function_name(f)).collect();
+    let span = spans.sm_span(|d| matches!(d, SmDecl::Block(_)));
+    diags.push(
+        Diagnostic::new(
+            Code::BlockingWithoutWakeup,
+            format!(
+                "blocking function(s) {} have no sm_wakeup counterpart: blocked threads are \
+                 assumed to be woken externally (e.g. by the clock), so recovery applies \
+                 eager time-based wakeup (T0) only",
+                blockers.join(", ")
+            ),
+        )
+        .with_span(span),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superglue_idl::InterfaceSpec;
+    use superglue_sm::machine::StateMachineBuilder;
+    use superglue_sm::model::DescriptorResourceModelBuilder;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = superglue_idl::parser::parse(src).unwrap();
+        let spec = superglue_idl::validate::validate("t", &file).unwrap();
+        check(&spec, &SpanIndex::from_file(&file))
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn missing_terminal_is_sg010() {
+        let d = lint("sm_creation(a);\ndesc_data_retval(long, id)\na(componentid_t compid);\n");
+        assert_eq!(codes(&d), vec![Code::NoTerminal]);
+    }
+
+    #[test]
+    fn leaked_state_is_sg011_with_witness() {
+        // after(b) can loop on itself but never reach the terminal.
+        let d = lint(
+            "sm_creation(a);\nsm_terminal(free);\n\
+             sm_transition(a, b);\nsm_transition(b, b);\nsm_transition(a, free);\n\
+             desc_data_retval(long, id)\na(componentid_t compid);\n\
+             int b(desc(long id));\nint free(desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::TerminalUnreachable]);
+        assert!(d[0].message.contains("after(b)"));
+        assert!(d[0].notes[0].contains("s0 --a--> after(a) --b--> after(b)"));
+        assert!(d[0].span.is_some());
+    }
+
+    #[test]
+    fn transition_out_of_terminal_is_sg012() {
+        let d = lint(
+            "sm_creation(a);\nsm_terminal(free);\n\
+             sm_transition(a, free);\nsm_transition(free, b);\nsm_transition(a, b);\n\
+             sm_transition(b, free);\n\
+             desc_data_retval(long, id)\na(componentid_t compid);\n\
+             int b(desc(long id));\nint free(desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::TransitionOutOfTerminal]);
+        assert!(d[0].message.contains("sm_transition(free, b)"));
+        assert!(d[0].span.is_some());
+    }
+
+    #[test]
+    fn orphan_function_is_sg013() {
+        let d = lint(
+            "sm_creation(a);\nsm_terminal(free);\nsm_transition(a, free);\n\
+             desc_data_retval(long, id)\na(componentid_t compid);\n\
+             int lost(desc(long id));\nint free(desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::OrphanFunction]);
+        assert!(d[0].message.contains("lost"));
+    }
+
+    #[test]
+    fn unreachable_substitution_target_is_sg020() {
+        // `validate` rejects this, so exercise the defense-in-depth path
+        // with a hand-built spec: recover_via points at a function that is
+        // registered but never reachable.
+        let mut b = StateMachineBuilder::new("t");
+        let a = b.function("a");
+        let bad = b.function("bad");
+        b.creation(a);
+        let machine = b.build().unwrap();
+        let spec = InterfaceSpec {
+            name: "t".into(),
+            model: DescriptorResourceModelBuilder::new().build().unwrap(),
+            machine,
+            fns: vec![
+                superglue_idl::FnSig {
+                    id: a,
+                    name: "a".into(),
+                    ret: None,
+                    retval_tracked: Some((
+                        "long".into(),
+                        "id".into(),
+                        superglue_idl::ast::RetvalMode::Set,
+                    )),
+                    params: vec![],
+                },
+                superglue_idl::FnSig {
+                    id: bad,
+                    name: "bad".into(),
+                    ret: None,
+                    retval_tracked: None,
+                    params: vec![],
+                },
+            ],
+            recover_via: vec![(a, bad)],
+            recover_block: vec![],
+        };
+        let d = check(&spec, &SpanIndex::empty());
+        assert!(codes(&d).contains(&Code::NoReplayChain));
+    }
+
+    #[test]
+    fn blocking_mid_walk_is_sg021() {
+        // alloc -> take(block) -> release -> free, with no recovery
+        // declarations: recovering after(release) replays take mid-walk.
+        let d = lint(
+            "service_global_info = { desc_block = true };\n\
+             sm_creation(alloc);\nsm_terminal(free);\nsm_block(take);\nsm_wakeup(release);\n\
+             sm_transition(alloc, take);\nsm_transition(take, release);\n\
+             sm_transition(release, free);\n\
+             desc_data_retval(long, id)\nalloc(componentid_t compid);\n\
+             int take(desc(long id));\nint release(desc(long id));\nint free(desc(long id));\n",
+        );
+        assert!(codes(&d).contains(&Code::BlockingMidWalk));
+        assert!(codes(&d).contains(&Code::BlockedStateNotRestorable));
+        let mid = d.iter().find(|x| x.code == Code::BlockingMidWalk).unwrap();
+        assert!(mid.message.contains("after(release)"));
+        assert!(mid.notes[0].contains("--take-->"));
+    }
+
+    #[test]
+    fn blocked_final_state_without_restore_is_sg022() {
+        let d = lint(
+            "service_global_info = { desc_block = true };\n\
+             sm_creation(alloc);\nsm_terminal(free);\nsm_block(take);\nsm_wakeup(rel);\n\
+             sm_transition(alloc, take);\nsm_transition(take, rel);\nsm_transition(rel, free);\n\
+             sm_recover_via(rel, alloc);\n\
+             desc_data_retval(long, id)\nalloc(componentid_t compid);\n\
+             int take(desc(long id));\nint rel(desc(long id));\nint free(desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::BlockedStateNotRestorable]);
+        assert!(d[0].notes[1].contains("sm_recover_block(take"));
+    }
+
+    #[test]
+    fn lossy_substitution_is_sg023() {
+        // `touch` neither blocks nor wakes and tracks nothing, yet its
+        // recovery is substituted away.
+        let d = lint(
+            "sm_creation(open);\nsm_terminal(close);\n\
+             sm_transition(open, touch);\nsm_transition(touch, close);\n\
+             sm_transition(open, close);\nsm_recover_via(touch, open);\n\
+             desc_data_retval(long, fd)\nopen(componentid_t compid);\n\
+             int touch(desc(long fd));\nint close(desc(long fd));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::SubstitutionLosesEffects]);
+        assert!(d[0].message.contains("sm_recover_via(touch, open)"));
+    }
+
+    #[test]
+    fn tracked_substitution_is_clean() {
+        // The fs pattern: touch accumulates an offset that the substituted
+        // seek replays.
+        let d = lint(
+            "sm_creation(open);\nsm_terminal(close);\n\
+             sm_transition(open, seek);\nsm_transition(open, touch);\n\
+             sm_transition(seek, touch);\nsm_transition(touch, seek);\n\
+             sm_transition(seek, close);\nsm_transition(touch, close);\n\
+             sm_transition(open, close);\nsm_recover_via(touch, seek);\n\
+             desc_data_retval(long, fd)\nopen(componentid_t compid);\n\
+             long seek(desc(long fd), desc_data(long offset));\n\
+             desc_data_retval_accum(long, offset)\ntouch(desc(long fd));\n\
+             int close(desc(long fd));\n",
+        );
+        assert_eq!(codes(&d), Vec::<Code>::new());
+    }
+
+    #[test]
+    fn clock_woken_blocking_is_sg040_note_only() {
+        let d = lint(
+            "service_global_info = { desc_block = true };\n\
+             sm_creation(mk);\nsm_terminal(free);\nsm_block(wait);\n\
+             sm_transition(mk, wait);\nsm_transition(wait, free);\nsm_transition(mk, free);\n\
+             sm_recover_via(wait, mk);\n\
+             desc_data_retval(long, id)\nmk(componentid_t compid);\n\
+             int wait(desc(long id));\nint free(desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::BlockingWithoutWakeup]);
+        assert_eq!(d[0].severity, crate::Severity::Note);
+    }
+}

@@ -1,0 +1,357 @@
+//! `sglint`: a recovery-soundness static analyzer for SuperGlue IDL
+//! specs and their compiled stubs.
+//!
+//! The SuperGlue paper's central claim is that interface-level
+//! specification makes system-level fault tolerance *checkable*: the IDL
+//! names the descriptor state machine, the tracked metadata, and the
+//! recovery substitutions, so a tool can prove — before any stub code
+//! runs — that every reachable descriptor state is recoverable and every
+//! replayed argument is synthesizable. C³-style hand-written stubs had no
+//! such artifact, and their "untracked argument" bugs surfaced only under
+//! fault injection. This crate turns those properties into compile-time
+//! diagnostics:
+//!
+//! * **state-graph soundness** ([`graph`], `SG01x`) — terminal
+//!   reachability (no descriptor leaks), no transitions out of terminal
+//!   functions, no orphan functions;
+//! * **recoverability completeness** ([`graph`], `SG02x`) — every
+//!   reachable state has a replay chain; blocking functions are never
+//!   replayed mid-walk; blocked states have `sm_recover_block` entry
+//!   points; `sm_recover_via` substitutions do not silently discard
+//!   tracked effects;
+//! * **tracking sufficiency** ([`tracking`], `SG03x`/`SG041`) — every
+//!   argument of every replayable function is synthesizable from tracked
+//!   state, and tracked state is actually consumed;
+//! * **stub conformance** ([`conformance`], `SG05x`) — the compiled
+//!   [`CompiledStubSpec`](superglue_compiler::CompiledStubSpec) agrees
+//!   with an independent recomputation of all of the above.
+//!
+//! The library entry points are [`lint_source`] (text → report),
+//! [`lint_parsed`] (AST → report), [`lint_spec`] (validated spec →
+//! report), and [`compile_checked`] — the checked replacement for
+//! [`superglue_compiler::compile`] that refuses to emit stubs for specs
+//! with errors. The `sglint` binary wraps [`lint_source`] for CI use.
+
+pub mod conformance;
+pub mod diag;
+pub mod graph;
+pub mod tracking;
+
+use std::collections::BTreeMap;
+
+pub use diag::{Code, Diagnostic, LintReport, Severity};
+
+use superglue_idl::ast::SmDecl;
+use superglue_idl::{IdlError, IdlFile, InterfaceSpec, Span};
+use superglue_sm::{FnId, State, StateMachine};
+
+/// Source locations harvested from a parsed [`IdlFile`], so diagnostics
+/// computed over the (span-free) model types can still point at the
+/// offending declaration. All lookups are by name and degrade to `None`
+/// when the index is [`empty`](SpanIndex::empty) — analyses over
+/// hand-built [`InterfaceSpec`]s simply produce span-less diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct SpanIndex {
+    fns: Vec<(String, Span)>,
+    params: Vec<(String, String, Span)>,
+    sm: Vec<(SmDecl, Span)>,
+}
+
+impl SpanIndex {
+    /// An index with no locations (for specs not built from source).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Harvest spans from a parsed file.
+    #[must_use]
+    pub fn from_file(file: &IdlFile) -> Self {
+        let mut idx = Self::default();
+        for f in &file.functions {
+            idx.fns.push((f.name.clone(), f.span));
+            for p in &f.params {
+                idx.params.push((f.name.clone(), p.name.clone(), p.span));
+            }
+        }
+        for (decl, &span) in file.sm_decls.iter().zip(&file.sm_spans) {
+            idx.sm.push((decl.clone(), span));
+        }
+        idx
+    }
+
+    /// The span of a function's name token.
+    #[must_use]
+    pub fn fn_span(&self, name: &str) -> Option<Span> {
+        self.fns.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+    }
+
+    /// The span of a parameter of a function.
+    #[must_use]
+    pub fn param_span(&self, func: &str, param: &str) -> Option<Span> {
+        self.params
+            .iter()
+            .find(|(f, p, _)| f == func && p == param)
+            .map(|&(_, _, s)| s)
+    }
+
+    /// The span of the first `sm_*` declaration matching `pred`.
+    #[must_use]
+    pub fn sm_span(&self, mut pred: impl FnMut(&SmDecl) -> bool) -> Option<Span> {
+        self.sm.iter().find(|(d, _)| pred(d)).map(|&(_, s)| s)
+    }
+}
+
+/// Whether a parameter is the client component id, which replay
+/// synthesizes from the invocation context ([`superglue_compiler`] uses
+/// the same predicate when lowering replay plans).
+pub(crate) fn compid_like(ty: &str, name: &str) -> bool {
+    ty.contains("componentid") || name == "compid"
+}
+
+/// Human rendering of a state using function *names* (the machine's own
+/// `Display` uses opaque `fn#N` ids).
+pub(crate) fn fmt_state(machine: &StateMachine, s: State) -> String {
+    match s {
+        State::After(f) => format!("after({})", machine.function_name(f)),
+        other => other.to_string(),
+    }
+}
+
+/// Render a replay walk as a state path:
+/// `s0 --lock_alloc--> after(lock_alloc) --lock_take--> after(lock_take)`.
+pub(crate) fn fmt_walk(machine: &StateMachine, walk: &[FnId]) -> String {
+    let mut out = String::from("s0");
+    for &f in walk {
+        out.push_str(&format!(
+            " --{}--> {}",
+            machine.function_name(f),
+            fmt_state(machine, State::After(f))
+        ));
+    }
+    out
+}
+
+/// The state recovery actually rebuilds for `After(f)`: the
+/// `sm_recover_via` substitute when one is declared, else `f` itself.
+pub(crate) fn recovery_target(spec: &InterfaceSpec, f: FnId) -> FnId {
+    spec.recover_via
+        .iter()
+        .find(|&&(src, _)| src == f)
+        .map_or(f, |&(_, tgt)| tgt)
+}
+
+/// Independent recomputation of the replayable-function set — the
+/// functions whose arguments recovery must be able to synthesize — each
+/// mapped to a human-readable reason. Mirrors the compiler's
+/// `walk_functions`: every function on the effective (post-substitution)
+/// recovery walk of any reachable state, plus creation functions, plus
+/// `sm_recover_block` restore entry points.
+pub(crate) fn replayable_fns(spec: &InterfaceSpec) -> BTreeMap<FnId, String> {
+    let mut out = BTreeMap::new();
+    for i in 0..spec.fns.len() {
+        let f = FnId(i as u32);
+        let target = recovery_target(spec, f);
+        if let Ok(walk) = spec.machine.recovery_walk(State::After(target)) {
+            for g in walk {
+                out.entry(g).or_insert_with(|| {
+                    format!(
+                        "on the recovery walk for state after({})",
+                        spec.machine.function_name(f)
+                    )
+                });
+            }
+        }
+        if spec.machine.roles(f).creates {
+            out.entry(f)
+                .or_insert_with(|| "a creation function".to_owned());
+        }
+    }
+    for &(_, g) in &spec.recover_block {
+        out.entry(g)
+            .or_insert_with(|| "an sm_recover_block restore entry point".to_owned());
+    }
+    out
+}
+
+/// Map a front-end [`IdlError`] to its diagnostic.
+fn front_end_diag(err: &IdlError) -> Diagnostic {
+    match err {
+        IdlError::Lex { span, found } => {
+            Diagnostic::new(Code::SyntaxError, format!("unexpected character {found:?}"))
+                .with_span(Some(*span))
+        }
+        IdlError::UnterminatedComment { span } => {
+            Diagnostic::new(Code::SyntaxError, "unterminated block comment").with_span(Some(*span))
+        }
+        IdlError::Parse {
+            span,
+            expected,
+            found,
+        } => Diagnostic::new(
+            Code::SyntaxError,
+            format!("expected {expected}, found {found}"),
+        )
+        .with_span(Some(*span)),
+        IdlError::Semantic { message } => Diagnostic::new(Code::SemanticError, message.clone()),
+        IdlError::Model(e) => Diagnostic::new(Code::ModelError, e.to_string()),
+        other => Diagnostic::new(Code::SemanticError, other.to_string()),
+    }
+}
+
+/// Lint a validated interface spec (with optional source spans).
+///
+/// Runs the graph, tracking, and stub-conformance analyses; the
+/// conformance pass cross-checks a freshly lowered
+/// [`CompiledStubSpec`](superglue_compiler::CompiledStubSpec) against the
+/// lint's own recomputation, so a regression in the compiler's lowering
+/// surfaces here even when the spec itself is sound.
+#[must_use]
+pub fn lint_spec(spec: &InterfaceSpec, spans: &SpanIndex) -> LintReport {
+    let mut diags = graph::check(spec, spans);
+    diags.extend(tracking::check(spec, spans));
+    let stub = superglue_compiler::ir::lower(spec);
+    diags.extend(conformance::check(spec, &stub));
+    LintReport::new(&spec.name, diags)
+}
+
+/// Lint a parsed (but not yet validated) IDL file.
+///
+/// Validation failures become `SG002`/`SG003` diagnostics; a valid file
+/// proceeds to the full [`lint_spec`] analyses with source spans.
+#[must_use]
+pub fn lint_parsed(name: &str, file: &IdlFile) -> LintReport {
+    match superglue_idl::validate::validate(name, file) {
+        Err(err) => LintReport::new(name, vec![front_end_diag(&err)]),
+        Ok(spec) => lint_spec(&spec, &SpanIndex::from_file(file)),
+    }
+}
+
+/// Lint IDL source text. Lex/parse failures become `SG001` diagnostics.
+#[must_use]
+pub fn lint_source(name: &str, source: &str) -> LintReport {
+    match superglue_idl::parser::parse(source) {
+        Err(err) => LintReport::new(name, vec![front_end_diag(&err)]),
+        Ok(file) => lint_parsed(name, &file),
+    }
+}
+
+/// Compile an interface **only if it lints clean of errors** — the
+/// checked replacement for [`superglue_compiler::compile`]. Warnings and
+/// notes do not block compilation (gate on
+/// [`LintReport::fails`] with `deny_warnings` yourself for stricter
+/// policies); any error-severity diagnostic refuses stub emission, so
+/// unsound specs can never reach the runtime.
+///
+/// # Errors
+///
+/// The full [`LintReport`] when any error-severity diagnostic fires.
+pub fn compile_checked(
+    name: &str,
+    source: &str,
+) -> Result<superglue_compiler::Compilation, LintReport> {
+    let report = lint_source(name, source);
+    if report.has_errors() {
+        return Err(report);
+    }
+    let spec = superglue_idl::compile_interface(name, source)
+        .expect("lint found no front-end errors, so compilation must succeed");
+    Ok(superglue_compiler::compile(&spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOCK: &str = include_str!("../../../idl/lock.sg");
+
+    #[test]
+    fn compid_detection() {
+        assert!(compid_like("componentid_t", "cid"));
+        assert!(compid_like("long", "compid"));
+        assert!(!compid_like("long", "owner"));
+    }
+
+    #[test]
+    fn replayable_set_matches_compiler_track_args() {
+        let spec = superglue_idl::compile_interface("lock", LOCK).unwrap();
+        let stub = superglue_compiler::ir::lower(&spec);
+        let ours = replayable_fns(&spec);
+        for (i, f) in stub.fns.iter().enumerate() {
+            assert_eq!(
+                f.track_args,
+                ours.contains_key(&FnId(i as u32)),
+                "replayable-set divergence on {}",
+                f.name
+            );
+        }
+        // lock_restore is replayable only because it is a restore entry.
+        let (restore_id, _) = stub.fn_by_name("lock_restore").unwrap();
+        assert!(ours[&restore_id].contains("restore entry point"));
+    }
+
+    #[test]
+    fn walk_rendering_uses_function_names() {
+        let spec = superglue_idl::compile_interface("lock", LOCK).unwrap();
+        let take = spec.machine.function_by_name("lock_take").unwrap();
+        let walk = spec.machine.recovery_walk(State::After(take)).unwrap();
+        assert_eq!(
+            fmt_walk(&spec.machine, &walk),
+            "s0 --lock_alloc--> after(lock_alloc) --lock_take--> after(lock_take)"
+        );
+    }
+
+    #[test]
+    fn syntax_error_becomes_sg001_with_span() {
+        let report = lint_source("bad", "sm_creation(;\n");
+        assert!(report.has_errors());
+        assert_eq!(report.diagnostics[0].code, Code::SyntaxError);
+        assert!(report.diagnostics[0].span.is_some());
+    }
+
+    #[test]
+    fn semantic_error_becomes_sg002() {
+        let report = lint_source("bad", "sm_creation(ghost);\n");
+        assert_eq!(report.diagnostics[0].code, Code::SemanticError);
+        assert!(report.diagnostics[0]
+            .message
+            .contains("undeclared function"));
+    }
+
+    #[test]
+    fn compile_checked_accepts_sound_spec() {
+        let out = compile_checked("lock", LOCK).expect("lock.sg is sound");
+        assert_eq!(out.stub_spec.interface, "lock");
+        assert!(out.client_source.contains("lock_take"));
+    }
+
+    #[test]
+    fn compile_checked_refuses_unsound_spec() {
+        // lock.sg without its recovery declarations: blocked states become
+        // unrestorable, so stub emission must be refused.
+        let broken: String = LOCK
+            .lines()
+            .filter(|l| !l.contains("sm_recover"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let report = compile_checked("lock", &broken).unwrap_err();
+        assert!(report.has_errors());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::BlockingMidWalk || d.code == Code::BlockedStateNotRestorable));
+    }
+
+    #[test]
+    fn span_index_lookups() {
+        let file = superglue_idl::parser::parse(LOCK).unwrap();
+        let idx = SpanIndex::from_file(&file);
+        assert!(idx.fn_span("lock_take").is_some());
+        assert!(idx.param_span("lock_restore", "owner").is_some());
+        assert!(idx
+            .sm_span(|d| matches!(d, SmDecl::RecoverBlock(f, _) if f == "lock_take"))
+            .is_some());
+        assert!(idx.fn_span("nope").is_none());
+        assert!(SpanIndex::empty().fn_span("lock_take").is_none());
+    }
+}

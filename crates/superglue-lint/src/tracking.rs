@@ -1,0 +1,345 @@
+//! Tracking-sufficiency dataflow.
+//!
+//! Recovery replays interface functions, so every argument of every
+//! *replayable* function must be synthesizable from tracked state: the
+//! descriptor id (`desc`), the parent id (`parent_desc`), tracked
+//! metadata (`desc_data`, `desc_data_retval[_accum]`), or the client
+//! component id (synthesized from the invocation context). An argument
+//! covered by none of these falls back to "last observed value at this
+//! position" — per *function*, not per *descriptor* — which is exactly
+//! the C³ untracked-argument bug the paper reports finding in
+//! hand-written recovery stubs (§V). `SG030` makes that bug class a
+//! compile-time error.
+//!
+//! `sm_recover_block` restore entry points are the one sanctioned
+//! exception: the runtime passes the blocked owner's id in the (single)
+//! untracked position (`SG031`/`SG032` police that shape). `SG041` warns
+//! about the dual waste: metadata that is tracked but never consumed by
+//! any replay or restore plan.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use superglue_idl::{InterfaceSpec, ParamSpec, Span, TrackKind};
+use superglue_sm::FnId;
+
+use crate::diag::{Code, Diagnostic};
+use crate::{compid_like, replayable_fns, SpanIndex};
+
+/// Run all tracking checks.
+#[must_use]
+pub fn check(spec: &InterfaceSpec, spans: &SpanIndex) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    untracked_arguments(spec, spans, &mut diags);
+    unused_tracking(spec, spans, &mut diags);
+    diags
+}
+
+fn untracked_params(spec: &InterfaceSpec, f: FnId) -> Vec<&ParamSpec> {
+    spec.fns[f.index()]
+        .params
+        .iter()
+        .filter(|p| p.track == TrackKind::None && !compid_like(&p.ty, &p.name))
+        .collect()
+}
+
+/// `SG030`–`SG032`: argument synthesis for every replayable function.
+fn untracked_arguments(spec: &InterfaceSpec, spans: &SpanIndex, diags: &mut Vec<Diagnostic>) {
+    let replayable = replayable_fns(spec);
+    let restore_targets: BTreeSet<FnId> = spec.recover_block.iter().map(|&(_, g)| g).collect();
+    for (&f, reason) in &replayable {
+        let sig = &spec.fns[f.index()];
+        let untracked = untracked_params(spec, f);
+        if restore_targets.contains(&f) {
+            if spec.machine.roles(f).blocks {
+                diags.push(
+                    Diagnostic::new(
+                        Code::RestoreTargetBlocks,
+                        format!(
+                            "sm_recover_block target {} is itself a blocking function: \
+                             restoring a blocked state would block the recovering thread",
+                            sig.name
+                        ),
+                    )
+                    .with_span(spans.fn_span(&sig.name))
+                    .with_note("restore entry points must record the blocked owner and return"),
+                );
+            }
+            match untracked.as_slice() {
+                [] => diags.push(
+                    Diagnostic::new(
+                        Code::BadRestoreSignature,
+                        format!(
+                            "sm_recover_block target {} has no owner parameter: exactly one \
+                             unannotated, non-component-id parameter is required to receive \
+                             the blocked owner's id",
+                            sig.name
+                        ),
+                    )
+                    .with_span(spans.fn_span(&sig.name))
+                    .with_note(
+                        "add a plain parameter (e.g. `long owner`); the runtime fills it \
+                         with the recorded owner during restore",
+                    ),
+                ),
+                [_owner] => {}
+                [owner, extra @ ..] => {
+                    for p in extra {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::UntrackedArgument,
+                                format!(
+                                    "parameter {} of restore entry point {} would be \
+                                     clobbered: the runtime passes the blocked owner's id in \
+                                     every untracked position, and {} is already the owner \
+                                     slot",
+                                    p.name, sig.name, owner.name
+                                ),
+                            )
+                            .with_span(spans.param_span(&sig.name, &p.name))
+                            .with_note(format!("annotate it, e.g. desc_data({} {})", p.ty, p.name)),
+                        );
+                    }
+                }
+            }
+            continue;
+        }
+        for p in untracked {
+            diags.push(
+                Diagnostic::new(
+                    Code::UntrackedArgument,
+                    format!(
+                        "argument {} of function {} is captured by no annotation, but {} is \
+                         {}: replay would pass the last value observed at this position, \
+                         which may belong to a different descriptor (the C3 \
+                         untracked-argument bug)",
+                        p.name, sig.name, sig.name, reason
+                    ),
+                )
+                .with_span(spans.param_span(&sig.name, &p.name))
+                .with_note(format!(
+                    "annotate it, e.g. desc_data({} {}), or desc(...)/parent_desc(...) if it \
+                     names a descriptor",
+                    p.ty, p.name
+                )),
+            );
+        }
+    }
+}
+
+/// `SG041`: tracked metadata nothing ever consumes. A slot is consumed
+/// when some replayable function replays it (`desc_data` on a walk
+/// function) or when the G0 restore plan of a global interface carries
+/// it; everything else costs per-descriptor memory — the paper's
+/// embedded-systems budget — for no recovery benefit.
+fn unused_tracking(spec: &InterfaceSpec, spans: &SpanIndex, diags: &mut Vec<Diagnostic>) {
+    let replayable = replayable_fns(spec);
+
+    let mut consumed: BTreeSet<&str> = BTreeSet::new();
+    for &f in replayable.keys() {
+        for p in &spec.fns[f.index()].params {
+            if p.track == TrackKind::Data && !compid_like(&p.ty, &p.name) {
+                consumed.insert(&p.name);
+            }
+        }
+    }
+    if spec.model.global {
+        // The restore upcall carries the creation function's tracked
+        // metadata (including the parent slot).
+        if let Some(create) = spec.fns.iter().find(|s| spec.machine.roles(s.id).creates) {
+            for p in create.data_params() {
+                if !compid_like(&p.ty, &p.name) {
+                    consumed.insert(&p.name);
+                }
+            }
+        }
+    }
+
+    // Slot → (writers, first span). Creation retvals are exempt: that
+    // slot *is* the descriptor id, consumed implicitly as desc(...).
+    let mut writers: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    let mut first_span: BTreeMap<&str, Option<Span>> = BTreeMap::new();
+    for sig in &spec.fns {
+        for p in &sig.params {
+            if matches!(p.track, TrackKind::Data | TrackKind::DataParent)
+                && !compid_like(&p.ty, &p.name)
+            {
+                writers.entry(&p.name).or_default().push(sig.name.clone());
+                first_span
+                    .entry(&p.name)
+                    .or_insert_with(|| spans.param_span(&sig.name, &p.name));
+            }
+        }
+        if !spec.machine.roles(sig.id).creates {
+            if let Some((_, name, _)) = &sig.retval_tracked {
+                writers
+                    .entry(name)
+                    .or_default()
+                    .push(format!("{} (return value)", sig.name));
+                first_span
+                    .entry(name)
+                    .or_insert_with(|| spans.fn_span(&sig.name));
+            }
+        }
+    }
+
+    for (slot, who) in &writers {
+        if consumed.contains(slot) {
+            continue;
+        }
+        diags.push(
+            Diagnostic::new(
+                Code::UnusedTrackedData,
+                format!(
+                    "tracked metadata slot {slot:?} is never consumed by any recovery replay \
+                     or restore plan"
+                ),
+            )
+            .with_span(first_span[slot])
+            .with_note(format!("written by: {}", who.join(", ")))
+            .with_note(
+                "tracking it costs per-descriptor memory for no recovery benefit; drop the \
+                 annotation or consume it on a replay path",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = superglue_idl::parser::parse(src).unwrap();
+        let spec = superglue_idl::validate::validate("t", &file).unwrap();
+        check(&spec, &SpanIndex::from_file(&file))
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn untracked_argument_on_walk_is_sg030() {
+        // `flags` is replayed (use is on every walk to after(use)) but
+        // captured by nothing.
+        let d = lint(
+            "sm_creation(mk);\nsm_terminal(rm);\n\
+             sm_transition(mk, use);\nsm_transition(use, rm);\nsm_transition(mk, rm);\n\
+             desc_data_retval(long, id)\nmk(componentid_t compid);\n\
+             int use(desc(long id), int flags);\nint rm(desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::UntrackedArgument]);
+        assert!(d[0].message.contains("flags"));
+        assert!(d[0].message.contains("recovery walk"));
+        assert!(d[0].span.is_some());
+    }
+
+    #[test]
+    fn compid_and_off_walk_arguments_are_exempt() {
+        // `hint` is on a function that is never replayed (recover_via
+        // redirects it and nothing else walks through it), and compid is
+        // synthesized from context.
+        let d = lint(
+            "sm_creation(mk);\nsm_terminal(rm);\n\
+             sm_transition(mk, use);\nsm_transition(use, rm);\nsm_transition(mk, rm);\n\
+             sm_recover_via(use, mk);\n\
+             desc_data_retval(long, id)\nmk(componentid_t compid);\n\
+             desc_data_retval_accum(long, progress)\nuse(componentid_t compid, desc(long id), int hint);\n\
+             int rm(desc(long id));\n",
+        );
+        // `use` tracks progress nothing consumes -> only the SG041 warning
+        // (plus nothing about `hint`, which is never replayed) ... except
+        // the substitution also loses effects; that is graph's concern,
+        // not tracking's.
+        assert_eq!(codes(&d), vec![Code::UnusedTrackedData]);
+    }
+
+    #[test]
+    fn restore_entry_without_owner_slot_is_sg031() {
+        let d = lint(
+            "service_global_info = { desc_block = true };\n\
+             sm_creation(alloc);\nsm_terminal(free);\nsm_block(take);\nsm_wakeup(rel);\n\
+             sm_transition(alloc, take);\nsm_transition(take, rel);\nsm_transition(rel, free);\n\
+             sm_recover_via(rel, alloc);\nsm_recover_block(take, fix);\n\
+             desc_data_retval(long, id)\nalloc(componentid_t compid);\n\
+             int take(desc(long id));\nint rel(desc(long id));\n\
+             int fix(componentid_t compid, desc(long id));\nint free(desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::BadRestoreSignature]);
+        assert!(d[0].message.contains("fix"));
+    }
+
+    #[test]
+    fn restore_entry_with_extra_untracked_params_is_sg030() {
+        let d = lint(
+            "service_global_info = { desc_block = true };\n\
+             sm_creation(alloc);\nsm_terminal(free);\nsm_block(take);\nsm_wakeup(rel);\n\
+             sm_transition(alloc, take);\nsm_transition(take, rel);\nsm_transition(rel, free);\n\
+             sm_recover_via(rel, alloc);\nsm_recover_block(take, fix);\n\
+             desc_data_retval(long, id)\nalloc(componentid_t compid);\n\
+             int take(desc(long id));\nint rel(desc(long id));\n\
+             int fix(desc(long id), long owner, long extra);\nint free(desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::UntrackedArgument]);
+        assert!(d[0].message.contains("extra"));
+        assert!(d[0].message.contains("clobbered"));
+    }
+
+    #[test]
+    fn blocking_restore_entry_is_sg032() {
+        let d = lint(
+            "service_global_info = { desc_block = true };\n\
+             sm_creation(alloc);\nsm_terminal(free);\nsm_block(take);\nsm_block(fix);\nsm_wakeup(rel);\n\
+             sm_transition(alloc, take);\nsm_transition(take, rel);\nsm_transition(rel, free);\n\
+             sm_transition(alloc, fix);\nsm_transition(fix, rel);\n\
+             sm_recover_via(rel, alloc);\nsm_recover_via(fix, alloc);\nsm_recover_block(take, fix);\n\
+             desc_data_retval(long, id)\nalloc(componentid_t compid);\n\
+             int take(desc(long id));\nint rel(desc(long id));\n\
+             int fix(desc(long id), long owner);\nint free(desc(long id));\n",
+        );
+        assert!(codes(&d).contains(&Code::RestoreTargetBlocks));
+    }
+
+    #[test]
+    fn unconsumed_metadata_is_sg041() {
+        let d = lint(
+            "sm_creation(mk);\nsm_terminal(rm);\n\
+             sm_transition(mk, poke);\nsm_transition(poke, rm);\nsm_transition(mk, rm);\n\
+             desc_data_retval(long, id)\nmk(componentid_t compid);\n\
+             int poke(desc(long id), desc_data(long stamp));\nint rm(desc(long id));\n",
+        );
+        // poke is replayable (walk to after(poke)) and replays `stamp`
+        // itself, so `stamp` IS consumed; nothing fires.
+        assert_eq!(codes(&d), Vec::<Code>::new());
+
+        // But when recover_via takes poke off every walk, the slot is
+        // written and never replayed.
+        let d = lint(
+            "sm_creation(mk);\nsm_terminal(rm);\n\
+             sm_transition(mk, poke);\nsm_transition(poke, rm);\nsm_transition(mk, rm);\n\
+             sm_recover_via(poke, mk);\n\
+             desc_data_retval(long, id)\nmk(componentid_t compid);\n\
+             int poke(desc(long id), desc_data(long stamp));\nint rm(desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::UnusedTrackedData]);
+        assert!(d[0].notes[0].contains("poke"));
+    }
+
+    #[test]
+    fn global_restore_plan_consumes_creation_metadata() {
+        // A desc_data(parent_desc(...)) slot is *written* to metadata but
+        // replayed as the parent id, never as Meta — so only the G0
+        // restore upcall of a global interface consumes it (the evt.sg
+        // pattern). Non-global, the tracking is dead weight.
+        let body = "sm_creation(mk);\nsm_terminal(rm);\nsm_transition(mk, rm);\n\
+             desc_data_retval(long, id)\n\
+             mk(componentid_t compid, desc_data(parent_desc(long pp)));\n\
+             int rm(desc(long id));\n";
+        let local = format!("service_global_info = {{ desc_has_parent = parent }};\n{body}");
+        assert_eq!(codes(&lint(&local)), vec![Code::UnusedTrackedData]);
+        let global = format!(
+            "service_global_info = {{ desc_has_parent = parent, desc_is_global = true }};\n{body}"
+        );
+        assert_eq!(codes(&lint(&global)), Vec::<Code>::new());
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end tests of the `sglint` binary: exit codes, output formats,
+//! and flag handling, exactly as CI invokes it.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sglint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sglint"))
+        .args(args)
+        .output()
+        .expect("sglint runs")
+}
+
+fn idl(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../idl")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+fn bad_spec(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/bad_specs")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+#[test]
+fn shipped_specs_pass_even_with_deny_warnings() {
+    let files: Vec<String> = ["sched.sg", "mm.sg", "fs.sg", "lock.sg", "evt.sg", "tmr.sg"]
+        .iter()
+        .map(|f| idl(f))
+        .collect();
+    let mut args: Vec<&str> = vec!["--deny-warnings"];
+    args.extend(files.iter().map(String::as_str));
+    let out = sglint(&args);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("6 spec(s) checked"),
+        "summary missing: {stderr}"
+    );
+    // tmr's clock-woken note is informational: printed, never fatal.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("SG040"), "expected tmr note: {stdout}");
+}
+
+#[test]
+fn error_diagnostics_fail_the_run() {
+    let out = sglint(&[&bad_spec("leak.sg")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("error[SG011]"), "{stdout}");
+}
+
+#[test]
+fn warnings_fail_only_under_deny_warnings() {
+    let spec = bad_spec("no_terminal.sg");
+    let out = sglint(&[&spec]);
+    assert_eq!(out.status.code(), Some(0), "warning alone must not fail");
+    let out = sglint(&["--deny-warnings", &spec]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn json_format_emits_one_object_per_file() {
+    let out = sglint(&["--format", "json", &bad_spec("untracked_arg.sg")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 1, "one JSON line per input file: {stdout}");
+    assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+    assert!(lines[0].contains("\"code\":\"SG030\""), "{stdout}");
+    assert!(
+        lines[0].contains("\"interface\":\"untracked_arg\""),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    assert_eq!(sglint(&[]).status.code(), Some(2), "no files");
+    assert_eq!(
+        sglint(&["--bogus", "x.sg"]).status.code(),
+        Some(2),
+        "unknown flag"
+    );
+    assert_eq!(
+        sglint(&["/nonexistent/definitely-missing.sg"])
+            .status
+            .code(),
+        Some(2),
+        "unreadable file"
+    );
+}
+
+#[test]
+fn help_exits_0_and_documents_flags() {
+    let out = sglint(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in ["--deny-warnings", "--format", "SG0"] {
+        assert!(stdout.contains(needle), "help missing {needle}: {stdout}");
+    }
+}

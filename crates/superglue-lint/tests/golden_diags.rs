@@ -1,0 +1,134 @@
+//! Golden-file snapshot tests for `sglint` diagnostics.
+//!
+//! Every `.sg` file under `tests/bad_specs/` is a minimal spec that
+//! violates exactly one (occasionally two) recovery-soundness property.
+//! The linter's full human-readable report for each is compared
+//! **byte-for-byte** against a checked-in snapshot under
+//! `tests/golden_diags/`, so any drift in wording, spans, ordering, or
+//! severity shows up as a readable diff in review.
+//!
+//! To regenerate after an intentional diagnostic change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p superglue-lint --test golden_diags
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use superglue_lint::lint_source;
+
+/// Each bad spec and the diagnostic codes it must trigger. The list is
+/// the contract: a spec here that lints clean means a check regressed
+/// into a false negative.
+const BAD_SPECS: [(&str, &[&str]); 13] = [
+    ("syntax", &["SG001"]),
+    ("unknown_fn", &["SG002"]),
+    ("no_terminal", &["SG010"]),
+    ("leak", &["SG011"]),
+    ("dead_terminal_edge", &["SG012"]),
+    ("orphan", &["SG013"]),
+    ("blocking_midwalk", &["SG021", "SG022"]),
+    ("blocking_final", &["SG022"]),
+    ("lost_substitution", &["SG023"]),
+    ("untracked_arg", &["SG030"]),
+    ("bad_restore_sig", &["SG031"]),
+    ("blocking_restore", &["SG032"]),
+    ("unused_meta", &["SG041", "SG040"]),
+];
+
+fn specs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/bad_specs")
+}
+
+fn spec_path(stem: &str) -> PathBuf {
+    specs_dir().join(format!("{stem}.sg"))
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden_diags")
+}
+
+fn golden_path(file: &str) -> PathBuf {
+    golden_dir().join(file)
+}
+
+/// Compare `actual` against the checked-in snapshot, or rewrite the
+/// snapshot when `UPDATE_GOLDEN` is set.
+fn assert_matches_golden(file: &str, actual: &str) {
+    let path = golden_path(file);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "diagnostics for {file} differ from golden snapshot; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+fn check_bad_spec(stem: &str, codes: &[&str]) {
+    let src = fs::read_to_string(spec_path(stem)).expect("bad spec exists");
+    let report = lint_source(stem, &src);
+    assert!(
+        report.fails(true),
+        "{stem}.sg is in the negative corpus but lints clean under --deny-warnings"
+    );
+    let got: Vec<&str> = report.diagnostics.iter().map(|d| d.code.as_str()).collect();
+    for code in codes {
+        assert!(
+            got.contains(code),
+            "{stem}.sg should trigger {code}, got {got:?}"
+        );
+    }
+    let label = format!("tests/bad_specs/{stem}.sg");
+    assert_matches_golden(&format!("{stem}.txt"), &report.render_human(&label));
+}
+
+#[test]
+fn negative_corpus_matches_golden_diagnostics() {
+    for (stem, codes) in BAD_SPECS {
+        check_bad_spec(stem, codes);
+    }
+}
+
+/// Every file in `tests/bad_specs/` is listed in `BAD_SPECS`, and every
+/// snapshot in `tests/golden_diags/` belongs to a listed spec — no
+/// unchecked specs or stale snapshots survive unnoticed.
+#[test]
+fn corpus_and_snapshot_dirs_have_no_strays() {
+    let mut specs: Vec<String> = fs::read_dir(specs_dir())
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    specs.sort_unstable();
+    let mut expected: Vec<String> = BAD_SPECS.iter().map(|(s, _)| format!("{s}.sg")).collect();
+    expected.sort_unstable();
+    assert_eq!(
+        specs, expected,
+        "tests/bad_specs/ out of sync with BAD_SPECS"
+    );
+
+    let Ok(entries) = fs::read_dir(golden_dir()) else {
+        // First run before generation; the corpus test reports it.
+        return;
+    };
+    let mut snaps: Vec<String> = entries
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    snaps.sort_unstable();
+    let mut expected: Vec<String> = BAD_SPECS.iter().map(|(s, _)| format!("{s}.txt")).collect();
+    expected.sort_unstable();
+    assert_eq!(
+        snaps, expected,
+        "tests/golden_diags/ out of sync with BAD_SPECS"
+    );
+}

@@ -1,0 +1,79 @@
+//! The six shipped `idl/*.sg` specs must lint clean.
+//!
+//! This is the analyzer's precision bar: all the shipped interfaces are
+//! sound (they drive the runtime's recovery tests), so any error or
+//! warning here is a false positive. The single allowed finding is the
+//! `SG040` *note* on `tmr.sg` — a true statement about the timer design
+//! (blocked waiters are clock-woken, there is no wakeup function) that
+//! must never fail a build, even under `--deny-warnings`.
+
+use superglue_lint::{compile_checked, lint_source, Code, Severity};
+
+const IDL: [(&str, &str); 6] = [
+    ("sched", include_str!("../../../idl/sched.sg")),
+    ("mm", include_str!("../../../idl/mm.sg")),
+    ("fs", include_str!("../../../idl/fs.sg")),
+    ("lock", include_str!("../../../idl/lock.sg")),
+    ("evt", include_str!("../../../idl/evt.sg")),
+    ("tmr", include_str!("../../../idl/tmr.sg")),
+];
+
+#[test]
+fn shipped_specs_have_no_errors_or_warnings() {
+    for (name, src) in IDL {
+        let report = lint_source(name, src);
+        assert_eq!(
+            report.count(Severity::Error),
+            0,
+            "{name}: {:?}",
+            report.diagnostics
+        );
+        assert_eq!(
+            report.count(Severity::Warning),
+            0,
+            "{name}: {:?}",
+            report.diagnostics
+        );
+        assert!(
+            !report.fails(true),
+            "{name} must pass even under --deny-warnings"
+        );
+    }
+}
+
+#[test]
+fn only_tmr_gets_the_clock_woken_note() {
+    for (name, src) in IDL {
+        let report = lint_source(name, src);
+        let notes: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Note)
+            .collect();
+        if name == "tmr" {
+            assert_eq!(notes.len(), 1, "{name}");
+            assert_eq!(notes[0].code, Code::BlockingWithoutWakeup);
+            assert!(notes[0].span.is_some(), "note should point at sm_block");
+        } else {
+            assert!(notes.is_empty(), "{name}: {notes:?}");
+        }
+    }
+}
+
+#[test]
+fn checked_compilation_succeeds_for_all_shipped_specs() {
+    for (name, src) in IDL {
+        let out = compile_checked(name, src)
+            .unwrap_or_else(|report| panic!("{name} refused: {:?}", report.diagnostics));
+        assert_eq!(out.stub_spec.interface, name);
+        assert!(!out.client_source.is_empty());
+        assert!(!out.server_source.is_empty());
+    }
+}
+
+#[test]
+fn reports_are_deterministic() {
+    for (name, src) in IDL {
+        assert_eq!(lint_source(name, src), lint_source(name, src), "{name}");
+    }
+}
