@@ -4,12 +4,18 @@
 //! three ablations are independent and run across worker threads
 //! (`--jobs N`, default: available parallelism); their reports print in
 //! ablation order regardless of the job count.
+//!
+//! `--trace PATH` records a flight-recorder trace of the ablation
+//! kernels (the recovery-policy and G1 ablations; the tracker ablation
+//! has no kernel) as JSON-lines at PATH plus a Chrome trace_event
+//! rendering at PATH.chrome.json.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use composite::{
-    default_jobs, parallel_map_indexed, CostModel, InterfaceCall as _, Kernel, Priority, Value,
+    default_jobs, parallel_map_indexed, CostModel, InterfaceCall as _, Kernel, KernelAccess as _,
+    Priority, TraceShard, Value, DEFAULT_TRACE_CAPACITY,
 };
 use sg_c3::RecoveryPolicy;
 use superglue::testbed::{Testbed, Variant};
@@ -19,13 +25,19 @@ use superglue_sm::{DescriptorResourceModel, State};
 
 /// Ablation 1: on-demand (T1) vs eager recovery — what a high-priority
 /// client waits for after a fault when many descriptors are live.
-fn ablation_policy() -> String {
+fn ablation_policy(trace: bool) -> (String, Vec<TraceShard>) {
     let mut out = String::new();
+    let mut shards = Vec::new();
     let _ = writeln!(out, "== Ablation 1: on-demand (T1) vs eager recovery ==");
     const DESCRIPTORS: usize = 400;
     for policy in [RecoveryPolicy::OnDemand, RecoveryPolicy::Eager] {
         let mut tb = Testbed::build_with(Variant::SuperGlue, CostModel::paper_defaults(), policy)
             .expect("testbed builds");
+        if trace {
+            tb.runtime
+                .kernel_mut()
+                .enable_tracing(DEFAULT_TRACE_CAPACITY);
+        }
         let t = tb.spawn_thread(tb.ids.app1, Priority(5));
         let (app, lock) = (tb.ids.app1, tb.ids.lock);
         let mut ids = Vec::new();
@@ -62,18 +74,24 @@ fn ablation_policy() -> String {
             "  {policy:?}: first request served after {first_us:8.1} us wall  \
              ({recovered} descriptors recovered before it completed)"
         );
+        if trace {
+            let mut shard = TraceShard::labeled(&format!("ablations/policy/{policy:?}"));
+            let label = shard.label.clone();
+            shard.absorb(tb.runtime.kernel_mut().take_trace(&label));
+            shards.push(shard);
+        }
     }
     let _ = writeln!(
         out,
         "  -> on-demand bounds the priority inversion: the first request pays for\n\
          \x20    one descriptor, not all {DESCRIPTORS} (the paper's schedulability argument)."
     );
-    out
+    (out, shards)
 }
 
 /// Ablation 2+3: bounded state-machine tracking vs the operation log
 /// §II-C rejects, and shortest-walk vs full-history replay.
-fn ablation_tracker() -> String {
+fn ablation_tracker(_trace: bool) -> (String, Vec<TraceShard>) {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -126,15 +144,19 @@ fn ablation_tracker() -> String {
         log.replay_for(DescId(1)).len() / walk.len().max(1)
     );
     let _ = State::Init;
-    out
+    (out, Vec::new())
 }
 
 /// Ablation 4: G1 redundant storage on vs off — RamFS data survival.
-fn ablation_g1() -> String {
+fn ablation_g1(trace: bool) -> (String, Vec<TraceShard>) {
     let mut out = String::new();
+    let mut shards = Vec::new();
     let _ = writeln!(out, "\n== Ablation 4: G1 redundant storage on vs off ==");
     for persist in [true, false] {
         let mut k = Kernel::with_costs(CostModel::free());
+        if trace {
+            k.enable_tracing(DEFAULT_TRACE_CAPACITY);
+        }
         let app = k.add_client_component("app");
         let st = k.add_component(
             "storage",
@@ -193,6 +215,15 @@ fn ablation_g1() -> String {
             )
             .expect("read");
         let survived = matches!(&read, Value::Bytes(b) if b.len() == 64);
+        if trace {
+            let mut shard = TraceShard::labeled(&format!(
+                "ablations/g1/{}",
+                if persist { "on" } else { "off" }
+            ));
+            let label = shard.label.clone();
+            shard.absorb(k.take_trace(&label));
+            shards.push(shard);
+        }
         let _ = writeln!(
             out,
             "  persistence {}: 64-byte file {} the micro-reboot",
@@ -209,22 +240,34 @@ fn ablation_g1() -> String {
         "  -> without the storage component, interface-driven recovery alone\n\
          \x20    cannot restore resource *data* — the reason G1 exists (SIII-C)."
     );
-    out
+    (out, shards)
 }
+
+/// One ablation: takes the trace flag, returns its report plus any
+/// flight-recorder shards it captured.
+type Ablation = fn(bool) -> (String, Vec<TraceShard>);
 
 fn main() {
     let mut jobs = default_jobs();
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--jobs" => {
                 jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N");
             }
+            "--trace" => trace_path = Some(args.next().expect("--trace PATH")),
             other => panic!("unknown argument {other:?}"),
         }
     }
-    let ablations: [fn() -> String; 3] = [ablation_policy, ablation_tracker, ablation_g1];
-    for report in parallel_map_indexed(ablations.len(), jobs, |i| ablations[i]()) {
+    let trace = trace_path.is_some();
+    let ablations: [Ablation; 3] = [ablation_policy, ablation_tracker, ablation_g1];
+    let mut shards = Vec::new();
+    for (report, mut s) in parallel_map_indexed(ablations.len(), jobs, |i| ablations[i](trace)) {
         print!("{report}");
+        shards.append(&mut s);
+    }
+    if let Some(path) = trace_path {
+        sg_bench::write_trace(&path, &shards);
     }
 }

@@ -5,10 +5,15 @@
 //! Run with `cargo run -p sg-bench --release --bin fig6`. Wall-clock
 //! numbers are means ± stdev over repeated batches (the Criterion
 //! benches `fig6a_tracking`/`fig6b_recovery` are the rigorous versions).
+//!
+//! `--trace PATH` records one flight-recorder trace of a single
+//! fault → recover cycle per (service, variant) — the Fig 6(b) recovery
+//! path, causally annotated — as JSON-lines at PATH plus a Chrome
+//! trace_event rendering at PATH.chrome.json.
 
 use std::time::Instant;
 
-use composite::InterfaceCall as _;
+use composite::{InterfaceCall as _, KernelAccess as _, TraceShard, DEFAULT_TRACE_CAPACITY};
 use sg_bench::{handwritten_loc, rig, Rig, C3_STUB_SOURCES, SERVICES};
 use superglue::testbed::Variant;
 
@@ -82,17 +87,43 @@ fn recovery_us(variant: Variant, iface: &str) -> (f64, f64) {
     stats(&samples)
 }
 
+/// One traced fault → recover cycle for a service under a variant: the
+/// causally-annotated version of the path [`recovery_us`] times.
+fn traced_recovery_shard(variant: Variant, iface: &str) -> TraceShard {
+    let vname = if variant == Variant::C3 {
+        "c3"
+    } else {
+        "superglue"
+    };
+    let mut shard = TraceShard::labeled(&format!("fig6b/{iface}/{vname}"));
+    let mut r: Rig = rig(variant);
+    r.tb.runtime
+        .kernel_mut()
+        .enable_tracing(DEFAULT_TRACE_CAPACITY);
+    let (client, thread, svc, fname, args) = r.setup_recovery_victim(iface);
+    r.tb.runtime.inject_fault(svc);
+    r.tb.runtime
+        .interface_call(client, thread, svc, fname, &args)
+        .expect("recovery succeeds");
+    let label = shard.label.clone();
+    shard.absorb(r.tb.runtime.kernel_mut().take_trace(&label));
+    shard
+}
+
 fn main() {
     let loc_only = std::env::args().any(|a| a == "--loc");
-    let emit_dir = {
+    let (emit_dir, trace_path) = {
         let mut args = std::env::args();
         let mut dir = None;
+        let mut trace = None;
         while let Some(a) = args.next() {
             if a == "--emit" {
                 dir = args.next();
+            } else if a == "--trace" {
+                trace = args.next();
             }
         }
-        dir
+        (dir, trace)
     };
 
     println!("== Fig 6(c): lines of recovery code per system service ==");
@@ -183,4 +214,14 @@ fn main() {
     println!();
     println!("note: recovery cost ordering tracks the mechanism count of SIII-C");
     println!("      (Event uses R0+T0+T1+D1+G0+U0; Lock only R0+T0+T1).");
+
+    if let Some(path) = trace_path {
+        let mut shards = Vec::new();
+        for iface in SERVICES {
+            for variant in [Variant::C3, Variant::SuperGlue] {
+                shards.push(traced_recovery_shard(variant, iface));
+            }
+        }
+        sg_bench::write_trace(&path, &shards);
+    }
 }

@@ -15,7 +15,11 @@
 //!   value of `--jobs`;
 //! * `--json PATH` — additionally dump the rows as JSON;
 //! * `--metrics PATH` — dump per-component recovery-mechanism counters
-//!   as JSON-lines (one line per component per variant).
+//!   as JSON-lines (one line per component per variant);
+//! * `--trace PATH` — record a flight-recorder trace of every run:
+//!   JSON-lines at PATH (analyze with `sgtrace`) plus a Chrome
+//!   trace_event rendering at PATH.chrome.json (open in Perfetto).
+//!   Byte-identical for every `--jobs` value.
 
 use composite::{default_jobs, parallel_map_indexed, Json, MetricsSnapshot, SimTime};
 use sg_webserver::{run_fig7_rep, Fig7Config, Fig7Result, WebVariant};
@@ -75,6 +79,7 @@ fn main() {
     let mut cfg = Fig7Config::default();
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut jobs = default_jobs();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -107,6 +112,10 @@ fn main() {
             }
             "--json" => json_path = Some(args.next().expect("--json PATH")),
             "--metrics" => metrics_path = Some(args.next().expect("--metrics PATH")),
+            "--trace" => {
+                trace_path = Some(args.next().expect("--trace PATH"));
+                cfg.trace = true;
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -201,5 +210,11 @@ fn main() {
         }
         std::fs::write(&path, out).expect("write metrics");
         println!("metrics written to {path}");
+    }
+
+    if let Some(path) = trace_path {
+        // One shard per (variant, repetition), in task order.
+        let shards: Vec<_> = results.iter().filter_map(|r| r.trace.clone()).collect();
+        sg_bench::write_trace(&path, &shards);
     }
 }

@@ -12,7 +12,11 @@
 //!   Output is bit-identical for every value of `--jobs`;
 //! * `--json PATH` — additionally dump the rows as JSON;
 //! * `--metrics PATH` — dump per-component recovery-mechanism counters
-//!   as JSON-lines (one line per component per service campaign).
+//!   as JSON-lines (one line per component per service campaign);
+//! * `--trace PATH` — record a flight-recorder trace of every shard:
+//!   JSON-lines at PATH (analyze with `sgtrace`) plus a Chrome
+//!   trace_event rendering at PATH.chrome.json (open in Perfetto).
+//!   Byte-identical for every `--jobs` value.
 
 use std::time::Instant;
 
@@ -26,6 +30,7 @@ fn main() {
     let mut cfg = CampaignConfig::default();
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut jobs = default_jobs();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -54,6 +59,10 @@ fn main() {
             }
             "--json" => json_path = Some(args.next().expect("--json PATH")),
             "--metrics" => metrics_path = Some(args.next().expect("--metrics PATH")),
+            "--trace" => {
+                trace_path = Some(args.next().expect("--trace PATH"));
+                cfg.trace = true;
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -134,5 +143,13 @@ fn main() {
         }
         std::fs::write(&path, out).expect("write metrics");
         println!("metrics written to {path}");
+    }
+
+    if let Some(path) = trace_path {
+        let shards: Vec<_> = results
+            .iter()
+            .flat_map(|r| r.trace.iter().cloned())
+            .collect();
+        sg_bench::write_trace(&path, &shards);
     }
 }

@@ -424,6 +424,20 @@ impl Rig {
 /// The six services in the paper's presentation order.
 pub const SERVICES: [&str; 6] = ["sched", "mm", "fs", "lock", "evt", "tmr"];
 
+/// Write flight-recorder shards to `path` as the JSON-lines format
+/// `sgtrace` consumes, plus a Chrome `trace_event` rendering at
+/// `path.chrome.json` (load in Perfetto / `chrome://tracing`).
+///
+/// # Panics
+///
+/// Panics when either file cannot be written.
+pub fn write_trace(path: &str, shards: &[composite::TraceShard]) {
+    std::fs::write(path, composite::shards_to_jsonl(shards)).expect("write trace");
+    let chrome = format!("{path}.chrome.json");
+    std::fs::write(&chrome, composite::shards_to_chrome(shards)).expect("write chrome trace");
+    println!("trace written to {path} (+ {chrome} for Perfetto)");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,7 +2,9 @@
 
 use std::collections::BTreeMap;
 
-use composite::{CallError, ComponentId, Kernel, Mechanism, SimTime, ThreadId, Value};
+use composite::{
+    CallError, ComponentId, Kernel, Mechanism, SimTime, ThreadId, TraceEventKind, Value,
+};
 
 use crate::stub::InterfaceStub;
 
@@ -112,17 +114,49 @@ impl StubEnv<'_> {
     ///
     /// As for [`Kernel::invoke`].
     pub fn replay(&mut self, fname: &str, args: &[Value]) -> Result<Value, CallError> {
+        self.replay_for(fname, args, None, Mechanism::R0)
+    }
+
+    /// Replay one walk step rebuilding descriptor `desc` (when known)
+    /// as part of mechanism `mech` (R0 normal walk, T1 deferred-
+    /// completion substitution). Emits a timed `walk_step` trace span
+    /// covering the recovery-step charge plus the replayed invocation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Kernel::invoke`].
+    pub fn replay_for(
+        &mut self,
+        fname: &str,
+        args: &[Value],
+        desc: Option<i64>,
+        mech: Mechanism,
+    ) -> Result<Value, CallError> {
+        let scope = self.kernel.trace_open(self.server);
         let cost = self.kernel.costs().recovery_step;
         self.kernel.charge(cost);
         self.stats.add_recovery_time(self.server, cost);
         self.stats.walk_steps_replayed += 1;
-        self.invoke(fname, args)
+        let r = self.invoke(fname, args);
+        self.kernel.trace_close(
+            scope,
+            self.server,
+            self.thread,
+            TraceEventKind::WalkStep {
+                function: fname.to_owned(),
+                desc,
+                mech,
+            },
+        );
+        r
     }
 
     /// Count one firing of mechanism `m` on the executing edge's server
-    /// in the kernel's observability registry.
+    /// through the kernel's `record_mechanism` choke point (counter +
+    /// trace event in lockstep).
     pub fn note_mechanism(&mut self, m: Mechanism) {
-        self.kernel.metrics_mut().record(self.server, m);
+        self.kernel
+            .record_mechanism(self.server, m, 1, self.thread, SimTime::ZERO);
     }
 
     /// One descriptor fully rebuilt through its recovery walk (**R0**).
@@ -147,8 +181,7 @@ impl StubEnv<'_> {
     /// the descriptor itself plus any recursively revoked subtree).
     pub fn note_teardown(&mut self, n: u64) {
         self.kernel
-            .metrics_mut()
-            .record_many(self.server, Mechanism::D0, n);
+            .record_mechanism(self.server, Mechanism::D0, n, self.thread, SimTime::ZERO);
     }
 
     /// If the server is (still) faulty, micro-reboot it and mark every
@@ -216,7 +249,8 @@ impl StubEnv<'_> {
         self.kernel.charge(cost);
         self.stats.add_recovery_time(self.server, cost);
         self.stats.storage_roundtrips += 1;
-        self.note_mechanism(Mechanism::G0);
+        self.kernel
+            .record_mechanism(self.server, Mechanism::G0, 1, self.thread, cost);
         let v = self.kernel.invoke(
             self.client,
             self.thread,
@@ -248,7 +282,8 @@ impl StubEnv<'_> {
         let cost = self.kernel.costs().storage_round_trip;
         self.kernel.charge(cost);
         self.stats.storage_roundtrips += 1;
-        self.note_mechanism(Mechanism::G0);
+        self.kernel
+            .record_mechanism(self.server, Mechanism::G0, 1, self.thread, cost);
         self.kernel.invoke(
             self.client,
             self.thread,
@@ -277,9 +312,11 @@ impl StubEnv<'_> {
         let Some(mut stub) = self.stubs.remove(&key) else {
             return Err(CallError::Service(composite::ServiceError::NotFound));
         };
-        self.kernel.count_upcall();
+        // U0 is counted (and traced) inside the kernel choke point; the
+        // returned span scopes the creator-side recovery under it.
+        let u0_span = self.kernel.count_upcall(self.server, self.thread);
         self.stats.upcalls += 1;
-        self.note_mechanism(Mechanism::U0);
+        self.kernel.trace_push_scope(u0_span);
         let mut inner = StubEnv {
             kernel: self.kernel,
             stubs: self.stubs,
@@ -292,6 +329,7 @@ impl StubEnv<'_> {
         };
         let r = stub.recover_descriptor(&mut inner, desc);
         self.stubs.insert(key, stub);
+        self.kernel.trace_pop_scope(u0_span);
         r
     }
 }

@@ -104,9 +104,12 @@ impl ServiceCtx<'_> {
     }
 
     /// Count one firing of a recovery mechanism attributed to this
-    /// component (e.g. RamFS noting a **G1** data re-fetch).
+    /// component (e.g. RamFS noting a **G1** data re-fetch). Routed
+    /// through the kernel's [`Kernel::record_mechanism`] choke point so
+    /// the counter and the trace event stay in lockstep.
     pub fn note_mechanism(&mut self, m: crate::metrics::Mechanism) {
-        self.kernel.metrics_mut().record(self.this, m);
+        self.kernel
+            .record_mechanism(self.this, m, 1, self.thread, SimTime::ZERO);
     }
 
     /// Nested synchronous invocation from this component to another

@@ -1,12 +1,13 @@
-//! A minimal JSON emitter for harness output.
+//! A minimal JSON emitter and parser for harness output.
 //!
 //! The harness binaries dump tables and metric snapshots as JSON (and
-//! JSON-lines). The repo builds in sealed environments with no registry
+//! JSON-lines), and the `sgtrace` analyzer reads flight-recorder dumps
+//! back in. The repo builds in sealed environments with no registry
 //! access, so rather than depending on an external serializer this module
-//! provides the small value-tree writer the harnesses need. Emission is
-//! deterministic: object keys keep insertion order, floats are written
-//! with `{:?}` (shortest round-trip representation), and strings are
-//! escaped per RFC 8259.
+//! provides the small value-tree writer and reader the harnesses need.
+//! Emission is deterministic: object keys keep insertion order, floats
+//! are written with `{:?}` (shortest round-trip representation), and
+//! strings are escaped per RFC 8259.
 
 use std::fmt::Write as _;
 
@@ -38,6 +39,74 @@ impl Json {
             other => panic!("Json::push on non-object {other:?}"),
         }
         self
+    }
+
+    /// Parse one JSON document (used by `sgtrace` to read trace dumps
+    /// back in; accepts exactly what the writer side emits, i.e. RFC
+    /// 8259 minus exotic escapes the writer never produces).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message with the byte offset of the problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match; `None` for non-objects).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer view (covers `Int`/`UInt` holding `>= 0`).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed integer view.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            Json::UInt(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Compact single-line rendering (JSON-lines friendly).
@@ -121,6 +190,187 @@ fn write_seq(
         out.extend(std::iter::repeat_n(' ', w * depth));
     }
     out.push(close);
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("expected '{lit}' at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Array(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    self.skip_ws();
+                    let v = self.value()?;
+                    fields.push((k, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Object(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad codepoint at byte {}", self.pos))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are sound).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| format!("bad number at byte {start}"))
+        } else if let Ok(v) = text.parse::<i64>() {
+            Ok(Json::Int(v))
+        } else {
+            text.parse::<u64>()
+                .map(Json::UInt)
+                .map_err(|_| format!("bad number at byte {start}"))
+        }
+    }
 }
 
 fn write_escaped(out: &mut String, s: &str) {
@@ -218,5 +468,52 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(Json::Float(f64::NAN).to_line(), "null");
         assert_eq!(Json::Float(f64::INFINITY).to_line(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut j = Json::object();
+        j.push("name", "fs\"x\n")
+            .push("count", 3u64)
+            .push("neg", -7i64)
+            .push("ratio", 0.25)
+            .push("none", Json::Null)
+            .push("flag", true)
+            .push(
+                "arr",
+                Json::Array(vec![Json::Int(1), Json::Str("a".into())]),
+            );
+        let parsed = Json::parse(&j.to_line()).unwrap();
+        assert_eq!(parsed.get("name").and_then(Json::as_str), Some("fs\"x\n"));
+        assert_eq!(parsed.get("count").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("neg").and_then(Json::as_i64), Some(-7));
+        assert_eq!(parsed.get("ratio"), Some(&Json::Float(0.25)));
+        assert_eq!(parsed.get("none"), Some(&Json::Null));
+        assert_eq!(parsed.get("flag"), Some(&Json::Bool(true)));
+        assert_eq!(
+            parsed
+                .get("arr")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+        // Pretty output parses too.
+        assert_eq!(Json::parse(&j.to_pretty()).unwrap(), parsed);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(
+            Json::parse("\"a\\u0041\\u00e9\"").unwrap(),
+            Json::Str("aAé".into())
+        );
     }
 }

@@ -6,11 +6,12 @@ use crate::capability::CapTable;
 use crate::component::{Service, ServiceCtx};
 use crate::error::{CallError, KernelError, ServiceError};
 use crate::ids::{ComponentId, Epoch, Priority, ThreadId};
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{Mechanism, MetricsRegistry};
 use crate::pages::PageTables;
 use crate::stats::KernelStats;
 use crate::thread::{Thread, ThreadState};
 use crate::time::{CostModel, SimTime};
+use crate::trace::{FlightRecorder, TraceEvent, TraceEventKind, TraceScope, TraceShard};
 use crate::value::Value;
 
 /// Lifecycle state of a component.
@@ -48,6 +49,7 @@ pub struct Kernel {
     costs: CostModel,
     stats: KernelStats,
     metrics: MetricsRegistry,
+    trace: FlightRecorder,
 }
 
 /// The booter component created by [`Kernel::new`]; it owns micro-reboot
@@ -79,6 +81,7 @@ impl Kernel {
             costs,
             stats: KernelStats::new(),
             metrics: MetricsRegistry::default(),
+            trace: FlightRecorder::default(),
         };
         let booter = k.add_client_component("booter");
         debug_assert_eq!(booter, BOOTER);
@@ -222,14 +225,21 @@ impl Kernel {
                 in_component: component,
             };
             self.stats.blocks += 1;
+            if self.trace.is_enabled() {
+                self.trace_instant(component, t, TraceEventKind::Block);
+            }
         }
     }
 
     /// Put a thread to sleep until `deadline`.
     pub(crate) fn sleep_thread(&mut self, t: ThreadId, deadline: SimTime) {
         if let Some(th) = self.threads.get_mut(t.0 as usize) {
+            let home = th.home;
             th.state = ThreadState::SleepingUntil(deadline);
             self.stats.blocks += 1;
+            if self.trace.is_enabled() {
+                self.trace_instant(home, t, TraceEventKind::Sleep { until: deadline });
+            }
         }
     }
 
@@ -247,8 +257,15 @@ impl Kernel {
             .ok_or(KernelError::NoSuchThread(t))?;
         match th.state {
             ThreadState::Blocked { .. } | ThreadState::SleepingUntil(_) => {
+                let site = match th.state {
+                    ThreadState::Blocked { in_component } => in_component,
+                    _ => th.home,
+                };
                 th.state = ThreadState::Runnable;
                 self.stats.wakeups += 1;
+                if self.trace.is_enabled() {
+                    self.trace_instant(site, t, TraceEventKind::Wake);
+                }
                 Ok(())
             }
             ThreadState::Runnable => Ok(()),
@@ -303,13 +320,21 @@ impl Kernel {
             self.time = t;
         }
         let now = self.time;
+        let tracing = self.trace.is_enabled();
+        let mut woken: Vec<(ThreadId, ComponentId)> = Vec::new();
         for th in &mut self.threads {
             if let ThreadState::SleepingUntil(d) = th.state {
                 if d <= now {
                     th.state = ThreadState::Runnable;
                     self.stats.wakeups += 1;
+                    if tracing {
+                        woken.push((th.id, th.home));
+                    }
                 }
             }
+        }
+        for (tid, home) in woken {
+            self.trace_instant(home, tid, TraceEventKind::Wake);
         }
     }
 
@@ -359,11 +384,167 @@ impl Kernel {
         &mut self.metrics
     }
 
-    /// Count an upcall dispatch (the recovery runtime calls this when it
-    /// performs **U0**).
-    pub fn count_upcall(&mut self) {
+    /// Count a **U0** upcall dispatch into the creator of a descriptor
+    /// of `server` (the recovery runtime calls this when it performs
+    /// U0): charges the upcall cost and records the mechanism through
+    /// the [`Kernel::record_mechanism`] choke point, so the counter and
+    /// the trace event cannot disagree. Returns the trace span (when
+    /// tracing) for scoping the nested creator-side recovery.
+    pub fn count_upcall(&mut self, server: ComponentId, thread: ThreadId) -> Option<u64> {
         self.stats.upcalls += 1;
         self.time += self.costs.upcall;
+        self.record_mechanism(server, Mechanism::U0, 1, thread, self.costs.upcall)
+    }
+
+    // ------------------------------------------------------------------
+    // Flight recorder
+    // ------------------------------------------------------------------
+
+    /// Turn the flight recorder on with the given ring capacity.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
+    }
+
+    /// Whether the flight recorder is recording.
+    #[must_use]
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Drain the flight recorder into a self-contained [`TraceShard`]:
+    /// closes every open recovery episode (emitting its `episode_end`),
+    /// snapshots the component-name table, and resets the recorder for
+    /// continued use.
+    pub fn take_trace(&mut self, label: &str) -> TraceShard {
+        for c in self.trace.open_episode_components() {
+            let epoch = self.epoch_of(c).unwrap_or_default();
+            self.trace.end_episode(c, epoch, self.time, BOOT_THREAD);
+        }
+        let (events, dropped, dropped_recovery, span_count) = self.trace.drain();
+        TraceShard {
+            label: label.to_owned(),
+            names: self.components.iter().map(|s| s.name.clone()).collect(),
+            events,
+            dropped,
+            dropped_recovery,
+            span_count,
+        }
+    }
+
+    /// The single choke point through which every mechanism firing is
+    /// counted: increments the [`MetricsRegistry`] *and* (when tracing)
+    /// emits the matching [`TraceEventKind::MechanismFired`] event, so
+    /// the two views are equal by construction. `dur` is the simulated
+    /// time the firing itself consumed (already charged by the caller);
+    /// the returned span can parent nested recovery work.
+    pub fn record_mechanism(
+        &mut self,
+        c: ComponentId,
+        m: Mechanism,
+        n: u64,
+        thread: ThreadId,
+        dur: SimTime,
+    ) -> Option<u64> {
+        if n == 0 {
+            return None;
+        }
+        self.metrics.record_many(c, m, n);
+        if !self.trace.is_enabled() {
+            return None;
+        }
+        let parent = self.trace.causal_parent(c);
+        let span = self.trace.alloc_span();
+        let epoch = self.epoch_of(c).unwrap_or_default();
+        self.trace.record(TraceEvent {
+            span,
+            parent,
+            time: self.time.saturating_sub(dur),
+            dur,
+            thread,
+            component: c,
+            epoch,
+            kind: TraceEventKind::MechanismFired { mech: m, n },
+        });
+        Some(span)
+    }
+
+    /// Emit one instant (zero-duration) trace event; no-op while
+    /// disabled. Stubs use this for descriptor create/teardown markers.
+    pub fn trace_instant(&mut self, c: ComponentId, thread: ThreadId, kind: TraceEventKind) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let parent = self.trace.causal_parent(c);
+        let span = self.trace.alloc_span();
+        let epoch = self.epoch_of(c).unwrap_or_default();
+        self.trace.record(TraceEvent {
+            span,
+            parent,
+            time: self.time,
+            dur: SimTime::ZERO,
+            thread,
+            component: c,
+            epoch,
+            kind,
+        });
+    }
+
+    /// Open a timed recovery scope on `c`: pre-assigns the span (so
+    /// nested events parent to it) and remembers the start time. Pair
+    /// with [`Kernel::trace_close`]. Returns `None` while disabled.
+    pub fn trace_open(&mut self, c: ComponentId) -> Option<TraceScope> {
+        if !self.trace.is_enabled() {
+            return None;
+        }
+        let parent = self.trace.causal_parent(c);
+        let span = self.trace.alloc_span();
+        self.trace.push_scope(span);
+        Some(TraceScope {
+            span,
+            parent,
+            start: self.time,
+        })
+    }
+
+    /// Close a scope opened by [`Kernel::trace_open`], emitting `kind`
+    /// with the measured simulated duration.
+    pub fn trace_close(
+        &mut self,
+        scope: Option<TraceScope>,
+        c: ComponentId,
+        thread: ThreadId,
+        kind: TraceEventKind,
+    ) {
+        let Some(s) = scope else { return };
+        self.trace.pop_scope();
+        let epoch = self.epoch_of(c).unwrap_or_default();
+        self.trace.record(TraceEvent {
+            span: s.span,
+            parent: s.parent,
+            time: s.start,
+            dur: self.time.saturating_sub(s.start),
+            thread,
+            component: c,
+            epoch,
+            kind,
+        });
+    }
+
+    /// Push an already-emitted span as the current recovery scope (used
+    /// to hang creator-side U0 recovery under the upcall event). No-op
+    /// on `None`.
+    pub fn trace_push_scope(&mut self, span: Option<u64>) {
+        if let Some(s) = span {
+            self.trace.push_scope(s);
+        }
+    }
+
+    /// Pop the scope pushed by [`Kernel::trace_push_scope`]. No-op on
+    /// `None`.
+    pub fn trace_pop_scope(&mut self, span: Option<u64>) {
+        if span.is_some() {
+            self.trace.pop_scope();
+        }
     }
 
     /// Simulated page tables (read-only reflection).
@@ -412,6 +593,30 @@ impl Kernel {
         }
         if self.components[target.0 as usize].state == ComponentState::Faulty {
             self.stats.count_faulted_invocation(target);
+            if self.trace.is_enabled() {
+                let parent = self.trace.causal_parent(target);
+                let span = self.trace.alloc_span();
+                let epoch = self.epoch_of(target).unwrap_or_default();
+                self.trace.record(TraceEvent {
+                    span,
+                    parent,
+                    time: self.time,
+                    dur: SimTime::ZERO,
+                    thread,
+                    component: target,
+                    epoch,
+                    kind: TraceEventKind::InvokeEnter {
+                        function: fname.to_owned(),
+                        client,
+                    },
+                });
+                self.trace_instant_with_parent(
+                    target,
+                    thread,
+                    Some(span),
+                    TraceEventKind::InvokeExit { outcome: "fault" },
+                );
+            }
             return Err(CallError::Fault { component: target });
         }
         // Thread migration: push the server onto the invocation stack.
@@ -426,12 +631,43 @@ impl Kernel {
             th.invocation_stack.push(target);
         }
         self.time += self.costs.invocation;
+        let enter_span = if self.trace.is_enabled() {
+            let parent = self.trace.causal_parent(target);
+            let span = self.trace.alloc_span();
+            let epoch = self.epoch_of(target).unwrap_or_default();
+            self.trace.record(TraceEvent {
+                span,
+                parent,
+                time: self.time,
+                dur: SimTime::ZERO,
+                thread,
+                component: target,
+                epoch,
+                kind: TraceEventKind::InvokeEnter {
+                    function: fname.to_owned(),
+                    client,
+                },
+            });
+            self.trace.push_invoke(span);
+            Some(span)
+        } else {
+            None
+        };
 
         // Check the service out so it can re-enter the kernel.
         let mut service = match self.components[target.0 as usize].service.take() {
             Some(s) => s,
             None => {
                 self.pop_stack(thread, target);
+                if let Some(enter) = enter_span {
+                    self.trace.pop_invoke();
+                    self.trace_instant_with_parent(
+                        target,
+                        thread,
+                        Some(enter),
+                        TraceEventKind::InvokeExit { outcome: "err" },
+                    );
+                }
                 return Err(CallError::NoSuchComponent(target));
             }
         };
@@ -445,19 +681,59 @@ impl Kernel {
         self.components[target.0 as usize].service = Some(service);
         self.pop_stack(thread, target);
 
-        match result {
+        let ret = match result {
             Ok(v) => {
                 self.stats.count_invocation(target);
                 // The server may itself have faulted mid-call (injected
                 // while executing): surface that instead of the value.
                 if self.components[target.0 as usize].state == ComponentState::Faulty {
-                    return Err(CallError::Fault { component: target });
+                    Err(CallError::Fault { component: target })
+                } else {
+                    Ok(v)
                 }
-                Ok(v)
             }
             Err(ServiceError::WouldBlock) => Err(CallError::WouldBlock),
             Err(e) => Err(CallError::Service(e)),
+        };
+        if let Some(enter) = enter_span {
+            self.trace.pop_invoke();
+            let outcome = match &ret {
+                Ok(_) => "ok",
+                Err(CallError::Fault { .. }) => "fault",
+                Err(CallError::WouldBlock) => "would-block",
+                Err(_) => "err",
+            };
+            self.trace_instant_with_parent(
+                target,
+                thread,
+                Some(enter),
+                TraceEventKind::InvokeExit { outcome },
+            );
         }
+        ret
+    }
+
+    /// Emit an instant event with an explicit causal parent (invoke
+    /// exits pair with their enter span).
+    fn trace_instant_with_parent(
+        &mut self,
+        c: ComponentId,
+        thread: ThreadId,
+        parent: Option<u64>,
+        kind: TraceEventKind,
+    ) {
+        let span = self.trace.alloc_span();
+        let epoch = self.epoch_of(c).unwrap_or_default();
+        self.trace.record(TraceEvent {
+            span,
+            parent,
+            time: self.time,
+            dur: SimTime::ZERO,
+            thread,
+            component: c,
+            epoch,
+            kind,
+        });
     }
 
     fn pop_stack(&mut self, thread: ThreadId, target: ComponentId) {
@@ -482,7 +758,31 @@ impl Kernel {
         args: &[Value],
     ) -> Result<Value, CallError> {
         self.caps.grant(BOOTER, target);
+        let scope = if self.trace.is_enabled() {
+            let parent = self.trace.causal_parent(target);
+            let span = self.trace.alloc_span();
+            let epoch = self.epoch_of(target).unwrap_or_default();
+            self.trace.record(TraceEvent {
+                span,
+                parent,
+                time: self.time,
+                dur: SimTime::ZERO,
+                thread,
+                component: target,
+                epoch,
+                kind: TraceEventKind::Upcall {
+                    function: fname.to_owned(),
+                },
+            });
+            self.trace.push_scope(span);
+            true
+        } else {
+            false
+        };
         let r = self.invoke(BOOTER, thread, target, fname, args);
+        if scope {
+            self.trace.pop_scope();
+        }
         self.stats.upcalls += 1;
         r
     }
@@ -499,21 +799,45 @@ impl Kernel {
             return 0;
         };
         slot.state = ComponentState::Faulty;
+        let epoch = slot.epoch;
         self.stats.count_fault(c);
-        let mut woken = 0;
+        // The fault roots a new recovery episode: close any episode
+        // still open from the previous fault of this component first.
+        let fault_span = if self.trace.is_enabled() {
+            self.trace.end_episode(c, epoch, self.time, BOOT_THREAD);
+            let span = self.trace.alloc_span();
+            self.trace.record(TraceEvent {
+                span,
+                parent: None,
+                time: self.time,
+                dur: SimTime::ZERO,
+                thread: BOOT_THREAD,
+                component: c,
+                epoch,
+                kind: TraceEventKind::FaultInjected,
+            });
+            self.trace.begin_episode(c, span);
+            Some(span)
+        } else {
+            None
+        };
+        let mut woken_ids = Vec::new();
         for th in &mut self.threads {
             if th.state == (ThreadState::Blocked { in_component: c }) {
                 th.state = ThreadState::Runnable;
                 self.stats.wakeups += 1;
-                woken += 1;
+                woken_ids.push(th.id);
+            }
+        }
+        if fault_span.is_some() {
+            for &t in &woken_ids {
+                self.trace_instant_with_parent(c, t, fault_span, TraceEventKind::Wake);
             }
         }
         // T0: these wakeups are the eager release of threads blocked in
         // the failed component (§III-C).
-        if woken > 0 {
-            self.metrics
-                .record_many(c, crate::metrics::Mechanism::T0, woken);
-        }
+        let woken = woken_ids.len() as u64;
+        self.record_mechanism(c, Mechanism::T0, woken, BOOT_THREAD, SimTime::ZERO);
         woken
     }
 
@@ -537,6 +861,7 @@ impl Kernel {
         service.reset();
         slot.epoch = slot.epoch.next();
         slot.state = ComponentState::Active;
+        let scope = self.trace_open(c);
         self.time += self.costs.micro_reboot;
         self.stats.count_reboot(c);
         let mut ctx = ServiceCtx {
@@ -547,6 +872,7 @@ impl Kernel {
         };
         service.post_reboot(&mut ctx);
         self.components[c.0 as usize].service = Some(service);
+        self.trace_close(scope, c, BOOT_THREAD, TraceEventKind::Reboot);
         Ok(())
     }
 }

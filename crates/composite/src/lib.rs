@@ -48,6 +48,7 @@ pub mod rng;
 pub mod stats;
 pub mod thread;
 pub mod time;
+pub mod trace;
 pub mod value;
 
 pub use component::{Service, ServiceCtx};
@@ -63,4 +64,8 @@ pub use par::{default_jobs, parallel_map_indexed};
 pub use rng::{mix, SplitMix64};
 pub use thread::{RegisterFile, ThreadState, NUM_REGISTERS};
 pub use time::{CostModel, SimTime};
+pub use trace::{
+    shards_to_chrome, shards_to_jsonl, FlightRecorder, TraceEvent, TraceEventKind, TraceScope,
+    TraceShard, DEFAULT_TRACE_CAPACITY,
+};
 pub use value::Value;

@@ -1,0 +1,774 @@
+//! The kernel flight recorder: a bounded ring buffer of structured,
+//! causally linked trace events.
+//!
+//! PR 1's `MetricsRegistry` answers *how often* each of the paper's
+//! eight recovery mechanisms fired; this module answers *what happened*:
+//! which fault triggered which micro-reboot, which σ-walk replays it
+//! caused, in what order D1/T0/U0 fired, and where the simulated
+//! nanoseconds went. Every [`TraceEvent`] is stamped with the virtual
+//! [`SimTime`], the driving thread, the component it concerns, that
+//! component's micro-reboot [`Epoch`], a monotonically assigned span id
+//! and a *causal parent* span id — so a whole recovery episode forms a
+//! tree rooted at the fault event.
+//!
+//! Design constraints (mirrored by the determinism test suite):
+//!
+//! * **Off by default, near-zero cost when disabled.** Every emission
+//!   site is guarded by one branch on [`FlightRecorder::is_enabled`].
+//! * **Bounded.** Events are retained in two rings of at most `capacity`
+//!   each, dropping the *oldest* on overflow (flight-recorder semantics:
+//!   the most recent window survives). *Ambient* events — invocations,
+//!   block/wake/sleep, descriptor create/close — share one ring;
+//!   *recovery-class* events — faults, reboots, σ-walk steps, upcalls,
+//!   episode ends, and mechanism firings on a component inside an open
+//!   episode — live in their own ring, so a flood of steady-state
+//!   request traffic (a Fig 7 throughput run emits millions of ambient
+//!   events) can never evict the recovery record. Every timed event that
+//!   attributes to an episode is recovery-class, so latency attribution
+//!   survives ambient overflow intact. Drops are counted per tier, never
+//!   silent.
+//! * **Deterministic.** Events depend only on simulated execution, never
+//!   on wall clock or host scheduling; per-shard buffers are renumbered
+//!   and merged in shard order ([`TraceShard::absorb`]), so `--jobs 1`
+//!   and `--jobs 8` produce byte-identical dumps.
+//!
+//! ## Episodes and latency attribution
+//!
+//! A **recovery episode** for component `c` opens at a
+//! [`TraceEventKind::FaultInjected`] on `c` and closes at the next fault
+//! of `c` or when the trace is drained, emitting a
+//! [`TraceEventKind::EpisodeEnd`] carrying the total simulated time
+//! attributed to the episode. Timed events (`dur > 0`: reboots, σ-walk
+//! steps, storage round trips, upcalls) accumulate into the open episode
+//! of their component; the `sgtrace timeline` analyzer independently
+//! re-sums them and checks conservation: the per-mechanism spans of an
+//! episode must account for 100% of its attributed latency.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::ids::{ComponentId, Epoch, ThreadId};
+use crate::json::Json;
+use crate::metrics::Mechanism;
+use crate::time::SimTime;
+
+/// Default ring capacity used by the harness `--trace` flags.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// What one trace event records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A component invocation began (`function`, on behalf of `client`).
+    InvokeEnter {
+        function: String,
+        client: ComponentId,
+    },
+    /// The invocation identified by `parent` returned; `outcome` is one
+    /// of `"ok"`, `"fault"`, `"would-block"`, `"err"`.
+    InvokeExit { outcome: &'static str },
+    /// The event's thread blocked inside the event's component.
+    Block,
+    /// The event's thread went to sleep until `until`.
+    Sleep { until: SimTime },
+    /// The event's thread was made runnable again.
+    Wake,
+    /// A fail-stop fault was injected into the event's component. Roots
+    /// a new recovery episode.
+    FaultInjected,
+    /// The booter micro-rebooted the event's component; `dur` spans the
+    /// reboot cost plus the post-reboot initialization upcall.
+    Reboot,
+    /// `n` firings of recovery mechanism `mech` (the same increment the
+    /// [`MetricsRegistry`](crate::metrics::MetricsRegistry) counted —
+    /// both are written by the single `Kernel::record_mechanism` choke
+    /// point, so counters and trace can never disagree).
+    MechanismFired { mech: Mechanism, n: u64 },
+    /// One σ-walk function replay (`function`) rebuilding descriptor
+    /// `desc` (`None` for the hand-written C³ stubs, which do not expose
+    /// descriptor ids); `mech` is the walk flavor (R0 normal, T1
+    /// deferred-completion substitution). `dur` spans the recovery-step
+    /// charge plus the replayed invocation.
+    WalkStep {
+        function: String,
+        desc: Option<i64>,
+        mech: Mechanism,
+    },
+    /// A stub began tracking descriptor `desc`.
+    DescriptorCreated { desc: i64 },
+    /// Close semantics dropped descriptor `desc` and `dropped` tracked
+    /// descriptors in total (itself plus any revoked subtree).
+    DescriptorClosed { desc: i64, dropped: u64 },
+    /// A kernel/booter-initiated upcall dispatched `function`.
+    Upcall { function: String },
+    /// The recovery episode rooted at `parent` closed; `attributed` is
+    /// the total simulated time its timed events accumulated.
+    EpisodeEnd { attributed: SimTime },
+}
+
+impl TraceEventKind {
+    /// Stable snake_case name used in JSON output.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::InvokeEnter { .. } => "invoke_enter",
+            TraceEventKind::InvokeExit { .. } => "invoke_exit",
+            TraceEventKind::Block => "block",
+            TraceEventKind::Sleep { .. } => "sleep",
+            TraceEventKind::Wake => "wake",
+            TraceEventKind::FaultInjected => "fault",
+            TraceEventKind::Reboot => "reboot",
+            TraceEventKind::MechanismFired { .. } => "mechanism",
+            TraceEventKind::WalkStep { .. } => "walk_step",
+            TraceEventKind::DescriptorCreated { .. } => "desc_created",
+            TraceEventKind::DescriptorClosed { .. } => "desc_closed",
+            TraceEventKind::Upcall { .. } => "upcall",
+            TraceEventKind::EpisodeEnd { .. } => "episode_end",
+        }
+    }
+
+    /// Whether the event kind occurs only during recovery (faults,
+    /// reboots, σ-walk steps, upcalls, episode ends) and is therefore
+    /// always retained in the recovery ring tier. Mechanism firings are
+    /// *not* listed: D0/G0/G1 also fire on every steady-state descriptor
+    /// operation, so the recorder routes them by whether their component
+    /// has an open recovery episode.
+    #[must_use]
+    pub fn is_recovery_class(&self) -> bool {
+        matches!(
+            self,
+            TraceEventKind::FaultInjected
+                | TraceEventKind::Reboot
+                | TraceEventKind::WalkStep { .. }
+                | TraceEventKind::Upcall { .. }
+                | TraceEventKind::EpisodeEnd { .. }
+        )
+    }
+}
+
+/// One flight-recorder event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonically assigned span id, unique within a [`TraceShard`].
+    pub span: u64,
+    /// Causal parent span (`None` for roots: fault injections and
+    /// top-level invocations outside any recovery).
+    pub parent: Option<u64>,
+    /// Simulated start time of the event.
+    pub time: SimTime,
+    /// Simulated duration (zero for instant events).
+    pub dur: SimTime,
+    /// The thread driving the event.
+    pub thread: ThreadId,
+    /// The component the event concerns (the failed/recovering server
+    /// for recovery events).
+    pub component: ComponentId,
+    /// That component's micro-reboot epoch when the event fired.
+    pub epoch: Epoch,
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// One JSON-lines object; `names` resolves component ids (indexed by
+    /// id) for human-readable dumps.
+    #[must_use]
+    pub fn to_json(&self, names: &[String]) -> Json {
+        let mut j = Json::object();
+        j.push("span", self.span);
+        match self.parent {
+            Some(p) => j.push("parent", p),
+            None => j.push("parent", Json::Null),
+        };
+        j.push("ts", self.time.0)
+            .push("dur", self.dur.0)
+            .push("tid", self.thread.0)
+            .push("comp", self.component.0)
+            .push(
+                "name",
+                names
+                    .get(self.component.0 as usize)
+                    .map_or("?", String::as_str),
+            )
+            .push("epoch", self.epoch.0)
+            .push("kind", self.kind.name());
+        match &self.kind {
+            TraceEventKind::InvokeEnter { function, client } => {
+                j.push("function", function.as_str())
+                    .push("client", client.0);
+            }
+            TraceEventKind::InvokeExit { outcome } => {
+                j.push("outcome", *outcome);
+            }
+            TraceEventKind::Sleep { until } => {
+                j.push("until", until.0);
+            }
+            TraceEventKind::MechanismFired { mech, n } => {
+                j.push("mech", mech.name()).push("n", *n);
+            }
+            TraceEventKind::WalkStep {
+                function,
+                desc,
+                mech,
+            } => {
+                j.push("function", function.as_str());
+                match desc {
+                    Some(d) => j.push("desc", *d),
+                    None => j.push("desc", Json::Null),
+                };
+                j.push("mech", mech.name());
+            }
+            TraceEventKind::DescriptorCreated { desc } => {
+                j.push("desc", *desc);
+            }
+            TraceEventKind::DescriptorClosed { desc, dropped } => {
+                j.push("desc", *desc).push("dropped", *dropped);
+            }
+            TraceEventKind::Upcall { function } => {
+                j.push("function", function.as_str());
+            }
+            TraceEventKind::EpisodeEnd { attributed } => {
+                j.push("attributed", attributed.0);
+            }
+            TraceEventKind::Block
+            | TraceEventKind::Wake
+            | TraceEventKind::FaultInjected
+            | TraceEventKind::Reboot => {}
+        }
+        j
+    }
+}
+
+/// An in-flight timed span opened by `Kernel::trace_open` and closed —
+/// with its measured duration — by `Kernel::trace_close`.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceScope {
+    pub(crate) span: u64,
+    pub(crate) parent: Option<u64>,
+    pub(crate) start: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Episode {
+    root: u64,
+    attributed: SimTime,
+}
+
+/// The bounded event ring the kernel carries. All methods are cheap
+/// no-ops while disabled.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    enabled: bool,
+    capacity: usize,
+    /// Ambient tier: invocations, block/wake/sleep, descriptor events.
+    /// Entries carry a push sequence number so `drain` can interleave
+    /// the tiers back into emission order.
+    ambient: VecDeque<(u64, TraceEvent)>,
+    /// Recovery tier: never evicted by ambient traffic.
+    recovery: VecDeque<(u64, TraceEvent)>,
+    next_seq: u64,
+    dropped: u64,
+    dropped_recovery: u64,
+    next_span: u64,
+    /// Spans of in-flight kernel invocations (innermost last); the
+    /// simulation is single-threaded, so one stack suffices.
+    invoke_stack: Vec<u64>,
+    /// Spans of in-flight recovery scopes (reboots, σ-walk steps, U0
+    /// upcalls) — consulted before the invoke stack so that events
+    /// emitted during recovery hang off the recovery tree.
+    recovery_stack: Vec<u64>,
+    /// Open recovery episode per component.
+    episodes: BTreeMap<ComponentId, Episode>,
+}
+
+impl FlightRecorder {
+    /// Turn recording on with the given ring capacity (minimum 1).
+    pub fn enable(&mut self, capacity: usize) {
+        self.enabled = true;
+        self.capacity = capacity.max(1);
+    }
+
+    /// Whether events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Events currently retained (both tiers).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ambient.len() + self.recovery.len()
+    }
+
+    /// Whether both tiers are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ambient.is_empty() && self.recovery.is_empty()
+    }
+
+    /// Allocate the next span id.
+    pub(crate) fn alloc_span(&mut self) -> u64 {
+        let s = self.next_span;
+        self.next_span += 1;
+        s
+    }
+
+    pub(crate) fn push_invoke(&mut self, span: u64) {
+        self.invoke_stack.push(span);
+    }
+
+    pub(crate) fn pop_invoke(&mut self) {
+        self.invoke_stack.pop();
+    }
+
+    pub(crate) fn push_scope(&mut self, span: u64) {
+        self.recovery_stack.push(span);
+    }
+
+    pub(crate) fn pop_scope(&mut self) {
+        self.recovery_stack.pop();
+    }
+
+    /// The causal parent for a new event concerning `c`: the innermost
+    /// open recovery scope, else the innermost in-flight invocation,
+    /// else the root of `c`'s open recovery episode.
+    pub(crate) fn causal_parent(&self, c: ComponentId) -> Option<u64> {
+        self.recovery_stack
+            .last()
+            .or_else(|| self.invoke_stack.last())
+            .copied()
+            .or_else(|| self.episodes.get(&c).map(|e| e.root))
+    }
+
+    /// Append an event, attributing its duration to the open episode of
+    /// its component and dropping the oldest event of its tier on
+    /// overflow.
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        if ev.dur > SimTime::ZERO {
+            if let Some(ep) = self.episodes.get_mut(&ev.component) {
+                ep.attributed += ev.dur;
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // Mechanism firings belong to the recovery record exactly when
+        // their component is inside an episode (those are the firings
+        // whose durations attribute); steady-state firings are ambient.
+        let recovery_class = ev.kind.is_recovery_class()
+            || (matches!(ev.kind, TraceEventKind::MechanismFired { .. })
+                && self.episodes.contains_key(&ev.component));
+        let tier = if recovery_class {
+            &mut self.recovery
+        } else {
+            &mut self.ambient
+        };
+        if tier.len() >= self.capacity {
+            tier.pop_front();
+            if recovery_class {
+                self.dropped_recovery += 1;
+            } else {
+                self.dropped += 1;
+            }
+        }
+        tier.push_back((seq, ev));
+    }
+
+    /// Open a recovery episode for `c` rooted at `root`.
+    pub(crate) fn begin_episode(&mut self, c: ComponentId, root: u64) {
+        self.episodes.insert(
+            c,
+            Episode {
+                root,
+                attributed: SimTime::ZERO,
+            },
+        );
+    }
+
+    /// Close `c`'s open episode (if any), emitting its
+    /// [`TraceEventKind::EpisodeEnd`].
+    pub(crate) fn end_episode(
+        &mut self,
+        c: ComponentId,
+        epoch: Epoch,
+        time: SimTime,
+        thread: ThreadId,
+    ) {
+        if let Some(ep) = self.episodes.remove(&c) {
+            let span = self.alloc_span();
+            self.record(TraceEvent {
+                span,
+                parent: Some(ep.root),
+                time,
+                dur: SimTime::ZERO,
+                thread,
+                component: c,
+                epoch,
+                kind: TraceEventKind::EpisodeEnd {
+                    attributed: ep.attributed,
+                },
+            });
+        }
+    }
+
+    /// Components with an open episode, in id order (drained by
+    /// `Kernel::take_trace`, which must close them all).
+    pub(crate) fn open_episode_components(&self) -> Vec<ComponentId> {
+        self.episodes.keys().copied().collect()
+    }
+
+    /// Drain all recorded events and counters, resetting the recorder
+    /// for continued use. The two tiers are interleaved back into
+    /// emission order. Returns
+    /// `(events, dropped_ambient, dropped_recovery, span_count)`.
+    pub(crate) fn drain(&mut self) -> (Vec<TraceEvent>, u64, u64, u64) {
+        let mut ambient = std::mem::take(&mut self.ambient);
+        let mut recovery = std::mem::take(&mut self.recovery);
+        let mut events = Vec::with_capacity(ambient.len() + recovery.len());
+        loop {
+            let take_ambient = match (ambient.front(), recovery.front()) {
+                (Some((sa, _)), Some((sr, _))) => sa < sr,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let src = if take_ambient {
+                &mut ambient
+            } else {
+                &mut recovery
+            };
+            events.push(src.pop_front().expect("front checked").1);
+        }
+        let dropped = std::mem::take(&mut self.dropped);
+        let dropped_recovery = std::mem::take(&mut self.dropped_recovery);
+        let span_count = std::mem::take(&mut self.next_span);
+        self.next_seq = 0;
+        self.invoke_stack.clear();
+        self.recovery_stack.clear();
+        self.episodes.clear();
+        (events, dropped, dropped_recovery, span_count)
+    }
+}
+
+/// One drained, self-contained slice of trace: the events of one kernel
+/// (or several absorbed in deterministic order), plus the component-name
+/// table resolving ids. Plain data, `Send`, mergeable across campaign
+/// shards in shard order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceShard {
+    /// Harness-assigned context label, e.g. `"table2/lock/superglue/shard0"`.
+    pub label: String,
+    /// Component names indexed by component id.
+    pub names: Vec<String>,
+    pub events: Vec<TraceEvent>,
+    /// Ambient events lost to ring overflow.
+    pub dropped: u64,
+    /// Recovery-class events lost to ring overflow. When zero, every
+    /// fault/reboot/walk/mechanism/upcall event — and thus the full
+    /// latency attribution of every episode — is present even if
+    /// `dropped > 0`.
+    pub dropped_recovery: u64,
+    /// Span ids `0..span_count` are in use (absorbing renumbers by this
+    /// offset, keeping spans unique within the merged shard).
+    pub span_count: u64,
+}
+
+impl TraceShard {
+    /// An empty shard carrying only a label.
+    #[must_use]
+    pub fn labeled(label: &str) -> Self {
+        Self {
+            label: label.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    /// Append another shard's events, renumbering its spans past this
+    /// shard's. Used when one logical shard spans several kernel
+    /// lifetimes (machine reboots rebuild the testbed) and when harness
+    /// tasks are merged in deterministic order.
+    pub fn absorb(&mut self, other: TraceShard) {
+        let offset = self.span_count;
+        self.events.reserve(other.events.len());
+        for mut ev in other.events {
+            ev.span += offset;
+            if let Some(p) = ev.parent.as_mut() {
+                *p += offset;
+            }
+            self.events.push(ev);
+        }
+        self.span_count += other.span_count;
+        self.dropped += other.dropped;
+        self.dropped_recovery += other.dropped_recovery;
+        if self.names.is_empty() {
+            self.names = other.names;
+        }
+    }
+
+    /// The shard-header JSON-lines object.
+    #[must_use]
+    pub fn header_json(&self) -> Json {
+        let mut j = Json::object();
+        j.push("shard", self.label.as_str())
+            .push(
+                "names",
+                Json::Array(self.names.iter().map(|n| Json::from(n.as_str())).collect()),
+            )
+            .push("events", self.events.len())
+            .push("dropped", self.dropped)
+            .push("dropped_recovery", self.dropped_recovery)
+            .push("span_count", self.span_count);
+        j
+    }
+}
+
+/// Render shards as JSON-lines: one header object per shard followed by
+/// its events, in shard order (byte-identical for any `--jobs`).
+#[must_use]
+pub fn shards_to_jsonl(shards: &[TraceShard]) -> String {
+    let mut out = String::new();
+    for shard in shards {
+        out.push_str(&shard.header_json().to_line());
+        out.push('\n');
+        for ev in &shard.events {
+            out.push_str(&ev.to_json(&shard.names).to_line());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Human label for one event in the Chrome viewer.
+fn chrome_name(ev: &TraceEvent, names: &[String]) -> String {
+    let comp = names
+        .get(ev.component.0 as usize)
+        .map_or("?", String::as_str);
+    match &ev.kind {
+        TraceEventKind::InvokeEnter { function, .. } => format!("call {comp}.{function}"),
+        TraceEventKind::InvokeExit { outcome } => format!("ret {outcome}"),
+        TraceEventKind::Block => format!("block in {comp}"),
+        TraceEventKind::Sleep { .. } => "sleep".to_owned(),
+        TraceEventKind::Wake => format!("wake ({comp})"),
+        TraceEventKind::FaultInjected => format!("FAULT {comp}"),
+        TraceEventKind::Reboot => format!("reboot {comp}"),
+        TraceEventKind::MechanismFired { mech, n } => format!("{} x{n} ({comp})", mech.name()),
+        TraceEventKind::WalkStep { function, mech, .. } => {
+            format!("{} replay {comp}.{function}", mech.name())
+        }
+        TraceEventKind::DescriptorCreated { desc } => format!("{comp} desc+{desc}"),
+        TraceEventKind::DescriptorClosed { desc, .. } => format!("{comp} desc-{desc}"),
+        TraceEventKind::Upcall { function } => format!("upcall {comp}.{function}"),
+        TraceEventKind::EpisodeEnd { .. } => format!("episode end {comp}"),
+    }
+}
+
+/// Render shards in Chrome `trace_event` JSON (loadable in
+/// `chrome://tracing` and Perfetto): one process per shard, one track
+/// per thread; timed events become complete (`"X"`) slices, instants
+/// become `"i"` markers. Timestamps are microseconds (fractional: the
+/// simulation is nanosecond-granular).
+#[must_use]
+pub fn shards_to_chrome(shards: &[TraceShard]) -> String {
+    let mut events: Vec<Json> = Vec::new();
+    for (pid, shard) in shards.iter().enumerate() {
+        let mut meta = Json::object();
+        meta.push("ph", "M")
+            .push("pid", pid)
+            .push("name", "process_name");
+        let mut args = Json::object();
+        args.push("name", shard.label.as_str());
+        meta.push("args", args);
+        events.push(meta);
+        for ev in &shard.events {
+            let mut j = Json::object();
+            j.push("name", chrome_name(ev, &shard.names))
+                .push("cat", ev.kind.name())
+                .push("pid", pid)
+                .push("tid", ev.thread.0)
+                .push("ts", ev.time.0 as f64 / 1000.0);
+            if ev.dur > SimTime::ZERO {
+                j.push("ph", "X").push("dur", ev.dur.0 as f64 / 1000.0);
+            } else {
+                j.push("ph", "i").push("s", "t");
+            }
+            let mut args = Json::object();
+            args.push("span", ev.span);
+            if let Some(p) = ev.parent {
+                args.push("parent", p);
+            }
+            args.push("epoch", ev.epoch.0);
+            j.push("args", args);
+            events.push(j);
+        }
+    }
+    let mut top = Json::object();
+    top.push("traceEvents", Json::Array(events))
+        .push("displayTimeUnit", "ns");
+    top.to_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(span: u64, parent: Option<u64>, c: u32, dur: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            span,
+            parent,
+            time: SimTime(10),
+            dur: SimTime(dur),
+            thread: ThreadId(1),
+            component: ComponentId(c),
+            epoch: Epoch::default(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = FlightRecorder::default();
+        assert!(!r.is_enabled());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ring_drops_oldest_on_overflow() {
+        let mut r = FlightRecorder::default();
+        r.enable(2);
+        for i in 0..4 {
+            let s = r.alloc_span();
+            r.record(ev(s, None, 1, 0, TraceEventKind::Wake));
+            let _ = i;
+        }
+        let (events, dropped, dropped_recovery, span_count) = r.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(dropped, 2);
+        assert_eq!(dropped_recovery, 0);
+        assert_eq!(span_count, 4);
+        assert_eq!(events[0].span, 2, "oldest events dropped first");
+    }
+
+    #[test]
+    fn ambient_flood_cannot_evict_recovery_events() {
+        let mut r = FlightRecorder::default();
+        r.enable(2);
+        let root = r.alloc_span();
+        r.record(ev(root, None, 1, 0, TraceEventKind::FaultInjected));
+        let s = r.alloc_span();
+        r.record(ev(s, Some(root), 1, 40, TraceEventKind::Reboot));
+        // A flood of steady-state traffic overflows the ambient tier...
+        for _ in 0..10 {
+            let s = r.alloc_span();
+            r.record(ev(s, None, 1, 0, TraceEventKind::Wake));
+        }
+        let (events, dropped, dropped_recovery, _) = r.drain();
+        assert_eq!(dropped, 8);
+        assert_eq!(dropped_recovery, 0);
+        // ...but the fault and the timed reboot survive, in emission
+        // order ahead of the retained ambient tail.
+        assert_eq!(events[0].kind, TraceEventKind::FaultInjected);
+        assert_eq!(events[1].kind, TraceEventKind::Reboot);
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn episode_accumulates_timed_events_only_for_its_component() {
+        let mut r = FlightRecorder::default();
+        r.enable(64);
+        let root = r.alloc_span();
+        r.record(ev(root, None, 3, 0, TraceEventKind::FaultInjected));
+        r.begin_episode(ComponentId(3), root);
+        let s = r.alloc_span();
+        r.record(ev(s, Some(root), 3, 500, TraceEventKind::Reboot));
+        let s = r.alloc_span();
+        // A timed event on another component must not leak in.
+        r.record(ev(s, None, 4, 999, TraceEventKind::Reboot));
+        r.end_episode(ComponentId(3), Epoch::default(), SimTime(20), ThreadId(0));
+        let (events, _, _, _) = r.drain();
+        let end = events.last().unwrap();
+        assert_eq!(end.parent, Some(root));
+        assert_eq!(
+            end.kind,
+            TraceEventKind::EpisodeEnd {
+                attributed: SimTime(500)
+            }
+        );
+    }
+
+    #[test]
+    fn absorb_renumbers_spans_and_parents() {
+        let mut a = TraceShard::labeled("a");
+        a.events
+            .push(ev(0, None, 1, 0, TraceEventKind::FaultInjected));
+        a.span_count = 1;
+        let mut b = TraceShard::labeled("b");
+        b.events
+            .push(ev(0, None, 1, 0, TraceEventKind::FaultInjected));
+        b.events.push(ev(1, Some(0), 1, 7, TraceEventKind::Reboot));
+        b.span_count = 2;
+        b.dropped = 3;
+        a.absorb(b);
+        assert_eq!(a.span_count, 3);
+        assert_eq!(a.dropped, 3);
+        assert_eq!(a.events[1].span, 1);
+        assert_eq!(a.events[2].span, 2);
+        assert_eq!(a.events[2].parent, Some(1));
+    }
+
+    #[test]
+    fn causal_parent_prefers_recovery_scope() {
+        let mut r = FlightRecorder::default();
+        r.enable(16);
+        assert_eq!(r.causal_parent(ComponentId(1)), None);
+        r.begin_episode(ComponentId(1), 9);
+        assert_eq!(r.causal_parent(ComponentId(1)), Some(9));
+        r.push_invoke(11);
+        assert_eq!(r.causal_parent(ComponentId(1)), Some(11));
+        r.push_scope(12);
+        assert_eq!(r.causal_parent(ComponentId(1)), Some(12));
+        r.pop_scope();
+        r.pop_invoke();
+        assert_eq!(r.causal_parent(ComponentId(1)), Some(9));
+    }
+
+    #[test]
+    fn jsonl_lines_carry_kind_fields() {
+        let mut shard = TraceShard::labeled("t");
+        shard.names = vec!["booter".into(), "lock".into()];
+        shard.events.push(ev(
+            0,
+            None,
+            1,
+            0,
+            TraceEventKind::WalkStep {
+                function: "lock_take".into(),
+                desc: Some(4),
+                mech: Mechanism::R0,
+            },
+        ));
+        shard.span_count = 1;
+        let dump = shards_to_jsonl(std::slice::from_ref(&shard));
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""shard":"t""#));
+        assert!(lines[1].contains(r#""kind":"walk_step""#));
+        assert!(lines[1].contains(r#""function":"lock_take""#));
+        assert!(lines[1].contains(r#""name":"lock""#));
+        assert!(lines[1].contains(r#""desc":4"#));
+    }
+
+    #[test]
+    fn chrome_dump_is_loadable_shape() {
+        let mut shard = TraceShard::labeled("t");
+        shard.names = vec!["booter".into(), "lock".into()];
+        shard
+            .events
+            .push(ev(0, None, 1, 0, TraceEventKind::FaultInjected));
+        shard
+            .events
+            .push(ev(1, Some(0), 1, 250, TraceEventKind::Reboot));
+        shard.span_count = 2;
+        let dump = shards_to_chrome(&[shard]);
+        assert!(dump.contains(r#""traceEvents""#));
+        assert!(dump.contains(r#""ph": "M""#));
+        assert!(dump.contains(r#""ph": "i""#));
+        assert!(dump.contains(r#""ph": "X""#));
+        assert!(dump.contains(r#""dur": 0.25"#));
+    }
+}

@@ -23,7 +23,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use composite::{CallError, ServiceError, ThreadId, Value};
+use composite::{CallError, Mechanism, ServiceError, ThreadId, TraceEventKind, Value};
 use sg_c3::stub::{is_server_fault, InterfaceStub};
 use sg_c3::StubEnv;
 use superglue_compiler::{ArgSource, CompiledFn, CompiledStubSpec, RestoreArg, RetvalSpec};
@@ -264,6 +264,14 @@ impl CompiledStub {
                 }
             }
         }
+        env.kernel.trace_instant(
+            env.server,
+            env.thread,
+            TraceEventKind::DescriptorClosed {
+                desc: desc_id,
+                dropped,
+            },
+        );
         env.note_teardown(dropped);
         if self.spec.records_creations {
             let iface = self.spec.interface.clone();
@@ -363,7 +371,7 @@ impl CompiledStub {
                                 args[pos] = Value::Int(owner_id);
                             }
                         }
-                        env.replay(&gname, &args)?;
+                        env.replay_for(&gname, &args, Some(desc_id), Mechanism::T1)?;
                         // T1: the blocking step completed thread-affinely
                         // on the recorded owner's behalf, not verbatim by
                         // the recovering thread (C³ counts its
@@ -380,7 +388,7 @@ impl CompiledStub {
             }
             let fname = self.spec.machine.function_name(fid).to_owned();
             let args = self.synth_args(env, fid, desc_id);
-            let ret = env.replay(&fname, &args)?;
+            let ret = env.replay_for(&fname, &args, Some(desc_id), Mechanism::R0)?;
             if roles.creates {
                 if let Ok(new_id) = ret.int() {
                     if let Some(d) = self.descs.get_mut(&desc_id) {
@@ -488,6 +496,11 @@ impl InterfaceStub for CompiledStub {
                             }
                         }
                         self.harvest(cf, fid, id, args, &v, env.thread);
+                        env.kernel.trace_instant(
+                            env.server,
+                            env.thread,
+                            TraceEventKind::DescriptorCreated { desc: id },
+                        );
                         self.record_creation(env, id, parent, args, cf);
                         return Ok(v);
                     }
@@ -667,7 +680,7 @@ impl InterfaceStub for CompiledStub {
             // Global creator: the creation step is replaced by the
             // restore upcall, which preserves the original global id.
             let args = self.restore_args(env, desc_id, &plan);
-            env.replay(&restore_fn, &args)?;
+            env.replay_for(&restore_fn, &args, Some(desc_id), Mechanism::R0)?;
             if let Some(d) = self.descs.get_mut(&desc_id) {
                 d.faulty = false;
                 d.server_id = desc_id;

@@ -17,7 +17,8 @@
 
 use composite::{
     mix, parallel_map_indexed, CallError, ComponentId, Executor, InterfaceCall, Kernel,
-    KernelAccess, MetricsSnapshot, Priority, RunExit, ThreadId, ThreadState, Value,
+    KernelAccess, MetricsSnapshot, Priority, RunExit, ThreadId, ThreadState, TraceShard, Value,
+    DEFAULT_TRACE_CAPACITY,
 };
 use sg_services::api::ClientEnd;
 use sg_services::workloads::{
@@ -49,6 +50,9 @@ pub struct CampaignConfig {
     /// The 32-bit fault mask (§V-A): only bits set here are injectable.
     /// The paper's campaigns use `0xFFFF_FFFF`.
     pub fault_mask: u32,
+    /// Record a flight-recorder trace of every shard (off by default;
+    /// enabled by the harnesses' `--trace` flag).
+    pub trace: bool,
 }
 
 impl Default for CampaignConfig {
@@ -60,6 +64,7 @@ impl Default for CampaignConfig {
             settle_steps: 700,
             latent_call_cap: 48,
             fault_mask: 0xFFFF_FFFF,
+            trace: false,
         }
     }
 }
@@ -369,6 +374,9 @@ pub fn shard_sizes(injections: u64) -> Vec<u64> {
 pub struct CampaignResult {
     pub row: CampaignRow,
     pub metrics: MetricsSnapshot,
+    /// Flight-recorder shards (one per campaign shard, in shard order;
+    /// empty unless [`CampaignConfig::trace`] is set).
+    pub trace: Vec<TraceShard>,
 }
 
 /// Run one shard of the campaign against `iface`.
@@ -388,12 +396,23 @@ pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> Cam
         .expect("shard index within plan");
     let mut row = CampaignRow::new(row_label(iface));
     let mut metrics = MetricsSnapshot::default();
+    let vname = match cfg.variant {
+        Variant::SuperGlue => "superglue",
+        Variant::C3 => "c3",
+        Variant::Bare => "bare",
+    };
+    let mut trace = TraceShard::labeled(&format!("table2/{iface}/{vname}/shard{shard}"));
     let mut injector =
         Injector::with_mask(mix(cfg.seed ^ fxhash(iface), shard as u64), cfg.fault_mask);
 
     'reboot: while row.injected < quota {
         // (Re)boot the machine: fresh system + workloads.
-        let tb = Testbed::build(cfg.variant).expect("testbed builds");
+        let mut tb = Testbed::build(cfg.variant).expect("testbed builds");
+        if cfg.trace {
+            tb.runtime
+                .kernel_mut()
+                .enable_tracing(DEFAULT_TRACE_CAPACITY);
+        }
         let target = target_component(&tb, iface);
         let mut ctx = CampaignCtx {
             tb,
@@ -429,6 +448,7 @@ pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> Cam
                     // reboot.
                     row.record(Outcome::Undetected);
                     metrics.merge(&MetricsSnapshot::from_kernel(ctx.tb.runtime.kernel()));
+                    drain_trace(&mut trace, &mut ctx);
                     continue 'reboot;
                 }
             }
@@ -454,13 +474,31 @@ pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> Cam
                 // Segfault/hang/propagation (or failed recovery): the
                 // paper reboots the machine before continuing.
                 metrics.merge(&MetricsSnapshot::from_kernel(ctx.tb.runtime.kernel()));
+                drain_trace(&mut trace, &mut ctx);
                 continue 'reboot;
             }
         }
         metrics.merge(&MetricsSnapshot::from_kernel(ctx.tb.runtime.kernel()));
+        drain_trace(&mut trace, &mut ctx);
         break;
     }
-    CampaignResult { row, metrics }
+    let trace = if cfg.trace { vec![trace] } else { Vec::new() };
+    CampaignResult {
+        row,
+        metrics,
+        trace,
+    }
+}
+
+/// Fold one machine boot's flight-recorder buffer into the shard's
+/// trace, renumbering spans so episodes from successive reboots stay
+/// distinct. A no-op when tracing is disabled.
+fn drain_trace(trace: &mut TraceShard, ctx: &mut CampaignCtx) {
+    let kernel = ctx.tb.runtime.kernel_mut();
+    if kernel.tracing_enabled() {
+        let label = trace.label.clone();
+        trace.absorb(kernel.take_trace(&label));
+    }
 }
 
 /// Run the full campaign against one target service, sharded across up
@@ -489,10 +527,12 @@ pub fn merge_shards<'a>(
     let mut out = CampaignResult {
         row: CampaignRow::new(row_label(iface)),
         metrics: MetricsSnapshot::default(),
+        trace: Vec::new(),
     };
     for s in shards {
         out.row.merge(&s.row);
         out.metrics.merge(&s.metrics);
+        out.trace.extend(s.trace.iter().cloned());
     }
     out
 }

@@ -10,7 +10,7 @@ use std::rc::Rc;
 
 use composite::{
     mix, CostModel, Executor, InterfaceCall, Kernel, KernelAccess, MetricsSnapshot, Priority,
-    RunExit, SimTime, StepResult, ThreadId, Value, Workload,
+    RunExit, SimTime, StepResult, ThreadId, TraceShard, Value, Workload, DEFAULT_TRACE_CAPACITY,
 };
 use sg_c3::{FtRuntime, RecoveryPolicy};
 use sg_services::api::ClientEnd;
@@ -78,6 +78,9 @@ pub struct Fig7Config {
     /// Repetitions per variant (the paper averages several one-minute
     /// runs). Repetitions only differ in their fault-schedule phase.
     pub repetitions: u64,
+    /// Record a flight-recorder trace of each run (off by default;
+    /// enabled by the harness's `--trace` flag).
+    pub trace: bool,
 }
 
 impl Default for Fig7Config {
@@ -92,6 +95,7 @@ impl Default for Fig7Config {
             fault_period: SimTime::from_secs(10),
             seed: 0xF167_0007,
             repetitions: 1,
+            trace: false,
         }
     }
 }
@@ -153,6 +157,8 @@ pub struct Fig7Result {
     pub unrecovered: u64,
     /// Per-component recovery-observability counters for this run.
     pub metrics: MetricsSnapshot,
+    /// Flight-recorder trace of the run (when [`Fig7Config::trace`]).
+    pub trace: Option<TraceShard>,
 }
 
 /// A closed-loop Apache client connection.
@@ -176,8 +182,11 @@ impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for ApacheConn {
     }
 }
 
-fn run_apache(cfg: &Fig7Config) -> Fig7Result {
+fn run_apache(cfg: &Fig7Config, rep: u64) -> Fig7Result {
     let mut k = Kernel::with_costs(web_cost_model(WebVariant::Apache));
+    if cfg.trace {
+        k.enable_tracing(DEFAULT_TRACE_CAPACITY);
+    }
     let client = k.add_client_component("ab");
     let mut site = std::collections::BTreeMap::new();
     site.insert("/index.html".to_owned(), vec![b'x'; 1024]);
@@ -205,6 +214,7 @@ fn run_apache(cfg: &Fig7Config) -> Fig7Result {
         }
     }
     let metrics = MetricsSnapshot::from_kernel(&k);
+    let trace = take_run_trace(&mut k, WebVariant::Apache, rep);
     drop(ex);
     let series = Rc::try_unwrap(series)
         .expect("workloads dropped")
@@ -220,7 +230,20 @@ fn run_apache(cfg: &Fig7Config) -> Fig7Result {
         faults_injected: 0,
         unrecovered: 0,
         metrics,
+        trace,
     }
+}
+
+/// Drain the run's flight recorder into a labeled shard (None when
+/// tracing was never enabled).
+fn take_run_trace(kernel: &mut Kernel, variant: WebVariant, rep: u64) -> Option<TraceShard> {
+    if !kernel.tracing_enabled() {
+        return None;
+    }
+    let mut shard = TraceShard::labeled(&format!("fig7/{variant}/rep{rep}"));
+    let label = shard.label.clone();
+    shard.absorb(kernel.take_trace(&label));
+    Some(shard)
 }
 
 /// Pre-create the site resources through the (possibly stubbed) runtime
@@ -325,6 +348,11 @@ fn run_composite(variant: WebVariant, cfg: &Fig7Config, rep: u64) -> Fig7Result 
         RecoveryPolicy::OnDemand,
     )
     .expect("testbed builds");
+    if cfg.trace {
+        tb.runtime
+            .kernel_mut()
+            .enable_tracing(DEFAULT_TRACE_CAPACITY);
+    }
 
     let series = Rc::new(RefCell::new(ThroughputSeries::per_second()));
     let setup_thread = tb.spawn_thread(tb.ids.app1, Priority(3));
@@ -395,6 +423,7 @@ fn run_composite(variant: WebVariant, cfg: &Fig7Config, rep: u64) -> Fig7Result 
     }
 
     let metrics = MetricsSnapshot::from_kernel(tb.runtime.kernel());
+    let trace = take_run_trace(tb.runtime.kernel_mut(), variant, rep);
     drop(ex);
     drop(site);
     let series = Rc::try_unwrap(series)
@@ -411,6 +440,7 @@ fn run_composite(variant: WebVariant, cfg: &Fig7Config, rep: u64) -> Fig7Result 
         faults_injected,
         unrecovered: tb.runtime.stats().unrecovered,
         metrics,
+        trace,
     }
 }
 
@@ -427,7 +457,7 @@ pub fn run_fig7_variant(variant: WebVariant, cfg: &Fig7Config) -> Fig7Result {
 #[must_use]
 pub fn run_fig7_rep(variant: WebVariant, cfg: &Fig7Config, rep: u64) -> Fig7Result {
     match variant {
-        WebVariant::Apache => run_apache(cfg),
+        WebVariant::Apache => run_apache(cfg, rep),
         other => run_composite(other, cfg, rep),
     }
 }

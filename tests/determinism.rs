@@ -6,7 +6,7 @@
 //! and results are merged in shard order, so `--jobs 1` and `--jobs 8`
 //! may differ only in wall-clock time.
 
-use composite::parallel_map_indexed;
+use composite::{parallel_map_indexed, shards_to_chrome, shards_to_jsonl};
 use sg_swifi::{run_campaign_parallel, CampaignConfig};
 use sg_webserver::{run_fig7_rep, Fig7Config, WebVariant};
 use superglue::testbed::Variant;
@@ -56,6 +56,32 @@ fn campaign_shard_results_are_independent_of_schedule() {
             "jobs = {jobs}"
         );
     }
+}
+
+#[test]
+fn campaign_traces_byte_identical_across_jobs() {
+    let cfg = CampaignConfig {
+        injections: 50,
+        seed: 0x7EAC_E5EED,
+        trace: true,
+        ..CampaignConfig::default()
+    };
+    let serial = run_campaign_parallel("lock", &cfg, 1);
+    let sharded = run_campaign_parallel("lock", &cfg, 8);
+    assert!(
+        !serial.trace.is_empty(),
+        "tracing enabled: shards must carry traces"
+    );
+    assert_eq!(
+        shards_to_jsonl(&serial.trace),
+        shards_to_jsonl(&sharded.trace),
+        "merged JSON-lines trace must not depend on --jobs"
+    );
+    assert_eq!(
+        shards_to_chrome(&serial.trace),
+        shards_to_chrome(&sharded.trace),
+        "Chrome trace rendering must not depend on --jobs"
+    );
 }
 
 #[test]

@@ -1,0 +1,194 @@
+//! Flight-recorder integration tests.
+//!
+//! Three properties the kernel flight recorder must keep:
+//!
+//! 1. **Counters == trace.** Every mechanism firing goes through the
+//!    single `Kernel::record_mechanism` choke point, which increments
+//!    the `MetricsRegistry` *and* emits the matching trace event — so
+//!    for every mechanism, the counter total and the sum of traced `n`
+//!    values must agree exactly.
+//! 2. **Latency conservation.** For every recovery episode, the timed
+//!    spans recorded on the faulted component must re-sum to exactly
+//!    the episode's kernel-attributed latency.
+//! 3. **Golden episode.** The JSON-lines dump of one fixed-seed
+//!    recovery episode is pinned as a snapshot
+//!    (`tests/golden/flight_recorder_episode.jsonl`); regenerate an
+//!    intentional change with
+//!    `UPDATE_GOLDEN=1 cargo test -p sg-bench --test flight_recorder`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use composite::{
+    shards_to_jsonl, InterfaceCall as _, KernelAccess as _, Mechanism, MetricsSnapshot, SimTime,
+    TraceEventKind, TraceShard, MECHANISMS,
+};
+use sg_bench::{rig, Rig, SERVICES};
+use sg_webserver::{run_fig7_rep, Fig7Config, WebVariant};
+use superglue::testbed::Variant;
+
+const TEST_CAPACITY: usize = 1 << 20;
+
+/// Fault and recover a few services with tracing on; return the final
+/// counter snapshot and the drained trace.
+fn traced_scenario(variant: Variant) -> (MetricsSnapshot, TraceShard) {
+    let mut r: Rig = rig(variant);
+    r.tb.runtime.kernel_mut().enable_tracing(TEST_CAPACITY);
+    for iface in SERVICES {
+        r.run_iteration(iface, 0);
+    }
+    for iface in ["mm", "evt", "fs", "lock"] {
+        let (c, t, svc, f, a) = r.setup_recovery_victim(iface);
+        r.tb.runtime.inject_fault(svc);
+        r.tb.runtime
+            .interface_call(c, t, svc, f, &a)
+            .expect("victim recovers");
+        r.tb.runtime.recover_now(svc, t).expect("quiesce sweep");
+    }
+    let snap = MetricsSnapshot::from_kernel(r.tb.runtime.kernel());
+    let shard = r.tb.runtime.kernel_mut().take_trace("test/scenario");
+    (snap, shard)
+}
+
+/// Sum of `MechanismFired` increments per mechanism in a shard.
+fn traced_mechanism_totals(shard: &TraceShard) -> BTreeMap<Mechanism, u64> {
+    let mut totals = BTreeMap::new();
+    for ev in &shard.events {
+        if let TraceEventKind::MechanismFired { mech, n } = &ev.kind {
+            *totals.entry(*mech).or_insert(0) += n;
+        }
+    }
+    totals
+}
+
+#[test]
+fn mechanism_counters_equal_trace_event_sums() {
+    for variant in [Variant::C3, Variant::SuperGlue] {
+        let (snap, shard) = traced_scenario(variant);
+        assert_eq!(shard.dropped, 0, "{variant:?}: test ring must not drop");
+        assert_eq!(shard.dropped_recovery, 0, "{variant:?}");
+        let traced = traced_mechanism_totals(&shard);
+        for m in MECHANISMS {
+            assert_eq!(
+                snap.mechanism_total(m),
+                traced.get(&m).copied().unwrap_or(0),
+                "{variant:?}: {} counter disagrees with the trace",
+                m.name()
+            );
+        }
+        // The scenario is chosen to actually fire the core mechanisms —
+        // agreement over all-zeros would prove nothing.
+        for m in [Mechanism::R0, Mechanism::D0, Mechanism::G0, Mechanism::U0] {
+            assert!(
+                snap.mechanism_total(m) > 0,
+                "{variant:?}: scenario never fired {}",
+                m.name()
+            );
+        }
+    }
+}
+
+/// Re-derive every episode's attributed latency from its timed events
+/// and compare against the kernel's `episode_end` record.
+fn check_conservation(shard: &TraceShard) -> usize {
+    assert_eq!(
+        shard.dropped_recovery, 0,
+        "recovery events dropped; conservation unverifiable"
+    );
+    let mut open: BTreeMap<u32, SimTime> = BTreeMap::new();
+    let mut episodes = 0;
+    for ev in &shard.events {
+        match &ev.kind {
+            TraceEventKind::FaultInjected => {
+                open.insert(ev.component.0, SimTime::ZERO);
+            }
+            TraceEventKind::EpisodeEnd { attributed } => {
+                let resummed = open
+                    .remove(&ev.component.0)
+                    .expect("episode_end without fault");
+                assert_eq!(
+                    resummed, *attributed,
+                    "episode on comp {} violates latency conservation",
+                    ev.component.0
+                );
+                episodes += 1;
+            }
+            _ => {
+                if ev.dur > SimTime::ZERO {
+                    if let Some(acc) = open.get_mut(&ev.component.0) {
+                        *acc += ev.dur;
+                    }
+                }
+            }
+        }
+    }
+    assert!(open.is_empty(), "take_trace must close every open episode");
+    episodes
+}
+
+#[test]
+fn episode_latency_attribution_is_conserved() {
+    for variant in [Variant::C3, Variant::SuperGlue] {
+        let (_, shard) = traced_scenario(variant);
+        let episodes = check_conservation(&shard);
+        assert!(episodes >= 4, "{variant:?}: one episode per injected fault");
+    }
+}
+
+#[test]
+fn fig7_trace_conserves_attribution_and_survives_ambient_flood() {
+    let cfg = Fig7Config {
+        duration: SimTime::from_secs(3),
+        fault_period: SimTime::from_secs(1),
+        seed: 0xF11_6487,
+        trace: true,
+        ..Fig7Config::default()
+    };
+    let res = run_fig7_rep(WebVariant::SuperGlue { faults: true }, &cfg, 0);
+    let shard = res.trace.expect("tracing was enabled");
+    assert!(res.faults_injected > 0, "faults must occur in the window");
+    // The throughput workload floods the ambient ring; the recovery
+    // record must survive regardless.
+    let episodes = check_conservation(&shard);
+    assert_eq!(episodes as u64, res.faults_injected);
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/flight_recorder_episode.jsonl")
+}
+
+/// One fixed recovery episode — the evt service recovered under
+/// SuperGlue, the richest mechanism mix (R0+G0+U0 via the foreign
+/// creator path) — pinned byte-for-byte.
+#[test]
+fn golden_episode_snapshot() {
+    let mut r: Rig = rig(Variant::SuperGlue);
+    r.tb.runtime.kernel_mut().enable_tracing(TEST_CAPACITY);
+    let (c, t, svc, f, a) = r.setup_recovery_victim("evt");
+    r.tb.runtime.inject_fault(svc);
+    r.tb.runtime
+        .interface_call(c, t, svc, f, &a)
+        .expect("recovery succeeds");
+    let mut shard = TraceShard::labeled("golden/evt/superglue");
+    shard.absorb(r.tb.runtime.kernel_mut().take_trace(&shard.label.clone()));
+    let actual = shards_to_jsonl(std::slice::from_ref(&shard));
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir golden");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "fixed-seed recovery episode drifted from the golden snapshot; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
