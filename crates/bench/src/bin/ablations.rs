@@ -189,7 +189,7 @@ fn ablation_g1(trace: bool) -> (String, Vec<TraceShard>) {
             t,
             fs,
             "twrite",
-            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![7; 64])],
+            &[Value::Int(1), Value::Int(fd), Value::from(vec![7; 64])],
         )
         .expect("write");
         k.fault(fs);

@@ -235,7 +235,7 @@ impl Rig {
                     t,
                     svc,
                     "twrite",
-                    &[compid.clone(), Value::Int(fd), Value::Bytes(vec![0x42])],
+                    &[compid.clone(), Value::Int(fd), Value::from(vec![0x42])],
                 )
                 .expect("write");
                 rt.interface_call(
@@ -405,7 +405,7 @@ impl Rig {
                     t,
                     svc,
                     "twrite",
-                    &[compid.clone(), Value::Int(fd), Value::Bytes(vec![1, 2, 3])],
+                    &[compid.clone(), Value::Int(fd), Value::from(vec![1, 2, 3])],
                 )
                 .expect("write");
                 (

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use composite::{
-    CallError, ComponentId, Kernel, Mechanism, SimTime, ThreadId, TraceEventKind, Value,
+    CallError, ComponentId, EdgeMap, Kernel, Mechanism, SimTime, ThreadId, TraceEventKind, Value,
 };
 
 use crate::stub::InterfaceStub;
@@ -68,7 +68,7 @@ pub struct StubEnv<'a> {
     /// The kernel.
     pub kernel: &'a mut Kernel,
     /// All other edges' stubs, keyed by (client, server).
-    pub stubs: &'a mut BTreeMap<(ComponentId, ComponentId), Box<dyn InterfaceStub>>,
+    pub stubs: &'a mut EdgeMap<Box<dyn InterfaceStub>>,
     /// Recovery counters.
     pub stats: &'a mut RecoveryStats,
     /// The client component of the executing edge.
@@ -223,11 +223,8 @@ impl StubEnv<'_> {
         // Propagate the inter-component exception to every client edge of
         // this server (including edges currently checked out — the
         // runtime marks the active one itself).
-        for ((_, srv), stub) in self.stubs.iter_mut() {
-            if *srv == self.server {
-                stub.mark_faulty();
-            }
-        }
+        self.stubs
+            .for_server_mut(self.server, |stub| stub.mark_faulty());
         Ok(true)
     }
 
@@ -308,8 +305,7 @@ impl StubEnv<'_> {
     /// [`CallError`] when the creator has no stub for this server or its
     /// recovery fails.
     pub fn upcall_recover(&mut self, creator: ComponentId, desc: i64) -> Result<(), CallError> {
-        let key = (creator, self.server);
-        let Some(mut stub) = self.stubs.remove(&key) else {
+        let Some(mut stub) = self.stubs.take(creator, self.server) else {
             return Err(CallError::Service(composite::ServiceError::NotFound));
         };
         // U0 is counted (and traced) inside the kernel choke point; the
@@ -328,7 +324,7 @@ impl StubEnv<'_> {
             retries_left: self.retries_left,
         };
         let r = stub.recover_descriptor(&mut inner, desc);
-        self.stubs.insert(key, stub);
+        self.stubs.insert(creator, self.server, stub);
         self.kernel.trace_pop_scope(u0_span);
         r
     }

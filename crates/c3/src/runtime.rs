@@ -8,9 +8,9 @@
 //! mirroring the paper ("SuperGlue, an infrastructure built on top of the
 //! predictable recovery mechanisms of C³").
 
-use std::collections::BTreeMap;
-
-use composite::{CallError, ComponentId, InterfaceCall, Kernel, KernelAccess, ThreadId, Value};
+use composite::{
+    CallError, ComponentId, EdgeMap, InterfaceCall, Kernel, KernelAccess, ThreadId, Value,
+};
 
 use crate::env::{RecoveryStats, StubEnv};
 use crate::stub::InterfaceStub;
@@ -54,7 +54,7 @@ impl Default for RuntimeConfig {
 #[derive(Debug)]
 pub struct FtRuntime {
     kernel: Kernel,
-    stubs: BTreeMap<(ComponentId, ComponentId), Box<dyn InterfaceStub>>,
+    stubs: EdgeMap<Box<dyn InterfaceStub>>,
     config: RuntimeConfig,
     stats: RecoveryStats,
 }
@@ -65,7 +65,7 @@ impl FtRuntime {
     pub fn new(kernel: Kernel, config: RuntimeConfig) -> Self {
         Self {
             kernel,
-            stubs: BTreeMap::new(),
+            stubs: EdgeMap::new(),
             config,
             stats: RecoveryStats::new(),
         }
@@ -85,7 +85,7 @@ impl FtRuntime {
         if let Some(storage) = self.config.storage {
             self.kernel.grant(client, storage);
         }
-        self.stubs.insert((client, server), stub);
+        self.stubs.insert(client, server, stub);
     }
 
     /// The recovery statistics.
@@ -103,7 +103,7 @@ impl FtRuntime {
     /// Immutable access to a stub (tests/benches).
     #[must_use]
     pub fn stub(&self, client: ComponentId, server: ComponentId) -> Option<&dyn InterfaceStub> {
-        self.stubs.get(&(client, server)).map(AsRef::as_ref)
+        self.stubs.get(client, server).map(AsRef::as_ref)
     }
 
     /// Inject a fail-stop fault into a component (test/campaign entry
@@ -161,28 +161,24 @@ impl FtRuntime {
 
     /// Recover every descriptor of every edge of `server` right now.
     fn eager_recover(&mut self, server: ComponentId, thread: ThreadId) -> Result<(), CallError> {
-        let edges: Vec<(ComponentId, ComponentId)> = self
-            .stubs
-            .keys()
-            .filter(|(_, s)| *s == server)
-            .copied()
-            .collect();
-        for key in edges {
-            let Some(mut stub) = self.stubs.remove(&key) else {
+        // clients_of is ascending by client id, matching the former
+        // BTreeMap key order (recovery order is observable in traces).
+        for client in self.stubs.clients_of(server) {
+            let Some(mut stub) = self.stubs.take(client, server) else {
                 continue;
             };
             let mut env = StubEnv {
                 kernel: &mut self.kernel,
                 stubs: &mut self.stubs,
                 stats: &mut self.stats,
-                client: key.0,
+                client,
                 thread,
                 server,
                 storage: self.config.storage,
                 retries_left: self.config.max_retries,
             };
             let r = stub.recover_all(&mut env);
-            self.stubs.insert(key, stub);
+            self.stubs.insert(client, server, stub);
             r?;
         }
         Ok(())
@@ -207,8 +203,9 @@ impl InterfaceCall for FtRuntime {
         fname: &str,
         args: &[Value],
     ) -> Result<Value, CallError> {
-        let key = (client, server);
-        let Some(mut stub) = self.stubs.remove(&key) else {
+        // take/insert is two O(1) row indexes — the edge map is dense in
+        // (client, server), so checkout does not search or allocate.
+        let Some(mut stub) = self.stubs.take(client, server) else {
             // Unprotected edge: raw invocation (and raw fault exposure).
             return self.kernel.invoke(client, thread, server, fname, args);
         };
@@ -233,7 +230,7 @@ impl InterfaceCall for FtRuntime {
         if self.config.policy == RecoveryPolicy::Eager {
             let rebooted_mid_call = env.retries_left < self.config.max_retries;
             let _ = env;
-            self.stubs.insert(key, stub);
+            self.stubs.insert(client, server, stub);
             if rebooted_mid_call {
                 self.eager_recover(server, thread)?;
             }
@@ -246,7 +243,7 @@ impl InterfaceCall for FtRuntime {
             self.stats.unrecovered += 1;
             result = Err(CallError::Fault { component: server });
         }
-        self.stubs.insert(key, stub);
+        self.stubs.insert(client, server, stub);
         result
     }
 }

@@ -293,7 +293,7 @@ mod tests {
             t,
             fs,
             "twrite",
-            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![0x42])],
+            &[Value::Int(1), Value::Int(fd), Value::from(vec![0x42])],
         )
         .unwrap();
         rt.inject_fault(fs);
@@ -316,7 +316,7 @@ mod tests {
                 &[Value::Int(1), Value::Int(fd), Value::Int(1)],
             )
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![0x42]));
+        assert_eq!(r, Value::from(vec![0x42]));
         assert_eq!(rt.stats().faults_handled, 1);
     }
 
@@ -329,7 +329,7 @@ mod tests {
             t,
             fs,
             "twrite",
-            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![1, 2, 3])],
+            &[Value::Int(1), Value::Int(fd), Value::from(vec![1, 2, 3])],
         )
         .unwrap();
         rt.inject_fault(fs);
@@ -343,7 +343,7 @@ mod tests {
                 &[Value::Int(1), Value::Int(fd), Value::Int(4)],
             )
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![]));
+        assert_eq!(r, Value::from(vec![]));
     }
 
     #[test]
@@ -356,7 +356,7 @@ mod tests {
             t,
             fs,
             "twrite",
-            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![9])],
+            &[Value::Int(1), Value::Int(fd), Value::from(vec![9])],
         )
         .unwrap();
         // The same client-visible fd keeps working (translated).
@@ -377,7 +377,7 @@ mod tests {
                 &[Value::Int(1), Value::Int(fd), Value::Int(1)],
             )
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![9]));
+        assert_eq!(r, Value::from(vec![9]));
         rt.interface_call(app, t, fs, "trelease", &[Value::Int(1), Value::Int(fd)])
             .unwrap();
         assert_eq!(rt.stub(app, fs).unwrap().tracked_count(), 0);
@@ -403,7 +403,7 @@ mod tests {
             t,
             fs,
             "twrite",
-            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![5])],
+            &[Value::Int(1), Value::Int(fd), Value::from(vec![5])],
         )
         .unwrap();
         rt.inject_fault(fs);
@@ -424,7 +424,7 @@ mod tests {
                 &[Value::Int(1), Value::Int(fd), Value::Int(1)],
             )
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![5]));
+        assert_eq!(r, Value::from(vec![5]));
     }
 
     #[test]

@@ -11,9 +11,15 @@ use crate::ids::ComponentId;
 
 /// Kernel capability table: which client components may invoke which
 /// server components.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// The ordered grant set drives the (cold) enumeration queries; the
+/// per-invocation `allows` check reads a dense per-client bitmask so the
+/// hot path never walks the tree.
+#[derive(Debug, Clone, Default)]
 pub struct CapTable {
     grants: BTreeSet<(ComponentId, ComponentId)>,
+    /// `rows[client][server / 64]` bit `server % 64` mirrors `grants`.
+    rows: Vec<Vec<u64>>,
 }
 
 impl CapTable {
@@ -26,19 +32,38 @@ impl CapTable {
     /// Grant `client` the right to invoke `server`.
     pub fn grant(&mut self, client: ComponentId, server: ComponentId) {
         self.grants.insert((client, server));
+        let (c, w) = (client.0 as usize, server.0 as usize / 64);
+        if c >= self.rows.len() {
+            self.rows.resize_with(c + 1, Vec::new);
+        }
+        let row = &mut self.rows[c];
+        if w >= row.len() {
+            row.resize(w + 1, 0);
+        }
+        row[w] |= 1 << (server.0 % 64);
     }
 
     /// Revoke a previously granted capability. Returns whether a grant
     /// was present.
     pub fn revoke(&mut self, client: ComponentId, server: ComponentId) -> bool {
-        self.grants.remove(&(client, server))
+        let had = self.grants.remove(&(client, server));
+        if had {
+            self.rows[client.0 as usize][server.0 as usize / 64] &= !(1 << (server.0 % 64));
+        }
+        had
     }
 
     /// Whether `client` may invoke `server`. A component may always
     /// "invoke" itself (local calls need no capability).
     #[must_use]
+    #[inline]
     pub fn allows(&self, client: ComponentId, server: ComponentId) -> bool {
-        client == server || self.grants.contains(&(client, server))
+        client == server
+            || self
+                .rows
+                .get(client.0 as usize)
+                .and_then(|row| row.get(server.0 as usize / 64))
+                .is_some_and(|w| w & (1 << (server.0 % 64)) != 0)
     }
 
     /// All servers `client` can invoke, in id order.

@@ -6,6 +6,7 @@ use crate::capability::CapTable;
 use crate::component::{Service, ServiceCtx};
 use crate::error::{CallError, KernelError, ServiceError};
 use crate::ids::{ComponentId, Epoch, Priority, ThreadId};
+use crate::intern::{Interner, NameId};
 use crate::metrics::{Mechanism, MetricsRegistry};
 use crate::pages::PageTables;
 use crate::stats::KernelStats;
@@ -26,7 +27,9 @@ pub enum ComponentState {
 
 #[derive(Debug)]
 struct ComponentSlot {
-    name: String,
+    /// Interned name: resolved through [`Kernel::names`] only on cold
+    /// paths (trace dumps, snapshots) — never cloned per invocation.
+    name: NameId,
     state: ComponentState,
     epoch: Epoch,
     /// `None` for pure client components (application protection domains
@@ -42,6 +45,7 @@ struct ComponentSlot {
 #[derive(Debug)]
 pub struct Kernel {
     components: Vec<ComponentSlot>,
+    names: Interner,
     threads: Vec<Thread>,
     caps: CapTable,
     pages: PageTables,
@@ -74,6 +78,7 @@ impl Kernel {
     pub fn with_costs(costs: CostModel) -> Self {
         let mut k = Self {
             components: Vec::new(),
+            names: Interner::new(),
             threads: Vec::new(),
             caps: CapTable::new(),
             pages: PageTables::new(),
@@ -98,7 +103,7 @@ impl Kernel {
     pub fn add_component(&mut self, name: &str, service: Box<dyn Service>) -> ComponentId {
         let id = ComponentId(self.components.len() as u32);
         self.components.push(ComponentSlot {
-            name: name.to_owned(),
+            name: self.names.intern(name),
             state: ComponentState::Active,
             epoch: Epoch::default(),
             service: Some(service),
@@ -112,7 +117,7 @@ impl Kernel {
     pub fn add_client_component(&mut self, name: &str) -> ComponentId {
         let id = ComponentId(self.components.len() as u32);
         self.components.push(ComponentSlot {
-            name: name.to_owned(),
+            name: self.names.intern(name),
             state: ComponentState::Active,
             epoch: Epoch::default(),
             service: None,
@@ -135,7 +140,9 @@ impl Kernel {
     /// A component's name.
     #[must_use]
     pub fn component_name(&self, c: ComponentId) -> Option<&str> {
-        self.components.get(c.0 as usize).map(|s| s.name.as_str())
+        self.components
+            .get(c.0 as usize)
+            .map(|s| self.names.resolve(s.name))
     }
 
     /// The interface exported by a component, if it is a service.
@@ -423,7 +430,11 @@ impl Kernel {
         let (events, dropped, dropped_recovery, span_count) = self.trace.drain();
         TraceShard {
             label: label.to_owned(),
-            names: self.components.iter().map(|s| s.name.clone()).collect(),
+            names: self
+                .components
+                .iter()
+                .map(|s| self.names.resolve(s.name).to_owned())
+                .collect(),
             events,
             dropped,
             dropped_recovery,

@@ -39,6 +39,7 @@ pub mod component;
 pub mod error;
 pub mod executor;
 pub mod ids;
+pub mod intern;
 pub mod json;
 pub mod kernel;
 pub mod metrics;
@@ -46,6 +47,7 @@ pub mod pages;
 pub mod par;
 pub mod rng;
 pub mod stats;
+pub mod store;
 pub mod thread;
 pub mod time;
 pub mod trace;
@@ -55,6 +57,7 @@ pub use component::{Service, ServiceCtx};
 pub use error::{CallError, KernelError, ServiceError};
 pub use executor::{Executor, RunExit, StepResult, Workload};
 pub use ids::{ComponentId, Epoch, FrameId, Priority, ThreadId};
+pub use intern::{DispatchTable, Interner, NameId};
 pub use json::Json;
 pub use kernel::{InterfaceCall, Kernel, KernelAccess, BOOTER, BOOT_THREAD};
 pub use metrics::{
@@ -62,10 +65,11 @@ pub use metrics::{
 };
 pub use par::{default_jobs, parallel_map_indexed};
 pub use rng::{mix, SplitMix64};
+pub use store::{EdgeMap, IdSlab};
 pub use thread::{RegisterFile, ThreadState, NUM_REGISTERS};
 pub use time::{CostModel, SimTime};
 pub use trace::{
     shards_to_chrome, shards_to_jsonl, FlightRecorder, TraceEvent, TraceEventKind, TraceScope,
     TraceShard, DEFAULT_TRACE_CAPACITY,
 };
-pub use value::Value;
+pub use value::{ArgVec, Bytes, SmallStr, Value};

@@ -170,20 +170,31 @@ impl LatencyStat {
 
 /// Live per-component mechanism counters, written on recovery hot paths.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct ComponentCounters {
+pub(crate) struct ComponentCounters {
     mechanisms: [u64; 8],
     recovery_latency: LatencyStat,
 }
 
 /// The registry the kernel carries. Recovery runtimes call
 /// [`MetricsRegistry::record`] at mechanism chokepoints; harnesses take
-/// [`MetricsSnapshot`]s.
+/// [`MetricsSnapshot`]s. Counters are stored densely by component id so
+/// the mechanism chokepoint on the recovery hot path indexes an array
+/// rather than walking a tree.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsRegistry {
-    per_component: BTreeMap<ComponentId, ComponentCounters>,
+    per_component: Vec<ComponentCounters>,
 }
 
 impl MetricsRegistry {
+    #[inline]
+    fn slot(&mut self, c: ComponentId) -> &mut ComponentCounters {
+        let i = c.0 as usize;
+        if i >= self.per_component.len() {
+            self.per_component.resize_with(i + 1, Default::default);
+        }
+        &mut self.per_component[i]
+    }
+
     /// Count one firing of `m` attributed to component `c` (the failed /
     /// recovering service).
     pub fn record(&mut self, c: ComponentId, m: Mechanism) {
@@ -192,24 +203,24 @@ impl MetricsRegistry {
 
     /// Count `n` firings at once (e.g. T0 waking several threads).
     pub fn record_many(&mut self, c: ComponentId, m: Mechanism, n: u64) {
-        self.per_component.entry(c).or_default().mechanisms[m.index()] += n;
+        self.slot(c).mechanisms[m.index()] += n;
     }
 
     /// Record the simulated time one recovery episode took on `c`.
     pub fn record_recovery_latency(&mut self, c: ComponentId, d: SimTime) {
-        self.per_component
-            .entry(c)
-            .or_default()
-            .recovery_latency
-            .record(d);
+        self.slot(c).recovery_latency.record(d);
     }
 
     /// Raw count for one component/mechanism (0 when never recorded).
     #[must_use]
     pub fn count(&self, c: ComponentId, m: Mechanism) -> u64 {
         self.per_component
-            .get(&c)
+            .get(c.0 as usize)
             .map_or(0, |p| p.mechanisms[m.index()])
+    }
+
+    pub(crate) fn component(&self, c: ComponentId) -> Option<&ComponentCounters> {
+        self.per_component.get(c.0 as usize)
     }
 }
 
@@ -264,7 +275,7 @@ impl MetricsSnapshot {
             row.faulted_invocations += stats.faulted_invocations.get(&c).copied().unwrap_or(0);
             row.faults += stats.faults.get(&c).copied().unwrap_or(0);
             row.reboots += stats.reboots.get(&c).copied().unwrap_or(0);
-            if let Some(p) = kernel.metrics().per_component.get(&c) {
+            if let Some(p) = kernel.metrics().component(c) {
                 for (a, b) in row.mechanisms.iter_mut().zip(p.mechanisms.iter()) {
                     *a += *b;
                 }

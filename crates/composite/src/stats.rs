@@ -1,20 +1,73 @@
 //! Kernel event counters, consumed by tests and benchmark harnesses.
 
-use std::collections::BTreeMap;
+use std::ops::Index;
 
 use crate::ids::ComponentId;
+
+/// Per-component monotonic counters, stored densely by component id so
+/// the kernel's per-invocation bump is an array index instead of a
+/// `BTreeMap` entry walk. Component ids are small and dense (assigned
+/// sequentially by the kernel), so the vector stays tiny.
+#[derive(Debug, Clone, Default)]
+pub struct CounterVec {
+    counts: Vec<u64>,
+}
+
+impl CounterVec {
+    /// The count for `c`, if it was ever bumped.
+    #[must_use]
+    pub fn get(&self, c: &ComponentId) -> Option<&u64> {
+        self.counts.get(c.0 as usize).filter(|&&n| n > 0)
+    }
+
+    /// All nonzero counts (order follows component id).
+    pub fn values(&self) -> impl Iterator<Item = &u64> {
+        self.counts.iter().filter(|&&n| n > 0)
+    }
+
+    #[inline]
+    pub(crate) fn bump(&mut self, c: ComponentId) {
+        let i = c.0 as usize;
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+    }
+}
+
+impl Index<&ComponentId> for CounterVec {
+    type Output = u64;
+
+    fn index(&self, c: &ComponentId) -> &u64 {
+        static ZERO: u64 = 0;
+        self.counts.get(c.0 as usize).unwrap_or(&ZERO)
+    }
+}
+
+impl PartialEq for CounterVec {
+    fn eq(&self, other: &Self) -> bool {
+        // Trailing zeros are invisible (a never-bumped component equals
+        // an absent one), matching the old sparse-map semantics.
+        let n = self.counts.len().max(other.counts.len());
+        (0..n).all(|i| {
+            self.counts.get(i).copied().unwrap_or(0) == other.counts.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for CounterVec {}
 
 /// Monotonic counters for kernel-visible events.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Successful component invocations, per target component.
-    pub invocations: BTreeMap<ComponentId, u64>,
+    pub invocations: CounterVec,
     /// Invocations rejected because the target was faulty, per target.
-    pub faulted_invocations: BTreeMap<ComponentId, u64>,
+    pub faulted_invocations: CounterVec,
     /// Fault events raised, per component.
-    pub faults: BTreeMap<ComponentId, u64>,
+    pub faults: CounterVec,
     /// Micro-reboots performed, per component.
-    pub reboots: BTreeMap<ComponentId, u64>,
+    pub reboots: CounterVec,
     /// Threads blocked inside servers (WouldBlock results).
     pub blocks: u64,
     /// Thread wakeups.
@@ -49,19 +102,19 @@ impl KernelStats {
     }
 
     pub(crate) fn count_invocation(&mut self, c: ComponentId) {
-        *self.invocations.entry(c).or_insert(0) += 1;
+        self.invocations.bump(c);
     }
 
     pub(crate) fn count_faulted_invocation(&mut self, c: ComponentId) {
-        *self.faulted_invocations.entry(c).or_insert(0) += 1;
+        self.faulted_invocations.bump(c);
     }
 
     pub(crate) fn count_fault(&mut self, c: ComponentId) {
-        *self.faults.entry(c).or_insert(0) += 1;
+        self.faults.bump(c);
     }
 
     pub(crate) fn count_reboot(&mut self, c: ComponentId) {
-        *self.reboots.entry(c).or_insert(0) += 1;
+        self.reboots.bump(c);
     }
 }
 
@@ -91,5 +144,22 @@ mod tests {
         s.count_invocation(ComponentId(1));
         s.count_invocation(ComponentId(2));
         assert_eq!(s.total_invocations(), 2);
+    }
+
+    #[test]
+    fn counter_vec_equality_ignores_trailing_zeros() {
+        let mut a = CounterVec::default();
+        let mut b = CounterVec::default();
+        a.bump(ComponentId(1));
+        b.bump(ComponentId(1));
+        // Touch a higher id in one side only; its count stays relevant…
+        b.bump(ComponentId(5));
+        assert_ne!(a, b);
+        // …but an id that was never counted on either side is invisible.
+        a.bump(ComponentId(5));
+        assert_eq!(a, b);
+        assert_eq!(a.get(&ComponentId(9)), None);
+        assert_eq!(a[&ComponentId(9)], 0);
+        assert_eq!(a.get(&ComponentId(5)), Some(&1));
     }
 }

@@ -1,0 +1,346 @@
+//! Flat, deterministic stores for the recovery runtime's hot path.
+//!
+//! The descriptor-tracking tables and the per-edge stub map used to be
+//! `BTreeMap`s, paying a pointer-chasing tree walk on every invocation.
+//! Descriptor ids and component ids are small dense integers in
+//! practice, so both lookups collapse to array indexing:
+//!
+//! * [`IdSlab`] — a slab keyed by `i64` descriptor id: ids in
+//!   `[0, 65536)` index a flat vector directly; rare outliers (negative
+//!   or huge ids) spill to a `BTreeMap`. Ordered iteration (ascending by
+//!   id, exactly the old `BTreeMap` order — behavior-visible in eager
+//!   recovery sweeps) stitches the spill ranges around the dense region.
+//! * [`EdgeMap`] — a dense `(client, server) → stub` table indexed by
+//!   the two component ids, with O(1) checkout/checkin per call instead
+//!   of a tree `remove` + `insert` pair.
+//!
+//! Both are deterministic: layout and iteration order depend only on the
+//! keys, never on insertion order or addresses.
+
+use std::collections::BTreeMap;
+
+use crate::ids::ComponentId;
+
+/// Ids below this bound live in the dense vector; others spill.
+const DENSE_LIMIT: i64 = 1 << 16;
+
+/// A slab keyed by `i64` id with O(1) access for small non-negative ids
+/// and `BTreeMap` spill for the rest. Iteration is ascending by id.
+#[derive(Debug, Clone, Default)]
+pub struct IdSlab<T> {
+    dense: Vec<Option<T>>,
+    spill: BTreeMap<i64, T>,
+    len: usize,
+}
+
+impl<T> IdSlab<T> {
+    /// An empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            dense: Vec::new(),
+            spill: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn dense_index(id: i64) -> Option<usize> {
+        if (0..DENSE_LIMIT).contains(&id) {
+            Some(id as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (or replace) the entry for `id`, returning the old value.
+    pub fn insert(&mut self, id: i64, value: T) -> Option<T> {
+        let old = match Self::dense_index(id) {
+            Some(i) => {
+                if i >= self.dense.len() {
+                    self.dense.resize_with(i + 1, || None);
+                }
+                self.dense[i].replace(value)
+            }
+            None => self.spill.insert(id, value),
+        };
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// The entry for `id`, if present.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, id: i64) -> Option<&T> {
+        match Self::dense_index(id) {
+            Some(i) => self.dense.get(i).and_then(Option::as_ref),
+            None => self.spill.get(&id),
+        }
+    }
+
+    /// Mutable access to the entry for `id`.
+    #[must_use]
+    #[inline]
+    pub fn get_mut(&mut self, id: i64) -> Option<&mut T> {
+        match Self::dense_index(id) {
+            Some(i) => self.dense.get_mut(i).and_then(Option::as_mut),
+            None => self.spill.get_mut(&id),
+        }
+    }
+
+    /// Whether an entry for `id` exists.
+    #[must_use]
+    #[inline]
+    pub fn contains_key(&self, id: i64) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Remove and return the entry for `id`.
+    pub fn remove(&mut self, id: i64) -> Option<T> {
+        let old = match Self::dense_index(id) {
+            Some(i) => self.dense.get_mut(i).and_then(Option::take),
+            None => self.spill.remove(&id),
+        };
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Iterate entries ascending by id (the `BTreeMap` order the eager
+    /// recovery sweep relies on: negative spill, dense, large spill).
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &T)> {
+        self.spill
+            .range(..0)
+            .map(|(&k, v)| (k, v))
+            .chain(
+                self.dense
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.as_ref().map(|v| (i as i64, v))),
+            )
+            .chain(self.spill.range(DENSE_LIMIT..).map(|(&k, v)| (k, v)))
+    }
+
+    /// Iterate values in ascending-id order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Iterate values mutably (ascending-id order).
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        let (neg, big): (Vec<&mut T>, Vec<&mut T>) = {
+            let mut neg = Vec::new();
+            let mut big = Vec::new();
+            for (&k, v) in self.spill.iter_mut() {
+                if k < 0 {
+                    neg.push(v);
+                } else {
+                    big.push(v);
+                }
+            }
+            (neg, big)
+        };
+        neg.into_iter()
+            .chain(self.dense.iter_mut().filter_map(Option::as_mut))
+            .chain(big)
+    }
+}
+
+/// Dense `(client, server) → T` edge table indexed by component ids.
+/// Rows grow on demand; the component universe is small (a dozen or so),
+/// so the table stays tiny while every hot operation is two indexes.
+#[derive(Debug, Default)]
+pub struct EdgeMap<T> {
+    rows: Vec<Vec<Option<T>>>,
+    len: usize,
+}
+
+impl<T> EdgeMap<T> {
+    /// An empty edge map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            rows: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no edges are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (or replace) the entry on edge `(client, server)`.
+    pub fn insert(&mut self, client: ComponentId, server: ComponentId, value: T) -> Option<T> {
+        let (c, s) = (client.0 as usize, server.0 as usize);
+        if c >= self.rows.len() {
+            self.rows.resize_with(c + 1, Vec::new);
+        }
+        let row = &mut self.rows[c];
+        if s >= row.len() {
+            row.resize_with(s + 1, || None);
+        }
+        let old = row[s].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Check the edge's entry out (O(1)); pair with [`EdgeMap::insert`]
+    /// to check it back in.
+    #[inline]
+    pub fn take(&mut self, client: ComponentId, server: ComponentId) -> Option<T> {
+        let old = self
+            .rows
+            .get_mut(client.0 as usize)?
+            .get_mut(server.0 as usize)?
+            .take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// The entry on edge `(client, server)`, if present.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, client: ComponentId, server: ComponentId) -> Option<&T> {
+        self.rows
+            .get(client.0 as usize)?
+            .get(server.0 as usize)?
+            .as_ref()
+    }
+
+    /// Apply `f` to every stored entry whose server is `server`, in
+    /// ascending client order (the old `BTreeMap` iteration order).
+    pub fn for_server_mut(&mut self, server: ComponentId, mut f: impl FnMut(&mut T)) {
+        let s = server.0 as usize;
+        for row in &mut self.rows {
+            if let Some(Some(v)) = row.get_mut(s) {
+                f(v);
+            }
+        }
+    }
+
+    /// Clients with a stored edge to `server`, ascending (the order the
+    /// eager recovery sweep visits edges in).
+    #[must_use]
+    pub fn clients_of(&self, server: ComponentId) -> Vec<ComponentId> {
+        let s = server.0 as usize;
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| matches!(row.get(s), Some(Some(_))))
+            .map(|(c, _)| ComponentId(c as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_roundtrip_and_len() {
+        let mut s = IdSlab::new();
+        assert!(s.is_empty());
+        assert_eq!(s.insert(3, "a"), None);
+        assert_eq!(s.insert(3, "b"), Some("a"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(3), Some(&"b"));
+        assert!(s.contains_key(3));
+        *s.get_mut(3).unwrap() = "c";
+        assert_eq!(s.remove(3), Some("c"));
+        assert_eq!(s.remove(3), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn slab_spills_outliers_and_iterates_ascending() {
+        let mut s = IdSlab::new();
+        s.insert(DENSE_LIMIT + 7, "big");
+        s.insert(5, "five");
+        s.insert(-2, "neg");
+        s.insert(1, "one");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.get(DENSE_LIMIT + 7), Some(&"big"));
+        assert_eq!(s.get(-2), Some(&"neg"));
+        let keys: Vec<i64> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![-2, 1, 5, DENSE_LIMIT + 7]);
+        let vals: Vec<&str> = s.values().copied().collect();
+        assert_eq!(vals, vec!["neg", "one", "five", "big"]);
+        for v in s.values_mut() {
+            *v = "x";
+        }
+        assert!(s.values().all(|&v| v == "x"));
+    }
+
+    #[test]
+    fn slab_matches_btreemap_order() {
+        // The slab's iteration order is the contract the recovery sweep
+        // depends on: identical to a BTreeMap over the same keys.
+        let ids = [9, 0, DENSE_LIMIT + 1, -5, 40, 3];
+        let mut slab = IdSlab::new();
+        let mut tree = BTreeMap::new();
+        for id in ids {
+            slab.insert(id, id * 10);
+            tree.insert(id, id * 10);
+        }
+        let a: Vec<(i64, i64)> = slab.iter().map(|(k, v)| (k, *v)).collect();
+        let b: Vec<(i64, i64)> = tree.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edge_map_take_and_reinsert() {
+        let (a, b, c) = (ComponentId(1), ComponentId(2), ComponentId(3));
+        let mut m = EdgeMap::new();
+        assert!(m.is_empty());
+        m.insert(a, c, "ac");
+        m.insert(b, c, "bc");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(a, c), Some(&"ac"));
+        let taken = m.take(a, c).unwrap();
+        assert_eq!(m.get(a, c), None);
+        assert_eq!(m.len(), 1);
+        m.insert(a, c, taken);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.take(c, a), None, "missing edge takes nothing");
+    }
+
+    #[test]
+    fn edge_map_server_queries_ascend_by_client() {
+        let mut m = EdgeMap::new();
+        let srv = ComponentId(9);
+        m.insert(ComponentId(4), srv, 4);
+        m.insert(ComponentId(1), srv, 1);
+        m.insert(ComponentId(1), ComponentId(2), 0);
+        assert_eq!(m.clients_of(srv), vec![ComponentId(1), ComponentId(4)]);
+        let mut seen = Vec::new();
+        m.for_server_mut(srv, |v| seen.push(*v));
+        assert_eq!(seen, vec![1, 4]);
+    }
+}

@@ -431,7 +431,7 @@ pub mod fs {
             &[end.compid(), Value::Int(fd), Value::Int(len)],
         )?;
         match v {
-            Value::Bytes(b) => Ok(b),
+            Value::Bytes(b) => Ok(b.to_vec()),
             _ => Ok(Vec::new()),
         }
     }
@@ -451,7 +451,7 @@ pub mod fs {
             .call(
                 ctx,
                 "twrite",
-                &[end.compid(), Value::Int(fd), Value::Bytes(data)],
+                &[end.compid(), Value::Int(fd), Value::from(data)],
             )?
             .int()
             .unwrap_or(0))

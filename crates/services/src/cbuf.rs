@@ -94,7 +94,7 @@ impl Service for CbufService {
             "cb_read" => {
                 let id = args[0].int()?;
                 let buf = self.bufs.get(&id).ok_or(ServiceError::NotFound)?;
-                Ok(Value::Bytes(buf.data.clone()))
+                Ok(Value::from(buf.data.clone()))
             }
             // cb_free(cbid)
             "cb_free" => {
@@ -154,17 +154,13 @@ mod tests {
             tp,
             cb,
             "cb_write",
-            &[
-                Value::Int(id),
-                Value::Int(0),
-                Value::Bytes(vec![1, 2, 3, 4]),
-            ],
+            &[Value::Int(id), Value::Int(0), Value::from(vec![1, 2, 3, 4])],
         )
         .unwrap();
         let r = k
             .invoke(cons, tc, cb, "cb_read", &[Value::Int(id)])
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![1, 2, 3, 4]));
+        assert_eq!(r, Value::from(vec![1, 2, 3, 4]));
     }
 
     #[test]
@@ -181,7 +177,7 @@ mod tests {
                 tc,
                 cb,
                 "cb_write",
-                &[Value::Int(id), Value::Int(0), Value::Bytes(vec![9])],
+                &[Value::Int(id), Value::Int(0), Value::from(vec![9])],
             )
             .unwrap_err();
         assert_eq!(err, CallError::Service(ServiceError::InvalidArg));
@@ -200,13 +196,13 @@ mod tests {
             tp,
             cb,
             "cb_write",
-            &[Value::Int(id), Value::Int(2), Value::Bytes(vec![7])],
+            &[Value::Int(id), Value::Int(2), Value::from(vec![7])],
         )
         .unwrap();
         let r = k
             .invoke(prod, tp, cb, "cb_read", &[Value::Int(id)])
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![0, 0, 7]));
+        assert_eq!(r, Value::from(vec![0, 0, 7]));
     }
 
     #[test]

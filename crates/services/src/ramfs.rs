@@ -104,7 +104,7 @@ impl RamFs {
             Ok(Value::Bytes(data)) => {
                 // G1: the redundant copy brought the lost contents back.
                 ctx.note_mechanism(composite::Mechanism::G1);
-                self.files.insert(path.to_owned(), data);
+                self.files.insert(path.to_owned(), data.to_vec());
                 self.file_cbufs.insert(path.to_owned(), cbid);
                 true
             }
@@ -133,7 +133,7 @@ impl RamFs {
         ctx.invoke(
             self.cbuf,
             "cb_write",
-            &[Value::Int(cbid), Value::Int(0), Value::Bytes(data)],
+            &[Value::Int(cbid), Value::Int(0), Value::from(data)],
         )?;
         ctx.invoke(
             self.storage,
@@ -210,7 +210,7 @@ impl Service for RamFs {
                 };
                 let n = chunk.len();
                 self.fds.get_mut(&fd).expect("checked above").offset = offset + n;
-                Ok(Value::Bytes(chunk))
+                Ok(Value::from(chunk))
             }
             // twrite(compid, fd, bytes) -> n written (advances offset)
             "twrite" => {
@@ -299,7 +299,7 @@ mod tests {
                 t,
                 fs,
                 "twrite",
-                &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![0x42])],
+                &[Value::Int(1), Value::Int(fd), Value::from(vec![0x42])],
             )
             .unwrap();
         assert_eq!(n, Value::Int(1));
@@ -320,7 +320,7 @@ mod tests {
                 &[Value::Int(1), Value::Int(fd), Value::Int(1)],
             )
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![0x42]));
+        assert_eq!(r, Value::from(vec![0x42]));
         k.invoke(app, t, fs, "trelease", &[Value::Int(1), Value::Int(fd)])
             .unwrap();
     }
@@ -334,7 +334,7 @@ mod tests {
             t,
             fs,
             "twrite",
-            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![1, 2, 3])],
+            &[Value::Int(1), Value::Int(fd), Value::from(vec![1, 2, 3])],
         )
         .unwrap();
         // Offset is now 3; reading yields nothing.
@@ -347,7 +347,7 @@ mod tests {
                 &[Value::Int(1), Value::Int(fd), Value::Int(3)],
             )
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![]));
+        assert_eq!(r, Value::from(vec![]));
         k.invoke(
             app,
             t,
@@ -365,7 +365,7 @@ mod tests {
                 &[Value::Int(1), Value::Int(fd), Value::Int(9)],
             )
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![2, 3]));
+        assert_eq!(r, Value::from(vec![2, 3]));
     }
 
     #[test]
@@ -377,7 +377,7 @@ mod tests {
             t,
             fs,
             "twrite",
-            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![7, 8])],
+            &[Value::Int(1), Value::Int(fd), Value::from(vec![7, 8])],
         )
         .unwrap();
         k.fault(fs);
@@ -394,7 +394,7 @@ mod tests {
                 &[Value::Int(1), Value::Int(fd2), Value::Int(2)],
             )
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![7, 8]));
+        assert_eq!(r, Value::from(vec![7, 8]));
     }
 
     #[test]
@@ -414,7 +414,7 @@ mod tests {
             t,
             fs,
             "twrite",
-            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![7])],
+            &[Value::Int(1), Value::Int(fd), Value::from(vec![7])],
         )
         .unwrap();
         k.fault(fs);
@@ -429,7 +429,7 @@ mod tests {
                 &[Value::Int(1), Value::Int(fd2), Value::Int(1)],
             )
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![]), "ablation variant loses data");
+        assert_eq!(r, Value::from(vec![]), "ablation variant loses data");
     }
 
     #[test]
@@ -452,7 +452,7 @@ mod tests {
             t,
             fs,
             "twrite",
-            &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![5])],
+            &[Value::Int(1), Value::Int(fd), Value::from(vec![5])],
         )
         .unwrap();
         // Re-opening via the same nesting reaches the same file.
@@ -477,7 +477,7 @@ mod tests {
                 &[Value::Int(1), Value::Int(fd2), Value::Int(1)],
             )
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![5]));
+        assert_eq!(r, Value::from(vec![5]));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use composite::{Service, ServiceCtx, ServiceError, Value};
+use composite::{IdSlab, Service, ServiceCtx, ServiceError, Value};
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct DescRecord {
@@ -28,11 +28,18 @@ struct DescRecord {
 }
 
 /// The storage service component.
+///
+/// Descriptor records are keyed interface-first: the outer map holds a
+/// handful of interface names (looked up by `&str`, no per-record key
+/// allocation) and the inner stores are slab-indexed by descriptor id —
+/// record traffic is the per-creation G0 hot path for global interfaces,
+/// and descriptor ids are dense, so each record touch is O(1) even when
+/// a workload accumulates many records.
 #[derive(Debug, Default)]
 pub struct StorageService {
     data: BTreeMap<String, Vec<u8>>,
     refs: BTreeMap<String, i64>,
-    descs: BTreeMap<(String, i64), DescRecord>,
+    descs: BTreeMap<String, IdSlab<DescRecord>>,
 }
 
 impl StorageService {
@@ -51,7 +58,7 @@ impl StorageService {
     /// Number of global-descriptor records (tests/reflection).
     #[must_use]
     pub fn record_count(&self) -> usize {
-        self.descs.len()
+        self.descs.values().map(IdSlab::len).sum()
     }
 }
 
@@ -78,7 +85,7 @@ impl Service for StorageService {
             "st_fetch" => {
                 let key = args[0].str()?;
                 let bytes = self.data.get(key).ok_or(ServiceError::NotFound)?;
-                Ok(Value::Bytes(bytes.clone()))
+                Ok(Value::from(bytes.clone()))
             }
             // st_erase(key)
             "st_erase" => {
@@ -102,14 +109,25 @@ impl Service for StorageService {
             }
             // st_record(iface, descid, creator, parent, aux) — G0 record
             "st_record" => {
-                let iface = args[0].str()?.to_owned();
+                let iface = args[0].str()?;
                 let descid = args[1].int()?;
                 let rec = DescRecord {
                     creator: args[2].int()?,
                     parent: args[3].int()?,
                     aux: args[4].int()?,
                 };
-                self.descs.insert((iface, descid), rec);
+                // Borrowed lookup first: the owned key is only built the
+                // first time an interface records anything.
+                match self.descs.get_mut(iface) {
+                    Some(m) => {
+                        m.insert(descid, rec);
+                    }
+                    None => {
+                        let mut m = IdSlab::new();
+                        m.insert(descid, rec);
+                        self.descs.insert(iface.to_owned(), m);
+                    }
+                }
                 Ok(Value::Int(0))
             }
             // st_lookup_creator / st_lookup_parent / st_lookup_aux
@@ -118,7 +136,8 @@ impl Service for StorageService {
                 let descid = args[1].int()?;
                 let rec = self
                     .descs
-                    .get(&(iface.to_owned(), descid))
+                    .get(iface)
+                    .and_then(|m| m.get(descid))
                     .ok_or(ServiceError::NotFound)?;
                 Ok(Value::Int(match fname {
                     "st_lookup_creator" => rec.creator,
@@ -128,10 +147,11 @@ impl Service for StorageService {
             }
             // st_unrecord(iface, descid)
             "st_unrecord" => {
-                let iface = args[0].str()?.to_owned();
+                let iface = args[0].str()?;
                 let descid = args[1].int()?;
                 self.descs
-                    .remove(&(iface, descid))
+                    .get_mut(iface)
+                    .and_then(|m| m.remove(descid))
                     .ok_or(ServiceError::NotFound)?;
                 Ok(Value::Int(0))
             }
@@ -169,13 +189,13 @@ mod tests {
             t,
             st,
             "st_store",
-            &[Value::from("f"), Value::Bytes(vec![1, 2])],
+            &[Value::from("f"), Value::from(vec![1, 2])],
         )
         .unwrap();
         let r = k
             .invoke(app, t, st, "st_fetch", &[Value::from("f")])
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![1, 2]));
+        assert_eq!(r, Value::from(vec![1, 2]));
         k.invoke(app, t, st, "st_erase", &[Value::from("f")])
             .unwrap();
         let err = k
@@ -305,7 +325,7 @@ mod tests {
             t,
             st,
             "st_store",
-            &[Value::from("f"), Value::Bytes(vec![1])],
+            &[Value::from("f"), Value::from(vec![1])],
         )
         .unwrap();
         k.invoke(
@@ -313,12 +333,12 @@ mod tests {
             t,
             st,
             "st_store",
-            &[Value::from("f"), Value::Bytes(vec![2])],
+            &[Value::from("f"), Value::from(vec![2])],
         )
         .unwrap();
         let r = k
             .invoke(app, t, st, "st_fetch", &[Value::from("f")])
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![2]));
+        assert_eq!(r, Value::from(vec![2]));
     }
 }

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use composite::intern::DispatchTable;
 use superglue_idl::ast::RetvalMode;
 use superglue_idl::{FnSig, InterfaceSpec, TrackKind};
 use superglue_sm::machine::FnRoles;
@@ -81,6 +82,11 @@ pub struct CompiledFn {
     /// (only functions that can appear on a recovery walk need them —
     /// skipping the rest keeps the hot path allocation-free).
     pub track_args: bool,
+    /// Dense last-arguments slot: functions with `track_args` get
+    /// consecutive slots `0..track_slots`, so the runtime stores observed
+    /// arguments in a flat per-descriptor array instead of a map keyed by
+    /// `FnId`.
+    pub track_slot: Option<usize>,
 }
 
 /// The full compiled stub specification for one interface.
@@ -112,6 +118,12 @@ pub struct CompiledStubSpec {
     /// `state_index` is 0 for `Init` and `1 + f` for `After(f)`. Lets the
     /// runtime step descriptor state without map lookups.
     pub sigma: Vec<Option<superglue_sm::State>>,
+    /// Build-time dispatch table: function name → `FnId`, O(1) per call
+    /// with no allocation (replaces the per-invocation linear name scan).
+    pub dispatch: DispatchTable,
+    /// Number of dense last-arguments slots (see
+    /// [`CompiledFn::track_slot`]).
+    pub track_slots: usize,
 }
 
 impl CompiledStubSpec {
@@ -131,14 +143,14 @@ impl CompiledStubSpec {
             .flatten()
     }
 
-    /// Look up a compiled function by name.
+    /// Look up a compiled function by name (hot path: one hash probe
+    /// into the build-time dispatch table).
     #[must_use]
+    #[inline]
     pub fn fn_by_name(&self, name: &str) -> Option<(FnId, &CompiledFn)> {
-        self.fns
-            .iter()
-            .enumerate()
-            .find(|(_, f)| f.name == name)
-            .map(|(i, f)| (FnId(i as u32), f))
+        self.dispatch
+            .get(name)
+            .map(|i| (FnId(i), &self.fns[i as usize]))
     }
 
     /// The compiled function for an id.
@@ -221,6 +233,7 @@ fn lower_fn(spec: &InterfaceSpec, sig: &FnSig, names: &mut Vec<String>) -> Compi
         retval,
         replay_args: replay_plan(sig, names),
         track_args: false, // filled in by `lower`
+        track_slot: None,  // filled in by `lower`
     }
 }
 
@@ -257,8 +270,13 @@ pub fn lower(spec: &InterfaceSpec) -> CompiledStubSpec {
         .iter()
         .map(|sig| lower_fn(spec, sig, &mut meta_names))
         .collect();
+    let mut track_slots = 0;
     for (i, f) in fns.iter_mut().enumerate() {
         f.track_args = replayable.contains(&FnId(i as u32));
+        if f.track_args {
+            f.track_slot = Some(track_slots);
+            track_slots += 1;
+        }
     }
     let recover_via: BTreeMap<FnId, FnId> = spec.recover_via.iter().copied().collect();
     let recover_block: BTreeMap<FnId, FnId> = spec.recover_block.iter().copied().collect();
@@ -301,6 +319,8 @@ pub fn lower(spec: &InterfaceSpec) -> CompiledStubSpec {
         }
     }
 
+    let dispatch = DispatchTable::build(fns.iter().map(|f| f.name.as_str()));
+
     CompiledStubSpec {
         interface: spec.name.clone(),
         model: spec.model,
@@ -312,6 +332,8 @@ pub fn lower(spec: &InterfaceSpec) -> CompiledStubSpec {
         restore,
         records_creations,
         sigma,
+        dispatch,
+        track_slots,
     }
 }
 

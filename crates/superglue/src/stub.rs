@@ -19,11 +19,23 @@
 //! * **G0** storage records + restore upcalls for global descriptors;
 //! * thread-affine deferral of blocking walk steps;
 //! * client-visible→server descriptor id translation across reboots.
+//!
+//! All per-call interpretation is precomputed at stub-build time: the
+//! function-name dispatch is one hash probe ([`CompiledStubSpec`]'s
+//! dispatch table), descriptor lookups index a slab ([`IdSlab`]), the
+//! last-observed-arguments table is a flat array of inline [`ArgVec`]s
+//! indexed by the compiler-assigned `track_slot`, and the σ step reads a
+//! dense table. The steady-state invoke path performs no map lookups, no
+//! heap allocation, and no refcount traffic: the interpreter runs over an
+//! [`Interp`] view that borrows the spec and the tracking tables as
+//! disjoint fields, so the spec reference is a plain (Copy) `&` rather
+//! than a per-call `Arc` clone.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use composite::{CallError, Mechanism, ServiceError, ThreadId, TraceEventKind, Value};
+use composite::{
+    ArgVec, CallError, IdSlab, Mechanism, ServiceError, ThreadId, TraceEventKind, Value,
+};
 use sg_c3::stub::{is_server_fault, InterfaceStub};
 use sg_c3::StubEnv;
 use superglue_compiler::{ArgSource, CompiledFn, CompiledStubSpec, RestoreArg, RetvalSpec};
@@ -66,9 +78,11 @@ struct GenDesc {
     children: Vec<i64>,
     /// Tracked metadata (`desc_data` arguments and return values),
     /// indexed by compiler-interned slot.
-    meta: Vec<Option<Value>>,
-    /// Last observed argument vector per interface function.
-    last_args: BTreeMap<FnId, Vec<Value>>,
+    meta: Box<[Option<Value>]>,
+    /// Last observed argument vector per tracked interface function,
+    /// indexed by the compiler-assigned dense `track_slot`. Inline
+    /// [`ArgVec`]s: recording a call's arguments never heap-allocates.
+    last_args: Box<[Option<ArgVec>]>,
     /// A recovery walk that stopped at a thread-affine step: (walk,
     /// resume index). Completed when `state_thread` next arrives.
     pending_walk: Option<(Vec<FnId>, usize)>,
@@ -82,6 +96,7 @@ impl GenDesc {
         creator: bool,
         parent: Option<i64>,
         meta_slots: usize,
+        track_slots: usize,
     ) -> Self {
         Self {
             server_id,
@@ -91,18 +106,44 @@ impl GenDesc {
             creator,
             parent,
             children: Vec::new(),
-            meta: vec![None; meta_slots],
-            last_args: BTreeMap::new(),
+            meta: vec![None; meta_slots].into_boxed_slice(),
+            last_args: vec![None; track_slots].into_boxed_slice(),
             pending_walk: None,
         }
     }
+}
+
+/// Record the last observed arguments for a tracked function. The slot
+/// holds an inline [`ArgVec`], and each value clone is an rc bump or an
+/// inline copy, so the steady-state tracking write allocates nothing.
+fn store_last_args(slot: &mut Option<ArgVec>, args: &[Value]) {
+    match slot {
+        Some(prev) if prev.len() == args.len() => prev.clone_from_slice(args),
+        other => *other = Some(args.into()),
+    }
+}
+
+fn parent_of_args(cf: &CompiledFn, args: &[Value]) -> Option<i64> {
+    cf.parent_arg
+        .and_then(|i| args.get(i))
+        .and_then(|v| v.int().ok())
+        .filter(|&p| p != NO_PARENT)
+}
+
+fn desc_of_args(cf: &CompiledFn, args: &[Value]) -> Option<i64> {
+    cf.desc_arg
+        .and_then(|i| args.get(i))
+        .and_then(|v| v.int().ok())
 }
 
 /// The compiler-driven interface stub.
 #[derive(Debug)]
 pub struct CompiledStub {
     spec: Arc<CompiledStubSpec>,
-    descs: BTreeMap<i64, GenDesc>,
+    descs: IdSlab<GenDesc>,
+    /// Closed-descriptor carcasses recycled by the next creation, so
+    /// create/close workloads do not allocate tracking tables per cycle.
+    pool: Vec<GenDesc>,
 }
 
 impl CompiledStub {
@@ -111,7 +152,8 @@ impl CompiledStub {
     pub fn new(spec: Arc<CompiledStubSpec>) -> Self {
         Self {
             spec,
-            descs: BTreeMap::new(),
+            descs: IdSlab::new(),
+            pool: Vec::new(),
         }
     }
 
@@ -121,35 +163,102 @@ impl CompiledStub {
         &self.spec.interface
     }
 
-    // -----------------------------------------------------------------
-    // Argument plumbing
-    // -----------------------------------------------------------------
+    /// The interpreter view: disjoint borrows of the spec (shared) and
+    /// the tracking tables (mutable), so spec reads never require an
+    /// `Arc` refcount bump to coexist with table updates.
+    fn interp(&mut self) -> Interp<'_> {
+        Interp {
+            spec: &self.spec,
+            descs: &mut self.descs,
+            pool: &mut self.pool,
+        }
+    }
+}
 
-    fn parent_of_args(cf: &CompiledFn, args: &[Value]) -> Option<i64> {
-        cf.parent_arg
-            .and_then(|i| args.get(i))
-            .and_then(|v| v.int().ok())
-            .filter(|&p| p != NO_PARENT)
+/// One invocation's view of a [`CompiledStub`]: `spec` is a plain shared
+/// reference (Copy — reading it does not borrow `self`), `descs`/`pool`
+/// are the mutable tracking state.
+struct Interp<'s> {
+    spec: &'s CompiledStubSpec,
+    descs: &'s mut IdSlab<GenDesc>,
+    pool: &'s mut Vec<GenDesc>,
+}
+
+impl<'s> Interp<'s> {
+    fn new_desc(
+        &mut self,
+        server_id: i64,
+        state: State,
+        thread: ThreadId,
+        creator: bool,
+        parent: Option<i64>,
+    ) -> GenDesc {
+        if let Some(mut d) = self.pool.pop() {
+            d.server_id = server_id;
+            d.state = state;
+            d.state_thread = Some(thread);
+            d.faulty = false;
+            d.creator = creator;
+            d.parent = parent;
+            d.children.clear();
+            d.meta.fill(None);
+            d.last_args.fill_with(|| None);
+            d.pending_walk = None;
+            return d;
+        }
+        GenDesc::new(
+            server_id,
+            state,
+            thread,
+            creator,
+            parent,
+            self.spec.meta_names.len(),
+            self.spec.track_slots,
+        )
     }
 
-    fn desc_of_args(cf: &CompiledFn, args: &[Value]) -> Option<i64> {
-        cf.desc_arg
-            .and_then(|i| args.get(i))
-            .and_then(|v| v.int().ok())
+    /// Return a removed descriptor's tables to the carcass pool.
+    fn recycle(&mut self, d: GenDesc) {
+        // Bounded so faulty workloads cannot grow the pool without
+        // limit; tables are all sized by the (fixed) spec.
+        if self.pool.len() < 64 {
+            self.pool.push(d);
+        }
+    }
+
+    /// Would [`Self::translate_args`] change anything? False in the
+    /// steady state (server ids only diverge across a reboot), letting
+    /// the hot path pass the caller's slice through untouched.
+    fn translation_needed(&self, cf: &CompiledFn, desc: Option<i64>, args: &[Value]) -> bool {
+        if let (Some(_), Some(id)) = (cf.desc_arg, desc) {
+            if self.descs.get(id).is_some_and(|d| d.server_id != id) {
+                return true;
+            }
+        }
+        if cf.parent_arg.is_some() {
+            if let Some(p) = parent_of_args(cf, args) {
+                if self.descs.get(p).is_some_and(|pd| pd.server_id != p) {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Rewrite descriptor/parent argument positions to current server
-    /// ids.
-    fn translate_args(&self, cf: &CompiledFn, desc: Option<i64>, args: &[Value]) -> Vec<Value> {
-        let mut out = args.to_vec();
+    /// ids. Only called when the rewrite actually changes something; the
+    /// copy lives in a stack [`ArgVec`] and every `Value` clone is at
+    /// worst a reference-count bump.
+    fn translate_args(&self, cf: &CompiledFn, desc: Option<i64>, args: &[Value]) -> ArgVec {
+        let mut out: ArgVec = args.into();
         if let (Some(pos), Some(id)) = (cf.desc_arg, desc) {
-            if let Some(d) = self.descs.get(&id) {
+            if let Some(d) = self.descs.get(id) {
                 out[pos] = Value::Int(d.server_id);
             }
         }
         if let Some(pos) = cf.parent_arg {
-            if let Some(p) = Self::parent_of_args(cf, args) {
-                if let Some(pd) = self.descs.get(&p) {
+            if let Some(p) = parent_of_args(cf, args) {
+                if let Some(pd) = self.descs.get(p) {
                     out[pos] = Value::Int(pd.server_id);
                 }
             }
@@ -159,10 +268,14 @@ impl CompiledStub {
 
     /// Synthesize replay arguments for one walk step per the compiled
     /// plan, overlaying tracked state onto the last observed arguments.
-    fn synth_args(&self, env: &StubEnv<'_>, fid: FnId, desc_id: i64) -> Vec<Value> {
+    fn synth_args(&self, env: &StubEnv<'_>, fid: FnId, desc_id: i64) -> ArgVec {
         let cf = self.spec.fn_of(fid);
-        let d = self.descs.get(&desc_id);
-        let base: Option<&Vec<Value>> = d.and_then(|d| d.last_args.get(&fid));
+        let d = self.descs.get(desc_id);
+        let base: Option<&[Value]> = d.and_then(|d| {
+            cf.track_slot
+                .and_then(|s| d.last_args.get(s))
+                .and_then(|o| o.as_deref())
+        });
         cf.replay_args
             .iter()
             .enumerate()
@@ -172,12 +285,14 @@ impl CompiledStub {
                 ArgSource::ParentId => {
                     let p = d.and_then(|d| d.parent);
                     match p {
-                        Some(p) => Value::Int(self.descs.get(&p).map_or(p, |pd| pd.server_id)),
+                        Some(p) => Value::Int(self.descs.get(p).map_or(p, |pd| pd.server_id)),
                         None => Value::Int(NO_PARENT),
                     }
                 }
+                // clone(): replayed values must outlive the tracking
+                // tables they come from; cheap (rc bump / inline copy).
                 ArgSource::Meta(slot) => d
-                    .and_then(|d| d.meta.get(*slot).cloned().flatten())
+                    .and_then(|d| d.meta.get(*slot).and_then(|m| m.clone()))
                     .or_else(|| base.and_then(|b| b.get(pos).cloned()))
                     .unwrap_or(Value::Int(0)),
                 ArgSource::LastObserved => base
@@ -194,17 +309,18 @@ impl CompiledStub {
     fn harvest(
         &mut self,
         cf: &CompiledFn,
-        fid: FnId,
         desc_id: i64,
         args: &[Value],
         ret: &Value,
         thread: ThreadId,
     ) {
-        let Some(d) = self.descs.get_mut(&desc_id) else {
+        let Some(d) = self.descs.get_mut(desc_id) else {
             return;
         };
         for &(pos, slot) in &cf.data_args {
             if let Some(v) = args.get(pos) {
+                // clone(): tracked metadata must survive the call; cheap
+                // (rc bump / inline copy) under the shared-value repr.
                 d.meta[slot] = Some(v.clone());
             }
         }
@@ -214,6 +330,8 @@ impl CompiledStub {
                 d.meta[slot] = Some(Value::Int(desc_id));
             }
             RetvalSpec::SetData(slot) => {
+                // clone(): the return value is also handed to the caller;
+                // cheap-clone repr makes this an rc bump at worst.
                 d.meta[slot] = Some(ret.clone());
             }
             RetvalSpec::AccumData(slot) => {
@@ -229,39 +347,44 @@ impl CompiledStub {
                 d.meta[slot] = Some(Value::Int(cur + add));
             }
         }
-        if cf.track_args {
-            d.last_args.insert(fid, args.to_vec());
+        if let Some(slot) = cf.track_slot {
+            store_last_args(&mut d.last_args[slot], args);
         }
         d.state_thread = Some(thread);
     }
 
     fn close(&mut self, env: &mut StubEnv<'_>, desc_id: i64) {
-        let model = self.spec.model;
+        let spec = self.spec;
+        let model = spec.model;
         let mut dropped = 0u64;
         if model.close_children {
-            // D0: drop the tracked subtree.
+            // D0: drop the tracked subtree. take() not clone(): whenever
+            // close_children is set the descriptor itself is removed
+            // below, so its child list can be consumed in place.
             let mut stack = self
                 .descs
-                .get(&desc_id)
-                .map(|d| d.children.clone())
+                .get_mut(desc_id)
+                .map(|d| std::mem::take(&mut d.children))
                 .unwrap_or_default();
             while let Some(c) = stack.pop() {
-                if let Some(cd) = self.descs.remove(&c) {
+                if let Some(mut cd) = self.descs.remove(c) {
                     dropped += 1;
-                    stack.extend(cd.children);
+                    stack.append(&mut cd.children);
+                    self.recycle(cd);
                 }
             }
         }
         let remove =
             model.close_removes_tracking || model.close_children || !model.parent.has_parent();
         if remove {
-            if let Some(d) = self.descs.remove(&desc_id) {
+            if let Some(d) = self.descs.remove(desc_id) {
                 dropped += 1;
                 if let Some(p) = d.parent {
-                    if let Some(pd) = self.descs.get_mut(&p) {
+                    if let Some(pd) = self.descs.get_mut(p) {
                         pd.children.retain(|&c| c != desc_id);
                     }
                 }
+                self.recycle(d);
             }
         }
         env.kernel.trace_instant(
@@ -273,15 +396,14 @@ impl CompiledStub {
             },
         );
         env.note_teardown(dropped);
-        if self.spec.records_creations {
-            let iface = self.spec.interface.clone();
+        if spec.records_creations {
             if let Some(storage) = env.storage {
                 let _ = env.kernel.invoke(
                     env.client,
                     env.thread,
                     storage,
                     "st_unrecord",
-                    &[Value::from(iface.as_str()), Value::Int(desc_id)],
+                    &[Value::from(spec.interface.as_str()), Value::Int(desc_id)],
                 );
             }
         }
@@ -295,7 +417,8 @@ impl CompiledStub {
         args: &[Value],
         cf: &CompiledFn,
     ) {
-        if !self.spec.records_creations {
+        let spec = self.spec;
+        if !spec.records_creations {
             return;
         }
         // aux = the first tracked integer argument that is neither the
@@ -310,9 +433,8 @@ impl CompiledStub {
             .filter_map(|(pos, _)| args.get(*pos))
             .find_map(|v| v.int().ok())
             .unwrap_or(0);
-        let iface = self.spec.interface.clone();
         let _ = env.storage_record(
-            &iface,
+            &spec.interface,
             desc_id,
             env.client,
             parent.unwrap_or(NO_PARENT),
@@ -327,8 +449,7 @@ impl CompiledStub {
     /// Recover a parent that is not tracked on this edge: discover its
     /// creator through the storage records and upcall (U0 across edges).
     fn recover_foreign(&mut self, env: &mut StubEnv<'_>, desc_id: i64) -> Result<(), CallError> {
-        let iface = self.spec.interface.clone();
-        let creator = env.storage_lookup_creator(&iface, desc_id)?;
+        let creator = env.storage_lookup_creator(&self.spec.interface, desc_id)?;
         if creator == env.client {
             // Racy self-reference: nothing more we can do.
             return Err(CallError::Service(ServiceError::NotFound));
@@ -353,25 +474,26 @@ impl CompiledStub {
         walk: &[FnId],
         start: usize,
     ) -> Result<(), CallError> {
+        let spec = self.spec;
         for (i, &fid) in walk.iter().enumerate().skip(start) {
-            let roles = self.spec.machine.roles(fid);
+            let roles = spec.machine.roles(fid);
             // Thread-affine blocking steps may not be replayed verbatim
             // by a different thread: either substitute the declared
             // restore entry point (sm_recover_block) passing the recorded
             // owner, or defer the remaining walk to the owner.
             if roles.blocks {
-                let owner = self.descs.get(&desc_id).and_then(|d| d.state_thread);
+                let owner = self.descs.get(desc_id).and_then(|d| d.state_thread);
                 if owner != Some(env.thread) {
-                    if let Some(&gid) = self.spec.recover_block.get(&fid) {
-                        let gname = self.spec.machine.function_name(gid).to_owned();
+                    if let Some(&gid) = spec.recover_block.get(&fid) {
+                        let gname = spec.machine.function_name(gid);
                         let owner_id = owner.map_or(0, |t| i64::from(t.0));
                         let mut args = self.synth_args(env, gid, desc_id);
-                        for (pos, src) in self.spec.fn_of(gid).replay_args.iter().enumerate() {
+                        for (pos, src) in spec.fn_of(gid).replay_args.iter().enumerate() {
                             if *src == ArgSource::LastObserved {
                                 args[pos] = Value::Int(owner_id);
                             }
                         }
-                        env.replay_for(&gname, &args, Some(desc_id), Mechanism::T1)?;
+                        env.replay_for(gname, &args, Some(desc_id), Mechanism::T1)?;
                         // T1: the blocking step completed thread-affinely
                         // on the recorded owner's behalf, not verbatim by
                         // the recovering thread (C³ counts its
@@ -379,19 +501,21 @@ impl CompiledStub {
                         env.note_deferred_completion();
                         continue;
                     }
-                    if let Some(d) = self.descs.get_mut(&desc_id) {
+                    if let Some(d) = self.descs.get_mut(desc_id) {
+                        // to_vec(): recovery-only path; the deferred tail
+                        // must outlive this borrow of the walk.
                         d.pending_walk = Some((walk.to_vec(), i));
                     }
                     env.note_deferred_completion();
                     return Ok(());
                 }
             }
-            let fname = self.spec.machine.function_name(fid).to_owned();
+            let fname = spec.machine.function_name(fid);
             let args = self.synth_args(env, fid, desc_id);
-            let ret = env.replay_for(&fname, &args, Some(desc_id), Mechanism::R0)?;
+            let ret = env.replay_for(fname, &args, Some(desc_id), Mechanism::R0)?;
             if roles.creates {
                 if let Ok(new_id) = ret.int() {
-                    if let Some(d) = self.descs.get_mut(&desc_id) {
+                    if let Some(d) = self.descs.get_mut(desc_id) {
                         d.server_id = new_id;
                     }
                 }
@@ -401,32 +525,327 @@ impl CompiledStub {
     }
 
     fn complete_pending(&mut self, env: &mut StubEnv<'_>, desc_id: i64) -> Result<(), CallError> {
-        let Some(d) = self.descs.get(&desc_id) else {
+        let Some(d) = self.descs.get(desc_id) else {
             return Ok(());
         };
         if d.state_thread != Some(env.thread) {
             return Ok(());
         }
+        // clone(): a deferred walk is rare (one per thread-affine fault)
+        // and must be detached from the tracking table while it replays.
         let Some((walk, start)) = d.pending_walk.clone() else {
             return Ok(());
         };
-        if let Some(d) = self.descs.get_mut(&desc_id) {
+        if let Some(d) = self.descs.get_mut(desc_id) {
             d.pending_walk = None;
         }
         self.replay_walk(env, desc_id, &walk, start)
     }
 
-    fn restore_args(&self, env: &StubEnv<'_>, desc_id: i64, plan: &[RestoreArg]) -> Vec<Value> {
-        let d = self.descs.get(&desc_id);
+    fn restore_args(&self, env: &StubEnv<'_>, desc_id: i64, plan: &[RestoreArg]) -> ArgVec {
+        let d = self.descs.get(desc_id);
         plan.iter()
             .map(|a| match a {
                 RestoreArg::Creator => Value::from(env.client.0),
                 RestoreArg::DescId => Value::Int(desc_id),
+                // clone(): restored metadata outlives the table; cheap.
                 RestoreArg::Meta(slot) => d
-                    .and_then(|d| d.meta.get(*slot).cloned().flatten())
+                    .and_then(|d| d.meta.get(*slot).and_then(|m| m.clone()))
                     .unwrap_or(Value::Int(0)),
             })
             .collect()
+    }
+
+    fn mark_faulty(&mut self) {
+        for d in self.descs.values_mut() {
+            d.faulty = true;
+        }
+    }
+
+    fn call(
+        &mut self,
+        env: &mut StubEnv<'_>,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        // Copy out the spec reference ('s outlives this borrow of self),
+        // so compiled-plan reads coexist with tracking-table mutation.
+        let spec = self.spec;
+        let Some((fid, cf)) = spec.fn_by_name(fname) else {
+            // Not part of the described interface: pass through (with
+            // fault handling).
+            passthrough!(self, env, fname, args);
+        };
+
+        if cf.roles.creates {
+            let parent = parent_of_args(cf, args);
+            let mut g0_attempted = false;
+            loop {
+                // D1: a faulty (or foreign, post-fault) parent recovers
+                // before the creation that depends on it.
+                if let Some(p) = parent {
+                    if self.descs.get(p).is_some_and(|d| d.faulty) {
+                        env.note_parent_first();
+                        self.recover_descriptor(env, p)?;
+                    }
+                }
+                let translated;
+                let real_args: &[Value] = if self.translation_needed(cf, None, args) {
+                    translated = self.translate_args(cf, None, args);
+                    &translated
+                } else {
+                    args
+                };
+                match env.invoke(fname, real_args) {
+                    Ok(v) => {
+                        let id = v.int().map_err(|e| CallError::Service(e.into()))?;
+                        let state = State::After(fid);
+                        let mut d = self.new_desc(id, state, env.thread, true, parent);
+                        if let Some(slot) = cf.track_slot {
+                            store_last_args(&mut d.last_args[slot], args);
+                        }
+                        self.descs.insert(id, d);
+                        if let Some(p) = parent {
+                            if let Some(pd) = self.descs.get_mut(p) {
+                                if !pd.children.contains(&id) {
+                                    pd.children.push(id);
+                                }
+                            }
+                        }
+                        self.harvest(cf, id, args, &v, env.thread);
+                        env.kernel.trace_instant(
+                            env.server,
+                            env.thread,
+                            TraceEventKind::DescriptorCreated { desc: id },
+                        );
+                        self.record_creation(env, id, parent, args, cf);
+                        return Ok(v);
+                    }
+                    Err(e) if is_server_fault(&e, env.server) => {
+                        env.ensure_rebooted()?;
+                        self.mark_faulty();
+                    }
+                    // The parent vanished with the reboot and is tracked
+                    // by another component: G0-style discovery (once).
+                    Err(CallError::Service(ServiceError::NotFound))
+                        if !g0_attempted
+                            && parent.is_some()
+                            && spec.records_creations
+                            && !self.descs.contains_key(parent.expect("checked")) =>
+                    {
+                        g0_attempted = true;
+                        self.recover_foreign(env, parent.expect("checked"))?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        let Some(desc_id) = desc_of_args(cf, args) else {
+            passthrough!(self, env, fname, args);
+        };
+        if !self.descs.contains_key(desc_id) {
+            if spec.model.global {
+                // First use of a foreign global descriptor: track it so a
+                // later fault can be recovered via G0.
+                let init_state = spec
+                    .machine
+                    .creation_fns()
+                    .next()
+                    .map_or(State::Init, State::After);
+                let d = self.new_desc(desc_id, init_state, env.thread, false, None);
+                self.descs.insert(desc_id, d);
+            } else {
+                // Untracked local descriptor: pass through (with fault
+                // handling so the redo observes post-reboot semantics).
+                passthrough!(self, env, fname, args);
+            }
+        }
+
+        let mut g0_attempted = false;
+        loop {
+            if self.descs.get(desc_id).is_some_and(|d| d.faulty) {
+                self.recover_descriptor(env, desc_id)?;
+            }
+            self.complete_pending(env, desc_id)?;
+            // Steady state: server ids equal the client-visible ids, so
+            // the caller's slice passes through with no copy; after a
+            // reboot the ids diverge and a stack ArgVec carries the
+            // rewritten arguments until the descriptor is re-created.
+            let translated;
+            let call_args: &[Value] = if self.translation_needed(cf, Some(desc_id), args) {
+                translated = self.translate_args(cf, Some(desc_id), args);
+                &translated
+            } else {
+                args
+            };
+            match env.invoke(fname, call_args) {
+                Ok(v) => {
+                    // One descriptor lookup covers the σ step, metadata
+                    // harvest and close detection (the hot path).
+                    let mut terminated = false;
+                    if let Some(d) = self.descs.get_mut(desc_id) {
+                        match spec.step(d.state, fid) {
+                            Some(next) => d.state = next,
+                            None => {
+                                // Invalid σ branch: fault detection
+                                // (§III-B); tracking resynchronizes to
+                                // the observed call.
+                                env.stats.invalid_transitions += 1;
+                                d.state = if cf.roles.terminates {
+                                    State::Terminated
+                                } else {
+                                    State::After(fid)
+                                };
+                            }
+                        }
+                        if d.state == State::Terminated {
+                            terminated = true;
+                        } else {
+                            for &(pos, slot) in &cf.data_args {
+                                if let Some(val) = args.get(pos) {
+                                    // clone(): tracked metadata must
+                                    // survive the call; rc bump at worst.
+                                    d.meta[slot] = Some(val.clone());
+                                }
+                            }
+                            match cf.retval {
+                                RetvalSpec::None | RetvalSpec::NewDesc(_) => {}
+                                // clone(): rc bump; `v` is also returned.
+                                RetvalSpec::SetData(slot) => d.meta[slot] = Some(v.clone()),
+                                RetvalSpec::AccumData(slot) => {
+                                    let add = match &v {
+                                        Value::Int(n) => *n,
+                                        Value::Bytes(b) => b.len() as i64,
+                                        _ => 0,
+                                    };
+                                    let cur = d.meta[slot]
+                                        .as_ref()
+                                        .and_then(|x| x.int().ok())
+                                        .unwrap_or(0);
+                                    d.meta[slot] = Some(Value::Int(cur + add));
+                                }
+                            }
+                            if let Some(slot) = cf.track_slot {
+                                store_last_args(&mut d.last_args[slot], args);
+                            }
+                            d.state_thread = Some(env.thread);
+                        }
+                    }
+                    if terminated {
+                        self.close(env, desc_id);
+                    }
+                    return Ok(v);
+                }
+                Err(CallError::WouldBlock) => return Err(CallError::WouldBlock),
+                Err(e) if is_server_fault(&e, env.server) => {
+                    env.ensure_rebooted()?;
+                    self.mark_faulty();
+                }
+                Err(CallError::Service(ServiceError::NotFound)) if !g0_attempted => {
+                    // Unknown id at the (possibly rebuilt) server: give
+                    // recovery exactly one chance, then redo.
+                    g0_attempted = true;
+                    if let Some(d) = self.descs.get_mut(desc_id) {
+                        d.faulty = true;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn recover_descriptor(&mut self, env: &mut StubEnv<'_>, desc_id: i64) -> Result<(), CallError> {
+        let spec = self.spec;
+        let Some(d) = self.descs.get(desc_id) else {
+            // Untracked on this edge: only meaningful for interfaces with
+            // storage-recorded creations (global / XCParent).
+            if spec.records_creations {
+                return self.recover_foreign(env, desc_id);
+            }
+            return Ok(());
+        };
+        if !d.faulty {
+            return Ok(());
+        }
+        let (creator, parent, state) = (d.creator, d.parent, d.state);
+
+        if spec.model.global && !creator {
+            // G0 + U0: the creator's edge rebuilds under the original id.
+            self.recover_foreign(env, desc_id)?;
+            if let Some(d) = self.descs.get_mut(desc_id) {
+                d.faulty = false;
+            }
+            env.note_descriptor_recovered();
+            return Ok(());
+        }
+
+        // D1: parents recover root-first.
+        if let Some(p) = parent {
+            if self.descs.contains_key(p) {
+                if self.descs.get(p).is_some_and(|d| d.faulty) {
+                    env.note_parent_first();
+                }
+                self.recover_descriptor(env, p)?;
+            } else if spec.records_creations {
+                env.note_parent_first();
+                self.recover_foreign(env, p)?;
+            }
+        }
+
+        let effective = self.effective_state(state);
+        let walk = match effective {
+            State::Terminated | State::Faulty | State::Init => Vec::new(),
+            s => spec
+                .machine
+                .recovery_walk(s)
+                .map_err(|_| CallError::Service(ServiceError::NotFound))?,
+        };
+
+        if let Some((restore_fn, plan)) = spec.restore.as_ref() {
+            // Global creator: the creation step is replaced by the
+            // restore upcall, which preserves the original global id.
+            let args = self.restore_args(env, desc_id, plan);
+            env.replay_for(restore_fn, &args, Some(desc_id), Mechanism::R0)?;
+            if let Some(d) = self.descs.get_mut(desc_id) {
+                d.faulty = false;
+                d.server_id = desc_id;
+            }
+            // Replay any post-creation steps of the walk.
+            self.replay_walk(env, desc_id, &walk, 1)?;
+        } else {
+            if let Some(d) = self.descs.get_mut(desc_id) {
+                d.faulty = false;
+            }
+            self.replay_walk(env, desc_id, &walk, 0)?;
+        }
+        env.note_descriptor_recovered();
+        Ok(())
+    }
+
+    fn recover_all(&mut self, env: &mut StubEnv<'_>) -> Result<(), CallError> {
+        let ids: Vec<i64> = self
+            .descs
+            .iter()
+            .filter(|(_, d)| d.faulty)
+            .map(|(id, _)| id)
+            .collect();
+        for id in ids {
+            match self.recover_descriptor(env, id) {
+                Ok(()) => {}
+                // The descriptor no longer exists anywhere authoritative
+                // (freed by another client before the fault): drop the
+                // stale tracking record instead of aborting the eager
+                // pass.
+                Err(CallError::Service(ServiceError::NotFound)) => {
+                    if let Some(d) = self.descs.remove(id) {
+                        self.recycle(d);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -452,278 +871,19 @@ impl InterfaceStub for CompiledStub {
         fname: &str,
         args: &[Value],
     ) -> Result<Value, CallError> {
-        let spec = Arc::clone(&self.spec);
-        let Some((fid, cf)) = spec.fn_by_name(fname) else {
-            // Not part of the described interface: pass through (with
-            // fault handling).
-            passthrough!(self, env, fname, args);
-        };
-
-        if cf.roles.creates {
-            let parent = Self::parent_of_args(cf, args);
-            let mut g0_attempted = false;
-            loop {
-                // D1: a faulty (or foreign, post-fault) parent recovers
-                // before the creation that depends on it.
-                if let Some(p) = parent {
-                    if self.descs.get(&p).is_some_and(|d| d.faulty) {
-                        env.note_parent_first();
-                        self.recover_descriptor(env, p)?;
-                    }
-                }
-                let real_args = self.translate_args(cf, None, args);
-                match env.invoke(fname, &real_args) {
-                    Ok(v) => {
-                        let id = v.int().map_err(|e| CallError::Service(e.into()))?;
-                        let state = State::After(fid);
-                        let mut d = GenDesc::new(
-                            id,
-                            state,
-                            env.thread,
-                            true,
-                            parent,
-                            spec.meta_names.len(),
-                        );
-                        if cf.track_args {
-                            d.last_args.insert(fid, args.to_vec());
-                        }
-                        self.descs.insert(id, d);
-                        if let Some(p) = parent {
-                            if let Some(pd) = self.descs.get_mut(&p) {
-                                if !pd.children.contains(&id) {
-                                    pd.children.push(id);
-                                }
-                            }
-                        }
-                        self.harvest(cf, fid, id, args, &v, env.thread);
-                        env.kernel.trace_instant(
-                            env.server,
-                            env.thread,
-                            TraceEventKind::DescriptorCreated { desc: id },
-                        );
-                        self.record_creation(env, id, parent, args, cf);
-                        return Ok(v);
-                    }
-                    Err(e) if is_server_fault(&e, env.server) => {
-                        env.ensure_rebooted()?;
-                        self.mark_faulty();
-                    }
-                    // The parent vanished with the reboot and is tracked
-                    // by another component: G0-style discovery (once).
-                    Err(CallError::Service(ServiceError::NotFound))
-                        if !g0_attempted
-                            && parent.is_some()
-                            && self.spec.records_creations
-                            && !self.descs.contains_key(&parent.expect("checked")) =>
-                    {
-                        g0_attempted = true;
-                        self.recover_foreign(env, parent.expect("checked"))?;
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-        }
-
-        let Some(desc_id) = Self::desc_of_args(cf, args) else {
-            passthrough!(self, env, fname, args);
-        };
-        if !self.descs.contains_key(&desc_id) {
-            if self.spec.model.global {
-                // First use of a foreign global descriptor: track it so a
-                // later fault can be recovered via G0.
-                let init_state = self
-                    .spec
-                    .machine
-                    .creation_fns()
-                    .next()
-                    .map_or(State::Init, State::After);
-                let slots = self.spec.meta_names.len();
-                self.descs.insert(
-                    desc_id,
-                    GenDesc::new(desc_id, init_state, env.thread, false, None, slots),
-                );
-            } else {
-                // Untracked local descriptor: pass through (with fault
-                // handling so the redo observes post-reboot semantics).
-                passthrough!(self, env, fname, args);
-            }
-        }
-
-        let mut g0_attempted = false;
-        loop {
-            if self.descs.get(&desc_id).is_some_and(|d| d.faulty) {
-                self.recover_descriptor(env, desc_id)?;
-            }
-            self.complete_pending(env, desc_id)?;
-            let real_args = self.translate_args(cf, Some(desc_id), args);
-            match env.invoke(fname, &real_args) {
-                Ok(v) => {
-                    // One descriptor lookup covers the σ step, metadata
-                    // harvest and close detection (the hot path).
-                    let mut terminated = false;
-                    if let Some(d) = self.descs.get_mut(&desc_id) {
-                        match spec.step(d.state, fid) {
-                            Some(next) => d.state = next,
-                            None => {
-                                // Invalid σ branch: fault detection
-                                // (§III-B); tracking resynchronizes to
-                                // the observed call.
-                                env.stats.invalid_transitions += 1;
-                                d.state = if cf.roles.terminates {
-                                    State::Terminated
-                                } else {
-                                    State::After(fid)
-                                };
-                            }
-                        }
-                        if d.state == State::Terminated {
-                            terminated = true;
-                        } else {
-                            for &(pos, slot) in &cf.data_args {
-                                if let Some(val) = args.get(pos) {
-                                    d.meta[slot] = Some(val.clone());
-                                }
-                            }
-                            match cf.retval {
-                                RetvalSpec::None | RetvalSpec::NewDesc(_) => {}
-                                RetvalSpec::SetData(slot) => d.meta[slot] = Some(v.clone()),
-                                RetvalSpec::AccumData(slot) => {
-                                    let add = match &v {
-                                        Value::Int(n) => *n,
-                                        Value::Bytes(b) => b.len() as i64,
-                                        _ => 0,
-                                    };
-                                    let cur = d.meta[slot]
-                                        .as_ref()
-                                        .and_then(|x| x.int().ok())
-                                        .unwrap_or(0);
-                                    d.meta[slot] = Some(Value::Int(cur + add));
-                                }
-                            }
-                            if cf.track_args {
-                                d.last_args.insert(fid, args.to_vec());
-                            }
-                            d.state_thread = Some(env.thread);
-                        }
-                    }
-                    if terminated {
-                        self.close(env, desc_id);
-                    }
-                    return Ok(v);
-                }
-                Err(CallError::WouldBlock) => return Err(CallError::WouldBlock),
-                Err(e) if is_server_fault(&e, env.server) => {
-                    env.ensure_rebooted()?;
-                    self.mark_faulty();
-                }
-                Err(CallError::Service(ServiceError::NotFound)) if !g0_attempted => {
-                    // Unknown id at the (possibly rebuilt) server: give
-                    // recovery exactly one chance, then redo.
-                    g0_attempted = true;
-                    if let Some(d) = self.descs.get_mut(&desc_id) {
-                        d.faulty = true;
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
+        self.interp().call(env, fname, args)
     }
 
     fn recover_descriptor(&mut self, env: &mut StubEnv<'_>, desc_id: i64) -> Result<(), CallError> {
-        let Some(d) = self.descs.get(&desc_id) else {
-            // Untracked on this edge: only meaningful for interfaces with
-            // storage-recorded creations (global / XCParent).
-            if self.spec.records_creations {
-                return self.recover_foreign(env, desc_id);
-            }
-            return Ok(());
-        };
-        if !d.faulty {
-            return Ok(());
-        }
-        let (creator, parent, state) = (d.creator, d.parent, d.state);
-
-        if self.spec.model.global && !creator {
-            // G0 + U0: the creator's edge rebuilds under the original id.
-            self.recover_foreign(env, desc_id)?;
-            if let Some(d) = self.descs.get_mut(&desc_id) {
-                d.faulty = false;
-            }
-            env.note_descriptor_recovered();
-            return Ok(());
-        }
-
-        // D1: parents recover root-first.
-        if let Some(p) = parent {
-            if self.descs.contains_key(&p) {
-                if self.descs.get(&p).is_some_and(|d| d.faulty) {
-                    env.note_parent_first();
-                }
-                self.recover_descriptor(env, p)?;
-            } else if self.spec.records_creations {
-                env.note_parent_first();
-                self.recover_foreign(env, p)?;
-            }
-        }
-
-        let effective = self.effective_state(state);
-        let walk = match effective {
-            State::Terminated | State::Faulty | State::Init => Vec::new(),
-            s => self
-                .spec
-                .machine
-                .recovery_walk(s)
-                .map_err(|_| CallError::Service(ServiceError::NotFound))?,
-        };
-
-        if let Some((restore_fn, plan)) = self.spec.restore.clone() {
-            // Global creator: the creation step is replaced by the
-            // restore upcall, which preserves the original global id.
-            let args = self.restore_args(env, desc_id, &plan);
-            env.replay_for(&restore_fn, &args, Some(desc_id), Mechanism::R0)?;
-            if let Some(d) = self.descs.get_mut(&desc_id) {
-                d.faulty = false;
-                d.server_id = desc_id;
-            }
-            // Replay any post-creation steps of the walk.
-            self.replay_walk(env, desc_id, &walk, 1)?;
-        } else {
-            if let Some(d) = self.descs.get_mut(&desc_id) {
-                d.faulty = false;
-            }
-            self.replay_walk(env, desc_id, &walk, 0)?;
-        }
-        env.note_descriptor_recovered();
-        Ok(())
+        self.interp().recover_descriptor(env, desc_id)
     }
 
     fn mark_faulty(&mut self) {
-        for d in self.descs.values_mut() {
-            d.faulty = true;
-        }
+        self.interp().mark_faulty();
     }
 
     fn recover_all(&mut self, env: &mut StubEnv<'_>) -> Result<(), CallError> {
-        let ids: Vec<i64> = self
-            .descs
-            .iter()
-            .filter(|(_, d)| d.faulty)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in ids {
-            match self.recover_descriptor(env, id) {
-                Ok(()) => {}
-                // The descriptor no longer exists anywhere authoritative
-                // (freed by another client before the fault): drop the
-                // stale tracking record instead of aborting the eager
-                // pass.
-                Err(CallError::Service(ServiceError::NotFound)) => {
-                    self.descs.remove(&id);
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(())
+        self.interp().recover_all(env)
     }
 
     fn tracked_count(&self) -> usize {

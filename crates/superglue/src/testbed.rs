@@ -506,7 +506,7 @@ mod tests {
                 t,
                 fs,
                 "twrite",
-                &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![1, 2, 3])],
+                &[Value::Int(1), Value::Int(fd), Value::from(vec![1, 2, 3])],
             )
             .unwrap();
         tb.runtime.inject_fault(fs);
@@ -523,7 +523,7 @@ mod tests {
                 &[Value::Int(1), Value::Int(fd), Value::Int(10)],
             )
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![]));
+        assert_eq!(r, Value::from(vec![]));
         // And the persisted data survives (G1): rewind and read.
         tb.runtime
             .interface_call(
@@ -544,7 +544,7 @@ mod tests {
                 &[Value::Int(1), Value::Int(fd), Value::Int(10)],
             )
             .unwrap();
-        assert_eq!(r, Value::Bytes(vec![1, 2, 3]));
+        assert_eq!(r, Value::from(vec![1, 2, 3]));
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl Service for ApacheService {
                     Err(_) => Response::not_found(),
                 };
                 self.requests_served += 1;
-                Ok(Value::Bytes(resp.to_bytes()))
+                Ok(Value::from(resp.to_bytes()))
             }
             other => Err(ServiceError::NoSuchFunction(other.to_owned())),
         }

@@ -310,7 +310,7 @@ fn setup_site(
                 &[
                     Value::from(app.0),
                     Value::Int(fd),
-                    Value::Bytes(vec![b'x'; 1024]),
+                    Value::from(vec![b'x'; 1024]),
                 ],
             )
             .expect("twrite");

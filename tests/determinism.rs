@@ -6,7 +6,12 @@
 //! and results are merged in shard order, so `--jobs 1` and `--jobs 8`
 //! may differ only in wall-clock time.
 
-use composite::{parallel_map_indexed, shards_to_chrome, shards_to_jsonl};
+use composite::{
+    parallel_map_indexed, shards_to_chrome, shards_to_jsonl, InterfaceCall as _, KernelAccess as _,
+    MetricsSnapshot, SimTime, TraceShard,
+};
+use sg_bench::{rig, Rig, SERVICES};
+use sg_c3::RecoveryStats;
 use sg_swifi::{run_campaign_parallel, CampaignConfig};
 use sg_webserver::{run_fig7_rep, Fig7Config, WebVariant};
 use superglue::testbed::Variant;
@@ -114,5 +119,127 @@ fn fig7_repetitions_identical_across_jobs() {
             .iter()
             .any(|r| r.series.buckets() != serial[0].series.buckets()),
         "phase-shifted repetitions should not all be identical"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Hot-path invariance: the compiled-dispatch/slab/cheap-clone rewrite of
+// the invoke path may change only wall-clock time. These tests pin the
+// observable results of the Fig 6(a) workload — counters, virtual time,
+// tracked-descriptor population, and the byte-exact trace — so any
+// future interpreter "optimization" that changes behavior fails loudly.
+// ---------------------------------------------------------------------
+
+/// Run the Fig 6(a) micro-workload for every service on a fresh rig with
+/// tracing enabled, plus one fault/recovery cycle per service, and
+/// return everything a benchmark could observe.
+fn fig6_observables(variant: Variant) -> (MetricsSnapshot, RecoveryStats, SimTime, String) {
+    let mut r: Rig = rig(variant);
+    r.tb.runtime.kernel_mut().enable_tracing(1 << 20);
+    for iface in SERVICES {
+        for seq in 0..50 {
+            r.run_iteration(iface, seq);
+        }
+    }
+    if variant != Variant::Bare {
+        // Bare has no stubs: a fault would simply surface. Exercise the
+        // recovery path only under the protected variants.
+        for iface in SERVICES {
+            let (c, t, svc, f, a) = r.setup_recovery_victim(iface);
+            r.tb.runtime.inject_fault(svc);
+            r.tb.runtime
+                .interface_call(c, t, svc, f, &a)
+                .expect("victim recovers");
+        }
+    }
+    let snap = MetricsSnapshot::from_kernel(r.tb.runtime.kernel());
+    let stats = r.tb.runtime.stats().clone();
+    let now = r.tb.runtime.kernel().now();
+    let mut shard = TraceShard::labeled("determinism/fig6");
+    shard.absorb(r.tb.runtime.kernel_mut().take_trace(&shard.label.clone()));
+    let jsonl = shards_to_jsonl(std::slice::from_ref(&shard));
+    (snap, stats, now, jsonl)
+}
+
+#[test]
+fn fig6_workload_results_identical_across_reruns() {
+    for variant in [Variant::Bare, Variant::C3, Variant::SuperGlue] {
+        let (snap_a, stats_a, now_a, trace_a) = fig6_observables(variant);
+        let (snap_b, stats_b, now_b, trace_b) = fig6_observables(variant);
+        assert_eq!(
+            snap_a, snap_b,
+            "{variant:?}: metrics must not depend on the run"
+        );
+        assert_eq!(
+            stats_a, stats_b,
+            "{variant:?}: recovery stats must not depend on the run"
+        );
+        assert_eq!(now_a, now_b, "{variant:?}: virtual time must be replayable");
+        assert_eq!(
+            trace_a, trace_b,
+            "{variant:?}: the flight-recorder dump must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn table2_campaign_rows_identical_across_reruns() {
+    let cfg = CampaignConfig {
+        variant: Variant::SuperGlue,
+        injections: 50,
+        seed: 0x7AB1_E002,
+        ..CampaignConfig::default()
+    };
+    let a = run_campaign_parallel("evt", &cfg, 2);
+    let b = run_campaign_parallel("evt", &cfg, 2);
+    assert_eq!(a.row, b.row, "Table II rows must be rerun-stable");
+    assert_eq!(
+        a.metrics.to_json_lines("campaign/evt"),
+        b.metrics.to_json_lines("campaign/evt"),
+        "Table II metrics dump must be byte-identical across reruns"
+    );
+}
+
+#[test]
+fn fig7_series_identical_across_reruns() {
+    let cfg = Fig7Config {
+        duration: composite::SimTime::from_secs(2),
+        fault_period: composite::SimTime::from_secs(1),
+        repetitions: 1,
+        seed: 0xF167_0008,
+        ..Fig7Config::default()
+    };
+    let a = run_fig7_rep(WebVariant::SuperGlue { faults: true }, &cfg, 0);
+    let b = run_fig7_rep(WebVariant::SuperGlue { faults: true }, &cfg, 0);
+    assert_eq!(a.series.buckets(), b.series.buckets());
+    assert_eq!(a.total_requests, b.total_requests);
+    assert_eq!(a.faults_injected, b.faults_injected);
+    assert_eq!(a.unrecovered, b.unrecovered);
+    assert_eq!(a.metrics, b.metrics);
+}
+
+/// The committed flight-recorder golden must be reproduced byte-for-byte
+/// by today's hot path (same fixed episode as
+/// `flight_recorder::golden_episode_snapshot`, re-asserted here so the
+/// perf suite fails even when run in isolation).
+#[test]
+fn flight_recorder_golden_unchanged_by_hot_path() {
+    let mut r: Rig = rig(Variant::SuperGlue);
+    r.tb.runtime.kernel_mut().enable_tracing(1 << 20);
+    let (c, t, svc, f, a) = r.setup_recovery_victim("evt");
+    r.tb.runtime.inject_fault(svc);
+    r.tb.runtime
+        .interface_call(c, t, svc, f, &a)
+        .expect("recovery succeeds");
+    let mut shard = TraceShard::labeled("golden/evt/superglue");
+    shard.absorb(r.tb.runtime.kernel_mut().take_trace(&shard.label.clone()));
+    let actual = shards_to_jsonl(std::slice::from_ref(&shard));
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/flight_recorder_episode.jsonl");
+    let expected = std::fs::read_to_string(&path).expect("golden exists");
+    assert_eq!(
+        actual, expected,
+        "hot-path changes must leave the recovery episode byte-identical \
+         (regenerate intentionally via the flight_recorder test's UPDATE_GOLDEN=1)"
     );
 }

@@ -225,7 +225,7 @@ fn descriptor_state_survives_recovery_exactly() {
                 t,
                 fs,
                 "twrite",
-                &[Value::Int(1), Value::Int(fd), Value::Bytes(vec![round])],
+                &[Value::Int(1), Value::Int(fd), Value::from(vec![round])],
             )
             .unwrap();
         tb.runtime.inject_fault(fs);
@@ -243,7 +243,7 @@ fn descriptor_state_survives_recovery_exactly() {
             .unwrap();
         assert_eq!(
             r,
-            Value::Bytes(vec![]),
+            Value::from(vec![]),
             "offset restored to EOF after round {round}"
         );
     }
@@ -268,7 +268,7 @@ fn descriptor_state_survives_recovery_exactly() {
         .unwrap();
     assert_eq!(
         r,
-        Value::Bytes(vec![0, 1, 2]),
+        Value::from(vec![0, 1, 2]),
         "contents accumulated across three recoveries"
     );
 }
