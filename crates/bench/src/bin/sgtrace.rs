@@ -59,6 +59,9 @@ struct Ev {
     desc: Option<i64>,
     outcome: Option<String>,
     attributed: Option<u64>,
+    /// Nesting depth of a correlated fault (present only when > 0).
+    depth: Option<u64>,
+    until: Option<u64>,
 }
 
 impl Ev {
@@ -81,6 +84,8 @@ impl Ev {
             desc: j.get("desc").and_then(Json::as_i64),
             outcome: j.get("outcome").and_then(Json::as_str).map(str::to_owned),
             attributed: j.get("attributed").and_then(Json::as_u64),
+            depth: j.get("depth").and_then(Json::as_u64),
+            until: j.get("until").and_then(Json::as_u64),
         })
     }
 }
@@ -154,6 +159,10 @@ struct Episode {
     walk_steps: Vec<(Option<i64>, String, String)>,
     /// Mechanism firings inside the episode: mech -> total n.
     mech_counts: BTreeMap<String, u64>,
+    /// Nesting depth at open time: 0 for a top-level fault, >0 for a
+    /// correlated fault raised while this component's recovery was
+    /// already in flight (a child in the episode tree).
+    depth: usize,
     closed: bool,
 }
 
@@ -167,33 +176,38 @@ fn bucket_of(ev: &Ev) -> String {
     }
 }
 
-/// Linear scan: a `fault` on component `c` opens `c`'s episode, the next
-/// `episode_end` on `c` closes it; timed events on `c` accumulate into
-/// the open episode exactly as the kernel-side recorder attributes them.
+/// Linear scan mirroring the kernel-side recorder: a `fault` on
+/// component `c` pushes an episode on `c`'s stack (a correlated fault
+/// mid-recovery pushes a *child*), each `episode_end` on `c` pops the
+/// innermost, and timed events on `c` accumulate into the innermost open
+/// episode alone — so attribution conservation holds independently for
+/// every node of the episode tree.
 fn episodes_of(shard: &Shard) -> Vec<Episode> {
-    let mut open: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut open: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
     let mut eps: Vec<Episode> = Vec::new();
     for ev in &shard.events {
         match ev.kind.as_str() {
             "fault" => {
+                let stack = open.entry(ev.comp).or_default();
                 let idx = eps.len();
                 eps.push(Episode {
                     component: comp_name(shard, ev.comp).to_owned(),
                     start: ev.ts,
                     end: ev.ts,
+                    depth: stack.len(),
                     ..Episode::default()
                 });
-                open.insert(ev.comp, idx);
+                stack.push(idx);
             }
             "episode_end" => {
-                if let Some(idx) = open.remove(&ev.comp) {
+                if let Some(idx) = open.get_mut(&ev.comp).and_then(Vec::pop) {
                     eps[idx].attributed = ev.attributed.unwrap_or(0);
                     eps[idx].end = ev.ts;
                     eps[idx].closed = true;
                 }
             }
             _ => {
-                if let Some(&idx) = open.get(&ev.comp) {
+                if let Some(&idx) = open.get(&ev.comp).and_then(|s| s.last()) {
                     let ep = &mut eps[idx];
                     if ev.dur > 0 {
                         ep.resummed += ev.dur;
@@ -275,12 +289,17 @@ fn cmd_timeline(path: &str) -> Result<ExitCode, String> {
                 mismatches += 1;
                 "MISMATCH"
             };
+            // Children of the episode tree print indented under their
+            // parent fault (the preceding shallower episode).
+            let tag = if ep.depth > 0 { " nested" } else { "" };
             println!(
-                "  #{i:<3} {:<8} fault@{:>12.1}us  attributed {:>10.1}us  | {} | {check}",
+                "  {:indent$}#{i:<3} {:<8}{tag} fault@{:>12.1}us  attributed {:>10.1}us  | {} | {check}",
+                "",
                 ep.component,
                 us(ep.start),
                 us(ep.attributed),
                 buckets_line(ep),
+                indent = ep.depth * 2,
             );
             if check == "MISMATCH" {
                 println!(
@@ -322,7 +341,20 @@ fn describe(shard: &Shard, ev: &Ev) -> String {
     let comp = comp_name(shard, ev.comp);
     let f = || ev.function.as_deref().unwrap_or("?");
     match ev.kind.as_str() {
-        "fault" => format!("FAULT {comp}"),
+        "fault" => match ev.depth {
+            Some(d) if d > 0 => format!("FAULT {comp} (nested x{d})"),
+            _ => format!("FAULT {comp}"),
+        },
+        "watchdog" => format!("WATCHDOG {comp} (hang detected)"),
+        "degraded" => format!(
+            "{comp} marked degraded until {:.1}us",
+            us(ev.until.unwrap_or(0))
+        ),
+        "cold_restart" => format!(
+            "cold restart {comp} -> epoch {} ({:.1}us)",
+            ev.epoch,
+            us(ev.dur)
+        ),
         "reboot" => format!("reboot {comp} -> epoch {} ({:.1}us)", ev.epoch, us(ev.dur)),
         "walk_step" => format!(
             "{} replay {comp}.{}{} ({:.1}us)",
@@ -409,10 +441,13 @@ fn cmd_tree(path: &str) -> Result<ExitCode, String> {
                 (ev.ts, ev.span)
             });
         }
+        // Only parentless faults root a tree: a nested (correlated)
+        // fault carries a causal parent and prints indented inside the
+        // episode it interrupted.
         let faults: Vec<u64> = shard
             .events
             .iter()
-            .filter(|e| e.kind == "fault")
+            .filter(|e| e.kind == "fault" && e.parent.is_none())
             .map(|e| e.span)
             .collect();
         if faults.is_empty() {

@@ -16,15 +16,28 @@
 //! * `--trace PATH` — record a flight-recorder trace of every shard:
 //!   JSON-lines at PATH (analyze with `sgtrace`) plus a Chrome
 //!   trace_event rendering at PATH.chrome.json (open in Perfetto).
-//!   Byte-identical for every `--jobs` value.
+//!   Byte-identical for every `--jobs` value;
+//! * `--correlated` — run the Table II-B correlated-fault campaign
+//!   instead: every service under the `burst`, `during-recovery`, and
+//!   `cascade` regimes, with the degraded / watchdog-detected /
+//!   nested-recovered columns.
 
 use std::time::Instant;
 
 use composite::{default_jobs, parallel_map_indexed, Json};
-use sg_swifi::{merge_shards, run_shard, shard_sizes, CampaignConfig, CampaignResult};
+use sg_swifi::{
+    merge_shards, run_shard, shard_sizes, CampaignConfig, CampaignMode, CampaignResult,
+};
 use superglue::testbed::Variant;
 
 const IFACES: [&str; 6] = ["sched", "mm", "fs", "lock", "evt", "tmr"];
+
+/// The Table II-B correlated regimes, in output order.
+const MODES: [(&str, CampaignMode); 3] = [
+    ("burst", CampaignMode::Burst { flips: 3 }),
+    ("during-recovery", CampaignMode::DuringRecovery),
+    ("cascade", CampaignMode::Cascade),
+];
 
 fn main() {
     let mut cfg = CampaignConfig::default();
@@ -32,9 +45,11 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut jobs = default_jobs();
+    let mut correlated = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--correlated" => correlated = true,
             "--injections" => {
                 cfg.injections = args
                     .next()
@@ -66,6 +81,10 @@ fn main() {
             other => panic!("unknown argument {other:?}"),
         }
     }
+    if let Err(e) = cfg.validate() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
 
     let variant_name = match cfg.variant {
         Variant::SuperGlue => "COMPOSITE+SuperGlue",
@@ -76,6 +95,11 @@ fn main() {
         "SWIFI fault-injection campaign: {} injections/component, seed 0x{:X}, mask 0x{:08X}, {variant_name}, {jobs} jobs",
         cfg.injections, cfg.seed, cfg.fault_mask,
     );
+
+    if correlated {
+        run_correlated(&cfg, jobs, json_path, metrics_path, trace_path);
+        return;
+    }
 
     // Flatten every (service, shard) pair into one task pool so all
     // workers stay busy across service boundaries, then merge per
@@ -149,6 +173,104 @@ fn main() {
         let shards: Vec<_> = results
             .iter()
             .flat_map(|r| r.trace.iter().cloned())
+            .collect();
+        sg_bench::write_trace(&path, &shards);
+    }
+}
+
+/// The Table II-B campaign: every (mode, service, shard) triple in one
+/// flattened task pool, merged per (mode, service) in shard order —
+/// byte-identical output for any `--jobs` value.
+fn run_correlated(
+    cfg: &CampaignConfig,
+    jobs: usize,
+    json_path: Option<String>,
+    metrics_path: Option<String>,
+    trace_path: Option<String>,
+) {
+    let shards_per_iface = shard_sizes(cfg.injections).len();
+    let per_mode = IFACES.len() * shards_per_iface;
+    let start = Instant::now();
+    let shard_results = parallel_map_indexed(MODES.len() * per_mode, jobs, |task| {
+        let mut mcfg = *cfg;
+        mcfg.mode = MODES[task / per_mode].1;
+        let rest = task % per_mode;
+        run_shard(
+            IFACES[rest / shards_per_iface],
+            &mcfg,
+            rest % shards_per_iface,
+        )
+    });
+    let results: Vec<(usize, &str, CampaignResult)> = shard_results
+        .chunks(shards_per_iface)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let iface = IFACES[i % IFACES.len()];
+            (i / IFACES.len(), iface, merge_shards(iface, chunk.iter()))
+        })
+        .collect();
+    let elapsed = start.elapsed();
+
+    for (mode_i, (mode_name, mode)) in MODES.iter().enumerate() {
+        let regime = match mode {
+            CampaignMode::Burst { flips } => format!("{mode_name} ({flips} flips/injection)"),
+            _ => (*mode_name).to_owned(),
+        };
+        println!();
+        println!("Table II-B (correlated faults) — regime: {regime}");
+        println!("{}", sg_swifi::CampaignRow::correlated_header());
+        for (_, _, r) in results.iter().filter(|(m, _, _)| *m == mode_i) {
+            println!("{}", r.row.correlated_line());
+        }
+    }
+    println!();
+    println!("wall clock: {:.2}s ({jobs} jobs)", elapsed.as_secs_f64());
+
+    if let Some(path) = json_path {
+        let rows: Vec<Json> = results
+            .iter()
+            .map(|(mode_i, _, r)| {
+                let mut j = Json::object();
+                j.push("mode", MODES[*mode_i].0)
+                    .push("component", r.row.component.as_str())
+                    .push("injected", r.row.injected)
+                    .push("recovered", r.row.recovered)
+                    .push("segfault", r.row.segfault)
+                    .push("propagated", r.row.propagated)
+                    .push("other", r.row.other)
+                    .push("undetected", r.row.undetected)
+                    .push("degraded", r.row.degraded)
+                    .push("watchdog_detected", r.row.watchdog_detected)
+                    .push("nested_recovered", r.row.nested_recovered)
+                    .push("success_rate", r.row.success_rate());
+                j
+            })
+            .collect();
+        std::fs::write(&path, Json::Array(rows).to_pretty()).expect("write json");
+        println!("rows written to {path}");
+    }
+
+    if let Some(path) = metrics_path {
+        let variant = match cfg.variant {
+            Variant::SuperGlue => "superglue",
+            Variant::C3 => "c3",
+            Variant::Bare => "bare",
+        };
+        let mut out = String::new();
+        for (mode_i, iface, r) in &results {
+            out.push_str(
+                &r.metrics
+                    .to_json_lines(&format!("table2b/{}/{iface}/{variant}", MODES[*mode_i].0)),
+            );
+        }
+        std::fs::write(&path, out).expect("write metrics");
+        println!("metrics written to {path}");
+    }
+
+    if let Some(path) = trace_path {
+        let shards: Vec<_> = results
+            .iter()
+            .flat_map(|(_, _, r)| r.trace.iter().cloned())
             .collect();
         sg_bench::write_trace(&path, &shards);
     }

@@ -32,6 +32,9 @@ pub struct RecoveryStats {
     /// Invalid state-machine branches attempted (fault *detection*,
     /// §III-B).
     pub invalid_transitions: u64,
+    /// Child recovery episodes opened because a fault landed while a
+    /// replay walk or eager recovery was already in flight.
+    pub nested_recoveries: u64,
     /// Total virtual time spent in recovery, per server component.
     pub recovery_time: BTreeMap<u32, SimTime>,
 }
@@ -134,10 +137,15 @@ impl StubEnv<'_> {
     ) -> Result<Value, CallError> {
         let scope = self.kernel.trace_open(self.server);
         let cost = self.kernel.costs().recovery_step;
+        // Bracket the step as in-flight recovery so a fault injected
+        // here (correlated fault) opens a *child* episode instead of
+        // clobbering the parent's accounting.
+        self.kernel.begin_recovery(self.server);
         self.kernel.charge(cost);
         self.stats.add_recovery_time(self.server, cost);
         self.stats.walk_steps_replayed += 1;
         let r = self.invoke(fname, args);
+        self.kernel.end_recovery(self.server);
         self.kernel.trace_close(
             scope,
             self.server,
@@ -195,6 +203,14 @@ impl StubEnv<'_> {
         if !self.kernel.is_faulty(self.server) {
             return Ok(false);
         }
+        if self.kernel.is_degraded(self.server) {
+            // Reboot-storm escalation marked the server degraded: fail
+            // fast instead of burning the retry budget on reboots the
+            // booter will supersede with a cold restart.
+            return Err(CallError::Degraded {
+                component: self.server,
+            });
+        }
         if self.retries_left == 0 {
             self.stats.unrecovered += 1;
             return Err(CallError::Fault {
@@ -208,11 +224,12 @@ impl StubEnv<'_> {
         // [`crate::FtRuntime::inject_fault`] accumulates the stat.
 
         let before = self.kernel.now();
-        self.kernel
-            .micro_reboot(self.server)
-            .map_err(|_| CallError::Fault {
-                component: self.server,
-            })?;
+        self.kernel.begin_recovery(self.server);
+        let rebooted = self.kernel.micro_reboot(self.server);
+        self.kernel.end_recovery(self.server);
+        rebooted.map_err(|_| CallError::Fault {
+            component: self.server,
+        })?;
         self.stats.faults_handled += 1;
         let took = self.kernel.now().saturating_sub(before);
         self.stats.add_recovery_time(self.server, took);
@@ -313,6 +330,7 @@ impl StubEnv<'_> {
         let u0_span = self.kernel.count_upcall(self.server, self.thread);
         self.stats.upcalls += 1;
         self.kernel.trace_push_scope(u0_span);
+        self.kernel.begin_recovery(self.server);
         let mut inner = StubEnv {
             kernel: self.kernel,
             stubs: self.stubs,
@@ -325,6 +343,7 @@ impl StubEnv<'_> {
         };
         let r = stub.recover_descriptor(&mut inner, desc);
         self.stubs.insert(creator, self.server, stub);
+        self.kernel.end_recovery(self.server);
         self.kernel.trace_pop_scope(u0_span);
         r
     }

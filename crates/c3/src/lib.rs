@@ -27,5 +27,5 @@ pub mod stub;
 pub mod stubs;
 
 pub use env::{RecoveryStats, StubEnv};
-pub use runtime::{FtRuntime, RecoveryPolicy, RuntimeConfig};
+pub use runtime::{FtRuntime, RecoveryPolicy, RuntimeConfig, MAX_NESTED_RECOVERY};
 pub use stub::{InterfaceStub, StubVerdict};

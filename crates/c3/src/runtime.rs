@@ -9,7 +9,8 @@
 //! predictable recovery mechanisms of C³").
 
 use composite::{
-    CallError, ComponentId, EdgeMap, InterfaceCall, Kernel, KernelAccess, ThreadId, Value,
+    CallError, ComponentId, EdgeMap, EscalationPolicy, InterfaceCall, Kernel, KernelAccess,
+    ThreadId, Value,
 };
 
 use crate::env::{RecoveryStats, StubEnv};
@@ -37,6 +38,9 @@ pub struct RuntimeConfig {
     pub storage: Option<ComponentId>,
     /// Fault-handling retry budget per call.
     pub max_retries: u32,
+    /// Reboot-storm escalation policy, installed into the kernel at
+    /// construction. Disabled by default (classic C³ behaviour).
+    pub escalation: EscalationPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -45,9 +49,15 @@ impl Default for RuntimeConfig {
             policy: RecoveryPolicy::OnDemand,
             storage: None,
             max_retries: 3,
+            escalation: EscalationPolicy::disabled(),
         }
     }
 }
+
+/// Depth bound for re-entrant eager recovery: a correlated fault during
+/// an eager sweep opens at most this many child recovery episodes before
+/// the fault is surfaced to the caller.
+pub const MAX_NESTED_RECOVERY: u32 = 4;
 
 /// The fault-tolerant system: a kernel plus interface stubs on every
 /// protected (client, server) edge.
@@ -62,7 +72,8 @@ pub struct FtRuntime {
 impl FtRuntime {
     /// Wrap a kernel with an empty edge map.
     #[must_use]
-    pub fn new(kernel: Kernel, config: RuntimeConfig) -> Self {
+    pub fn new(mut kernel: Kernel, config: RuntimeConfig) -> Self {
+        kernel.set_escalation(config.escalation);
         Self {
             kernel,
             stubs: EdgeMap::new(),
@@ -161,27 +172,76 @@ impl FtRuntime {
 
     /// Recover every descriptor of every edge of `server` right now.
     fn eager_recover(&mut self, server: ComponentId, thread: ThreadId) -> Result<(), CallError> {
-        // clients_of is ascending by client id, matching the former
-        // BTreeMap key order (recovery order is observable in traces).
-        for client in self.stubs.clients_of(server) {
-            let Some(mut stub) = self.stubs.take(client, server) else {
-                continue;
-            };
-            let mut env = StubEnv {
-                kernel: &mut self.kernel,
-                stubs: &mut self.stubs,
-                stats: &mut self.stats,
-                client,
-                thread,
-                server,
-                storage: self.config.storage,
-                retries_left: self.config.max_retries,
-            };
-            let r = stub.recover_all(&mut env);
-            self.stubs.insert(client, server, stub);
-            r?;
+        self.eager_recover_depth(server, thread, 0)
+    }
+
+    /// Re-entrant eager sweep: a fault raised *while the sweep is in
+    /// flight* (a correlated fault) opens a child recovery episode — the
+    /// culprit is rebooted and the sweep restarted — instead of aborting
+    /// the parent recovery. Depth is bounded by
+    /// [`MAX_NESTED_RECOVERY`]; past that the fault surfaces.
+    fn eager_recover_depth(
+        &mut self,
+        server: ComponentId,
+        thread: ThreadId,
+        depth: u32,
+    ) -> Result<(), CallError> {
+        let mut restarts = 0u32;
+        'sweep: loop {
+            // clients_of is ascending by client id, matching the former
+            // BTreeMap key order (recovery order is observable in traces).
+            for client in self.stubs.clients_of(server) {
+                let Some(mut stub) = self.stubs.take(client, server) else {
+                    continue;
+                };
+                self.kernel.begin_recovery(server);
+                let mut env = StubEnv {
+                    kernel: &mut self.kernel,
+                    stubs: &mut self.stubs,
+                    stats: &mut self.stats,
+                    client,
+                    thread,
+                    server,
+                    storage: self.config.storage,
+                    retries_left: self.config.max_retries,
+                };
+                let r = stub.recover_all(&mut env);
+                self.kernel.end_recovery(server);
+                self.stubs.insert(client, server, stub);
+                if let Err(CallError::Fault { component }) = r {
+                    if depth >= MAX_NESTED_RECOVERY || restarts >= MAX_NESTED_RECOVERY {
+                        return r;
+                    }
+                    restarts += 1;
+                    self.stats.nested_recoveries += 1;
+                    // Child episode: reboot the culprit (which may be a
+                    // *different* component — the cascade case), recover
+                    // its edges one level deeper, then restart this sweep.
+                    self.reboot_detached(component, thread)?;
+                    if component != server {
+                        self.eager_recover_depth(component, thread, depth + 1)?;
+                    }
+                    continue 'sweep;
+                }
+                r?;
+            }
+            return Ok(());
         }
-        Ok(())
+    }
+
+    /// Reboot `server` through a detached env (no active edge).
+    fn reboot_detached(&mut self, server: ComponentId, thread: ThreadId) -> Result<(), CallError> {
+        let mut env = StubEnv {
+            kernel: &mut self.kernel,
+            stubs: &mut self.stubs,
+            stats: &mut self.stats,
+            client: composite::BOOTER,
+            thread,
+            server,
+            storage: self.config.storage,
+            retries_left: self.config.max_retries,
+        };
+        env.ensure_rebooted().map(|_| ())
     }
 }
 

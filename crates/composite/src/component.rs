@@ -65,6 +65,8 @@ pub struct ServiceCtx<'k> {
     pub client: ComponentId,
     /// The invoking thread.
     pub thread: ThreadId,
+    /// Progress ticks reported during this call (watchdog accounting).
+    pub(crate) ticks: u64,
 }
 
 impl ServiceCtx<'_> {
@@ -217,6 +219,29 @@ impl ServiceCtx<'_> {
     /// currently executing service mid-call).
     pub fn raise_fault(&mut self, component: ComponentId) {
         self.kernel.fault(component);
+    }
+
+    /// Report one unit of forward progress to the kernel watchdog.
+    ///
+    /// Long-running or loop-heavy services call this once per iteration;
+    /// when the kernel's per-invocation step budget
+    /// ([`Kernel::set_watchdog_budget`]) is exceeded, the watchdog
+    /// converts the hang into a detected fault against this component.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Unavailable`] once the watchdog has fired — the
+    /// service must unwind immediately (the kernel has already marked it
+    /// faulty, so the client observes [`CallError::Fault`]).
+    pub fn progress(&mut self) -> Result<(), ServiceError> {
+        self.ticks += 1;
+        if self
+            .kernel
+            .watchdog_tick(self.this, self.thread, self.ticks)
+        {
+            return Err(ServiceError::Unavailable);
+        }
+        Ok(())
     }
 }
 

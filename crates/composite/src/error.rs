@@ -77,6 +77,12 @@ pub enum CallError {
     /// The invocation re-entered a component already on this thread's
     /// invocation stack (the simulation forbids recursive re-entry).
     Reentrant(ComponentId),
+    /// The target component was degraded after a reboot storm: clients
+    /// fail fast until the booter's cold restart clears the mark.
+    Degraded {
+        /// The degraded component.
+        component: ComponentId,
+    },
 }
 
 impl fmt::Display for CallError {
@@ -92,6 +98,12 @@ impl fmt::Display for CallError {
             }
             CallError::NoSuchComponent(c) => write!(f, "no such component {c}"),
             CallError::Reentrant(c) => write!(f, "re-entrant invocation of {c}"),
+            CallError::Degraded { component } => {
+                write!(
+                    f,
+                    "component {component} is degraded (awaiting cold restart)"
+                )
+            }
         }
     }
 }

@@ -2,6 +2,8 @@
 //! capability-mediated synchronous invocations, simulated page tables,
 //! virtual time, faults and micro-reboots.
 
+use std::collections::{BTreeMap, VecDeque};
+
 use crate::capability::CapTable;
 use crate::component::{Service, ServiceCtx};
 use crate::error::{CallError, KernelError, ServiceError};
@@ -12,8 +14,68 @@ use crate::pages::PageTables;
 use crate::stats::KernelStats;
 use crate::thread::{Thread, ThreadState};
 use crate::time::{CostModel, SimTime};
-use crate::trace::{FlightRecorder, TraceEvent, TraceEventKind, TraceScope, TraceShard};
+use crate::trace::{
+    FlightRecorder, TraceEvent, TraceEventKind, TraceScope, TraceShard, MAX_EPISODE_DEPTH,
+};
 use crate::value::Value;
+
+/// Reboot-storm escalation policy: when the booter performs more than
+/// `max_reboots_in_window` micro-reboots of one component within
+/// `reboot_window`, the component is marked **degraded** — clients fail
+/// fast with [`CallError::Degraded`] for `degraded_cooldown`, after
+/// which the booter cold-restarts it (fresh image, cleared mark).
+/// Repeated reboots inside the window are additionally spaced by a
+/// deterministic exponential virtual-time backoff starting at
+/// `reboot_backoff`.
+///
+/// The default policy is **disabled** (`reboot_window == 0`): the
+/// established single-fault behavior — reboot immediately, as often as
+/// asked — is unchanged unless a harness opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EscalationPolicy {
+    /// Sliding window over which reboots of one component are counted
+    /// (zero disables escalation entirely).
+    pub reboot_window: SimTime,
+    /// Reboots tolerated inside the window before degradation.
+    pub max_reboots_in_window: u32,
+    /// How long a degraded component rejects clients before the booter
+    /// cold-restarts it.
+    pub degraded_cooldown: SimTime,
+    /// Base backoff charged before the second reboot in a window; doubles
+    /// per additional reboot (capped at `base << 6`).
+    pub reboot_backoff: SimTime,
+}
+
+impl EscalationPolicy {
+    /// The disabled policy (no backoff, no degradation) — the default.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        Self {
+            reboot_window: SimTime::ZERO,
+            max_reboots_in_window: 0,
+            degraded_cooldown: SimTime::ZERO,
+            reboot_backoff: SimTime::ZERO,
+        }
+    }
+
+    /// A calibrated storm policy: more than 3 reboots inside 5 ms marks
+    /// the component degraded for 50 ms; reboots back off from 10 µs.
+    #[must_use]
+    pub const fn storm_defaults() -> Self {
+        Self {
+            reboot_window: SimTime(5_000_000),
+            max_reboots_in_window: 3,
+            degraded_cooldown: SimTime(50_000_000),
+            reboot_backoff: SimTime(10_000),
+        }
+    }
+
+    /// Whether the policy does anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.reboot_window > SimTime::ZERO && self.max_reboots_in_window > 0
+    }
+}
 
 /// Lifecycle state of a component.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +116,21 @@ pub struct Kernel {
     stats: KernelStats,
     metrics: MetricsRegistry,
     trace: FlightRecorder,
+    escalation: EscalationPolicy,
+    /// Per-invocation step budget enforced by [`ServiceCtx::progress`]
+    /// (zero disables the watchdog).
+    watchdog_budget: u64,
+    /// Components whose recovery is currently in flight (innermost
+    /// last); a fault raised while this is non-empty is *nested*.
+    active_recoveries: Vec<ComponentId>,
+    /// Degraded components and the virtual time at which the booter's
+    /// cold restart clears the mark, keyed by component id.
+    degraded: BTreeMap<u32, SimTime>,
+    /// Recent reboot timestamps per component (escalation window).
+    reboot_history: BTreeMap<u32, VecDeque<SimTime>>,
+    /// One-shot fault armed to fire the moment the next recovery begins
+    /// (the SWIFI during-recovery injection hook).
+    armed_recovery_fault: Option<ComponentId>,
 }
 
 /// The booter component created by [`Kernel::new`]; it owns micro-reboot
@@ -87,6 +164,12 @@ impl Kernel {
             stats: KernelStats::new(),
             metrics: MetricsRegistry::default(),
             trace: FlightRecorder::default(),
+            escalation: EscalationPolicy::disabled(),
+            watchdog_budget: 0,
+            active_recoveries: Vec::new(),
+            degraded: BTreeMap::new(),
+            reboot_history: BTreeMap::new(),
+            armed_recovery_fault: None,
         };
         let booter = k.add_client_component("booter");
         debug_assert_eq!(booter, BOOTER);
@@ -404,6 +487,124 @@ impl Kernel {
     }
 
     // ------------------------------------------------------------------
+    // Correlated-fault hardening: escalation, watchdog, nested recovery
+    // ------------------------------------------------------------------
+
+    /// Install a reboot-storm [`EscalationPolicy`] (disabled by default).
+    pub fn set_escalation(&mut self, policy: EscalationPolicy) {
+        self.escalation = policy;
+    }
+
+    /// The active escalation policy.
+    #[must_use]
+    pub fn escalation(&self) -> &EscalationPolicy {
+        &self.escalation
+    }
+
+    /// Arm the per-invocation watchdog: a service that calls
+    /// [`ServiceCtx::progress`](crate::component::ServiceCtx::progress)
+    /// more than `budget` times inside one invocation is declared hung
+    /// and converted into a detected fault. Zero disables the watchdog.
+    pub fn set_watchdog_budget(&mut self, budget: u64) {
+        self.watchdog_budget = budget;
+    }
+
+    /// The per-invocation watchdog step budget (0 = disabled).
+    #[must_use]
+    pub fn watchdog_budget(&self) -> u64 {
+        self.watchdog_budget
+    }
+
+    /// Whether `c` is currently degraded (clients fail fast until the
+    /// booter's cold restart).
+    #[must_use]
+    pub fn is_degraded(&self, c: ComponentId) -> bool {
+        self.degraded
+            .get(&c.0)
+            .is_some_and(|&until| self.time < until)
+    }
+
+    /// The virtual time at which `c`'s degraded mark clears, if marked.
+    #[must_use]
+    pub fn degraded_until(&self, c: ComponentId) -> Option<SimTime> {
+        self.degraded.get(&c.0).copied()
+    }
+
+    /// Mark the start of a recovery action (micro-reboot, walk replay,
+    /// creator upcall) on `c`. While at least one recovery is in flight,
+    /// any fault raised is *nested*: it opens a child recovery episode
+    /// instead of tearing down the in-flight one. Also the point where an
+    /// armed during-recovery fault fires (see
+    /// [`Kernel::arm_fault_during_recovery`]). Must be paired with
+    /// [`Kernel::end_recovery`].
+    pub fn begin_recovery(&mut self, c: ComponentId) {
+        self.active_recoveries.push(c);
+        if let Some(victim) = self.armed_recovery_fault {
+            // Fire only once the victim is healthy enough to fault again
+            // (an already-faulty victim keeps the fault armed for a later
+            // recovery action, e.g. the post-reboot replay walk).
+            if !self.is_faulty(victim) {
+                self.armed_recovery_fault = None;
+                self.fault(victim);
+            }
+        }
+    }
+
+    /// Close the innermost recovery action on `c` opened by
+    /// [`Kernel::begin_recovery`].
+    pub fn end_recovery(&mut self, c: ComponentId) {
+        if let Some(pos) = self.active_recoveries.iter().rposition(|&x| x == c) {
+            self.active_recoveries.remove(pos);
+        }
+    }
+
+    /// How many recovery actions are currently in flight.
+    #[must_use]
+    pub fn recovery_depth(&self) -> usize {
+        self.active_recoveries.len()
+    }
+
+    /// Whether any recovery action is in flight.
+    #[must_use]
+    pub fn recovery_active(&self) -> bool {
+        !self.active_recoveries.is_empty()
+    }
+
+    /// Arm a one-shot fault on `victim` that fires the moment the next
+    /// recovery action begins — the SWIFI `during-recovery` injection
+    /// hook (deterministic: the trigger is a simulation event, not a
+    /// timer).
+    pub fn arm_fault_during_recovery(&mut self, victim: ComponentId) {
+        self.armed_recovery_fault = Some(victim);
+    }
+
+    /// Drop an armed during-recovery fault that never fired (no recovery
+    /// action began while it was armed).
+    pub fn disarm_recovery_fault(&mut self) {
+        self.armed_recovery_fault = None;
+    }
+
+    /// Declare the in-flight invocation on `c` hung: counts a watchdog
+    /// fire, emits the [`TraceEventKind::WatchdogFired`] marker, and
+    /// converts the hang into a detected fail-stop fault so it enters
+    /// the ordinary recovery machinery.
+    pub fn watchdog_expire(&mut self, c: ComponentId, thread: ThreadId) {
+        self.stats.count_watchdog_fire(c);
+        self.trace_instant(c, thread, TraceEventKind::WatchdogFired);
+        self.fault(c);
+    }
+
+    /// One watchdog tick from [`ServiceCtx::progress`]: returns `true`
+    /// (and fires the watchdog) when `ticks` exceeds the armed budget.
+    pub(crate) fn watchdog_tick(&mut self, c: ComponentId, thread: ThreadId, ticks: u64) -> bool {
+        if self.watchdog_budget == 0 || ticks <= self.watchdog_budget {
+            return false;
+        }
+        self.watchdog_expire(c, thread);
+        true
+    }
+
+    // ------------------------------------------------------------------
     // Flight recorder
     // ------------------------------------------------------------------
 
@@ -602,6 +803,18 @@ impl Kernel {
         if !self.caps.allows(client, target) {
             return Err(CallError::NoCapability { client, target });
         }
+        if let Some(&until) = self.degraded.get(&target.0) {
+            if self.time < until {
+                // Fail fast while the degraded cooldown holds: no thread
+                // migration, no recovery work, just a cheap rejection.
+                self.stats.count_degraded_rejection(target);
+                return Err(CallError::Degraded { component: target });
+            }
+            // Cooldown elapsed: the booter performs the cold restart
+            // that clears the mark, then the call proceeds normally.
+            self.cold_restart(target)
+                .map_err(|_| CallError::NoSuchComponent(target))?;
+        }
         if self.components[target.0 as usize].state == ComponentState::Faulty {
             self.stats.count_faulted_invocation(target);
             if self.trace.is_enabled() {
@@ -687,6 +900,7 @@ impl Kernel {
             this: target,
             client,
             thread,
+            ticks: 0,
         };
         let result = service.call(&mut ctx, fname, args);
         self.components[target.0 as usize].service = Some(service);
@@ -704,6 +918,12 @@ impl Kernel {
                 }
             }
             Err(ServiceError::WouldBlock) => Err(CallError::WouldBlock),
+            // A service error from a now-faulty server means the fault
+            // interrupted the call (e.g. the watchdog fired mid-call):
+            // surface the inter-component exception so stubs recover.
+            Err(_) if self.components[target.0 as usize].state == ComponentState::Faulty => {
+                Err(CallError::Fault { component: target })
+            }
             Err(e) => Err(CallError::Service(e)),
         };
         if let Some(enter) = enter_span {
@@ -805,6 +1025,12 @@ impl Kernel {
     /// Crash a component (fail-stop). Every thread blocked inside it is
     /// made runnable so its retried invocation observes the fault and
     /// enters recovery; the number of threads so woken is returned.
+    ///
+    /// A fault raised while a recovery action is in flight (see
+    /// [`Kernel::begin_recovery`]) is **nested**: instead of closing the
+    /// in-flight episode it opens a *child* episode — parented into the
+    /// recovery tree, carrying its nesting depth, bounded by
+    /// [`MAX_EPISODE_DEPTH`] — and bumps the nested-fault counter.
     pub fn fault(&mut self, c: ComponentId) -> u64 {
         let Some(slot) = self.components.get_mut(c.0 as usize) else {
             return 0;
@@ -812,20 +1038,36 @@ impl Kernel {
         slot.state = ComponentState::Faulty;
         let epoch = slot.epoch;
         self.stats.count_fault(c);
-        // The fault roots a new recovery episode: close any episode
-        // still open from the previous fault of this component first.
+        let nested = !self.active_recoveries.is_empty();
+        if nested {
+            self.stats.count_nested_fault(c);
+        }
         let fault_span = if self.trace.is_enabled() {
-            self.trace.end_episode(c, epoch, self.time, BOOT_THREAD);
+            let (parent, depth) = if nested {
+                // Keep the in-flight episode open; the new fault becomes
+                // a child in the episode tree. Clamp the stack depth by
+                // force-closing the innermost episode first.
+                if self.trace.episode_depth(c) >= MAX_EPISODE_DEPTH {
+                    self.trace.end_episode(c, epoch, self.time, BOOT_THREAD);
+                }
+                (self.trace.causal_parent(c), self.trace.episode_depth(c))
+            } else {
+                // The fault roots a new top-level episode: close any
+                // episode still open from the previous fault of this
+                // component first.
+                self.trace.end_episode(c, epoch, self.time, BOOT_THREAD);
+                (None, 0)
+            };
             let span = self.trace.alloc_span();
             self.trace.record(TraceEvent {
                 span,
-                parent: None,
+                parent,
                 time: self.time,
                 dur: SimTime::ZERO,
                 thread: BOOT_THREAD,
                 component: c,
                 epoch,
-                kind: TraceEventKind::FaultInjected,
+                kind: TraceEventKind::FaultInjected { depth },
             });
             self.trace.begin_episode(c, span);
             Some(span)
@@ -874,16 +1116,94 @@ impl Kernel {
         slot.state = ComponentState::Active;
         let scope = self.trace_open(c);
         self.time += self.costs.micro_reboot;
+        let mut mark_degraded = None;
+        if self.escalation.is_enabled() {
+            // Lazily drop an expired degraded mark (the booter's cold
+            // restart supersedes it) so history restarts clean.
+            if self
+                .degraded
+                .get(&c.0)
+                .is_some_and(|&until| self.time >= until)
+            {
+                self.degraded.remove(&c.0);
+                self.reboot_history.remove(&c.0);
+            }
+            let window = self.escalation.reboot_window;
+            let hist = self.reboot_history.entry(c.0).or_default();
+            let window_start = self.time.saturating_sub(window);
+            while hist.front().is_some_and(|&t0| t0 < window_start) {
+                hist.pop_front();
+            }
+            let prior = hist.len() as u32;
+            if prior > 0 {
+                // Deterministic exponential backoff from the second
+                // reboot in the window, capped at base << 6.
+                let backoff = SimTime(self.escalation.reboot_backoff.0 << (prior - 1).min(6));
+                self.time += backoff;
+            }
+            let now = self.time;
+            let hist = self.reboot_history.entry(c.0).or_default();
+            hist.push_back(now);
+            if hist.len() as u32 > self.escalation.max_reboots_in_window {
+                hist.clear();
+                mark_degraded = Some(now + self.escalation.degraded_cooldown);
+            }
+        }
         self.stats.count_reboot(c);
         let mut ctx = ServiceCtx {
             kernel: self,
             this: c,
             client: BOOTER,
             thread: BOOT_THREAD,
+            ticks: 0,
         };
         service.post_reboot(&mut ctx);
         self.components[c.0 as usize].service = Some(service);
         self.trace_close(scope, c, BOOT_THREAD, TraceEventKind::Reboot);
+        if let Some(until) = mark_degraded {
+            self.degraded.insert(c.0, until);
+            self.trace_instant(c, BOOT_THREAD, TraceEventKind::DegradedMarked { until });
+        }
+        Ok(())
+    }
+
+    /// Booter cold restart: the escalation endpoint that clears a
+    /// degraded mark. Identical to [`Kernel::micro_reboot`] mechanically
+    /// (pristine image, epoch bump, post-reboot upcall) but counted and
+    /// traced separately, resets the storm history, and never re-enters
+    /// escalation accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchComponent`] when `c` does not name a service
+    /// component.
+    pub fn cold_restart(&mut self, c: ComponentId) -> Result<(), KernelError> {
+        let slot = self
+            .components
+            .get_mut(c.0 as usize)
+            .ok_or(KernelError::NoSuchComponent(c))?;
+        if !slot.has_service {
+            return Err(KernelError::NoSuchComponent(c));
+        }
+        let mut service = slot.service.take().ok_or(KernelError::NoSuchComponent(c))?;
+        service.reset();
+        slot.epoch = slot.epoch.next();
+        slot.state = ComponentState::Active;
+        self.degraded.remove(&c.0);
+        self.reboot_history.remove(&c.0);
+        let scope = self.trace_open(c);
+        self.time += self.costs.micro_reboot;
+        self.stats.count_cold_restart(c);
+        let mut ctx = ServiceCtx {
+            kernel: self,
+            this: c,
+            client: BOOTER,
+            thread: BOOT_THREAD,
+            ticks: 0,
+        };
+        service.post_reboot(&mut ctx);
+        self.components[c.0 as usize].service = Some(service);
+        self.trace_close(scope, c, BOOT_THREAD, TraceEventKind::ColdRestart);
         Ok(())
     }
 }

@@ -59,7 +59,7 @@ pub use executor::{Executor, RunExit, StepResult, Workload};
 pub use ids::{ComponentId, Epoch, FrameId, Priority, ThreadId};
 pub use intern::{DispatchTable, Interner, NameId};
 pub use json::Json;
-pub use kernel::{InterfaceCall, Kernel, KernelAccess, BOOTER, BOOT_THREAD};
+pub use kernel::{EscalationPolicy, InterfaceCall, Kernel, KernelAccess, BOOTER, BOOT_THREAD};
 pub use metrics::{
     LatencyStat, Mechanism, MetricsRegistry, MetricsRow, MetricsSnapshot, MECHANISMS,
 };
@@ -70,6 +70,6 @@ pub use thread::{RegisterFile, ThreadState, NUM_REGISTERS};
 pub use time::{CostModel, SimTime};
 pub use trace::{
     shards_to_chrome, shards_to_jsonl, FlightRecorder, TraceEvent, TraceEventKind, TraceScope,
-    TraceShard, DEFAULT_TRACE_CAPACITY,
+    TraceShard, DEFAULT_TRACE_CAPACITY, MAX_EPISODE_DEPTH,
 };
 pub use value::{ArgVec, Bytes, SmallStr, Value};

@@ -232,6 +232,10 @@ pub struct MetricsRow {
     pub faulted_invocations: u64,
     pub faults: u64,
     pub reboots: u64,
+    pub watchdog_fires: u64,
+    pub degraded_rejections: u64,
+    pub nested_faults: u64,
+    pub cold_restarts: u64,
     pub mechanisms: [u64; 8],
     pub recovery_latency: LatencyStat,
 }
@@ -242,6 +246,10 @@ impl MetricsRow {
         self.faulted_invocations += other.faulted_invocations;
         self.faults += other.faults;
         self.reboots += other.reboots;
+        self.watchdog_fires += other.watchdog_fires;
+        self.degraded_rejections += other.degraded_rejections;
+        self.nested_faults += other.nested_faults;
+        self.cold_restarts += other.cold_restarts;
         for (a, b) in self.mechanisms.iter_mut().zip(other.mechanisms.iter()) {
             *a += *b;
         }
@@ -275,6 +283,10 @@ impl MetricsSnapshot {
             row.faulted_invocations += stats.faulted_invocations.get(&c).copied().unwrap_or(0);
             row.faults += stats.faults.get(&c).copied().unwrap_or(0);
             row.reboots += stats.reboots.get(&c).copied().unwrap_or(0);
+            row.watchdog_fires += stats.watchdog_fires.get(&c).copied().unwrap_or(0);
+            row.degraded_rejections += stats.degraded_rejections.get(&c).copied().unwrap_or(0);
+            row.nested_faults += stats.nested_faults.get(&c).copied().unwrap_or(0);
+            row.cold_restarts += stats.cold_restarts.get(&c).copied().unwrap_or(0);
             if let Some(p) = kernel.metrics().component(c) {
                 for (a, b) in row.mechanisms.iter_mut().zip(p.mechanisms.iter()) {
                     *a += *b;
@@ -286,6 +298,7 @@ impl MetricsSnapshot {
         // dumps focused on services.
         rows.retain(|_, r| {
             r.invocations + r.faulted_invocations + r.faults + r.reboots > 0
+                || r.watchdog_fires + r.degraded_rejections + r.nested_faults + r.cold_restarts > 0
                 || r.mechanisms.iter().any(|&m| m > 0)
                 || r.recovery_latency.count > 0
         });
@@ -340,7 +353,11 @@ fn row_json(context: &str, name: &str, row: &MetricsRow) -> Json {
         .push("invocations", row.invocations)
         .push("faulted_invocations", row.faulted_invocations)
         .push("faults", row.faults)
-        .push("reboots", row.reboots);
+        .push("reboots", row.reboots)
+        .push("watchdog_fires", row.watchdog_fires)
+        .push("degraded_rejections", row.degraded_rejections)
+        .push("nested_faults", row.nested_faults)
+        .push("cold_restarts", row.cold_restarts);
     let mut mech = Json::object();
     for m in MECHANISMS {
         mech.push(m.name(), row.mechanisms[m.index()]);

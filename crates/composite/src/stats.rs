@@ -68,6 +68,18 @@ pub struct KernelStats {
     pub faults: CounterVec,
     /// Micro-reboots performed, per component.
     pub reboots: CounterVec,
+    /// Watchdog step-budget expirations converted into faults, per
+    /// component.
+    pub watchdog_fires: CounterVec,
+    /// Invocations rejected fast because the target was degraded, per
+    /// target.
+    pub degraded_rejections: CounterVec,
+    /// Faults raised while another recovery episode was in flight
+    /// (nested/correlated faults), per component.
+    pub nested_faults: CounterVec,
+    /// Cold restarts performed by the booter to clear a degraded mark,
+    /// per component.
+    pub cold_restarts: CounterVec,
     /// Threads blocked inside servers (WouldBlock results).
     pub blocks: u64,
     /// Thread wakeups.
@@ -115,6 +127,46 @@ impl KernelStats {
 
     pub(crate) fn count_reboot(&mut self, c: ComponentId) {
         self.reboots.bump(c);
+    }
+
+    /// Total watchdog fires across all components.
+    #[must_use]
+    pub fn total_watchdog_fires(&self) -> u64 {
+        self.watchdog_fires.values().sum()
+    }
+
+    /// Total degraded-mode fast rejections across all components.
+    #[must_use]
+    pub fn total_degraded_rejections(&self) -> u64 {
+        self.degraded_rejections.values().sum()
+    }
+
+    /// Total nested (correlated) faults across all components.
+    #[must_use]
+    pub fn total_nested_faults(&self) -> u64 {
+        self.nested_faults.values().sum()
+    }
+
+    /// Total cold restarts across all components.
+    #[must_use]
+    pub fn total_cold_restarts(&self) -> u64 {
+        self.cold_restarts.values().sum()
+    }
+
+    pub(crate) fn count_watchdog_fire(&mut self, c: ComponentId) {
+        self.watchdog_fires.bump(c);
+    }
+
+    pub(crate) fn count_degraded_rejection(&mut self, c: ComponentId) {
+        self.degraded_rejections.bump(c);
+    }
+
+    pub(crate) fn count_nested_fault(&mut self, c: ComponentId) {
+        self.nested_faults.bump(c);
+    }
+
+    pub(crate) fn count_cold_restart(&mut self, c: ComponentId) {
+        self.cold_restarts.bump(c);
     }
 }
 

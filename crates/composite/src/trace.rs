@@ -38,11 +38,16 @@
 //! [`TraceEventKind::FaultInjected`] on `c` and closes at the next fault
 //! of `c` or when the trace is drained, emitting a
 //! [`TraceEventKind::EpisodeEnd`] carrying the total simulated time
-//! attributed to the episode. Timed events (`dur > 0`: reboots, σ-walk
-//! steps, storage round trips, upcalls) accumulate into the open episode
-//! of their component; the `sgtrace timeline` analyzer independently
-//! re-sums them and checks conservation: the per-mechanism spans of an
-//! episode must account for 100% of its attributed latency.
+//! attributed to the episode. A fault raised *while a recovery is in
+//! flight* (correlated faults) instead pushes a **child episode** on the
+//! component's episode stack — bounded by [`MAX_EPISODE_DEPTH`] — and
+//! the `EpisodeEnd` pops innermost-first, so the dump forms a proper
+//! episode tree. Timed events (`dur > 0`: reboots, σ-walk steps, storage
+//! round trips, upcalls) accumulate into the *innermost* open episode of
+//! their component (no double counting across the tree); the `sgtrace
+//! timeline` analyzer independently re-sums them and checks
+//! conservation: the per-mechanism spans of an episode must account for
+//! 100% of its attributed latency.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -53,6 +58,12 @@ use crate::time::SimTime;
 
 /// Default ring capacity used by the harness `--trace` flags.
 pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// Hard bound on nested recovery-episode depth: a fault raised while a
+/// recovery is in flight opens a *child* episode, but the tree can never
+/// grow deeper than this (the kernel clamps, keeping pathological
+/// correlated-fault storms bounded and the analyzers' recursion finite).
+pub const MAX_EPISODE_DEPTH: u32 = 8;
 
 /// What one trace event records.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,8 +83,19 @@ pub enum TraceEventKind {
     /// The event's thread was made runnable again.
     Wake,
     /// A fail-stop fault was injected into the event's component. Roots
-    /// a new recovery episode.
-    FaultInjected,
+    /// a new recovery episode; `depth > 0` marks a *nested* fault raised
+    /// while another recovery episode was already in flight (the new
+    /// episode becomes a child in the episode tree).
+    FaultInjected { depth: u32 },
+    /// The kernel watchdog converted an expired per-invocation step
+    /// budget into a detected fault on the event's component.
+    WatchdogFired,
+    /// The component was marked degraded after a reboot storm; clients
+    /// fail fast until `until`, when the booter cold-restarts it.
+    DegradedMarked { until: SimTime },
+    /// The booter cold-restarted the event's component, clearing its
+    /// degraded mark.
+    ColdRestart,
     /// The booter micro-rebooted the event's component; `dur` spans the
     /// reboot cost plus the post-reboot initialization upcall.
     Reboot,
@@ -114,7 +136,10 @@ impl TraceEventKind {
             TraceEventKind::Block => "block",
             TraceEventKind::Sleep { .. } => "sleep",
             TraceEventKind::Wake => "wake",
-            TraceEventKind::FaultInjected => "fault",
+            TraceEventKind::FaultInjected { .. } => "fault",
+            TraceEventKind::WatchdogFired => "watchdog",
+            TraceEventKind::DegradedMarked { .. } => "degraded",
+            TraceEventKind::ColdRestart => "cold_restart",
             TraceEventKind::Reboot => "reboot",
             TraceEventKind::MechanismFired { .. } => "mechanism",
             TraceEventKind::WalkStep { .. } => "walk_step",
@@ -135,7 +160,10 @@ impl TraceEventKind {
     pub fn is_recovery_class(&self) -> bool {
         matches!(
             self,
-            TraceEventKind::FaultInjected
+            TraceEventKind::FaultInjected { .. }
+                | TraceEventKind::WatchdogFired
+                | TraceEventKind::DegradedMarked { .. }
+                | TraceEventKind::ColdRestart
                 | TraceEventKind::Reboot
                 | TraceEventKind::WalkStep { .. }
                 | TraceEventKind::Upcall { .. }
@@ -227,9 +255,20 @@ impl TraceEvent {
             TraceEventKind::EpisodeEnd { attributed } => {
                 j.push("attributed", attributed.0);
             }
+            TraceEventKind::FaultInjected { depth } => {
+                // Emitted only for nested faults so that the established
+                // single-fault dumps stay byte-identical.
+                if *depth > 0 {
+                    j.push("depth", *depth);
+                }
+            }
+            TraceEventKind::DegradedMarked { until } => {
+                j.push("until", until.0);
+            }
             TraceEventKind::Block
             | TraceEventKind::Wake
-            | TraceEventKind::FaultInjected
+            | TraceEventKind::WatchdogFired
+            | TraceEventKind::ColdRestart
             | TraceEventKind::Reboot => {}
         }
         j
@@ -250,6 +289,11 @@ struct Episode {
     root: u64,
     attributed: SimTime,
 }
+
+/// Per-component stack of open episodes: the last entry is the innermost
+/// (nested) episode; timed events attribute to it alone, so the episode
+/// tree conserves latency without double counting.
+type EpisodeStack = Vec<Episode>;
 
 /// The bounded event ring the kernel carries. All methods are cheap
 /// no-ops while disabled.
@@ -274,8 +318,8 @@ pub struct FlightRecorder {
     /// upcalls) — consulted before the invoke stack so that events
     /// emitted during recovery hang off the recovery tree.
     recovery_stack: Vec<u64>,
-    /// Open recovery episode per component.
-    episodes: BTreeMap<ComponentId, Episode>,
+    /// Open recovery episodes per component (innermost last).
+    episodes: BTreeMap<ComponentId, EpisodeStack>,
 }
 
 impl FlightRecorder {
@@ -334,7 +378,12 @@ impl FlightRecorder {
             .last()
             .or_else(|| self.invoke_stack.last())
             .copied()
-            .or_else(|| self.episodes.get(&c).map(|e| e.root))
+            .or_else(|| self.episodes.get(&c).and_then(|s| s.last()).map(|e| e.root))
+    }
+
+    /// Number of currently open episodes on `c` (nesting depth).
+    pub(crate) fn episode_depth(&self, c: ComponentId) -> u32 {
+        self.episodes.get(&c).map_or(0, |s| s.len() as u32)
     }
 
     /// Append an event, attributing its duration to the open episode of
@@ -342,7 +391,13 @@ impl FlightRecorder {
     /// overflow.
     pub(crate) fn record(&mut self, ev: TraceEvent) {
         if ev.dur > SimTime::ZERO {
-            if let Some(ep) = self.episodes.get_mut(&ev.component) {
+            // Attribute to the innermost open episode only — the episode
+            // tree conserves latency without double counting.
+            if let Some(ep) = self
+                .episodes
+                .get_mut(&ev.component)
+                .and_then(|s| s.last_mut())
+            {
                 ep.attributed += ev.dur;
             }
         }
@@ -370,18 +425,16 @@ impl FlightRecorder {
         tier.push_back((seq, ev));
     }
 
-    /// Open a recovery episode for `c` rooted at `root`.
+    /// Open a recovery episode for `c` rooted at `root`, pushed on top of
+    /// any episode already in flight (nested faults).
     pub(crate) fn begin_episode(&mut self, c: ComponentId, root: u64) {
-        self.episodes.insert(
-            c,
-            Episode {
-                root,
-                attributed: SimTime::ZERO,
-            },
-        );
+        self.episodes.entry(c).or_default().push(Episode {
+            root,
+            attributed: SimTime::ZERO,
+        });
     }
 
-    /// Close `c`'s open episode (if any), emitting its
+    /// Close `c`'s *innermost* open episode (if any), emitting its
     /// [`TraceEventKind::EpisodeEnd`].
     pub(crate) fn end_episode(
         &mut self,
@@ -390,27 +443,36 @@ impl FlightRecorder {
         time: SimTime,
         thread: ThreadId,
     ) {
-        if let Some(ep) = self.episodes.remove(&c) {
-            let span = self.alloc_span();
-            self.record(TraceEvent {
-                span,
-                parent: Some(ep.root),
-                time,
-                dur: SimTime::ZERO,
-                thread,
-                component: c,
-                epoch,
-                kind: TraceEventKind::EpisodeEnd {
-                    attributed: ep.attributed,
-                },
-            });
+        let Some(stack) = self.episodes.get_mut(&c) else {
+            return;
+        };
+        let Some(ep) = stack.pop() else { return };
+        if stack.is_empty() {
+            self.episodes.remove(&c);
         }
+        let span = self.alloc_span();
+        self.record(TraceEvent {
+            span,
+            parent: Some(ep.root),
+            time,
+            dur: SimTime::ZERO,
+            thread,
+            component: c,
+            epoch,
+            kind: TraceEventKind::EpisodeEnd {
+                attributed: ep.attributed,
+            },
+        });
     }
 
-    /// Components with an open episode, in id order (drained by
-    /// `Kernel::take_trace`, which must close them all).
+    /// Components with an open episode — one entry per open episode, in
+    /// id order — drained by `Kernel::take_trace`, which must close them
+    /// all (each `end_episode` call pops one nesting level).
     pub(crate) fn open_episode_components(&self) -> Vec<ComponentId> {
-        self.episodes.keys().copied().collect()
+        self.episodes
+            .iter()
+            .flat_map(|(c, s)| std::iter::repeat_n(*c, s.len()))
+            .collect()
     }
 
     /// Drain all recorded events and counters, resetting the recorder
@@ -545,7 +607,11 @@ fn chrome_name(ev: &TraceEvent, names: &[String]) -> String {
         TraceEventKind::Block => format!("block in {comp}"),
         TraceEventKind::Sleep { .. } => "sleep".to_owned(),
         TraceEventKind::Wake => format!("wake ({comp})"),
-        TraceEventKind::FaultInjected => format!("FAULT {comp}"),
+        TraceEventKind::FaultInjected { depth: 0 } => format!("FAULT {comp}"),
+        TraceEventKind::FaultInjected { depth } => format!("FAULT {comp} (nested x{depth})"),
+        TraceEventKind::WatchdogFired => format!("WATCHDOG {comp}"),
+        TraceEventKind::DegradedMarked { .. } => format!("degraded {comp}"),
+        TraceEventKind::ColdRestart => format!("cold restart {comp}"),
         TraceEventKind::Reboot => format!("reboot {comp}"),
         TraceEventKind::MechanismFired { mech, n } => format!("{} x{n} ({comp})", mech.name()),
         TraceEventKind::WalkStep { function, mech, .. } => {
@@ -649,7 +715,13 @@ mod tests {
         let mut r = FlightRecorder::default();
         r.enable(2);
         let root = r.alloc_span();
-        r.record(ev(root, None, 1, 0, TraceEventKind::FaultInjected));
+        r.record(ev(
+            root,
+            None,
+            1,
+            0,
+            TraceEventKind::FaultInjected { depth: 0 },
+        ));
         let s = r.alloc_span();
         r.record(ev(s, Some(root), 1, 40, TraceEventKind::Reboot));
         // A flood of steady-state traffic overflows the ambient tier...
@@ -662,7 +734,7 @@ mod tests {
         assert_eq!(dropped_recovery, 0);
         // ...but the fault and the timed reboot survive, in emission
         // order ahead of the retained ambient tail.
-        assert_eq!(events[0].kind, TraceEventKind::FaultInjected);
+        assert_eq!(events[0].kind, TraceEventKind::FaultInjected { depth: 0 });
         assert_eq!(events[1].kind, TraceEventKind::Reboot);
         assert_eq!(events.len(), 4);
     }
@@ -672,7 +744,13 @@ mod tests {
         let mut r = FlightRecorder::default();
         r.enable(64);
         let root = r.alloc_span();
-        r.record(ev(root, None, 3, 0, TraceEventKind::FaultInjected));
+        r.record(ev(
+            root,
+            None,
+            3,
+            0,
+            TraceEventKind::FaultInjected { depth: 0 },
+        ));
         r.begin_episode(ComponentId(3), root);
         let s = r.alloc_span();
         r.record(ev(s, Some(root), 3, 500, TraceEventKind::Reboot));
@@ -692,14 +770,80 @@ mod tests {
     }
 
     #[test]
+    fn nested_episodes_pop_innermost_first_and_attribute_to_the_top() {
+        let mut r = FlightRecorder::default();
+        r.enable(64);
+        let outer = r.alloc_span();
+        r.record(ev(
+            outer,
+            None,
+            3,
+            0,
+            TraceEventKind::FaultInjected { depth: 0 },
+        ));
+        r.begin_episode(ComponentId(3), outer);
+        let s = r.alloc_span();
+        r.record(ev(s, Some(outer), 3, 100, TraceEventKind::Reboot));
+        // A correlated fault on the same component opens a child episode.
+        let inner = r.alloc_span();
+        r.record(ev(
+            inner,
+            Some(s),
+            3,
+            0,
+            TraceEventKind::FaultInjected { depth: 1 },
+        ));
+        r.begin_episode(ComponentId(3), inner);
+        assert_eq!(r.episode_depth(ComponentId(3)), 2);
+        let s = r.alloc_span();
+        r.record(ev(s, Some(inner), 3, 40, TraceEventKind::Reboot));
+        r.end_episode(ComponentId(3), Epoch::default(), SimTime(20), ThreadId(0));
+        let s = r.alloc_span();
+        r.record(ev(s, Some(outer), 3, 7, TraceEventKind::Reboot));
+        r.end_episode(ComponentId(3), Epoch::default(), SimTime(30), ThreadId(0));
+        let (events, _, _, _) = r.drain();
+        let ends: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::EpisodeEnd { .. }))
+            .collect();
+        assert_eq!(ends.len(), 2);
+        // Innermost closes first, owning only its own timed events; the
+        // outer episode resumes accumulating after the child closes.
+        assert_eq!(ends[0].parent, Some(inner));
+        assert_eq!(
+            ends[0].kind,
+            TraceEventKind::EpisodeEnd {
+                attributed: SimTime(40)
+            }
+        );
+        assert_eq!(ends[1].parent, Some(outer));
+        assert_eq!(
+            ends[1].kind,
+            TraceEventKind::EpisodeEnd {
+                attributed: SimTime(107)
+            }
+        );
+    }
+
+    #[test]
     fn absorb_renumbers_spans_and_parents() {
         let mut a = TraceShard::labeled("a");
-        a.events
-            .push(ev(0, None, 1, 0, TraceEventKind::FaultInjected));
+        a.events.push(ev(
+            0,
+            None,
+            1,
+            0,
+            TraceEventKind::FaultInjected { depth: 0 },
+        ));
         a.span_count = 1;
         let mut b = TraceShard::labeled("b");
-        b.events
-            .push(ev(0, None, 1, 0, TraceEventKind::FaultInjected));
+        b.events.push(ev(
+            0,
+            None,
+            1,
+            0,
+            TraceEventKind::FaultInjected { depth: 0 },
+        ));
         b.events.push(ev(1, Some(0), 1, 7, TraceEventKind::Reboot));
         b.span_count = 2;
         b.dropped = 3;
@@ -757,9 +901,13 @@ mod tests {
     fn chrome_dump_is_loadable_shape() {
         let mut shard = TraceShard::labeled("t");
         shard.names = vec!["booter".into(), "lock".into()];
-        shard
-            .events
-            .push(ev(0, None, 1, 0, TraceEventKind::FaultInjected));
+        shard.events.push(ev(
+            0,
+            None,
+            1,
+            0,
+            TraceEventKind::FaultInjected { depth: 0 },
+        ));
         shard
             .events
             .push(ev(1, Some(0), 1, 250, TraceEventKind::Reboot));

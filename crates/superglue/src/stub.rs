@@ -756,6 +756,28 @@ impl<'s> Interp<'s> {
     }
 
     fn recover_descriptor(&mut self, env: &mut StubEnv<'_>, desc_id: i64) -> Result<(), CallError> {
+        loop {
+            match self.recover_descriptor_once(env, desc_id) {
+                // The server faulted again *mid-walk* (a correlated
+                // fault): the parent episode's bookkeeping survives —
+                // reboot, re-mark every descriptor, and re-run the walk
+                // as a child recovery episode. Bounded by the env's
+                // retry budget (ensure_rebooted burns one per pass).
+                Err(e) if is_server_fault(&e, env.server) && env.retries_left > 0 => {
+                    env.stats.nested_recoveries += 1;
+                    env.ensure_rebooted()?;
+                    self.mark_faulty();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn recover_descriptor_once(
+        &mut self,
+        env: &mut StubEnv<'_>,
+        desc_id: i64,
+    ) -> Result<(), CallError> {
         let spec = self.spec;
         let Some(d) = self.descs.get(desc_id) else {
             // Untracked on this edge: only meaningful for interfaces with

@@ -153,6 +153,7 @@ impl Testbed {
             policy,
             storage: Some(storage),
             max_retries: 3,
+            ..RuntimeConfig::default()
         };
         let mut runtime = FtRuntime::new(k, config);
 

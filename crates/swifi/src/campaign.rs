@@ -15,10 +15,12 @@
 //! to demonstrate correct progress), which preserves the at-most-one-
 //! live-fault property the Poisson argument of §V-A establishes.
 
+use std::fmt;
+
 use composite::{
-    mix, parallel_map_indexed, CallError, ComponentId, Executor, InterfaceCall, Kernel,
-    KernelAccess, MetricsSnapshot, Priority, RunExit, ThreadId, ThreadState, TraceShard, Value,
-    DEFAULT_TRACE_CAPACITY,
+    mix, parallel_map_indexed, CallError, ComponentId, EscalationPolicy, Executor, InterfaceCall,
+    Kernel, KernelAccess, MetricsSnapshot, Priority, RunExit, ThreadId, ThreadState, TraceShard,
+    Value, DEFAULT_TRACE_CAPACITY,
 };
 use sg_services::api::ClientEnd;
 use sg_services::workloads::{
@@ -31,6 +33,54 @@ use crate::inject::Injector;
 use crate::outcome::{CampaignRow, Outcome};
 use crate::program::program_for;
 use crate::simcpu::{classify_execution, ExecEvent};
+
+/// How faults are scheduled within a campaign: the classic one-at-a-time
+/// Table II regime, or one of the correlated-fault regimes of Table II-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CampaignMode {
+    /// One independent flip at a time, fully settled before the next
+    /// (the paper's Table II regime).
+    #[default]
+    Single,
+    /// `flips` back-to-back flips inside one settle window; each burst
+    /// counts as a single injection.
+    Burst {
+        /// Bit flips per burst (must be nonzero).
+        flips: u32,
+    },
+    /// Each primary flip arms a second fault in the *same* component
+    /// that fires the moment its recovery begins (gated on an active
+    /// recovery episode), exercising nested recovery.
+    DuringRecovery,
+    /// Each primary flip arms a second fault in a *different* component
+    /// that fires the moment the primary's recovery begins,
+    /// exercising cross-component fault cascades.
+    Cascade,
+}
+
+/// A [`CampaignConfig`] that cannot produce a meaningful campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `injections` was zero: the campaign would inject nothing.
+    ZeroInjections,
+    /// `fault_mask` was zero: no bit would ever be injectable.
+    ZeroFaultMask,
+    /// `Burst { flips: 0 }`: a burst must contain at least one flip.
+    ZeroBurst,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConfigError::ZeroInjections => "campaign config: injections must be nonzero",
+            ConfigError::ZeroFaultMask => "campaign config: fault mask must have at least one bit",
+            ConfigError::ZeroBurst => "campaign config: burst mode needs at least one flip",
+        })
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +103,10 @@ pub struct CampaignConfig {
     /// Record a flight-recorder trace of every shard (off by default;
     /// enabled by the harnesses' `--trace` flag).
     pub trace: bool,
+    /// Fault-scheduling regime (single / burst / during-recovery /
+    /// cascade). Non-[`CampaignMode::Single`] modes also arm the
+    /// kernel's reboot-storm escalation.
+    pub mode: CampaignMode,
 }
 
 impl Default for CampaignConfig {
@@ -65,7 +119,29 @@ impl Default for CampaignConfig {
             latent_call_cap: 48,
             fault_mask: 0xFFFF_FFFF,
             trace: false,
+            mode: CampaignMode::Single,
         }
+    }
+}
+
+impl CampaignConfig {
+    /// Reject configurations that would silently do nothing: zero
+    /// injections, an empty fault mask, or an empty burst.
+    ///
+    /// # Errors
+    ///
+    /// The corresponding [`ConfigError`] variant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.injections == 0 {
+            return Err(ConfigError::ZeroInjections);
+        }
+        if self.fault_mask == 0 {
+            return Err(ConfigError::ZeroFaultMask);
+        }
+        if matches!(self.mode, CampaignMode::Burst { flips: 0 }) {
+            return Err(ConfigError::ZeroBurst);
+        }
+        Ok(())
     }
 }
 
@@ -93,8 +169,12 @@ struct CampaignCtx {
     corrupt: bool,
     /// Classification of the current injection, once known.
     classified: Option<Classified>,
-    /// A segfault/hang/propagation took the whole system down.
+    /// A segfault/propagation took the whole system down.
     system_down: bool,
+    /// Correlated-fault victim: armed as a during-recovery fault every
+    /// time the primary injection faults the target (`DuringRecovery`
+    /// arms the target itself; `Cascade` arms a second component).
+    recovery_victim: Option<ComponentId>,
 }
 
 impl KernelAccess for CampaignCtx {
@@ -124,6 +204,7 @@ impl InterfaceCall for CampaignCtx {
             if self.corrupt {
                 self.corrupt = false;
                 self.tb.runtime.inject_fault(server);
+                self.arm_correlated();
             }
             // Apply an armed flip to the invoking thread's registers.
             if let Some((reg, bit)) = self.armed.take() {
@@ -167,6 +248,7 @@ impl InterfaceCall for CampaignCtx {
                         ExecEvent::AccessException => {
                             self.clear_taint(t);
                             self.tb.runtime.inject_fault(server);
+                            self.arm_correlated();
                             self.classified = Some(Classified::NeedsSettle);
                         }
                         ExecEvent::Propagation => {
@@ -182,10 +264,15 @@ impl InterfaceCall for CampaignCtx {
                             return Err(CallError::Fault { component: server });
                         }
                         ExecEvent::Hang => {
+                            // Loop-counter corruption livelocks the call.
+                            // The kernel watchdog detects the hang and
+                            // converts it into a fail-stop fault, after
+                            // which the ordinary recovery machinery (and
+                            // the settle-window judgment) runs.
                             self.clear_taint(t);
-                            self.system_down = true;
-                            self.classified = Some(Classified::Final(Outcome::Other));
-                            return Err(CallError::Fault { component: server });
+                            self.tb.runtime.kernel_mut().watchdog_expire(server, thread);
+                            self.arm_correlated();
+                            self.classified = Some(Classified::NeedsSettle);
                         }
                     }
                 }
@@ -202,6 +289,14 @@ impl CampaignCtx {
         self.latent = None;
         if let Ok(th) = self.tb.runtime.kernel_mut().thread_mut(t) {
             th.registers.clear_taint();
+        }
+    }
+
+    /// Arm the correlated second fault (if this campaign mode has one)
+    /// so it fires the moment the primary fault's recovery begins.
+    fn arm_correlated(&mut self) {
+        if let Some(v) = self.recovery_victim {
+            self.tb.runtime.kernel_mut().arm_fault_during_recovery(v);
         }
     }
 }
@@ -391,6 +486,7 @@ pub struct CampaignResult {
 /// testbed fails to build (shipped IDL is validated by tests).
 #[must_use]
 pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> CampaignResult {
+    cfg.validate().expect("campaign config is valid");
     let quota = *shard_sizes(cfg.injections)
         .get(shard)
         .expect("shard index within plan");
@@ -413,7 +509,19 @@ pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> Cam
                 .kernel_mut()
                 .enable_tracing(DEFAULT_TRACE_CAPACITY);
         }
+        if cfg.mode != CampaignMode::Single {
+            // Correlated regimes also arm reboot-storm escalation so
+            // repeated reboots degrade gracefully instead of thrashing.
+            tb.runtime
+                .kernel_mut()
+                .set_escalation(EscalationPolicy::storm_defaults());
+        }
         let target = target_component(&tb, iface);
+        let recovery_victim = match cfg.mode {
+            CampaignMode::DuringRecovery => Some(target),
+            CampaignMode::Cascade => Some(target_component(&tb, cascade_partner(iface))),
+            CampaignMode::Single | CampaignMode::Burst { .. } => None,
+        };
         let mut ctx = CampaignCtx {
             tb,
             target,
@@ -424,6 +532,7 @@ pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> Cam
             corrupt: false,
             classified: None,
             system_down: false,
+            recovery_victim,
         };
         let mut ex: Executor<CampaignCtx> = Executor::new();
         let threads = attach_target_workload(&mut ctx.tb, &mut ex, iface);
@@ -432,47 +541,99 @@ pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> Cam
         ex.run(&mut ctx, 40);
 
         while row.injected < quota {
-            // Arm one injection and run until it classifies.
-            ctx.classified = None;
-            ctx.armed = Some(injector.choose());
-            let mut windows = 0;
-            while ctx.classified.is_none() {
-                let exit = ex.run(&mut ctx, 64);
-                windows += 1;
-                if ctx.classified.is_some() {
-                    break;
+            let flips = match cfg.mode {
+                CampaignMode::Burst { flips } => flips,
+                _ => 1,
+            };
+            let wd_before = ctx.kernel().stats().total_watchdog_fires();
+            let nested_before = ctx.kernel().stats().total_nested_faults()
+                + ctx.tb.runtime.stats().nested_recoveries;
+            let mut needs_settle = false;
+            let mut finals: Option<Outcome> = None;
+            let mut wedged = false;
+
+            // Arm the injection's flip(s) and run until each classifies.
+            // A burst arms its flips back to back, all inside the one
+            // settle window that follows.
+            'flips: for _ in 0..flips {
+                ctx.classified = None;
+                ctx.armed = Some(injector.choose());
+                let mut windows = 0;
+                while ctx.classified.is_none() {
+                    let exit = ex.run(&mut ctx, 64);
+                    windows += 1;
+                    if ctx.classified.is_some() {
+                        break;
+                    }
+                    if exit != RunExit::StepLimit || windows > 4_000 {
+                        // Workloads ended or wedged before the flip
+                        // resolved: treat an armed-but-unapplied flip as
+                        // undetected and reboot.
+                        wedged = true;
+                        break 'flips;
+                    }
                 }
-                if exit != RunExit::StepLimit || windows > 4_000 {
-                    // Workloads ended or wedged before the flip resolved:
-                    // treat an armed-but-unapplied flip as undetected and
-                    // reboot.
-                    row.record(Outcome::Undetected);
-                    metrics.merge(&MetricsSnapshot::from_kernel(ctx.tb.runtime.kernel()));
-                    drain_trace(&mut trace, &mut ctx);
-                    continue 'reboot;
+                match ctx.classified.take() {
+                    Some(Classified::Final(o)) => {
+                        finals = Some(merge_outcomes(finals, o));
+                        if ctx.system_down {
+                            break 'flips;
+                        }
+                    }
+                    Some(Classified::NeedsSettle) => needs_settle = true,
+                    None => {}
                 }
             }
 
-            let outcome = match ctx.classified.take().expect("loop ensures classification") {
-                Classified::Final(o) => o,
-                Classified::NeedsSettle => {
-                    let before_unrecovered = ctx.tb.runtime.stats().unrecovered;
-                    ex.run(&mut ctx, cfg.settle_steps);
-                    let crashed = threads.iter().any(|&t| {
-                        ctx.tb.runtime.kernel().thread(t).map(|th| th.state)
-                            == Ok(ThreadState::Crashed)
-                    });
-                    if crashed || ctx.tb.runtime.stats().unrecovered > before_unrecovered {
-                        Outcome::Other
-                    } else {
-                        Outcome::Recovered
-                    }
+            let outcome = if wedged {
+                // The workloads stopped before the flip(s) resolved.
+                // Under the correlated regimes that usually means the
+                // target went degraded and clients failed fast; judge
+                // that as graceful degradation, an activated fault that
+                // reached the settle machinery as a recovery failure,
+                // and only a genuinely unapplied flip as undetected.
+                if ctx.kernel().is_degraded(target) {
+                    Outcome::Degraded
+                } else if needs_settle || finals.is_some() {
+                    Outcome::Other
+                } else {
+                    Outcome::Undetected
                 }
+            } else if ctx.system_down {
+                finals.expect("system-down implies a final classification")
+            } else if needs_settle {
+                let before_unrecovered = ctx.tb.runtime.stats().unrecovered;
+                ex.run(&mut ctx, cfg.settle_steps);
+                let crashed = threads.iter().any(|&t| {
+                    ctx.tb.runtime.kernel().thread(t).map(|th| th.state) == Ok(ThreadState::Crashed)
+                });
+                if ctx.kernel().is_degraded(target) {
+                    Outcome::Degraded
+                } else if crashed || ctx.tb.runtime.stats().unrecovered > before_unrecovered {
+                    Outcome::Other
+                } else {
+                    Outcome::Recovered
+                }
+            } else {
+                finals.unwrap_or(Outcome::Undetected)
             };
+            // An armed correlated fault whose trigger never came dies
+            // with its injection.
+            ctx.kernel_mut().disarm_recovery_fault();
             row.record(outcome);
-            if ctx.system_down || matches!(outcome, Outcome::Other) {
-                // Segfault/hang/propagation (or failed recovery): the
-                // paper reboots the machine before continuing.
+            if ctx.kernel().stats().total_watchdog_fires() > wd_before {
+                row.watchdog_detected += 1;
+            }
+            let nested_now = ctx.kernel().stats().total_nested_faults()
+                + ctx.tb.runtime.stats().nested_recoveries;
+            if nested_now > nested_before && outcome == Outcome::Recovered {
+                row.nested_recovered += 1;
+            }
+            if wedged || ctx.system_down || matches!(outcome, Outcome::Other | Outcome::Degraded) {
+                // Segfault/propagation, failed recovery, or a degraded
+                // target: the paper reboots the machine before
+                // continuing (degradation awaits the booter's cold
+                // restart, which the fresh boot embodies).
                 metrics.merge(&MetricsSnapshot::from_kernel(ctx.tb.runtime.kernel()));
                 drain_trace(&mut trace, &mut ctx);
                 continue 'reboot;
@@ -501,6 +662,34 @@ fn drain_trace(trace: &mut TraceShard, ctx: &mut CampaignCtx) {
     }
 }
 
+/// The second component a [`CampaignMode::Cascade`] campaign faults:
+/// deterministically the next protected service after the target.
+#[must_use]
+pub fn cascade_partner(iface: &str) -> &'static str {
+    const TARGETS: [&str; 6] = ["sched", "mm", "fs", "lock", "evt", "tmr"];
+    let i = TARGETS.iter().position(|&t| t == iface).unwrap_or(0);
+    TARGETS[(i + 1) % TARGETS.len()]
+}
+
+/// Fold one flip's final classification into the burst's: the most
+/// severe classification wins.
+fn merge_outcomes(acc: Option<Outcome>, next: Outcome) -> Outcome {
+    fn rank(o: Outcome) -> u8 {
+        match o {
+            Outcome::Segfault => 5,
+            Outcome::Propagated => 4,
+            Outcome::Other => 3,
+            Outcome::Degraded => 2,
+            Outcome::Recovered => 1,
+            Outcome::Undetected => 0,
+        }
+    }
+    match acc {
+        Some(a) if rank(a) >= rank(next) => a,
+        _ => next,
+    }
+}
+
 /// Run the full campaign against one target service, sharded across up
 /// to `jobs` worker threads. Shard results are merged in shard-index
 /// order, so the output is bit-identical for every `jobs >= 1`.
@@ -517,6 +706,21 @@ pub fn run_campaign_parallel(
     let shards = shard_sizes(cfg.injections).len();
     let results = parallel_map_indexed(shards, jobs, |i| run_shard(iface, cfg, i));
     merge_shards(iface, results.iter())
+}
+
+/// [`run_campaign_parallel`] with the configuration validated up front.
+///
+/// # Errors
+///
+/// [`ConfigError`] when the configuration would silently do nothing
+/// (zero injections, empty fault mask, empty burst).
+pub fn try_run_campaign_parallel(
+    iface: &'static str,
+    cfg: &CampaignConfig,
+    jobs: usize,
+) -> Result<CampaignResult, ConfigError> {
+    cfg.validate()?;
+    Ok(run_campaign_parallel(iface, cfg, jobs))
 }
 
 /// Merge shard results (in the given order) into one campaign result.

@@ -37,8 +37,9 @@ pub mod program;
 pub mod simcpu;
 
 pub use campaign::{
-    merge_shards, run_campaign, run_campaign_parallel, run_shard, shard_sizes, CampaignConfig,
-    CampaignResult, SHARD_INJECTIONS,
+    cascade_partner, merge_shards, run_campaign, run_campaign_parallel, run_shard, shard_sizes,
+    try_run_campaign_parallel, CampaignConfig, CampaignMode, CampaignResult, ConfigError,
+    SHARD_INJECTIONS,
 };
 pub use inject::Injector;
 pub use outcome::{CampaignRow, Outcome};

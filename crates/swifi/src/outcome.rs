@@ -17,6 +17,10 @@ pub enum Outcome {
     Other,
     /// Never activated (register overwritten or flip never consumed).
     Undetected,
+    /// Activated and escalated: a reboot storm left the component
+    /// degraded, with clients failing fast until the booter's cold
+    /// restart (graceful degradation, not a recovery failure).
+    Degraded,
 }
 
 impl Outcome {
@@ -35,6 +39,7 @@ impl fmt::Display for Outcome {
             Outcome::Propagated => "not recovered (propagated)",
             Outcome::Other => "not recovered (other reason)",
             Outcome::Undetected => "undetected",
+            Outcome::Degraded => "degraded (fail-fast until cold restart)",
         })
     }
 }
@@ -57,6 +62,15 @@ pub struct CampaignRow {
     pub other: u64,
     /// Undetected faults.
     pub undetected: u64,
+    /// Injections that ended in graceful degradation (reboot-storm
+    /// escalation marked the target degraded).
+    pub degraded: u64,
+    /// Injections whose fault was detected by the kernel watchdog
+    /// (hung/livelocked call converted into a fail-stop fault).
+    pub watchdog_detected: u64,
+    /// Injections that recovered through at least one *nested* (child)
+    /// recovery episode — a correlated fault landed mid-recovery.
+    pub nested_recovered: u64,
 }
 
 impl CampaignRow {
@@ -78,6 +92,7 @@ impl CampaignRow {
             Outcome::Propagated => self.propagated += 1,
             Outcome::Other => self.other += 1,
             Outcome::Undetected => self.undetected += 1,
+            Outcome::Degraded => self.degraded += 1,
         }
     }
 
@@ -92,6 +107,9 @@ impl CampaignRow {
         self.propagated += other.propagated;
         self.other += other.other;
         self.undetected += other.undetected;
+        self.degraded += other.degraded;
+        self.watchdog_detected += other.watchdog_detected;
+        self.nested_recovered += other.nested_recovered;
     }
 
     /// Number of activated faults (`|F_a|`).
@@ -149,6 +167,45 @@ impl CampaignRow {
             "Other",
             "Undetected",
             "Activation",
+            "Success"
+        )
+    }
+
+    /// The Table II-B (correlated-fault) row: the classic columns plus
+    /// the degradation/watchdog/nested-recovery tallies.
+    #[must_use]
+    pub fn correlated_line(&self) -> String {
+        format!(
+            "{:<6} {:>8} {:>9} {:>10} {:>12} {:>7} {:>10} {:>8} {:>8} {:>8} {:>8.2}%",
+            self.component,
+            self.injected,
+            self.recovered,
+            self.segfault,
+            self.propagated,
+            self.other,
+            self.undetected,
+            self.degraded,
+            self.watchdog_detected,
+            self.nested_recovered,
+            self.success_rate() * 100.0,
+        )
+    }
+
+    /// The Table II-B header matching [`CampaignRow::correlated_line`].
+    #[must_use]
+    pub fn correlated_header() -> String {
+        format!(
+            "{:<6} {:>8} {:>9} {:>10} {:>12} {:>7} {:>10} {:>8} {:>8} {:>8} {:>9}",
+            "Comp",
+            "Injected",
+            "Recovered",
+            "Segfault",
+            "Propagated",
+            "Other",
+            "Undetected",
+            "Degraded",
+            "Watchdog",
+            "Nested",
             "Success"
         )
     }

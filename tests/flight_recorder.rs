@@ -99,7 +99,7 @@ fn check_conservation(shard: &TraceShard) -> usize {
     let mut episodes = 0;
     for ev in &shard.events {
         match &ev.kind {
-            TraceEventKind::FaultInjected => {
+            TraceEventKind::FaultInjected { .. } => {
                 open.insert(ev.component.0, SimTime::ZERO);
             }
             TraceEventKind::EpisodeEnd { attributed } => {
