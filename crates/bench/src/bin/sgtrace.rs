@@ -21,11 +21,20 @@
 //!   steps, and the `*_restore` creation substitution for global
 //!   descriptors) — the dynamic counterpart of `sglint`'s static
 //!   conformance checks (exit 1 on any unexplained walk).
+//! * `sgtrace replay ARTIFACT [--to SPAN]` — time travel through a
+//!   `modelcheck` core counterexample: replays the recorded event
+//!   sequence through the pure kernel transition function
+//!   (`composite_core::step`), snapshotting the `KernelState` after
+//!   every event (O(1) each — the tables are `Arc`-shared), and prints
+//!   the state as of event `SPAN` (default: the final, violating
+//!   state). Because the core is pure, the replay is exact: the state
+//!   printed is byte-for-byte the state the checker saw.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
-use composite::Json;
+use composite::{step, Json, KernelWalk, Model as _, ThreadState};
+use sg_bench::modelck::event_from_json;
 use superglue_compiler::CompiledStubSpec;
 use superglue_sm::{FnId, State};
 
@@ -718,9 +727,136 @@ fn cmd_verify(path: &str) -> Result<ExitCode, String> {
 }
 
 // ---------------------------------------------------------------------
+// replay
+// ---------------------------------------------------------------------
 
-const USAGE: &str =
-    "usage: sgtrace <timeline|tree|verify> TRACE.jsonl | sgtrace diff A.jsonl B.jsonl";
+/// Load the core-event sequence of a `modelcheck` artifact (an object
+/// with an `"events"` array) or a bare JSON-lines event log.
+fn load_events(path: &str) -> Result<Vec<composite::Event>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let decode = |j: &Json, at: String| event_from_json(j).map_err(|e| format!("{at}: {e}"));
+    if let Ok(j) = Json::parse(&text) {
+        if let Some(evs) = j.get("events").and_then(Json::as_array) {
+            if j.get("model").and_then(Json::as_str) == Some("system") {
+                return Err(
+                    "this is a system-layer counterexample (testbed operations, not core \
+                     events); replay applies to core-layer artifacts"
+                        .to_owned(),
+                );
+            }
+            return evs
+                .iter()
+                .enumerate()
+                .map(|(i, e)| decode(e, format!("{path}: events[{i}]")))
+                .collect();
+        }
+    }
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(n, l)| {
+            let j = Json::parse(l).map_err(|e| format!("{path}:{}: {e}", n + 1))?;
+            decode(&j, format!("{path}:{}", n + 1))
+        })
+        .collect()
+}
+
+fn print_state(state: &composite::KernelState) {
+    println!("  time {}ns", state.time.0);
+    for (i, m) in state.components.iter().enumerate() {
+        let mut flags = Vec::new();
+        if m.state != composite::kernel::ComponentState::Active {
+            flags.push("FAULTY".to_owned());
+        }
+        if let Some(until) = state.degraded_until(composite::ComponentId(i as u32)) {
+            flags.push(format!(
+                "degraded until {}ns{}",
+                until.0,
+                if state.time < until { "" } else { " (elapsed)" }
+            ));
+        }
+        if let Some(hist) = state.reboot_history.get(&(i as u32)) {
+            if !hist.is_empty() {
+                flags.push(format!("{} reboots in window", hist.len()));
+            }
+        }
+        println!(
+            "  comp {i}: epoch {} {}{}",
+            m.epoch.0,
+            if m.has_service { "service" } else { "client" },
+            flags.iter().map(|f| format!("  [{f}]")).collect::<String>()
+        );
+    }
+    for t in state.threads.iter() {
+        let st = match t.state {
+            ThreadState::Runnable => "runnable".to_owned(),
+            ThreadState::Blocked { in_component } => {
+                format!("BLOCKED in comp {}", in_component.0)
+            }
+            ThreadState::SleepingUntil(d) => format!("sleeping until {}ns", d.0),
+            other => format!("{other:?}"),
+        };
+        let stack: Vec<u32> = t.invocation_stack.iter().map(|c| c.0).collect();
+        println!(
+            "  thread {}: {st}, home comp {}, stack {stack:?}",
+            t.id.0, t.home.0
+        );
+    }
+    if !state.active_recoveries.is_empty() {
+        let stack: Vec<u32> = state.active_recoveries.iter().map(|c| c.0).collect();
+        println!("  open recovery actions (innermost last): {stack:?}");
+    }
+    if let Some(v) = state.armed_recovery_fault {
+        println!("  armed during-recovery fault on comp {}", v.0);
+    }
+}
+
+fn cmd_replay(path: &str, to: Option<u64>) -> Result<ExitCode, String> {
+    let events = load_events(path)?;
+    if events.is_empty() {
+        return Err(format!("{path}: no events to replay"));
+    }
+    // The artifact records the walk's generated events; the fixed model
+    // topology they ran against comes from a fresh KernelWalk.
+    let mut walk = KernelWalk::new();
+    walk.reset();
+    // One O(1) snapshot per event: `KernelState` tables are Arc-shared,
+    // so keeping every intermediate state costs refcount bumps plus only
+    // the copy-on-write deltas each step actually touched.
+    let mut snapshots = vec![walk.state.clone()];
+    let mut replies = Vec::new();
+    for ev in &events {
+        let (next, fx) = step(snapshots.last().expect("seeded"), ev);
+        snapshots.push(next);
+        replies.push(fx.reply);
+    }
+    let last = events.len() as u64 - 1;
+    let target = to.unwrap_or(last);
+    if target > last {
+        return Err(format!("--to {target}: artifact has spans 0..={last}"));
+    }
+    let idx = target as usize;
+    println!(
+        "replayed {} events through the pure core ({} snapshots retained)",
+        events.len(),
+        snapshots.len()
+    );
+    println!();
+    for (i, ev) in events.iter().enumerate().take(idx + 1) {
+        let marker = if i == idx { ">" } else { " " };
+        println!("{marker} [{i:>3}] {:?} -> {:?}", ev, replies[i]);
+    }
+    println!();
+    println!("state after span {target}:");
+    print_state(&snapshots[idx + 1]);
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
+
+const USAGE: &str = "usage: sgtrace <timeline|tree|verify> TRACE.jsonl \
+                     | sgtrace diff A.jsonl B.jsonl \
+                     | sgtrace replay ARTIFACT.json [--to SPAN]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -729,6 +865,11 @@ fn main() -> ExitCode {
         Some("tree") if args.len() == 2 => cmd_tree(&args[1]),
         Some("diff") if args.len() == 3 => cmd_diff(&args[1], &args[2]),
         Some("verify") if args.len() == 2 => cmd_verify(&args[1]),
+        Some("replay") if args.len() == 2 => cmd_replay(&args[1], None),
+        Some("replay") if args.len() == 4 && args[2] == "--to" => match args[3].parse() {
+            Ok(n) => cmd_replay(&args[1], Some(n)),
+            Err(e) => Err(format!("--to {:?}: {e}", args[3])),
+        },
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;

@@ -10,6 +10,8 @@
 //! | Fig 7 | `cargo run -p sg-bench --release --bin fig7` | web-server throughput, 4 systems ± faults |
 //! | Ablations | `cargo run -p sg-bench --release --bin ablations` | design-choice deltas (DESIGN.md §5) |
 
+pub mod modelck;
+
 use composite::{ComponentId, InterfaceCall as _, Priority, ThreadId, Value};
 use sg_c3::FtRuntime;
 use superglue::testbed::{Testbed, Variant};

@@ -22,6 +22,16 @@ pub struct CapTable {
     rows: Vec<Vec<u64>>,
 }
 
+impl PartialEq for CapTable {
+    fn eq(&self, other: &Self) -> bool {
+        // The bitmask rows are a derived index of `grants`; comparing the
+        // grant set alone keeps equality independent of row capacity.
+        self.grants == other.grants
+    }
+}
+
+impl Eq for CapTable {}
+
 impl CapTable {
     /// Empty table (nothing may invoke anything).
     #[must_use]

@@ -1,0 +1,300 @@
+//! The in-repo property-testing engine.
+//!
+//! No external property-testing crate exists in the build environment,
+//! so the checker is built on the repo's own deterministic
+//! [`SplitMix64`] stream: [`run_check`] drives a [`Model`] through a
+//! random walk — the model generates one event per step from its
+//! current state (guarded generation keeps walks meaningful) and
+//! applies it, checking its invariants after every step. On a
+//! violation, the recorded event sequence is shrunk with a
+//! delta-debugging pass (chunk removal, halving chunk sizes, then
+//! single-event removal) that accepts a candidate only when replaying
+//! it from a fresh model reproduces a violation of the *same*
+//! invariant.
+//!
+//! Everything is a function of `(seed, model)`: the same seed always
+//! produces the same walk, the same violation, and the same shrunk
+//! counterexample, so CI failures replay locally verbatim.
+
+use std::fmt;
+
+use crate::rng::SplitMix64;
+
+/// One invariant violation: which named invariant broke, and a
+/// human-readable account of how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable invariant name (shrinking matches on this).
+    pub invariant: &'static str,
+    /// What was observed vs. expected.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant `{}` violated: {}",
+            self.invariant, self.detail
+        )
+    }
+}
+
+/// A checkable state machine: resettable, self-generating, and
+/// self-validating.
+///
+/// `generate` may consult the model's current state to produce only
+/// *plausible* events (guarded generation); `apply` must nevertheless
+/// be total, because shrinking replays arbitrary subsequences in which
+/// earlier context has been deleted.
+pub trait Model {
+    /// The event alphabet of the walk.
+    type Event: Clone + fmt::Debug;
+
+    /// Return to the initial state (topology included).
+    fn reset(&mut self);
+
+    /// Draw the next event from the given deterministic stream.
+    fn generate(&mut self, rng: &mut SplitMix64) -> Self::Event;
+
+    /// Apply one event and check every invariant.
+    ///
+    /// # Errors
+    /// The first violated invariant, if any.
+    fn apply(&mut self, ev: &Self::Event) -> Result<(), Violation>;
+}
+
+/// Walk parameters. Everything is explicit so CI runs are replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Seed of the event stream.
+    pub seed: u64,
+    /// Number of random-walk steps.
+    pub steps: usize,
+    /// Replay budget for shrinking (each candidate subsequence costs
+    /// one replay).
+    pub max_shrink_iters: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC3_5EED,
+            steps: 10_000,
+            max_shrink_iters: 2_000,
+        }
+    }
+}
+
+/// A shrunk failing run.
+#[derive(Debug, Clone)]
+pub struct Counterexample<E> {
+    /// The violation the shrunk sequence reproduces.
+    pub violation: Violation,
+    /// The shrunk event sequence; applying these to a fresh model
+    /// violates [`Counterexample::violation`] on the final event.
+    pub events: Vec<E>,
+    /// Length of the failing prefix before shrinking.
+    pub original_len: usize,
+    /// Replays spent shrinking.
+    pub shrink_iterations: usize,
+}
+
+/// Result of one [`run_check`] call.
+#[derive(Debug, Clone)]
+pub struct CheckReport<E> {
+    /// Steps actually executed (equals the configured steps unless a
+    /// violation cut the walk short).
+    pub steps_run: usize,
+    /// The shrunk counterexample, if any invariant broke.
+    pub counterexample: Option<Counterexample<E>>,
+}
+
+impl<E> CheckReport<E> {
+    /// Whether the walk completed with every invariant intact.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// Random-walk `model` for `cfg.steps` events, checking invariants
+/// after every step; on violation, shrink and report.
+pub fn run_check<M: Model>(model: &mut M, cfg: &CheckConfig) -> CheckReport<M::Event> {
+    model.reset();
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut events: Vec<M::Event> = Vec::new();
+    for i in 0..cfg.steps {
+        let ev = model.generate(&mut rng);
+        events.push(ev.clone());
+        if let Err(violation) = model.apply(&ev) {
+            let cex = shrink(model, events, violation, cfg.max_shrink_iters);
+            return CheckReport {
+                steps_run: i + 1,
+                counterexample: Some(cex),
+            };
+        }
+    }
+    CheckReport {
+        steps_run: cfg.steps,
+        counterexample: None,
+    }
+}
+
+/// Replay `events` from a fresh model; accept only a violation of the
+/// `invariant` being shrunk (a different invariant would mean the
+/// candidate found a *different* bug — rejecting it keeps shrinking
+/// convergent). Returns the violation and the index of the event that
+/// triggered it.
+fn replay<M: Model>(
+    model: &mut M,
+    events: &[M::Event],
+    invariant: &str,
+) -> Option<(usize, Violation)> {
+    model.reset();
+    for (i, ev) in events.iter().enumerate() {
+        if let Err(v) = model.apply(ev) {
+            return (v.invariant == invariant).then_some((i, v));
+        }
+    }
+    None
+}
+
+fn shrink<M: Model>(
+    model: &mut M,
+    mut events: Vec<M::Event>,
+    mut violation: Violation,
+    budget: usize,
+) -> Counterexample<M::Event> {
+    let original_len = events.len();
+    let invariant = violation.invariant;
+    let mut iters = 0usize;
+    let mut chunk = (events.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut i = 0usize;
+        while i < events.len() && iters < budget {
+            let end = (i + chunk).min(events.len());
+            let mut candidate: Vec<M::Event> = Vec::with_capacity(events.len() - (end - i));
+            candidate.extend_from_slice(&events[..i]);
+            candidate.extend_from_slice(&events[end..]);
+            iters += 1;
+            if candidate.is_empty() {
+                break;
+            }
+            if let Some((at, v)) = replay(model, &candidate, invariant) {
+                candidate.truncate(at + 1);
+                events = candidate;
+                violation = v;
+                progressed = true;
+                // Retry at the same index: the next chunk slid into place.
+            } else {
+                i = end;
+            }
+        }
+        if iters >= budget || (chunk == 1 && !progressed) {
+            break;
+        }
+        if chunk > 1 {
+            chunk /= 2;
+        }
+    }
+    // Leave the model in the failing state so callers can inspect it.
+    let _ = replay(model, &events, invariant);
+    Counterexample {
+        violation,
+        events,
+        original_len,
+        shrink_iterations: iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy model: events are digits 0..10; the "no-three-sevens"
+    /// invariant breaks once three 7s have been applied. The minimal
+    /// counterexample is exactly three 7s.
+    struct Sevens {
+        sevens: usize,
+    }
+
+    impl Model for Sevens {
+        type Event = u64;
+
+        fn reset(&mut self) {
+            self.sevens = 0;
+        }
+
+        fn generate(&mut self, rng: &mut SplitMix64) -> u64 {
+            rng.gen_range(10)
+        }
+
+        fn apply(&mut self, ev: &u64) -> Result<(), Violation> {
+            if *ev == 7 {
+                self.sevens += 1;
+            }
+            if self.sevens >= 3 {
+                return Err(Violation {
+                    invariant: "no-three-sevens",
+                    detail: format!("saw {} sevens", self.sevens),
+                });
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn finds_and_shrinks_to_minimal_counterexample() {
+        let mut model = Sevens { sevens: 0 };
+        let report = run_check(&mut model, &CheckConfig::default());
+        let cex = report.counterexample.expect("three 7s appear quickly");
+        assert_eq!(cex.violation.invariant, "no-three-sevens");
+        assert_eq!(cex.events, vec![7, 7, 7], "ddmin reaches the minimum");
+        assert!(cex.original_len >= 3);
+        // Shrunk sequence replays to the same violation.
+        model.reset();
+        let mut last = Ok(());
+        for ev in &cex.events {
+            last = model.apply(ev);
+        }
+        assert!(last.is_err());
+    }
+
+    #[test]
+    fn clean_model_passes() {
+        struct Clean;
+        impl Model for Clean {
+            type Event = u64;
+            fn reset(&mut self) {}
+            fn generate(&mut self, rng: &mut SplitMix64) -> u64 {
+                rng.next_u64()
+            }
+            fn apply(&mut self, _ev: &u64) -> Result<(), Violation> {
+                Ok(())
+            }
+        }
+        let report = run_check(
+            &mut Clean,
+            &CheckConfig {
+                seed: 1,
+                steps: 500,
+                max_shrink_iters: 100,
+            },
+        );
+        assert!(report.passed());
+        assert_eq!(report.steps_run, 500);
+    }
+
+    #[test]
+    fn same_seed_same_counterexample() {
+        let cfg = CheckConfig::default();
+        let a = run_check(&mut Sevens { sevens: 0 }, &cfg);
+        let b = run_check(&mut Sevens { sevens: 0 }, &cfg);
+        assert_eq!(
+            a.counterexample.unwrap().events,
+            b.counterexample.unwrap().events
+        );
+    }
+}

@@ -5,8 +5,8 @@ use std::fmt;
 use crate::ids::{ComponentId, ThreadId};
 use crate::value::TypeMismatch;
 
-/// Errors a service implementation returns from
-/// [`Service::call`](crate::component::Service::call).
+/// Errors a service implementation returns from its `call` entry point
+/// (`composite::component::Service::call`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ServiceError {

@@ -1,0 +1,238 @@
+//! The kernel's input alphabet.
+//!
+//! Every state change the runtime shell (`composite::Kernel`) performs
+//! goes through exactly one [`Event`] applied by
+//! [`step`](crate::step::step). Events are plain `Copy` data — no
+//! strings, no boxed services — so the model checker can generate,
+//! store, shrink, and replay them freely.
+//!
+//! The invocation path is split into admission / abort / finish events
+//! because the service call itself (a `Box<dyn Service>` method) is
+//! runtime-shell territory: the core decides *whether* a call may
+//! proceed and accounts for its kernel-level cost; the shell runs the
+//! body between [`Event::InvokeAdmit`] and [`Event::InvokeFinish`].
+
+use crate::ids::{ComponentId, Priority, ThreadId};
+use crate::state::EscalationPolicy;
+use crate::time::{CostModel, SimTime};
+
+/// One kernel transition input. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Register a component; the shell keeps the name and any service
+    /// image in its own parallel tables.
+    AddComponent {
+        /// Whether a service image exists for it.
+        has_service: bool,
+    },
+    /// Create a runnable thread homed in `home`.
+    AddThread {
+        /// Home component.
+        home: ComponentId,
+        /// Fixed base priority.
+        priority: Priority,
+    },
+    /// Grant `client` the capability to invoke `server`.
+    Grant {
+        /// Client component.
+        client: ComponentId,
+        /// Server component.
+        server: ComponentId,
+    },
+    /// Replace the cost model.
+    SetCosts(CostModel),
+    /// Install a reboot-storm escalation policy.
+    SetEscalation(EscalationPolicy),
+    /// Arm the per-invocation watchdog step budget (0 = disabled).
+    SetWatchdogBudget(u64),
+    /// Charge an explicit virtual-time cost.
+    Charge(SimTime),
+    /// Advance virtual time to `t` (never backwards), waking every
+    /// sleeper whose deadline has passed.
+    AdvanceTo(SimTime),
+    /// Mark a thread blocked inside a server component.
+    BlockThread {
+        /// The blocking thread.
+        thread: ThreadId,
+        /// The component it blocked in.
+        in_component: ComponentId,
+    },
+    /// Put a thread to sleep until a deadline.
+    SleepThread {
+        /// The sleeping thread.
+        thread: ThreadId,
+        /// Absolute wake deadline.
+        until: SimTime,
+    },
+    /// Wake a blocked or sleeping thread.
+    WakeThread {
+        /// The thread to wake.
+        thread: ThreadId,
+    },
+    /// Mark the start of a recovery action on a component (fires any
+    /// armed during-recovery fault).
+    BeginRecovery {
+        /// The component under recovery.
+        component: ComponentId,
+    },
+    /// Close the innermost recovery action on a component.
+    EndRecovery {
+        /// The component whose recovery action ends.
+        component: ComponentId,
+    },
+    /// Arm a one-shot fault that fires when the next recovery begins.
+    ArmRecoveryFault {
+        /// The component to fault.
+        victim: ComponentId,
+    },
+    /// Drop an armed during-recovery fault that never fired.
+    DisarmRecoveryFault,
+    /// Crash a component (fail-stop), eagerly waking threads blocked in
+    /// it (**T0**).
+    Fault {
+        /// The crashing component.
+        component: ComponentId,
+    },
+    /// Declare the in-flight invocation on a component hung and convert
+    /// the hang into a detected fault.
+    WatchdogExpire {
+        /// The hung component.
+        component: ComponentId,
+        /// The thread whose invocation hung.
+        thread: ThreadId,
+    },
+    /// Admission control + cost accounting for a synchronous invocation.
+    /// On [`AdmitOutcome::Admitted`] the thread has migrated into the
+    /// target and the invocation cost is charged; the shell then runs the
+    /// service body and applies [`Event::InvokeFinish`].
+    InvokeAdmit {
+        /// The invoking client component.
+        client: ComponentId,
+        /// The invoking thread.
+        thread: ThreadId,
+        /// The target (server) component.
+        target: ComponentId,
+        /// Skip the capability check (booter-initiated upcalls).
+        bypass_caps: bool,
+    },
+    /// Undo the thread migration of an admitted invocation whose body
+    /// never ran (service image unavailable).
+    InvokeAbort {
+        /// The invoking thread.
+        thread: ThreadId,
+        /// The target component.
+        target: ComponentId,
+    },
+    /// Complete an admitted invocation: migrate the thread back and, on
+    /// `ok`, count the successful invocation.
+    InvokeFinish {
+        /// The invoking thread.
+        thread: ThreadId,
+        /// The target component.
+        target: ComponentId,
+        /// Whether the service body returned a value.
+        ok: bool,
+    },
+    /// Charge and count a **U0** upcall dispatch on behalf of `server`.
+    ChargeUpcall {
+        /// The server whose descriptor is being recovered.
+        server: ComponentId,
+        /// The thread driving recovery.
+        thread: ThreadId,
+    },
+    /// Count an upcall dispatch without charging (the kernel-level
+    /// `upcall` entry point tallies separately from **U0** accounting).
+    NoteUpcall,
+    /// Booter micro-reboot: fresh image (the shell has already reset the
+    /// service), epoch bump, reactivation, escalation accounting.
+    MicroReboot {
+        /// The component being rebooted.
+        component: ComponentId,
+    },
+    /// Booter cold restart: like a micro-reboot but clears the degraded
+    /// mark and storm history and never re-enters escalation accounting.
+    ColdRestart {
+        /// The component being restarted.
+        component: ComponentId,
+    },
+    /// Mark a component degraded until the given time (applied by the
+    /// shell after the reboot's trace scope closes, preserving event
+    /// order).
+    MarkDegraded {
+        /// The degraded component.
+        component: ComponentId,
+        /// When the booter's cold restart clears the mark.
+        until: SimTime,
+    },
+}
+
+/// Outcome of an [`Event::InvokeAdmit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// Thread migrated, cost charged; run the service body.
+    Admitted,
+    /// The target component id does not exist.
+    NoSuchComponent,
+    /// The client holds no capability for the target.
+    NoCapability,
+    /// The target is degraded: rejected fast (counted).
+    Degraded,
+    /// The target's degraded cooldown has elapsed: the shell must cold
+    /// restart it, then re-admit. No state was changed.
+    NeedColdRestart,
+    /// The target is faulty (counted); surface the inter-component
+    /// exception.
+    Faulty,
+    /// The invoking thread does not exist.
+    NoSuchThread,
+    /// The thread already executes in the target.
+    Reentrant,
+}
+
+/// Outcome of an [`Event::WakeThread`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeOutcome {
+    /// The thread was blocked or sleeping and is now runnable.
+    Woken,
+    /// The thread was already runnable (no-op).
+    AlreadyRunnable,
+    /// No such thread.
+    NoSuchThread,
+    /// The thread is completed or crashed.
+    BadState,
+}
+
+/// Outcome of an [`Event::MicroReboot`] / [`Event::ColdRestart`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebootOutcome {
+    /// Rebooted. `mark_degraded` carries the escalation verdict: the
+    /// shell must apply [`Event::MarkDegraded`] after closing the
+    /// reboot's trace scope.
+    Done {
+        /// `Some(until)` when the reboot storm tripped the policy.
+        mark_degraded: Option<SimTime>,
+    },
+    /// The component does not exist or has no service image.
+    NotAService,
+}
+
+/// The immediate, typed answer of one [`step`](crate::step::step) call —
+/// what the corresponding imperative kernel method used to return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reply {
+    /// Nothing to report.
+    None,
+    /// Id assigned by [`Event::AddComponent`].
+    Component(ComponentId),
+    /// Id assigned by [`Event::AddThread`].
+    Thread(ThreadId),
+    /// Threads eagerly woken by [`Event::Fault`] /
+    /// [`Event::WatchdogExpire`] (**T0**).
+    Woken(u64),
+    /// Outcome of [`Event::WakeThread`].
+    Wake(WakeOutcome),
+    /// Outcome of [`Event::InvokeAdmit`].
+    Admit(AdmitOutcome),
+    /// Outcome of [`Event::MicroReboot`] / [`Event::ColdRestart`].
+    Reboot(RebootOutcome),
+}

@@ -1,0 +1,85 @@
+//! The eight SuperGlue/C³ recovery mechanisms (§III of the paper).
+//!
+//! The enum lives in the pure core because the step function reports
+//! mechanism firings as [`Effect::MechanismFired`](crate::effect::Effect)
+//! data; the runtime shell (`composite::metrics`) folds those effects
+//! into its σ-table counters.
+
+/// The eight recovery mechanisms of the paper, in presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mechanism {
+    /// Recovery-walk replay: a σ-walk function re-executed to rebuild a
+    /// descriptor.
+    R0,
+    /// Eager wakeup of threads blocked in the failed service.
+    T0,
+    /// On-demand / deferred (thread-affine) recovery completion.
+    T1,
+    /// Descriptor teardown: close/free drops the descriptor (and its
+    /// subtree) from tracking.
+    D0,
+    /// Parent-first ordering: a parent descriptor recovered before its
+    /// child.
+    D1,
+    /// Storage round trip: creator lookup or record of descriptor
+    /// metadata.
+    G0,
+    /// Redundant data storage: descriptor payload fetched back from the
+    /// storage service.
+    G1,
+    /// Upcall into the descriptor's creating component.
+    U0,
+}
+
+/// All mechanisms, in presentation order (R0 T0 T1 D0 D1 G0 G1 U0).
+pub const MECHANISMS: [Mechanism; 8] = [
+    Mechanism::R0,
+    Mechanism::T0,
+    Mechanism::T1,
+    Mechanism::D0,
+    Mechanism::D1,
+    Mechanism::G0,
+    Mechanism::G1,
+    Mechanism::U0,
+];
+
+impl Mechanism {
+    /// Stable short name used in JSON output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::R0 => "R0",
+            Mechanism::T0 => "T0",
+            Mechanism::T1 => "T1",
+            Mechanism::D0 => "D0",
+            Mechanism::D1 => "D1",
+            Mechanism::G0 => "G0",
+            Mechanism::G1 => "G1",
+            Mechanism::U0 => "U0",
+        }
+    }
+
+    /// Dense array index (presentation order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, m) in MECHANISMS.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::BTreeSet<_> = MECHANISMS.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), MECHANISMS.len());
+    }
+}

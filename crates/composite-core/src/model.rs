@@ -1,0 +1,643 @@
+//! A property-based model of the recovery kernel.
+//!
+//! [`KernelWalk`] random-walks the pure core through fault injections,
+//! nested recovery episodes, watchdog expiries, reboot storms, and
+//! invocation traffic, and checks five recovery invariants after
+//! *every* step — each recomputed independently of the transition
+//! function it audits:
+//!
+//! 1. **no-lost-wakeups** — no thread is ever left blocked inside a
+//!    faulty component (the T0 eager-wakeup guarantee).
+//! 2. **bounded-episode-depth** — the in-flight recovery stack never
+//!    exceeds [`MAX_MODEL_DEPTH`], matching the flight recorder's
+//!    episode-nesting clamp.
+//! 3. **state-effect-agreement** — σ-style shadow tables folded from
+//!    the *effect stream* and the raw event sequence (faulty flags,
+//!    recovery stack, degraded marks, reboot histories, predicted
+//!    admission outcomes) agree exactly with the kernel state.
+//! 4. **episode-latency-conservation** — virtual time advances by
+//!    exactly the sum of the independently recomputed charges
+//!    (invocation costs, upcall costs, micro-reboot cost plus the
+//!    escalation backoff recomputed from a shadow reboot history).
+//! 5. **stack-balanced-at-quiescence** — whenever no invocation is in
+//!    flight, every thread's invocation stack is exactly `[home]`
+//!    (descriptor-leak freedom at quiescence).
+//!
+//! Generation is *guarded* (events are drawn only when plausible in the
+//! current state) but application is *total*: shrinking replays
+//! arbitrary subsequences, so `apply` tolerates events whose context
+//! was deleted.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::check::{Model, Violation};
+use crate::effect::Effect;
+use crate::event::{AdmitOutcome, Event, RebootOutcome, Reply};
+use crate::ids::{ComponentId, Priority, ThreadId};
+use crate::rng::SplitMix64;
+use crate::state::{EscalationPolicy, KernelState, BOOTER};
+use crate::step::step;
+use crate::thread::ThreadState;
+use crate::time::{CostModel, SimTime};
+
+/// Maximum in-flight recovery depth the walk tolerates — the same bound
+/// the flight recorder clamps episode nesting to.
+pub const MAX_MODEL_DEPTH: usize = 8;
+
+/// The application home component (threads live here, no service).
+const APP_HOME: ComponentId = ComponentId(1);
+/// The rebootable service components the walk faults and recovers.
+const SERVERS: [ComponentId; 4] = [
+    ComponentId(2),
+    ComponentId(3),
+    ComponentId(4),
+    ComponentId(5),
+];
+/// The application threads driving invocations.
+const APP_THREADS: [ThreadId; 3] = [ThreadId(1), ThreadId(2), ThreadId(3)];
+
+/// Seeded bug shapes for the mutation-style sanity tests: each disables
+/// one guarantee the invariants must then catch within a bounded
+/// random-walk budget.
+#[cfg(test)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bugs {
+    /// Drop one eager wakeup per fault — the "untracked argument
+    /// skipped during replay" shape: the effect stream records the
+    /// wakeup but the state transition loses it.
+    pub lost_wakeup: bool,
+    /// Remove the episode-depth guard from the generator, letting
+    /// recovery episodes nest without bound.
+    pub unbounded_nest: bool,
+}
+
+/// The checkable kernel model. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct KernelWalk {
+    /// The kernel state under test (public so harnesses can inspect the
+    /// failing state after a check).
+    pub state: KernelState,
+    // --- shadow tables, folded independently of `step` ---
+    /// Expected virtual time (invariant 4).
+    expected_time: SimTime,
+    /// Faulty flags folded from the effect stream (invariant 3).
+    shadow_faulty: Vec<bool>,
+    /// Recovery stack folded from the raw events (invariant 3).
+    shadow_stack: Vec<ComponentId>,
+    /// Degraded marks folded from the raw events (invariants 3, 4).
+    shadow_degraded: BTreeMap<u32, SimTime>,
+    /// Reboot history folded with independently recomputed escalation
+    /// arithmetic (invariants 3, 4).
+    shadow_hist: BTreeMap<u32, VecDeque<SimTime>>,
+    /// Admitted-but-unfinished invocations (invariant 5).
+    pending: Vec<(ThreadId, ComponentId)>,
+    /// A degraded mark the shell would apply right after the reboot
+    /// that tripped the storm policy.
+    pending_mark: Option<(ComponentId, SimTime)>,
+    /// Seeded bug shapes (mutation-style sanity tests only).
+    #[cfg(test)]
+    pub bugs: Bugs,
+}
+
+impl KernelWalk {
+    /// A fresh walk over the fixed topology: booter + boot thread, one
+    /// application home with three threads, four granted service
+    /// components, storm escalation armed.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut w = Self {
+            state: KernelState::with_costs(CostModel::paper_defaults()),
+            expected_time: SimTime::ZERO,
+            shadow_faulty: Vec::new(),
+            shadow_stack: Vec::new(),
+            shadow_degraded: BTreeMap::new(),
+            shadow_hist: BTreeMap::new(),
+            pending: Vec::new(),
+            pending_mark: None,
+            #[cfg(test)]
+            bugs: Bugs::default(),
+        };
+        w.reset();
+        w
+    }
+
+    fn apply_setup(&mut self, ev: &Event) {
+        let (next, _) = step(&self.state, ev);
+        self.state = next;
+    }
+
+    /// Predict the admission outcome from the shadow tables (plus the
+    /// capability table and invocation stacks, which only setup events
+    /// touch). Compared against the actual [`Reply`] in invariant 3.
+    fn predict_admit(
+        &self,
+        client: ComponentId,
+        thread: ThreadId,
+        target: ComponentId,
+        bypass_caps: bool,
+    ) -> AdmitOutcome {
+        if target.0 as usize >= self.state.components.len() {
+            return AdmitOutcome::NoSuchComponent;
+        }
+        if !bypass_caps && !self.state.caps.allows(client, target) {
+            return AdmitOutcome::NoCapability;
+        }
+        if let Some(&until) = self.shadow_degraded.get(&target.0) {
+            if self.state.time < until {
+                return AdmitOutcome::Degraded;
+            }
+            return AdmitOutcome::NeedColdRestart;
+        }
+        if self.shadow_faulty[target.0 as usize] {
+            return AdmitOutcome::Faulty;
+        }
+        let Some(th) = self.state.thread(thread) else {
+            return AdmitOutcome::NoSuchThread;
+        };
+        if th.invocation_stack.contains(&target) {
+            return AdmitOutcome::Reentrant;
+        }
+        AdmitOutcome::Admitted
+    }
+
+    /// Recompute, on the shadow tables, the virtual-time charge and
+    /// storm verdict of one micro-reboot — the same arithmetic `step`
+    /// performs, folded over independently maintained history.
+    fn shadow_reboot(&mut self, c: ComponentId, pre_time: SimTime) -> (SimTime, Option<SimTime>) {
+        let policy = self.state.escalation;
+        let mut t = pre_time + self.state.costs.micro_reboot;
+        let mut mark = None;
+        if policy.is_enabled() {
+            if self
+                .shadow_degraded
+                .get(&c.0)
+                .is_some_and(|&until| t >= until)
+            {
+                self.shadow_degraded.remove(&c.0);
+                self.shadow_hist.remove(&c.0);
+            }
+            let window_start = t.saturating_sub(policy.reboot_window);
+            let hist = self.shadow_hist.entry(c.0).or_default();
+            while hist.front().is_some_and(|&t0| t0 < window_start) {
+                hist.pop_front();
+            }
+            let prior = hist.len() as u32;
+            if prior > 0 {
+                t += SimTime(policy.reboot_backoff.0 << (prior - 1).min(6));
+            }
+            hist.push_back(t);
+            if hist.len() as u32 > policy.max_reboots_in_window {
+                hist.clear();
+                mark = Some(t + policy.degraded_cooldown);
+            }
+        }
+        (t, mark)
+    }
+
+    fn check_invariants(&self, ev: &Event, actual_reply: &Reply) -> Result<(), Violation> {
+        // 1. no-lost-wakeups
+        for th in self.state.threads.iter() {
+            if let ThreadState::Blocked { in_component } = th.state {
+                if self.state.is_faulty(in_component) {
+                    return Err(Violation {
+                        invariant: "no-lost-wakeups",
+                        detail: format!(
+                            "thread {:?} still blocked in faulty component {:?} after {ev:?}",
+                            th.id, in_component
+                        ),
+                    });
+                }
+            }
+        }
+        // 2. bounded-episode-depth
+        if self.state.recovery_depth() > MAX_MODEL_DEPTH {
+            return Err(Violation {
+                invariant: "bounded-episode-depth",
+                detail: format!(
+                    "recovery depth {} exceeds {MAX_MODEL_DEPTH} after {ev:?}",
+                    self.state.recovery_depth()
+                ),
+            });
+        }
+        // 3. state-effect-agreement
+        for (i, meta) in self.state.components.iter().enumerate() {
+            let state_faulty = self.state.is_faulty(ComponentId(i as u32));
+            if self.shadow_faulty[i] != state_faulty {
+                return Err(Violation {
+                    invariant: "state-effect-agreement",
+                    detail: format!(
+                        "component {i}: effect-derived faulty={} but state says {} \
+                         (epoch {:?}) after {ev:?}",
+                        self.shadow_faulty[i], state_faulty, meta.epoch
+                    ),
+                });
+            }
+        }
+        if self.shadow_stack != *self.state.active_recoveries {
+            return Err(Violation {
+                invariant: "state-effect-agreement",
+                detail: format!(
+                    "event-derived recovery stack {:?} != state {:?} after {ev:?}",
+                    self.shadow_stack, self.state.active_recoveries
+                ),
+            });
+        }
+        if self.shadow_degraded != *self.state.degraded
+            || self.shadow_hist != *self.state.reboot_history
+        {
+            return Err(Violation {
+                invariant: "state-effect-agreement",
+                detail: format!(
+                    "shadow degraded/history diverged from σ-tables after {ev:?}: \
+                     {:?}/{:?} vs {:?}/{:?}",
+                    self.shadow_degraded,
+                    self.shadow_hist,
+                    self.state.degraded,
+                    self.state.reboot_history
+                ),
+            });
+        }
+        let _ = actual_reply;
+        // 4. episode-latency-conservation
+        if self.state.time != self.expected_time {
+            return Err(Violation {
+                invariant: "episode-latency-conservation",
+                detail: format!(
+                    "virtual time {:?} != independently recomputed {:?} after {ev:?}",
+                    self.state.time, self.expected_time
+                ),
+            });
+        }
+        // 5. stack-balanced-at-quiescence
+        if self.pending.is_empty() {
+            for th in self.state.threads.iter() {
+                if th.invocation_stack.as_slice() != [th.home] {
+                    return Err(Violation {
+                        invariant: "stack-balanced-at-quiescence",
+                        detail: format!(
+                            "no invocation in flight but thread {:?} holds stack {:?} \
+                             after {ev:?}",
+                            th.id, th.invocation_stack
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for KernelWalk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Model for KernelWalk {
+    type Event = Event;
+
+    fn reset(&mut self) {
+        self.state = KernelState::with_costs(CostModel::paper_defaults());
+        self.apply_setup(&Event::AddComponent { has_service: false }); // booter
+        self.apply_setup(&Event::AddThread {
+            home: BOOTER,
+            priority: Priority::HIGHEST,
+        });
+        self.apply_setup(&Event::SetEscalation(EscalationPolicy::storm_defaults()));
+        self.apply_setup(&Event::AddComponent { has_service: false }); // app home
+        for server in SERVERS {
+            self.apply_setup(&Event::AddComponent { has_service: true });
+            self.apply_setup(&Event::Grant {
+                client: APP_HOME,
+                server,
+            });
+        }
+        for _ in APP_THREADS {
+            self.apply_setup(&Event::AddThread {
+                home: APP_HOME,
+                priority: Priority(5),
+            });
+        }
+        self.expected_time = self.state.time;
+        self.shadow_faulty = vec![false; self.state.components.len()];
+        self.shadow_stack.clear();
+        self.shadow_degraded.clear();
+        self.shadow_hist.clear();
+        self.pending.clear();
+        self.pending_mark = None;
+    }
+
+    fn generate(&mut self, rng: &mut SplitMix64) -> Event {
+        // The shell applies the storm verdict immediately after the
+        // reboot's trace scope closes; the walk mirrors that ordering.
+        if let Some((component, until)) = self.pending_mark.take() {
+            return Event::MarkDegraded { component, until };
+        }
+        // Drain in-flight invocations about half the time so walks
+        // regularly pass through quiescence (invariant 5 bites).
+        if !self.pending.is_empty() && rng.gen_bool(1, 2) {
+            let (thread, target) = self.pending[rng.gen_index(self.pending.len())];
+            return Event::InvokeFinish {
+                thread,
+                target,
+                ok: rng.gen_bool(3, 4),
+            };
+        }
+        let server = SERVERS[rng.gen_index(SERVERS.len())];
+        let thread = APP_THREADS[rng.gen_index(APP_THREADS.len())];
+        let now = self.state.time;
+        match rng.gen_range(100) {
+            0..=14 => Event::Fault { component: server },
+            15..=24 => Event::MicroReboot { component: server },
+            25..=29 => Event::ColdRestart { component: server },
+            30..=39 => {
+                let depth_ok = self.state.recovery_depth() < MAX_MODEL_DEPTH;
+                #[cfg(test)]
+                let depth_ok = depth_ok || self.bugs.unbounded_nest;
+                if depth_ok {
+                    Event::BeginRecovery { component: server }
+                } else {
+                    let component = *self.state.active_recoveries.last().expect("depth > 0");
+                    Event::EndRecovery { component }
+                }
+            }
+            40..=47 => match self.state.active_recoveries.last() {
+                Some(&component) => Event::EndRecovery { component },
+                None => Event::Fault { component: server },
+            },
+            48..=51 => Event::ArmRecoveryFault { victim: server },
+            52..=53 => Event::DisarmRecoveryFault,
+            54..=59 => Event::WatchdogExpire {
+                component: server,
+                thread,
+            },
+            60..=71 => {
+                // One invocation in flight per thread keeps generated
+                // walks balanced; shrinking may still interleave.
+                if self.pending.iter().any(|&(t, _)| t == thread) {
+                    Event::Charge(SimTime(rng.gen_range(2_000)))
+                } else {
+                    Event::InvokeAdmit {
+                        client: APP_HOME,
+                        thread,
+                        target: server,
+                        bypass_caps: false,
+                    }
+                }
+            }
+            72..=79 => Event::BlockThread {
+                thread,
+                in_component: server,
+            },
+            80..=84 => Event::SleepThread {
+                thread,
+                until: now + SimTime(1_000 * (1 + rng.gen_range(40))),
+            },
+            85..=89 => Event::WakeThread { thread },
+            90..=95 => Event::AdvanceTo(now + SimTime(rng.gen_range(50_000))),
+            _ => Event::Charge(SimTime(rng.gen_range(5_000))),
+        }
+    }
+
+    fn apply(&mut self, ev: &Event) -> Result<(), Violation> {
+        // Total-application guard: blocking into a faulty component is
+        // unreachable in the real system (admission rejects the invoke
+        // first), so a shrunk subsequence that deletes the reboot
+        // between a fault and a block skips the block instead of
+        // fabricating an unreachable state.
+        if let Event::BlockThread { in_component, .. } = *ev {
+            if self.state.is_faulty(in_component) {
+                return Ok(());
+            }
+        }
+        let pre_time = self.state.time;
+
+        // Independent recomputation (invariants 3 and 4) — before the
+        // transition runs.
+        let predicted_admit = match *ev {
+            Event::InvokeAdmit {
+                client,
+                thread,
+                target,
+                bypass_caps,
+            } => Some(self.predict_admit(client, thread, target, bypass_caps)),
+            _ => None,
+        };
+        let mut predicted_mark = None;
+        let expected_delta = match *ev {
+            Event::Charge(d) => d,
+            Event::AdvanceTo(t) => t.saturating_sub(pre_time),
+            Event::ChargeUpcall { .. } => self.state.costs.upcall,
+            Event::InvokeAdmit { .. } => {
+                if predicted_admit == Some(AdmitOutcome::Admitted) {
+                    self.state.costs.invocation
+                } else {
+                    SimTime::ZERO
+                }
+            }
+            Event::MicroReboot { component } => {
+                let (t, mark) = self.shadow_reboot(component, pre_time);
+                predicted_mark = mark;
+                t.saturating_sub(pre_time)
+            }
+            Event::ColdRestart { component } => {
+                self.shadow_degraded.remove(&component.0);
+                self.shadow_hist.remove(&component.0);
+                self.state.costs.micro_reboot
+            }
+            _ => SimTime::ZERO,
+        };
+        self.expected_time += expected_delta;
+
+        // The transition under test — the snapshotting spelling, so
+        // every walk step also exercises the copy-on-write tables.
+        let (next, fx) = step(&self.state, ev);
+        self.state = next;
+
+        // Fold the effect stream and raw event into the shadow tables.
+        for e in fx.iter() {
+            match *e {
+                Effect::CountFault(c) => self.shadow_faulty[c.0 as usize] = true,
+                Effect::CountReboot(c) | Effect::CountColdRestart(c) => {
+                    self.shadow_faulty[c.0 as usize] = false;
+                }
+                _ => {}
+            }
+        }
+        match *ev {
+            Event::BeginRecovery { component } => self.shadow_stack.push(component),
+            Event::EndRecovery { component } => {
+                if let Some(pos) = self.shadow_stack.iter().rposition(|&c| c == component) {
+                    self.shadow_stack.remove(pos);
+                }
+            }
+            Event::MarkDegraded { component, until } => {
+                self.shadow_degraded.insert(component.0, until);
+            }
+            Event::InvokeAdmit { thread, target, .. } => {
+                let actual = fx.reply;
+                if let Some(predicted) = predicted_admit {
+                    if actual != Reply::Admit(predicted) {
+                        return Err(Violation {
+                            invariant: "state-effect-agreement",
+                            detail: format!(
+                                "admission of {ev:?} predicted {predicted:?} from shadow \
+                                 σ-tables but the kernel replied {actual:?}"
+                            ),
+                        });
+                    }
+                }
+                if actual == Reply::Admit(AdmitOutcome::Admitted) {
+                    self.pending.push((thread, target));
+                }
+            }
+            Event::InvokeFinish { thread, target, .. } | Event::InvokeAbort { thread, target } => {
+                if let Some(pos) = self
+                    .pending
+                    .iter()
+                    .position(|&(t, c)| t == thread && c == target)
+                {
+                    self.pending.remove(pos);
+                }
+            }
+            Event::MicroReboot { component } => {
+                if let Reply::Reboot(RebootOutcome::Done { mark_degraded }) = fx.reply {
+                    if mark_degraded != predicted_mark {
+                        return Err(Violation {
+                            invariant: "state-effect-agreement",
+                            detail: format!(
+                                "reboot of {component:?} predicted storm verdict \
+                                 {predicted_mark:?} but the kernel replied {mark_degraded:?}"
+                            ),
+                        });
+                    }
+                    if let Some(until) = mark_degraded {
+                        self.pending_mark = Some((component, until));
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // Seeded bug shapes (mutation-style sanity tests).
+        #[cfg(test)]
+        if self.bugs.lost_wakeup {
+            if let Event::Fault { component } = *ev {
+                let first_woken = fx.iter().find_map(|e| match *e {
+                    Effect::FaultWoke { thread, .. } => Some(thread),
+                    _ => None,
+                });
+                if let Some(t) = first_woken {
+                    // The effect stream says this thread woke; the buggy
+                    // kernel "forgot" to apply it.
+                    self.state.threads_mut()[t.0 as usize].state = ThreadState::Blocked {
+                        in_component: component,
+                    };
+                }
+            }
+        }
+
+        self.check_invariants(ev, &fx.reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{run_check, CheckConfig};
+
+    #[test]
+    fn clean_walk_holds_all_invariants() {
+        let mut walk = KernelWalk::new();
+        let report = run_check(
+            &mut walk,
+            &CheckConfig {
+                seed: 0xC3_5EED,
+                steps: 10_000,
+                max_shrink_iters: 2_000,
+            },
+        );
+        if let Some(cex) = &report.counterexample {
+            panic!(
+                "clean model violated {}: {}\nshrunk events: {:#?}",
+                cex.violation.invariant, cex.violation.detail, cex.events
+            );
+        }
+        assert_eq!(report.steps_run, 10_000);
+    }
+
+    #[test]
+    fn several_seeds_hold() {
+        for seed in [1u64, 2, 3, 0xDEAD_BEEF] {
+            let mut walk = KernelWalk::new();
+            let report = run_check(
+                &mut walk,
+                &CheckConfig {
+                    seed,
+                    steps: 2_000,
+                    max_shrink_iters: 1_000,
+                },
+            );
+            assert!(
+                report.passed(),
+                "seed {seed}: {:?}",
+                report.counterexample.map(|c| c.violation)
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_lost_wakeup_is_caught_and_shrunk() {
+        let mut walk = KernelWalk::new();
+        walk.bugs.lost_wakeup = true;
+        let report = run_check(
+            &mut walk,
+            &CheckConfig {
+                seed: 0xC3_5EED,
+                steps: 3_000,
+                max_shrink_iters: 2_000,
+            },
+        );
+        let cex = report
+            .counterexample
+            .expect("a blocked thread plus a fault appears well inside the budget");
+        assert_eq!(cex.violation.invariant, "no-lost-wakeups");
+        // Minimal shape: block a thread in a server, fault the server.
+        assert!(
+            cex.events.len() <= 4,
+            "expected a near-minimal counterexample, got {:#?}",
+            cex.events
+        );
+        assert!(
+            matches!(cex.events.last(), Some(Event::Fault { .. })),
+            "the violating step is the fault: {:#?}",
+            cex.events
+        );
+        assert!(cex.events.len() < cex.original_len);
+    }
+
+    #[test]
+    fn seeded_unbounded_nest_is_caught_and_shrunk() {
+        let mut walk = KernelWalk::new();
+        walk.bugs.unbounded_nest = true;
+        let report = run_check(
+            &mut walk,
+            &CheckConfig {
+                seed: 7,
+                steps: 6_000,
+                max_shrink_iters: 3_000,
+            },
+        );
+        let cex = report
+            .counterexample
+            .expect("unbounded nesting crosses the depth bound inside the budget");
+        assert_eq!(cex.violation.invariant, "bounded-episode-depth");
+        // Minimal shape: MAX_MODEL_DEPTH + 1 un-matched BeginRecovery
+        // events (shrinking deletes everything else).
+        assert_eq!(cex.events.len(), MAX_MODEL_DEPTH + 1, "{:#?}", cex.events);
+        assert!(cex
+            .events
+            .iter()
+            .all(|e| matches!(e, Event::BeginRecovery { .. })));
+    }
+}

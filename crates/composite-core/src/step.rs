@@ -1,0 +1,688 @@
+//! The pure kernel transition function.
+//!
+//! [`step`] is total, deterministic, and side-effect-free: it consumes a
+//! [`KernelState`] and an [`Event`] and produces the successor state
+//! plus the [`Effects`] the runtime shell must apply (counter bumps,
+//! trace events). Effect *order* mirrors the order the imperative
+//! kernel performed those actions, so a shell that folds the list
+//! reproduces the established traces byte for byte.
+//!
+//! [`step_in_place`] is the allocation-free spelling used on the hot
+//! path; [`step`] is the persistent spelling the model checker and
+//! `sgtrace replay` fold over (an O(1) clone per step thanks to the
+//! `Arc`-shared tables).
+
+use crate::effect::{Effect, Effects};
+use crate::event::{AdmitOutcome, Event, RebootOutcome, Reply, WakeOutcome};
+use crate::ids::{ComponentId, Epoch, ThreadId};
+use crate::mechanism::Mechanism;
+use crate::state::{ComponentMeta, ComponentState, KernelState, BOOT_THREAD};
+use crate::thread::{Thread, ThreadState};
+use crate::time::SimTime;
+
+/// Apply one event to a snapshot, returning the successor state and the
+/// deferred runtime effects. O(1) except for the tables the transition
+/// actually touches (copy-on-write).
+#[must_use]
+pub fn step(state: &KernelState, ev: &Event) -> (KernelState, Effects) {
+    let mut next = state.clone();
+    let fx = step_in_place(&mut next, ev);
+    (next, fx)
+}
+
+/// Apply one event in place. Semantically identical to [`step`]; this
+/// spelling avoids the snapshot when the caller owns the state.
+pub fn step_in_place(state: &mut KernelState, ev: &Event) -> Effects {
+    match *ev {
+        Event::AddComponent { has_service } => {
+            let id = ComponentId(state.components.len() as u32);
+            state.components_mut().push(ComponentMeta {
+                state: ComponentState::Active,
+                epoch: Epoch::default(),
+                has_service,
+            });
+            Effects::with_reply(Reply::Component(id))
+        }
+        Event::AddThread { home, priority } => {
+            let id = ThreadId(state.threads.len() as u32);
+            state.threads_mut().push(Thread::new(id, home, priority));
+            Effects::with_reply(Reply::Thread(id))
+        }
+        Event::Grant { client, server } => {
+            state.caps_mut().grant(client, server);
+            Effects::none()
+        }
+        Event::SetCosts(costs) => {
+            state.costs = costs;
+            Effects::none()
+        }
+        Event::SetEscalation(policy) => {
+            state.escalation = policy;
+            Effects::none()
+        }
+        Event::SetWatchdogBudget(budget) => {
+            state.watchdog_budget = budget;
+            Effects::none()
+        }
+        Event::Charge(cost) => {
+            state.time += cost;
+            Effects::none()
+        }
+        Event::AdvanceTo(t) => {
+            if t > state.time {
+                state.time = t;
+            }
+            let now = state.time;
+            let mut fx = Effects::none();
+            // Wake in thread-id order: the shell's trace events and
+            // wakeup counts follow this order.
+            if state
+                .threads
+                .iter()
+                .any(|th| matches!(th.state, ThreadState::SleepingUntil(d) if d <= now))
+            {
+                for th in state.threads_mut() {
+                    if let ThreadState::SleepingUntil(d) = th.state {
+                        if d <= now {
+                            th.state = ThreadState::Runnable;
+                            fx.push(Effect::ThreadWoken {
+                                thread: th.id,
+                                site: th.home,
+                            });
+                        }
+                    }
+                }
+            }
+            fx
+        }
+        Event::BlockThread {
+            thread,
+            in_component,
+        } => {
+            let mut fx = Effects::none();
+            // Missing threads are silently ignored (established
+            // behavior of the internal block path).
+            if state.thread(thread).is_some() {
+                state.threads_mut()[thread.0 as usize].state =
+                    ThreadState::Blocked { in_component };
+                fx.push(Effect::ThreadBlocked {
+                    thread,
+                    in_component,
+                });
+            }
+            fx
+        }
+        Event::SleepThread { thread, until } => {
+            let mut fx = Effects::none();
+            if let Some(th) = state.thread(thread) {
+                let home = th.home;
+                state.threads_mut()[thread.0 as usize].state = ThreadState::SleepingUntil(until);
+                fx.push(Effect::ThreadSlept {
+                    thread,
+                    home,
+                    until,
+                });
+            }
+            fx
+        }
+        Event::WakeThread { thread } => {
+            let Some(th) = state.thread(thread) else {
+                return Effects::with_reply(Reply::Wake(WakeOutcome::NoSuchThread));
+            };
+            match th.state {
+                ThreadState::Blocked { .. } | ThreadState::SleepingUntil(_) => {
+                    let site = match th.state {
+                        ThreadState::Blocked { in_component } => in_component,
+                        _ => th.home,
+                    };
+                    state.threads_mut()[thread.0 as usize].state = ThreadState::Runnable;
+                    let mut fx = Effects::with_reply(Reply::Wake(WakeOutcome::Woken));
+                    fx.push(Effect::ThreadWoken { thread, site });
+                    fx
+                }
+                ThreadState::Runnable => {
+                    Effects::with_reply(Reply::Wake(WakeOutcome::AlreadyRunnable))
+                }
+                ThreadState::Completed | ThreadState::Crashed => {
+                    Effects::with_reply(Reply::Wake(WakeOutcome::BadState))
+                }
+            }
+        }
+        Event::BeginRecovery { component } => {
+            state.recoveries_mut().push(component);
+            let mut fx = Effects::none();
+            if let Some(victim) = state.armed_recovery_fault {
+                // Fire only once the victim is healthy enough to fault
+                // again (an already-faulty victim keeps the fault armed
+                // for a later recovery action).
+                if !state.is_faulty(victim) {
+                    state.armed_recovery_fault = None;
+                    fault_transition(state, victim, &mut fx);
+                }
+            }
+            fx
+        }
+        Event::EndRecovery { component } => {
+            if let Some(pos) = state
+                .active_recoveries
+                .iter()
+                .rposition(|&x| x == component)
+            {
+                state.recoveries_mut().remove(pos);
+            }
+            Effects::none()
+        }
+        Event::ArmRecoveryFault { victim } => {
+            state.armed_recovery_fault = Some(victim);
+            Effects::none()
+        }
+        Event::DisarmRecoveryFault => {
+            state.armed_recovery_fault = None;
+            Effects::none()
+        }
+        Event::Fault { component } => {
+            let mut fx = Effects::none();
+            let woken = fault_transition(state, component, &mut fx);
+            fx.reply = Reply::Woken(woken);
+            fx
+        }
+        Event::WatchdogExpire { component, thread } => {
+            let mut fx = Effects::none();
+            fx.push(Effect::CountWatchdogFire(component));
+            fx.push(Effect::WatchdogFired { component, thread });
+            let woken = fault_transition(state, component, &mut fx);
+            fx.reply = Reply::Woken(woken);
+            fx
+        }
+        Event::InvokeAdmit {
+            client,
+            thread,
+            target,
+            bypass_caps,
+        } => {
+            if target.0 as usize >= state.components.len() {
+                return Effects::with_reply(Reply::Admit(AdmitOutcome::NoSuchComponent));
+            }
+            if !bypass_caps && !state.caps.allows(client, target) {
+                return Effects::with_reply(Reply::Admit(AdmitOutcome::NoCapability));
+            }
+            if let Some(&until) = state.degraded.get(&target.0) {
+                if state.time < until {
+                    // Fail fast while the degraded cooldown holds: no
+                    // thread migration, just a cheap rejection.
+                    let mut fx = Effects::with_reply(Reply::Admit(AdmitOutcome::Degraded));
+                    fx.push(Effect::CountDegradedRejection(target));
+                    return fx;
+                }
+                // Cooldown elapsed: the shell performs the cold restart
+                // that clears the mark, then re-admits.
+                return Effects::with_reply(Reply::Admit(AdmitOutcome::NeedColdRestart));
+            }
+            if state.components[target.0 as usize].state == ComponentState::Faulty {
+                let mut fx = Effects::with_reply(Reply::Admit(AdmitOutcome::Faulty));
+                fx.push(Effect::CountFaultedInvocation(target));
+                return fx;
+            }
+            let Some(th) = state.thread(thread) else {
+                return Effects::with_reply(Reply::Admit(AdmitOutcome::NoSuchThread));
+            };
+            if th.invocation_stack.contains(&target) {
+                return Effects::with_reply(Reply::Admit(AdmitOutcome::Reentrant));
+            }
+            state.threads_mut()[thread.0 as usize]
+                .invocation_stack
+                .push(target);
+            state.time += state.costs.invocation;
+            Effects::with_reply(Reply::Admit(AdmitOutcome::Admitted))
+        }
+        Event::InvokeAbort { thread, target } => {
+            pop_stack(state, thread, target);
+            Effects::none()
+        }
+        Event::InvokeFinish { thread, target, ok } => {
+            pop_stack(state, thread, target);
+            let mut fx = Effects::none();
+            if ok {
+                fx.push(Effect::CountInvocation(target));
+            }
+            fx
+        }
+        Event::ChargeUpcall { server, thread } => {
+            let dur = state.costs.upcall;
+            state.time += dur;
+            let mut fx = Effects::none();
+            fx.push(Effect::CountUpcall);
+            fx.push(Effect::MechanismFired {
+                component: server,
+                mech: Mechanism::U0,
+                n: 1,
+                thread,
+                dur,
+            });
+            fx
+        }
+        Event::NoteUpcall => {
+            let mut fx = Effects::none();
+            fx.push(Effect::CountUpcall);
+            fx
+        }
+        Event::MicroReboot { component } => {
+            let Some(meta) = state.component(component) else {
+                return Effects::with_reply(Reply::Reboot(RebootOutcome::NotAService));
+            };
+            if !meta.has_service {
+                return Effects::with_reply(Reply::Reboot(RebootOutcome::NotAService));
+            }
+            {
+                let m = &mut state.components_mut()[component.0 as usize];
+                m.epoch = m.epoch.next();
+                m.state = ComponentState::Active;
+            }
+            state.time += state.costs.micro_reboot;
+            let mut mark_degraded = None;
+            if state.escalation.is_enabled() {
+                // Lazily drop an expired degraded mark (the booter's
+                // cold restart supersedes it) so history restarts clean.
+                if state
+                    .degraded
+                    .get(&component.0)
+                    .is_some_and(|&until| state.time >= until)
+                {
+                    state.degraded_mut().remove(&component.0);
+                    state.reboot_history_mut().remove(&component.0);
+                }
+                let window = state.escalation.reboot_window;
+                let window_start = state.time.saturating_sub(window);
+                let hist = state.reboot_history_mut().entry(component.0).or_default();
+                while hist.front().is_some_and(|&t0| t0 < window_start) {
+                    hist.pop_front();
+                }
+                let prior = hist.len() as u32;
+                if prior > 0 {
+                    // Deterministic exponential backoff from the second
+                    // reboot in the window, capped at base << 6.
+                    let backoff = SimTime(state.escalation.reboot_backoff.0 << (prior - 1).min(6));
+                    state.time += backoff;
+                }
+                let now = state.time;
+                let max = state.escalation.max_reboots_in_window;
+                let cooldown = state.escalation.degraded_cooldown;
+                let hist = state.reboot_history_mut().entry(component.0).or_default();
+                hist.push_back(now);
+                if hist.len() as u32 > max {
+                    hist.clear();
+                    mark_degraded = Some(now + cooldown);
+                }
+            }
+            let mut fx = Effects::with_reply(Reply::Reboot(RebootOutcome::Done { mark_degraded }));
+            fx.push(Effect::CountReboot(component));
+            fx
+        }
+        Event::ColdRestart { component } => {
+            let Some(meta) = state.component(component) else {
+                return Effects::with_reply(Reply::Reboot(RebootOutcome::NotAService));
+            };
+            if !meta.has_service {
+                return Effects::with_reply(Reply::Reboot(RebootOutcome::NotAService));
+            }
+            {
+                let m = &mut state.components_mut()[component.0 as usize];
+                m.epoch = m.epoch.next();
+                m.state = ComponentState::Active;
+            }
+            state.degraded_mut().remove(&component.0);
+            state.reboot_history_mut().remove(&component.0);
+            state.time += state.costs.micro_reboot;
+            let mut fx = Effects::with_reply(Reply::Reboot(RebootOutcome::Done {
+                mark_degraded: None,
+            }));
+            fx.push(Effect::CountColdRestart(component));
+            fx
+        }
+        Event::MarkDegraded { component, until } => {
+            state.degraded_mut().insert(component.0, until);
+            let mut fx = Effects::none();
+            fx.push(Effect::DegradedMarked { component, until });
+            fx
+        }
+    }
+}
+
+/// The fail-stop fault transition shared by [`Event::Fault`],
+/// [`Event::WatchdogExpire`], and armed during-recovery faults: mark
+/// the component faulty, count the fault (plus the nested-fault counter
+/// when recovery is in flight), and eagerly wake every thread blocked
+/// in it (**T0**). Returns the number of threads woken.
+fn fault_transition(state: &mut KernelState, c: ComponentId, fx: &mut Effects) -> u64 {
+    let Some(meta) = state.component(c) else {
+        return 0;
+    };
+    let epoch = meta.epoch;
+    state.components_mut()[c.0 as usize].state = ComponentState::Faulty;
+    fx.push(Effect::CountFault(c));
+    let nested = !state.active_recoveries.is_empty();
+    if nested {
+        fx.push(Effect::CountNestedFault(c));
+    }
+    fx.push(Effect::FaultRaised {
+        component: c,
+        epoch,
+        nested,
+    });
+    let mut woken = 0u64;
+    let any_blocked = state
+        .threads
+        .iter()
+        .any(|th| th.state == ThreadState::Blocked { in_component: c });
+    if any_blocked {
+        for th in state.threads_mut() {
+            if th.state == (ThreadState::Blocked { in_component: c }) {
+                th.state = ThreadState::Runnable;
+                fx.push(Effect::FaultWoke {
+                    component: c,
+                    thread: th.id,
+                });
+                woken += 1;
+            }
+        }
+    }
+    // T0: the eager release of threads blocked in the failed component
+    // (§III-C). The shell's choke point no-ops when `n == 0`.
+    fx.push(Effect::MechanismFired {
+        component: c,
+        mech: Mechanism::T0,
+        n: woken,
+        thread: BOOT_THREAD,
+        dur: SimTime::ZERO,
+    });
+    woken
+}
+
+fn pop_stack(state: &mut KernelState, thread: ThreadId, target: ComponentId) {
+    if let Some(th) = state.thread(thread) {
+        if th.invocation_stack.last() == Some(&target) {
+            state.threads_mut()[thread.0 as usize]
+                .invocation_stack
+                .pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Priority;
+    use crate::state::{EscalationPolicy, BOOTER};
+    use crate::time::CostModel;
+
+    fn storm_policy() -> EscalationPolicy {
+        EscalationPolicy {
+            reboot_window: SimTime(1_000_000),
+            max_reboots_in_window: 3,
+            degraded_cooldown: SimTime(5_000_000),
+            reboot_backoff: SimTime(10),
+        }
+    }
+
+    fn base() -> KernelState {
+        let mut s = KernelState::with_costs(CostModel::free());
+        // booter + boot thread, one service, one client, one app thread
+        let _ = step_in_place(&mut s, &Event::AddComponent { has_service: false });
+        let _ = step_in_place(
+            &mut s,
+            &Event::AddThread {
+                home: BOOTER,
+                priority: Priority::HIGHEST,
+            },
+        );
+        let _ = step_in_place(&mut s, &Event::AddComponent { has_service: false });
+        let _ = step_in_place(&mut s, &Event::AddComponent { has_service: true });
+        let _ = step_in_place(
+            &mut s,
+            &Event::Grant {
+                client: ComponentId(1),
+                server: ComponentId(2),
+            },
+        );
+        let _ = step_in_place(
+            &mut s,
+            &Event::AddThread {
+                home: ComponentId(1),
+                priority: Priority(5),
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn step_is_pure_against_its_input() {
+        let s = base();
+        let snap = s.clone();
+        let (next, _) = step(
+            &s,
+            &Event::Fault {
+                component: ComponentId(2),
+            },
+        );
+        assert_eq!(s, snap, "step must not mutate its input");
+        assert!(next.is_faulty(ComponentId(2)));
+        assert!(!s.is_faulty(ComponentId(2)));
+    }
+
+    #[test]
+    fn admission_charges_and_migrates() {
+        let mut s = base();
+        s.costs.invocation = SimTime(700);
+        let fx = step_in_place(
+            &mut s,
+            &Event::InvokeAdmit {
+                client: ComponentId(1),
+                thread: ThreadId(1),
+                target: ComponentId(2),
+                bypass_caps: false,
+            },
+        );
+        assert_eq!(fx.reply, Reply::Admit(AdmitOutcome::Admitted));
+        assert_eq!(s.time, SimTime(700));
+        assert_eq!(
+            s.thread(ThreadId(1)).unwrap().invocation_stack.last(),
+            Some(&ComponentId(2))
+        );
+        let fx = step_in_place(
+            &mut s,
+            &Event::InvokeFinish {
+                thread: ThreadId(1),
+                target: ComponentId(2),
+                ok: true,
+            },
+        );
+        assert_eq!(fx.iter().count(), 1);
+        assert_eq!(
+            s.thread(ThreadId(1)).unwrap().invocation_stack.last(),
+            Some(&ComponentId(1))
+        );
+    }
+
+    #[test]
+    fn admission_rejects_in_established_order() {
+        let mut s = base();
+        let admit = |s: &mut KernelState, client, target| {
+            step_in_place(
+                s,
+                &Event::InvokeAdmit {
+                    client,
+                    thread: ThreadId(1),
+                    target,
+                    bypass_caps: false,
+                },
+            )
+            .reply
+        };
+        assert_eq!(
+            admit(&mut s, ComponentId(1), ComponentId(9)),
+            Reply::Admit(AdmitOutcome::NoSuchComponent)
+        );
+        assert_eq!(
+            admit(&mut s, ComponentId(2), ComponentId(1)),
+            Reply::Admit(AdmitOutcome::NoCapability)
+        );
+        let _ = step_in_place(
+            &mut s,
+            &Event::Fault {
+                component: ComponentId(2),
+            },
+        );
+        assert_eq!(
+            admit(&mut s, ComponentId(1), ComponentId(2)),
+            Reply::Admit(AdmitOutcome::Faulty)
+        );
+        // Reentrancy: the thread's own home is always on its stack.
+        assert_eq!(
+            admit(&mut s, ComponentId(1), ComponentId(1)),
+            Reply::Admit(AdmitOutcome::Reentrant)
+        );
+    }
+
+    #[test]
+    fn fault_wakes_blocked_threads_in_order() {
+        let mut s = base();
+        let _ = step_in_place(
+            &mut s,
+            &Event::AddThread {
+                home: ComponentId(1),
+                priority: Priority(5),
+            },
+        );
+        for t in [ThreadId(1), ThreadId(2)] {
+            let _ = step_in_place(
+                &mut s,
+                &Event::BlockThread {
+                    thread: t,
+                    in_component: ComponentId(2),
+                },
+            );
+        }
+        let fx = step_in_place(
+            &mut s,
+            &Event::Fault {
+                component: ComponentId(2),
+            },
+        );
+        assert_eq!(fx.reply, Reply::Woken(2));
+        let woken: Vec<ThreadId> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::FaultWoke { thread, .. } => Some(*thread),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(woken, vec![ThreadId(1), ThreadId(2)]);
+        assert!(s.thread(ThreadId(1)).unwrap().state.is_runnable());
+    }
+
+    #[test]
+    fn nested_fault_is_counted() {
+        let mut s = base();
+        let _ = step_in_place(
+            &mut s,
+            &Event::BeginRecovery {
+                component: ComponentId(2),
+            },
+        );
+        let fx = step_in_place(
+            &mut s,
+            &Event::Fault {
+                component: ComponentId(2),
+            },
+        );
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::CountNestedFault(c) if *c == ComponentId(2))));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::FaultRaised { nested: true, .. })));
+    }
+
+    #[test]
+    fn armed_fault_fires_on_begin_recovery() {
+        let mut s = base();
+        let _ = step_in_place(
+            &mut s,
+            &Event::ArmRecoveryFault {
+                victim: ComponentId(2),
+            },
+        );
+        let fx = step_in_place(
+            &mut s,
+            &Event::BeginRecovery {
+                component: ComponentId(2),
+            },
+        );
+        assert!(s.is_faulty(ComponentId(2)));
+        assert_eq!(s.armed_recovery_fault, None);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::FaultRaised { nested: true, .. })));
+    }
+
+    #[test]
+    fn reboot_storm_escalates_to_degraded() {
+        let mut s = base();
+        s.escalation = storm_policy();
+        let mut marked = None;
+        for _ in 0..4 {
+            let fx = step_in_place(
+                &mut s,
+                &Event::MicroReboot {
+                    component: ComponentId(2),
+                },
+            );
+            if let Reply::Reboot(RebootOutcome::Done { mark_degraded }) = fx.reply {
+                if mark_degraded.is_some() {
+                    marked = mark_degraded;
+                }
+            }
+        }
+        let until = marked.expect("4th reboot in window trips the policy");
+        let fx = step_in_place(
+            &mut s,
+            &Event::MarkDegraded {
+                component: ComponentId(2),
+                until,
+            },
+        );
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::DegradedMarked { .. })));
+        assert!(s.is_degraded(ComponentId(2)));
+        // Cold restart clears the mark and history.
+        let _ = step_in_place(
+            &mut s,
+            &Event::ColdRestart {
+                component: ComponentId(2),
+            },
+        );
+        assert!(!s.is_degraded(ComponentId(2)));
+        assert!(s.reboot_history.get(&2).is_none());
+    }
+
+    #[test]
+    fn advance_to_wakes_due_sleepers_only() {
+        let mut s = base();
+        let _ = step_in_place(
+            &mut s,
+            &Event::SleepThread {
+                thread: ThreadId(1),
+                until: SimTime(1000),
+            },
+        );
+        let fx = step_in_place(&mut s, &Event::AdvanceTo(SimTime(999)));
+        assert!(fx.is_empty());
+        let fx = step_in_place(&mut s, &Event::AdvanceTo(SimTime(1000)));
+        assert_eq!(fx.iter().count(), 1);
+        assert!(s.thread(ThreadId(1)).unwrap().state.is_runnable());
+        // Never backwards.
+        let _ = step_in_place(&mut s, &Event::AdvanceTo(SimTime(10)));
+        assert_eq!(s.time, SimTime(1000));
+    }
+}

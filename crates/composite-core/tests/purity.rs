@@ -1,0 +1,158 @@
+//! Lint-level purity check for the pure kernel core.
+//!
+//! `composite-core` exists so that `step(KernelState, Event)` is a real
+//! function: same inputs, same outputs, nothing else. The type system
+//! enforces most of that (no `&mut self` receivers on `step`, `KernelState`
+//! is plain data), but interior mutability and ambient I/O would slip
+//! through unnoticed. This test scans the crate's own sources for the
+//! constructs that would break the contract, so a future edit that
+//! reintroduces them fails CI with a pointed message rather than a
+//! subtle nondeterminism.
+
+/// Every module of the crate, embedded at compile time so the test needs
+/// no filesystem access at run time and cannot drift from what was built.
+static SOURCES: &[(&str, &str)] = &[
+    ("lib.rs", include_str!("../src/lib.rs")),
+    ("ids.rs", include_str!("../src/ids.rs")),
+    ("time.rs", include_str!("../src/time.rs")),
+    ("rng.rs", include_str!("../src/rng.rs")),
+    ("value.rs", include_str!("../src/value.rs")),
+    ("error.rs", include_str!("../src/error.rs")),
+    ("capability.rs", include_str!("../src/capability.rs")),
+    ("pages.rs", include_str!("../src/pages.rs")),
+    ("thread.rs", include_str!("../src/thread.rs")),
+    ("mechanism.rs", include_str!("../src/mechanism.rs")),
+    ("state.rs", include_str!("../src/state.rs")),
+    ("event.rs", include_str!("../src/event.rs")),
+    ("effect.rs", include_str!("../src/effect.rs")),
+    ("step.rs", include_str!("../src/step.rs")),
+    ("check.rs", include_str!("../src/check.rs")),
+    ("model.rs", include_str!("../src/model.rs")),
+];
+
+/// Constructs that would let hidden state or I/O leak into `step`.
+static BANNED: &[(&str, &str)] = &[
+    (
+        "RefCell",
+        "interior mutability defeats the pure-step contract",
+    ),
+    (
+        "UnsafeCell",
+        "interior mutability defeats the pure-step contract",
+    ),
+    (
+        "Cell<",
+        "interior mutability defeats the pure-step contract",
+    ),
+    (
+        "Mutex",
+        "shared mutable state defeats the pure-step contract",
+    ),
+    (
+        "RwLock",
+        "shared mutable state defeats the pure-step contract",
+    ),
+    (
+        "Atomic",
+        "shared mutable state defeats the pure-step contract",
+    ),
+    (
+        "static mut",
+        "global mutable state defeats the pure-step contract",
+    ),
+    (
+        "thread_local",
+        "global mutable state defeats the pure-step contract",
+    ),
+    (
+        "println!",
+        "the core must not write to stdout; emit an Effect",
+    ),
+    (
+        "eprintln!",
+        "the core must not write to stderr; emit an Effect",
+    ),
+    (
+        "std::io",
+        "the core performs no I/O; the runtime shell does",
+    ),
+    (
+        "std::fs",
+        "the core performs no I/O; the runtime shell does",
+    ),
+    (
+        "std::net",
+        "the core performs no I/O; the runtime shell does",
+    ),
+    ("std::env", "the core reads no ambient environment"),
+    (
+        "SystemTime",
+        "wall-clock time is nondeterministic; use SimTime",
+    ),
+    (
+        "Instant",
+        "wall-clock time is nondeterministic; use SimTime",
+    ),
+    (
+        "std::thread",
+        "the core spawns nothing; the runtime shell does",
+    ),
+    (
+        "std::process",
+        "the core spawns nothing; the runtime shell does",
+    ),
+];
+
+#[test]
+fn core_sources_contain_no_interior_mutability_or_io() {
+    let mut offences = Vec::new();
+    for (file, src) in SOURCES {
+        for (needle, why) in BANNED {
+            for (idx, line) in src.lines().enumerate() {
+                if line.contains(needle) {
+                    offences.push(format!(
+                        "{file}:{}: `{needle}` — {why}\n    {}",
+                        idx + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        offences.is_empty(),
+        "impure constructs found in composite-core:\n{}",
+        offences.join("\n")
+    );
+}
+
+#[test]
+fn core_forbids_unsafe_code() {
+    let lib = SOURCES
+        .iter()
+        .find(|(f, _)| *f == "lib.rs")
+        .map(|(_, s)| *s)
+        .unwrap();
+    assert!(
+        lib.contains("#![forbid(unsafe_code)]"),
+        "composite-core/src/lib.rs must keep `#![forbid(unsafe_code)]`"
+    );
+}
+
+#[test]
+fn core_has_no_dependencies() {
+    // The pure core is dependency-free by construction: everything it
+    // could pull in is a potential source of hidden state.
+    let manifest = include_str!("../Cargo.toml");
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if in_deps && !line.is_empty() && !line.starts_with('#') {
+            panic!("composite-core must stay dependency-free, found: {line}");
+        }
+    }
+}

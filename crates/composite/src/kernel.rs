@@ -1,8 +1,27 @@
-//! The simulated COMPOSITE kernel: component table, thread table,
-//! capability-mediated synchronous invocations, simulated page tables,
-//! virtual time, faults and micro-reboots.
+//! The runtime shell around the pure kernel core.
+//!
+//! All kernel *decisions* live in `composite-core`:
+//! [`step`](composite_core::step) consumes a [`KernelState`] and an
+//! [`Event`] and returns the successor state plus an ordered
+//! [`Effects`] list. This module owns everything the pure core cannot:
+//! the flight-recorder ring, the metrics registry, the event counters,
+//! the component-name interner, and the `Box<dyn Service>` images —
+//! and merely drives `step` and folds the returned effects into those
+//! facilities. Effect order mirrors the order the imperative kernel
+//! used to perform its trace/stats writes, so traces stay
+//! byte-identical across the split.
+//!
+//! The public API is unchanged: callers still see `Kernel::invoke`,
+//! `fault`, `micro_reboot`, and friends. New here: [`Kernel::state`]
+//! exposes the core state snapshot (O(1) clone, `Arc`-shared tables)
+//! for the model checker's equivalence harness and `sgtrace replay`
+//! time travel.
 
-use std::collections::{BTreeMap, VecDeque};
+use composite_core::effect::{Effect, Effects};
+use composite_core::event::{AdmitOutcome, Event, RebootOutcome, Reply, WakeOutcome};
+use composite_core::state::KernelState;
+pub use composite_core::state::{ComponentState, EscalationPolicy, BOOTER, BOOT_THREAD};
+use composite_core::step::step_in_place;
 
 use crate::capability::CapTable;
 use crate::component::{Service, ServiceCtx};
@@ -19,128 +38,28 @@ use crate::trace::{
 };
 use crate::value::Value;
 
-/// Reboot-storm escalation policy: when the booter performs more than
-/// `max_reboots_in_window` micro-reboots of one component within
-/// `reboot_window`, the component is marked **degraded** — clients fail
-/// fast with [`CallError::Degraded`] for `degraded_cooldown`, after
-/// which the booter cold-restarts it (fresh image, cleared mark).
-/// Repeated reboots inside the window are additionally spaced by a
-/// deterministic exponential virtual-time backoff starting at
-/// `reboot_backoff`.
-///
-/// The default policy is **disabled** (`reboot_window == 0`): the
-/// established single-fault behavior — reboot immediately, as often as
-/// asked — is unchanged unless a harness opts in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct EscalationPolicy {
-    /// Sliding window over which reboots of one component are counted
-    /// (zero disables escalation entirely).
-    pub reboot_window: SimTime,
-    /// Reboots tolerated inside the window before degradation.
-    pub max_reboots_in_window: u32,
-    /// How long a degraded component rejects clients before the booter
-    /// cold-restarts it.
-    pub degraded_cooldown: SimTime,
-    /// Base backoff charged before the second reboot in a window; doubles
-    /// per additional reboot (capped at `base << 6`).
-    pub reboot_backoff: SimTime,
-}
-
-impl EscalationPolicy {
-    /// The disabled policy (no backoff, no degradation) — the default.
-    #[must_use]
-    pub const fn disabled() -> Self {
-        Self {
-            reboot_window: SimTime::ZERO,
-            max_reboots_in_window: 0,
-            degraded_cooldown: SimTime::ZERO,
-            reboot_backoff: SimTime::ZERO,
-        }
-    }
-
-    /// A calibrated storm policy: more than 3 reboots inside 5 ms marks
-    /// the component degraded for 50 ms; reboots back off from 10 µs.
-    #[must_use]
-    pub const fn storm_defaults() -> Self {
-        Self {
-            reboot_window: SimTime(5_000_000),
-            max_reboots_in_window: 3,
-            degraded_cooldown: SimTime(50_000_000),
-            reboot_backoff: SimTime(10_000),
-        }
-    }
-
-    /// Whether the policy does anything.
-    #[must_use]
-    pub fn is_enabled(&self) -> bool {
-        self.reboot_window > SimTime::ZERO && self.max_reboots_in_window > 0
-    }
-}
-
-/// Lifecycle state of a component.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ComponentState {
-    /// Serving invocations normally.
-    Active,
-    /// Crashed by a (detected, fail-stop) fault; every invocation returns
-    /// [`CallError::Fault`] until micro-rebooted.
-    Faulty,
-}
-
-#[derive(Debug)]
-struct ComponentSlot {
-    /// Interned name: resolved through [`Kernel::names`] only on cold
-    /// paths (trace dumps, snapshots) — never cloned per invocation.
-    name: NameId,
-    state: ComponentState,
-    epoch: Epoch,
-    /// `None` for pure client components (application protection domains
-    /// that export no interface), or while the service is checked out
-    /// during one of its own calls.
-    service: Option<Box<dyn Service>>,
-    /// Whether a service was ever installed (distinguishes "checked out"
-    /// from "client component").
-    has_service: bool,
-}
-
-/// The simulated kernel. See the [crate docs](crate) for the big picture.
+/// The simulated kernel: the pure core state plus the runtime
+/// facilities the core describes through effects. See the
+/// [module docs](self) and the [crate docs](crate) for the big
+/// picture.
 #[derive(Debug)]
 pub struct Kernel {
-    components: Vec<ComponentSlot>,
+    /// The pure core state — the single source of truth for every
+    /// kernel decision.
+    state: KernelState,
     names: Interner,
-    threads: Vec<Thread>,
-    caps: CapTable,
-    pages: PageTables,
-    time: SimTime,
-    costs: CostModel,
+    /// Interned component names, indexed by [`ComponentId`]; resolved
+    /// only on cold paths (trace dumps, snapshots).
+    comp_names: Vec<NameId>,
+    /// Service images, indexed by [`ComponentId`]. `None` for pure
+    /// client components, or while a service is checked out during one
+    /// of its own calls (the core's `has_service` flag distinguishes
+    /// the two).
+    services: Vec<Option<Box<dyn Service>>>,
     stats: KernelStats,
     metrics: MetricsRegistry,
     trace: FlightRecorder,
-    escalation: EscalationPolicy,
-    /// Per-invocation step budget enforced by [`ServiceCtx::progress`]
-    /// (zero disables the watchdog).
-    watchdog_budget: u64,
-    /// Components whose recovery is currently in flight (innermost
-    /// last); a fault raised while this is non-empty is *nested*.
-    active_recoveries: Vec<ComponentId>,
-    /// Degraded components and the virtual time at which the booter's
-    /// cold restart clears the mark, keyed by component id.
-    degraded: BTreeMap<u32, SimTime>,
-    /// Recent reboot timestamps per component (escalation window).
-    reboot_history: BTreeMap<u32, VecDeque<SimTime>>,
-    /// One-shot fault armed to fire the moment the next recovery begins
-    /// (the SWIFI during-recovery injection hook).
-    armed_recovery_fault: Option<ComponentId>,
 }
-
-/// The booter component created by [`Kernel::new`]; it owns micro-reboot
-/// authority, mirroring the paper's step (2)-(3) where the hardware
-/// exception handler vectors to the booter.
-pub const BOOTER: ComponentId = ComponentId(0);
-
-/// The boot thread created by [`Kernel::new`], used for post-reboot
-/// initialization upcalls.
-pub const BOOT_THREAD: ThreadId = ThreadId(0);
 
 impl Kernel {
     /// A fresh kernel with the paper-calibrated [`CostModel`], containing
@@ -154,22 +73,13 @@ impl Kernel {
     #[must_use]
     pub fn with_costs(costs: CostModel) -> Self {
         let mut k = Self {
-            components: Vec::new(),
+            state: KernelState::with_costs(costs),
             names: Interner::new(),
-            threads: Vec::new(),
-            caps: CapTable::new(),
-            pages: PageTables::new(),
-            time: SimTime::ZERO,
-            costs,
+            comp_names: Vec::new(),
+            services: Vec::new(),
             stats: KernelStats::new(),
             metrics: MetricsRegistry::default(),
             trace: FlightRecorder::default(),
-            escalation: EscalationPolicy::disabled(),
-            watchdog_budget: 0,
-            active_recoveries: Vec::new(),
-            degraded: BTreeMap::new(),
-            reboot_history: BTreeMap::new(),
-            armed_recovery_fault: None,
         };
         let booter = k.add_client_component("booter");
         debug_assert_eq!(booter, BOOTER);
@@ -179,87 +89,236 @@ impl Kernel {
     }
 
     // ------------------------------------------------------------------
+    // The step/effect pump
+    // ------------------------------------------------------------------
+
+    /// Drive one event through the pure core and fold its effects into
+    /// the runtime facilities. Returns the core's typed reply.
+    fn apply(&mut self, ev: Event) -> Reply {
+        let fx = step_in_place(&mut self.state, &ev);
+        self.absorb(&fx);
+        fx.reply
+    }
+
+    /// Like [`Kernel::apply`], but returns the trace span of the last
+    /// mechanism firing the effects produced (for scoping nested
+    /// recovery work under a U0 upcall).
+    fn apply_span(&mut self, ev: Event) -> Option<u64> {
+        let fx = step_in_place(&mut self.state, &ev);
+        self.absorb(&fx)
+    }
+
+    /// Fold one effect list, in order, into stats, metrics, and the
+    /// flight recorder. The order is the replay contract: it matches
+    /// the sequence of writes the imperative kernel performed, so the
+    /// resulting trace is byte-identical.
+    fn absorb(&mut self, fx: &Effects) -> Option<u64> {
+        let mut fault_span: Option<u64> = None;
+        let mut last_mech: Option<u64> = None;
+        for e in fx.iter() {
+            match *e {
+                Effect::CountInvocation(c) => self.stats.count_invocation(c),
+                Effect::CountFaultedInvocation(c) => self.stats.count_faulted_invocation(c),
+                Effect::CountFault(c) => self.stats.count_fault(c),
+                Effect::CountNestedFault(c) => self.stats.count_nested_fault(c),
+                Effect::CountReboot(c) => self.stats.count_reboot(c),
+                Effect::CountColdRestart(c) => self.stats.count_cold_restart(c),
+                Effect::CountWatchdogFire(c) => self.stats.count_watchdog_fire(c),
+                Effect::CountDegradedRejection(c) => self.stats.count_degraded_rejection(c),
+                Effect::CountUpcall => self.stats.upcalls += 1,
+                Effect::ThreadBlocked {
+                    thread,
+                    in_component,
+                } => {
+                    self.stats.blocks += 1;
+                    self.trace_instant(in_component, thread, TraceEventKind::Block);
+                }
+                Effect::ThreadSlept {
+                    thread,
+                    home,
+                    until,
+                } => {
+                    self.stats.blocks += 1;
+                    self.trace_instant(home, thread, TraceEventKind::Sleep { until });
+                }
+                Effect::ThreadWoken { thread, site } => {
+                    self.stats.wakeups += 1;
+                    self.trace_instant(site, thread, TraceEventKind::Wake);
+                }
+                Effect::FaultRaised {
+                    component,
+                    epoch,
+                    nested,
+                } => {
+                    fault_span = self.on_fault_raised(component, epoch, nested);
+                }
+                Effect::FaultWoke { component, thread } => {
+                    self.stats.wakeups += 1;
+                    if self.trace.is_enabled() {
+                        self.trace_instant_with_parent(
+                            component,
+                            thread,
+                            fault_span,
+                            TraceEventKind::Wake,
+                        );
+                    }
+                }
+                Effect::WatchdogFired { component, thread } => {
+                    self.trace_instant(component, thread, TraceEventKind::WatchdogFired);
+                }
+                Effect::DegradedMarked { component, until } => {
+                    self.trace_instant(
+                        component,
+                        BOOT_THREAD,
+                        TraceEventKind::DegradedMarked { until },
+                    );
+                }
+                Effect::MechanismFired {
+                    component,
+                    mech,
+                    n,
+                    thread,
+                    dur,
+                } => {
+                    last_mech = self.record_mechanism(component, mech, n, thread, dur);
+                }
+            }
+        }
+        last_mech
+    }
+
+    /// The episode bookkeeping a raised fault triggers: clamp or close
+    /// episodes, emit `fault_injected`, and open the new episode rooted
+    /// at its span. Returns the fault span (when tracing) so the
+    /// subsequent eager wakeups parent to it.
+    fn on_fault_raised(&mut self, c: ComponentId, epoch: Epoch, nested: bool) -> Option<u64> {
+        if !self.trace.is_enabled() {
+            return None;
+        }
+        let (parent, depth) = if nested {
+            // Keep the in-flight episode open; the new fault becomes
+            // a child in the episode tree. Clamp the stack depth by
+            // force-closing the innermost episode first.
+            if self.trace.episode_depth(c) >= MAX_EPISODE_DEPTH {
+                self.trace
+                    .end_episode(c, epoch, self.state.time, BOOT_THREAD);
+            }
+            (self.trace.causal_parent(c), self.trace.episode_depth(c))
+        } else {
+            // The fault roots a new top-level episode: close any
+            // episode still open from the previous fault of this
+            // component first.
+            self.trace
+                .end_episode(c, epoch, self.state.time, BOOT_THREAD);
+            (None, 0)
+        };
+        let span = self.trace.alloc_span();
+        self.trace.record(TraceEvent {
+            span,
+            parent,
+            time: self.state.time,
+            dur: SimTime::ZERO,
+            thread: BOOT_THREAD,
+            component: c,
+            epoch,
+            kind: TraceEventKind::FaultInjected { depth },
+        });
+        self.trace.begin_episode(c, span);
+        Some(span)
+    }
+
+    // ------------------------------------------------------------------
     // Component management
     // ------------------------------------------------------------------
 
     /// Register a service component. Returns its id.
     pub fn add_component(&mut self, name: &str, service: Box<dyn Service>) -> ComponentId {
-        let id = ComponentId(self.components.len() as u32);
-        self.components.push(ComponentSlot {
-            name: self.names.intern(name),
-            state: ComponentState::Active,
-            epoch: Epoch::default(),
-            service: Some(service),
-            has_service: true,
-        });
+        let reply = self.apply(Event::AddComponent { has_service: true });
+        let Reply::Component(id) = reply else {
+            unreachable!("AddComponent always assigns an id")
+        };
+        self.comp_names.push(self.names.intern(name));
+        self.services.push(Some(service));
+        debug_assert_eq!(self.comp_names.len(), self.state.components.len());
         id
     }
 
     /// Register a pure client component (an application protection domain
     /// exporting no interface).
     pub fn add_client_component(&mut self, name: &str) -> ComponentId {
-        let id = ComponentId(self.components.len() as u32);
-        self.components.push(ComponentSlot {
-            name: self.names.intern(name),
-            state: ComponentState::Active,
-            epoch: Epoch::default(),
-            service: None,
-            has_service: false,
-        });
+        let reply = self.apply(Event::AddComponent { has_service: false });
+        let Reply::Component(id) = reply else {
+            unreachable!("AddComponent always assigns an id")
+        };
+        self.comp_names.push(self.names.intern(name));
+        self.services.push(None);
         id
     }
 
     /// Grant `client` the capability to invoke `server`.
     pub fn grant(&mut self, client: ComponentId, server: ComponentId) {
-        self.caps.grant(client, server);
+        let _ = self.apply(Event::Grant { client, server });
     }
 
     /// The capability table (read-only).
     #[must_use]
     pub fn caps(&self) -> &CapTable {
-        &self.caps
+        &self.state.caps
+    }
+
+    /// The pure core state (read-only). O(1) to clone: every table is
+    /// `Arc`-shared, so a snapshot costs a handful of refcount bumps —
+    /// the model checker's equivalence harness and `sgtrace replay`
+    /// time travel build on this.
+    #[must_use]
+    pub fn state(&self) -> &KernelState {
+        &self.state
+    }
+
+    /// An O(1) snapshot of the core state (copy-on-write tables).
+    #[must_use]
+    pub fn snapshot(&self) -> KernelState {
+        self.state.clone()
     }
 
     /// A component's name.
     #[must_use]
     pub fn component_name(&self, c: ComponentId) -> Option<&str> {
-        self.components
+        self.comp_names
             .get(c.0 as usize)
-            .map(|s| self.names.resolve(s.name))
+            .map(|&n| self.names.resolve(n))
     }
 
     /// The interface exported by a component, if it is a service.
     #[must_use]
     pub fn interface_of(&self, c: ComponentId) -> Option<&'static str> {
-        self.components
+        self.services
             .get(c.0 as usize)
-            .and_then(|s| s.service.as_deref())
+            .and_then(|s| s.as_deref())
             .map(Service::interface)
     }
 
     /// Number of components (including the booter).
     #[must_use]
     pub fn component_count(&self) -> usize {
-        self.components.len()
+        self.state.components.len()
     }
 
     /// All component ids, in creation order.
     pub fn component_ids(&self) -> impl Iterator<Item = ComponentId> + '_ {
-        (0..self.components.len() as u32).map(ComponentId)
+        (0..self.state.components.len() as u32).map(ComponentId)
     }
 
     /// Whether a component is currently faulty.
     #[must_use]
     pub fn is_faulty(&self, c: ComponentId) -> bool {
-        self.components
-            .get(c.0 as usize)
-            .is_some_and(|s| s.state == ComponentState::Faulty)
+        self.state.is_faulty(c)
     }
 
     /// The micro-reboot epoch of a component.
     #[must_use]
     pub fn epoch_of(&self, c: ComponentId) -> Option<Epoch> {
-        self.components.get(c.0 as usize).map(|s| s.epoch)
+        self.state.epoch_of(c)
     }
 
     // ------------------------------------------------------------------
@@ -269,8 +328,10 @@ impl Kernel {
     /// Create a runnable thread homed in `home` with the given fixed
     /// priority.
     pub fn create_thread(&mut self, home: ComponentId, priority: Priority) -> ThreadId {
-        let id = ThreadId(self.threads.len() as u32);
-        self.threads.push(Thread::new(id, home, priority));
+        let reply = self.apply(Event::AddThread { home, priority });
+        let Reply::Thread(id) = reply else {
+            unreachable!("AddThread always assigns an id")
+        };
         id
     }
 
@@ -280,57 +341,50 @@ impl Kernel {
     ///
     /// [`KernelError::NoSuchThread`] for unknown ids.
     pub fn thread(&self, t: ThreadId) -> Result<&Thread, KernelError> {
-        self.threads
-            .get(t.0 as usize)
-            .ok_or(KernelError::NoSuchThread(t))
+        self.state.thread(t).ok_or(KernelError::NoSuchThread(t))
     }
 
-    /// Mutable thread access.
+    /// Mutable thread access (executor privilege: dispatch accounting
+    /// and workload-driven state transitions happen outside the event
+    /// alphabet).
     ///
     /// # Errors
     ///
     /// [`KernelError::NoSuchThread`] for unknown ids.
     pub fn thread_mut(&mut self, t: ThreadId) -> Result<&mut Thread, KernelError> {
-        self.threads
-            .get_mut(t.0 as usize)
-            .ok_or(KernelError::NoSuchThread(t))
+        let idx = t.0 as usize;
+        if idx >= self.state.threads.len() {
+            return Err(KernelError::NoSuchThread(t));
+        }
+        Ok(&mut self.state.threads_mut()[idx])
     }
 
     /// Number of threads.
     #[must_use]
     pub fn thread_count(&self) -> usize {
-        self.threads.len()
+        self.state.threads.len()
     }
 
     /// All thread ids.
     pub fn thread_ids(&self) -> impl Iterator<Item = ThreadId> + '_ {
-        (0..self.threads.len() as u32).map(ThreadId)
+        (0..self.state.threads.len() as u32).map(ThreadId)
     }
 
     /// Mark a thread blocked inside `component` (called via
     /// [`ServiceCtx::block_current`]).
     pub(crate) fn block_thread(&mut self, t: ThreadId, component: ComponentId) {
-        if let Some(th) = self.threads.get_mut(t.0 as usize) {
-            th.state = ThreadState::Blocked {
-                in_component: component,
-            };
-            self.stats.blocks += 1;
-            if self.trace.is_enabled() {
-                self.trace_instant(component, t, TraceEventKind::Block);
-            }
-        }
+        let _ = self.apply(Event::BlockThread {
+            thread: t,
+            in_component: component,
+        });
     }
 
     /// Put a thread to sleep until `deadline`.
     pub(crate) fn sleep_thread(&mut self, t: ThreadId, deadline: SimTime) {
-        if let Some(th) = self.threads.get_mut(t.0 as usize) {
-            let home = th.home;
-            th.state = ThreadState::SleepingUntil(deadline);
-            self.stats.blocks += 1;
-            if self.trace.is_enabled() {
-                self.trace_instant(home, t, TraceEventKind::Sleep { until: deadline });
-            }
-        }
+        let _ = self.apply(Event::SleepThread {
+            thread: t,
+            until: deadline,
+        });
     }
 
     /// Wake a blocked or sleeping thread. Waking a runnable thread is a
@@ -341,25 +395,11 @@ impl Kernel {
     /// [`KernelError::NoSuchThread`] for unknown ids,
     /// [`KernelError::BadThreadState`] for completed/crashed threads.
     pub fn wake_thread(&mut self, t: ThreadId) -> Result<(), KernelError> {
-        let th = self
-            .threads
-            .get_mut(t.0 as usize)
-            .ok_or(KernelError::NoSuchThread(t))?;
-        match th.state {
-            ThreadState::Blocked { .. } | ThreadState::SleepingUntil(_) => {
-                let site = match th.state {
-                    ThreadState::Blocked { in_component } => in_component,
-                    _ => th.home,
-                };
-                th.state = ThreadState::Runnable;
-                self.stats.wakeups += 1;
-                if self.trace.is_enabled() {
-                    self.trace_instant(site, t, TraceEventKind::Wake);
-                }
-                Ok(())
-            }
-            ThreadState::Runnable => Ok(()),
-            ThreadState::Completed | ThreadState::Crashed => Err(KernelError::BadThreadState(t)),
+        match self.apply(Event::WakeThread { thread: t }) {
+            Reply::Wake(WakeOutcome::Woken | WakeOutcome::AlreadyRunnable) => Ok(()),
+            Reply::Wake(WakeOutcome::NoSuchThread) => Err(KernelError::NoSuchThread(t)),
+            Reply::Wake(WakeOutcome::BadState) => Err(KernelError::BadThreadState(t)),
+            _ => unreachable!("WakeThread replies Wake"),
         }
     }
 
@@ -367,7 +407,8 @@ impl Kernel {
     /// used by T0 eager wakeup and scheduler recovery).
     #[must_use]
     pub fn threads_blocked_in(&self, component: ComponentId) -> Vec<ThreadId> {
-        self.threads
+        self.state
+            .threads
             .iter()
             .filter(|t| {
                 t.state
@@ -384,7 +425,8 @@ impl Kernel {
     /// fully deterministic).
     #[must_use]
     pub fn next_runnable(&self) -> Option<ThreadId> {
-        self.threads
+        self.state
+            .threads
             .iter()
             .filter(|t| t.state.is_runnable())
             .min_by_key(|t| (t.priority, t.dispatches, t.id))
@@ -394,7 +436,8 @@ impl Kernel {
     /// The earliest pending sleep deadline, if any thread is sleeping.
     #[must_use]
     pub fn earliest_wakeup(&self) -> Option<SimTime> {
-        self.threads
+        self.state
+            .threads
             .iter()
             .filter_map(|t| match t.state {
                 ThreadState::SleepingUntil(d) => Some(d),
@@ -406,26 +449,7 @@ impl Kernel {
     /// Advance virtual time to `t` (never backwards) and wake every
     /// sleeper whose deadline has passed.
     pub fn advance_to(&mut self, t: SimTime) {
-        if t > self.time {
-            self.time = t;
-        }
-        let now = self.time;
-        let tracing = self.trace.is_enabled();
-        let mut woken: Vec<(ThreadId, ComponentId)> = Vec::new();
-        for th in &mut self.threads {
-            if let ThreadState::SleepingUntil(d) = th.state {
-                if d <= now {
-                    th.state = ThreadState::Runnable;
-                    self.stats.wakeups += 1;
-                    if tracing {
-                        woken.push((th.id, th.home));
-                    }
-                }
-            }
-        }
-        for (tid, home) in woken {
-            self.trace_instant(home, tid, TraceEventKind::Wake);
-        }
+        let _ = self.apply(Event::AdvanceTo(t));
     }
 
     // ------------------------------------------------------------------
@@ -435,24 +459,24 @@ impl Kernel {
     /// Current virtual time.
     #[must_use]
     pub fn now(&self) -> SimTime {
-        self.time
+        self.state.time
     }
 
     /// Charge an explicit virtual-time cost (used by the recovery
     /// runtime for walks, storage round trips, upcalls).
     pub fn charge(&mut self, cost: SimTime) {
-        self.time += cost;
+        let _ = self.apply(Event::Charge(cost));
     }
 
     /// The cost model.
     #[must_use]
     pub fn costs(&self) -> &CostModel {
-        &self.costs
+        &self.state.costs
     }
 
     /// Replace the cost model.
     pub fn set_costs(&mut self, costs: CostModel) {
-        self.costs = costs;
+        let _ = self.apply(Event::SetCosts(costs));
     }
 
     /// Event counters.
@@ -461,8 +485,8 @@ impl Kernel {
         &self.stats
     }
 
-    /// Recovery-mechanism metrics (read side; harnesses snapshot these
-    /// via [`crate::metrics::MetricsSnapshot::from_kernel`]).
+    /// Recovery-observability metrics (read side; harnesses snapshot
+    /// these via [`crate::metrics::MetricsSnapshot::from_kernel`]).
     #[must_use]
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
@@ -481,9 +505,7 @@ impl Kernel {
     /// the trace event cannot disagree. Returns the trace span (when
     /// tracing) for scoping the nested creator-side recovery.
     pub fn count_upcall(&mut self, server: ComponentId, thread: ThreadId) -> Option<u64> {
-        self.stats.upcalls += 1;
-        self.time += self.costs.upcall;
-        self.record_mechanism(server, Mechanism::U0, 1, thread, self.costs.upcall)
+        self.apply_span(Event::ChargeUpcall { server, thread })
     }
 
     // ------------------------------------------------------------------
@@ -492,13 +514,13 @@ impl Kernel {
 
     /// Install a reboot-storm [`EscalationPolicy`] (disabled by default).
     pub fn set_escalation(&mut self, policy: EscalationPolicy) {
-        self.escalation = policy;
+        let _ = self.apply(Event::SetEscalation(policy));
     }
 
     /// The active escalation policy.
     #[must_use]
     pub fn escalation(&self) -> &EscalationPolicy {
-        &self.escalation
+        &self.state.escalation
     }
 
     /// Arm the per-invocation watchdog: a service that calls
@@ -506,28 +528,26 @@ impl Kernel {
     /// more than `budget` times inside one invocation is declared hung
     /// and converted into a detected fault. Zero disables the watchdog.
     pub fn set_watchdog_budget(&mut self, budget: u64) {
-        self.watchdog_budget = budget;
+        let _ = self.apply(Event::SetWatchdogBudget(budget));
     }
 
     /// The per-invocation watchdog step budget (0 = disabled).
     #[must_use]
     pub fn watchdog_budget(&self) -> u64 {
-        self.watchdog_budget
+        self.state.watchdog_budget
     }
 
     /// Whether `c` is currently degraded (clients fail fast until the
     /// booter's cold restart).
     #[must_use]
     pub fn is_degraded(&self, c: ComponentId) -> bool {
-        self.degraded
-            .get(&c.0)
-            .is_some_and(|&until| self.time < until)
+        self.state.is_degraded(c)
     }
 
     /// The virtual time at which `c`'s degraded mark clears, if marked.
     #[must_use]
     pub fn degraded_until(&self, c: ComponentId) -> Option<SimTime> {
-        self.degraded.get(&c.0).copied()
+        self.state.degraded_until(c)
     }
 
     /// Mark the start of a recovery action (micro-reboot, walk replay,
@@ -538,36 +558,25 @@ impl Kernel {
     /// [`Kernel::arm_fault_during_recovery`]). Must be paired with
     /// [`Kernel::end_recovery`].
     pub fn begin_recovery(&mut self, c: ComponentId) {
-        self.active_recoveries.push(c);
-        if let Some(victim) = self.armed_recovery_fault {
-            // Fire only once the victim is healthy enough to fault again
-            // (an already-faulty victim keeps the fault armed for a later
-            // recovery action, e.g. the post-reboot replay walk).
-            if !self.is_faulty(victim) {
-                self.armed_recovery_fault = None;
-                self.fault(victim);
-            }
-        }
+        let _ = self.apply(Event::BeginRecovery { component: c });
     }
 
     /// Close the innermost recovery action on `c` opened by
     /// [`Kernel::begin_recovery`].
     pub fn end_recovery(&mut self, c: ComponentId) {
-        if let Some(pos) = self.active_recoveries.iter().rposition(|&x| x == c) {
-            self.active_recoveries.remove(pos);
-        }
+        let _ = self.apply(Event::EndRecovery { component: c });
     }
 
     /// How many recovery actions are currently in flight.
     #[must_use]
     pub fn recovery_depth(&self) -> usize {
-        self.active_recoveries.len()
+        self.state.recovery_depth()
     }
 
     /// Whether any recovery action is in flight.
     #[must_use]
     pub fn recovery_active(&self) -> bool {
-        !self.active_recoveries.is_empty()
+        !self.state.active_recoveries.is_empty()
     }
 
     /// Arm a one-shot fault on `victim` that fires the moment the next
@@ -575,13 +584,13 @@ impl Kernel {
     /// hook (deterministic: the trigger is a simulation event, not a
     /// timer).
     pub fn arm_fault_during_recovery(&mut self, victim: ComponentId) {
-        self.armed_recovery_fault = Some(victim);
+        let _ = self.apply(Event::ArmRecoveryFault { victim });
     }
 
     /// Drop an armed during-recovery fault that never fired (no recovery
     /// action began while it was armed).
     pub fn disarm_recovery_fault(&mut self) {
-        self.armed_recovery_fault = None;
+        let _ = self.apply(Event::DisarmRecoveryFault);
     }
 
     /// Declare the in-flight invocation on `c` hung: counts a watchdog
@@ -589,18 +598,26 @@ impl Kernel {
     /// converts the hang into a detected fail-stop fault so it enters
     /// the ordinary recovery machinery.
     pub fn watchdog_expire(&mut self, c: ComponentId, thread: ThreadId) {
-        self.stats.count_watchdog_fire(c);
-        self.trace_instant(c, thread, TraceEventKind::WatchdogFired);
-        self.fault(c);
+        let _ = self.apply(Event::WatchdogExpire {
+            component: c,
+            thread,
+        });
     }
 
     /// One watchdog tick from [`ServiceCtx::progress`]: returns `true`
-    /// (and fires the watchdog) when `ticks` exceeds the armed budget.
+    /// once `ticks` exceeds the armed budget. The expiry itself fires
+    /// exactly once, on the first tick past the budget — a hung service
+    /// that keeps reporting progress after the watchdog has fired must
+    /// not re-fault the component (which would re-count the fault and
+    /// re-open recovery episodes on every subsequent tick).
     pub(crate) fn watchdog_tick(&mut self, c: ComponentId, thread: ThreadId, ticks: u64) -> bool {
-        if self.watchdog_budget == 0 || ticks <= self.watchdog_budget {
+        let budget = self.state.watchdog_budget;
+        if budget == 0 || ticks <= budget {
             return false;
         }
-        self.watchdog_expire(c, thread);
+        if ticks == budget + 1 {
+            self.watchdog_expire(c, thread);
+        }
         true
     }
 
@@ -626,15 +643,16 @@ impl Kernel {
     pub fn take_trace(&mut self, label: &str) -> TraceShard {
         for c in self.trace.open_episode_components() {
             let epoch = self.epoch_of(c).unwrap_or_default();
-            self.trace.end_episode(c, epoch, self.time, BOOT_THREAD);
+            self.trace
+                .end_episode(c, epoch, self.state.time, BOOT_THREAD);
         }
         let (events, dropped, dropped_recovery, span_count) = self.trace.drain();
         TraceShard {
             label: label.to_owned(),
             names: self
-                .components
+                .comp_names
                 .iter()
-                .map(|s| self.names.resolve(s.name).to_owned())
+                .map(|&n| self.names.resolve(n).to_owned())
                 .collect(),
             events,
             dropped,
@@ -670,7 +688,7 @@ impl Kernel {
         self.trace.record(TraceEvent {
             span,
             parent,
-            time: self.time.saturating_sub(dur),
+            time: self.state.time.saturating_sub(dur),
             dur,
             thread,
             component: c,
@@ -692,7 +710,7 @@ impl Kernel {
         self.trace.record(TraceEvent {
             span,
             parent,
-            time: self.time,
+            time: self.state.time,
             dur: SimTime::ZERO,
             thread,
             component: c,
@@ -705,6 +723,13 @@ impl Kernel {
     /// nested events parent to it) and remembers the start time. Pair
     /// with [`Kernel::trace_close`]. Returns `None` while disabled.
     pub fn trace_open(&mut self, c: ComponentId) -> Option<TraceScope> {
+        self.trace_open_at(c, self.state.time)
+    }
+
+    /// [`Kernel::trace_open`] with an explicit start time: the reboot
+    /// path charges the core *before* opening the scope, but the scope
+    /// must span the charge.
+    fn trace_open_at(&mut self, c: ComponentId, start: SimTime) -> Option<TraceScope> {
         if !self.trace.is_enabled() {
             return None;
         }
@@ -714,7 +739,7 @@ impl Kernel {
         Some(TraceScope {
             span,
             parent,
-            start: self.time,
+            start,
         })
     }
 
@@ -734,7 +759,7 @@ impl Kernel {
             span: s.span,
             parent: s.parent,
             time: s.start,
-            dur: self.time.saturating_sub(s.start),
+            dur: self.state.time.saturating_sub(s.start),
             thread,
             component: c,
             epoch,
@@ -762,12 +787,12 @@ impl Kernel {
     /// Simulated page tables (read-only reflection).
     #[must_use]
     pub fn pages(&self) -> &PageTables {
-        &self.pages
+        &self.state.pages
     }
 
     /// Simulated page tables (mutation — memory-manager privilege).
     pub fn pages_mut(&mut self) -> &mut PageTables {
-        &mut self.pages
+        self.state.pages_mut()
     }
 
     // ------------------------------------------------------------------
@@ -797,64 +822,84 @@ impl Kernel {
         fname: &str,
         args: &[Value],
     ) -> Result<Value, CallError> {
-        if target.0 as usize >= self.components.len() {
-            return Err(CallError::NoSuchComponent(target));
-        }
-        if !self.caps.allows(client, target) {
-            return Err(CallError::NoCapability { client, target });
-        }
-        if let Some(&until) = self.degraded.get(&target.0) {
-            if self.time < until {
-                // Fail fast while the degraded cooldown holds: no thread
-                // migration, no recovery work, just a cheap rejection.
-                self.stats.count_degraded_rejection(target);
-                return Err(CallError::Degraded { component: target });
+        self.invoke_inner(client, thread, target, fname, args, false)
+    }
+
+    fn invoke_inner(
+        &mut self,
+        client: ComponentId,
+        thread: ThreadId,
+        target: ComponentId,
+        fname: &str,
+        args: &[Value],
+        bypass_caps: bool,
+    ) -> Result<Value, CallError> {
+        // Admission loop: the core decides whether the call may proceed;
+        // a degraded target whose cooldown elapsed needs one cold
+        // restart (which clears the mark, so the loop runs at most
+        // twice).
+        loop {
+            let reply = self.apply(Event::InvokeAdmit {
+                client,
+                thread,
+                target,
+                bypass_caps,
+            });
+            let Reply::Admit(outcome) = reply else {
+                unreachable!("InvokeAdmit replies Admit")
+            };
+            match outcome {
+                AdmitOutcome::Admitted => break,
+                AdmitOutcome::NoSuchComponent | AdmitOutcome::NoSuchThread => {
+                    return Err(CallError::NoSuchComponent(target));
+                }
+                AdmitOutcome::NoCapability => {
+                    return Err(CallError::NoCapability { client, target });
+                }
+                AdmitOutcome::Degraded => {
+                    // Fail fast while the degraded cooldown holds: no
+                    // thread migration, no recovery work, just a cheap
+                    // rejection (already counted by the core).
+                    return Err(CallError::Degraded { component: target });
+                }
+                AdmitOutcome::NeedColdRestart => {
+                    // Cooldown elapsed: the booter performs the cold
+                    // restart that clears the mark, then the call
+                    // proceeds normally.
+                    self.cold_restart(target)
+                        .map_err(|_| CallError::NoSuchComponent(target))?;
+                }
+                AdmitOutcome::Faulty => {
+                    if self.trace.is_enabled() {
+                        let parent = self.trace.causal_parent(target);
+                        let span = self.trace.alloc_span();
+                        let epoch = self.epoch_of(target).unwrap_or_default();
+                        self.trace.record(TraceEvent {
+                            span,
+                            parent,
+                            time: self.state.time,
+                            dur: SimTime::ZERO,
+                            thread,
+                            component: target,
+                            epoch,
+                            kind: TraceEventKind::InvokeEnter {
+                                function: fname.to_owned(),
+                                client,
+                            },
+                        });
+                        self.trace_instant_with_parent(
+                            target,
+                            thread,
+                            Some(span),
+                            TraceEventKind::InvokeExit { outcome: "fault" },
+                        );
+                    }
+                    return Err(CallError::Fault { component: target });
+                }
+                AdmitOutcome::Reentrant => return Err(CallError::Reentrant(target)),
             }
-            // Cooldown elapsed: the booter performs the cold restart
-            // that clears the mark, then the call proceeds normally.
-            self.cold_restart(target)
-                .map_err(|_| CallError::NoSuchComponent(target))?;
         }
-        if self.components[target.0 as usize].state == ComponentState::Faulty {
-            self.stats.count_faulted_invocation(target);
-            if self.trace.is_enabled() {
-                let parent = self.trace.causal_parent(target);
-                let span = self.trace.alloc_span();
-                let epoch = self.epoch_of(target).unwrap_or_default();
-                self.trace.record(TraceEvent {
-                    span,
-                    parent,
-                    time: self.time,
-                    dur: SimTime::ZERO,
-                    thread,
-                    component: target,
-                    epoch,
-                    kind: TraceEventKind::InvokeEnter {
-                        function: fname.to_owned(),
-                        client,
-                    },
-                });
-                self.trace_instant_with_parent(
-                    target,
-                    thread,
-                    Some(span),
-                    TraceEventKind::InvokeExit { outcome: "fault" },
-                );
-            }
-            return Err(CallError::Fault { component: target });
-        }
-        // Thread migration: push the server onto the invocation stack.
-        {
-            let th = self
-                .threads
-                .get_mut(thread.0 as usize)
-                .ok_or(CallError::NoSuchComponent(target))?;
-            if th.invocation_stack.contains(&target) {
-                return Err(CallError::Reentrant(target));
-            }
-            th.invocation_stack.push(target);
-        }
-        self.time += self.costs.invocation;
+        // The thread has migrated and the invocation cost is charged.
         let enter_span = if self.trace.is_enabled() {
             let parent = self.trace.causal_parent(target);
             let span = self.trace.alloc_span();
@@ -862,7 +907,7 @@ impl Kernel {
             self.trace.record(TraceEvent {
                 span,
                 parent,
-                time: self.time,
+                time: self.state.time,
                 dur: SimTime::ZERO,
                 thread,
                 component: target,
@@ -879,10 +924,10 @@ impl Kernel {
         };
 
         // Check the service out so it can re-enter the kernel.
-        let mut service = match self.components[target.0 as usize].service.take() {
+        let mut service = match self.services[target.0 as usize].take() {
             Some(s) => s,
             None => {
-                self.pop_stack(thread, target);
+                let _ = self.apply(Event::InvokeAbort { thread, target });
                 if let Some(enter) = enter_span {
                     self.trace.pop_invoke();
                     self.trace_instant_with_parent(
@@ -903,15 +948,18 @@ impl Kernel {
             ticks: 0,
         };
         let result = service.call(&mut ctx, fname, args);
-        self.components[target.0 as usize].service = Some(service);
-        self.pop_stack(thread, target);
+        self.services[target.0 as usize] = Some(service);
+        let _ = self.apply(Event::InvokeFinish {
+            thread,
+            target,
+            ok: result.is_ok(),
+        });
 
         let ret = match result {
             Ok(v) => {
-                self.stats.count_invocation(target);
                 // The server may itself have faulted mid-call (injected
                 // while executing): surface that instead of the value.
-                if self.components[target.0 as usize].state == ComponentState::Faulty {
+                if self.state.is_faulty(target) {
                     Err(CallError::Fault { component: target })
                 } else {
                     Ok(v)
@@ -921,9 +969,7 @@ impl Kernel {
             // A service error from a now-faulty server means the fault
             // interrupted the call (e.g. the watchdog fired mid-call):
             // surface the inter-component exception so stubs recover.
-            Err(_) if self.components[target.0 as usize].state == ComponentState::Faulty => {
-                Err(CallError::Fault { component: target })
-            }
+            Err(_) if self.state.is_faulty(target) => Err(CallError::Fault { component: target }),
             Err(e) => Err(CallError::Service(e)),
         };
         if let Some(enter) = enter_span {
@@ -958,7 +1004,7 @@ impl Kernel {
         self.trace.record(TraceEvent {
             span,
             parent,
-            time: self.time,
+            time: self.state.time,
             dur: SimTime::ZERO,
             thread,
             component: c,
@@ -967,16 +1013,10 @@ impl Kernel {
         });
     }
 
-    fn pop_stack(&mut self, thread: ThreadId, target: ComponentId) {
-        if let Some(th) = self.threads.get_mut(thread.0 as usize) {
-            if th.invocation_stack.last() == Some(&target) {
-                th.invocation_stack.pop();
-            }
-        }
-    }
-
     /// Upcall into a component (bypasses the capability check — upcalls
-    /// are kernel/booter-initiated, step (4)/(8) of §III-D).
+    /// are kernel/booter-initiated, step (4)/(8) of §III-D). The bypass
+    /// is admission-level: the capability table is *not* modified (an
+    /// earlier version leaked a permanent booter→target grant here).
     ///
     /// # Errors
     ///
@@ -988,7 +1028,6 @@ impl Kernel {
         fname: &str,
         args: &[Value],
     ) -> Result<Value, CallError> {
-        self.caps.grant(BOOTER, target);
         let scope = if self.trace.is_enabled() {
             let parent = self.trace.causal_parent(target);
             let span = self.trace.alloc_span();
@@ -996,7 +1035,7 @@ impl Kernel {
             self.trace.record(TraceEvent {
                 span,
                 parent,
-                time: self.time,
+                time: self.state.time,
                 dur: SimTime::ZERO,
                 thread,
                 component: target,
@@ -1010,11 +1049,11 @@ impl Kernel {
         } else {
             false
         };
-        let r = self.invoke(BOOTER, thread, target, fname, args);
+        let r = self.invoke_inner(BOOTER, thread, target, fname, args, true);
         if scope {
             self.trace.pop_scope();
         }
-        self.stats.upcalls += 1;
+        let _ = self.apply(Event::NoteUpcall);
         r
     }
 
@@ -1032,66 +1071,10 @@ impl Kernel {
     /// recovery tree, carrying its nesting depth, bounded by
     /// [`MAX_EPISODE_DEPTH`] — and bumps the nested-fault counter.
     pub fn fault(&mut self, c: ComponentId) -> u64 {
-        let Some(slot) = self.components.get_mut(c.0 as usize) else {
-            return 0;
-        };
-        slot.state = ComponentState::Faulty;
-        let epoch = slot.epoch;
-        self.stats.count_fault(c);
-        let nested = !self.active_recoveries.is_empty();
-        if nested {
-            self.stats.count_nested_fault(c);
+        match self.apply(Event::Fault { component: c }) {
+            Reply::Woken(n) => n,
+            _ => unreachable!("Fault replies Woken"),
         }
-        let fault_span = if self.trace.is_enabled() {
-            let (parent, depth) = if nested {
-                // Keep the in-flight episode open; the new fault becomes
-                // a child in the episode tree. Clamp the stack depth by
-                // force-closing the innermost episode first.
-                if self.trace.episode_depth(c) >= MAX_EPISODE_DEPTH {
-                    self.trace.end_episode(c, epoch, self.time, BOOT_THREAD);
-                }
-                (self.trace.causal_parent(c), self.trace.episode_depth(c))
-            } else {
-                // The fault roots a new top-level episode: close any
-                // episode still open from the previous fault of this
-                // component first.
-                self.trace.end_episode(c, epoch, self.time, BOOT_THREAD);
-                (None, 0)
-            };
-            let span = self.trace.alloc_span();
-            self.trace.record(TraceEvent {
-                span,
-                parent,
-                time: self.time,
-                dur: SimTime::ZERO,
-                thread: BOOT_THREAD,
-                component: c,
-                epoch,
-                kind: TraceEventKind::FaultInjected { depth },
-            });
-            self.trace.begin_episode(c, span);
-            Some(span)
-        } else {
-            None
-        };
-        let mut woken_ids = Vec::new();
-        for th in &mut self.threads {
-            if th.state == (ThreadState::Blocked { in_component: c }) {
-                th.state = ThreadState::Runnable;
-                self.stats.wakeups += 1;
-                woken_ids.push(th.id);
-            }
-        }
-        if fault_span.is_some() {
-            for &t in &woken_ids {
-                self.trace_instant_with_parent(c, t, fault_span, TraceEventKind::Wake);
-            }
-        }
-        // T0: these wakeups are the eager release of threads blocked in
-        // the failed component (§III-C).
-        let woken = woken_ids.len() as u64;
-        self.record_mechanism(c, Mechanism::T0, woken, BOOT_THREAD, SimTime::ZERO);
-        woken
     }
 
     /// Booter micro-reboot (steps (3)–(4) of §III-D): `memcpy` a pristine
@@ -1103,53 +1086,22 @@ impl Kernel {
     /// [`KernelError::NoSuchComponent`] when `c` does not name a service
     /// component.
     pub fn micro_reboot(&mut self, c: ComponentId) -> Result<(), KernelError> {
-        let slot = self
-            .components
-            .get_mut(c.0 as usize)
-            .ok_or(KernelError::NoSuchComponent(c))?;
-        if !slot.has_service {
+        if !self.state.component(c).is_some_and(|m| m.has_service) {
             return Err(KernelError::NoSuchComponent(c));
         }
-        let mut service = slot.service.take().ok_or(KernelError::NoSuchComponent(c))?;
+        let mut service = self.services[c.0 as usize]
+            .take()
+            .ok_or(KernelError::NoSuchComponent(c))?;
         service.reset();
-        slot.epoch = slot.epoch.next();
-        slot.state = ComponentState::Active;
-        let scope = self.trace_open(c);
-        self.time += self.costs.micro_reboot;
-        let mut mark_degraded = None;
-        if self.escalation.is_enabled() {
-            // Lazily drop an expired degraded mark (the booter's cold
-            // restart supersedes it) so history restarts clean.
-            if self
-                .degraded
-                .get(&c.0)
-                .is_some_and(|&until| self.time >= until)
-            {
-                self.degraded.remove(&c.0);
-                self.reboot_history.remove(&c.0);
-            }
-            let window = self.escalation.reboot_window;
-            let hist = self.reboot_history.entry(c.0).or_default();
-            let window_start = self.time.saturating_sub(window);
-            while hist.front().is_some_and(|&t0| t0 < window_start) {
-                hist.pop_front();
-            }
-            let prior = hist.len() as u32;
-            if prior > 0 {
-                // Deterministic exponential backoff from the second
-                // reboot in the window, capped at base << 6.
-                let backoff = SimTime(self.escalation.reboot_backoff.0 << (prior - 1).min(6));
-                self.time += backoff;
-            }
-            let now = self.time;
-            let hist = self.reboot_history.entry(c.0).or_default();
-            hist.push_back(now);
-            if hist.len() as u32 > self.escalation.max_reboots_in_window {
-                hist.clear();
-                mark_degraded = Some(now + self.escalation.degraded_cooldown);
-            }
-        }
-        self.stats.count_reboot(c);
+        // The reboot's trace scope spans the reboot charge (and any
+        // escalation backoff), so capture the start time before the
+        // core transition advances the clock.
+        let start = self.state.time;
+        let reply = self.apply(Event::MicroReboot { component: c });
+        let Reply::Reboot(RebootOutcome::Done { mark_degraded }) = reply else {
+            unreachable!("validated service component reboots")
+        };
+        let scope = self.trace_open_at(c, start);
         let mut ctx = ServiceCtx {
             kernel: self,
             this: c,
@@ -1158,11 +1110,15 @@ impl Kernel {
             ticks: 0,
         };
         service.post_reboot(&mut ctx);
-        self.components[c.0 as usize].service = Some(service);
+        self.services[c.0 as usize] = Some(service);
         self.trace_close(scope, c, BOOT_THREAD, TraceEventKind::Reboot);
         if let Some(until) = mark_degraded {
-            self.degraded.insert(c.0, until);
-            self.trace_instant(c, BOOT_THREAD, TraceEventKind::DegradedMarked { until });
+            // Applied after the reboot scope closes so the trace keeps
+            // the established event order.
+            let _ = self.apply(Event::MarkDegraded {
+                component: c,
+                until,
+            });
         }
         Ok(())
     }
@@ -1178,22 +1134,17 @@ impl Kernel {
     /// [`KernelError::NoSuchComponent`] when `c` does not name a service
     /// component.
     pub fn cold_restart(&mut self, c: ComponentId) -> Result<(), KernelError> {
-        let slot = self
-            .components
-            .get_mut(c.0 as usize)
-            .ok_or(KernelError::NoSuchComponent(c))?;
-        if !slot.has_service {
+        if !self.state.component(c).is_some_and(|m| m.has_service) {
             return Err(KernelError::NoSuchComponent(c));
         }
-        let mut service = slot.service.take().ok_or(KernelError::NoSuchComponent(c))?;
+        let mut service = self.services[c.0 as usize]
+            .take()
+            .ok_or(KernelError::NoSuchComponent(c))?;
         service.reset();
-        slot.epoch = slot.epoch.next();
-        slot.state = ComponentState::Active;
-        self.degraded.remove(&c.0);
-        self.reboot_history.remove(&c.0);
-        let scope = self.trace_open(c);
-        self.time += self.costs.micro_reboot;
-        self.stats.count_cold_restart(c);
+        let start = self.state.time;
+        let reply = self.apply(Event::ColdRestart { component: c });
+        debug_assert!(matches!(reply, Reply::Reboot(RebootOutcome::Done { .. })));
+        let scope = self.trace_open_at(c, start);
         let mut ctx = ServiceCtx {
             kernel: self,
             this: c,
@@ -1202,7 +1153,7 @@ impl Kernel {
             ticks: 0,
         };
         service.post_reboot(&mut ctx);
-        self.components[c.0 as usize].service = Some(service);
+        self.services[c.0 as usize] = Some(service);
         self.trace_close(scope, c, BOOT_THREAD, TraceEventKind::ColdRestart);
         Ok(())
     }
@@ -1482,6 +1433,60 @@ mod tests {
     }
 
     #[test]
+    fn upcall_does_not_mutate_the_capability_table() {
+        // Regression: the upcall path used to leak a permanent
+        // booter→target grant into the capability table, so a later
+        // *ordinary* invoke from the booter would silently pass the
+        // capability check it should fail.
+        let (mut k, _client, svc, _t) = setup();
+        let grants_before = k.caps().len();
+        assert!(!k.caps().allows(BOOTER, svc));
+        k.upcall(svc, BOOT_THREAD, "get", &[]).unwrap();
+        assert_eq!(k.caps().len(), grants_before, "upcall must not grant");
+        assert!(!k.caps().allows(BOOTER, svc));
+        let err = k.invoke(BOOTER, BOOT_THREAD, svc, "get", &[]).unwrap_err();
+        assert!(matches!(err, CallError::NoCapability { .. }));
+    }
+
+    #[test]
+    fn watchdog_fires_once_per_hung_call() {
+        // Regression: a hung service that keeps reporting progress
+        // after the watchdog has fired used to re-fault the component
+        // on every subsequent tick, inflating the fault counter and
+        // re-opening recovery episodes.
+        #[derive(Debug)]
+        struct Stubborn;
+        impl Service for Stubborn {
+            fn interface(&self) -> &'static str {
+                "stubborn"
+            }
+            fn call(
+                &mut self,
+                ctx: &mut ServiceCtx<'_>,
+                _fname: &str,
+                _args: &[Value],
+            ) -> Result<Value, ServiceError> {
+                // Ignores the watchdog's verdict and spins on.
+                for _ in 0..32 {
+                    let _ = ctx.progress();
+                }
+                Err(ServiceError::Unavailable)
+            }
+            fn reset(&mut self) {}
+        }
+        let mut k = Kernel::with_costs(CostModel::free());
+        let client = k.add_client_component("app");
+        let svc = k.add_component("stubborn", Box::new(Stubborn));
+        k.grant(client, svc);
+        let t = k.create_thread(client, Priority(3));
+        k.set_watchdog_budget(4);
+        let err = k.invoke(client, t, svc, "go", &[]).unwrap_err();
+        assert_eq!(err, CallError::Fault { component: svc });
+        assert_eq!(k.stats().total_watchdog_fires(), 1, "fired once, not 28×");
+        assert_eq!(k.stats().faults.get(&svc).copied().unwrap_or(0), 1);
+    }
+
+    #[test]
     fn post_reboot_hook_runs() {
         let (mut k, client, svc, t) = setup();
         k.fault(svc);
@@ -1489,6 +1494,14 @@ mod tests {
         // post_reboots survives reset() because reset only clears count.
         // Verify indirectly: counter still works.
         assert_eq!(k.invoke(client, t, svc, "get", &[]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn snapshot_is_o1_and_shares_tables() {
+        let (k, _client, _svc, _t) = setup();
+        let snap = k.snapshot();
+        assert!(std::sync::Arc::ptr_eq(&snap.threads, &k.state().threads));
+        assert_eq!(&snap, k.state());
     }
 
     #[test]

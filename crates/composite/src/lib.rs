@@ -34,26 +34,29 @@
 //! recovery runtime (the `sg-c3` / `superglue` crates) rebuilds its
 //! state.
 
-pub mod capability;
+// The pure state-machine core lives in the dependency-free
+// `composite-core` crate (`step(KernelState, Event) -> (KernelState,
+// Effects)` plus the property-based model checker); this crate is the
+// runtime shell — trace ring, metrics, service objects, executor — and
+// re-exports the moved modules under their historical paths.
+pub use composite_core::{capability, error, ids, pages, rng, thread, time, value};
+
 pub mod component;
-pub mod error;
 pub mod executor;
-pub mod ids;
 pub mod intern;
 pub mod json;
 pub mod kernel;
 pub mod metrics;
-pub mod pages;
 pub mod par;
-pub mod rng;
 pub mod stats;
 pub mod store;
-pub mod thread;
-pub mod time;
 pub mod trace;
-pub mod value;
 
 pub use component::{Service, ServiceCtx};
+pub use composite_core::{
+    run_check, step, step_in_place, AdmitOutcome, CheckConfig, CheckReport, Counterexample, Effect,
+    Effects, Event, KernelState, KernelWalk, Model, RebootOutcome, Reply, Violation, WakeOutcome,
+};
 pub use error::{CallError, KernelError, ServiceError};
 pub use executor::{Executor, RunExit, StepResult, Workload};
 pub use ids::{ComponentId, Epoch, FrameId, Priority, ThreadId};

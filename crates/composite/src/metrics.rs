@@ -26,64 +26,10 @@ use crate::json::Json;
 use crate::kernel::Kernel;
 use crate::time::SimTime;
 
-/// The eight recovery mechanisms of the paper, in presentation order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Mechanism {
-    /// Recovery-walk replay: a σ-walk function re-executed to rebuild a
-    /// descriptor.
-    R0,
-    /// Eager wakeup of threads blocked in the failed service.
-    T0,
-    /// On-demand / deferred (thread-affine) recovery completion.
-    T1,
-    /// Descriptor teardown: close/free drops the descriptor (and its
-    /// subtree) from tracking.
-    D0,
-    /// Parent-first ordering: a parent descriptor recovered before its
-    /// child.
-    D1,
-    /// Storage round trip: creator lookup or record of descriptor
-    /// metadata.
-    G0,
-    /// Redundant data storage: descriptor payload fetched back from the
-    /// storage service.
-    G1,
-    /// Upcall into the descriptor's creating component.
-    U0,
-}
-
-/// All mechanisms, in presentation order (R0 T0 T1 D0 D1 G0 G1 U0).
-pub const MECHANISMS: [Mechanism; 8] = [
-    Mechanism::R0,
-    Mechanism::T0,
-    Mechanism::T1,
-    Mechanism::D0,
-    Mechanism::D1,
-    Mechanism::G0,
-    Mechanism::G1,
-    Mechanism::U0,
-];
-
-impl Mechanism {
-    /// Stable short name used in JSON output.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            Mechanism::R0 => "R0",
-            Mechanism::T0 => "T0",
-            Mechanism::T1 => "T1",
-            Mechanism::D0 => "D0",
-            Mechanism::D1 => "D1",
-            Mechanism::G0 => "G0",
-            Mechanism::G1 => "G1",
-            Mechanism::U0 => "U0",
-        }
-    }
-
-    fn index(self) -> usize {
-        self as usize
-    }
-}
+// The mechanism taxonomy lives in the pure core (the model checker's
+// effect stream names mechanisms too); re-exported here under its
+// historical path.
+pub use composite_core::mechanism::{Mechanism, MECHANISMS};
 
 /// Simulated-time latency statistic: count/sum/min/max plus a log₂
 /// histogram of nanosecond durations (bucket `i` holds durations in

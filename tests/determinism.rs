@@ -243,3 +243,223 @@ fn flight_recorder_golden_unchanged_by_hot_path() {
          (regenerate intentionally via the flight_recorder test's UPDATE_GOLDEN=1)"
     );
 }
+
+// ---------------------------------------------------------------------
+// Wrapper/core equivalence: the runtime Kernel is a thin shell over the
+// pure step function
+// ---------------------------------------------------------------------
+
+use composite::{
+    step_in_place, AdmitOutcome, ComponentId, CostModel, EscalationPolicy, Event, Kernel,
+    KernelState, Priority, RebootOutcome, Reply, Service, ServiceCtx, ServiceError, SplitMix64,
+    ThreadId, Value,
+};
+
+/// Service with one function per thread-state transition, so the walk
+/// can exercise block/sleep/wake through the real invoke path.
+#[derive(Debug, Default)]
+struct WalkService;
+
+impl Service for WalkService {
+    fn interface(&self) -> &'static str {
+        "walk"
+    }
+    fn call(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        fname: &str,
+        args: &[Value],
+    ) -> Result<Value, ServiceError> {
+        match fname {
+            "get" => Ok(Value::Unit),
+            "block" => Err(ctx.block_current()),
+            "sleep" => {
+                let until = ctx.now() + SimTime(args[0].int()? as u64);
+                Err(ctx.sleep_current_until(until))
+            }
+            other => Err(ServiceError::NoSuchFunction(other.to_owned())),
+        }
+    }
+    fn reset(&mut self) {}
+}
+
+/// Mirror of `Kernel::invoke` in raw core events: the admission loop,
+/// the service body's kernel side effects, and the completion event.
+fn mirror_invoke(
+    shadow: &mut KernelState,
+    client: ComponentId,
+    thread: ThreadId,
+    svc: ComponentId,
+    fname: &str,
+    sleep_dt: u64,
+) {
+    loop {
+        let fx = step_in_place(
+            shadow,
+            &Event::InvokeAdmit {
+                client,
+                thread,
+                target: svc,
+                bypass_caps: false,
+            },
+        );
+        let Reply::Admit(outcome) = fx.reply else {
+            unreachable!("InvokeAdmit replies Admit")
+        };
+        match outcome {
+            AdmitOutcome::Admitted => {
+                let ok = match fname {
+                    "get" => true,
+                    "block" => {
+                        step_in_place(
+                            shadow,
+                            &Event::BlockThread {
+                                thread,
+                                in_component: svc,
+                            },
+                        );
+                        false
+                    }
+                    "sleep" => {
+                        let until = shadow.time + SimTime(sleep_dt);
+                        step_in_place(shadow, &Event::SleepThread { thread, until });
+                        false
+                    }
+                    other => unreachable!("walk never calls {other}"),
+                };
+                step_in_place(
+                    shadow,
+                    &Event::InvokeFinish {
+                        thread,
+                        target: svc,
+                        ok,
+                    },
+                );
+                return;
+            }
+            AdmitOutcome::NeedColdRestart => {
+                step_in_place(shadow, &Event::ColdRestart { component: svc });
+            }
+            // Faulty / Degraded / capability failures: the wrapper
+            // fails fast with no further state transition.
+            _ => return,
+        }
+    }
+}
+
+/// One random walk driving the runtime `Kernel` through its public API
+/// while a raw [`KernelState`] replays the identical core events; the
+/// two must agree after every operation.
+fn equivalence_walk(seed: u64, ops: usize) -> (Kernel, MetricsSnapshot, String) {
+    let mut k = Kernel::with_costs(CostModel::paper_defaults());
+    k.enable_tracing(1 << 16);
+    let mut shadow = k.snapshot();
+
+    let client = k.add_client_component("app");
+    step_in_place(&mut shadow, &Event::AddComponent { has_service: false });
+    let svc = k.add_component("walk", Box::new(WalkService));
+    step_in_place(&mut shadow, &Event::AddComponent { has_service: true });
+    k.grant(client, svc);
+    step_in_place(
+        &mut shadow,
+        &Event::Grant {
+            client,
+            server: svc,
+        },
+    );
+    let t = k.create_thread(client, Priority(10));
+    step_in_place(
+        &mut shadow,
+        &Event::AddThread {
+            home: client,
+            priority: Priority(10),
+        },
+    );
+    let policy = EscalationPolicy {
+        reboot_window: SimTime::from_millis(1),
+        max_reboots_in_window: 2,
+        degraded_cooldown: SimTime::from_millis(5),
+        reboot_backoff: SimTime(10_000),
+    };
+    k.set_escalation(policy);
+    step_in_place(&mut shadow, &Event::SetEscalation(policy));
+    assert_eq!(k.state(), &shadow, "setup must already agree");
+
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..ops {
+        match rng.gen_range(10) {
+            0..=3 => {
+                let _ = k.invoke(client, t, svc, "get", &[]);
+                mirror_invoke(&mut shadow, client, t, svc, "get", 0);
+            }
+            4 => {
+                let _ = k.invoke(client, t, svc, "block", &[]);
+                mirror_invoke(&mut shadow, client, t, svc, "block", 0);
+            }
+            5 => {
+                let dt = 1 + rng.gen_range(1_000_000);
+                let _ = k.invoke(client, t, svc, "sleep", &[Value::Int(dt as i64)]);
+                mirror_invoke(&mut shadow, client, t, svc, "sleep", dt);
+            }
+            6 => {
+                let _ = k.wake_thread(t);
+                step_in_place(&mut shadow, &Event::WakeThread { thread: t });
+            }
+            7 => {
+                k.fault(svc);
+                step_in_place(&mut shadow, &Event::Fault { component: svc });
+            }
+            8 => {
+                k.micro_reboot(svc).expect("walk service reboots");
+                let fx = step_in_place(&mut shadow, &Event::MicroReboot { component: svc });
+                let Reply::Reboot(RebootOutcome::Done { mark_degraded }) = fx.reply else {
+                    unreachable!("service component reboots")
+                };
+                if let Some(until) = mark_degraded {
+                    step_in_place(
+                        &mut shadow,
+                        &Event::MarkDegraded {
+                            component: svc,
+                            until,
+                        },
+                    );
+                }
+            }
+            _ => {
+                let target = shadow.time + SimTime(1 + rng.gen_range(2_000_000));
+                k.advance_to(target);
+                step_in_place(&mut shadow, &Event::AdvanceTo(target));
+            }
+        }
+        assert_eq!(
+            k.state(),
+            &shadow,
+            "wrapper and raw core diverged after op {i} (seed {seed:#x})"
+        );
+    }
+    let snap = MetricsSnapshot::from_kernel(&k);
+    let shard = k.take_trace("equivalence-walk");
+    let jsonl = shards_to_jsonl(std::slice::from_ref(&shard));
+    (k, snap, jsonl)
+}
+
+/// The runtime wrapper holds no kernel state of its own: random walks
+/// through the public API leave its `KernelState` identical to a raw
+/// state driven by the same core events.
+#[test]
+fn step_wrapper_matches_raw_core_on_random_walks() {
+    for seed in [0xE0_1D_u64, 0xBEEF, 0x5EED_5EED] {
+        equivalence_walk(seed, 300);
+    }
+}
+
+/// The same walk run twice produces byte-identical traces, identical
+/// metrics snapshots, and equal descriptor-free kernel state.
+#[test]
+fn step_wrapper_walk_is_deterministic() {
+    let (ka, snap_a, trace_a) = equivalence_walk(0xD15C, 300);
+    let (kb, snap_b, trace_b) = equivalence_walk(0xD15C, 300);
+    assert_eq!(ka.state(), kb.state());
+    assert_eq!(snap_a, snap_b);
+    assert_eq!(trace_a, trace_b, "walk traces must be byte-identical");
+}

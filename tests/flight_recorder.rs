@@ -20,8 +20,9 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use composite::{
-    shards_to_jsonl, InterfaceCall as _, KernelAccess as _, Mechanism, MetricsSnapshot, SimTime,
-    TraceEventKind, TraceShard, MECHANISMS,
+    shards_to_jsonl, ComponentId, CostModel, Epoch, InterfaceCall as _, Kernel, KernelAccess as _,
+    Mechanism, MetricsSnapshot, Priority, Service, ServiceCtx, ServiceError, SimTime, ThreadId,
+    TraceEvent, TraceEventKind, TraceShard, Value, MECHANISMS,
 };
 use sg_bench::{rig, Rig, SERVICES};
 use sg_webserver::{run_fig7_rep, Fig7Config, WebVariant};
@@ -191,4 +192,191 @@ fn golden_episode_snapshot() {
         "fixed-seed recovery episode drifted from the golden snapshot; \
          if intentional, regenerate with UPDATE_GOLDEN=1"
     );
+}
+
+// ---------------------------------------------------------------------
+// Ring edge cases: tier overflow accounting and shard absorption
+// ---------------------------------------------------------------------
+
+/// Trivial service for bare-kernel ring tests; the calls that matter
+/// never reach it (faulty admission rejects before dispatch).
+#[derive(Debug, Default)]
+struct Echo;
+
+impl Service for Echo {
+    fn interface(&self) -> &'static str {
+        "echo"
+    }
+    fn call(
+        &mut self,
+        _ctx: &mut ServiceCtx<'_>,
+        fname: &str,
+        _args: &[Value],
+    ) -> Result<Value, ServiceError> {
+        match fname {
+            "ping" => Ok(Value::Unit),
+            other => Err(ServiceError::NoSuchFunction(other.to_owned())),
+        }
+    }
+    fn reset(&mut self) {}
+}
+
+fn tiny_traced_kernel(capacity: usize) -> (Kernel, ComponentId, ComponentId, ThreadId) {
+    let mut k = Kernel::with_costs(CostModel::free());
+    k.enable_tracing(capacity);
+    let client = k.add_client_component("app");
+    let svc = k.add_component("echo", Box::new(Echo));
+    k.grant(client, svc);
+    let t = k.create_thread(client, Priority(10));
+    (k, client, svc, t)
+}
+
+/// Ambient traffic flooding a tiny ring while a recovery episode is
+/// open must evict only ambient events: the episode's fault, reboot,
+/// and episode-end records all survive, `dropped` counts the evictions
+/// exactly, and `dropped_recovery` stays zero — so latency conservation
+/// is still verifiable from the shard.
+#[test]
+fn ambient_overflow_during_open_episode_preserves_recovery_record() {
+    let (mut k, client, svc, t) = tiny_traced_kernel(8);
+    k.fault(svc);
+    // Each rejected invocation of the faulty service emits an ambient
+    // InvokeEnter/InvokeExit pair: 50 calls -> 100 ambient events into
+    // a ring that retains 8 per tier.
+    for _ in 0..50 {
+        let err = k.invoke(client, t, svc, "ping", &[]);
+        assert!(matches!(err, Err(composite::CallError::Fault { .. })));
+    }
+    k.micro_reboot(svc).expect("echo reboots");
+    let shard = k.take_trace("edge/ambient-flood");
+
+    assert_eq!(shard.dropped, 92, "100 ambient events, 8 retained");
+    assert_eq!(
+        shard.dropped_recovery, 0,
+        "ambient flood must never evict recovery events"
+    );
+    let ambient_retained = shard
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                TraceEventKind::InvokeEnter { .. } | TraceEventKind::InvokeExit { .. }
+            )
+        })
+        .count();
+    assert_eq!(ambient_retained, 8);
+    for kind in ["fault", "reboot", "episode_end"] {
+        assert_eq!(
+            shard
+                .events
+                .iter()
+                .filter(|e| e.kind.name() == kind)
+                .count(),
+            1,
+            "exactly one {kind} must survive the flood"
+        );
+    }
+    assert_eq!(check_conservation(&shard), 1);
+}
+
+/// Recovery-tier overflow is accounted separately from ambient drops:
+/// a reboot storm against a tiny ring evicts old recovery events into
+/// `dropped_recovery`, leaves `dropped` untouched, and retains the most
+/// recent recovery events in emission order.
+#[test]
+fn recovery_tier_overflow_counts_into_dropped_recovery() {
+    let (mut k, _client, svc, _t) = tiny_traced_kernel(4);
+    // Ten fault+reboot cycles. Per cycle: FaultInjected + Reboot; each
+    // next top-level fault closes the previous episode (EpisodeEnd),
+    // and take_trace closes the last -> 10 + 10 + 10 = 30 recovery
+    // events through a tier retaining 4.
+    for _ in 0..10 {
+        k.fault(svc);
+        k.micro_reboot(svc).expect("echo reboots");
+    }
+    let shard = k.take_trace("edge/reboot-storm");
+
+    assert_eq!(shard.dropped_recovery, 26, "30 recovery events, 4 retained");
+    assert_eq!(shard.dropped, 0, "no ambient traffic occurred");
+    assert_eq!(shard.events.len(), 4);
+    let kinds: Vec<&str> = shard.events.iter().map(|e| e.kind.name()).collect();
+    assert_eq!(
+        kinds,
+        ["episode_end", "fault", "reboot", "episode_end"],
+        "the newest recovery events survive, in emission order"
+    );
+}
+
+fn instant(span: u64, parent: Option<u64>, component: u32, kind: TraceEventKind) -> TraceEvent {
+    TraceEvent {
+        span,
+        parent,
+        time: SimTime::ZERO,
+        dur: SimTime::ZERO,
+        thread: ThreadId(1),
+        component: ComponentId(component),
+        epoch: Epoch::default(),
+        kind,
+    }
+}
+
+/// `TraceShard::absorb` with empty shards on either side: absorbing an
+/// empty shard is a no-op (except for additive drop counters), an empty
+/// shard absorbing a populated one takes its events at offset zero and
+/// adopts its name table, and an existing name table is never replaced.
+#[test]
+fn absorb_handles_empty_shards() {
+    let populated = || {
+        let mut s = TraceShard::labeled("donor");
+        s.names = vec!["booter".to_owned(), "echo".to_owned()];
+        s.events = vec![
+            instant(0, None, 1, TraceEventKind::FaultInjected { depth: 0 }),
+            instant(1, Some(0), 1, TraceEventKind::Reboot),
+        ];
+        s.span_count = 2;
+        s.dropped = 3;
+        s.dropped_recovery = 1;
+        s
+    };
+
+    // Empty absorbs empty: still empty.
+    let mut a = TraceShard::labeled("empty");
+    a.absorb(TraceShard::default());
+    assert!(a.events.is_empty() && a.names.is_empty());
+    assert_eq!((a.dropped, a.dropped_recovery, a.span_count), (0, 0, 0));
+
+    // Populated absorbs empty: events and names untouched, label kept.
+    let mut b = populated();
+    b.absorb(TraceShard::labeled("empty"));
+    assert_eq!(b.label, "donor");
+    assert_eq!(b.events, populated().events);
+    assert_eq!(b.names, populated().names);
+    assert_eq!((b.dropped, b.dropped_recovery, b.span_count), (3, 1, 2));
+
+    // Empty absorbs populated: events arrive at offset zero (span ids
+    // unchanged), names adopted, counters copied.
+    let mut c = TraceShard::labeled("merged");
+    c.absorb(populated());
+    assert_eq!(c.label, "merged");
+    assert_eq!(c.events, populated().events);
+    assert_eq!(c.names, populated().names);
+    assert_eq!((c.dropped, c.dropped_recovery, c.span_count), (3, 1, 2));
+
+    // Empty-but-named absorbs populated: the existing name table wins.
+    let mut d = TraceShard::labeled("named");
+    d.names = vec!["other".to_owned()];
+    d.absorb(populated());
+    assert_eq!(d.names, vec!["other".to_owned()]);
+
+    // Populated absorbs populated: spans renumber past span_count and
+    // parents follow; drop counters add.
+    let mut e = populated();
+    e.absorb(populated());
+    assert_eq!(e.span_count, 4);
+    assert_eq!(e.events.len(), 4);
+    assert_eq!(e.events[2].span, 2);
+    assert_eq!(e.events[3].span, 3);
+    assert_eq!(e.events[3].parent, Some(2));
+    assert_eq!((e.dropped, e.dropped_recovery), (6, 2));
 }
