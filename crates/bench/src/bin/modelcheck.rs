@@ -18,18 +18,25 @@
 //! reproducer, writes it as a JSON artifact (`--out`, consumable by
 //! `sgtrace replay` for the core layer), prints it, and exits nonzero.
 //!
+//! * **elide** — [`sg_bench::modelck::ElideDiffWalk`] drives a
+//!   fully-tracked and a certified-elision testbed through the identical
+//!   randomized fault schedule and requires them observationally
+//!   indistinguishable after every operation, down to byte-identical
+//!   flight-recorder traces (the dynamic check behind SG060–SG065).
+//!
 //! ```text
-//! modelcheck [--core-steps N] [--system-steps N] [--seed S] [--out PATH]
+//! modelcheck [--core-steps N] [--system-steps N] [--elide-steps N] [--seed S] [--out PATH]
 //! ```
 
 use std::process::ExitCode;
 
 use composite::{run_check, CheckConfig, Counterexample, Json, KernelWalk};
-use sg_bench::modelck::{event_to_json, sysop_to_json, SystemWalk};
+use sg_bench::modelck::{event_to_json, sysop_to_json, ElideDiffWalk, SystemWalk};
 
 struct Args {
     core_steps: usize,
     system_steps: usize,
+    elide_steps: usize,
     seed: u64,
     out: String,
 }
@@ -38,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         core_steps: 10_000,
         system_steps: 300,
+        elide_steps: 300,
         seed: 0xC3_5EED,
         out: "target/modelcheck-counterexample.json".to_owned(),
     };
@@ -59,6 +67,9 @@ fn parse_args() -> Result<Args, String> {
                 args.system_steps = take()?
                     .parse()
                     .map_err(|e| format!("--system-steps: {e}"))?;
+            }
+            "--elide-steps" => {
+                args.elide_steps = take()?.parse().map_err(|e| format!("--elide-steps: {e}"))?;
             }
             "--seed" => {
                 let v = take()?;
@@ -127,7 +138,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("modelcheck: {e}");
             eprintln!(
-                "usage: modelcheck [--core-steps N] [--system-steps N] [--seed S] [--out PATH]"
+                "usage: modelcheck [--core-steps N] [--system-steps N] [--elide-steps N] \
+                 [--seed S] [--out PATH]"
             );
             return ExitCode::FAILURE;
         }
@@ -187,6 +199,39 @@ fn main() -> ExitCode {
             Some(cex) => {
                 failed = true;
                 report_failure("system", args.seed, cex, sysop_to_json, &args.out);
+            }
+        }
+    }
+
+    if args.elide_steps > 0 {
+        let mut walk = ElideDiffWalk::new();
+        let report = run_check(
+            &mut walk,
+            &CheckConfig {
+                seed: args.seed ^ 0xE11D_E0FF, // distinct stream, same reproducibility
+                steps: args.elide_steps,
+                max_shrink_iters: 400,
+            },
+        );
+        match &report.counterexample {
+            None => {
+                let trace_violations = walk.finish();
+                if trace_violations.is_empty() {
+                    println!(
+                        "ok   [elide]  {} lock-step operations: certified-elision stubs \
+                         observationally identical to fully tracked (incl. trace bytes)",
+                        report.steps_run
+                    );
+                } else {
+                    failed = true;
+                    for v in &trace_violations {
+                        println!("FAIL [elide] invariant {:?}: {}", v.invariant, v.detail);
+                    }
+                }
+            }
+            Some(cex) => {
+                failed = true;
+                report_failure("elide", args.seed, cex, sysop_to_json, &args.out);
             }
         }
     }

@@ -20,7 +20,11 @@
 //! * `--correlated` — run the Table II-B correlated-fault campaign
 //!   instead: every service under the `burst`, `during-recovery`, and
 //!   `cascade` regimes, with the degraded / watchdog-detected /
-//!   nested-recovered columns.
+//!   nested-recovered columns;
+//! * `--elide` — interpret the certified tracking-elision stub specs
+//!   (`sm_elide` fast paths). Every output byte — rows, `--json`,
+//!   `--metrics`, `--trace` — must be identical to a run without the
+//!   flag; the CI differential diffs the two.
 
 use std::time::Instant;
 
@@ -50,6 +54,10 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--correlated" => correlated = true,
+            // Interpret the certified-elision stubs. Every output byte
+            // (rows, json, metrics, traces) must be identical to a run
+            // without the flag — only proven-dead bookkeeping differs.
+            "--elide" => cfg.elide = true,
             "--injections" => {
                 cfg.injections = args
                     .next()

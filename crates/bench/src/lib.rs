@@ -53,7 +53,19 @@ pub struct Rig {
 /// Panics if the shipped IDL fails to compile (covered by tests).
 #[must_use]
 pub fn rig(variant: Variant) -> Rig {
-    let mut tb = Testbed::build(variant).expect("testbed builds");
+    rig_elided(variant, false)
+}
+
+/// [`rig`] with certified tracking elision toggled (the `--elide`
+/// fast-path stubs; no-op for non-SuperGlue variants).
+///
+/// # Panics
+///
+/// Panics if the shipped IDL fails to compile or an `sm_elide` request
+/// cannot be proven (covered by tests).
+#[must_use]
+pub fn rig_elided(variant: Variant, elide: bool) -> Rig {
+    let mut tb = Testbed::build_elided(variant, elide).expect("testbed builds");
     let thread = tb.spawn_thread(tb.ids.app1, Priority(5));
     let thread2 = tb.spawn_thread(tb.ids.app2, Priority(5));
     Rig {

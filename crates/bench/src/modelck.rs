@@ -41,7 +41,7 @@ use composite::{
 };
 use superglue::testbed::Variant;
 
-use crate::{rig, Rig, SERVICES};
+use crate::{rig, rig_elided, Rig, SERVICES};
 
 // ---------------------------------------------------------------------
 // The system-level operation alphabet
@@ -251,25 +251,7 @@ impl Model for SystemWalk {
     }
 
     fn generate(&mut self, rng: &mut SplitMix64) -> SysOp {
-        let roll = rng.gen_range(100);
-        match roll {
-            0..=54 => {
-                self.seq += 1;
-                SysOp::Iteration {
-                    iface: rng.gen_index(SERVICES.len()),
-                    seq: self.seq,
-                }
-            }
-            55..=74 => SysOp::Fault {
-                iface: rng.gen_index(SERVICES.len()),
-            },
-            75..=84 => SysOp::ArmNestedFault {
-                iface: rng.gen_index(SERVICES.len()),
-            },
-            _ => SysOp::Advance {
-                dt: 100_000 * (1 + rng.gen_range(30)),
-            },
-        }
+        random_sysop(rng, &mut self.seq)
     }
 
     fn apply(&mut self, op: &SysOp) -> Result<(), Violation> {
@@ -326,6 +308,241 @@ impl Model for SystemWalk {
             }
         }
         self.check_step_invariants()
+    }
+}
+
+/// The shared operation distribution of [`SystemWalk`] and
+/// [`ElideDiffWalk`]: mostly workload iterations, a healthy dose of
+/// fault injections, occasional nested-fault arms and time advances.
+fn random_sysop(rng: &mut SplitMix64, seq: &mut u64) -> SysOp {
+    let roll = rng.gen_range(100);
+    match roll {
+        0..=54 => {
+            *seq += 1;
+            SysOp::Iteration {
+                iface: rng.gen_index(SERVICES.len()),
+                seq: *seq,
+            }
+        }
+        55..=74 => SysOp::Fault {
+            iface: rng.gen_index(SERVICES.len()),
+        },
+        75..=84 => SysOp::ArmNestedFault {
+            iface: rng.gen_index(SERVICES.len()),
+        },
+        _ => SysOp::Advance {
+            dt: 100_000 * (1 + rng.gen_range(30)),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// ElideDiffWalk: certified elision vs full tracking, lock-step
+// ---------------------------------------------------------------------
+
+/// A random walk that drives **two** SuperGlue testbeds through the
+/// identical operation sequence — one interpreting the fully tracked
+/// stub specs, one the certified tracking-elision fast paths — and
+/// asserts after every operation that they are observationally
+/// indistinguishable: same simulated time, same runtime statistics
+/// (including invalid-transition detections and recovery counts), same
+/// per-edge tracked/faulty descriptor sets, same degraded windows. At
+/// [`ElideDiffWalk::finish`] the two flight-recorder traces must render
+/// to byte-identical JSON-lines.
+///
+/// This is the dynamic half of the SG060–SG065 elision certificate: the
+/// lint proves each skipped write is never read; this walk checks the
+/// proof against the running system under randomized SWIFI schedules.
+#[derive(Debug)]
+pub struct ElideDiffWalk {
+    /// The fully tracked reference system.
+    pub tracked: Rig,
+    /// The certified-elision system under test.
+    pub elided: Rig,
+    seq: u64,
+}
+
+impl ElideDiffWalk {
+    /// A fresh differential walk (both testbeds built; [`Model::reset`]
+    /// rebuilds them per check run).
+    #[must_use]
+    pub fn new() -> Self {
+        let mut w = Self {
+            tracked: rig(Variant::SuperGlue),
+            elided: rig_elided(Variant::SuperGlue, true),
+            seq: 0,
+        };
+        w.arm();
+        w
+    }
+
+    fn arm(&mut self) {
+        for r in [&mut self.tracked, &mut self.elided] {
+            let k = r.tb.runtime.kernel_mut();
+            k.set_escalation(walk_escalation());
+            k.enable_tracing(DEFAULT_TRACE_CAPACITY);
+        }
+    }
+
+    /// Apply one operation to a single rig (the same op goes to both).
+    fn apply_one(r: &mut Rig, op: &SysOp) -> Result<(), String> {
+        match *op {
+            SysOp::Iteration { iface, seq } => {
+                let svc = r.component_of(SERVICES[iface]);
+                if r.tb.runtime.kernel().is_degraded(svc) {
+                    let app = r.tb.ids.app1;
+                    let t = r.thread;
+                    let compid = composite::Value::from(app.0);
+                    let err = composite::InterfaceCall::interface_call(
+                        &mut r.tb.runtime,
+                        app,
+                        t,
+                        svc,
+                        probe_fn(iface),
+                        &[compid],
+                    );
+                    if !matches!(err, Err(composite::CallError::Degraded { .. })) {
+                        return Err(format!(
+                            "{} degraded but call returned {err:?}",
+                            SERVICES[iface]
+                        ));
+                    }
+                } else {
+                    r.run_iteration(SERVICES[iface], seq);
+                }
+            }
+            SysOp::Fault { iface } => {
+                let svc = r.component_of(SERVICES[iface]);
+                r.tb.runtime.inject_fault(svc);
+            }
+            SysOp::ArmNestedFault { iface } => {
+                let svc = r.component_of(SERVICES[iface]);
+                r.tb.runtime.kernel_mut().arm_fault_during_recovery(svc);
+            }
+            SysOp::Advance { dt } => {
+                let now = r.tb.runtime.kernel().now();
+                r.tb.runtime.kernel_mut().advance_to(now + SimTime(dt));
+            }
+        }
+        Ok(())
+    }
+
+    /// The first observable difference between the two systems, if any.
+    fn divergence(&self) -> Option<String> {
+        let (kt, ke) = (
+            self.tracked.tb.runtime.kernel(),
+            self.elided.tb.runtime.kernel(),
+        );
+        if kt.now() != ke.now() {
+            return Some(format!(
+                "simulated time diverged: tracked {:?}, elided {:?}",
+                kt.now(),
+                ke.now()
+            ));
+        }
+        let (st, se) = (
+            format!("{:?}", self.tracked.tb.runtime.stats()),
+            format!("{:?}", self.elided.tb.runtime.stats()),
+        );
+        if st != se {
+            return Some(format!(
+                "runtime statistics diverged:\n  tracked: {st}\n  elided:  {se}"
+            ));
+        }
+        for iface in SERVICES {
+            let svc_t = self.tracked.component_of(iface);
+            let svc_e = self.elided.component_of(iface);
+            if kt.is_degraded(svc_t) != ke.is_degraded(svc_e) {
+                return Some(format!("{iface}: degraded windows diverged"));
+            }
+            for (app_t, app_e) in [
+                (self.tracked.tb.ids.app1, self.elided.tb.ids.app1),
+                (self.tracked.tb.ids.app2, self.elided.tb.ids.app2),
+            ] {
+                let t = self.tracked.tb.runtime.stub(app_t, svc_t);
+                let e = self.elided.tb.runtime.stub(app_e, svc_e);
+                let (tc, tf) = t.map_or((0, 0), |s| (s.tracked_count(), s.faulty_count()));
+                let (ec, ef) = e.map_or((0, 0), |s| (s.tracked_count(), s.faulty_count()));
+                if (tc, tf) != (ec, ef) {
+                    return Some(format!(
+                        "{iface}: tracked/faulty sets diverged: tracked run \
+                         ({tc}, {tf}), elided run ({ec}, {ef})"
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Drain both flight recorders and require byte-identical renderings
+    /// (the in-process twin of the CI `--elide` trace differential).
+    pub fn finish(&mut self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut shards = Vec::new();
+        for r in [&mut self.tracked, &mut self.elided] {
+            r.tb.runtime.kernel_mut().disarm_recovery_fault();
+            shards.push(r.tb.runtime.kernel_mut().take_trace("elide-diff"));
+        }
+        let full = composite::shards_to_jsonl(&shards[..1]);
+        let elided = composite::shards_to_jsonl(&shards[1..]);
+        if full != elided {
+            let first = full
+                .lines()
+                .zip(elided.lines())
+                .enumerate()
+                .find(|(_, (a, b))| a != b);
+            out.push(Violation {
+                invariant: "elide-trace-identity",
+                detail: match first {
+                    Some((i, (a, b))) => {
+                        format!("traces diverge at line {i}:\n  tracked: {a}\n  elided:  {b}")
+                    }
+                    None => format!(
+                        "traces differ in length: tracked {} lines, elided {} lines",
+                        full.lines().count(),
+                        elided.lines().count()
+                    ),
+                },
+            });
+        }
+        out
+    }
+}
+
+impl Default for ElideDiffWalk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Model for ElideDiffWalk {
+    type Event = SysOp;
+
+    fn reset(&mut self) {
+        self.tracked = rig(Variant::SuperGlue);
+        self.elided = rig_elided(Variant::SuperGlue, true);
+        self.seq = 0;
+        self.arm();
+    }
+
+    fn generate(&mut self, rng: &mut SplitMix64) -> SysOp {
+        random_sysop(rng, &mut self.seq)
+    }
+
+    fn apply(&mut self, op: &SysOp) -> Result<(), Violation> {
+        for (name, r) in [("tracked", &mut self.tracked), ("elided", &mut self.elided)] {
+            Self::apply_one(r, op).map_err(|detail| Violation {
+                invariant: "elide-equivalence",
+                detail: format!("{name} run: {detail}"),
+            })?;
+        }
+        if let Some(detail) = self.divergence() {
+            return Err(Violation {
+                invariant: "elide-equivalence",
+                detail,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -778,6 +995,45 @@ mod tests {
         );
         let trace_violations = walk.finish();
         assert!(trace_violations.is_empty(), "{trace_violations:?}");
+    }
+
+    #[test]
+    fn short_elide_diff_walk_is_observationally_identical() {
+        let mut walk = ElideDiffWalk::new();
+        let report = run_check(
+            &mut walk,
+            &CheckConfig {
+                seed: 0xE11D_E5EED,
+                steps: 100,
+                max_shrink_iters: 200,
+            },
+        );
+        assert!(
+            report.passed(),
+            "elided run diverged from fully tracked run: {:?}",
+            report.counterexample.map(|c| (c.violation, c.events))
+        );
+        let trace_violations = walk.finish();
+        assert!(trace_violations.is_empty(), "{trace_violations:?}");
+    }
+
+    #[test]
+    fn elide_diff_walk_traces_match_after_a_faulty_sweep() {
+        // Deterministic fault-heavy sweep: every service faults, then
+        // runs an iteration; the elided interpreter must shadow the
+        // tracked one event for event.
+        let mut walk = ElideDiffWalk::new();
+        Model::reset(&mut walk);
+        for iface in 0..SERVICES.len() {
+            walk.apply(&SysOp::Fault { iface }).unwrap();
+            walk.apply(&SysOp::Iteration {
+                iface,
+                seq: iface as u64 + 1,
+            })
+            .unwrap();
+        }
+        let violations = walk.finish();
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

@@ -1,0 +1,754 @@
+//! The tracking-elision certifier.
+//!
+//! `sm_elide(f)` in a spec asks the compiler to drop `f`'s per-call
+//! descriptor bookkeeping. This module is the proof side of that
+//! request: [`ElisionFacts::certify`] derives, from the lowered IR
+//! alone, which bookkeeping writes can never be observed — not by the
+//! recovery replay, not by the fault-detection counters, not by the
+//! trace — and [`ElisionFacts::apply`] rewrites the stub spec to skip
+//! exactly the proven subset. Anything observable (record/unrecord
+//! calls, descriptor-lifecycle trace events, `invalid_transitions`
+//! accounting made *reachable* by a non-constant σ) is never elided.
+//!
+//! The facts fall into two groups:
+//!
+//! * **Per-function.** A constant σ-successor over the whole resync
+//!   domain ([`superglue_sm::MachineFacts`]) lets the stub install the
+//!   successor state directly — the σ read *and* the invalid-transition
+//!   branch are both statically decided. Dead-store-on-replay facts
+//!   (last-argument stores, metadata harvests, and tracked return
+//!   values that no replay plan ever reads) let the stub skip the
+//!   corresponding writes on *every* call, including creations.
+//! * **Per-spec.** Whether any effective recovery walk can block
+//!   (pending-call markers, thread-affinity stamps), whether descriptor
+//!   ids survive a micro-reboot (post-recovery translation), and
+//!   whether storage-component creation records have any reader.
+//!
+//! Proven facts are serialized as a versioned, deterministic JSON
+//! **elision certificate** ([`ElisionFacts::to_json`]). `sglint`
+//! recomputes the same facts independently from the validated spec —
+//! without this module or the IR — and flags any drift (SG064), so a
+//! stale or tampered certificate can never silently ship an unsound
+//! fast path.
+
+use std::collections::BTreeSet;
+
+use composite::json::Json;
+use superglue_sm::{FnId, MachineFacts, State};
+
+use crate::ir::{ArgSource, CompiledStubSpec, RestoreArg, RetvalSpec};
+
+/// Certificate schema identifier (the JSON `schema` field).
+pub const CERT_SCHEMA: &str = "superglue-elision-cert";
+/// Certificate format version (the JSON `version` field).
+pub const CERT_VERSION: u64 = 1;
+
+/// Per-function elision facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnElision {
+    /// Function name (certificates are name-keyed, not `FnId`-keyed, so
+    /// they survive re-lowering).
+    pub name: String,
+    /// Constant σ-successor over the whole resync domain, or `None`
+    /// when the successor is state-dependent, partial, or the function
+    /// is a creation (creations never consult σ). Only valid when
+    /// terminal calls provably untrack their descriptor — otherwise
+    /// `Terminated` can persist on a live entry and the domain grows.
+    pub sigma_const: Option<State>,
+    /// The function's last-argument store is dead: every argument its
+    /// replay plan synthesizes comes from identity sources or from
+    /// metadata guaranteed harvested at creation, so the
+    /// fall-back-to-last-observed path is unreachable.
+    pub store_dead: bool,
+    /// Tracked-data harvests whose metadata slot some replay or restore
+    /// plan actually reads; the complement of
+    /// [`crate::ir::CompiledFn::data_args`] is dead weight.
+    pub live_data_args: Vec<(usize, usize)>,
+    /// The tracked return value (`SetData`/`AccumData`) lands in a slot
+    /// nothing reads. `NewDesc` is never dead — it materializes the
+    /// descriptor.
+    pub retval_dead: bool,
+    /// The whole tracked prologue/epilogue of a non-creation call
+    /// collapses to one unconditional state install: constant
+    /// non-terminal σ-successor, no store, no live harvest, no live
+    /// return value, and (for blocking calls) no affinity stamp.
+    pub full_fast_path: bool,
+}
+
+/// The complete certified fact set for one interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElisionFacts {
+    /// Interface name.
+    pub interface: String,
+    /// Metadata slots some replay or restore plan reads (sorted). The
+    /// harvest of every other slot is dead.
+    pub live_meta: Vec<usize>,
+    /// No effective recovery walk needs pending-call bookkeeping: every
+    /// blocking function reachable on a walk has a non-blocking
+    /// `sm_recover_block` substitute (or no walk blocks at all).
+    pub pending_dead: bool,
+    /// No effective recovery walk contains a blocking function, so the
+    /// per-call thread-affinity stamp has no reader. (A
+    /// `sm_recover_block` substitute *reads* the stamp to find the
+    /// owner, so lock-style interfaces keep affinity live even though
+    /// their pending markers die.)
+    pub affinity_dead: bool,
+    /// Descriptor ids are stable across micro-reboots — globally
+    /// addressable ids are pinned by the G0 restore protocol, or every
+    /// creation echoes the original id back as a replay argument — so
+    /// the post-recovery id-translation check is vacuous.
+    pub id_stable: bool,
+    /// Storage-component creation records have no reader. Never true
+    /// for a valid spec today (records are written exactly when G0
+    /// restore or cross-component creator discovery reads them);
+    /// computed honestly so a tampered certificate is detectable.
+    pub records_dead: bool,
+    /// Per-function facts, `FnId`-aligned with the spec.
+    pub fns: Vec<FnElision>,
+}
+
+/// The set of metadata slots a creation function is guaranteed to have
+/// written by the time any replay runs: its own harvested arguments
+/// plus the `NewDesc` return slot.
+fn creation_written(f: &crate::ir::CompiledFn) -> BTreeSet<usize> {
+    let mut set: BTreeSet<usize> = f.data_args.iter().map(|&(_, slot)| slot).collect();
+    if let RetvalSpec::NewDesc(slot) = f.retval {
+        set.insert(slot);
+    }
+    set
+}
+
+impl ElisionFacts {
+    /// Derive every elision fact from a lowered stub specification.
+    ///
+    /// Pure analysis: the spec is not modified and `sm_elide` requests
+    /// are ignored — facts are computed for *all* functions so the
+    /// certificate doubles as an audit of what else could be asked for.
+    #[must_use]
+    pub fn certify(spec: &CompiledStubSpec) -> Self {
+        let machine_facts = MachineFacts::compute(&spec.machine);
+
+        // σ-constancy is only usable when closing a descriptor removes
+        // its tracking entry (mirrors the stub's close path): otherwise
+        // `Terminated` persists on live entries and the resync domain
+        // in `MachineFacts` — all non-terminal `After` states — is an
+        // under-approximation.
+        let terminals_untrack = spec.model.close_removes_tracking
+            || spec.model.close_children
+            || !spec.model.parent.has_parent();
+
+        // Effective recovery walks: the runtime replays toward the
+        // `sm_recover_via`-substituted state, so the machine-level walk
+        // set must be recomputed under the substitution (raw machine
+        // walks would report e.g. a blocked wait as replayable when the
+        // via edge reroutes recovery through the creation).
+        let mut walk_fns: BTreeSet<FnId> = BTreeSet::new();
+        for (i, cf) in spec.fns.iter().enumerate() {
+            if cf.roles.terminates {
+                continue;
+            }
+            let f = FnId(i as u32);
+            let target = spec.recover_via.get(&f).copied().unwrap_or(f);
+            if let Ok(walk) = spec.machine.recovery_walk(State::After(target)) {
+                walk_fns.extend(walk);
+            }
+        }
+        if let Ok(walk) = spec.machine.recovery_walk(State::Terminated) {
+            walk_fns.extend(walk);
+        }
+
+        let blocking_on_walks: Vec<FnId> = walk_fns
+            .iter()
+            .copied()
+            .filter(|&f| spec.fn_of(f).roles.blocks)
+            .collect();
+        let affinity_dead = blocking_on_walks.is_empty();
+        let pending_dead = blocking_on_walks.iter().all(|b| {
+            spec.recover_block
+                .get(b)
+                .is_some_and(|&g| !spec.fn_of(g).roles.blocks)
+        });
+
+        // The replay read-set: every metadata slot some replayable
+        // function's argument plan or the G0 restore plan consults.
+        // Harvests into any other slot are dead stores.
+        let mut live_meta: BTreeSet<usize> = BTreeSet::new();
+        for cf in &spec.fns {
+            if !cf.track_args {
+                continue;
+            }
+            for arg in &cf.replay_args {
+                if let ArgSource::Meta(slot) = arg {
+                    live_meta.insert(*slot);
+                }
+            }
+        }
+        if let Some((_, restore_args)) = &spec.restore {
+            for arg in restore_args {
+                if let RestoreArg::Meta(slot) = arg {
+                    live_meta.insert(*slot);
+                }
+            }
+        }
+
+        // Slots guaranteed present on *any* descriptor of this
+        // interface: written by every creation. (A function replayed on
+        // a descriptor cannot know which creation built it, so only the
+        // intersection is guaranteed.) These slots are all in the
+        // read-set by construction — a slot proves a store dead only by
+        // appearing in a replay plan, which is what makes it live — so
+        // eliding dead harvests never undermines a store-dead proof.
+        let creations: Vec<&crate::ir::CompiledFn> =
+            spec.fns.iter().filter(|f| f.roles.creates).collect();
+        let any_creation_written: Option<BTreeSet<usize>> = creations
+            .iter()
+            .map(|f| creation_written(f))
+            .reduce(|a, b| a.intersection(&b).copied().collect());
+
+        let fns: Vec<FnElision> = spec
+            .fns
+            .iter()
+            .map(|cf| {
+                let sigma_const = if terminals_untrack {
+                    spec.dispatch
+                        .get(&cf.name)
+                        .and_then(|i| machine_facts.sigma_const(FnId(i)))
+                } else {
+                    None
+                };
+
+                // Dead store: the replay plan never falls back to the
+                // last observed arguments. Identity sources (client id,
+                // descriptor id, parent id) never do; `Meta` falls back
+                // only when the slot is unwritten, so
+                // guaranteed-at-creation slots are safe; `LastObserved`
+                // *is* the fallback.
+                let guaranteed = if cf.roles.creates {
+                    Some(creation_written(cf))
+                } else {
+                    any_creation_written.clone()
+                };
+                let store_dead = !cf.track_args
+                    || cf.replay_args.iter().all(|arg| match arg {
+                        ArgSource::ClientId | ArgSource::DescId | ArgSource::ParentId => true,
+                        ArgSource::Meta(slot) => {
+                            guaranteed.as_ref().is_some_and(|g| g.contains(slot))
+                        }
+                        ArgSource::LastObserved => false,
+                    });
+
+                let live_data_args: Vec<(usize, usize)> = cf
+                    .data_args
+                    .iter()
+                    .copied()
+                    .filter(|(_, slot)| live_meta.contains(slot))
+                    .collect();
+
+                let retval_dead = match cf.retval {
+                    RetvalSpec::SetData(slot) | RetvalSpec::AccumData(slot) => {
+                        !live_meta.contains(&slot)
+                    }
+                    RetvalSpec::None | RetvalSpec::NewDesc(_) => false,
+                };
+                let retval_live = !matches!(cf.retval, RetvalSpec::None) && !retval_dead;
+
+                let full_fast_path = matches!(sigma_const, Some(State::After(_)))
+                    && store_dead
+                    && live_data_args.is_empty()
+                    && !retval_live
+                    && !cf.roles.creates
+                    && (!cf.roles.blocks || affinity_dead);
+
+                FnElision {
+                    name: cf.name.clone(),
+                    sigma_const,
+                    store_dead,
+                    live_data_args,
+                    retval_dead,
+                    full_fast_path,
+                }
+            })
+            .collect();
+
+        // Id stability: global descriptors keep their id by the G0
+        // restore contract; local ones only when every creation's
+        // replay passes the original id back in (the service-echo
+        // contract, e.g. a scheduler keyed by kernel thread id).
+        let id_stable = spec.model.global
+            || (!creations.is_empty()
+                && creations.iter().all(|f| match f.retval {
+                    RetvalSpec::NewDesc(slot) => f
+                        .replay_args
+                        .iter()
+                        .any(|a| matches!(a, ArgSource::Meta(s) if *s == slot)),
+                    _ => false,
+                }));
+
+        // Creation records are read by G0 restore (global) and by
+        // cross-component creator discovery (XCParent) — exactly the
+        // conditions under which they are written, so this is always
+        // false for a spec the validator accepted.
+        let records_dead =
+            spec.records_creations && !spec.model.global && !spec.model.parent.crosses_components();
+
+        Self {
+            interface: spec.interface.clone(),
+            live_meta: live_meta.into_iter().collect(),
+            pending_dead,
+            affinity_dead,
+            id_stable,
+            records_dead,
+            fns,
+        }
+    }
+
+    /// The fact record for a function, by name.
+    #[must_use]
+    pub fn fn_by_name(&self, name: &str) -> Option<&FnElision> {
+        self.fns.iter().find(|f| f.name == name)
+    }
+
+    /// Render the deterministic elision certificate.
+    ///
+    /// Key order is fixed by construction (insertion-ordered objects),
+    /// slot indices are rendered as interned metadata names, and states
+    /// as function names — so two independent derivations of the same
+    /// facts produce byte-identical certificates, and a byte comparison
+    /// *is* a semantic comparison.
+    #[must_use]
+    pub fn to_json(&self, meta_names: &[String]) -> String {
+        let slot_name = |slot: usize| -> Json {
+            Json::Str(
+                meta_names
+                    .get(slot)
+                    .cloned()
+                    .unwrap_or_else(|| format!("slot#{slot}")),
+            )
+        };
+        let state_name = |s: State| -> Json {
+            match s {
+                State::After(g) => Json::Str(
+                    self.fns
+                        .get(g.index())
+                        .map_or_else(|| format!("fn#{}", g.index()), |f| f.name.clone()),
+                ),
+                State::Terminated => Json::Str("terminated".into()),
+                State::Init => Json::Str("init".into()),
+                State::Faulty => Json::Str("faulty".into()),
+            }
+        };
+
+        let mut root = Json::object();
+        root.push("schema", Json::Str(CERT_SCHEMA.into()));
+        root.push("version", Json::UInt(CERT_VERSION));
+        root.push("interface", Json::Str(self.interface.clone()));
+        root.push("pending_dead", Json::Bool(self.pending_dead));
+        root.push("affinity_dead", Json::Bool(self.affinity_dead));
+        root.push("id_stable", Json::Bool(self.id_stable));
+        root.push("records_dead", Json::Bool(self.records_dead));
+        root.push(
+            "live_meta",
+            Json::Array(self.live_meta.iter().map(|&s| slot_name(s)).collect()),
+        );
+        root.push(
+            "fns",
+            Json::Array(
+                self.fns
+                    .iter()
+                    .map(|f| {
+                        let mut o = Json::object();
+                        o.push("name", Json::Str(f.name.clone()));
+                        o.push("sigma_const", f.sigma_const.map_or(Json::Null, state_name));
+                        o.push("store_dead", Json::Bool(f.store_dead));
+                        o.push(
+                            "live_data",
+                            Json::Array(
+                                f.live_data_args
+                                    .iter()
+                                    .map(|&(_, slot)| slot_name(slot))
+                                    .collect(),
+                            ),
+                        );
+                        o.push("retval_dead", Json::Bool(f.retval_dead));
+                        o.push("full_fast_path", Json::Bool(f.full_fast_path));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        let mut s = root.to_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Rewrite `spec` to elide exactly the proven facts.
+    ///
+    /// Dead stores, dead harvests, and dead return values are applied
+    /// to **every** function where proven — they are invisible by
+    /// construction, so they need no per-function opt-in. The σ fast
+    /// path ([`crate::ir::CompiledFn::sigma_const`]) is applied only to
+    /// functions the spec requested via `sm_elide`, and an unprovable
+    /// request is a hard error, never a silent downgrade. Spec-level
+    /// toggles (pending/affinity/translation/records) activate only
+    /// when at least one elision was requested, keeping unannotated
+    /// interfaces bit-for-bit on the fully tracked path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending `sm_elide` request when
+    /// the function is a creation (creations install descriptor state
+    /// directly and have no σ step to elide — SG062) or when its
+    /// σ-successor is not constant over the resync domain (SG060).
+    pub fn apply(&self, spec: &mut CompiledStubSpec) -> Result<(), String> {
+        if self.fns.len() != spec.fns.len() || self.interface != spec.interface {
+            return Err(format!(
+                "elision facts for `{}` ({} fns) do not match spec `{}` ({} fns)",
+                self.interface,
+                self.fns.len(),
+                spec.interface,
+                spec.fns.len()
+            ));
+        }
+
+        for request in &spec.elide_requests {
+            let cf = &spec.fns[request.index()];
+            let fact = &self.fns[request.index()];
+            if cf.roles.creates {
+                return Err(format!(
+                    "sm_elide({}): creation calls install descriptor state directly \
+                     and have no σ step to elide (SG062)",
+                    cf.name
+                ));
+            }
+            if fact.sigma_const.is_none() {
+                return Err(format!(
+                    "sm_elide({}): σ-successor is not constant over the resync \
+                     domain, so the transition check stays live (SG060)",
+                    cf.name
+                ));
+            }
+            if !fact.store_dead {
+                return Err(format!(
+                    "sm_elide({}): the replay plan reads this call's stored \
+                     last-arguments (SG061)",
+                    cf.name
+                ));
+            }
+            if !fact.live_data_args.is_empty()
+                || (!fact.retval_dead && !matches!(cf.retval, RetvalSpec::None))
+            {
+                return Err(format!(
+                    "sm_elide({}): a tracked argument or return value is in the \
+                     replay read-set — the harvest feeds recovery (SG065)",
+                    cf.name
+                ));
+            }
+            if cf.roles.blocks && !self.affinity_dead {
+                return Err(format!(
+                    "sm_elide({}): some effective recovery walk blocks, so the \
+                     thread-affinity stamp is read by restore (SG063)",
+                    cf.name
+                ));
+            }
+        }
+
+        for (cf, fact) in spec.fns.iter_mut().zip(&self.fns) {
+            if fact.store_dead {
+                cf.store_slot = None;
+            }
+            cf.live_data_args = fact.live_data_args.clone();
+            if fact.retval_dead {
+                cf.retval_eff = RetvalSpec::None;
+            }
+        }
+        for request in &spec.elide_requests.clone() {
+            spec.fns[request.index()].sigma_const = self.fns[request.index()].sigma_const;
+        }
+        if !spec.elide_requests.is_empty() {
+            spec.elide_pending = self.pending_dead;
+            spec.elide_affinity = self.affinity_dead;
+            spec.elide_translation = self.id_stable;
+            spec.elide_records = self.records_dead;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower;
+
+    fn shipped(name: &str, src: &str) -> CompiledStubSpec {
+        lower(&superglue_idl::compile_interface(name, src).unwrap())
+    }
+
+    fn facts_of(name: &str, src: &str) -> (CompiledStubSpec, ElisionFacts) {
+        let spec = shipped(name, src);
+        let facts = ElisionFacts::certify(&spec);
+        (spec, facts)
+    }
+
+    fn sigma_const_name(spec: &CompiledStubSpec, facts: &ElisionFacts, f: &str) -> Option<String> {
+        facts.fn_by_name(f).unwrap().sigma_const.map(|s| match s {
+            State::After(g) => spec.fn_of(g).name.clone(),
+            State::Terminated => "terminated".into(),
+            other => panic!("unexpected σ-successor {other:?}"),
+        })
+    }
+
+    fn live_meta_names(spec: &CompiledStubSpec, facts: &ElisionFacts) -> Vec<String> {
+        facts
+            .live_meta
+            .iter()
+            .map(|&s| spec.meta_names[s].clone())
+            .collect()
+    }
+
+    #[test]
+    fn sched_certifies_total_sigma_and_echoed_ids() {
+        let (spec, facts) = facts_of("sched", include_str!("../../../idl/sched.sg"));
+        assert_eq!(
+            sigma_const_name(&spec, &facts, "sched_blk").as_deref(),
+            Some("sched_blk")
+        );
+        assert_eq!(
+            sigma_const_name(&spec, &facts, "sched_wakeup").as_deref(),
+            Some("sched_wakeup")
+        );
+        assert_eq!(
+            sigma_const_name(&spec, &facts, "sched_exit").as_deref(),
+            Some("terminated")
+        );
+        // Creations never consult σ.
+        assert_eq!(facts.fn_by_name("sched_setup").unwrap().sigma_const, None);
+        // sched_blk recovers via sched_setup, so no effective walk
+        // blocks: affinity and pending bookkeeping are both dead.
+        assert!(facts.affinity_dead);
+        assert!(facts.pending_dead);
+        // The thread id is echoed back by the service, so ids survive
+        // micro-reboots without translation.
+        assert!(facts.id_stable);
+        assert!(!facts.records_dead);
+        assert_eq!(live_meta_names(&spec, &facts), ["thdid"]);
+        assert!(facts.fn_by_name("sched_setup").unwrap().store_dead);
+        assert!(facts.fn_by_name("sched_wakeup").unwrap().store_dead);
+        assert!(facts.fn_by_name("sched_blk").unwrap().full_fast_path);
+        assert!(facts.fn_by_name("sched_wakeup").unwrap().full_fast_path);
+        // Terminal: σ-elidable, but close() still runs — no full path.
+        assert!(!facts.fn_by_name("sched_exit").unwrap().full_fast_path);
+    }
+
+    #[test]
+    fn mm_certifies_dead_creation_stores() {
+        let (spec, facts) = facts_of("mm", include_str!("../../../idl/mm.sg"));
+        assert_eq!(
+            sigma_const_name(&spec, &facts, "mman_release_page").as_deref(),
+            Some("terminated")
+        );
+        // Both creations replay purely from harvested metadata, so
+        // their last-argument stores are dead — the creation-path win.
+        assert!(facts.fn_by_name("mman_get_page").unwrap().store_dead);
+        assert!(facts.fn_by_name("mman_alias_page").unwrap().store_dead);
+        assert!(facts.affinity_dead);
+        assert!(facts.pending_dead);
+        // Map keys are reassigned on replay; translation stays live.
+        assert!(!facts.id_stable);
+        // XCParent: creator discovery reads the creation records.
+        assert!(!facts.records_dead);
+        assert_eq!(
+            live_meta_names(&spec, &facts),
+            ["vaddr", "dstcomp", "dstvaddr"]
+        );
+        // The NewDesc slot (mapkey) is not live metadata, but NewDesc
+        // is never elided.
+        assert!(!facts.fn_by_name("mman_get_page").unwrap().retval_dead);
+    }
+
+    #[test]
+    fn evt_certifies_dead_compid_harvest() {
+        let (spec, facts) = facts_of("evt", include_str!("../../../idl/evt.sg"));
+        assert_eq!(
+            sigma_const_name(&spec, &facts, "evt_wait").as_deref(),
+            Some("evt_wait")
+        );
+        assert_eq!(
+            sigma_const_name(&spec, &facts, "evt_trigger").as_deref(),
+            Some("evt_trigger")
+        );
+        // Global: the G0 restore protocol pins the id.
+        assert!(facts.id_stable);
+        assert!(!facts.records_dead);
+        // evt_wait recovers via evt_split, so no walk blocks.
+        assert!(facts.affinity_dead && facts.pending_dead);
+        // The compid harvest is dead — replay synthesizes the client id
+        // directly — while parent/grp feed the restore upcall.
+        assert_eq!(live_meta_names(&spec, &facts), ["parent_evtid", "grp"]);
+        let split = facts.fn_by_name("evt_split").unwrap();
+        assert_eq!(split.live_data_args.len(), 2);
+        let (_, split_cf) = spec.fn_by_name("evt_split").unwrap();
+        assert_eq!(split_cf.data_args.len(), 3);
+        assert!(facts.fn_by_name("evt_wait").unwrap().full_fast_path);
+        assert!(facts.fn_by_name("evt_trigger").unwrap().full_fast_path);
+    }
+
+    #[test]
+    fn tmr_wait_is_full_fast_path_but_period_harvests() {
+        let (spec, facts) = facts_of("tmr", include_str!("../../../idl/tmr.sg"));
+        assert_eq!(
+            sigma_const_name(&spec, &facts, "tmr_wait").as_deref(),
+            Some("tmr_wait")
+        );
+        assert!(facts.fn_by_name("tmr_wait").unwrap().full_fast_path);
+        // tmr_period has a constant σ-successor too, but its period
+        // harvest is live (replay re-arms from it) — no full path.
+        let period = facts.fn_by_name("tmr_period").unwrap();
+        assert!(period.sigma_const.is_some());
+        assert!(!period.full_fast_path);
+        assert_eq!(period.live_data_args.len(), 1);
+        assert_eq!(live_meta_names(&spec, &facts), ["period"]);
+        assert!(!facts.id_stable);
+    }
+
+    #[test]
+    fn lock_keeps_sigma_and_affinity_live() {
+        let (spec, facts) = facts_of("lock", include_str!("../../../idl/lock.sg"));
+        // σ is partial everywhere (double-take is the detected fault)
+        // and lock_restore pollutes the resync domain: nothing is
+        // σ-constant.
+        for f in &facts.fns {
+            assert_eq!(f.sigma_const, None, "{} must not be σ-constant", f.name);
+            assert!(!f.full_fast_path);
+        }
+        // lock_take sits on the recovery walk; its restore substitute
+        // reads the affinity stamp to find the owner.
+        assert!(!facts.affinity_dead);
+        // ...but the substitute itself never blocks, so pending-call
+        // markers are dead.
+        assert!(facts.pending_dead);
+        // lock_restore replays its `owner` argument from the last
+        // observed call — the store stays live.
+        assert!(!facts.fn_by_name("lock_restore").unwrap().store_dead);
+        assert!(live_meta_names(&spec, &facts).is_empty());
+    }
+
+    #[test]
+    fn fs_is_certifiable_but_offset_stays_hot() {
+        let (spec, facts) = facts_of("fs", include_str!("../../../idl/fs.sg"));
+        // Every non-creation has a constant successor...
+        assert_eq!(
+            sigma_const_name(&spec, &facts, "tread").as_deref(),
+            Some("tread")
+        );
+        assert_eq!(
+            sigma_const_name(&spec, &facts, "trelease").as_deref(),
+            Some("terminated")
+        );
+        // ...but tseek replays the offset from metadata no creation
+        // writes, so its store is live, and tread/twrite accumulate
+        // into a live slot, so their return values are live: fs has no
+        // full fast path and the spec requests none.
+        assert!(!facts.fn_by_name("tseek").unwrap().store_dead);
+        assert!(!facts.fn_by_name("tread").unwrap().retval_dead);
+        for f in &facts.fns {
+            assert!(!f.full_fast_path, "{} unexpectedly fast-pathed", f.name);
+        }
+        assert_eq!(live_meta_names(&spec, &facts), ["path", "offset"]);
+        assert!(facts.affinity_dead && facts.pending_dead);
+    }
+
+    #[test]
+    fn apply_installs_requested_facts_only() {
+        let mut spec = shipped("sched", include_str!("../../../idl/sched.sg"));
+        let facts = ElisionFacts::certify(&spec);
+        facts.apply(&mut spec).unwrap();
+        let (_, blk) = spec.fn_by_name("sched_blk").unwrap();
+        let (_, setup) = spec.fn_by_name("sched_setup").unwrap();
+        // Requested σ fast paths are installed...
+        assert!(spec.elide_requests.is_empty() || blk.sigma_const.is_some());
+        // ...dead stores are cleared everywhere proven, even on the
+        // creation, while the replay-side read index survives.
+        assert_eq!(setup.store_slot, None);
+        assert_eq!(setup.track_slot, Some(0));
+    }
+
+    #[test]
+    fn apply_rejects_unprovable_requests() {
+        let idl = "\
+service_global_info = { desc_block = true };
+sm_transition(l_alloc, l_take);
+sm_transition(l_take, l_release);
+sm_transition(l_release, l_take);
+sm_transition(l_release, l_free);
+sm_creation(l_alloc);
+sm_terminal(l_free);
+sm_block(l_take);
+sm_wakeup(l_release);
+sm_elide(l_take);
+desc_data_retval(long, id)
+l_alloc(componentid_t compid);
+int l_take(componentid_t compid, desc(long id));
+int l_release(componentid_t compid, desc(long id));
+int l_free(componentid_t compid, desc(long id));
+";
+        let mut spec = shipped("l", idl);
+        let facts = ElisionFacts::certify(&spec);
+        let err = facts.apply(&mut spec).unwrap_err();
+        assert!(err.contains("l_take"), "{err}");
+        assert!(err.contains("SG060"), "{err}");
+    }
+
+    #[test]
+    fn apply_rejects_creation_requests() {
+        let idl = "\
+sm_transition(mk, use_it);
+sm_transition(use_it, use_it);
+sm_elide(mk);
+sm_creation(mk);
+desc_data_retval(long, id)
+mk(componentid_t compid);
+int use_it(componentid_t compid, desc(long id));
+";
+        let mut spec = shipped("x", idl);
+        let facts = ElisionFacts::certify(&spec);
+        let err = facts.apply(&mut spec).unwrap_err();
+        assert!(err.contains("SG062"), "{err}");
+    }
+
+    #[test]
+    fn certificate_is_deterministic_and_versioned() {
+        let (spec, facts) = facts_of("sched", include_str!("../../../idl/sched.sg"));
+        let cert = facts.to_json(&spec.meta_names);
+        assert_eq!(cert, facts.to_json(&spec.meta_names));
+        let parsed = composite::json::Json::parse(&cert).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some(CERT_SCHEMA)
+        );
+        assert_eq!(parsed.get("version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            parsed.get("interface").and_then(Json::as_str),
+            Some("sched")
+        );
+        let fns = parsed.get("fns").and_then(Json::as_array).unwrap();
+        assert_eq!(fns.len(), spec.fns.len());
+        // schema/version lead the object so certificate readers can
+        // dispatch before touching facts.
+        let head = cert.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(head.contains("\"schema\""), "{head}");
+    }
+
+    #[test]
+    fn unannotated_spec_is_untouched_by_apply() {
+        // No sm_elide: dead facts still apply (they are invisible), but
+        // the spec-level toggles stay off and no σ fast path appears.
+        let mut spec = shipped("mm", include_str!("../../../idl/mm.sg"));
+        let no_requests = spec.elide_requests.is_empty();
+        let facts = ElisionFacts::certify(&spec);
+        facts.apply(&mut spec).unwrap();
+        if no_requests {
+            assert!(!spec.elide_pending && !spec.elide_affinity);
+            assert!(spec.fns.iter().all(|f| f.sigma_const.is_none()));
+        }
+    }
+}

@@ -87,6 +87,28 @@ pub struct CompiledFn {
     /// arguments in a flat per-descriptor array instead of a map keyed by
     /// `FnId`.
     pub track_slot: Option<usize>,
+    /// Certified constant σ-successor: when `Some(s)`, every state a live
+    /// descriptor can hold steps through this function to exactly `s`,
+    /// so the runtime may skip the σ-table read (and the unreachable
+    /// invalid-transition branch) and install `s` directly. `None` until
+    /// the elision certifier proves the fact (`lower` is conservative).
+    pub sigma_const: Option<superglue_sm::State>,
+    /// Dense last-arguments slot actually *written* on the hot path.
+    /// Starts equal to [`CompiledFn::track_slot`]; the certifier clears
+    /// it when the function's replay plan provably never reads the
+    /// stored arguments (dead-store-on-replay). `track_slot` itself is
+    /// kept for the replay-side read index.
+    pub store_slot: Option<usize>,
+    /// Tracked-data arguments actually harvested on the hot path.
+    /// Starts equal to [`CompiledFn::data_args`]; the certifier drops
+    /// entries whose metadata slot is outside the replay read-set.
+    pub live_data_args: Vec<(usize, usize)>,
+    /// Return-value treatment actually applied on the hot path. Starts
+    /// equal to [`CompiledFn::retval`]; the certifier downgrades
+    /// `SetData`/`AccumData` to `None` when the slot is outside the
+    /// replay read-set (`NewDesc` is never elided — it materializes the
+    /// descriptor).
+    pub retval_eff: RetvalSpec,
 }
 
 /// The full compiled stub specification for one interface.
@@ -124,6 +146,25 @@ pub struct CompiledStubSpec {
     /// Number of dense last-arguments slots (see
     /// [`CompiledFn::track_slot`]).
     pub track_slots: usize,
+    /// The spec's `sm_elide` requests, in declaration order. Lowered
+    /// verbatim; proving and *acting* on them is the certifier's job
+    /// ([`crate::elide`]).
+    pub elide_requests: Vec<FnId>,
+    /// Certified: pending-call bookkeeping (the blocked-walk completion
+    /// check) can never observe anything, so the stub skips it.
+    pub elide_pending: bool,
+    /// Certified: per-descriptor blocked-thread affinity stamps are never
+    /// read by recovery, so the stub skips writing them.
+    pub elide_affinity: bool,
+    /// Certified: descriptor ids are stable across micro-reboots, so the
+    /// post-recovery id-translation check can be skipped.
+    pub elide_translation: bool,
+    /// Certified: storage-component creation records are never read by
+    /// recovery. Never provable for a valid spec today (G0 restore and
+    /// cross-component parent discovery both read them) — carried so
+    /// tampered certificates are detectable, and so the fact is computed
+    /// honestly rather than hard-coded.
+    pub elide_records: bool,
 }
 
 impl CompiledStubSpec {
@@ -224,16 +265,21 @@ fn lower_fn(spec: &InterfaceSpec, sig: &FnSig, names: &mut Vec<String>) -> Compi
             }
         }
     };
+    let data_args: Vec<(usize, usize)> = data_args;
     CompiledFn {
         name: sig.name.clone(),
         roles,
         desc_arg,
         parent_arg,
+        live_data_args: data_args.clone(),
         data_args,
+        retval_eff: retval,
         retval,
         replay_args: replay_plan(sig, names),
         track_args: false, // filled in by `lower`
         track_slot: None,  // filled in by `lower`
+        sigma_const: None, // filled in by the elision certifier
+        store_slot: None,  // filled in by `lower`
     }
 }
 
@@ -277,6 +323,9 @@ pub fn lower(spec: &InterfaceSpec) -> CompiledStubSpec {
             f.track_slot = Some(track_slots);
             track_slots += 1;
         }
+        // Until the certifier proves otherwise, every tracked function
+        // also stores (identity default).
+        f.store_slot = f.track_slot;
     }
     let recover_via: BTreeMap<FnId, FnId> = spec.recover_via.iter().copied().collect();
     let recover_block: BTreeMap<FnId, FnId> = spec.recover_block.iter().copied().collect();
@@ -334,6 +383,11 @@ pub fn lower(spec: &InterfaceSpec) -> CompiledStubSpec {
         sigma,
         dispatch,
         track_slots,
+        elide_requests: spec.elide.clone(),
+        elide_pending: false,
+        elide_affinity: false,
+        elide_translation: false,
+        elide_records: false,
     }
 }
 

@@ -44,11 +44,13 @@
 //! # Ok::<(), superglue_idl::IdlError>(())
 //! ```
 
+pub mod elide;
 pub mod emit;
 pub mod ir;
 pub mod predicates;
 pub mod templates;
 
+pub use elide::{ElisionFacts, FnElision};
 pub use ir::{ArgSource, CompiledFn, CompiledStubSpec, RestoreArg, RetvalSpec};
 pub use predicates::ModelPredicates;
 
@@ -66,6 +68,10 @@ pub struct Compilation {
     /// Which template–predicate pairs fired, by template name (for
     /// inspection and for the template-count invariant tests).
     pub templates_used: Vec<&'static str>,
+    /// The elision certificate (deterministic JSON) when the spec
+    /// requested any `sm_elide` fast path; `None` for unannotated
+    /// interfaces, which stay bit-for-bit on the fully tracked path.
+    pub elision_cert: Option<String>,
 }
 
 impl Compilation {
@@ -90,17 +96,44 @@ pub fn count_loc(source: &str) -> usize {
 }
 
 /// Compile a validated interface into a stub spec plus generated source.
+///
+/// The fully tracked build: `sm_elide` requests are carried through to
+/// the IR (and rendered as fast-path stubs in the generated source)
+/// but **not** applied to the runtime spec. Use [`compile_elided`] to
+/// also certify and install the requested fast paths.
 #[must_use]
 pub fn compile(spec: &InterfaceSpec) -> Compilation {
     let stub_spec = ir::lower(spec);
     let preds = ModelPredicates::of(spec);
     let (client_source, server_source, templates_used) = emit::emit_both(spec, &stub_spec, &preds);
+    let elision_cert = (!stub_spec.elide_requests.is_empty())
+        .then(|| ElisionFacts::certify(&stub_spec).to_json(&stub_spec.meta_names));
     Compilation {
         stub_spec,
         client_source,
         server_source,
         templates_used,
+        elision_cert,
     }
+}
+
+/// Compile with the certified tracking elisions applied to the runtime
+/// stub specification.
+///
+/// The generated source and certificate are identical to [`compile`]'s
+/// (both are rendered from the certifier's facts, so there is a single
+/// golden set); only the interpreted [`CompiledStubSpec`] differs, in
+/// exactly the proven-invisible writes.
+///
+/// # Errors
+///
+/// Returns the certifier's message when the spec requests an elision
+/// that cannot be proven (see [`ElisionFacts::apply`]).
+pub fn compile_elided(spec: &InterfaceSpec) -> Result<Compilation, String> {
+    let mut out = compile(spec);
+    let facts = ElisionFacts::certify(&out.stub_spec);
+    facts.apply(&mut out.stub_spec)?;
+    Ok(out)
 }
 
 #[cfg(test)]

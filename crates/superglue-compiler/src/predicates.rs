@@ -29,6 +29,9 @@ pub struct ModelPredicates {
     pub has_accum: bool,
     /// Some function has a terminal role.
     pub has_terminal: bool,
+    /// The interface requests `sm_elide` fast paths — gates the
+    /// certified untracked-stub template.
+    pub has_elisions: bool,
 }
 
 impl ModelPredicates {
@@ -53,6 +56,7 @@ impl ModelPredicates {
                 )
             }),
             has_terminal: spec.machine.terminal_fns().next().is_some(),
+            has_elisions: !spec.elide.is_empty(),
         }
     }
 

@@ -78,6 +78,13 @@ pub enum SmDecl {
     /// lock must be restored to its recorded holder, not usurped by the
     /// recovering thread.
     RecoverBlock(String, String),
+    /// `sm_elide(f)` — request the tracking-elision fast path for `f`:
+    /// the stub compiler may drop `f`'s per-call descriptor bookkeeping
+    /// (σ-table write, metadata harvest, last-argument store) *iff* the
+    /// certifier proves the elision unobservable (sglint SG060–SG06x).
+    /// Requesting an unprovable elision is a lint error, never a silent
+    /// downgrade.
+    Elide(String),
 }
 
 /// A C type as written: one or more identifier words plus pointer depth

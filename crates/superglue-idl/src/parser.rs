@@ -8,7 +8,7 @@
 //! global_info := "service_global_info" "=" "{" kv ("," kv)* ","? "}" ";"
 //! kv          := IDENT "=" (true|false|solo|parent|xcparent)
 //! sm_decl     := "sm_transition" "(" IDENT "," IDENT ")" ";"
-//!              | ("sm_creation"|"sm_terminal"|"sm_block"|"sm_wakeup")
+//!              | ("sm_creation"|"sm_terminal"|"sm_block"|"sm_wakeup"|"sm_elide")
 //!                "(" IDENT ")" ";"
 //! fn_decl     := retval_annot? type? IDENT "(" params? ")" ";"
 //! retval_annot:= "desc_data_retval" "(" type "," IDENT ")"
@@ -104,7 +104,7 @@ impl Parser {
                         self.global_info(&mut out)?;
                     }
                     "sm_transition" | "sm_creation" | "sm_terminal" | "sm_block" | "sm_wakeup"
-                    | "sm_recover_via" | "sm_recover_block" => {
+                    | "sm_recover_via" | "sm_recover_block" | "sm_elide" => {
                         let span = self.peek().span;
                         let kw = self.expect_ident("sm keyword")?;
                         out.sm_decls.push(self.sm_decl(&kw)?);
@@ -191,6 +191,7 @@ impl Parser {
                 "sm_terminal" => SmDecl::Terminal(first),
                 "sm_block" => SmDecl::Block(first),
                 "sm_wakeup" => SmDecl::Wakeup(first),
+                "sm_elide" => SmDecl::Elide(first),
                 _ => unreachable!("caller checked the keyword"),
             }
         };
@@ -491,6 +492,13 @@ int evt_free(componentid_t compid, desc(long evtid));
                 SmDecl::Transition("a".into(), "b".into()),
             ]
         );
+    }
+
+    #[test]
+    fn sm_elide_parses() {
+        let f = parse("sm_elide(evt_trigger);\n").unwrap();
+        assert_eq!(f.sm_decls, vec![SmDecl::Elide("evt_trigger".into())]);
+        assert_eq!(f.sm_spans.len(), 1);
     }
 
     #[test]

@@ -109,6 +109,11 @@ pub struct InterfaceSpec {
     /// `sm_recover_block(f, g)`: replaying blocking `f` for another
     /// thread calls the recovery entry point `g` with the owner id.
     pub recover_block: Vec<(FnId, FnId)>,
+    /// Tracking-elision requests from `sm_elide(f)`, in declaration
+    /// order. Validation only checks the name resolves and is not
+    /// duplicated; whether the elision is *provable* is the certifier's
+    /// job (sglint SG060–SG06x / the compiler's certificate pass).
+    pub elide: Vec<FnId>,
 }
 
 impl InterfaceSpec {
@@ -224,6 +229,21 @@ pub fn validate(name: &str, file: &IdlFile) -> Result<InterfaceSpec, IdlError> {
         }
     }
 
+    let mut elide = Vec::new();
+    for decl in &file.sm_decls {
+        if let SmDecl::Elide(f) = decl {
+            let fid = machine.function_by_name(f).ok_or_else(|| {
+                semantic(format!("sm_elide references undeclared function {f:?}"))
+            })?;
+            if elide.contains(&fid) {
+                return Err(semantic(format!(
+                    "duplicate sm_elide declaration for {f:?}"
+                )));
+            }
+            elide.push(fid);
+        }
+    }
+
     check_cross_rules(&model, &machine, &fns)?;
 
     Ok(InterfaceSpec {
@@ -233,6 +253,7 @@ pub fn validate(name: &str, file: &IdlFile) -> Result<InterfaceSpec, IdlError> {
         fns,
         recover_via,
         recover_block,
+        elide,
     })
 }
 
@@ -324,7 +345,7 @@ fn lower_machine(name: &str, file: &IdlFile) -> Result<StateMachine, IdlError> {
                 let f = lookup(f)?;
                 b.wakeup(f);
             }
-            SmDecl::RecoverVia(_, _) | SmDecl::RecoverBlock(_, _) => {
+            SmDecl::RecoverVia(_, _) | SmDecl::RecoverBlock(_, _) | SmDecl::Elide(_) => {
                 // Handled after the machine is built (needs reachability
                 // and role information).
             }
@@ -597,6 +618,27 @@ int evt_free(componentid_t compid, desc(long evtid));
         )
         .unwrap_err();
         assert!(err.to_string().contains("not a reachable state"));
+    }
+
+    #[test]
+    fn sm_elide_resolves_and_rejects_duplicates_and_unknowns() {
+        let s = spec(
+            "sm_creation(f);\nsm_transition(f, g);\nsm_elide(g);\n\
+             desc_data_retval(long, id)\nf();\nint g(desc(long id));\n",
+        )
+        .unwrap();
+        assert_eq!(s.elide, vec![s.fn_by_name("g").unwrap().id]);
+
+        let err = spec(
+            "sm_creation(f);\nsm_transition(f, g);\nsm_elide(g);\nsm_elide(g);\n\
+             desc_data_retval(long, id)\nf();\nint g(desc(long id));\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate sm_elide"));
+
+        let err = spec("sm_creation(f);\nsm_elide(ghost);\ndesc_data_retval(long, id)\nf();\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("undeclared function"));
     }
 
     #[test]

@@ -1,22 +1,26 @@
 //! `sglint` — recovery-soundness analyzer for SuperGlue IDL specs.
 //!
 //! ```text
-//! usage: sglint [--format human|json] [--deny-warnings] <spec.sg>...
+//! usage: sglint [--format human|json] [--deny-warnings] [--emit-certs DIR] <spec.sg>...
 //! ```
 //!
 //! Exit status: 0 when every spec is clean (warnings allowed unless
 //! `--deny-warnings`), 1 when any diagnostic fails the build, 2 on usage
 //! or I/O errors. Human output is compiler-style
 //! (`file:line:col: error[SG021]: ...`); `--format json` emits one JSON
-//! object per file (JSON-lines). See the repository README for the
-//! diagnostic-code table.
+//! object per file (JSON-lines). `--emit-certs DIR` writes the
+//! deterministic elision certificate of every error-free spec to
+//! `DIR/<name>.cert.json` — the artifact CI diffs against the compiler's
+//! own certification. See the repository README for the diagnostic-code
+//! table.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use superglue_lint::{lint_source, Severity};
 
-const USAGE: &str = "usage: sglint [--format human|json] [--deny-warnings] <spec.sg>...";
+const USAGE: &str =
+    "usage: sglint [--format human|json] [--deny-warnings] [--emit-certs DIR] <spec.sg>...";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -28,6 +32,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut format = Format::Human;
     let mut deny_warnings = false;
+    let mut emit_certs: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -42,14 +47,23 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--emit-certs" => match it.next() {
+                Some(dir) => emit_certs = Some(dir.clone()),
+                None => {
+                    eprintln!("sglint: --emit-certs expects a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "-h" | "--help" => {
                 println!("{USAGE}");
                 println!();
                 println!("Statically verifies the recovery soundness of SuperGlue IDL specs:");
                 println!("state-graph shape (SG01x), recoverability of every reachable state");
                 println!("(SG02x), tracking sufficiency of every replayed argument (SG03x),");
-                println!("blocking/metadata hygiene (SG04x), and compiled-stub conformance");
-                println!("(SG05x). A spec with errors is refused by the checked compiler.");
+                println!("blocking/metadata hygiene (SG04x), compiled-stub conformance");
+                println!("(SG05x), and tracking-elision certification (SG06x). A spec with");
+                println!("errors is refused by the checked compiler. --emit-certs DIR writes");
+                println!("each clean spec's elision certificate to DIR/<name>.cert.json.");
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
@@ -87,6 +101,23 @@ fn main() -> ExitCode {
         warnings += report.count(Severity::Warning);
         notes += report.count(Severity::Note);
         failed |= report.fails(deny_warnings);
+
+        if let Some(dir) = &emit_certs {
+            if !report.has_errors() {
+                let spec = superglue_idl::compile_interface(name, &source)
+                    .expect("lint found no errors, so the front end must accept the spec");
+                let stub = superglue_compiler::ir::lower(&spec);
+                let cert =
+                    superglue_compiler::ElisionFacts::certify(&stub).to_json(&stub.meta_names);
+                let path = Path::new(dir).join(format!("{name}.cert.json"));
+                if let Err(e) =
+                    std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, cert))
+                {
+                    eprintln!("sglint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
     }
 
     if format == Format::Human {

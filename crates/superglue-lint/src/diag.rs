@@ -48,7 +48,9 @@ impl fmt::Display for Severity {
 /// * `SG03x` — tracking sufficiency (argument synthesis, restore
 ///   signatures);
 /// * `SG04x` — blocking/wakeup and metadata hygiene;
-/// * `SG05x` — stub conformance (compiler/IR drift).
+/// * `SG05x` — stub conformance (compiler/IR drift);
+/// * `SG06x` — tracking-elision certification (`sm_elide` requests that
+///   cannot be proven unobservable, and certificate drift).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum Code {
@@ -111,6 +113,29 @@ pub enum Code {
     /// Compiled stub drift: a function's replay/retval plan disagrees
     /// with its annotations.
     ConformanceReplayPlan,
+    /// `sm_elide` on a function whose σ-successor is not constant over
+    /// the resync domain: the transition check is live fault detection
+    /// and cannot be skipped.
+    ElisionSigmaLive,
+    /// `sm_elide` on a function whose replay plan reads its stored
+    /// last-arguments (a `LastObserved` source, or a metadata fallback
+    /// no creation guarantees): the store feeds recovery.
+    ElisionReplayReadsArgs,
+    /// `sm_elide` on a creation function: creations install descriptor
+    /// state directly and their storage-component records are read by
+    /// recovery — there is no unobservable prologue to skip.
+    ElisionRecordLive,
+    /// `sm_elide` on a blocking function while some effective recovery
+    /// walk blocks: the thread-affinity stamp is read by restore.
+    ElisionAffinityLive,
+    /// Elision-certificate drift: the compiler's certified facts (or the
+    /// elisions applied to the emitted stub) disagree with the lint's
+    /// independent recomputation.
+    ElisionFactsDrift,
+    /// `sm_elide` on a function with a live metadata harvest (tracked
+    /// argument or return value in the replay read-set): the harvest
+    /// feeds replay or restore.
+    ElisionLiveMetadataHarvest,
 }
 
 impl Code {
@@ -139,6 +164,12 @@ impl Code {
             Code::ConformanceRecoveryMaps => "SG052",
             Code::ConformanceRestorePlan => "SG053",
             Code::ConformanceReplayPlan => "SG054",
+            Code::ElisionSigmaLive => "SG060",
+            Code::ElisionReplayReadsArgs => "SG061",
+            Code::ElisionRecordLive => "SG062",
+            Code::ElisionAffinityLive => "SG063",
+            Code::ElisionFactsDrift => "SG064",
+            Code::ElisionLiveMetadataHarvest => "SG065",
         }
     }
 
@@ -158,6 +189,11 @@ impl fmt::Display for Code {
         f.write_str(self.as_str())
     }
 }
+
+/// Schema identifier leading every JSON report object.
+pub const REPORT_SCHEMA: &str = "superglue-lint-report";
+/// JSON report format version (bump on any shape change).
+pub const REPORT_VERSION: u64 = 1;
 
 /// One analyzer finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -276,10 +312,18 @@ impl LintReport {
     }
 
     /// JSON rendering (one object per report; JSON-lines friendly).
+    ///
+    /// The object leads with `schema`/`version` and keeps a fixed key
+    /// order throughout (insertion-ordered objects), so downstream
+    /// consumers can dispatch on the format before reading findings and
+    /// byte-compare reports across runs. The shape is pinned by a golden
+    /// test — bump [`REPORT_VERSION`] when changing it.
     #[must_use]
     pub fn to_json(&self, file_label: &str) -> Json {
         let mut obj = Json::object();
-        obj.push("interface", self.interface.as_str())
+        obj.push("schema", REPORT_SCHEMA)
+            .push("version", REPORT_VERSION)
+            .push("interface", self.interface.as_str())
             .push("file", file_label)
             .push("errors", self.count(Severity::Error))
             .push("warnings", self.count(Severity::Warning))
@@ -340,6 +384,12 @@ mod tests {
             Code::ConformanceRecoveryMaps,
             Code::ConformanceRestorePlan,
             Code::ConformanceReplayPlan,
+            Code::ElisionSigmaLive,
+            Code::ElisionReplayReadsArgs,
+            Code::ElisionRecordLive,
+            Code::ElisionAffinityLive,
+            Code::ElisionFactsDrift,
+            Code::ElisionLiveMetadataHarvest,
         ];
         let mut strs: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         strs.sort_unstable();
@@ -383,6 +433,22 @@ mod tests {
         assert_eq!(
             text,
             "idl/lock.sg:3:7: error[SG021]: boom\n    state path: s0\n"
+        );
+    }
+
+    #[test]
+    fn json_report_shape_is_pinned() {
+        // Byte-exact golden for the JSON report: schema/version lead,
+        // key order is fixed. Bump REPORT_VERSION if this must change.
+        let d = Diagnostic::new(Code::ElisionSigmaLive, "boom").with_span(Some(Span::new(3, 7)));
+        let r = LintReport::new("x", vec![d]);
+        assert_eq!(
+            r.to_json("idl/x.sg").to_line(),
+            "{\"schema\":\"superglue-lint-report\",\"version\":1,\
+             \"interface\":\"x\",\"file\":\"idl/x.sg\",\
+             \"errors\":1,\"warnings\":0,\"notes\":0,\
+             \"diagnostics\":[{\"code\":\"SG060\",\"severity\":\"error\",\
+             \"line\":3,\"col\":7,\"message\":\"boom\",\"notes\":[]}]}"
         );
     }
 

@@ -1,0 +1,802 @@
+//! Tracking-elision certification (`SG060`–`SG065`).
+//!
+//! `sm_elide(f)` asks the compiler to drop `f`'s per-call descriptor
+//! bookkeeping and emit an untracked fast-path stub. That is only sound
+//! when nothing observable depends on the elided writes: the recovery
+//! replay must reconstruct the descriptor without reading them, the
+//! fault-detection counters must be statically decided, and the restore
+//! protocol must not consult the skipped stamps. This module proves (or
+//! refutes) each request **independently of the compiler's certifier**:
+//! every fact is recomputed here from the validated [`InterfaceSpec`]
+//! and its state machine alone — no [`superglue_compiler::ElisionFacts`]
+//! code, no [`superglue_sm::MachineFacts`], no lowered replay plans.
+//!
+//! Per-request refutations:
+//!
+//! * `SG060` — the σ-successor is not constant over the resync domain,
+//!   so the transition check (and its invalid-transition accounting)
+//!   stays live;
+//! * `SG061` — the replay plan falls back to the stored last arguments,
+//!   so the per-call store cannot be skipped;
+//! * `SG062` — the request names a creation, whose descriptor install
+//!   and creation record are never elidable;
+//! * `SG063` — the function blocks and some effective recovery walk
+//!   blocks too, so restore reads the thread-affinity stamp;
+//! * `SG065` — a tracked argument or return value of the function is in
+//!   the replay read-set, so the metadata harvest feeds recovery.
+//!
+//! `SG064` is the cross-check: the compiler's certificate
+//! ([`ElisionFacts::certify`]) and the elision fields of the compiled
+//! stub itself are compared fact-by-fact against this module's
+//! derivation. Any drift — a certifier regression, a stale certificate,
+//! or a hand-tampered stub that elides something unproven — is an
+//! error, so an unsound fast path can never ship silently.
+
+use std::collections::BTreeSet;
+
+use superglue_compiler::{CompiledStubSpec, ElisionFacts, RetvalSpec};
+use superglue_idl::ast::SmDecl;
+use superglue_idl::{FnSig, InterfaceSpec, TrackKind};
+use superglue_sm::{FnId, State};
+
+use crate::diag::{Code, Diagnostic};
+use crate::{compid_like, fmt_state, recovery_target, replayable_fns, SpanIndex};
+
+/// The lint's own elision facts, derived from the validated spec.
+struct LintFacts {
+    /// Per-function constant σ-successor over the resync domain (all
+    /// non-terminal `After` states). `None` for creations, partial σ,
+    /// state-dependent successors, or when terminal calls do not
+    /// provably untrack the descriptor.
+    sigma_const: Vec<Option<State>>,
+    /// Per-function: parameters whose replay source is the stored
+    /// last-argument fallback. Empty means the store is dead.
+    store_live_args: Vec<Vec<String>>,
+    /// Per-function: tracked-data parameters in the replay read-set.
+    live_harvest: Vec<Vec<String>>,
+    /// Per-function: the tracked (non-creation) return value lands in a
+    /// slot nothing reads.
+    retval_dead: Vec<bool>,
+    /// Metadata names some replay or restore plan reads.
+    live_meta: BTreeSet<String>,
+    /// No effective walk needs pending-call bookkeeping.
+    pending_dead: bool,
+    /// No effective walk contains a blocking function.
+    affinity_dead: bool,
+    /// Blocking functions on effective walks (for messages).
+    blocking_walk_fns: Vec<String>,
+    /// Descriptor ids survive micro-reboots without translation.
+    id_stable: bool,
+    /// Creation records have no reader (never true for valid specs).
+    records_dead: bool,
+    /// Terminal calls provably remove tracking, keeping `Terminated`
+    /// out of the resync domain.
+    terminals_untrack: bool,
+}
+
+/// Metadata slots a creation is guaranteed to have written by the time
+/// any replay runs: its harvested parameters plus the returned id.
+fn creation_written(sig: &FnSig) -> BTreeSet<String> {
+    let mut set: BTreeSet<String> = sig.data_params().map(|p| p.name.clone()).collect();
+    if let Some((_, name, _)) = &sig.retval_tracked {
+        set.insert(name.clone());
+    }
+    set
+}
+
+/// Recompute every elision fact from the validated spec.
+fn certify(spec: &InterfaceSpec) -> LintFacts {
+    let machine = &spec.machine;
+    let n = spec.fns.len();
+
+    // σ-constancy is only usable when closing a descriptor removes its
+    // tracking entry; otherwise `Terminated` persists on live entries
+    // and the non-terminal-`After` domain under-approximates.
+    let terminals_untrack = spec.model.close_removes_tracking
+        || spec.model.close_children
+        || !spec.model.parent.has_parent();
+
+    // The resync domain: every state a live tracked descriptor can hold
+    // when a non-creation function is applied (creations bypass σ, and
+    // the invalid-transition resync can park a descriptor in `After(f)`
+    // for *any* non-terminal f, σ edges or not).
+    let live_states: Vec<State> = (0..n)
+        .map(|i| FnId(i as u32))
+        .filter(|&f| !machine.roles(f).terminates)
+        .map(State::After)
+        .collect();
+
+    let sigma_const: Vec<Option<State>> = (0..n)
+        .map(|i| {
+            let f = FnId(i as u32);
+            if !terminals_untrack || machine.roles(f).creates || live_states.is_empty() {
+                return None;
+            }
+            let mut succ: Option<State> = None;
+            for &s in &live_states {
+                match machine.step(s, f) {
+                    Ok(t) if succ.is_none() || succ == Some(t) => succ = Some(t),
+                    _ => return None,
+                }
+            }
+            succ
+        })
+        .collect();
+
+    // Effective recovery walks: recovery replays toward the
+    // `sm_recover_via`-substituted state, so blocking-ness must be
+    // judged on the substituted walks, plus the close-out walk.
+    let mut walk_fns: BTreeSet<FnId> = BTreeSet::new();
+    for i in 0..n {
+        let f = FnId(i as u32);
+        if machine.roles(f).terminates {
+            continue;
+        }
+        if let Ok(walk) = machine.recovery_walk(State::After(recovery_target(spec, f))) {
+            walk_fns.extend(walk);
+        }
+    }
+    if let Ok(walk) = machine.recovery_walk(State::Terminated) {
+        walk_fns.extend(walk);
+    }
+    let blocking: Vec<FnId> = walk_fns
+        .iter()
+        .copied()
+        .filter(|&f| machine.roles(f).blocks)
+        .collect();
+    let affinity_dead = blocking.is_empty();
+    let pending_dead = blocking.iter().all(|b| {
+        spec.recover_block
+            .iter()
+            .find(|&&(src, _)| src == *b)
+            .is_some_and(|&(_, g)| !machine.roles(g).blocks)
+    });
+    let blocking_walk_fns: Vec<String> = blocking
+        .iter()
+        .map(|&f| machine.function_name(f).to_owned())
+        .collect();
+
+    // The replay read-set, by metadata name: tracked-data parameters of
+    // replayable functions (compid-like ones replay from the invocation
+    // context instead), plus the G0 restore upcall's metadata.
+    let replayable = replayable_fns(spec);
+    let mut live_meta: BTreeSet<String> = BTreeSet::new();
+    for &f in replayable.keys() {
+        for p in &spec.fns[f.index()].params {
+            if p.track == TrackKind::Data && !compid_like(&p.ty, &p.name) {
+                live_meta.insert(p.name.clone());
+            }
+        }
+    }
+    if spec.model.global {
+        if let Some(create) = spec.fns.iter().find(|s| machine.roles(s.id).creates) {
+            for p in create.data_params() {
+                if !compid_like(&p.ty, &p.name) {
+                    live_meta.insert(p.name.clone());
+                }
+            }
+        }
+    }
+
+    let creations: Vec<&FnSig> = spec
+        .fns
+        .iter()
+        .filter(|s| machine.roles(s.id).creates)
+        .collect();
+    let any_creation_written: Option<BTreeSet<String>> = creations
+        .iter()
+        .map(|s| creation_written(s))
+        .reduce(|a, b| a.intersection(&b).cloned().collect());
+
+    // Dead store: the replay plan never falls back to the stored last
+    // arguments. Identity sources (descriptor, parent, client id) never
+    // do; metadata falls back only when the slot is unwritten, so
+    // guaranteed-at-creation slots are safe; an unannotated parameter
+    // *is* the fallback.
+    let store_live_args: Vec<Vec<String>> = spec
+        .fns
+        .iter()
+        .map(|sig| {
+            if !replayable.contains_key(&sig.id) {
+                return Vec::new();
+            }
+            let guaranteed = if machine.roles(sig.id).creates {
+                Some(creation_written(sig))
+            } else {
+                any_creation_written.clone()
+            };
+            sig.params
+                .iter()
+                .filter(|p| match p.track {
+                    TrackKind::Desc | TrackKind::Parent | TrackKind::DataParent => false,
+                    TrackKind::Data | TrackKind::None if compid_like(&p.ty, &p.name) => false,
+                    TrackKind::Data => !guaranteed.as_ref().is_some_and(|g| g.contains(&p.name)),
+                    TrackKind::None => true,
+                })
+                .map(|p| p.name.clone())
+                .collect()
+        })
+        .collect();
+
+    let live_harvest: Vec<Vec<String>> = spec
+        .fns
+        .iter()
+        .map(|sig| {
+            sig.data_params()
+                .filter(|p| live_meta.contains(&p.name))
+                .map(|p| p.name.clone())
+                .collect()
+        })
+        .collect();
+
+    let retval_dead: Vec<bool> = spec
+        .fns
+        .iter()
+        .map(|sig| match &sig.retval_tracked {
+            Some((_, name, _)) if !machine.roles(sig.id).creates => !live_meta.contains(name),
+            _ => false,
+        })
+        .collect();
+
+    // Id stability: globally addressable ids are pinned by G0 restore;
+    // local ones survive only when every creation echoes the original
+    // id back as a replayed metadata argument (the service-echo
+    // contract, e.g. a scheduler keyed by kernel thread id).
+    let id_stable = spec.model.global
+        || (!creations.is_empty()
+            && creations.iter().all(|sig| {
+                sig.retval_tracked.as_ref().is_some_and(|(_, rname, _)| {
+                    sig.params.iter().any(|p| {
+                        p.track == TrackKind::Data
+                            && !compid_like(&p.ty, &p.name)
+                            && p.name == *rname
+                    })
+                })
+            }));
+
+    // Creation records are written exactly when G0 restore (global) or
+    // cross-component creator discovery (XCParent) reads them, so this
+    // is always false — computed honestly for tamper detection.
+    let records = spec.model.global || spec.model.parent.crosses_components();
+    let records_dead = records && !spec.model.global && !spec.model.parent.crosses_components();
+
+    LintFacts {
+        sigma_const,
+        store_live_args,
+        live_harvest,
+        retval_dead,
+        live_meta,
+        pending_dead,
+        affinity_dead,
+        blocking_walk_fns,
+        id_stable,
+        records_dead,
+        terminals_untrack,
+    }
+}
+
+/// Why σ-constancy fails for `f`, for the `SG060` note.
+fn sigma_counterexample(spec: &InterfaceSpec, f: FnId, facts: &LintFacts) -> String {
+    let machine = &spec.machine;
+    if !facts.terminals_untrack {
+        return "closing a descriptor does not provably remove its tracking entry under \
+                this model, so `terminated` stays in the resync domain"
+            .to_owned();
+    }
+    let name = machine.function_name(f);
+    let mut seen: Option<(State, State)> = None;
+    for i in 0..spec.fns.len() {
+        let g = FnId(i as u32);
+        if machine.roles(g).terminates {
+            continue;
+        }
+        let s = State::After(g);
+        match machine.step(s, f) {
+            Err(_) => {
+                return format!(
+                    "σ({}, {name}) is undefined: a call there must be flagged as an \
+                     invalid transition, so the σ read stays live",
+                    fmt_state(machine, s)
+                );
+            }
+            Ok(t) => match seen {
+                None => seen = Some((s, t)),
+                Some((s0, t0)) if t0 != t => {
+                    return format!(
+                        "σ({}, {name}) = {} but σ({}, {name}) = {}",
+                        fmt_state(machine, s0),
+                        fmt_state(machine, t0),
+                        fmt_state(machine, s),
+                        fmt_state(machine, t)
+                    );
+                }
+                Some(_) => {}
+            },
+        }
+    }
+    "the resync domain is empty".to_owned()
+}
+
+/// `SG060`–`SG063`/`SG065`: refute unprovable `sm_elide` requests. One
+/// diagnostic per failing request — the first failing obligation, in
+/// proof order, matching the compiler certifier's rejection order.
+fn requests(spec: &InterfaceSpec, facts: &LintFacts, spans: &SpanIndex) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for &f in &spec.elide {
+        let sig = &spec.fns[f.index()];
+        let name = &sig.name;
+        let span = spans.sm_span(|d| matches!(d, SmDecl::Elide(n) if n == name));
+        if spec.machine.roles(f).creates {
+            diags.push(
+                Diagnostic::new(
+                    Code::ElisionRecordLive,
+                    format!(
+                        "sm_elide({name}): {name} is a creation — it installs the \
+                         descriptor and (for global or cross-component interfaces) \
+                         writes the creation record recovery reads; nothing here is \
+                         elidable"
+                    ),
+                )
+                .with_span(span)
+                .with_note("elision applies to calls made after creation; drop the request"),
+            );
+            continue;
+        }
+        if facts.sigma_const[f.index()].is_none() {
+            diags.push(
+                Diagnostic::new(
+                    Code::ElisionSigmaLive,
+                    format!(
+                        "sm_elide({name}): the σ-successor of {name} is not constant \
+                         over the resync domain, so the per-call transition check \
+                         (and its invalid-transition accounting) stays live"
+                    ),
+                )
+                .with_span(span)
+                .with_note(sigma_counterexample(spec, f, facts)),
+            );
+            continue;
+        }
+        let live_store = &facts.store_live_args[f.index()];
+        if !live_store.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    Code::ElisionReplayReadsArgs,
+                    format!(
+                        "sm_elide({name}): replaying {name} falls back to the stored \
+                         last arguments for [{}], so the per-call argument store \
+                         cannot be skipped",
+                        live_store.join(", ")
+                    ),
+                )
+                .with_span(span)
+                .with_note(
+                    "every replayed argument must be an identity source (desc, parent, \
+                     component id) or metadata every creation is guaranteed to write",
+                ),
+            );
+            continue;
+        }
+        let live_harvest = &facts.live_harvest[f.index()];
+        let retval_live = sig.retval_tracked.is_some()
+            && !spec.machine.roles(f).creates
+            && !facts.retval_dead[f.index()];
+        if !live_harvest.is_empty() || retval_live {
+            let mut what: Vec<String> = live_harvest.clone();
+            if retval_live {
+                if let Some((_, rname, _)) = &sig.retval_tracked {
+                    what.push(format!("{rname} (return value)"));
+                }
+            }
+            diags.push(
+                Diagnostic::new(
+                    Code::ElisionLiveMetadataHarvest,
+                    format!(
+                        "sm_elide({name}): {name} harvests [{}] into the replay \
+                         read-set — recovery replays from that metadata, so the \
+                         harvest cannot be skipped",
+                        what.join(", ")
+                    ),
+                )
+                .with_span(span)
+                .with_note(
+                    "only functions whose tracked data and return value feed no replay \
+                     or restore plan can run untracked",
+                ),
+            );
+            continue;
+        }
+        if spec.machine.roles(f).blocks && !facts.affinity_dead {
+            diags.push(
+                Diagnostic::new(
+                    Code::ElisionAffinityLive,
+                    format!(
+                        "sm_elide({name}): {name} blocks, and an effective recovery \
+                         walk contains a blocking call ([{}]) whose restore \
+                         substitute reads the thread-affinity stamp {name} would \
+                         stop writing",
+                        facts.blocking_walk_fns.join(", ")
+                    ),
+                )
+                .with_span(span)
+                .with_note(
+                    "sm_recover_block substitutes locate the blocked owner through the \
+                     affinity stamp; redirect the walk (sm_recover_via) off every \
+                     blocking call first",
+                ),
+            );
+        }
+    }
+    diags
+}
+
+fn slot_name(stub: &CompiledStubSpec, slot: usize) -> String {
+    stub.meta_names
+        .get(slot)
+        .cloned()
+        .unwrap_or_else(|| format!("<slot {slot}>"))
+}
+
+fn fmt_opt_state(spec: &InterfaceSpec, s: Option<State>) -> String {
+    s.map_or_else(
+        || "not constant".to_owned(),
+        |t| fmt_state(&spec.machine, t),
+    )
+}
+
+/// `SG064`: the compiler's certificate and the stub's elision fields
+/// must agree with the lint's independent derivation, and the stub must
+/// not elide anything the lint cannot prove.
+fn drift(
+    spec: &InterfaceSpec,
+    stub: &CompiledStubSpec,
+    facts: &LintFacts,
+    lint_rejects: bool,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut d = |msg: String| {
+        diags.push(Diagnostic::new(Code::ElisionFactsDrift, msg).with_note(
+            "the compiler certificate and sglint's independent recomputation must be \
+             byte-equivalent; regenerate the stubs from the spec",
+        ));
+    };
+
+    // Fact-by-fact certificate comparison.
+    let cert = ElisionFacts::certify(stub);
+    for (spec_level, got, want) in [
+        ("pending_dead", cert.pending_dead, facts.pending_dead),
+        ("affinity_dead", cert.affinity_dead, facts.affinity_dead),
+        ("id_stable", cert.id_stable, facts.id_stable),
+        ("records_dead", cert.records_dead, facts.records_dead),
+    ] {
+        if got != want {
+            d(format!(
+                "certificate drift: compiler proves {spec_level}={got}, independent \
+                 recomputation proves {want}"
+            ));
+        }
+    }
+    let cert_live: BTreeSet<String> = cert.live_meta.iter().map(|&s| slot_name(stub, s)).collect();
+    if cert_live != facts.live_meta {
+        d(format!(
+            "certificate drift: compiler read-set is [{}], independent recomputation \
+             says [{}]",
+            cert_live.into_iter().collect::<Vec<_>>().join(", "),
+            facts
+                .live_meta
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    for (i, cf) in cert.fns.iter().enumerate() {
+        if cf.sigma_const != facts.sigma_const[i] {
+            d(format!(
+                "certificate drift on {}: compiler σ-successor is {}, independent \
+                 recomputation says {}",
+                cf.name,
+                fmt_opt_state(spec, cf.sigma_const),
+                fmt_opt_state(spec, facts.sigma_const[i])
+            ));
+        }
+        if cf.store_dead != facts.store_live_args[i].is_empty() {
+            d(format!(
+                "certificate drift on {}: compiler proves store_dead={}, independent \
+                 recomputation proves {}",
+                cf.name,
+                cf.store_dead,
+                facts.store_live_args[i].is_empty()
+            ));
+        }
+        let cert_harvest: Vec<String> = cf
+            .live_data_args
+            .iter()
+            .map(|&(_, slot)| slot_name(stub, slot))
+            .collect();
+        if cert_harvest != facts.live_harvest[i] {
+            d(format!(
+                "certificate drift on {}: compiler keeps harvests [{}], independent \
+                 recomputation keeps [{}]",
+                cf.name,
+                cert_harvest.join(", "),
+                facts.live_harvest[i].join(", ")
+            ));
+        }
+        if cf.retval_dead != facts.retval_dead[i] {
+            d(format!(
+                "certificate drift on {}: compiler proves retval_dead={}, independent \
+                 recomputation proves {}",
+                cf.name, cf.retval_dead, facts.retval_dead[i]
+            ));
+        }
+    }
+
+    // The stub itself must not elide anything unproven — catches stale
+    // or hand-tampered stub specs whose fields no longer follow from
+    // any certificate.
+    let requested: BTreeSet<usize> = stub.elide_requests.iter().map(|f| f.index()).collect();
+    for (i, cf) in stub.fns.iter().enumerate() {
+        if let Some(s) = cf.sigma_const {
+            if !requested.contains(&i) {
+                d(format!(
+                    "stub installs a σ fast path for {} without an sm_elide request",
+                    cf.name
+                ));
+            } else if facts.sigma_const[i] != Some(s) {
+                d(format!(
+                    "stub elides the σ step of {} to {}, but the independent \
+                     recomputation proves {}",
+                    cf.name,
+                    fmt_state(&spec.machine, s),
+                    fmt_opt_state(spec, facts.sigma_const[i])
+                ));
+            }
+        }
+        if cf.track_args && cf.store_slot.is_none() && !facts.store_live_args[i].is_empty() {
+            d(format!(
+                "stub elides the last-argument store of {}, but replay reads [{}]",
+                cf.name,
+                facts.store_live_args[i].join(", ")
+            ));
+        }
+        for &(pos, slot) in &cf.data_args {
+            if !cf.live_data_args.contains(&(pos, slot))
+                && facts.live_meta.contains(&slot_name(stub, slot))
+            {
+                d(format!(
+                    "stub elides the {} harvest of {}, but that slot is in the replay \
+                     read-set",
+                    slot_name(stub, slot),
+                    cf.name
+                ));
+            }
+        }
+        if !matches!(cf.retval, RetvalSpec::None)
+            && matches!(cf.retval_eff, RetvalSpec::None)
+            && !facts.retval_dead[i]
+        {
+            d(format!(
+                "stub elides the return-value capture of {}, but the slot is live",
+                cf.name
+            ));
+        }
+    }
+    for (toggle, on, proven) in [
+        (
+            "pending-call bookkeeping",
+            stub.elide_pending,
+            facts.pending_dead,
+        ),
+        (
+            "thread-affinity stamps",
+            stub.elide_affinity,
+            facts.affinity_dead,
+        ),
+        (
+            "post-recovery id translation",
+            stub.elide_translation,
+            facts.id_stable,
+        ),
+        ("creation records", stub.elide_records, facts.records_dead),
+    ] {
+        if on && !proven {
+            d(format!(
+                "stub elides {toggle}, but the independent recomputation cannot prove \
+                 it dead"
+            ));
+        }
+    }
+
+    // Accept/reject agreement: the compiler must refuse exactly the
+    // requests the lint refutes.
+    let mut applied = stub.clone();
+    match cert.apply(&mut applied) {
+        Ok(()) if lint_rejects => d(
+            "the compiler certifier accepts this spec's sm_elide requests, but the \
+             independent recomputation refutes at least one"
+                .to_owned(),
+        ),
+        Err(why) if !lint_rejects => d(format!(
+            "the compiler certifier rejects an sm_elide request the independent \
+             recomputation proves: {why}"
+        )),
+        _ => {}
+    }
+    diags
+}
+
+/// Run the elision certification checks of `stub` against `spec`.
+#[must_use]
+pub fn check(spec: &InterfaceSpec, stub: &CompiledStubSpec, spans: &SpanIndex) -> Vec<Diagnostic> {
+    if stub.fns.len() != spec.fns.len() || stub.interface != spec.name {
+        return Vec::new(); // conformance reports the mismatch
+    }
+    let facts = certify(spec);
+    let mut diags = requests(spec, &facts, spans);
+    let lint_rejects = !diags.is_empty();
+    diags.extend(drift(spec, stub, &facts, lint_rejects));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superglue_compiler::ir::lower;
+
+    const SHIPPED: [(&str, &str); 6] = [
+        ("sched", include_str!("../../../idl/sched.sg")),
+        ("mm", include_str!("../../../idl/mm.sg")),
+        ("fs", include_str!("../../../idl/fs.sg")),
+        ("lock", include_str!("../../../idl/lock.sg")),
+        ("evt", include_str!("../../../idl/evt.sg")),
+        ("tmr", include_str!("../../../idl/tmr.sg")),
+    ];
+
+    fn run(name: &str, src: &str) -> Vec<Diagnostic> {
+        let file = superglue_idl::parser::parse(src).unwrap();
+        let spec = superglue_idl::validate::validate(name, &file).unwrap();
+        let stub = lower(&spec);
+        check(&spec, &stub, &SpanIndex::from_file(&file))
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn shipped_specs_certify_clean() {
+        for (name, src) in SHIPPED {
+            let d = run(name, src);
+            assert_eq!(d, Vec::new(), "{name} failed certification");
+        }
+    }
+
+    #[test]
+    fn partial_sigma_request_is_sg060() {
+        // A lock-shaped machine: σ(after(take), take) is undefined, so
+        // the transition check is live and the request is refuted.
+        let d = run(
+            "l",
+            "service_global_info = { desc_block = true };\n\
+             sm_creation(alloc);\nsm_terminal(free);\nsm_block(take);\nsm_wakeup(rel);\n\
+             sm_transition(alloc, take);\nsm_transition(take, rel);\n\
+             sm_transition(rel, take);\nsm_transition(rel, free);\nsm_transition(alloc, free);\n\
+             sm_elide(take);\n\
+             desc_data_retval(long, id)\nalloc(componentid_t compid);\n\
+             int take(componentid_t compid, desc(long id));\n\
+             int rel(componentid_t compid, desc(long id));\n\
+             int free(componentid_t compid, desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::ElisionSigmaLive]);
+        assert!(d[0].message.contains("take"));
+        assert!(d[0].notes[0].contains("undefined"), "{:?}", d[0].notes);
+        assert!(d[0].span.is_some());
+    }
+
+    #[test]
+    fn replay_reading_stored_args_is_sg061() {
+        // `off` is replayed from metadata no creation writes, so replay
+        // falls back to the stored last arguments.
+        let d = run(
+            "s",
+            "sm_creation(mk);\nsm_terminal(rm);\n\
+             sm_transition(mk, seek);\nsm_transition(seek, seek);\n\
+             sm_transition(seek, rm);\nsm_transition(mk, rm);\n\
+             sm_elide(seek);\n\
+             desc_data_retval(long, id)\nmk(componentid_t compid);\n\
+             int seek(componentid_t compid, desc(long id), desc_data(long off));\n\
+             int rm(componentid_t compid, desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::ElisionReplayReadsArgs]);
+        assert!(d[0].message.contains("off"));
+    }
+
+    #[test]
+    fn creation_request_is_sg062() {
+        let d = run(
+            "x",
+            "sm_creation(mk);\nsm_terminal(rm);\n\
+             sm_transition(mk, rm);\n\
+             sm_elide(mk);\n\
+             desc_data_retval(long, id)\nmk(componentid_t compid);\n\
+             int rm(componentid_t compid, desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::ElisionRecordLive]);
+        assert!(d[0].message.contains("creation"));
+    }
+
+    #[test]
+    fn live_harvest_request_is_sg065() {
+        // `v` is creation-written (store stays dead) but also replayed
+        // (harvest stays live): the SG065 obligation fails alone.
+        let d = run(
+            "h",
+            "sm_creation(mk);\nsm_terminal(rm);\n\
+             sm_transition(mk, set);\nsm_transition(set, set);\n\
+             sm_transition(set, rm);\nsm_transition(mk, rm);\n\
+             sm_elide(set);\n\
+             desc_data_retval(long, id)\nmk(componentid_t compid, desc_data(long v));\n\
+             int set(componentid_t compid, desc(long id), desc_data(long v));\n\
+             int rm(componentid_t compid, desc(long id));\n",
+        );
+        assert_eq!(codes(&d), vec![Code::ElisionLiveMetadataHarvest]);
+        assert!(d[0].message.contains('v'));
+    }
+
+    #[test]
+    fn tampered_stub_sigma_is_sg064() {
+        let (name, src) = SHIPPED[3]; // lock: nothing is σ-constant
+        let spec = superglue_idl::compile_interface(name, src).unwrap();
+        let mut stub = lower(&spec);
+        let (take, _) = stub.fn_by_name("lock_take").unwrap();
+        stub.elide_requests = vec![take];
+        stub.fns[take.index()].sigma_const = Some(State::After(take));
+        let d = check(&spec, &stub, &SpanIndex::empty());
+        assert!(
+            d.iter().any(|x| x.code == Code::ElisionFactsDrift
+                && x.message.contains("σ fast path")
+                || x.message.contains("σ step")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_spec_toggle_is_sg064() {
+        let (name, src) = SHIPPED[3]; // lock: affinity stays live
+        let spec = superglue_idl::compile_interface(name, src).unwrap();
+        let mut stub = lower(&spec);
+        stub.elide_affinity = true;
+        let d = check(&spec, &stub, &SpanIndex::empty());
+        assert_eq!(codes(&d), vec![Code::ElisionFactsDrift]);
+        assert!(d[0].message.contains("thread-affinity"));
+    }
+
+    #[test]
+    fn tampered_retval_elision_is_sg064() {
+        let (name, src) = SHIPPED[2]; // fs: tread accumulates a live offset
+        let spec = superglue_idl::compile_interface(name, src).unwrap();
+        let mut stub = lower(&spec);
+        let (tread, _) = stub.fn_by_name("tread").unwrap();
+        stub.fns[tread.index()].retval_eff = RetvalSpec::None;
+        let d = check(&spec, &stub, &SpanIndex::empty());
+        assert_eq!(codes(&d), vec![Code::ElisionFactsDrift]);
+        assert!(d[0].message.contains("return-value"));
+    }
+
+    #[test]
+    fn applied_shipped_stubs_stay_clean() {
+        // The full pipeline product — certify + apply — must satisfy
+        // the lint's own proofs, not just the unapplied lowering.
+        for (name, src) in SHIPPED {
+            let spec = superglue_idl::compile_interface(name, src).unwrap();
+            let mut stub = lower(&spec);
+            ElisionFacts::certify(&stub)
+                .clone()
+                .apply(&mut stub)
+                .unwrap();
+            let d = check(&spec, &stub, &SpanIndex::empty());
+            assert_eq!(d, Vec::new(), "{name} applied stub failed certification");
+        }
+    }
+}

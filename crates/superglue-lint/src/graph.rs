@@ -442,6 +442,7 @@ mod tests {
             ],
             recover_via: vec![(a, bad)],
             recover_block: vec![],
+            elide: vec![],
         };
         let d = check(&spec, &SpanIndex::empty());
         assert!(codes(&d).contains(&Code::NoReplayChain));

@@ -24,7 +24,13 @@
 //!   state, and tracked state is actually consumed;
 //! * **stub conformance** ([`conformance`], `SG05x`) — the compiled
 //!   [`CompiledStubSpec`](superglue_compiler::CompiledStubSpec) agrees
-//!   with an independent recomputation of all of the above.
+//!   with an independent recomputation of all of the above;
+//! * **tracking-elision certification** ([`elision`], `SG06x`) — every
+//!   `sm_elide` fast-path request is proven idempotent-on-replay
+//!   (constant σ-successor, dead stores, dead harvests, dead affinity),
+//!   and the compiler's elision certificate matches an independent
+//!   recomputation, so an emitted stub can never elide anything
+//!   unproven.
 //!
 //! The library entry points are [`lint_source`] (text → report),
 //! [`lint_parsed`] (AST → report), [`lint_spec`] (validated spec →
@@ -34,6 +40,7 @@
 
 pub mod conformance;
 pub mod diag;
+pub mod elision;
 pub mod graph;
 pub mod tracking;
 
@@ -212,6 +219,7 @@ pub fn lint_spec(spec: &InterfaceSpec, spans: &SpanIndex) -> LintReport {
     diags.extend(tracking::check(spec, spans));
     let stub = superglue_compiler::ir::lower(spec);
     diags.extend(conformance::check(spec, &stub));
+    diags.extend(elision::check(spec, &stub, spans));
     LintReport::new(&spec.name, diags)
 }
 

@@ -80,6 +80,43 @@ fn json_format_emits_one_object_per_file() {
 }
 
 #[test]
+fn emit_certs_writes_one_deterministic_certificate_per_clean_spec() {
+    let dir = std::env::temp_dir().join(format!("sglint-certs-{}", std::process::id()));
+    let out = sglint(&[
+        "--emit-certs",
+        dir.to_str().unwrap(),
+        &idl("sched.sg"),
+        &idl("lock.sg"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let sched = std::fs::read_to_string(dir.join("sched.cert.json")).unwrap();
+    assert!(
+        sched.contains("\"schema\": \"superglue-elision-cert\""),
+        "{sched}"
+    );
+    assert!(sched.contains("\"interface\": \"sched\""), "{sched}");
+    let lock = std::fs::read_to_string(dir.join("lock.cert.json")).unwrap();
+    assert!(lock.contains("\"affinity_dead\": false"), "{lock}");
+    // Re-running produces byte-identical artifacts.
+    let out = sglint(&["--emit-certs", dir.to_str().unwrap(), &idl("sched.sg")]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        std::fs::read_to_string(dir.join("sched.cert.json")).unwrap(),
+        sched
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn emit_certs_skips_specs_with_errors() {
+    let dir = std::env::temp_dir().join(format!("sglint-certs-bad-{}", std::process::id()));
+    let out = sglint(&["--emit-certs", dir.to_str().unwrap(), &bad_spec("leak.sg")]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!dir.join("leak.cert.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn usage_errors_exit_2() {
     assert_eq!(sglint(&[]).status.code(), Some(2), "no files");
     assert_eq!(

@@ -21,7 +21,7 @@ use superglue_lint::lint_source;
 /// Each bad spec and the diagnostic codes it must trigger. The list is
 /// the contract: a spec here that lints clean means a check regressed
 /// into a false negative.
-const BAD_SPECS: [(&str, &[&str]); 13] = [
+const BAD_SPECS: [(&str, &[&str]); 18] = [
     ("syntax", &["SG001"]),
     ("unknown_fn", &["SG002"]),
     ("no_terminal", &["SG010"]),
@@ -35,6 +35,11 @@ const BAD_SPECS: [(&str, &[&str]); 13] = [
     ("bad_restore_sig", &["SG031"]),
     ("blocking_restore", &["SG032"]),
     ("unused_meta", &["SG041", "SG040"]),
+    ("elide_sigma_live", &["SG060"]),
+    ("elide_replay_reads", &["SG061"]),
+    ("elide_recorded_creation", &["SG062"]),
+    ("elide_blocking_affine", &["SG063"]),
+    ("elide_live_meta", &["SG065"]),
 ];
 
 fn specs_dir() -> PathBuf {

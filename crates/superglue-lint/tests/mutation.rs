@@ -236,6 +236,94 @@ fn every_semantic_mutant_is_flagged_and_every_benign_one_is_not() {
     );
 }
 
+/// Whether `a` elides bookkeeping that `b` keeps. Both must be derived
+/// from the same lowered stub (same slot numbering), so field
+/// comparison is exact.
+fn elides_beyond(
+    a: &superglue_compiler::CompiledStubSpec,
+    b: &superglue_compiler::CompiledStubSpec,
+) -> bool {
+    a.fns.iter().zip(&b.fns).any(|(x, y)| {
+        (x.sigma_const.is_some() && x.sigma_const != y.sigma_const)
+            || (x.store_slot.is_none() && y.store_slot.is_some())
+            || y.live_data_args
+                .iter()
+                .any(|e| !x.live_data_args.contains(e))
+            || (matches!(x.retval_eff, RetvalSpec::None)
+                && !matches!(y.retval_eff, RetvalSpec::None))
+    }) || (a.elide_pending && !b.elide_pending)
+        || (a.elide_affinity && !b.elide_affinity)
+        || (a.elide_translation && !b.elide_translation)
+        || (a.elide_records && !b.elide_records)
+}
+
+/// Elision certificates must *flip* under every mutation that changes a
+/// certified fact, and a **stale** certificate — the original spec's
+/// facts applied to a mutant's stub — must never be silently accepted:
+/// whenever the stale graft elides anything the mutant cannot prove,
+/// the lint's independent recomputation reports `SG064`.
+#[test]
+fn every_proof_invalidating_mutation_flips_the_certificate() {
+    use superglue_compiler::ElisionFacts;
+    use superglue_lint::{elision, Code, SpanIndex};
+
+    let mut flipped = 0usize;
+    let mut grafts_checked = 0usize;
+    for (name, src) in IDL {
+        let file = parser::parse(src).expect("shipped IDL parses");
+        let original = validate::validate(name, &file).expect("shipped IDL validates");
+        let orig_stub = ir::lower(&original);
+        let orig_facts = ElisionFacts::certify(&orig_stub);
+        let orig_cert = orig_facts.to_json(&orig_stub.meta_names);
+        for m in mutants(&file) {
+            let Ok(mspec) = validate::validate(name, &m.file) else {
+                continue; // refused outright — nothing to accept a cert for
+            };
+            let mstub = ir::lower(&mspec);
+            let fresh_facts = ElisionFacts::certify(&mstub);
+            let mut_cert = fresh_facts.to_json(&mstub.meta_names);
+            if mut_cert == orig_cert {
+                continue; // no elision fact changed: the old cert is current
+            }
+            flipped += 1;
+            // Graft the stale facts onto the mutant's stub. Slot indices
+            // are only comparable when the mutation kept the metadata
+            // table, and a graft the certifier itself refuses is already
+            // detected.
+            if mstub.meta_names != orig_stub.meta_names || mstub.fns.len() != orig_stub.fns.len() {
+                continue;
+            }
+            let mut stale = mstub.clone();
+            if orig_facts.apply(&mut stale).is_err() {
+                continue;
+            }
+            let mut fresh = mstub.clone();
+            if fresh_facts.apply(&mut fresh).is_err() {
+                continue; // the mutant's own requests are unprovable: SG06x territory
+            }
+            grafts_checked += 1;
+            let diags = elision::check(&mspec, &stale, &SpanIndex::empty());
+            let drift_flagged = diags.iter().any(|d| d.code == Code::ElisionFactsDrift);
+            if elides_beyond(&stale, &fresh) {
+                assert!(
+                    drift_flagged,
+                    "{name}: mutant `{}` invalidates the elision proof, but the stale \
+                     certificate was accepted without SG064",
+                    m.desc
+                );
+            }
+        }
+    }
+    assert!(
+        flipped >= 10,
+        "certificate-flip corpus degraded: only {flipped} mutants change any fact"
+    );
+    assert!(
+        grafts_checked >= 5,
+        "stale-graft corpus degraded: only {grafts_checked} grafts exercised"
+    );
+}
+
 /// The originals themselves must be clean — otherwise "flagged" is
 /// meaningless because everything is flagged.
 #[test]

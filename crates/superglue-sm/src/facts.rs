@@ -1,0 +1,306 @@
+//! Machine-level elision facts.
+//!
+//! The tracking-elision certifier (sglint SG060–SG06x and the compiler's
+//! certificate pass) needs a handful of *pure state-machine* queries that
+//! are independent of argument tracking or the lowered IR:
+//!
+//! * which states a live tracked descriptor can actually be in at the
+//!   moment an interface function is applied (the *resync domain*);
+//! * whether σ maps every such state through a function `f` to one
+//!   constant successor (so the per-call σ read *and* the invalid-
+//!   transition fault-detection branch are both statically decided);
+//! * which functions can ever execute as part of a recovery walk (the
+//!   machine half of the replay read-set), and which of those block.
+//!
+//! These facts are deliberately computed from σ alone. The compiler
+//! layers argument/metadata liveness on top (in its own `elide` module)
+//! and sglint recomputes everything from the validated spec without
+//! touching either, so the two sides can cross-check each other.
+
+use std::collections::BTreeSet;
+
+use crate::machine::{FnId, State, StateMachine};
+
+/// Elision-relevant facts derived purely from a [`StateMachine`]'s σ.
+///
+/// Compute once per machine with [`MachineFacts::compute`]; all queries
+/// are then O(1)/O(log n) lookups. The struct is plain data so callers
+/// (compiler certifier, tests) can also construct expected values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineFacts {
+    /// Per-function constant successor, indexed by [`FnId::index`].
+    ///
+    /// `Some(s)` means: for *every* state in the resync domain, applying
+    /// this function yields exactly `s` (and σ has the edge, so the
+    /// invalid-transition branch is unreachable). `None` for creation
+    /// functions (they never consult σ: creation installs `After(f)` /
+    /// `Terminated` directly) and for any function whose successor is
+    /// missing or differs somewhere in the domain.
+    sigma_const: Vec<Option<State>>,
+    /// The resync domain: every state a live tracked descriptor can hold
+    /// when a non-creation function is applied to it.
+    live_states: Vec<State>,
+    /// All functions appearing in any recovery walk to a reachable
+    /// state — the machine half of the replay read-set.
+    replay_fns: BTreeSet<FnId>,
+    /// The subset of [`MachineFacts::replay_fns`] with `sm_block`.
+    blocking_replay_fns: BTreeSet<FnId>,
+}
+
+impl MachineFacts {
+    /// Derive all facts from a built machine.
+    #[must_use]
+    pub fn compute(sm: &StateMachine) -> Self {
+        // The resync domain. A live descriptor's state is always
+        // `After(f)` for some *non-terminal* f:
+        //
+        // * creations install `After(f)` (terminal creations close the
+        //   descriptor immediately, so `Terminated` never persists on a
+        //   live tracked entry);
+        // * a successful σ step lands on `After(g)` for non-terminal g
+        //   (terminal g closes the descriptor);
+        // * the runtime's invalid-transition *resync* sets `After(f)`
+        //   for whatever non-terminal f was just called — including
+        //   functions with no outgoing σ edges at all (e.g. restore
+        //   helpers), which is why the domain is "all non-terminal
+        //   functions", not "σ-reachable states".
+        //
+        // `Init` is not in the domain: the only function applied to a
+        // descriptor in `Init` is its creation, which bypasses σ.
+        let live_states: Vec<State> = sm
+            .functions()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.roles.terminates)
+            .map(|(i, _)| State::After(FnId(i as u32)))
+            .collect();
+
+        let mut sigma_const = Vec::with_capacity(sm.function_count());
+        for i in 0..sm.function_count() {
+            let f = FnId(i as u32);
+            if sm.roles(f).creates {
+                // Creations never run the σ step; the fact is
+                // meaningless for them and must read as "not constant".
+                sigma_const.push(None);
+                continue;
+            }
+            let mut succ: Option<State> = None;
+            let mut total = true;
+            for &s in &live_states {
+                match sm.step(s, f) {
+                    Ok(t) => match succ {
+                        None => succ = Some(t),
+                        Some(prev) if prev == t => {}
+                        Some(_) => {
+                            total = false;
+                            break;
+                        }
+                    },
+                    Err(_) => {
+                        total = false;
+                        break;
+                    }
+                }
+            }
+            sigma_const.push(if total { succ } else { None });
+        }
+
+        // Replay read-set: every function some recovery walk can
+        // execute. Walks exist exactly for the σ-reachable states; the
+        // union over them is the set of calls a micro-reboot may replay,
+        // so anything they read (arguments, metadata) must stay live.
+        let mut replay_fns = BTreeSet::new();
+        for i in 0..sm.function_count() {
+            let f = FnId(i as u32);
+            for target in [State::After(f), State::Terminated] {
+                if let Ok(walk) = sm.recovery_walk(target) {
+                    replay_fns.extend(walk);
+                }
+            }
+        }
+        let blocking_replay_fns = replay_fns
+            .iter()
+            .copied()
+            .filter(|&f| sm.roles(f).blocks)
+            .collect();
+
+        Self {
+            sigma_const,
+            live_states,
+            replay_fns,
+            blocking_replay_fns,
+        }
+    }
+
+    /// The resync domain (see [`MachineFacts`] field docs).
+    #[must_use]
+    pub fn live_states(&self) -> &[State] {
+        &self.live_states
+    }
+
+    /// The constant σ-successor of `f` over the whole resync domain, or
+    /// `None` when the successor is state-dependent, missing somewhere,
+    /// or `f` is a creation.
+    #[must_use]
+    pub fn sigma_const(&self, f: FnId) -> Option<State> {
+        self.sigma_const.get(f.index()).copied().flatten()
+    }
+
+    /// Functions that can execute as part of some recovery walk.
+    #[must_use]
+    pub fn replay_fns(&self) -> &BTreeSet<FnId> {
+        &self.replay_fns
+    }
+
+    /// True when `f` can execute during some recovery walk.
+    #[must_use]
+    pub fn replays(&self, f: FnId) -> bool {
+        self.replay_fns.contains(&f)
+    }
+
+    /// Blocking functions that can execute during some recovery walk.
+    ///
+    /// If this is non-empty, replay may block mid-walk, so per-call
+    /// blocking bookkeeping (pending-call markers, thread affinity)
+    /// feeds recovery and is harder to elide.
+    #[must_use]
+    pub fn blocking_replay_fns(&self) -> &BTreeSet<FnId> {
+        &self.blocking_replay_fns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::StateMachineBuilder;
+
+    /// The lock machine from §III-B, plus the restore helper that the
+    /// shipped `lock.sg` declares (registered, no σ edges of its own).
+    fn lock_machine_with_restore() -> (StateMachine, [FnId; 5]) {
+        let mut b = StateMachineBuilder::new("lock");
+        let alloc = b.function("lock_alloc");
+        let take = b.function("lock_take");
+        let release = b.function("lock_release");
+        let free = b.function("lock_free");
+        let restore = b.function("lock_restore");
+        b.creation(alloc);
+        b.terminal(free);
+        b.block(take);
+        b.wakeup(release);
+        b.transition(alloc, take);
+        b.transition(take, release);
+        b.transition(release, take);
+        b.transition(release, free);
+        b.transition(alloc, free);
+        (b.build().unwrap(), [alloc, take, release, free, restore])
+    }
+
+    /// A sched-like machine where every non-creation fn is callable from
+    /// every live state, so σ-successors are constant.
+    fn total_machine() -> (StateMachine, [FnId; 4]) {
+        let mut b = StateMachineBuilder::new("sched");
+        let setup = b.function("setup");
+        let blk = b.function("blk");
+        let wakeup = b.function("wakeup");
+        let exit = b.function("exit");
+        b.creation(setup);
+        b.terminal(exit);
+        b.block(blk);
+        b.wakeup(wakeup);
+        for f in [setup, blk, wakeup] {
+            b.transition(f, blk);
+            b.transition(f, wakeup);
+            b.transition(f, exit);
+        }
+        (b.build().unwrap(), [setup, blk, wakeup, exit])
+    }
+
+    #[test]
+    fn live_states_are_non_terminal_afters() {
+        let (sm, [alloc, take, release, _free, restore]) = lock_machine_with_restore();
+        let facts = MachineFacts::compute(&sm);
+        assert_eq!(
+            facts.live_states(),
+            &[
+                State::After(alloc),
+                State::After(take),
+                State::After(release),
+                State::After(restore),
+            ]
+        );
+    }
+
+    #[test]
+    fn total_constant_successors_are_certified() {
+        let (sm, [setup, blk, wakeup, exit]) = total_machine();
+        let facts = MachineFacts::compute(&sm);
+        assert_eq!(facts.sigma_const(blk), Some(State::After(blk)));
+        assert_eq!(facts.sigma_const(wakeup), Some(State::After(wakeup)));
+        assert_eq!(facts.sigma_const(exit), Some(State::Terminated));
+        // Creations are never σ-constant: they bypass σ entirely.
+        assert_eq!(facts.sigma_const(setup), None);
+    }
+
+    #[test]
+    fn partial_sigma_defeats_constancy() {
+        let (sm, [_alloc, take, release, free, _restore]) = lock_machine_with_restore();
+        let facts = MachineFacts::compute(&sm);
+        // σ(After(take), take) is undefined (double-take is the fault
+        // the machine detects), so take has no constant successor.
+        assert_eq!(facts.sigma_const(take), None);
+        // Same for release: σ(After(alloc), release) is undefined.
+        assert_eq!(facts.sigma_const(release), None);
+        assert_eq!(facts.sigma_const(free), None);
+    }
+
+    #[test]
+    fn restore_helper_pollutes_the_domain() {
+        // Even a machine whose "real" states are total gets defeated by
+        // an extra non-terminal fn with no outgoing σ edges: the resync
+        // path can park a descriptor in After(helper).
+        let mut b = StateMachineBuilder::new("x");
+        let mk = b.function("mk");
+        let use_ = b.function("use");
+        let helper = b.function("helper");
+        b.creation(mk);
+        b.transition(mk, use_);
+        b.transition(use_, use_);
+        // helper: registered, never a σ source or target.
+        let _ = helper;
+        let sm = b.build().unwrap();
+        let facts = MachineFacts::compute(&sm);
+        // Without helper, use would be constant: σ(After(mk), use) =
+        // σ(After(use), use) = After(use). helper breaks totality.
+        assert_eq!(facts.sigma_const(use_), None);
+    }
+
+    #[test]
+    fn replay_fns_union_all_walks() {
+        let (sm, [alloc, take, release, free, restore]) = lock_machine_with_restore();
+        let facts = MachineFacts::compute(&sm);
+        let expect: BTreeSet<FnId> = [alloc, take, release, free].into_iter().collect();
+        assert_eq!(facts.replay_fns(), &expect);
+        assert!(facts.replays(take));
+        assert!(!facts.replays(restore));
+        let blocking: BTreeSet<FnId> = [take].into_iter().collect();
+        assert_eq!(facts.blocking_replay_fns(), &blocking);
+    }
+
+    #[test]
+    fn nonblocking_machine_has_empty_blocking_replay() {
+        let mut b = StateMachineBuilder::new("mm");
+        let get = b.function("get");
+        let alias = b.function("alias");
+        let rel = b.function("rel");
+        b.creation(get);
+        b.terminal(rel);
+        b.transition(get, alias);
+        b.transition(alias, alias);
+        b.transition(get, rel);
+        b.transition(alias, rel);
+        let sm = b.build().unwrap();
+        let facts = MachineFacts::compute(&sm);
+        assert!(facts.blocking_replay_fns().is_empty());
+        assert!(facts.replays(get));
+    }
+}

@@ -13,7 +13,10 @@
 //!   descriptor from the faulty state back to its expected state ([`walk`]);
 //! * the runtime **descriptor tracker** that client stubs use to record the
 //!   live state, metadata, and parent/child relationships of every
-//!   descriptor crossing an interface ([`tracking`]).
+//!   descriptor crossing an interface ([`tracking`]);
+//! * the **machine-level elision facts** (resync-state domain, constant
+//!   σ-successors, replay read-set) that the tracking-elision certifier
+//!   builds on ([`facts`]).
 //!
 //! The crate is substrate-independent: it knows nothing about the simulated
 //! μ-kernel, the IDL surface syntax, or the recovery runtime. Those layers
@@ -51,6 +54,7 @@
 //! # Ok::<(), superglue_sm::Error>(())
 //! ```
 
+pub mod facts;
 pub mod machine;
 pub mod model;
 pub mod tracking;
@@ -59,6 +63,7 @@ pub mod walk;
 mod error;
 
 pub use error::Error;
+pub use facts::MachineFacts;
 pub use machine::{FnId, State, StateMachine, StateMachineBuilder};
 pub use model::{DescriptorResourceModel, ParentPolicy};
 pub use tracking::{DescId, DescriptorTracker, TrackedDescriptor, TrackedValue};

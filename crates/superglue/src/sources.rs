@@ -71,6 +71,30 @@ pub fn compile_all() -> Result<CompiledInterfaces, IdlError> {
     Ok(CompiledInterfaces { compilations })
 }
 
+/// [`compile_all`] with every certified tracking elision applied to the
+/// runtime stub specs (`--elide` mode): σ-constant fast paths, dead
+/// harvest/store suppression and the pending/affinity/translation probe
+/// skips, each backed by an SG060–SG065 proof. Generated sources and
+/// certificates are identical to [`compile_all`]'s.
+///
+/// # Errors
+///
+/// The first [`IdlError`] across the files; an unprovable `sm_elide`
+/// request surfaces as a semantic error (the linter reports it as
+/// SG060–SG065 with spans).
+pub fn compile_all_elided() -> Result<CompiledInterfaces, IdlError> {
+    let mut compilations = BTreeMap::new();
+    for (name, src) in idl_sources() {
+        let spec = superglue_idl::compile_interface(name, src)?;
+        let c =
+            superglue_compiler::compile_elided(&spec).map_err(|message| IdlError::Semantic {
+                message: format!("{name}: {message}"),
+            })?;
+        compilations.insert(name, Arc::new(c));
+    }
+    Ok(CompiledInterfaces { compilations })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

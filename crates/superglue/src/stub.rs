@@ -18,7 +18,14 @@
 //! * **D0**/`Y_dr` close semantics;
 //! * **G0** storage records + restore upcalls for global descriptors;
 //! * thread-affine deferral of blocking walk steps;
-//! * client-visible→server descriptor id translation across reboots.
+//! * client-visible→server descriptor id translation across reboots;
+//! * **certified tracking elision**: when the spec carries applied
+//!   elision facts ([`superglue_compiler::ElisionFacts`]), the
+//!   interpreter skips the σ-table read (constant successor), dead
+//!   metadata/last-argument stores, the pending-walk resume probe, the
+//!   thread-affinity stamp and the id-translation probe — each skip is
+//!   backed by an SG060–SG065 proof, so recovery behavior and traces
+//!   are byte-identical with elision on or off.
 //!
 //! All per-call interpretation is precomputed at stub-build time: the
 //! function-name dispatch is one hash probe ([`CompiledStubSpec`]'s
@@ -317,14 +324,18 @@ impl<'s> Interp<'s> {
         let Some(d) = self.descs.get_mut(desc_id) else {
             return;
         };
-        for &(pos, slot) in &cf.data_args {
+        // live_data_args / retval_eff / store_slot are the certified
+        // harvest plan: identical to data_args / retval / track_slot
+        // unless the tracking-elision certifier proved a write dead
+        // (never read by any replay or restore plan).
+        for &(pos, slot) in &cf.live_data_args {
             if let Some(v) = args.get(pos) {
                 // clone(): tracked metadata must survive the call; cheap
                 // (rc bump / inline copy) under the shared-value repr.
                 d.meta[slot] = Some(v.clone());
             }
         }
-        match cf.retval {
+        match cf.retval_eff {
             RetvalSpec::None => {}
             RetvalSpec::NewDesc(slot) => {
                 d.meta[slot] = Some(Value::Int(desc_id));
@@ -347,10 +358,12 @@ impl<'s> Interp<'s> {
                 d.meta[slot] = Some(Value::Int(cur + add));
             }
         }
-        if let Some(slot) = cf.track_slot {
+        if let Some(slot) = cf.store_slot {
             store_last_args(&mut d.last_args[slot], args);
         }
-        d.state_thread = Some(thread);
+        if !self.spec.elide_affinity {
+            d.state_thread = Some(thread);
+        }
     }
 
     fn close(&mut self, env: &mut StubEnv<'_>, desc_id: i64) {
@@ -590,18 +603,19 @@ impl<'s> Interp<'s> {
                     }
                 }
                 let translated;
-                let real_args: &[Value] = if self.translation_needed(cf, None, args) {
-                    translated = self.translate_args(cf, None, args);
-                    &translated
-                } else {
-                    args
-                };
+                let real_args: &[Value] =
+                    if !spec.elide_translation && self.translation_needed(cf, None, args) {
+                        translated = self.translate_args(cf, None, args);
+                        &translated
+                    } else {
+                        args
+                    };
                 match env.invoke(fname, real_args) {
                     Ok(v) => {
                         let id = v.int().map_err(|e| CallError::Service(e.into()))?;
                         let state = State::After(fid);
                         let mut d = self.new_desc(id, state, env.thread, true, parent);
-                        if let Some(slot) = cf.track_slot {
+                        if let Some(slot) = cf.store_slot {
                             store_last_args(&mut d.last_args[slot], args);
                         }
                         self.descs.insert(id, d);
@@ -667,49 +681,68 @@ impl<'s> Interp<'s> {
             if self.descs.get(desc_id).is_some_and(|d| d.faulty) {
                 self.recover_descriptor(env, desc_id)?;
             }
-            self.complete_pending(env, desc_id)?;
+            // elide_pending: the certifier proved every blocking walk
+            // step has an `sm_recover_block` substitute, so a deferred
+            // walk tail can never exist and the resume probe is dead.
+            if !spec.elide_pending {
+                self.complete_pending(env, desc_id)?;
+            }
             // Steady state: server ids equal the client-visible ids, so
             // the caller's slice passes through with no copy; after a
             // reboot the ids diverge and a stack ArgVec carries the
             // rewritten arguments until the descriptor is re-created.
+            // elide_translation: recovery provably re-creates every
+            // descriptor under its client-visible id, so the divergence
+            // probe is dead.
             let translated;
-            let call_args: &[Value] = if self.translation_needed(cf, Some(desc_id), args) {
-                translated = self.translate_args(cf, Some(desc_id), args);
-                &translated
-            } else {
-                args
-            };
+            let call_args: &[Value] =
+                if !spec.elide_translation && self.translation_needed(cf, Some(desc_id), args) {
+                    translated = self.translate_args(cf, Some(desc_id), args);
+                    &translated
+                } else {
+                    args
+                };
             match env.invoke(fname, call_args) {
                 Ok(v) => {
                     // One descriptor lookup covers the σ step, metadata
                     // harvest and close detection (the hot path).
                     let mut terminated = false;
                     if let Some(d) = self.descs.get_mut(desc_id) {
-                        match spec.step(d.state, fid) {
+                        match cf.sigma_const {
+                            // Certified (SG060 clean): σ(s, f) reaches
+                            // the same successor from every live state,
+                            // so the table read and the invalid-branch
+                            // check are provably dead.
                             Some(next) => d.state = next,
-                            None => {
-                                // Invalid σ branch: fault detection
-                                // (§III-B); tracking resynchronizes to
-                                // the observed call.
-                                env.stats.invalid_transitions += 1;
-                                d.state = if cf.roles.terminates {
-                                    State::Terminated
-                                } else {
-                                    State::After(fid)
-                                };
-                            }
+                            None => match spec.step(d.state, fid) {
+                                Some(next) => d.state = next,
+                                None => {
+                                    // Invalid σ branch: fault detection
+                                    // (§III-B); tracking resynchronizes to
+                                    // the observed call.
+                                    env.stats.invalid_transitions += 1;
+                                    d.state = if cf.roles.terminates {
+                                        State::Terminated
+                                    } else {
+                                        State::After(fid)
+                                    };
+                                }
+                            },
                         }
                         if d.state == State::Terminated {
                             terminated = true;
                         } else {
-                            for &(pos, slot) in &cf.data_args {
+                            // The certified harvest plan: identical to
+                            // data_args / retval / track_slot unless the
+                            // elision certifier proved a write dead.
+                            for &(pos, slot) in &cf.live_data_args {
                                 if let Some(val) = args.get(pos) {
                                     // clone(): tracked metadata must
                                     // survive the call; rc bump at worst.
                                     d.meta[slot] = Some(val.clone());
                                 }
                             }
-                            match cf.retval {
+                            match cf.retval_eff {
                                 RetvalSpec::None | RetvalSpec::NewDesc(_) => {}
                                 // clone(): rc bump; `v` is also returned.
                                 RetvalSpec::SetData(slot) => d.meta[slot] = Some(v.clone()),
@@ -726,10 +759,12 @@ impl<'s> Interp<'s> {
                                     d.meta[slot] = Some(Value::Int(cur + add));
                                 }
                             }
-                            if let Some(slot) = cf.track_slot {
+                            if let Some(slot) = cf.store_slot {
                                 store_last_args(&mut d.last_args[slot], args);
                             }
-                            d.state_thread = Some(env.thread);
+                            if !spec.elide_affinity {
+                                d.state_thread = Some(env.thread);
+                            }
                         }
                     }
                     if terminated {

@@ -122,6 +122,42 @@ impl Testbed {
         costs: CostModel,
         policy: RecoveryPolicy,
     ) -> Result<Self, IdlError> {
+        Self::build_with_elide(variant, costs, policy, false)
+    }
+
+    /// [`Testbed::build`] with certified tracking elision toggled: when
+    /// `elide` is true the SuperGlue variant interprets
+    /// [`crate::sources::compile_all_elided`] stub specs (σ-constant
+    /// fast paths, dead-store suppression). Recovery behavior and
+    /// traces are byte-identical either way — only dead bookkeeping is
+    /// skipped. The toggle is a no-op for `Bare` and `C3`.
+    ///
+    /// # Errors
+    ///
+    /// [`IdlError`] if the shipped IDL fails to compile or an
+    /// `sm_elide` request cannot be proven (SuperGlue variant only).
+    pub fn build_elided(variant: Variant, elide: bool) -> Result<Self, IdlError> {
+        Self::build_with_elide(
+            variant,
+            CostModel::paper_defaults(),
+            RecoveryPolicy::OnDemand,
+            elide,
+        )
+    }
+
+    /// Build with explicit cost model, recovery policy and elision
+    /// toggle (see [`Testbed::build_elided`]).
+    ///
+    /// # Errors
+    ///
+    /// [`IdlError`] if the shipped IDL fails to compile (SuperGlue
+    /// variant only).
+    pub fn build_with_elide(
+        variant: Variant,
+        costs: CostModel,
+        policy: RecoveryPolicy,
+        elide: bool,
+    ) -> Result<Self, IdlError> {
         let mut k = Kernel::with_costs(costs);
         let app1 = k.add_client_component("app1");
         let app2 = k.add_client_component("app2");
@@ -177,7 +213,11 @@ impl Testbed {
                 }
             }
             Variant::SuperGlue => {
-                let compiled = compile_all()?;
+                let compiled = if elide {
+                    crate::sources::compile_all_elided()?
+                } else {
+                    compile_all()?
+                };
                 for app in [app1, app2] {
                     for (iface, svc) in [
                         ("sched", sched),

@@ -107,6 +107,11 @@ pub struct CampaignConfig {
     /// cascade). Non-[`CampaignMode::Single`] modes also arm the
     /// kernel's reboot-storm escalation.
     pub mode: CampaignMode,
+    /// Interpret the certified-elision stub specs (`--elide`). Outcomes
+    /// and traces must be byte-identical to the fully tracked run; only
+    /// proven-dead bookkeeping is skipped. No-op for non-SuperGlue
+    /// variants.
+    pub elide: bool,
 }
 
 impl Default for CampaignConfig {
@@ -120,6 +125,7 @@ impl Default for CampaignConfig {
             fault_mask: 0xFFFF_FFFF,
             trace: false,
             mode: CampaignMode::Single,
+            elide: false,
         }
     }
 }
@@ -503,7 +509,7 @@ pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> Cam
 
     'reboot: while row.injected < quota {
         // (Re)boot the machine: fresh system + workloads.
-        let mut tb = Testbed::build(cfg.variant).expect("testbed builds");
+        let mut tb = Testbed::build_elided(cfg.variant, cfg.elide).expect("testbed builds");
         if cfg.trace {
             tb.runtime
                 .kernel_mut()

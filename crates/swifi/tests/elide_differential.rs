@@ -1,0 +1,79 @@
+//! The elision differential: SWIFI campaigns run with the certified
+//! tracking-elision stubs (`--elide`) must be **byte-identical** to the
+//! fully tracked runs — same outcome rows, same per-mechanism metrics,
+//! same flight-recorder traces. The SG060–SG065 certificates prove each
+//! skipped write is never read; this suite checks the proof against the
+//! complete fault-injection campaign machinery, including correlated
+//! regimes.
+
+use composite::shards_to_jsonl;
+use sg_swifi::{merge_shards, run_shard, shard_sizes, CampaignConfig, CampaignMode};
+
+const IFACES: [&str; 6] = ["sched", "mm", "fs", "lock", "evt", "tmr"];
+
+/// Everything observable about one service's campaign, rendered to
+/// comparable bytes: the Table II row, the mechanism counters, and the
+/// flight-recorder trace.
+fn campaign_bytes(iface: &'static str, elide: bool, mode: CampaignMode) -> String {
+    let cfg = CampaignConfig {
+        injections: 40,
+        trace: true,
+        mode,
+        elide,
+        ..CampaignConfig::default()
+    };
+    let shards: Vec<_> = (0..shard_sizes(cfg.injections).len())
+        .map(|s| run_shard(iface, &cfg, s))
+        .collect();
+    let r = merge_shards(iface, shards.iter());
+    format!(
+        "{}\n{}{}",
+        r.row.table_line(),
+        r.metrics.to_json_lines(&format!("elide-diff/{iface}")),
+        shards_to_jsonl(&r.trace)
+    )
+}
+
+#[test]
+fn single_fault_campaigns_are_byte_identical_with_elision() {
+    for iface in IFACES {
+        let tracked = campaign_bytes(iface, false, CampaignMode::Single);
+        let elided = campaign_bytes(iface, true, CampaignMode::Single);
+        assert!(
+            tracked == elided,
+            "{iface}: elided campaign diverged from fully tracked\n\
+             first differing line: {:?}",
+            tracked
+                .lines()
+                .zip(elided.lines())
+                .find(|(a, b)| a != b)
+                .map(|(a, b)| format!("tracked {a:?} vs elided {b:?}"))
+        );
+    }
+}
+
+#[test]
+fn correlated_fault_campaigns_are_byte_identical_with_elision() {
+    // The nastiest regimes for stale tracking state: faults landing
+    // mid-recovery and cascading across services. One service per
+    // regime keeps the suite fast; the modelck ElideDiffWalk covers the
+    // randomized cross-product.
+    for (iface, mode) in [
+        ("lock", CampaignMode::Burst { flips: 3 }),
+        ("sched", CampaignMode::DuringRecovery),
+        ("evt", CampaignMode::Cascade),
+    ] {
+        let tracked = campaign_bytes(iface, false, mode);
+        let elided = campaign_bytes(iface, true, mode);
+        assert!(
+            tracked == elided,
+            "{iface}/{mode:?}: elided campaign diverged from fully tracked\n\
+             first differing line: {:?}",
+            tracked
+                .lines()
+                .zip(elided.lines())
+                .find(|(a, b)| a != b)
+                .map(|(a, b)| format!("tracked {a:?} vs elided {b:?}"))
+        );
+    }
+}
