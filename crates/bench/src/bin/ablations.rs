@@ -9,13 +9,18 @@
 //! kernels (the recovery-policy and G1 ablations; the tracker ablation
 //! has no kernel) as JSON-lines at PATH plus a Chrome trace_event
 //! rendering at PATH.chrome.json.
+//!
+//! `--series PATH` dumps windowed recovery telemetry of the same
+//! kernels as JSON-lines for `sgstat series` (`--series-window NS`
+//! overrides the 1ms default window).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use composite::{
     default_jobs, parallel_map_indexed, CostModel, InterfaceCall as _, Kernel, KernelAccess as _,
-    Priority, TraceShard, Value, DEFAULT_TRACE_CAPACITY,
+    Priority, SeriesSnapshot, SimTime, TraceShard, Value, DEFAULT_SERIES_WINDOW,
+    DEFAULT_TRACE_CAPACITY,
 };
 use sg_c3::RecoveryPolicy;
 use superglue::testbed::{Testbed, Variant};
@@ -25,18 +30,24 @@ use superglue_sm::{DescriptorResourceModel, State};
 
 /// Ablation 1: on-demand (T1) vs eager recovery — what a high-priority
 /// client waits for after a fault when many descriptors are live.
-fn ablation_policy(trace: bool) -> (String, Vec<TraceShard>) {
+fn ablation_policy(opts: &AblationOpts) -> AblationOutput {
     let mut out = String::new();
     let mut shards = Vec::new();
+    let mut series = Vec::new();
     let _ = writeln!(out, "== Ablation 1: on-demand (T1) vs eager recovery ==");
     const DESCRIPTORS: usize = 400;
     for policy in [RecoveryPolicy::OnDemand, RecoveryPolicy::Eager] {
         let mut tb = Testbed::build_with(Variant::SuperGlue, CostModel::paper_defaults(), policy)
             .expect("testbed builds");
-        if trace {
+        if opts.trace {
             tb.runtime
                 .kernel_mut()
                 .enable_tracing(DEFAULT_TRACE_CAPACITY);
+        }
+        if opts.series_window > 0 {
+            tb.runtime
+                .kernel_mut()
+                .enable_telemetry(SimTime(opts.series_window));
         }
         let t = tb.spawn_thread(tb.ids.app1, Priority(5));
         let (app, lock) = (tb.ids.app1, tb.ids.lock);
@@ -74,7 +85,13 @@ fn ablation_policy(trace: bool) -> (String, Vec<TraceShard>) {
             "  {policy:?}: first request served after {first_us:8.1} us wall  \
              ({recovered} descriptors recovered before it completed)"
         );
-        if trace {
+        if opts.series_window > 0 {
+            series.push((
+                format!("ablations/policy/{policy:?}"),
+                SeriesSnapshot::from_kernel(tb.runtime.kernel()),
+            ));
+        }
+        if opts.trace {
             let mut shard = TraceShard::labeled(&format!("ablations/policy/{policy:?}"));
             let label = shard.label.clone();
             shard.absorb(tb.runtime.kernel_mut().take_trace(&label));
@@ -86,12 +103,12 @@ fn ablation_policy(trace: bool) -> (String, Vec<TraceShard>) {
         "  -> on-demand bounds the priority inversion: the first request pays for\n\
          \x20    one descriptor, not all {DESCRIPTORS} (the paper's schedulability argument)."
     );
-    (out, shards)
+    (out, shards, series)
 }
 
 /// Ablation 2+3: bounded state-machine tracking vs the operation log
 /// §II-C rejects, and shortest-walk vs full-history replay.
-fn ablation_tracker(_trace: bool) -> (String, Vec<TraceShard>) {
+fn ablation_tracker(_opts: &AblationOpts) -> AblationOutput {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -144,18 +161,22 @@ fn ablation_tracker(_trace: bool) -> (String, Vec<TraceShard>) {
         log.replay_for(DescId(1)).len() / walk.len().max(1)
     );
     let _ = State::Init;
-    (out, Vec::new())
+    (out, Vec::new(), Vec::new())
 }
 
 /// Ablation 4: G1 redundant storage on vs off — RamFS data survival.
-fn ablation_g1(trace: bool) -> (String, Vec<TraceShard>) {
+fn ablation_g1(opts: &AblationOpts) -> AblationOutput {
     let mut out = String::new();
     let mut shards = Vec::new();
+    let mut series = Vec::new();
     let _ = writeln!(out, "\n== Ablation 4: G1 redundant storage on vs off ==");
     for persist in [true, false] {
         let mut k = Kernel::with_costs(CostModel::free());
-        if trace {
+        if opts.trace {
             k.enable_tracing(DEFAULT_TRACE_CAPACITY);
+        }
+        if opts.series_window > 0 {
+            k.enable_telemetry(SimTime(opts.series_window));
         }
         let app = k.add_client_component("app");
         let st = k.add_component(
@@ -215,7 +236,13 @@ fn ablation_g1(trace: bool) -> (String, Vec<TraceShard>) {
             )
             .expect("read");
         let survived = matches!(&read, Value::Bytes(b) if b.len() == 64);
-        if trace {
+        if opts.series_window > 0 {
+            series.push((
+                format!("ablations/g1/{}", if persist { "on" } else { "off" }),
+                SeriesSnapshot::from_kernel(&k),
+            ));
+        }
+        if opts.trace {
             let mut shard = TraceShard::labeled(&format!(
                 "ablations/g1/{}",
                 if persist { "on" } else { "off" }
@@ -240,16 +267,29 @@ fn ablation_g1(trace: bool) -> (String, Vec<TraceShard>) {
         "  -> without the storage component, interface-driven recovery alone\n\
          \x20    cannot restore resource *data* — the reason G1 exists (SIII-C)."
     );
-    (out, shards)
+    (out, shards, series)
 }
 
-/// One ablation: takes the trace flag, returns its report plus any
-/// flight-recorder shards it captured.
-type Ablation = fn(bool) -> (String, Vec<TraceShard>);
+/// What the harness asked each ablation to capture.
+#[derive(Clone, Copy)]
+struct AblationOpts {
+    trace: bool,
+    /// Telemetry window width in simulated ns (0 = off).
+    series_window: u64,
+}
+
+/// An ablation's report plus any flight-recorder shards and windowed
+/// telemetry sections it captured.
+type AblationOutput = (String, Vec<TraceShard>, Vec<(String, SeriesSnapshot)>);
+
+/// One ablation: takes the capture options, returns its output.
+type Ablation = fn(&AblationOpts) -> AblationOutput;
 
 fn main() {
     let mut jobs = default_jobs();
     let mut trace_path: Option<String> = None;
+    let mut series_path: Option<String> = None;
+    let mut series_window = DEFAULT_SERIES_WINDOW.0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -257,17 +297,40 @@ fn main() {
                 jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N");
             }
             "--trace" => trace_path = Some(args.next().expect("--trace PATH")),
+            "--series" => series_path = Some(args.next().expect("--series PATH")),
+            "--series-window" => {
+                series_window = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--series-window NS");
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
-    let trace = trace_path.is_some();
+    let opts = AblationOpts {
+        trace: trace_path.is_some(),
+        series_window: if series_path.is_some() {
+            series_window
+        } else {
+            0
+        },
+    };
     let ablations: [Ablation; 3] = [ablation_policy, ablation_tracker, ablation_g1];
     let mut shards = Vec::new();
-    for (report, mut s) in parallel_map_indexed(ablations.len(), jobs, |i| ablations[i](trace)) {
+    let mut series = Vec::new();
+    for (report, mut s, mut t) in
+        parallel_map_indexed(ablations.len(), jobs, |i| ablations[i](&opts))
+    {
         print!("{report}");
         shards.append(&mut s);
+        series.append(&mut t);
     }
     if let Some(path) = trace_path {
         sg_bench::write_trace(&path, &shards);
+    }
+    if let Some(path) = series_path {
+        let sections: Vec<(String, &SeriesSnapshot)> =
+            series.iter().map(|(c, s)| (c.clone(), s)).collect();
+        sg_bench::write_series(&path, opts.series_window, &sections);
     }
 }

@@ -21,12 +21,19 @@
 //! `--elide` interprets the certified tracking-elision stubs on the
 //! Fig 6(b) recovery measurements and `--trace` shards; trace bytes
 //! must be identical to a run without the flag.
+//!
+//! `--series PATH` dumps windowed recovery telemetry of the same
+//! fault → recover cycles as JSON-lines for `sgstat series`
+//! (`--series-window NS` overrides the 1ms default window).
 
 use std::time::Instant;
 
 use composite::json::Json;
-use composite::{InterfaceCall as _, KernelAccess as _, TraceShard, DEFAULT_TRACE_CAPACITY};
-use sg_bench::{handwritten_loc, rig_elided, Rig, C3_STUB_SOURCES, SERVICES};
+use composite::{
+    InterfaceCall as _, KernelAccess as _, SeriesSnapshot, SimTime, TraceShard,
+    DEFAULT_SERIES_WINDOW, DEFAULT_TRACE_CAPACITY,
+};
+use sg_bench::{handwritten_loc, rig_elided, rustc_version, Rig, C3_STUB_SOURCES, SERVICES};
 use superglue::testbed::Variant;
 
 const BATCH: u64 = 10_000;
@@ -117,8 +124,14 @@ fn recovery_us(variant: Variant, iface: &str, elide: bool) -> Meas {
 }
 
 /// One traced fault → recover cycle for a service under a variant: the
-/// causally-annotated version of the path [`recovery_us`] times.
-fn traced_recovery_shard(variant: Variant, iface: &str, elide: bool) -> TraceShard {
+/// causally-annotated version of the path [`recovery_us`] times, plus
+/// its windowed telemetry when `series_window > 0`.
+fn traced_recovery_capture(
+    variant: Variant,
+    iface: &str,
+    elide: bool,
+    series_window: u64,
+) -> (TraceShard, SeriesSnapshot) {
     let vname = if variant == Variant::C3 {
         "c3"
     } else {
@@ -132,25 +145,20 @@ fn traced_recovery_shard(variant: Variant, iface: &str, elide: bool) -> TraceSha
     r.tb.runtime
         .kernel_mut()
         .enable_tracing(DEFAULT_TRACE_CAPACITY);
+    if series_window > 0 {
+        r.tb.runtime
+            .kernel_mut()
+            .enable_telemetry(SimTime(series_window));
+    }
     let (client, thread, svc, fname, args) = r.setup_recovery_victim(iface);
     r.tb.runtime.inject_fault(svc);
     r.tb.runtime
         .interface_call(client, thread, svc, fname, &args)
         .expect("recovery succeeds");
+    let series = SeriesSnapshot::from_kernel(r.tb.runtime.kernel());
     let label = shard.label.clone();
     shard.absorb(r.tb.runtime.kernel_mut().take_trace(&label));
-    shard
-}
-
-/// The toolchain identifier recorded in the bench JSON.
-fn rustc_version() -> String {
-    std::process::Command::new("rustc")
-        .arg("--version")
-        .output()
-        .ok()
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_owned())
-        .unwrap_or_else(|| "unknown".to_owned())
+    (shard, series)
 }
 
 /// One measured Fig 6(a) row.
@@ -219,12 +227,14 @@ fn main() {
     // Fig 6(b) recovery path and traces; the trace bytes must be
     // identical to a run without the flag.
     let elide = std::env::args().any(|a| a == "--elide");
-    let (emit_dir, trace_path, bench_json, check_ratio) = {
+    let (emit_dir, trace_path, bench_json, check_ratio, series_path, series_window) = {
         let mut args = std::env::args();
         let mut dir = None;
         let mut trace = None;
         let mut bench = None;
         let mut check = None;
+        let mut series = None;
+        let mut window = DEFAULT_SERIES_WINDOW.0;
         while let Some(a) = args.next() {
             if a == "--emit" {
                 dir = args.next();
@@ -234,9 +244,16 @@ fn main() {
                 bench = args.next();
             } else if a == "--check-ratio" {
                 check = args.next().and_then(|v| v.parse::<f64>().ok());
+            } else if a == "--series" {
+                series = args.next();
+            } else if a == "--series-window" {
+                window = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--series-window NS");
             }
         }
-        (dir, trace, bench, check)
+        (dir, trace, bench, check, series, window)
     };
 
     println!("== Fig 6(c): lines of recovery code per system service ==");
@@ -371,13 +388,28 @@ fn main() {
     println!("note: recovery cost ordering tracks the mechanism count of SIII-C");
     println!("      (Event uses R0+T0+T1+D1+G0+U0; Lock only R0+T0+T1).");
 
-    if let Some(path) = trace_path {
+    if trace_path.is_some() || series_path.is_some() {
+        let window = if series_path.is_some() {
+            series_window
+        } else {
+            0
+        };
         let mut shards = Vec::new();
+        let mut sections = Vec::new();
         for iface in SERVICES {
             for variant in [Variant::C3, Variant::SuperGlue] {
-                shards.push(traced_recovery_shard(variant, iface, elide));
+                let (shard, series) = traced_recovery_capture(variant, iface, elide, window);
+                sections.push((shard.label.clone(), series));
+                shards.push(shard);
             }
         }
-        sg_bench::write_trace(&path, &shards);
+        if let Some(path) = trace_path {
+            sg_bench::write_trace(&path, &shards);
+        }
+        if let Some(path) = series_path {
+            let refs: Vec<(String, &SeriesSnapshot)> =
+                sections.iter().map(|(c, s)| (c.clone(), s)).collect();
+            sg_bench::write_series(&path, window, &refs);
+        }
     }
 }

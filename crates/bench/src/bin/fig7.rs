@@ -19,10 +19,27 @@
 //! * `--trace PATH` — record a flight-recorder trace of every run:
 //!   JSON-lines at PATH (analyze with `sgtrace`) plus a Chrome
 //!   trace_event rendering at PATH.chrome.json (open in Perfetto).
-//!   Byte-identical for every `--jobs` value.
+//!   Byte-identical for every `--jobs` value;
+//! * `--series PATH` — dump windowed recovery telemetry (per component,
+//!   per simulated-time window) as JSON-lines for `sgstat series`.
+//!   Byte-identical for every `--jobs` value;
+//! * `--series-window NS` — window width in simulated nanoseconds
+//!   (default 1,000,000,000 = 1s, matching the per-second throughput
+//!   buckets);
+//! * `--bench-json PATH` — write the throughput measurements as a JSON
+//!   document (per-variant req/s mean ± stdev, request and fault
+//!   totals, slowdown vs base, plus run metadata) for CI artifacts and
+//!   regression diffing, mirroring `fig6 --bench-json`.
 
-use composite::{default_jobs, parallel_map_indexed, Json, MetricsSnapshot, SimTime};
+use composite::{
+    default_jobs, parallel_map_indexed, Json, MetricsSnapshot, SeriesSnapshot, SimTime,
+};
+use sg_bench::rustc_version;
 use sg_webserver::{run_fig7_rep, Fig7Config, Fig7Result, WebVariant};
+
+/// Default telemetry window: 1 virtual second, matching the per-second
+/// throughput buckets Fig 7 plots.
+const FIG7_SERIES_WINDOW: SimTime = SimTime(1_000_000_000);
 
 const VARIANTS: [WebVariant; 6] = [
     WebVariant::Apache,
@@ -43,6 +60,7 @@ struct Row {
     unrecovered: u64,
     per_second: Vec<u64>,
     metrics: MetricsSnapshot,
+    telemetry: SeriesSnapshot,
 }
 
 /// Merge a variant's repetitions in repetition order: the mean of the
@@ -51,8 +69,10 @@ struct Row {
 fn merge_reps(reps: &[Fig7Result]) -> Row {
     let n = reps.len() as f64;
     let mut metrics = MetricsSnapshot::default();
+    let mut telemetry = SeriesSnapshot::default();
     for r in reps {
         metrics.merge(&r.metrics);
+        telemetry.merge(&r.telemetry);
     }
     Row {
         variant: reps[0].variant,
@@ -63,6 +83,7 @@ fn merge_reps(reps: &[Fig7Result]) -> Row {
         unrecovered: reps.iter().map(|r| r.unrecovered).sum(),
         per_second: reps[0].series.buckets().to_vec(),
         metrics,
+        telemetry,
     }
 }
 
@@ -80,6 +101,9 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut series_path: Option<String> = None;
+    let mut series_window = FIG7_SERIES_WINDOW;
+    let mut bench_json: Option<String> = None;
     let mut jobs = default_jobs();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -116,8 +140,20 @@ fn main() {
                 trace_path = Some(args.next().expect("--trace PATH"));
                 cfg.trace = true;
             }
+            "--series" => series_path = Some(args.next().expect("--series PATH")),
+            "--series-window" => {
+                series_window = SimTime(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--series-window NS"),
+                );
+            }
+            "--bench-json" => bench_json = Some(args.next().expect("--bench-json PATH")),
             other => panic!("unknown argument {other:?}"),
         }
+    }
+    if series_path.is_some() {
+        cfg.series_window = series_window;
     }
 
     println!(
@@ -200,13 +236,7 @@ fn main() {
     if let Some(path) = metrics_path {
         let mut out = String::new();
         for r in &rows {
-            let label = match r.variant {
-                WebVariant::Apache => "fig7/apache".to_owned(),
-                WebVariant::Composite => "fig7/composite".to_owned(),
-                WebVariant::C3 { faults } => format!("fig7/c3/faults={faults}"),
-                WebVariant::SuperGlue { faults } => format!("fig7/superglue/faults={faults}"),
-            };
-            out.push_str(&r.metrics.to_json_lines(&label));
+            out.push_str(&r.metrics.to_json_lines(&variant_label(r.variant)));
         }
         std::fs::write(&path, out).expect("write metrics");
         println!("metrics written to {path}");
@@ -217,4 +247,54 @@ fn main() {
         let shards: Vec<_> = results.iter().filter_map(|r| r.trace.clone()).collect();
         sg_bench::write_trace(&path, &shards);
     }
+
+    if let Some(path) = series_path {
+        let sections: Vec<(String, &SeriesSnapshot)> = rows
+            .iter()
+            .map(|r| (variant_label(r.variant), &r.telemetry))
+            .collect();
+        sg_bench::write_series(&path, series_window.0, &sections);
+    }
+
+    if let Some(path) = bench_json {
+        write_bench_json(&path, &cfg, &rows, slowdown);
+    }
+}
+
+/// The context label a variant's metrics and series rows carry.
+fn variant_label(v: WebVariant) -> String {
+    match v {
+        WebVariant::Apache => "fig7/apache".to_owned(),
+        WebVariant::Composite => "fig7/composite".to_owned(),
+        WebVariant::C3 { faults } => format!("fig7/c3/faults={faults}"),
+        WebVariant::SuperGlue { faults } => format!("fig7/superglue/faults={faults}"),
+    }
+}
+
+/// The Fig 7 counterpart of `fig6 --bench-json`: per-variant throughput
+/// with run metadata, for CI artifacts and regression diffing.
+fn write_bench_json(path: &str, cfg: &Fig7Config, rows: &[Row], slowdown: impl Fn(&Row) -> f64) {
+    let mut doc = Json::object();
+    doc.push("bench", "fig7_throughput");
+    doc.push("unit", "requests_per_second");
+    doc.push("connections", cfg.connections as u64);
+    doc.push("seconds", cfg.duration.as_secs_f64());
+    doc.push("repetitions", cfg.repetitions);
+    doc.push("seed", cfg.seed);
+    doc.push("rustc", rustc_version());
+    let mut arr = Vec::new();
+    for r in rows {
+        let mut o = Json::object();
+        o.push("variant", r.variant.to_string());
+        o.push("mean_rps", r.mean_rps);
+        o.push("stdev_rps", r.stdev_rps);
+        o.push("total_requests", r.total_requests);
+        o.push("faults_injected", r.faults_injected);
+        o.push("unrecovered", r.unrecovered);
+        o.push("slowdown_vs_base_pct", slowdown(r));
+        arr.push(o);
+    }
+    doc.push("rows", arr);
+    std::fs::write(path, doc.to_pretty()).expect("write bench json");
+    println!("bench json written to {path}");
 }

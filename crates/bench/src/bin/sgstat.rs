@@ -1,0 +1,149 @@
+//! `sgstat`: recovery-SLO analytics over the harnesses' JSON-lines
+//! artifacts (`--trace`, `--series`, `--metrics`).
+//!
+//! Where `sgtrace` answers *what happened* inside individual recovery
+//! episodes, `sgstat` answers *how well the system kept its promises*:
+//!
+//! * `sgstat series SERIES.jsonl` — per-component summary of the
+//!   windowed telemetry a harness wrote with `--series`: invocation /
+//!   fault / mechanism totals plus the worst window by fault count and
+//!   by recovery-latency p99.
+//! * `sgstat avail TRACE.jsonl` — availability, MTTR, and MTBF per
+//!   component from fault → `episode_end` spans (nested episodes,
+//!   watchdog fires, degraded windows, and cold restarts included),
+//!   with a conservation audit: independently re-summed timed spans
+//!   must equal the kernel-attributed downtime (exit 1 on mismatch,
+//!   SKIP when the ring dropped recovery-class events).
+//! * `sgstat critpath TRACE.jsonl [--collapse]` — the dominant
+//!   mechanism chain of every episode and whole-trace bucket ranking;
+//!   `--collapse` emits flamegraph collapsed stacks instead.
+//! * `sgstat export METRICS.jsonl` — the `--metrics` dump re-rendered
+//!   as an OpenMetrics text exposition (quantiles recomputed from the
+//!   shipped log₂ histograms).
+//! * `sgstat slo TRACE.jsonl [--max-p99-ns N] [--min-availability X]`
+//!   — gate a trace against an SLO policy; any violation (including a
+//!   failed conservation audit) exits nonzero, so CI can enforce
+//!   recovery-latency and availability budgets.
+
+use std::process::ExitCode;
+
+use sg_bench::stat::{
+    avail_report, collapsed_stacks, critpath_report, evaluate_slo, openmetrics_from_metrics,
+    parse_series, parse_trace, series_report, Conservation, SloPolicy,
+};
+
+fn cmd_series(path: &str) -> Result<ExitCode, String> {
+    let file = parse_series(path)?;
+    print!("{}", series_report(&file));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_avail(path: &str) -> Result<ExitCode, String> {
+    let shards = parse_trace(path)?;
+    let report = avail_report(&shards);
+    print!("{}", report.render());
+    Ok(match report.conservation() {
+        Conservation::Mismatch(_) => ExitCode::FAILURE,
+        Conservation::Ok | Conservation::Skip => ExitCode::SUCCESS,
+    })
+}
+
+fn cmd_critpath(path: &str, collapse: bool) -> Result<ExitCode, String> {
+    let shards = parse_trace(path)?;
+    if collapse {
+        print!("{}", collapsed_stacks(&shards));
+    } else {
+        print!("{}", critpath_report(&shards));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_export(path: &str) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let om = openmetrics_from_metrics(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{om}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_slo(path: &str, policy: &SloPolicy) -> Result<ExitCode, String> {
+    let shards = parse_trace(path)?;
+    let report = avail_report(&shards);
+    let slo = evaluate_slo(&report, policy);
+    println!(
+        "observed: availability {:.6}%, p99 recovery {:.1}us over {} episode(s)",
+        slo.availability * 100.0,
+        slo.p99_ns as f64 / 1000.0,
+        slo.episodes
+    );
+    if slo.conservation_skipped {
+        println!("conservation: SKIP (ring dropped recovery-class events)");
+    }
+    if slo.violations.is_empty() {
+        println!("SLO: PASS");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("SLO: FAIL");
+        for v in &slo.violations {
+            println!("  {v}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+const USAGE: &str = "usage: sgstat series SERIES.jsonl \
+                     | sgstat avail TRACE.jsonl \
+                     | sgstat critpath TRACE.jsonl [--collapse] \
+                     | sgstat export METRICS.jsonl \
+                     | sgstat slo TRACE.jsonl [--max-p99-ns N] [--min-availability X]";
+
+fn parse_slo_args(args: &[String]) -> Result<SloPolicy, String> {
+    let mut policy = SloPolicy::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--max-p99-ns" => {
+                policy.max_p99_ns = Some(value.parse().map_err(|e| format!("--max-p99-ns: {e}"))?);
+            }
+            "--min-availability" => {
+                let x: f64 = value
+                    .parse()
+                    .map_err(|e| format!("--min-availability: {e}"))?;
+                if !(0.0..=1.0).contains(&x) {
+                    return Err("--min-availability must be in 0.0..=1.0".to_owned());
+                }
+                policy.min_availability = Some(x);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(policy)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("series") if args.len() == 2 => cmd_series(&args[1]),
+        Some("avail") if args.len() == 2 => cmd_avail(&args[1]),
+        Some("critpath") if args.len() == 2 => cmd_critpath(&args[1], false),
+        Some("critpath") if args.len() == 3 && args[2] == "--collapse" => {
+            cmd_critpath(&args[1], true)
+        }
+        Some("export") if args.len() == 2 => cmd_export(&args[1]),
+        Some("slo") if args.len() >= 2 => match parse_slo_args(&args[2..]) {
+            Ok(policy) => cmd_slo(&args[1], &policy),
+            Err(e) => Err(e),
+        },
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("sgstat: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

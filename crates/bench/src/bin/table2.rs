@@ -17,6 +17,12 @@
 //!   JSON-lines at PATH (analyze with `sgtrace`) plus a Chrome
 //!   trace_event rendering at PATH.chrome.json (open in Perfetto).
 //!   Byte-identical for every `--jobs` value;
+//! * `--series PATH` — dump windowed recovery telemetry (per component,
+//!   per simulated-time window: invocations, faults, mechanism firings,
+//!   recovery-latency quantiles) as JSON-lines for `sgstat series`.
+//!   Byte-identical for every `--jobs` value;
+//! * `--series-window NS` — window width in simulated nanoseconds
+//!   (default 1,000,000 = 1ms);
 //! * `--correlated` — run the Table II-B correlated-fault campaign
 //!   instead: every service under the `burst`, `during-recovery`, and
 //!   `cascade` regimes, with the degraded / watchdog-detected /
@@ -48,6 +54,8 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut series_path: Option<String> = None;
+    let mut series_window = composite::DEFAULT_SERIES_WINDOW.0;
     let mut jobs = default_jobs();
     let mut correlated = false;
     let mut args = std::env::args().skip(1);
@@ -86,8 +94,18 @@ fn main() {
                 trace_path = Some(args.next().expect("--trace PATH"));
                 cfg.trace = true;
             }
+            "--series" => series_path = Some(args.next().expect("--series PATH")),
+            "--series-window" => {
+                series_window = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--series-window NS");
+            }
             other => panic!("unknown argument {other:?}"),
         }
+    }
+    if series_path.is_some() {
+        cfg.series_window_ns = series_window;
     }
     if let Err(e) = cfg.validate() {
         eprintln!("{e}");
@@ -105,7 +123,7 @@ fn main() {
     );
 
     if correlated {
-        run_correlated(&cfg, jobs, json_path, metrics_path, trace_path);
+        run_correlated(&cfg, jobs, json_path, metrics_path, trace_path, series_path);
         return;
     }
 
@@ -184,6 +202,24 @@ fn main() {
             .collect();
         sg_bench::write_trace(&path, &shards);
     }
+
+    if let Some(path) = series_path {
+        let variant = variant_slug(cfg.variant);
+        let sections: Vec<(String, &composite::SeriesSnapshot)> = IFACES
+            .iter()
+            .zip(&results)
+            .map(|(iface, r)| (format!("table2/{iface}/{variant}"), &r.series))
+            .collect();
+        sg_bench::write_series(&path, cfg.series_window_ns, &sections);
+    }
+}
+
+fn variant_slug(v: Variant) -> &'static str {
+    match v {
+        Variant::SuperGlue => "superglue",
+        Variant::C3 => "c3",
+        Variant::Bare => "bare",
+    }
 }
 
 /// The Table II-B campaign: every (mode, service, shard) triple in one
@@ -195,6 +231,7 @@ fn run_correlated(
     json_path: Option<String>,
     metrics_path: Option<String>,
     trace_path: Option<String>,
+    series_path: Option<String>,
 ) {
     let shards_per_iface = shard_sizes(cfg.injections).len();
     let per_mode = IFACES.len() * shards_per_iface;
@@ -281,5 +318,19 @@ fn run_correlated(
             .flat_map(|(_, _, r)| r.trace.iter().cloned())
             .collect();
         sg_bench::write_trace(&path, &shards);
+    }
+
+    if let Some(path) = series_path {
+        let variant = variant_slug(cfg.variant);
+        let sections: Vec<(String, &composite::SeriesSnapshot)> = results
+            .iter()
+            .map(|(mode_i, iface, r)| {
+                (
+                    format!("table2b/{}/{iface}/{variant}", MODES[*mode_i].0),
+                    &r.series,
+                )
+            })
+            .collect();
+        sg_bench::write_series(&path, cfg.series_window_ns, &sections);
     }
 }

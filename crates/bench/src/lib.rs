@@ -11,6 +11,7 @@
 //! | Ablations | `cargo run -p sg-bench --release --bin ablations` | design-choice deltas (DESIGN.md §5) |
 
 pub mod modelck;
+pub mod stat;
 
 use composite::{ComponentId, InterfaceCall as _, Priority, ThreadId, Value};
 use sg_c3::FtRuntime;
@@ -450,6 +451,45 @@ pub fn write_trace(path: &str, shards: &[composite::TraceShard]) {
     let chrome = format!("{path}.chrome.json");
     std::fs::write(&chrome, composite::shards_to_chrome(shards)).expect("write chrome trace");
     println!("trace written to {path} (+ {chrome} for Perfetto)");
+}
+
+/// The toolchain identifier recorded in `--bench-json` dumps.
+#[must_use]
+pub fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Render windowed-telemetry sections as the `--series` JSON-lines
+/// format `sgstat` consumes: one header line carrying the window width,
+/// then each section's rows under its context label. Deterministic for
+/// deterministic inputs — sections in caller order, rows in snapshot
+/// (component, window) order.
+#[must_use]
+pub fn series_to_jsonl(
+    window_ns: u64,
+    sections: &[(String, &composite::SeriesSnapshot)],
+) -> String {
+    let mut out = composite::series_header(window_ns);
+    for (context, snapshot) in sections {
+        out.push_str(&snapshot.to_json_lines(context));
+    }
+    out
+}
+
+/// Write windowed-telemetry sections to `path` via [`series_to_jsonl`].
+///
+/// # Panics
+///
+/// Panics when the file cannot be written.
+pub fn write_series(path: &str, window_ns: u64, sections: &[(String, &composite::SeriesSnapshot)]) {
+    std::fs::write(path, series_to_jsonl(window_ns, sections)).expect("write series");
+    println!("series written to {path}");
 }
 
 #[cfg(test)]

@@ -233,9 +233,7 @@ impl StubEnv<'_> {
         self.stats.faults_handled += 1;
         let took = self.kernel.now().saturating_sub(before);
         self.stats.add_recovery_time(self.server, took);
-        self.kernel
-            .metrics_mut()
-            .record_recovery_latency(self.server, took);
+        self.kernel.record_recovery_latency(self.server, took);
 
         // Propagate the inter-component exception to every client edge of
         // this server (including edges currently checked out — the

@@ -31,6 +31,7 @@ use crate::intern::{Interner, NameId};
 use crate::metrics::{Mechanism, MetricsRegistry};
 use crate::pages::PageTables;
 use crate::stats::KernelStats;
+use crate::telemetry::Telemetry;
 use crate::thread::{Thread, ThreadState};
 use crate::time::{CostModel, SimTime};
 use crate::trace::{
@@ -59,6 +60,7 @@ pub struct Kernel {
     stats: KernelStats,
     metrics: MetricsRegistry,
     trace: FlightRecorder,
+    telemetry: Telemetry,
 }
 
 impl Kernel {
@@ -80,6 +82,7 @@ impl Kernel {
             stats: KernelStats::new(),
             metrics: MetricsRegistry::default(),
             trace: FlightRecorder::default(),
+            telemetry: Telemetry::default(),
         };
         let booter = k.add_client_component("booter");
         debug_assert_eq!(booter, BOOTER);
@@ -117,9 +120,15 @@ impl Kernel {
         let mut last_mech: Option<u64> = None;
         for e in fx.iter() {
             match *e {
-                Effect::CountInvocation(c) => self.stats.count_invocation(c),
+                Effect::CountInvocation(c) => {
+                    self.stats.count_invocation(c);
+                    self.telemetry.record_invocation(c, self.state.time);
+                }
                 Effect::CountFaultedInvocation(c) => self.stats.count_faulted_invocation(c),
-                Effect::CountFault(c) => self.stats.count_fault(c),
+                Effect::CountFault(c) => {
+                    self.stats.count_fault(c);
+                    self.telemetry.record_fault(c, self.state.time);
+                }
                 Effect::CountNestedFault(c) => self.stats.count_nested_fault(c),
                 Effect::CountReboot(c) => self.stats.count_reboot(c),
                 Effect::CountColdRestart(c) => self.stats.count_cold_restart(c),
@@ -498,6 +507,30 @@ impl Kernel {
         &mut self.metrics
     }
 
+    /// Record the simulated time one recovery episode on `c` took: feeds
+    /// both the aggregate [`MetricsRegistry`] latency histogram and —
+    /// when `--series` telemetry is on — the window the episode started
+    /// in. The recovery runtimes call this instead of writing to the
+    /// registry directly so the two views can never disagree.
+    pub fn record_recovery_latency(&mut self, c: ComponentId, d: SimTime) {
+        self.metrics.record_recovery_latency(c, d);
+        self.telemetry
+            .record_recovery_latency(c, d, self.state.time.saturating_sub(d));
+    }
+
+    /// Turn windowed `--series` telemetry on with the given window width
+    /// (see [`crate::telemetry::Telemetry`]).
+    pub fn enable_telemetry(&mut self, window: SimTime) {
+        self.telemetry.enable(window);
+    }
+
+    /// The windowed telemetry accumulator (read side; harnesses snapshot
+    /// it via [`crate::telemetry::SeriesSnapshot::from_kernel`]).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Count a **U0** upcall dispatch into the creator of a descriptor
     /// of `server` (the recovery runtime calls this when it performs
     /// U0): charges the upcall cost and records the mechanism through
@@ -679,6 +712,8 @@ impl Kernel {
             return None;
         }
         self.metrics.record_many(c, m, n);
+        self.telemetry
+            .record_mechanism(c, m, n, self.state.time.saturating_sub(dur));
         if !self.trace.is_enabled() {
             return None;
         }

@@ -50,6 +50,7 @@ pub mod metrics;
 pub mod par;
 pub mod stats;
 pub mod store;
+pub mod telemetry;
 pub mod trace;
 
 pub use component::{Service, ServiceCtx};
@@ -65,14 +66,19 @@ pub use json::Json;
 pub use kernel::{EscalationPolicy, InterfaceCall, Kernel, KernelAccess, BOOTER, BOOT_THREAD};
 pub use metrics::{
     LatencyStat, Mechanism, MetricsRegistry, MetricsRow, MetricsSnapshot, MECHANISMS,
+    METRICS_SCHEMA_VERSION,
 };
 pub use par::{default_jobs, parallel_map_indexed};
 pub use rng::{mix, SplitMix64};
 pub use store::{EdgeMap, IdSlab};
+pub use telemetry::{
+    series_header, SeriesCell, SeriesSnapshot, Telemetry, DEFAULT_SERIES_WINDOW,
+    SERIES_SCHEMA_VERSION,
+};
 pub use thread::{RegisterFile, ThreadState, NUM_REGISTERS};
 pub use time::{CostModel, SimTime};
 pub use trace::{
     shards_to_chrome, shards_to_jsonl, FlightRecorder, TraceEvent, TraceEventKind, TraceScope,
-    TraceShard, DEFAULT_TRACE_CAPACITY, MAX_EPISODE_DEPTH,
+    TraceShard, DEFAULT_TRACE_CAPACITY, MAX_EPISODE_DEPTH, TRACE_SCHEMA_VERSION,
 };
 pub use value::{ArgVec, Bytes, SmallStr, Value};

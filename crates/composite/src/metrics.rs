@@ -31,6 +31,10 @@ use crate::time::SimTime;
 // historical path.
 pub use composite_core::mechanism::{Mechanism, MECHANISMS};
 
+/// Schema version of the `--metrics` JSON-lines emitter (the `"v"` field
+/// on every row). Bump when a field changes meaning.
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
+
 /// Simulated-time latency statistic: count/sum/min/max plus a log₂
 /// histogram of nanosecond durations (bucket `i` holds durations in
 /// `[2^i, 2^(i+1))`; bucket 0 also holds zero).
@@ -66,7 +70,9 @@ impl LatencyStat {
             self.max_ns = ns;
         }
         self.count += 1;
-        self.total_ns += ns;
+        // Saturate rather than wrap: a campaign long enough to overflow
+        // u64 nanoseconds should degrade the mean, not panic the kernel.
+        self.total_ns = self.total_ns.saturating_add(ns);
         self.log2_buckets[63 - (ns | 1).leading_zeros() as usize] += 1;
     }
 
@@ -82,7 +88,7 @@ impl LatencyStat {
             self.max_ns = other.max_ns;
         }
         self.count += other.count;
-        self.total_ns += other.total_ns;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
         for (a, b) in self.log2_buckets.iter_mut().zip(other.log2_buckets.iter()) {
             *a += *b;
         }
@@ -92,6 +98,52 @@ impl LatencyStat {
     #[must_use]
     pub fn mean_ns(&self) -> u64 {
         self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) in nanoseconds from the
+    /// log₂ histogram: find the bucket holding the nearest-rank order
+    /// statistic, interpolate linearly inside it by rank position, and
+    /// clamp to the recorded `[min_ns, max_ns]` (so single-bucket
+    /// populations report exactly their extremes at q=0/q=1). Returns 0
+    /// when empty. Pure integer arithmetic after the rank computation —
+    /// deterministic across platforms.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based nearest rank; q=0 maps to the first sample.
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are known exactly — report them rather than
+        // an interpolated bucket estimate, so q=0/q=1 always equal the
+        // recorded min/max.
+        if rank == 1 {
+            return self.min_ns;
+        }
+        if rank == self.count {
+            return self.max_ns;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.log2_buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                let pos = rank - seen - 1; // 0-based within the bucket
+                let est = lo + (u128::from(hi - lo) * u128::from(pos) / u128::from(n)) as u64;
+                return est.clamp(self.min_ns, self.max_ns);
+            }
+            seen += n;
+        }
+        self.max_ns
     }
 
     fn to_json(&self) -> Json {
@@ -294,7 +346,8 @@ impl MetricsSnapshot {
 
 fn row_json(context: &str, name: &str, row: &MetricsRow) -> Json {
     let mut j = Json::object();
-    j.push("context", context)
+    j.push("v", METRICS_SCHEMA_VERSION)
+        .push("context", context)
         .push("component", name)
         .push("invocations", row.invocations)
         .push("faulted_invocations", row.faulted_invocations)
@@ -368,9 +421,100 @@ mod tests {
         let dump = s.to_json_lines("test/ctx");
         let lines: Vec<&str> = dump.lines().collect();
         assert_eq!(lines.len(), 2, "one component + total");
+        assert!(lines[0].starts_with(r#"{"v":1,"#), "schema version leads");
         assert!(lines[0].contains(r#""component":"lock""#));
         assert!(lines[0].contains(r#""U0":2"#));
         assert!(lines[1].contains(r#""component":"*total*""#));
         assert!(lines[1].contains(r#""invocations":7"#));
+    }
+
+    #[test]
+    fn latency_stat_zero_duration_record() {
+        let mut s = LatencyStat::default();
+        s.record(SimTime(0));
+        assert_eq!((s.count, s.total_ns, s.min_ns, s.max_ns), (1, 0, 0, 0));
+        assert_eq!(s.log2_buckets[0], 1, "zero lands in bucket 0");
+        assert_eq!(s.quantile_ns(0.5), 0);
+        assert_eq!(s.quantile_ns(1.0), 0);
+    }
+
+    #[test]
+    fn latency_stat_bucket_boundaries() {
+        // 2^i must land in bucket i, 2^i - 1 in bucket i-1, for every
+        // representable edge including the top bucket.
+        let mut s = LatencyStat::default();
+        for i in 1..64u32 {
+            s.record(SimTime(1u64 << i));
+            s.record(SimTime((1u64 << i) - 1));
+        }
+        s.record(SimTime(u64::MAX));
+        for i in 1..64usize {
+            // 2^i itself plus 2^(i+1) - 1 (from the next edge's -1) land
+            // in bucket i; the top bucket holds 2^63 and u64::MAX.
+            assert_eq!(s.log2_buckets[i], 2, "bucket {i}");
+        }
+        assert_eq!(s.log2_buckets[0], 1, "duration 1 only");
+        assert_eq!(s.max_ns, u64::MAX);
+        assert_eq!(s.quantile_ns(1.0), u64::MAX, "top clamps to max");
+    }
+
+    #[test]
+    fn latency_stat_merge_with_empty_both_directions() {
+        let mut populated = LatencyStat::default();
+        populated.record(SimTime(5));
+        populated.record(SimTime(700));
+
+        let mut a = populated.clone();
+        a.merge(&LatencyStat::default());
+        assert_eq!(a, populated, "merging an empty RHS is the identity");
+
+        let mut b = LatencyStat::default();
+        b.merge(&populated);
+        assert_eq!(b, populated, "merging into an empty LHS copies");
+        // In particular min_ns must not be poisoned by the empty side's
+        // default 0.
+        assert_eq!(b.min_ns, 5);
+    }
+
+    #[test]
+    fn latency_stat_merge_associative_and_commutative() {
+        let mut shards = Vec::new();
+        for seed in 0..3u64 {
+            let mut s = LatencyStat::default();
+            for k in 0..10 {
+                s.record(SimTime((seed + 1) * 97 + k * k * 13));
+            }
+            shards.push(s);
+        }
+        // (a+b)+c == a+(b+c) == c+b+a: shard merge order is irrelevant,
+        // the property the --jobs determinism contract rests on.
+        let mut ab_c = shards[0].clone();
+        ab_c.merge(&shards[1]);
+        ab_c.merge(&shards[2]);
+        let mut bc = shards[1].clone();
+        bc.merge(&shards[2]);
+        let mut a_bc = shards[0].clone();
+        a_bc.merge(&bc);
+        let mut cba = shards[2].clone();
+        cba.merge(&shards[1]);
+        cba.merge(&shards[0]);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c, cba);
+    }
+
+    #[test]
+    fn quantile_estimates_are_monotone_and_clamped() {
+        let mut s = LatencyStat::default();
+        for ns in [3u64, 9, 17, 33, 120, 1000, 4096, 70_000] {
+            s.record(SimTime(ns));
+        }
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| s.quantile_ns(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "monotone: {qs:?}");
+        assert!(qs[0] >= s.min_ns && *qs.last().unwrap() <= s.max_ns);
+        assert_eq!(s.quantile_ns(1.0), s.max_ns);
+        assert_eq!(LatencyStat::default().quantile_ns(0.99), 0, "empty");
     }
 }

@@ -59,6 +59,10 @@ use crate::time::SimTime;
 /// Default ring capacity used by the harness `--trace` flags.
 pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
 
+/// Schema version of the `--trace` JSON-lines emitter (the `"v"` field
+/// on every shard header). Bump when an event field changes meaning.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
 /// Hard bound on nested recovery-episode depth: a fault raised while a
 /// recovery is in flight opens a *child* episode, but the tree can never
 /// grow deeper than this (the kernel clamps, keeping pathological
@@ -563,11 +567,14 @@ impl TraceShard {
         }
     }
 
-    /// The shard-header JSON-lines object.
+    /// The shard-header JSON-lines object. Leads with the emitter's
+    /// schema version so downstream tooling (`sgtrace`, `sgstat`) can
+    /// detect drift.
     #[must_use]
     pub fn header_json(&self) -> Json {
         let mut j = Json::object();
-        j.push("shard", self.label.as_str())
+        j.push("v", TRACE_SCHEMA_VERSION)
+            .push("shard", self.label.as_str())
             .push(
                 "names",
                 Json::Array(self.names.iter().map(|n| Json::from(n.as_str())).collect()),

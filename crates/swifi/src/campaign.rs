@@ -19,8 +19,8 @@ use std::fmt;
 
 use composite::{
     mix, parallel_map_indexed, CallError, ComponentId, EscalationPolicy, Executor, InterfaceCall,
-    Kernel, KernelAccess, MetricsSnapshot, Priority, RunExit, ThreadId, ThreadState, TraceShard,
-    Value, DEFAULT_TRACE_CAPACITY,
+    Kernel, KernelAccess, MetricsSnapshot, Priority, RunExit, SeriesSnapshot, SimTime, ThreadId,
+    ThreadState, TraceShard, Value, DEFAULT_TRACE_CAPACITY,
 };
 use sg_services::api::ClientEnd;
 use sg_services::workloads::{
@@ -103,6 +103,10 @@ pub struct CampaignConfig {
     /// Record a flight-recorder trace of every shard (off by default;
     /// enabled by the harnesses' `--trace` flag).
     pub trace: bool,
+    /// Windowed-telemetry window width in simulated nanoseconds; 0 (the
+    /// default) disables the series. Enabled by the harnesses'
+    /// `--series` flag.
+    pub series_window_ns: u64,
     /// Fault-scheduling regime (single / burst / during-recovery /
     /// cascade). Non-[`CampaignMode::Single`] modes also arm the
     /// kernel's reboot-storm escalation.
@@ -124,6 +128,7 @@ impl Default for CampaignConfig {
             latent_call_cap: 48,
             fault_mask: 0xFFFF_FFFF,
             trace: false,
+            series_window_ns: 0,
             mode: CampaignMode::Single,
             elide: false,
         }
@@ -478,6 +483,10 @@ pub struct CampaignResult {
     /// Flight-recorder shards (one per campaign shard, in shard order;
     /// empty unless [`CampaignConfig::trace`] is set).
     pub trace: Vec<TraceShard>,
+    /// Windowed telemetry accumulated across every machine (re)boot the
+    /// shard performed (empty unless
+    /// [`CampaignConfig::series_window_ns`] is nonzero).
+    pub series: SeriesSnapshot,
 }
 
 /// Run one shard of the campaign against `iface`.
@@ -498,6 +507,7 @@ pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> Cam
         .expect("shard index within plan");
     let mut row = CampaignRow::new(row_label(iface));
     let mut metrics = MetricsSnapshot::default();
+    let mut series = SeriesSnapshot::default();
     let vname = match cfg.variant {
         Variant::SuperGlue => "superglue",
         Variant::C3 => "c3",
@@ -514,6 +524,11 @@ pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> Cam
             tb.runtime
                 .kernel_mut()
                 .enable_tracing(DEFAULT_TRACE_CAPACITY);
+        }
+        if cfg.series_window_ns > 0 {
+            tb.runtime
+                .kernel_mut()
+                .enable_telemetry(SimTime(cfg.series_window_ns));
         }
         if cfg.mode != CampaignMode::Single {
             // Correlated regimes also arm reboot-storm escalation so
@@ -641,11 +656,13 @@ pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> Cam
                 // continuing (degradation awaits the booter's cold
                 // restart, which the fresh boot embodies).
                 metrics.merge(&MetricsSnapshot::from_kernel(ctx.tb.runtime.kernel()));
+                series.merge(&SeriesSnapshot::from_kernel(ctx.tb.runtime.kernel()));
                 drain_trace(&mut trace, &mut ctx);
                 continue 'reboot;
             }
         }
         metrics.merge(&MetricsSnapshot::from_kernel(ctx.tb.runtime.kernel()));
+        series.merge(&SeriesSnapshot::from_kernel(ctx.tb.runtime.kernel()));
         drain_trace(&mut trace, &mut ctx);
         break;
     }
@@ -654,6 +671,7 @@ pub fn run_shard(iface: &'static str, cfg: &CampaignConfig, shard: usize) -> Cam
         row,
         metrics,
         trace,
+        series,
     }
 }
 
@@ -738,11 +756,13 @@ pub fn merge_shards<'a>(
         row: CampaignRow::new(row_label(iface)),
         metrics: MetricsSnapshot::default(),
         trace: Vec::new(),
+        series: SeriesSnapshot::default(),
     };
     for s in shards {
         out.row.merge(&s.row);
         out.metrics.merge(&s.metrics);
         out.trace.extend(s.trace.iter().cloned());
+        out.series.merge(&s.series);
     }
     out
 }

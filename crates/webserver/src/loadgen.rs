@@ -10,7 +10,8 @@ use std::rc::Rc;
 
 use composite::{
     mix, CostModel, Executor, InterfaceCall, Kernel, KernelAccess, MetricsSnapshot, Priority,
-    RunExit, SimTime, StepResult, ThreadId, TraceShard, Value, Workload, DEFAULT_TRACE_CAPACITY,
+    RunExit, SeriesSnapshot, SimTime, StepResult, ThreadId, TraceShard, Value, Workload,
+    DEFAULT_TRACE_CAPACITY,
 };
 use sg_c3::{FtRuntime, RecoveryPolicy};
 use sg_services::api::ClientEnd;
@@ -81,6 +82,9 @@ pub struct Fig7Config {
     /// Record a flight-recorder trace of each run (off by default;
     /// enabled by the harness's `--trace` flag).
     pub trace: bool,
+    /// Windowed-telemetry window width ([`SimTime::ZERO`] = off;
+    /// enabled by the harness's `--series` flag).
+    pub series_window: SimTime,
 }
 
 impl Default for Fig7Config {
@@ -96,6 +100,7 @@ impl Default for Fig7Config {
             seed: 0xF167_0007,
             repetitions: 1,
             trace: false,
+            series_window: SimTime::ZERO,
         }
     }
 }
@@ -157,6 +162,9 @@ pub struct Fig7Result {
     pub unrecovered: u64,
     /// Per-component recovery-observability counters for this run.
     pub metrics: MetricsSnapshot,
+    /// Windowed telemetry of the run (empty unless
+    /// [`Fig7Config::series_window`] is nonzero).
+    pub telemetry: SeriesSnapshot,
     /// Flight-recorder trace of the run (when [`Fig7Config::trace`]).
     pub trace: Option<TraceShard>,
 }
@@ -187,6 +195,9 @@ fn run_apache(cfg: &Fig7Config, rep: u64) -> Fig7Result {
     if cfg.trace {
         k.enable_tracing(DEFAULT_TRACE_CAPACITY);
     }
+    if cfg.series_window > SimTime::ZERO {
+        k.enable_telemetry(cfg.series_window);
+    }
     let client = k.add_client_component("ab");
     let mut site = std::collections::BTreeMap::new();
     site.insert("/index.html".to_owned(), vec![b'x'; 1024]);
@@ -214,6 +225,7 @@ fn run_apache(cfg: &Fig7Config, rep: u64) -> Fig7Result {
         }
     }
     let metrics = MetricsSnapshot::from_kernel(&k);
+    let telemetry = SeriesSnapshot::from_kernel(&k);
     let trace = take_run_trace(&mut k, WebVariant::Apache, rep);
     drop(ex);
     let series = Rc::try_unwrap(series)
@@ -230,6 +242,7 @@ fn run_apache(cfg: &Fig7Config, rep: u64) -> Fig7Result {
         faults_injected: 0,
         unrecovered: 0,
         metrics,
+        telemetry,
         trace,
     }
 }
@@ -353,6 +366,9 @@ fn run_composite(variant: WebVariant, cfg: &Fig7Config, rep: u64) -> Fig7Result 
             .kernel_mut()
             .enable_tracing(DEFAULT_TRACE_CAPACITY);
     }
+    if cfg.series_window > SimTime::ZERO {
+        tb.runtime.kernel_mut().enable_telemetry(cfg.series_window);
+    }
 
     let series = Rc::new(RefCell::new(ThroughputSeries::per_second()));
     let setup_thread = tb.spawn_thread(tb.ids.app1, Priority(3));
@@ -423,6 +439,7 @@ fn run_composite(variant: WebVariant, cfg: &Fig7Config, rep: u64) -> Fig7Result 
     }
 
     let metrics = MetricsSnapshot::from_kernel(tb.runtime.kernel());
+    let telemetry = SeriesSnapshot::from_kernel(tb.runtime.kernel());
     let trace = take_run_trace(tb.runtime.kernel_mut(), variant, rep);
     drop(ex);
     drop(site);
@@ -440,6 +457,7 @@ fn run_composite(variant: WebVariant, cfg: &Fig7Config, rep: u64) -> Fig7Result 
         faults_injected,
         unrecovered: tb.runtime.stats().unrecovered,
         metrics,
+        telemetry,
         trace,
     }
 }

@@ -10,7 +10,8 @@ use composite::{
     parallel_map_indexed, shards_to_chrome, shards_to_jsonl, InterfaceCall as _, KernelAccess as _,
     MetricsSnapshot, SimTime, TraceShard,
 };
-use sg_bench::{rig, Rig, SERVICES};
+use sg_bench::stat::{avail_report, parse_trace_text};
+use sg_bench::{rig, series_to_jsonl, Rig, SERVICES};
 use sg_c3::RecoveryStats;
 use sg_swifi::{run_campaign_parallel, CampaignConfig};
 use sg_webserver::{run_fig7_rep, Fig7Config, WebVariant};
@@ -462,4 +463,67 @@ fn step_wrapper_walk_is_deterministic() {
     assert_eq!(ka.state(), kb.state());
     assert_eq!(snap_a, snap_b);
     assert_eq!(trace_a, trace_b, "walk traces must be byte-identical");
+}
+
+// ---------------------------------------------------------------------
+// Recovery-SLO analytics: the `--series` telemetry and the `sgstat
+// avail` summaries are derived artifacts of the campaign — they must
+// inherit the byte-identical-for-any-jobs contract, and reruns must
+// reproduce them exactly.
+// ---------------------------------------------------------------------
+
+/// One campaign with series + trace capture; returns the exact
+/// `--series` file bytes and the exact `sgstat avail` summary text.
+fn campaign_analytics(iface: &'static str, jobs: usize) -> (String, String) {
+    let cfg = CampaignConfig {
+        injections: 50,
+        seed: 0x5105_7A70,
+        trace: true,
+        series_window_ns: composite::DEFAULT_SERIES_WINDOW.0,
+        ..CampaignConfig::default()
+    };
+    let result = run_campaign_parallel(iface, &cfg, jobs);
+    let series = series_to_jsonl(
+        cfg.series_window_ns,
+        &[(format!("table2/{iface}/superglue"), &result.series)],
+    );
+    let jsonl = shards_to_jsonl(&result.trace);
+    let shards = parse_trace_text(&jsonl).expect("trace parses");
+    let avail = avail_report(&shards).render();
+    (series, avail)
+}
+
+#[test]
+fn series_bytes_identical_across_jobs_and_reruns() {
+    let (series_1, avail_1) = campaign_analytics("evt", 1);
+    let (series_8, avail_8) = campaign_analytics("evt", 8);
+    assert_eq!(
+        series_1, series_8,
+        "--series output must not depend on --jobs"
+    );
+    assert_eq!(
+        avail_1, avail_8,
+        "sgstat avail summaries must not depend on --jobs"
+    );
+    let (series_again, avail_again) = campaign_analytics("evt", 8);
+    assert_eq!(series_1, series_again, "--series must be replayable");
+    assert_eq!(avail_1, avail_again, "sgstat avail must be replayable");
+    assert!(
+        series_1.lines().count() > 1,
+        "series capture must produce rows, not just the header"
+    );
+    assert!(
+        avail_1.contains("conservation: OK"),
+        "fixed-seed campaign books must balance:\n{avail_1}"
+    );
+}
+
+#[test]
+fn odd_job_counts_preserve_series_bytes() {
+    let (baseline, avail_base) = campaign_analytics("lock", 1);
+    for jobs in [2, 3, 5] {
+        let (series, avail) = campaign_analytics("lock", jobs);
+        assert_eq!(baseline, series, "jobs = {jobs}");
+        assert_eq!(avail_base, avail, "jobs = {jobs}");
+    }
 }
