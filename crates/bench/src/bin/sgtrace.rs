@@ -668,10 +668,15 @@ fn conforms(seq: &[String], plans: &[Vec<String>]) -> bool {
 fn cmd_verify(path: &str) -> Result<ExitCode, String> {
     let shards = parse_trace(path)?;
     let compiled = superglue::compile_all().map_err(|e| format!("shipped IDL: {e}"))?;
-    let plans: BTreeMap<String, Vec<Vec<String>>> = compiled
+    let mut plans: BTreeMap<String, Vec<Vec<String>>> = compiled
         .iter()
         .map(|(iface, c)| (iface.to_owned(), plans_for(&c.stub_spec)))
         .collect();
+    // The pipeline macro-benchmark's two channel components both speak
+    // the chan interface under their own kernel component names.
+    let chan_plans = plans_for(&sg_pipeline::compile_chan().stub_spec);
+    plans.insert("chan_ab".to_owned(), chan_plans.clone());
+    plans.insert("chan_bc".to_owned(), chan_plans);
 
     let mut checked = 0u64;
     let mut skipped_untagged = 0u64;

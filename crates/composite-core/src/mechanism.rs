@@ -1,11 +1,17 @@
-//! The eight SuperGlue/C³ recovery mechanisms (§III of the paper).
+//! The SuperGlue/C³ recovery mechanisms (§III of the paper), plus the
+//! two channel-recovery extensions of the streaming pipeline workload.
 //!
 //! The enum lives in the pure core because the step function reports
 //! mechanism firings as [`Effect::MechanismFired`](crate::effect::Effect)
 //! data; the runtime shell (`composite::metrics`) folds those effects
 //! into its σ-table counters.
+//!
+//! The paper's eight mechanisms (R0–U0) come first and keep their dense
+//! indices; the channel extensions (DL0 dead-letter routing, CR0
+//! committed-cursor replay) are appended so existing counter layouts
+//! stay stable.
 
-/// The eight recovery mechanisms of the paper, in presentation order.
+/// The recovery mechanisms, in presentation order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Mechanism {
     /// Recovery-walk replay: a σ-walk function re-executed to rebuild a
@@ -29,10 +35,18 @@ pub enum Mechanism {
     G1,
     /// Upcall into the descriptor's creating component.
     U0,
+    /// Dead-letter routing: a message that repeatedly faulted its
+    /// consumer is diverted to the dead-letter queue instead of being
+    /// re-delivered (showstopper escalation).
+    Dl0,
+    /// Committed-cursor replay: a rebooted channel endpoint re-seated at
+    /// its last committed cursor (exactly-once resume).
+    Cr0,
 }
 
-/// All mechanisms, in presentation order (R0 T0 T1 D0 D1 G0 G1 U0).
-pub const MECHANISMS: [Mechanism; 8] = [
+/// All mechanisms, in presentation order
+/// (R0 T0 T1 D0 D1 G0 G1 U0 DL0 CR0).
+pub const MECHANISMS: [Mechanism; 10] = [
     Mechanism::R0,
     Mechanism::T0,
     Mechanism::T1,
@@ -41,6 +55,8 @@ pub const MECHANISMS: [Mechanism; 8] = [
     Mechanism::G0,
     Mechanism::G1,
     Mechanism::U0,
+    Mechanism::Dl0,
+    Mechanism::Cr0,
 ];
 
 impl Mechanism {
@@ -56,6 +72,8 @@ impl Mechanism {
             Mechanism::G0 => "G0",
             Mechanism::G1 => "G1",
             Mechanism::U0 => "U0",
+            Mechanism::Dl0 => "DL0",
+            Mechanism::Cr0 => "CR0",
         }
     }
 

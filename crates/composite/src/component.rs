@@ -114,6 +114,31 @@ impl ServiceCtx<'_> {
             .record_mechanism(self.this, m, 1, self.thread, SimTime::ZERO);
     }
 
+    /// Count one dead-letter escalation (**DL0**) attributed to this
+    /// component and emit the matching
+    /// [`TraceEventKind`](crate::trace::TraceEventKind::DeadLetter)
+    /// flight-recorder event: message `msg` on channel descriptor `desc`
+    /// faulted its consumer `deliveries` times and is routed to the
+    /// dead-letter queue instead of being re-delivered.
+    pub fn note_dead_letter(&mut self, desc: i64, msg: i64, deliveries: u64) {
+        self.kernel.record_mechanism(
+            self.this,
+            crate::metrics::Mechanism::Dl0,
+            1,
+            self.thread,
+            SimTime::ZERO,
+        );
+        self.kernel.trace_instant(
+            self.this,
+            self.thread,
+            crate::trace::TraceEventKind::DeadLetter {
+                desc,
+                msg,
+                deliveries,
+            },
+        );
+    }
+
     /// Nested synchronous invocation from this component to another
     /// (e.g. RamFS → storage).
     ///

@@ -1,4 +1,4 @@
-//! Recovery-observability metrics: per-component counters for the eight
+//! Recovery-observability metrics: per-component counters for the
 //! SuperGlue/C³ recovery mechanisms plus simulated-time recovery
 //! latency.
 //!
@@ -7,7 +7,10 @@
 //! wakeup, **T1** on-demand (thread-affine, deferred) recovery, **D0**
 //! descriptor/subtree teardown, **D1** parent-first recovery ordering,
 //! **G0** storage creator lookup/record, **G1** redundant data storage,
-//! and **U0** upcall to the creating component. The recovery runtimes
+//! and **U0** upcall to the creating component. The streaming-pipeline
+//! workload appends two channel-recovery mechanisms: **DL0** dead-letter
+//! routing of showstopper messages and **CR0** committed-cursor replay
+//! after an endpoint reboot. The recovery runtimes
 //! (`sg-c3` hand-written stubs and the `superglue` compiled-stub
 //! interpreter) increment these counters at the moment the mechanism
 //! fires; the harness binaries snapshot them per run and dump JSON-lines
@@ -33,7 +36,14 @@ pub use composite_core::mechanism::{Mechanism, MECHANISMS};
 
 /// Schema version of the `--metrics` JSON-lines emitter (the `"v"` field
 /// on every row). Bump when a field changes meaning.
-pub const METRICS_SCHEMA_VERSION: u64 = 1;
+///
+/// * **v2** — the `mechanisms` object gained the `DL0` (dead-letter
+///   routing) and `CR0` (committed-cursor replay) channel-recovery
+///   counters, appended after `U0`. Existing keys are unchanged, so v1
+///   consumers that index by name keep working; strict-shape consumers
+///   must accept the two new keys.
+/// * **v1** — initial schema: the paper's eight mechanisms (R0–U0).
+pub const METRICS_SCHEMA_VERSION: u64 = 2;
 
 /// Simulated-time latency statistic: count/sum/min/max plus a log₂
 /// histogram of nanosecond durations (bucket `i` holds durations in
@@ -169,7 +179,7 @@ impl LatencyStat {
 /// Live per-component mechanism counters, written on recovery hot paths.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct ComponentCounters {
-    mechanisms: [u64; 8],
+    mechanisms: [u64; 10],
     recovery_latency: LatencyStat,
 }
 
@@ -234,7 +244,7 @@ pub struct MetricsRow {
     pub degraded_rejections: u64,
     pub nested_faults: u64,
     pub cold_restarts: u64,
-    pub mechanisms: [u64; 8],
+    pub mechanisms: [u64; 10],
     pub recovery_latency: LatencyStat,
 }
 
@@ -421,7 +431,7 @@ mod tests {
         let dump = s.to_json_lines("test/ctx");
         let lines: Vec<&str> = dump.lines().collect();
         assert_eq!(lines.len(), 2, "one component + total");
-        assert!(lines[0].starts_with(r#"{"v":1,"#), "schema version leads");
+        assert!(lines[0].starts_with(r#"{"v":2,"#), "schema version leads");
         assert!(lines[0].contains(r#""component":"lock""#));
         assert!(lines[0].contains(r#""U0":2"#));
         assert!(lines[1].contains(r#""component":"*total*""#));

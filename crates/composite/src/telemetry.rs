@@ -29,7 +29,12 @@ use crate::time::SimTime;
 
 /// Schema version of the `--series` JSON-lines emitter (the `"v"` field
 /// on the header and every row). Bump when a field changes meaning.
-pub const SERIES_SCHEMA_VERSION: u64 = 1;
+///
+/// * **v2** — the per-window `mechanisms` object gained the `DL0` and
+///   `CR0` channel-recovery counters, appended after `U0` (same change
+///   as metrics schema v2).
+/// * **v1** — initial schema: the paper's eight mechanisms (R0–U0).
+pub const SERIES_SCHEMA_VERSION: u64 = 2;
 
 /// Default window width for the harnesses' `--series` flag: 1 ms of
 /// simulated time, fine enough to resolve individual recovery episodes
@@ -45,7 +50,7 @@ pub struct SeriesCell {
     pub faults: u64,
     /// Mechanism firings attributed to the window the firing started in,
     /// indexed like [`MECHANISMS`].
-    pub mechanisms: [u64; 8],
+    pub mechanisms: [u64; 10],
     /// Recovery-episode latencies attributed to the window the episode
     /// started in (so a window's downtime never exceeds lookahead).
     pub recovery_latency: LatencyStat,
@@ -381,7 +386,7 @@ mod tests {
         let dump = s.to_json_lines("test/ctx");
         let lines: Vec<&str> = dump.lines().collect();
         assert_eq!(lines.len(), 1);
-        assert!(lines[0].starts_with(r#"{"v":1,"#));
+        assert!(lines[0].starts_with(r#"{"v":2,"#));
         assert!(lines[0].contains(r#""component":"lock""#));
         assert!(lines[0].contains(r#""window":3"#));
         assert!(lines[0].contains(r#""t_start_ns":3000000"#));

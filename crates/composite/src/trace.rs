@@ -125,6 +125,16 @@ pub enum TraceEventKind {
     DescriptorClosed { desc: i64, dropped: u64 },
     /// A kernel/booter-initiated upcall dispatched `function`.
     Upcall { function: String },
+    /// A showstopper message was routed to the dead-letter queue:
+    /// message `msg` on channel descriptor `desc` faulted its consumer
+    /// `deliveries` times and is escalated past further re-delivery (the
+    /// DL0 mechanism, sitting between watchdog detection and the
+    /// reboot-storm backoff in the escalation ladder).
+    DeadLetter {
+        desc: i64,
+        msg: i64,
+        deliveries: u64,
+    },
     /// The recovery episode rooted at `parent` closed; `attributed` is
     /// the total simulated time its timed events accumulated.
     EpisodeEnd { attributed: SimTime },
@@ -150,6 +160,7 @@ impl TraceEventKind {
             TraceEventKind::DescriptorCreated { .. } => "desc_created",
             TraceEventKind::DescriptorClosed { .. } => "desc_closed",
             TraceEventKind::Upcall { .. } => "upcall",
+            TraceEventKind::DeadLetter { .. } => "dead_letter",
             TraceEventKind::EpisodeEnd { .. } => "episode_end",
         }
     }
@@ -171,6 +182,7 @@ impl TraceEventKind {
                 | TraceEventKind::Reboot
                 | TraceEventKind::WalkStep { .. }
                 | TraceEventKind::Upcall { .. }
+                | TraceEventKind::DeadLetter { .. }
                 | TraceEventKind::EpisodeEnd { .. }
         )
     }
@@ -255,6 +267,15 @@ impl TraceEvent {
             }
             TraceEventKind::Upcall { function } => {
                 j.push("function", function.as_str());
+            }
+            TraceEventKind::DeadLetter {
+                desc,
+                msg,
+                deliveries,
+            } => {
+                j.push("desc", *desc)
+                    .push("msg", *msg)
+                    .push("deliveries", *deliveries);
             }
             TraceEventKind::EpisodeEnd { attributed } => {
                 j.push("attributed", attributed.0);
@@ -627,6 +648,9 @@ fn chrome_name(ev: &TraceEvent, names: &[String]) -> String {
         TraceEventKind::DescriptorCreated { desc } => format!("{comp} desc+{desc}"),
         TraceEventKind::DescriptorClosed { desc, .. } => format!("{comp} desc-{desc}"),
         TraceEventKind::Upcall { function } => format!("upcall {comp}.{function}"),
+        TraceEventKind::DeadLetter {
+            msg, deliveries, ..
+        } => format!("DEAD-LETTER {comp} msg {msg} (x{deliveries})"),
         TraceEventKind::EpisodeEnd { .. } => format!("episode end {comp}"),
     }
 }

@@ -1,0 +1,432 @@
+//! The three pipeline stages — Generator → Worker → Logger — as
+//! closed-loop [`Workload`]s over the bounded-channel service.
+//!
+//! Every stage follows the peek-before-commit discipline end to end:
+//!
+//! * the **Generator** sends `job:<n>` payloads (every `poison_every`-th
+//!   one a `poison:<n>` showstopper) with *its own* monotone sequence
+//!   numbers, so a stub-level redo of a faulted send deduplicates at the
+//!   channel;
+//! * the **Worker** peeks a job from the inbound channel, charges its
+//!   processing cost, forwards the transformed payload downstream, and
+//!   only then commits its inbound cursor — a fault anywhere in that
+//!   window replays from the committed cursor and the idempotent
+//!   forward send collapses the duplicate;
+//! * the **Logger** peeks, commits, and only *after* a successful
+//!   commit appends the payload to the shared committed-output log —
+//!   the observable effect the exactly-once differential tests compare
+//!   byte for byte.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use composite::{CallError, InterfaceCall, KernelAccess, SimTime, StepResult, ThreadId, Workload};
+use sg_services::api::ClientEnd;
+
+use crate::channel::{POISON_PREFIX, ROLE_CONSUMER, ROLE_PRODUCER};
+
+/// Typed client wrappers for the `chan` interface.
+pub mod chan {
+    use super::{CallError, ClientEnd, InterfaceCall};
+    use composite::Value;
+
+    /// Open an endpoint on `chan_no` with the given role.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CallError`].
+    pub fn open<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        chan_no: i64,
+        role: i64,
+    ) -> Result<i64, CallError> {
+        Ok(end
+            .call(
+                ctx,
+                "chan_open",
+                &[
+                    Value::from(end.client.0),
+                    Value::Int(chan_no),
+                    Value::Int(role),
+                ],
+            )?
+            .int()
+            .unwrap_or(-1))
+    }
+
+    /// Enqueue `payload` under the producer-assigned `seq`.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::WouldBlock`] while the ring is full; others as-is.
+    pub fn send<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        cid: i64,
+        seq: i64,
+        payload: Vec<u8>,
+    ) -> Result<(), CallError> {
+        end.call(
+            ctx,
+            "chan_send",
+            &[
+                Value::from(end.client.0),
+                Value::Int(cid),
+                Value::Int(seq),
+                Value::from(payload),
+            ],
+        )
+        .map(|_| ())
+    }
+
+    /// Read the message at the cursor without consuming it.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::WouldBlock`] while the channel is empty.
+    pub fn peek<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        cid: i64,
+    ) -> Result<Vec<u8>, CallError> {
+        let v = end.call(
+            ctx,
+            "chan_peek",
+            &[Value::from(end.client.0), Value::Int(cid)],
+        )?;
+        Ok(v.bytes().map(<[u8]>::to_vec).unwrap_or_default())
+    }
+
+    /// Commit the peeked message; returns the new cursor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CallError`].
+    pub fn commit<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        cid: i64,
+    ) -> Result<i64, CallError> {
+        Ok(end
+            .call(
+                ctx,
+                "chan_commit",
+                &[Value::from(end.client.0), Value::Int(cid)],
+            )?
+            .int()
+            .unwrap_or(-1))
+    }
+
+    /// Close an endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CallError`].
+    pub fn close<C: InterfaceCall>(
+        ctx: &mut C,
+        end: &ClientEnd,
+        cid: i64,
+    ) -> Result<(), CallError> {
+        end.call(
+            ctx,
+            "chan_close",
+            &[Value::from(end.client.0), Value::Int(cid)],
+        )
+        .map(|_| ())
+    }
+}
+
+/// The source stage: emits a fixed budget of jobs.
+#[derive(Debug)]
+pub struct Generator {
+    end: ClientEnd,
+    chan_no: i64,
+    cid: Option<i64>,
+    next_seq: i64,
+    jobs: u64,
+    /// Every `poison_every`-th job (0 = never) is a showstopper.
+    poison_every: u64,
+}
+
+impl Generator {
+    /// A generator emitting `jobs` messages on `chan_no`.
+    #[must_use]
+    pub fn new(end: ClientEnd, chan_no: i64, jobs: u64, poison_every: u64) -> Self {
+        Self {
+            end,
+            chan_no,
+            cid: None,
+            next_seq: 0,
+            jobs,
+            poison_every,
+        }
+    }
+
+    /// Jobs sent so far.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.next_seq as u64
+    }
+
+    /// Whether job `n` of a schedule poisoning every `every`-th job is a
+    /// showstopper (the first poison is job `every - 1`).
+    #[must_use]
+    pub fn is_poison(n: u64, every: u64) -> bool {
+        every != 0 && n % every == every - 1
+    }
+
+    /// The payload of job `n` under this generator's poison schedule.
+    #[must_use]
+    pub fn payload(n: u64, every: u64) -> Vec<u8> {
+        if Self::is_poison(n, every) {
+            format!("{}:{n}", String::from_utf8_lossy(POISON_PREFIX)).into_bytes()
+        } else {
+            format!("job:{n}").into_bytes()
+        }
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for Generator {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        let cid = match self.cid {
+            Some(c) => c,
+            None => match chan::open(ctx, &self.end, self.chan_no, ROLE_PRODUCER) {
+                Ok(c) => {
+                    self.cid = Some(c);
+                    return StepResult::Yield;
+                }
+                Err(CallError::WouldBlock) => return StepResult::Blocked,
+                Err(e) => return StepResult::Crashed(e.to_string()),
+            },
+        };
+        if self.next_seq as u64 >= self.jobs {
+            return StepResult::Done;
+        }
+        let payload = Self::payload(self.next_seq as u64, self.poison_every);
+        match chan::send(ctx, &self.end, cid, self.next_seq, payload) {
+            Ok(()) => {
+                self.next_seq += 1;
+                StepResult::Yield
+            }
+            Err(CallError::WouldBlock) => StepResult::Blocked,
+            Err(e) => StepResult::Crashed(e.to_string()),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum WorkerState {
+    Peek,
+    Forward(Vec<u8>),
+    Commit,
+}
+
+/// The middle stage: peek → process → forward → commit.
+#[derive(Debug)]
+pub struct Worker {
+    in_end: ClientEnd,
+    out_end: ClientEnd,
+    in_no: i64,
+    out_no: i64,
+    in_cid: Option<i64>,
+    out_cid: Option<i64>,
+    state: WorkerState,
+    out_seq: i64,
+    work: SimTime,
+    processed: u64,
+}
+
+impl Worker {
+    /// A worker consuming `in_no` and producing on `out_no`, charging
+    /// `work` per message.
+    #[must_use]
+    pub fn new(
+        in_end: ClientEnd,
+        out_end: ClientEnd,
+        in_no: i64,
+        out_no: i64,
+        work: SimTime,
+    ) -> Self {
+        Self {
+            in_end,
+            out_end,
+            in_no,
+            out_no,
+            in_cid: None,
+            out_cid: None,
+            state: WorkerState::Peek,
+            out_seq: 0,
+            work,
+            processed: 0,
+        }
+    }
+
+    /// Messages fully processed (forwarded *and* committed).
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The worker's transformation of an inbound payload.
+    #[must_use]
+    pub fn transform(payload: &[u8]) -> Vec<u8> {
+        let mut out = b"done:".to_vec();
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for Worker {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        let in_cid = match self.in_cid {
+            Some(c) => c,
+            None => match chan::open(ctx, &self.in_end, self.in_no, ROLE_CONSUMER) {
+                Ok(c) => {
+                    self.in_cid = Some(c);
+                    return StepResult::Yield;
+                }
+                Err(CallError::WouldBlock) => return StepResult::Blocked,
+                Err(e) => return StepResult::Crashed(e.to_string()),
+            },
+        };
+        let out_cid = match self.out_cid {
+            Some(c) => c,
+            None => match chan::open(ctx, &self.out_end, self.out_no, ROLE_PRODUCER) {
+                Ok(c) => {
+                    self.out_cid = Some(c);
+                    return StepResult::Yield;
+                }
+                Err(CallError::WouldBlock) => return StepResult::Blocked,
+                Err(e) => return StepResult::Crashed(e.to_string()),
+            },
+        };
+        match &self.state {
+            WorkerState::Peek => match chan::peek(ctx, &self.in_end, in_cid) {
+                Ok(payload) => {
+                    // The application-level processing cost.
+                    ctx.kernel_mut().charge(self.work);
+                    self.state = WorkerState::Forward(Self::transform(&payload));
+                    StepResult::Yield
+                }
+                Err(CallError::WouldBlock) => StepResult::Blocked,
+                Err(e) => StepResult::Crashed(e.to_string()),
+            },
+            WorkerState::Forward(payload) => {
+                // Same seq on every retry of this message: the channel
+                // deduplicates a redone forward.
+                match chan::send(ctx, &self.out_end, out_cid, self.out_seq, payload.clone()) {
+                    Ok(()) => {
+                        self.state = WorkerState::Commit;
+                        StepResult::Yield
+                    }
+                    Err(CallError::WouldBlock) => StepResult::Blocked,
+                    Err(e) => StepResult::Crashed(e.to_string()),
+                }
+            }
+            WorkerState::Commit => match chan::commit(ctx, &self.in_end, in_cid) {
+                Ok(_) => {
+                    self.out_seq += 1;
+                    self.processed += 1;
+                    self.state = WorkerState::Peek;
+                    StepResult::Yield
+                }
+                Err(CallError::WouldBlock) => StepResult::Blocked,
+                Err(e) => StepResult::Crashed(e.to_string()),
+            },
+        }
+    }
+}
+
+#[derive(Debug)]
+enum LoggerState {
+    Peek,
+    Commit(Vec<u8>),
+}
+
+/// The sink stage: commits each message, then appends it to the
+/// committed-output log — the run's observable effect.
+#[derive(Debug)]
+pub struct SinkLogger {
+    end: ClientEnd,
+    chan_no: i64,
+    cid: Option<i64>,
+    state: LoggerState,
+    /// Stop after this many committed records (`None` = unbounded).
+    expected: Option<u64>,
+    delivered: u64,
+    output: Rc<RefCell<Vec<String>>>,
+}
+
+impl SinkLogger {
+    /// A logger draining `chan_no` into `output`.
+    #[must_use]
+    pub fn new(
+        end: ClientEnd,
+        chan_no: i64,
+        expected: Option<u64>,
+        output: Rc<RefCell<Vec<String>>>,
+    ) -> Self {
+        Self {
+            end,
+            chan_no,
+            cid: None,
+            state: LoggerState::Peek,
+            expected,
+            delivered: 0,
+            output,
+        }
+    }
+
+    /// Records committed so far.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl<Ctx: InterfaceCall + KernelAccess> Workload<Ctx> for SinkLogger {
+    fn step(&mut self, ctx: &mut Ctx, _thread: ThreadId) -> StepResult {
+        let cid = match self.cid {
+            Some(c) => c,
+            None => match chan::open(ctx, &self.end, self.chan_no, ROLE_CONSUMER) {
+                Ok(c) => {
+                    self.cid = Some(c);
+                    return StepResult::Yield;
+                }
+                Err(CallError::WouldBlock) => return StepResult::Blocked,
+                Err(e) => return StepResult::Crashed(e.to_string()),
+            },
+        };
+        match &self.state {
+            LoggerState::Peek => {
+                if self.expected.is_some_and(|n| self.delivered >= n) {
+                    return StepResult::Done;
+                }
+                match chan::peek(ctx, &self.end, cid) {
+                    Ok(payload) => {
+                        self.state = LoggerState::Commit(payload);
+                        StepResult::Yield
+                    }
+                    Err(CallError::WouldBlock) => StepResult::Blocked,
+                    Err(e) => StepResult::Crashed(e.to_string()),
+                }
+            }
+            LoggerState::Commit(payload) => {
+                let line = String::from_utf8_lossy(payload).into_owned();
+                match chan::commit(ctx, &self.end, cid) {
+                    Ok(_) => {
+                        // Only a *committed* message becomes observable
+                        // output — the exactly-once witness.
+                        self.output.borrow_mut().push(line);
+                        self.delivered += 1;
+                        self.state = LoggerState::Peek;
+                        StepResult::Yield
+                    }
+                    Err(CallError::WouldBlock) => StepResult::Blocked,
+                    Err(e) => StepResult::Crashed(e.to_string()),
+                }
+            }
+        }
+    }
+}

@@ -165,6 +165,19 @@ pub struct CompiledStubSpec {
     /// tampered certificates are detectable, and so the fact is computed
     /// honestly rather than hard-coded.
     pub elide_records: bool,
+    /// `sm_channel`: descriptors are channel endpoints with
+    /// peek-before-commit semantics. `Some(f)` names the opening
+    /// (creation) function. Recovery of such a descriptor re-seats it at
+    /// its last *committed* cursor (**CR0**) instead of replaying
+    /// observations.
+    pub channel: Option<FnId>,
+    /// `sm_cursor`: the cursor-commit function whose tracked return
+    /// value is the committed cursor position.
+    pub cursor_commit: Option<FnId>,
+    /// Metadata slot holding the committed cursor (the commit function's
+    /// `desc_data_retval` name), appended to the G0 restore plan so the
+    /// restore upcall receives the cursor as its last argument.
+    pub cursor_slot: Option<usize>,
 }
 
 impl CompiledStubSpec {
@@ -330,9 +343,21 @@ pub fn lower(spec: &InterfaceSpec) -> CompiledStubSpec {
     let recover_via: BTreeMap<FnId, FnId> = spec.recover_via.iter().copied().collect();
     let recover_block: BTreeMap<FnId, FnId> = spec.recover_block.iter().copied().collect();
 
+    // Channel interfaces: the commit function's tracked return value is
+    // the committed cursor. Intern its metadata slot so restore can read
+    // the cursor the hot path harvested on every commit (CR0).
+    let cursor_slot = spec.cursor.and_then(|cid| {
+        spec.fns[cid.index()]
+            .retval_tracked
+            .as_ref()
+            .map(|(_, name, _)| intern(&mut meta_names, name))
+    });
+
     // G0: a global interface gets a `<iface>_restore` upcall whose
     // arguments are the creator, the original id, and the creation
-    // function's tracked metadata (in declaration order).
+    // function's tracked metadata (in declaration order). Channel
+    // interfaces additionally receive the committed cursor as the final
+    // argument, so a rebooted endpoint is re-seated at its last commit.
     let restore = if spec.model.global {
         let create_sig = spec
             .fns
@@ -346,6 +371,9 @@ pub fn lower(spec: &InterfaceSpec) -> CompiledStubSpec {
                 continue;
             }
             args.push(RestoreArg::Meta(intern(&mut meta_names, &p.name)));
+        }
+        if let Some(slot) = cursor_slot {
+            args.push(RestoreArg::Meta(slot));
         }
         Some((format!("{}_restore", spec.name), args))
     } else {
@@ -388,6 +416,9 @@ pub fn lower(spec: &InterfaceSpec) -> CompiledStubSpec {
         elide_affinity: false,
         elide_translation: false,
         elide_records: false,
+        channel: spec.channel,
+        cursor_commit: spec.cursor,
+        cursor_slot,
     }
 }
 
@@ -489,6 +520,41 @@ int evt_free(componentid_t compid, desc(long evtid));
             panic!("meta")
         };
         assert_eq!(s.meta_names[slot], "grp");
+    }
+
+    const CHAN_IDL: &str = r#"
+service_global_info = {
+        desc_is_global = true,
+        desc_has_data  = true
+};
+sm_transition(chan_open, chan_commit);
+sm_transition(chan_commit, chan_commit);
+sm_creation(chan_open);
+sm_channel(chan_open);
+sm_cursor(chan_commit);
+
+desc_data_retval(long, cid)
+chan_open(desc_data(componentid_t compid), desc_data(long chan_no));
+desc_data_retval(long, cursor)
+long chan_commit(componentid_t compid, desc(long cid));
+"#;
+
+    #[test]
+    fn channel_cursor_joins_restore_plan() {
+        let spec = superglue_idl::compile_interface("chan", CHAN_IDL).unwrap();
+        let s = lower(&spec);
+        let (open_id, _) = s.fn_by_name("chan_open").unwrap();
+        let (commit_id, _) = s.fn_by_name("chan_commit").unwrap();
+        assert_eq!(s.channel, Some(open_id));
+        assert_eq!(s.cursor_commit, Some(commit_id));
+        let slot = s.cursor_slot.unwrap();
+        assert_eq!(s.meta_names[slot], "cursor");
+        // The commit function harvests the cursor on every call…
+        assert_eq!(s.fn_of(commit_id).retval, RetvalSpec::SetData(slot));
+        // …and the restore plan passes it back as the final argument.
+        let (name, args) = s.restore.as_ref().unwrap();
+        assert_eq!(name, "chan_restore");
+        assert_eq!(args.last(), Some(&RestoreArg::Meta(slot)));
     }
 
     #[test]

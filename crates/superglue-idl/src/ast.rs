@@ -85,6 +85,17 @@ pub enum SmDecl {
     /// Requesting an unprovable elision is a lint error, never a silent
     /// downgrade.
     Elide(String),
+    /// `sm_channel(f)` — this interface's descriptors are channel
+    /// endpoints opened by the creation function `f`; message-observing
+    /// functions follow peek-before-commit semantics, so recovery must
+    /// re-seat a rebooted endpoint at its last *committed* cursor rather
+    /// than replaying observations.
+    Channel(String),
+    /// `sm_cursor(f)` — `f` is the channel's cursor-commit function: its
+    /// tracked return value is the committed cursor position, harvested
+    /// into descriptor metadata on every commit and passed to the
+    /// restore upcall (CR0 committed-cursor replay).
+    Cursor(String),
 }
 
 /// A C type as written: one or more identifier words plus pointer depth

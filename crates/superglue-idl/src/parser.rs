@@ -8,7 +8,8 @@
 //! global_info := "service_global_info" "=" "{" kv ("," kv)* ","? "}" ";"
 //! kv          := IDENT "=" (true|false|solo|parent|xcparent)
 //! sm_decl     := "sm_transition" "(" IDENT "," IDENT ")" ";"
-//!              | ("sm_creation"|"sm_terminal"|"sm_block"|"sm_wakeup"|"sm_elide")
+//!              | ("sm_creation"|"sm_terminal"|"sm_block"|"sm_wakeup"|"sm_elide"
+//!                |"sm_channel"|"sm_cursor")
 //!                "(" IDENT ")" ";"
 //! fn_decl     := retval_annot? type? IDENT "(" params? ")" ";"
 //! retval_annot:= "desc_data_retval" "(" type "," IDENT ")"
@@ -104,7 +105,8 @@ impl Parser {
                         self.global_info(&mut out)?;
                     }
                     "sm_transition" | "sm_creation" | "sm_terminal" | "sm_block" | "sm_wakeup"
-                    | "sm_recover_via" | "sm_recover_block" | "sm_elide" => {
+                    | "sm_recover_via" | "sm_recover_block" | "sm_elide" | "sm_channel"
+                    | "sm_cursor" => {
                         let span = self.peek().span;
                         let kw = self.expect_ident("sm keyword")?;
                         out.sm_decls.push(self.sm_decl(&kw)?);
@@ -192,6 +194,8 @@ impl Parser {
                 "sm_block" => SmDecl::Block(first),
                 "sm_wakeup" => SmDecl::Wakeup(first),
                 "sm_elide" => SmDecl::Elide(first),
+                "sm_channel" => SmDecl::Channel(first),
+                "sm_cursor" => SmDecl::Cursor(first),
                 _ => unreachable!("caller checked the keyword"),
             }
         };
@@ -499,6 +503,19 @@ int evt_free(componentid_t compid, desc(long evtid));
         let f = parse("sm_elide(evt_trigger);\n").unwrap();
         assert_eq!(f.sm_decls, vec![SmDecl::Elide("evt_trigger".into())]);
         assert_eq!(f.sm_spans.len(), 1);
+    }
+
+    #[test]
+    fn sm_channel_and_cursor_parse() {
+        let f = parse("sm_channel(chan_open);\nsm_cursor(chan_commit);\n").unwrap();
+        assert_eq!(
+            f.sm_decls,
+            vec![
+                SmDecl::Channel("chan_open".into()),
+                SmDecl::Cursor("chan_commit".into()),
+            ]
+        );
+        assert_eq!(f.sm_spans.len(), 2);
     }
 
     #[test]

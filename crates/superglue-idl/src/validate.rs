@@ -114,6 +114,16 @@ pub struct InterfaceSpec {
     /// duplicated; whether the elision is *provable* is the certifier's
     /// job (sglint SG060–SG06x / the compiler's certificate pass).
     pub elide: Vec<FnId>,
+    /// `sm_channel(f)`: this interface's descriptors are channel
+    /// endpoints opened by `f`, and recovery follows peek-before-commit
+    /// semantics (re-seat at the last committed cursor, CR0). Validation
+    /// only resolves the name and rejects duplicates; the soundness rules
+    /// (a committed cursor exists, is tracked, and peeks are shielded
+    /// from replay) are sglint's SG070–SG07x checks.
+    pub channel: Option<FnId>,
+    /// `sm_cursor(f)`: `f` is the cursor-commit function whose tracked
+    /// return value is the committed cursor position.
+    pub cursor: Option<FnId>,
 }
 
 impl InterfaceSpec {
@@ -244,6 +254,38 @@ pub fn validate(name: &str, file: &IdlFile) -> Result<InterfaceSpec, IdlError> {
         }
     }
 
+    let mut channel = None;
+    let mut cursor = None;
+    for decl in &file.sm_decls {
+        match decl {
+            SmDecl::Channel(f) => {
+                let fid = machine.function_by_name(f).ok_or_else(|| {
+                    semantic(format!("sm_channel references undeclared function {f:?}"))
+                })?;
+                if channel.is_some() {
+                    return Err(semantic("duplicate sm_channel declaration"));
+                }
+                channel = Some(fid);
+            }
+            SmDecl::Cursor(f) => {
+                let fid = machine.function_by_name(f).ok_or_else(|| {
+                    semantic(format!("sm_cursor references undeclared function {f:?}"))
+                })?;
+                if cursor.is_some() {
+                    return Err(semantic("duplicate sm_cursor declaration"));
+                }
+                cursor = Some(fid);
+            }
+            _ => {}
+        }
+    }
+    if cursor.is_some() && channel.is_none() {
+        return Err(semantic(
+            "sm_cursor declared without sm_channel: a committed cursor only \
+             makes sense on a channel interface",
+        ));
+    }
+
     check_cross_rules(&model, &machine, &fns)?;
 
     Ok(InterfaceSpec {
@@ -254,6 +296,8 @@ pub fn validate(name: &str, file: &IdlFile) -> Result<InterfaceSpec, IdlError> {
         recover_via,
         recover_block,
         elide,
+        channel,
+        cursor,
     })
 }
 
@@ -345,7 +389,11 @@ fn lower_machine(name: &str, file: &IdlFile) -> Result<StateMachine, IdlError> {
                 let f = lookup(f)?;
                 b.wakeup(f);
             }
-            SmDecl::RecoverVia(_, _) | SmDecl::RecoverBlock(_, _) | SmDecl::Elide(_) => {
+            SmDecl::RecoverVia(_, _)
+            | SmDecl::RecoverBlock(_, _)
+            | SmDecl::Elide(_)
+            | SmDecl::Channel(_)
+            | SmDecl::Cursor(_) => {
                 // Handled after the machine is built (needs reachability
                 // and role information).
             }
@@ -637,6 +685,47 @@ int evt_free(componentid_t compid, desc(long evtid));
         assert!(err.to_string().contains("duplicate sm_elide"));
 
         let err = spec("sm_creation(f);\nsm_elide(ghost);\ndesc_data_retval(long, id)\nf();\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("undeclared function"));
+    }
+
+    #[test]
+    fn sm_channel_and_cursor_resolve() {
+        let s = spec(
+            "sm_creation(open);\nsm_transition(open, commit);\n\
+             sm_channel(open);\nsm_cursor(commit);\n\
+             desc_data_retval(long, cid)\nopen();\n\
+             desc_data_retval(long, cursor)\nlong commit(desc(long cid));\n",
+        )
+        .unwrap();
+        assert_eq!(s.channel, Some(s.fn_by_name("open").unwrap().id));
+        assert_eq!(s.cursor, Some(s.fn_by_name("commit").unwrap().id));
+    }
+
+    #[test]
+    fn duplicate_channel_decls_rejected() {
+        let err = spec(
+            "sm_creation(open);\nsm_channel(open);\nsm_channel(open);\n\
+             desc_data_retval(long, cid)\nopen();\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate sm_channel"));
+    }
+
+    #[test]
+    fn cursor_without_channel_rejected() {
+        let err = spec(
+            "sm_creation(open);\nsm_transition(open, commit);\nsm_cursor(commit);\n\
+             desc_data_retval(long, cid)\nopen();\n\
+             long commit(desc(long cid));\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("without sm_channel"));
+    }
+
+    #[test]
+    fn channel_references_must_resolve() {
+        let err = spec("sm_creation(f);\nsm_channel(ghost);\ndesc_data_retval(long, id)\nf();\n")
             .unwrap_err();
         assert!(err.to_string().contains("undeclared function"));
     }

@@ -61,7 +61,8 @@ fn main() -> ExitCode {
                 println!("state-graph shape (SG01x), recoverability of every reachable state");
                 println!("(SG02x), tracking sufficiency of every replayed argument (SG03x),");
                 println!("blocking/metadata hygiene (SG04x), compiled-stub conformance");
-                println!("(SG05x), and tracking-elision certification (SG06x). A spec with");
+                println!("(SG05x), tracking-elision certification (SG06x), and");
+                println!("channel-cursor soundness (SG07x). A spec with");
                 println!("errors is refused by the checked compiler. --emit-certs DIR writes");
                 println!("each clean spec's elision certificate to DIR/<name>.cert.json.");
                 return ExitCode::SUCCESS;

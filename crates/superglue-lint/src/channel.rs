@@ -1,0 +1,253 @@
+//! Channel-cursor soundness (`SG07x`).
+//!
+//! A channel interface (`sm_channel`) connects pipeline stages with
+//! peek-before-commit delivery: a consumer peeks the message at its
+//! cursor, processes it, then commits, and the commit's tracked return
+//! value (`sm_cursor`) is the new cursor. Recovery re-seats a rebooted
+//! endpoint at the last *committed* cursor via the G0 restore upcall —
+//! that is the whole exactly-once argument, and it only holds when three
+//! properties do:
+//!
+//! * a committed cursor exists at all (`SG070` — without one, a restored
+//!   endpoint has no position and redelivery is unbounded);
+//! * the cursor can actually ride the restore upcall (`SG071` — the
+//!   commit function's return value must be tracked in `Set` mode on a
+//!   non-creation function of a global interface);
+//! * recovery never replays a data-moving function (`SG072` — a replayed
+//!   send re-emits, a replayed peek re-observes, a replayed commit
+//!   re-advances; every effective walk must consist of creation
+//!   functions only, which `sm_recover_via` substitutions arrange).
+
+use superglue_idl::ast::{RetvalMode, SmDecl};
+use superglue_idl::InterfaceSpec;
+use superglue_sm::{FnId, State};
+
+use crate::diag::{Code, Diagnostic};
+use crate::{fmt_state, fmt_walk, recovery_target, SpanIndex};
+
+/// Run all channel checks. Interfaces with no `sm_channel` declaration
+/// are out of scope and produce nothing.
+#[must_use]
+pub fn check(spec: &InterfaceSpec, spans: &SpanIndex) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if spec.channel.is_none() {
+        return diags;
+    }
+    missing_cursor(spec, spans, &mut diags);
+    cursor_restorable(spec, spans, &mut diags);
+    replay_observes(spec, spans, &mut diags);
+    diags
+}
+
+/// `SG070`: a channel with no committed cursor.
+fn missing_cursor(spec: &InterfaceSpec, spans: &SpanIndex, diags: &mut Vec<Diagnostic>) {
+    if spec.cursor.is_some() {
+        return;
+    }
+    let span = spans.sm_span(|d| matches!(d, SmDecl::Channel(_)));
+    diags.push(
+        Diagnostic::new(
+            Code::ChannelWithoutCursor,
+            "sm_channel interface declares no sm_cursor commit function: a rebooted \
+             endpoint has no committed position to resume from, so redelivery is \
+             unbounded (at-least-once at best)",
+        )
+        .with_span(span)
+        .with_note(
+            "declare sm_cursor(<commit fn>) whose tracked return value \
+             (desc_data_retval) is the committed cursor",
+        ),
+    );
+}
+
+/// `SG071`: the committed cursor must be able to ride the G0 restore
+/// upcall — tracked, `Set`-mode, on a non-creation function, and the
+/// interface must be global so a restore plan exists to carry it.
+fn cursor_restorable(spec: &InterfaceSpec, spans: &SpanIndex, diags: &mut Vec<Diagnostic>) {
+    let Some(cid) = spec.cursor else { return };
+    let sig = &spec.fns[cid.index()];
+    let span = spans
+        .sm_span(|d| matches!(d, SmDecl::Cursor(_)))
+        .or_else(|| spans.fn_span(&sig.name));
+    let mut fail = |why: &str, note: String| {
+        diags.push(
+            Diagnostic::new(
+                Code::CursorNotRestorable,
+                format!(
+                    "committed cursor of sm_cursor function {} cannot be restored: {why}",
+                    sig.name
+                ),
+            )
+            .with_span(span)
+            .with_note(note),
+        );
+    };
+    if !spec.model.global {
+        fail(
+            "the interface is not global, so no G0 restore plan exists to carry the \
+             cursor back to a rebooted endpoint",
+            "set desc_is_global = true in service_global_info".to_owned(),
+        );
+        return;
+    }
+    if spec.machine.roles(cid).creates {
+        fail(
+            "it is a creation function, so its tracked return value is the descriptor \
+             id, not a cursor",
+            "point sm_cursor at the commit function that advances the consumer's \
+             position"
+                .to_owned(),
+        );
+        return;
+    }
+    match &sig.retval_tracked {
+        None => fail(
+            "its return value is untracked, so no metadata slot ever holds the \
+             committed position",
+            format!(
+                "annotate the declaration: desc_data_retval(long, cursor) {}(...)",
+                sig.name
+            ),
+        ),
+        Some((_, cname, RetvalMode::Accum)) => fail(
+            "its return value is tracked in accumulate mode, so restore would pass a \
+             running sum instead of the last committed position",
+            format!("track {cname:?} with desc_data_retval (Set mode), not _accum"),
+        ),
+        Some((_, _, RetvalMode::Set)) => {}
+    }
+}
+
+/// `SG072`: every effective recovery walk of a channel interface must
+/// consist of creation functions only — anything else re-observes or
+/// re-emits messages on replay.
+fn replay_observes(spec: &InterfaceSpec, spans: &SpanIndex, diags: &mut Vec<Diagnostic>) {
+    let m = &spec.machine;
+    for i in 0..m.function_count() {
+        let f = FnId(i as u32);
+        let state = State::After(f);
+        if m.recovery_walk(state).is_err() {
+            continue; // Unreachable: SG013 territory.
+        }
+        let target = recovery_target(spec, f);
+        let Ok(walk) = m.recovery_walk(State::After(target)) else {
+            continue; // SG020 already reported the missing chain.
+        };
+        let Some(&g) = walk.iter().find(|&&g| !m.roles(g).creates) else {
+            continue;
+        };
+        let (fname, gname) = (m.function_name(f), m.function_name(g));
+        diags.push(
+            Diagnostic::new(
+                Code::ChannelReplayObserves,
+                format!(
+                    "channel function {gname} is replayed on the recovery walk of state \
+                     {}: replaying a data-moving channel function re-observes or \
+                     re-emits messages, breaking exactly-once delivery",
+                    fmt_state(m, state)
+                ),
+            )
+            .with_span(spans.fn_span(gname))
+            .with_note(format!("replay walk: {}", fmt_walk(m, &walk)))
+            .with_note(format!(
+                "declare sm_recover_via({fname}, <creation fn>) so recovery collapses \
+                 to the restored endpoint"
+            )),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = superglue_idl::parser::parse(src).unwrap();
+        let spec = superglue_idl::validate::validate("t", &file).unwrap();
+        check(&spec, &SpanIndex::from_file(&file))
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    const SOUND: &str = "service_global_info = { desc_is_global = true };\n\
+         sm_creation(open);\nsm_terminal(close);\n\
+         sm_transition(open, commit);\nsm_transition(commit, commit);\n\
+         sm_transition(commit, close);\nsm_transition(open, close);\n\
+         sm_recover_via(commit, open);\n\
+         sm_channel(open);\nsm_cursor(commit);\n\
+         desc_data_retval(long, cid)\nopen(componentid_t compid, desc_data(long chan_no));\n\
+         desc_data_retval(long, cursor)\nlong commit(componentid_t compid, desc(long cid));\n\
+         int close(componentid_t compid, desc(long cid));\n";
+
+    #[test]
+    fn sound_channel_is_clean() {
+        assert_eq!(codes(&lint(SOUND)), Vec::<Code>::new());
+    }
+
+    #[test]
+    fn non_channel_interfaces_are_out_of_scope() {
+        let src = SOUND.replace("sm_channel(open);\nsm_cursor(commit);\n", "");
+        assert_eq!(codes(&lint(&src)), Vec::<Code>::new());
+    }
+
+    #[test]
+    fn channel_without_cursor_is_sg070() {
+        let src = SOUND
+            .replace("sm_cursor(commit);\n", "")
+            .replace("desc_data_retval(long, cursor)\nlong commit", "long commit");
+        let d = lint(&src);
+        assert_eq!(codes(&d), vec![Code::ChannelWithoutCursor]);
+        assert!(d[0].span.is_some(), "should point at sm_channel");
+        assert!(d[0].notes[0].contains("sm_cursor"));
+    }
+
+    #[test]
+    fn untracked_cursor_retval_is_sg071() {
+        let src = SOUND.replace("desc_data_retval(long, cursor)\nlong commit", "long commit");
+        let d = lint(&src);
+        assert_eq!(codes(&d), vec![Code::CursorNotRestorable]);
+        assert!(d[0].message.contains("untracked"));
+        assert!(d[0].notes[0].contains("desc_data_retval"));
+    }
+
+    #[test]
+    fn accumulated_cursor_is_sg071() {
+        let src = SOUND.replace(
+            "desc_data_retval(long, cursor)",
+            "desc_data_retval_accum(long, cursor)",
+        );
+        let d = lint(&src);
+        assert_eq!(codes(&d), vec![Code::CursorNotRestorable]);
+        assert!(d[0].message.contains("accumulate"));
+    }
+
+    #[test]
+    fn non_global_channel_is_sg071() {
+        let src = SOUND.replace("service_global_info = { desc_is_global = true };\n", "");
+        let d = lint(&src);
+        assert_eq!(codes(&d), vec![Code::CursorNotRestorable]);
+        assert!(d[0].message.contains("not global"));
+    }
+
+    #[test]
+    fn cursor_on_creation_fn_is_sg071() {
+        let src = SOUND.replace("sm_cursor(commit);", "sm_cursor(open);");
+        let d = lint(&src);
+        assert_eq!(codes(&d), vec![Code::CursorNotRestorable]);
+        assert!(d[0].message.contains("creation"));
+    }
+
+    #[test]
+    fn replayed_data_fn_is_sg072() {
+        // Without the recover_via substitution, recovering after(commit)
+        // replays commit itself — a re-advanced cursor.
+        let src = SOUND.replace("sm_recover_via(commit, open);\n", "");
+        let d = lint(&src);
+        assert_eq!(codes(&d), vec![Code::ChannelReplayObserves]);
+        assert!(d[0].message.contains("commit"));
+        assert!(d[0].notes[0].contains("--commit-->"));
+        assert!(d[0].notes[1].contains("sm_recover_via"));
+    }
+}

@@ -218,6 +218,14 @@ fn restore_plan(spec: &InterfaceSpec, stub: &CompiledStubSpec, diags: &mut Vec<D
                     }
                 }
             }
+            // Channel interfaces re-seat restored endpoints at the last
+            // *committed* cursor: the sm_cursor function's tracked return
+            // value rides the restore upcall after the creation metadata.
+            if let Some(cid) = spec.cursor {
+                if let Some((_, cname, _)) = &spec.fns[cid.index()].retval_tracked {
+                    want.push(format!("meta:{cname}"));
+                }
+            }
             let got: Vec<String> = args
                 .iter()
                 .map(|a| match a {

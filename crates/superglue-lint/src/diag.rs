@@ -1,7 +1,7 @@
 //! Diagnostics: stable codes, severities, spans, and rendering.
 //!
 //! Every finding of the analyzer is a [`Diagnostic`] with a stable
-//! [`Code`] (`SG001`–`SG054`), a severity, an optional source span from
+//! [`Code`] (`SG001`–`SG072`), a severity, an optional source span from
 //! the IDL lexer, a one-line message, and zero or more indented notes
 //! (counterexample state paths, fix hints). Reports render either as
 //! compiler-style human text or as JSON lines via [`composite::json`].
@@ -50,7 +50,10 @@ impl fmt::Display for Severity {
 /// * `SG04x` — blocking/wakeup and metadata hygiene;
 /// * `SG05x` — stub conformance (compiler/IR drift);
 /// * `SG06x` — tracking-elision certification (`sm_elide` requests that
-///   cannot be proven unobservable, and certificate drift).
+///   cannot be proven unobservable, and certificate drift);
+/// * `SG07x` — channel-cursor soundness (`sm_channel`/`sm_cursor`
+///   interfaces whose peek-before-commit recovery cannot deliver
+///   exactly-once replay).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum Code {
@@ -136,6 +139,19 @@ pub enum Code {
     /// argument or return value in the replay read-set): the harvest
     /// feeds replay or restore.
     ElisionLiveMetadataHarvest,
+    /// `sm_channel` without `sm_cursor`: a rebooted endpoint has no
+    /// committed position to resume from, so redelivery is unbounded
+    /// (at-least-once at best, never exactly-once).
+    ChannelWithoutCursor,
+    /// The `sm_cursor` commit function's cursor cannot ride the restore
+    /// upcall: its return value is untracked, accumulated instead of
+    /// set, it is a creation function, or the interface is not global
+    /// (no G0 restore plan exists to carry the cursor).
+    CursorNotRestorable,
+    /// A channel interface replays a non-creation function on some
+    /// effective recovery walk: replay would re-observe or re-emit
+    /// messages, breaking exactly-once delivery.
+    ChannelReplayObserves,
 }
 
 impl Code {
@@ -170,6 +186,9 @@ impl Code {
             Code::ElisionAffinityLive => "SG063",
             Code::ElisionFactsDrift => "SG064",
             Code::ElisionLiveMetadataHarvest => "SG065",
+            Code::ChannelWithoutCursor => "SG070",
+            Code::CursorNotRestorable => "SG071",
+            Code::ChannelReplayObserves => "SG072",
         }
     }
 
@@ -177,7 +196,10 @@ impl Code {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            Code::NoTerminal | Code::OrphanFunction | Code::UnusedTrackedData => Severity::Warning,
+            Code::NoTerminal
+            | Code::OrphanFunction
+            | Code::UnusedTrackedData
+            | Code::ChannelWithoutCursor => Severity::Warning,
             Code::BlockingWithoutWakeup => Severity::Note,
             _ => Severity::Error,
         }
@@ -390,6 +412,9 @@ mod tests {
             Code::ElisionAffinityLive,
             Code::ElisionFactsDrift,
             Code::ElisionLiveMetadataHarvest,
+            Code::ChannelWithoutCursor,
+            Code::CursorNotRestorable,
+            Code::ChannelReplayObserves,
         ];
         let mut strs: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
         strs.sort_unstable();

@@ -176,6 +176,13 @@ fn certify(spec: &InterfaceSpec) -> LintFacts {
                 }
             }
         }
+        // A channel's restore upcall additionally carries the committed
+        // cursor (the sm_cursor function's tracked return value).
+        if let Some(cid) = spec.cursor {
+            if let Some((_, cname, _)) = &spec.fns[cid.index()].retval_tracked {
+                live_meta.insert(cname.clone());
+            }
+        }
     }
 
     let creations: Vec<&FnSig> = spec

@@ -443,6 +443,8 @@ mod tests {
             recover_via: vec![(a, bad)],
             recover_block: vec![],
             elide: vec![],
+            channel: None,
+            cursor: None,
         };
         let d = check(&spec, &SpanIndex::empty());
         assert!(codes(&d).contains(&Code::NoReplayChain));

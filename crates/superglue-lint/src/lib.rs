@@ -30,7 +30,12 @@
 //!   (constant σ-successor, dead stores, dead harvests, dead affinity),
 //!   and the compiler's elision certificate matches an independent
 //!   recomputation, so an emitted stub can never elide anything
-//!   unproven.
+//!   unproven;
+//! * **channel-cursor soundness** ([`channel`], `SG07x`) — a
+//!   peek-before-commit channel (`sm_channel`/`sm_cursor`) declares a
+//!   committed cursor the G0 restore plan can carry, and no effective
+//!   recovery walk replays a data-moving function, so a re-seated
+//!   endpoint observes every message exactly once.
 //!
 //! The library entry points are [`lint_source`] (text → report),
 //! [`lint_parsed`] (AST → report), [`lint_spec`] (validated spec →
@@ -38,6 +43,7 @@
 //! [`superglue_compiler::compile`] that refuses to emit stubs for specs
 //! with errors. The `sglint` binary wraps [`lint_source`] for CI use.
 
+pub mod channel;
 pub mod conformance;
 pub mod diag;
 pub mod elision;
@@ -217,6 +223,7 @@ fn front_end_diag(err: &IdlError) -> Diagnostic {
 pub fn lint_spec(spec: &InterfaceSpec, spans: &SpanIndex) -> LintReport {
     let mut diags = graph::check(spec, spans);
     diags.extend(tracking::check(spec, spans));
+    diags.extend(channel::check(spec, spans));
     let stub = superglue_compiler::ir::lower(spec);
     diags.extend(conformance::check(spec, &stub));
     diags.extend(elision::check(spec, &stub, spans));

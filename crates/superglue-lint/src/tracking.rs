@@ -152,6 +152,14 @@ fn unused_tracking(spec: &InterfaceSpec, spans: &SpanIndex, diags: &mut Vec<Diag
                 }
             }
         }
+        // A channel's restore upcall additionally carries the committed
+        // cursor, so the sm_cursor function's tracked return value is
+        // consumed even though no replayed function reads it.
+        if let Some(cid) = spec.cursor {
+            if let Some((_, cname, _)) = &spec.fns[cid.index()].retval_tracked {
+                consumed.insert(cname);
+            }
+        }
     }
 
     // Slot → (writers, first span). Creation retvals are exempt: that

@@ -21,7 +21,7 @@ use superglue_lint::lint_source;
 /// Each bad spec and the diagnostic codes it must trigger. The list is
 /// the contract: a spec here that lints clean means a check regressed
 /// into a false negative.
-const BAD_SPECS: [(&str, &[&str]); 18] = [
+const BAD_SPECS: [(&str, &[&str]); 21] = [
     ("syntax", &["SG001"]),
     ("unknown_fn", &["SG002"]),
     ("no_terminal", &["SG010"]),
@@ -40,6 +40,9 @@ const BAD_SPECS: [(&str, &[&str]); 18] = [
     ("elide_recorded_creation", &["SG062"]),
     ("elide_blocking_affine", &["SG063"]),
     ("elide_live_meta", &["SG065"]),
+    ("chan_no_cursor", &["SG070"]),
+    ("chan_untracked_cursor", &["SG071"]),
+    ("chan_replayed_peek", &["SG072"]),
 ];
 
 fn specs_dir() -> PathBuf {

@@ -1,4 +1,4 @@
-//! The six shipped `idl/*.sg` specs must lint clean.
+//! The seven shipped `idl/*.sg` specs must lint clean.
 //!
 //! This is the analyzer's precision bar: all the shipped interfaces are
 //! sound (they drive the runtime's recovery tests), so any error or
@@ -9,13 +9,14 @@
 
 use superglue_lint::{compile_checked, lint_source, Code, Severity};
 
-const IDL: [(&str, &str); 6] = [
+const IDL: [(&str, &str); 7] = [
     ("sched", include_str!("../../../idl/sched.sg")),
     ("mm", include_str!("../../../idl/mm.sg")),
     ("fs", include_str!("../../../idl/fs.sg")),
     ("lock", include_str!("../../../idl/lock.sg")),
     ("evt", include_str!("../../../idl/evt.sg")),
     ("tmr", include_str!("../../../idl/tmr.sg")),
+    ("chan", include_str!("../../../idl/chan.sg")),
 ];
 
 #[test]

@@ -864,6 +864,13 @@ impl<'s> Interp<'s> {
             // restore upcall, which preserves the original global id.
             let args = self.restore_args(env, desc_id, plan);
             env.replay_for(restore_fn, &args, Some(desc_id), Mechanism::R0)?;
+            if spec.cursor_slot.is_some() {
+                // CR0: the restore plan's final argument was the last
+                // *committed* cursor, so the endpoint resumes exactly
+                // where its consumer committed — peeked-but-uncommitted
+                // observations are deliberately replayed.
+                env.note_mechanism(Mechanism::Cr0);
+            }
             if let Some(d) = self.descs.get_mut(desc_id) {
                 d.faulty = false;
                 d.server_id = desc_id;
@@ -918,6 +925,7 @@ impl InterfaceStub for CompiledStub {
             "lock" => "lock",
             "evt" => "evt",
             "tmr" => "tmr",
+            "chan" => "chan",
             _ => "superglue",
         }
     }

@@ -33,6 +33,7 @@
 pub mod campaign;
 pub mod inject;
 pub mod outcome;
+pub mod pipeline;
 pub mod program;
 pub mod simcpu;
 
@@ -43,4 +44,8 @@ pub use campaign::{
 };
 pub use inject::Injector;
 pub use outcome::{CampaignRow, Outcome};
+pub use pipeline::{
+    run_pipeline_campaign, run_pipeline_campaign_parallel, PipelineCampaignConfig,
+    PipelineCampaignResult, PipelinePhase, ShowstopperReport,
+};
 pub use simcpu::{classify_execution, ExecEvent, Insn};

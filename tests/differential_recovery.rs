@@ -256,10 +256,19 @@ fn exercise_all_mechanisms(variant: Variant) -> MetricsSnapshot {
     MetricsSnapshot::from_kernel(r.tb.runtime.kernel())
 }
 
+/// The paper's eight mechanisms — the channel extensions (DL0/CR0)
+/// only fire on the pipeline workload and are pinned nonzero by the
+/// `crates/pipeline` suite and `tests/pipeline_e2e.rs`.
+fn paper_mechanisms() -> impl Iterator<Item = Mechanism> {
+    MECHANISMS
+        .into_iter()
+        .filter(|m| !matches!(m, Mechanism::Dl0 | Mechanism::Cr0))
+}
+
 #[test]
 fn all_eight_mechanism_counters_fire_under_c3() {
     let snap = exercise_all_mechanisms(Variant::C3);
-    for m in MECHANISMS {
+    for m in paper_mechanisms() {
         assert!(snap.mechanism_total(m) > 0, "C³: {} never fired", m.name());
     }
 }
@@ -267,7 +276,7 @@ fn all_eight_mechanism_counters_fire_under_c3() {
 #[test]
 fn all_eight_mechanism_counters_fire_under_superglue() {
     let snap = exercise_all_mechanisms(Variant::SuperGlue);
-    for m in MECHANISMS {
+    for m in paper_mechanisms() {
         assert!(
             snap.mechanism_total(m) > 0,
             "SuperGlue: {} never fired",

@@ -1,0 +1,184 @@
+//! End-to-end pipeline robustness tests (ISSUE 10 acceptance criteria).
+//!
+//! 1. **Differential exactly-once.** For a matrix of seeds, the
+//!    committed output log of a SWIFI-faulted run is byte-identical to
+//!    the closed-form fault-free log — no loss, no duplication.
+//! 2. **Worker-count independence.** The bench grid and the SWIFI
+//!    pipeline campaign produce bit-identical results for `--jobs 1`
+//!    vs `--jobs 8`.
+//! 3. **Golden dead-letter episode.** The flight-recorder trace of one
+//!    fixed-seed showstopper escalation is pinned byte-for-byte
+//!    (`tests/golden/pipeline_dead_letter.jsonl`); regenerate an
+//!    intentional change with
+//!    `UPDATE_GOLDEN=1 cargo test -p sg-bench --test pipeline_e2e`.
+//! 4. **Replay conformance.** `sgtrace verify` accepts a faulted
+//!    pipeline trace: every observed channel recovery walk decomposes
+//!    into IDL-computable replay plans, and the channel episodes are
+//!    actually checked (not skipped as foreign).
+
+use std::path::PathBuf;
+
+use composite::{parallel_map_indexed, shards_to_jsonl, SimTime};
+use sg_pipeline::{
+    expected_output, run_pipeline_rep, run_pipeline_variant, PipelineConfig, PipelineVariant,
+};
+use sg_swifi::{run_pipeline_campaign_parallel, PipelineCampaignConfig};
+
+fn faulted_cfg(seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        jobs: 200,
+        duration: SimTime::from_secs(30),
+        fault_period: SimTime::from_millis(1),
+        seed,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn exactly_once_holds_for_every_seed_in_the_matrix() {
+    for seed in [0x9E37_0001, 1, 2, 0xDEAD_BEEF] {
+        let cfg = faulted_cfg(seed);
+        for rep in 0..2 {
+            let r = run_pipeline_rep(PipelineVariant::SuperGlue { faults: true }, &cfg, rep);
+            assert!(r.faults_injected > 0, "seed {seed:#x} rep {rep}: no faults");
+            assert_eq!(r.unrecovered, 0, "seed {seed:#x} rep {rep}");
+            assert_eq!(
+                r.output,
+                expected_output(&cfg),
+                "seed {seed:#x} rep {rep}: committed log must be byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn showstopper_lands_in_dlq_after_exactly_k_faults_for_jobs_1_vs_8() {
+    let campaign = PipelineCampaignConfig {
+        injections: 2,
+        showstoppers: 2,
+        pipeline: PipelineConfig {
+            jobs: 120,
+            duration: SimTime::from_secs(30),
+            ..PipelineConfig::default()
+        },
+        ..PipelineCampaignConfig::default()
+    };
+    let one = run_pipeline_campaign_parallel(&campaign, 1);
+    let eight = run_pipeline_campaign_parallel(&campaign, 8);
+    assert_eq!(one, eight, "campaign must be bit-identical for any --jobs");
+    let s = &one.showstopper;
+    assert!(s.dead_letters > 0);
+    assert_eq!(
+        s.reboots, s.reboot_cap,
+        "each showstopper must cause exactly K = poison_limit reboots: {s:?}"
+    );
+    assert_eq!(s.row.recovered, s.row.injected, "{s:?}");
+}
+
+#[test]
+fn bench_grid_is_byte_identical_for_jobs_1_vs_8() {
+    let cfg = faulted_cfg(7);
+    let variants = [
+        PipelineVariant::SuperGlue { faults: false },
+        PipelineVariant::SuperGlue { faults: true },
+    ];
+    let grid = |jobs| {
+        parallel_map_indexed(variants.len() * 2, jobs, |task| {
+            run_pipeline_rep(variants[task / 2], &cfg, (task % 2) as u64)
+        })
+    };
+    let a = grid(1);
+    let b = grid(8);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.output, y.output);
+        assert_eq!(x.wall, y.wall);
+        assert_eq!(x.faults_injected, y.faults_injected);
+        assert_eq!(x.dead_letters, y.dead_letters);
+        assert_eq!(x.cursor_restores, y.cursor_restores);
+    }
+}
+
+/// One fixed showstopper escalation: 8 jobs, the last poisoned, K=3 —
+/// the trace pins the three consumer faults, three micro-reboot
+/// recoveries, and the DL0 dead-letter event byte-for-byte.
+fn dead_letter_trace() -> String {
+    let cfg = PipelineConfig {
+        jobs: 8,
+        poison_every: 8,
+        duration: SimTime::from_secs(30),
+        trace: true,
+        ..PipelineConfig::default()
+    };
+    let r = run_pipeline_variant(PipelineVariant::SuperGlue { faults: false }, &cfg);
+    assert_eq!(r.dead_letters, 1, "exactly one dead-letter episode");
+    assert_eq!(r.faults_handled, cfg.poison_limit, "exactly K reboots");
+    let shard = r.trace.expect("tracing enabled");
+    shards_to_jsonl(std::slice::from_ref(&shard))
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/pipeline_dead_letter.jsonl")
+}
+
+#[test]
+fn golden_dead_letter_episode_snapshot() {
+    let actual = dead_letter_trace();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir golden");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "fixed-seed dead-letter episode drifted from the golden snapshot; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn sgtrace_verify_accepts_faulted_pipeline_traces() {
+    let cfg = PipelineConfig {
+        trace: true,
+        ..faulted_cfg(3)
+    };
+    let r = run_pipeline_rep(PipelineVariant::SuperGlue { faults: true }, &cfg, 0);
+    assert!(r.faults_injected > 0);
+    let shard = r.trace.expect("tracing enabled");
+    let dir = std::env::temp_dir().join(format!("sg-pipeline-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir temp");
+    let trace_path = dir.join("pipeline_trace.jsonl");
+    std::fs::write(&trace_path, shards_to_jsonl(std::slice::from_ref(&shard)))
+        .expect("write trace");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_sgtrace"))
+        .arg("verify")
+        .arg(&trace_path)
+        .output()
+        .expect("run sgtrace verify");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "sgtrace verify failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("all observed recovery walks conform"),
+        "{stdout}"
+    );
+    // The channel episodes must be genuinely checked, not skipped as a
+    // foreign interface.
+    let checked: u64 = stdout
+        .lines()
+        .find_map(|l| l.split_once(" per-descriptor"))
+        .and_then(|(n, _)| n.trim().parse().ok())
+        .expect("summary line present");
+    assert!(checked > 0, "no replay sequences were checked:\n{stdout}");
+    let _ = std::fs::remove_file(&trace_path);
+}

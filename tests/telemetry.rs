@@ -19,7 +19,10 @@
 
 use std::path::PathBuf;
 
-use composite::{shards_to_jsonl, SeriesSnapshot, SimTime, DEFAULT_SERIES_WINDOW, MECHANISMS};
+use composite::{
+    shards_to_jsonl, SeriesSnapshot, SimTime, DEFAULT_SERIES_WINDOW, MECHANISMS,
+    SERIES_SCHEMA_VERSION,
+};
 use sg_bench::stat::{
     avail_report, collapsed_stacks, evaluate_slo, parse_series_text, parse_trace_text,
     series_report, Conservation, SloPolicy,
@@ -88,7 +91,7 @@ fn series_parses_back_and_matches_snapshot_totals() {
         &[("table2/evt/superglue".to_owned(), &result.series)],
     );
     let parsed = parse_series_text(&text).expect("series parses");
-    assert_eq!(parsed.version, 1);
+    assert_eq!(parsed.version, SERIES_SCHEMA_VERSION);
     assert_eq!(parsed.window_ns, cfg.series_window_ns);
     assert_eq!(parsed.rows.len(), result.series.rows.len());
     assert_eq!(
@@ -120,7 +123,7 @@ fn series_metrics_and_trace_totals_agree() {
     // Series faults == metrics faults, per component and in total.
     let mut series_faults = 0u64;
     let mut series_latency_ns = 0u64;
-    let mut series_mechs = [0u64; 8];
+    let mut series_mechs = [0u64; MECHANISMS.len()];
     for cell in result.series.rows.values() {
         series_faults += cell.faults;
         series_latency_ns += cell.recovery_latency.total_ns;
